@@ -1,0 +1,17 @@
+//! Criterion bench for the Table 1 scenario: wall-clock cost of simulating
+//! each micro-benchmark row (regression guard for the substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(20);
+    g.bench_function("full_table_one_rep", |b| {
+        b.iter(|| black_box(rb_workloads::table1::run(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

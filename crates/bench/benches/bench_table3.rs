@@ -1,0 +1,16 @@
+//! Criterion bench for the Table 3 scenario (PVM/LAM growth, three ways).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("k2_one_rep", |b| {
+        b.iter(|| black_box(rb_workloads::table3::run(2, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

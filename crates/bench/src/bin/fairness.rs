@@ -1,0 +1,45 @@
+//! Even-partition validation: two always-hungry adaptive jobs compete for
+//! six machines for five minutes; report per-job machine-seconds and the
+//! Jain fairness index under the default policy.
+//!
+//! Usage: `cargo run --release -p rb-bench --bin fairness [minutes]`
+
+use rb_broker::{DefaultPolicy, JobRequest, JobRun};
+use rb_parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use rb_simcore::Duration;
+use rb_workloads::fairness::{jain_index, machine_seconds_by_job};
+use rb_workloads::scenarios::broker_testbed;
+
+fn main() {
+    let minutes = rb_bench::arg_usize(5) as u64;
+    let mut c = broker_testbed(6, 44, Box::new(DefaultPolicy::default()), true);
+    for user in ["alice", "bob"] {
+        c.submit(
+            c.machines[0],
+            JobRequest {
+                rsl: "+(count>=6)(adaptive=1)".into(),
+                user: user.into(),
+                run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                    tasks: TaskBag::Endless { cpu_millis: 900 },
+                    desired_workers: 6,
+                    hostfile: vec!["anylinux".into()],
+                    task_timeout: None,
+                }))),
+            },
+        );
+        c.world.run_until(c.world.now() + Duration::from_secs(3));
+    }
+    c.world
+        .run_until(c.world.now() + Duration::from_secs(minutes * 60));
+    let totals = machine_seconds_by_job(c.world.trace().events(), c.world.now());
+    println!("machine-seconds over {minutes} minutes, 6 machines, 2 hungry adaptive jobs:");
+    let mut jobs: Vec<_> = totals.iter().collect();
+    jobs.sort_by(|a, b| a.0.cmp(b.0));
+    for (job, secs) in jobs {
+        println!("  {job}: {secs:>9.1}");
+    }
+    println!(
+        "Jain fairness index: {:.4} (1.0 = perfectly even)",
+        jain_index(&totals)
+    );
+}

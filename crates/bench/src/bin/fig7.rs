@@ -1,0 +1,17 @@
+//! Regenerate Figure 7: reallocation time for k machines moved from an
+//! adaptive Calypso job to a PVM virtual machine, k = 1..16.
+//!
+//! Usage: `cargo run --release -p rb-bench --bin fig7 [max_k]`
+
+use rb_workloads::fig7;
+
+fn main() {
+    let max_k = rb_bench::arg_usize(16);
+    let series = fig7::run(1..=max_k, max_k.max(16), 7000);
+    print!("{}", series.render());
+    println!(
+        "# slope = {:.3} s/machine, R^2 = {:.4}",
+        series.slope(),
+        series.r_squared()
+    );
+}

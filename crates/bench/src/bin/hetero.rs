@@ -1,0 +1,20 @@
+//! Extension experiment: RSL-constrained placement on a heterogeneous
+//! cluster (4x i686/Linux, 2x SPARC/Solaris, 2x double-speed i686).
+//!
+//! Usage: `cargo run --release -p rb-bench --bin hetero`
+
+use rb_workloads::hetero;
+
+fn main() {
+    let (placement, fast_secs, base_secs) = hetero::run(55);
+    println!("placement by job (j1: arch=i686, j2: os=solaris, j3: speed>=150, j4: speed<150):");
+    let mut jobs: Vec<_> = placement.iter().collect();
+    jobs.sort_by(|a, b| a.0.cmp(b.0));
+    for (job, hosts) in jobs {
+        let mut hosts = hosts.clone();
+        hosts.sort();
+        println!("  {job}: {hosts:?}");
+    }
+    println!("\n8 CPU-second loop on a speed>=150 machine : {fast_secs:.2}s");
+    println!("same loop on a baseline machine           : {base_secs:.2}s");
+}

@@ -1,0 +1,22 @@
+//! Layer ablation: what each level of interposition costs for one remote
+//! `null` execution.
+//!
+//! Usage: `cargo run --release -p rb-bench --bin layers`
+
+use rb_workloads::ablation::layer_ablation;
+
+fn main() {
+    let a = layer_ablation(99);
+    println!("Interposition-layer cost breakdown (simulated seconds, null program):");
+    println!("  plain rsh (no broker)              : {:.4}", a.plain_rsh);
+    println!(
+        "  rsh' fallback (shim, unmanaged)    : {:.4}  (+{:.1} ms)",
+        a.shim_fallback,
+        (a.shim_fallback - a.plain_rsh) * 1e3
+    );
+    println!(
+        "  full redirect (appl+broker+subappl): {:.4}  (+{:.1} ms)",
+        a.full_redirect,
+        (a.full_redirect - a.plain_rsh) * 1e3
+    );
+}

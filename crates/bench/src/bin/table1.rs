@@ -1,0 +1,17 @@
+//! Regenerate Table 1: performance of rsh' on idle machines.
+//!
+//! Usage: `cargo run --release -p rb-bench --bin table1 [reps]`
+
+use rb_workloads::{render_rows, table1};
+
+fn main() {
+    let reps = rb_bench::arg_usize(rb_bench::DEFAULT_REPS);
+    let rows = table1::run(reps);
+    print!(
+        "{}",
+        render_rows(
+            &format!("Table 1: performance of rsh' (median of {reps} runs, simulated seconds)"),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,20 @@
+//! Regenerate Table 2: performance of reallocation.
+//!
+//! Usage: `cargo run --release -p rb-bench --bin table2 [reps]`
+
+use rb_workloads::{render_rows, table2};
+
+fn main() {
+    let reps = rb_bench::arg_usize(rb_bench::DEFAULT_REPS);
+    let rows = table2::run(reps);
+    print!(
+        "{}",
+        render_rows(
+            &format!(
+                "Table 2: performance of reallocation (median of {reps} runs, simulated seconds)\n\
+                 Setup: adaptive Calypso job on n01+n02; commands issued on the user's n00"
+            ),
+            &rows
+        )
+    );
+}

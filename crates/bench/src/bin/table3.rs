@@ -1,0 +1,25 @@
+//! Regenerate Table 3: dynamically adding 1-4 machines to PVM and LAM
+//! programs, via plain rsh, rsh' with explicit hosts, and rsh' with
+//! broker-chosen machines (anylinux).
+//!
+//! Usage: `cargo run --release -p rb-bench --bin table3 [reps]`
+
+use rb_workloads::{render_matrix, table3};
+
+fn main() {
+    let reps = rb_bench::arg_usize(3);
+    let max_k = 4;
+    let rows = table3::run(max_k, reps);
+    let counts: Vec<usize> = (1..=max_k).collect();
+    print!(
+        "{}",
+        render_matrix(
+            &format!(
+                "Table 3: time to dynamically add resources to PVM and LAM programs\n\
+                 (median of {reps} runs, simulated seconds; columns = machines added)"
+            ),
+            &counts,
+            &rows
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! # rb-bench — the evaluation harness
+//!
+//! Regenerates every table and figure from the paper's §6 evaluation as a
+//! set of binaries (printing the paper-shaped rows from the *simulated*
+//! clock), plus Criterion benches that guard the simulator's own wall-clock
+//! performance on each scenario.
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 — `rsh'` micro-benchmarks |
+//! | `table2` | Table 2 — reallocation |
+//! | `table3` | Table 3 — PVM/LAM adding 1–4 machines three ways |
+//! | `fig7` | Figure 7 — reallocation time vs. machines |
+//! | `utilization` | §6.2 — five-hour utilization experiment |
+//! | `policy_ablation` | default vs. FIFO policy under the mixed workload |
+//! | `layers` | interposition-layer cost breakdown |
+//!
+//! Run any of them with `cargo run --release -p rb-bench --bin <name>`.
+
+/// Default repetition count for median-of-N experiment binaries.
+pub const DEFAULT_REPS: usize = 5;
+
+/// Parse an optional positive integer from argv position 1.
+pub fn arg_usize(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,693 @@
+//! The network-wide broker process of the resource-management layer.
+//!
+//! One broker runs per network (with user privileges only). It spawns a
+//! monitoring daemon on every machine (restarting failed ones), maintains
+//! the machine-status database from daemon reports, admits jobs, and
+//! decides — through a pluggable [`Policy`] — which job may use which
+//! machine: granting free machines, *reclaiming* machines from adaptive
+//! jobs for even partitioning, evicting adaptive jobs from private
+//! machines when their owners return, and asynchronously *offering*
+//! machines to jobs with unmet standing desire as capacity frees up.
+
+use crate::policy::{AllocContext, Decision, JobView, MachineUse, MachineView, Policy};
+use rb_proto::{
+    BrokerMsg, CommandSpec, ExitStatus, GrowId, JobId, MachineId, Payload, ProcId, RshError,
+    RshHandle, TimerToken,
+};
+use rb_simcore::SimTime;
+use rb_simnet::{Behavior, Ctx};
+use std::collections::HashMap;
+
+/// Broker configuration.
+pub struct BrokerConfig {
+    pub policy: Box<dyn Policy>,
+    /// Spawn a daemon on every machine at startup (disable only in narrow
+    /// unit tests).
+    pub spawn_daemons: bool,
+    /// Queue allocation requests of non-adaptive (batch/sequential) jobs
+    /// when nothing is available, instead of denying them. Adaptive jobs
+    /// are always denied fast — their runtimes tolerate failed grows and
+    /// the offer loop serves them asynchronously.
+    pub queue_batch_jobs: bool,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            policy: Box::new(crate::policy::DefaultPolicy::default()),
+            spawn_daemons: true,
+            queue_batch_jobs: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct MachInfo {
+    daemon: Option<ProcId>,
+    usage: MachineUse,
+    owner_present: bool,
+    load: u32,
+    last_contact: SimTime,
+    /// An unanswered respawn attempt is in flight.
+    respawning: bool,
+    /// Keyboard/mouse activity on a *private* machine counts as the owner
+    /// being present until this instant (a hold-down so one keystroke does
+    /// not thrash allocation).
+    activity_hold_until: SimTime,
+    /// Effective owner presence as of the last daemon report (for edge
+    /// detection).
+    last_effective_owner: bool,
+}
+
+#[derive(Debug)]
+struct JobInfo {
+    appl: ProcId,
+    adaptive: bool,
+    #[allow(dead_code)]
+    module: Option<String>,
+    desired: u32,
+    constraints: Vec<rb_rsl::Clause>,
+    held: Vec<MachineId>,
+    home: MachineId,
+    user: String,
+}
+
+/// Why a machine is being vacated.
+#[derive(Debug, Clone, Copy)]
+enum ReclaimFor {
+    /// A pending grow of another job gets it once free.
+    Grow { job: JobId, grow: GrowId },
+    /// The private owner returned.
+    Owner,
+}
+
+/// The broker behavior.
+pub struct Broker {
+    cfg: BrokerConfig,
+    machines: HashMap<MachineId, MachInfo>,
+    jobs: HashMap<JobId, JobInfo>,
+    next_job: u32,
+    /// machine being vacated -> beneficiary.
+    reclaims: HashMap<MachineId, ReclaimFor>,
+    /// reservation timers: token -> machine.
+    reservation_timers: HashMap<TimerToken, MachineId>,
+    /// FIFO queue of batch-job allocation requests waiting for capacity.
+    queue: std::collections::VecDeque<QueuedAlloc>,
+    tick_timer: Option<TimerToken>,
+    daemon_rsh: HashMap<RshHandle, MachineId>,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedAlloc {
+    job: JobId,
+    grow: GrowId,
+    constraint: rb_proto::SymbolicHost,
+}
+
+impl Broker {
+    pub fn new(cfg: BrokerConfig) -> Self {
+        Broker {
+            cfg,
+            machines: HashMap::new(),
+            jobs: HashMap::new(),
+            next_job: 1,
+            reclaims: HashMap::new(),
+            reservation_timers: HashMap::new(),
+            queue: std::collections::VecDeque::new(),
+            tick_timer: None,
+            daemon_rsh: HashMap::new(),
+        }
+    }
+
+    fn machine_views(&self, ctx: &Ctx<'_>) -> Vec<MachineView> {
+        let now = ctx.now();
+        let mut v: Vec<MachineView> = self
+            .machines
+            .iter()
+            .map(|(&id, info)| MachineView {
+                id,
+                attrs: ctx.attrs_of(id),
+                state: info.usage,
+                // Effective presence: logged in, or recent console
+                // activity on a private machine.
+                owner_present: info.owner_present || now < info.activity_hold_until,
+                load: info.load,
+                daemon_alive: info.daemon.is_some(),
+            })
+            .collect();
+        v.sort_by_key(|m| m.id);
+        v
+    }
+
+    /// Per-job holdings, adjusted for in-flight reclaims: a machine being
+    /// vacated no longer counts for its victim and already counts for the
+    /// requester it is destined for. Without this, a burst of concurrent
+    /// grow requests all see the victim's stale count and strip it bare —
+    /// the even partition the policy promises would never materialize.
+    fn effective_held(&self) -> HashMap<JobId, i64> {
+        let mut held: HashMap<JobId, i64> = self
+            .jobs
+            .iter()
+            .map(|(&job, info)| (job, info.held.len() as i64))
+            .collect();
+        for (machine, why) in &self.reclaims {
+            if let Some((&victim, _)) = self
+                .jobs
+                .iter()
+                .find(|(_, info)| info.held.contains(machine))
+            {
+                *held.entry(victim).or_default() -= 1;
+            }
+            if let ReclaimFor::Grow { job, .. } = why {
+                *held.entry(*job).or_default() += 1;
+            }
+        }
+        held
+    }
+
+    fn job_views(&self) -> Vec<JobView> {
+        let effective = self.effective_held();
+        let mut v: Vec<JobView> = self
+            .jobs
+            .iter()
+            .map(|(&job, info)| JobView {
+                job,
+                adaptive: info.adaptive,
+                held: effective.get(&job).copied().unwrap_or(0).max(0) as u32,
+                desired: info.desired,
+            })
+            .collect();
+        v.sort_by_key(|j| j.job);
+        v
+    }
+
+    fn grant(&mut self, ctx: &mut Ctx<'_>, job: JobId, grow: GrowId, machine: MachineId) {
+        let hostname = ctx.attrs_of(machine).hostname;
+        let Some(info) = self.jobs.get_mut(&job) else {
+            // Requester vanished while we worked: machine stays free.
+            self.set_usage(ctx, machine, MachineUse::Free);
+            return;
+        };
+        info.held.push(machine);
+        let adaptive = info.adaptive;
+        let appl = info.appl;
+        self.set_usage(ctx, machine, MachineUse::Allocated { job, adaptive });
+        ctx.trace("broker.grant", format!("{hostname} -> {job} ({grow})"));
+        ctx.send(
+            appl,
+            Payload::Broker(BrokerMsg::AllocGrant {
+                grow,
+                machine,
+                hostname,
+            }),
+        );
+    }
+
+    fn set_usage(&mut self, _ctx: &mut Ctx<'_>, machine: MachineId, usage: MachineUse) {
+        if let Some(m) = self.machines.get_mut(&machine) {
+            m.usage = usage;
+        }
+    }
+
+    /// Begin taking `machine` away from `victim` on behalf of `target`.
+    fn start_reclaim(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        victim: JobId,
+        machine: MachineId,
+        why: ReclaimFor,
+    ) {
+        let Some(vinfo) = self.jobs.get(&victim) else {
+            return;
+        };
+        let appl = vinfo.appl;
+        self.set_usage(ctx, machine, MachineUse::Reclaiming);
+        self.reclaims.insert(machine, why);
+        let host = ctx.attrs_of(machine).hostname;
+        ctx.trace("broker.reclaim", format!("{host} from {victim}"));
+        ctx.send(appl, Payload::Broker(BrokerMsg::ReleaseMachine { machine }));
+    }
+
+    /// Is the machine's owner effectively present (logged in, or recent
+    /// keyboard/mouse activity on a private machine)?
+    fn owner_effective(&self, now: SimTime, machine: MachineId) -> bool {
+        self.machines
+            .get(&machine)
+            .map(|m| m.owner_present || now < m.activity_hold_until)
+            .unwrap_or(false)
+    }
+
+    /// A machine just became free: offer it to a hungry job, per policy.
+    fn offer_or_idle(&mut self, ctx: &mut Ctx<'_>, machine: MachineId) {
+        let now = ctx.now();
+        let Some(m) = self.machines.get(&machine) else {
+            return;
+        };
+        let _ = m;
+        if self.owner_effective(now, machine) {
+            self.set_usage(ctx, machine, MachineUse::OwnerHeld);
+            return;
+        }
+        self.set_usage(ctx, machine, MachineUse::Free);
+        let view = MachineView {
+            id: machine,
+            attrs: ctx.attrs_of(machine),
+            state: MachineUse::Free,
+            owner_present: false,
+            load: self.machines[&machine].load,
+            daemon_alive: self.machines[&machine].daemon.is_some(),
+        };
+        let jobs = self.job_views();
+        if let Some(job) = self.cfg.policy.offer(&view, &jobs) {
+            if let Some(jinfo) = self.jobs.get(&job) {
+                let appl = jinfo.appl;
+                let hostname = view.attrs.hostname.clone();
+                self.set_usage(ctx, machine, MachineUse::Reserved { job });
+                // Reservations expire so an unresponsive job cannot strand
+                // a machine.
+                let token = ctx.set_timer(rb_simcore::Duration::from_secs(30));
+                self.reservation_timers.insert(token, machine);
+                ctx.trace("broker.offer", format!("{hostname} -> {job}"));
+                ctx.send(
+                    appl,
+                    Payload::Broker(BrokerMsg::GrowOffer { machine, hostname }),
+                );
+            }
+        }
+    }
+
+    fn spawn_daemon(&mut self, ctx: &mut Ctx<'_>, machine: MachineId) {
+        let hostname = ctx.attrs_of(machine).hostname;
+        let me = ctx.me();
+        let handle = ctx.rsh_standard(&hostname, CommandSpec::RbDaemon { broker: me });
+        self.daemon_rsh.insert(handle, machine);
+        if let Some(m) = self.machines.get_mut(&machine) {
+            m.respawning = true;
+        }
+    }
+
+    /// Run the policy for one allocation request. `may_queue` is false for
+    /// requests replayed from the queue (a second failure re-queues at the
+    /// front rather than the back).
+    fn handle_alloc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: JobId,
+        grow: GrowId,
+        constraint: rb_proto::SymbolicHost,
+        may_queue: bool,
+    ) {
+        if !self.jobs.contains_key(&job) {
+            return; // job finished while queued
+        }
+        let held = self.effective_held().get(&job).copied().unwrap_or(0).max(0) as u32;
+        let jinfo = self.jobs.get(&job).expect("checked above");
+        let req = AllocContext {
+            job,
+            adaptive: jinfo.adaptive,
+            constraint,
+            rsl_constraints: jinfo.constraints.clone(),
+            held,
+            home: Some(jinfo.home),
+            user: jinfo.user.clone(),
+        };
+        let appl = jinfo.appl;
+        let machines = self.machine_views(ctx);
+        let jobs = self.job_views();
+        let decision = self.cfg.policy.allocate(&req, &machines, &jobs);
+        match decision {
+            Decision::Grant(machine) => {
+                // Clear any reservation timer tied to this machine.
+                self.reservation_timers.retain(|_, &mut m| m != machine);
+                self.grant(ctx, job, grow, machine);
+            }
+            Decision::Reclaim { victim, machine } => {
+                self.start_reclaim(ctx, victim, machine, ReclaimFor::Grow { job, grow });
+            }
+            Decision::Deny { reason } => {
+                if self.cfg.queue_batch_jobs && !req.adaptive {
+                    // Batch jobs wait their turn instead of failing; the
+                    // user can see them with the query tool.
+                    ctx.trace("broker.queued", format!("{job} ({grow})"));
+                    let entry = QueuedAlloc {
+                        job,
+                        grow,
+                        constraint,
+                    };
+                    if may_queue {
+                        self.queue.push_back(entry);
+                    } else {
+                        self.queue.push_front(entry);
+                    }
+                } else {
+                    ctx.trace("broker.deny", format!("{job} ({grow}): {reason}"));
+                    ctx.send(
+                        appl,
+                        Payload::Broker(BrokerMsg::AllocDenied { grow, reason }),
+                    );
+                }
+            }
+        }
+    }
+
+    /// A machine became free: serve the batch queue first; only when no
+    /// queued request fits is the machine offered to adaptive jobs.
+    fn serve_queue_or_offer(&mut self, ctx: &mut Ctx<'_>, machine: MachineId) {
+        // Drop queue entries whose jobs ended meanwhile.
+        let jobs = &self.jobs;
+        self.queue.retain(|q| jobs.contains_key(&q.job));
+        if let Some(q) = self.queue.pop_front() {
+            // Machine state is still whatever it was; mark free first so
+            // the policy can pick it (or any other machine).
+            if self.owner_effective(ctx.now(), machine) {
+                self.set_usage(ctx, machine, MachineUse::OwnerHeld);
+                self.queue.push_front(q);
+                return;
+            }
+            self.set_usage(ctx, machine, MachineUse::Free);
+            self.handle_alloc(ctx, q.job, q.grow, q.constraint, false);
+            return;
+        }
+        self.offer_or_idle(ctx, machine);
+    }
+
+    fn handle_owner_transition(&mut self, ctx: &mut Ctx<'_>, machine: MachineId, present: bool) {
+        let usage = match self.machines.get(&machine) {
+            Some(m) => m.usage,
+            None => return,
+        };
+        if present {
+            match usage {
+                MachineUse::Allocated { job, adaptive }
+                    if adaptive && self.cfg.policy.evict_on_owner_return() =>
+                {
+                    ctx.trace("broker.evict.owner", format!("{machine} from {job}"));
+                    self.start_reclaim(ctx, job, machine, ReclaimFor::Owner);
+                }
+                MachineUse::Free | MachineUse::Reserved { .. } => {
+                    self.set_usage(ctx, machine, MachineUse::OwnerHeld);
+                }
+                _ => {}
+            }
+        } else if matches!(usage, MachineUse::OwnerHeld) {
+            ctx.trace("broker.owner.left", format!("{machine}"));
+            self.offer_or_idle(ctx, machine);
+        }
+    }
+
+    fn cluster_status(&self, ctx: &Ctx<'_>) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut ids: Vec<&MachineId> = self.machines.keys().collect();
+        ids.sort();
+        for &id in ids {
+            let m = &self.machines[&id];
+            let attrs = ctx.attrs_of(id);
+            lines.push(format!(
+                "{:<6} {:<8} {:?} load={} owner={} daemon={}",
+                attrs.hostname,
+                format!("{}/{}", attrs.arch, attrs.os),
+                m.usage,
+                m.load,
+                m.owner_present,
+                m.daemon.is_some()
+            ));
+        }
+        let mut jobs: Vec<&JobId> = self.jobs.keys().collect();
+        jobs.sort();
+        for &job in jobs {
+            let j = &self.jobs[&job];
+            lines.push(format!(
+                "{job}: user={} adaptive={} held={} desired={}",
+                j.user,
+                j.adaptive,
+                j.held.len(),
+                j.desired
+            ));
+        }
+        for q in &self.queue {
+            lines.push(format!("queued: {} ({})", q.job, q.grow));
+        }
+        lines
+    }
+}
+
+impl Behavior for Broker {
+    fn name(&self) -> &'static str {
+        "broker"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        for id in ctx.all_machines() {
+            self.machines.insert(
+                id,
+                MachInfo {
+                    daemon: None,
+                    usage: MachineUse::Free,
+                    owner_present: false,
+                    load: 0,
+                    last_contact: now,
+                    respawning: false,
+                    activity_hold_until: SimTime::ZERO,
+                    last_effective_owner: false,
+                },
+            );
+        }
+        ctx.trace("broker.up", format!("{} machines", self.machines.len()));
+        if self.cfg.spawn_daemons {
+            let ids = ctx.all_machines();
+            for id in ids {
+                self.spawn_daemon(ctx, id);
+            }
+        }
+        let interval = ctx.cost().daemon_ping_interval;
+        self.tick_timer = Some(ctx.set_timer(interval));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if self.tick_timer == Some(token) {
+            // Daemon liveness: a daemon silent for two report intervals is
+            // considered dead and respawned (the machine may also be down;
+            // the rsh failure arms a retry at the next tick).
+            let now = ctx.now();
+            let silence_limit = rb_simcore::Duration(
+                2 * ctx.cost().daemon_report_interval.as_micros()
+                    + ctx.cost().daemon_ping_interval.as_micros(),
+            );
+            let mut stale: Vec<MachineId> = self
+                .machines
+                .iter()
+                .filter(|(_, m)| {
+                    !m.respawning && now.saturating_since(m.last_contact) > silence_limit
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            stale.sort();
+            for id in stale {
+                ctx.trace("broker.daemon.lost", format!("{id}"));
+                if let Some(m) = self.machines.get_mut(&id) {
+                    m.daemon = None;
+                }
+                self.spawn_daemon(ctx, id);
+            }
+            let interval = ctx.cost().daemon_ping_interval;
+            self.tick_timer = Some(ctx.set_timer(interval));
+            return;
+        }
+        if let Some(machine) = self.reservation_timers.remove(&token) {
+            // Reservation expired unused.
+            if matches!(
+                self.machines.get(&machine).map(|m| m.usage),
+                Some(MachineUse::Reserved { .. })
+            ) {
+                ctx.trace("broker.reservation.expired", format!("{machine}"));
+                self.set_usage(ctx, machine, MachineUse::Free);
+            }
+        }
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, RshError>,
+    ) {
+        if let Some(machine) = self.daemon_rsh.remove(&handle) {
+            if let Some(m) = self.machines.get_mut(&machine) {
+                m.respawning = false;
+                if result.is_err() {
+                    ctx.trace("broker.daemon.spawn-failed", format!("{machine}"));
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        let Payload::Broker(msg) = msg else { return };
+        match msg {
+            // ---------------- daemons ----------------
+            BrokerMsg::DaemonHello { machine } => {
+                if let Some(m) = self.machines.get_mut(&machine) {
+                    m.daemon = Some(from);
+                    m.last_contact = ctx.now();
+                    m.respawning = false;
+                }
+                ctx.trace("broker.daemon.hello", format!("{machine}"));
+            }
+            BrokerMsg::DaemonStatus(report) => {
+                let machine = report.machine;
+                // On private machines, keyboard/mouse activity means the
+                // owner is back even before a login shows up; hold that
+                // state for a quiet period so allocation doesn't thrash.
+                let private = ctx.attrs_of(machine).ownership.is_private();
+                let now = ctx.now();
+                let hold = rb_simcore::Duration::from_secs(30);
+                let (prev_effective, effective) = match self.machines.get_mut(&machine) {
+                    Some(m) => {
+                        m.daemon = Some(from);
+                        m.last_contact = now;
+                        m.load = report.load;
+                        let prev = m.last_effective_owner;
+                        if private && report.console_active {
+                            m.activity_hold_until = now + hold;
+                        }
+                        m.owner_present = report.owner_present;
+                        let eff = m.owner_present || now < m.activity_hold_until;
+                        m.last_effective_owner = eff;
+                        (prev, eff)
+                    }
+                    None => return,
+                };
+                if prev_effective != effective {
+                    self.handle_owner_transition(ctx, machine, effective);
+                }
+            }
+            BrokerMsg::DaemonPong { machine, .. } => {
+                if let Some(m) = self.machines.get_mut(&machine) {
+                    m.last_contact = ctx.now();
+                }
+            }
+
+            // ---------------- jobs ----------------
+            BrokerMsg::RegisterJob {
+                appl,
+                rsl,
+                user,
+                home,
+            } => {
+                let spec = match rb_rsl::parse(&rsl)
+                    .map_err(|e| e.to_string())
+                    .and_then(|r| rb_rsl::job_spec(&r).map_err(|e| e.to_string()))
+                {
+                    Ok(spec) => spec,
+                    Err(reason) => {
+                        ctx.trace("broker.job.rejected", reason.clone());
+                        ctx.send(appl, Payload::Broker(BrokerMsg::JobRejected { reason }));
+                        return;
+                    }
+                };
+                let job = JobId(self.next_job);
+                self.next_job += 1;
+                self.jobs.insert(
+                    job,
+                    JobInfo {
+                        appl,
+                        adaptive: spec.adaptive,
+                        module: spec.module.clone(),
+                        desired: spec.min_count,
+                        constraints: spec.constraints.clone(),
+                        held: Vec::new(),
+                        home,
+                        user,
+                    },
+                );
+                ctx.trace(
+                    "broker.job.accepted",
+                    format!("{job} adaptive={} module={:?}", spec.adaptive, spec.module),
+                );
+                ctx.send(appl, Payload::Broker(BrokerMsg::JobAccepted { job }));
+            }
+            BrokerMsg::AllocRequest {
+                job,
+                grow,
+                constraint,
+            } => {
+                if self.jobs.contains_key(&job) {
+                    self.handle_alloc(ctx, job, grow, constraint, true);
+                } else {
+                    ctx.send(
+                        from,
+                        Payload::Broker(BrokerMsg::AllocDenied {
+                            grow,
+                            reason: "unknown job".into(),
+                        }),
+                    );
+                }
+            }
+            BrokerMsg::MachineUnreachable { machine } => {
+                ctx.trace("broker.unreachable", format!("{machine}"));
+                if let Some(m) = self.machines.get_mut(&machine) {
+                    // Distrust until a daemon hello/report arrives again;
+                    // the liveness tick will keep retrying the respawn.
+                    m.daemon = None;
+                }
+            }
+            BrokerMsg::MachineFreed { job, machine } => {
+                if let Some(jinfo) = self.jobs.get_mut(&job) {
+                    jinfo.held.retain(|&m| m != machine);
+                }
+                let host = ctx.attrs_of(machine).hostname;
+                ctx.trace("broker.freed", format!("{host} by {job}"));
+                match self.reclaims.remove(&machine) {
+                    Some(ReclaimFor::Grow { job: target, grow }) => {
+                        self.grant(ctx, target, grow, machine);
+                    }
+                    Some(ReclaimFor::Owner) => {
+                        self.set_usage(ctx, machine, MachineUse::OwnerHeld);
+                    }
+                    None => {
+                        self.serve_queue_or_offer(ctx, machine);
+                    }
+                }
+            }
+            BrokerMsg::JobDone { job } => {
+                ctx.trace("broker.job.done", format!("{job}"));
+                if let Some(jinfo) = self.jobs.remove(&job) {
+                    for machine in jinfo.held {
+                        match self.reclaims.remove(&machine) {
+                            Some(ReclaimFor::Grow { job: target, grow }) => {
+                                self.grant(ctx, target, grow, machine);
+                            }
+                            Some(ReclaimFor::Owner) => {
+                                self.set_usage(ctx, machine, MachineUse::OwnerHeld);
+                            }
+                            None => self.serve_queue_or_offer(ctx, machine),
+                        }
+                    }
+                }
+                self.queue.retain(|q| q.job != job);
+                // Reservations held for the finished job lapse.
+                let mut lapsed: Vec<MachineId> = self
+                    .machines
+                    .iter()
+                    .filter(|(_, m)| matches!(m.usage, MachineUse::Reserved { job: r } if r == job))
+                    .map(|(&id, _)| id)
+                    .collect();
+                lapsed.sort();
+                for machine in lapsed {
+                    self.serve_queue_or_offer(ctx, machine);
+                }
+            }
+
+            // ---------------- user tools ----------------
+            BrokerMsg::QueryCluster { reply_to } => {
+                let lines = self.cluster_status(ctx);
+                ctx.send(
+                    reply_to,
+                    Payload::Broker(BrokerMsg::ClusterStatus { lines }),
+                );
+            }
+            _ => {}
+        }
+    }
+}

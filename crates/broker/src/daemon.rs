@@ -1,0 +1,82 @@
+//! The per-machine monitoring daemon of the resource-management layer.
+//!
+//! One daemon runs on every machine (with user privileges only). It
+//! monitors CPU status, logged-in users, keyboard/mouse activity, and the
+//! owner's presence, and reports periodically to the network-wide broker
+//! process, which restarts daemons that fail.
+
+use rb_proto::{BrokerMsg, DaemonReport, Payload, ProcId, TimerToken};
+use rb_simnet::{Behavior, Ctx};
+
+/// The machine daemon behavior.
+pub struct RbDaemon {
+    broker: ProcId,
+    report_timer: Option<TimerToken>,
+}
+
+impl RbDaemon {
+    pub fn new(broker: ProcId) -> Self {
+        RbDaemon {
+            broker,
+            report_timer: None,
+        }
+    }
+
+    fn report(&mut self, ctx: &mut Ctx<'_>) {
+        let status = ctx.poll_machine_status();
+        ctx.send(
+            self.broker,
+            Payload::Broker(BrokerMsg::DaemonStatus(DaemonReport {
+                machine: status.machine,
+                // "Load" for policy purposes is machine occupancy: runnable
+                // CPU bursts plus resident application processes (the
+                // paper's daemons report CPU status and running jobs).
+                load: status.load + status.app_procs,
+                users: status.users,
+                console_active: status.console_active,
+                owner_present: status.owner_present,
+            })),
+        );
+    }
+
+    fn arm(&mut self, ctx: &mut Ctx<'_>) {
+        let interval = ctx.cost().daemon_report_interval;
+        self.report_timer = Some(ctx.set_timer(interval));
+    }
+}
+
+impl Behavior for RbDaemon {
+    fn name(&self) -> &'static str {
+        "rb-daemon"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let machine = ctx.machine();
+        ctx.send(
+            self.broker,
+            Payload::Broker(BrokerMsg::DaemonHello { machine }),
+        );
+        // Daemonize so the broker's spawning rsh completes.
+        ctx.detach();
+        // First report immediately, then periodically.
+        self.report(ctx);
+        self.arm(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if self.report_timer == Some(token) {
+            self.report(ctx);
+            self.arm(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        if let Payload::Broker(BrokerMsg::DaemonPing { seq }) = msg {
+            let machine = ctx.machine();
+            ctx.send(
+                from,
+                Payload::Broker(BrokerMsg::DaemonPong { machine, seq }),
+            );
+        }
+    }
+}

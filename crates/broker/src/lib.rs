@@ -1,0 +1,59 @@
+//! # rb-broker — ResourceBroker
+//!
+//! The paper's primary contribution: a user-level, inter-job resource
+//! manager that dynamically allocates machines among multiple competing
+//! computations written in different parallel programming systems, without
+//! modifying them.
+//!
+//! ## Architecture (two weakly coupled layers)
+//!
+//! * **Resource-management layer** — the network-wide [`Broker`] process
+//!   plus one [`RbDaemon`] per machine. Daemons monitor CPU status,
+//!   logged-in users, and keyboard/mouse (owner) activity, and report
+//!   periodically; the broker decides which job can use which machine
+//!   through a pluggable [`Policy`], and restarts failed daemons.
+//! * **Application layer** — one [`Appl`] per submitted job plus a
+//!   [`SubAppl`] on every machine the job spreads to, with [`RshPrime`]
+//!   (`rsh'`) interposed on the job's `rsh` invocations. This layer can
+//!   monitor and actively intervene in execution — redirecting spawns,
+//!   failing them for the two-phase module protocol, and vacating machines
+//!   with signal + grace period + kill.
+//!
+//! The two-level split is what lets everything run with user privileges
+//! only — no root, no kernel changes, no modified programming systems.
+//!
+//! ## Growth paths
+//!
+//! * Calypso/PLinda/sequential jobs: **default redirect** of symbolic-host
+//!   `rsh` to a machine chosen just in time.
+//! * PVM/LAM jobs (`(module="pvm")`): the **two-phase external-module**
+//!   protocol ([`modules`]) — fail the symbolic rsh, allocate, then coerce
+//!   the job itself to re-issue a named rsh via a scripted console.
+//!
+//! See `DESIGN.md` at the repository root for the full system inventory
+//! and the experiment index.
+
+pub mod appl;
+pub mod broker;
+pub mod daemon;
+pub mod modules;
+pub mod policy;
+pub mod rshprime;
+pub mod setup;
+pub mod subappl;
+pub mod tools;
+
+pub use appl::{Appl, JobRequest, JobRun, RootScript};
+pub use broker::{Broker, BrokerConfig};
+pub use daemon::RbDaemon;
+pub use modules::{ExternalModule, LamModule, ModuleRegistry, PvmModule};
+pub use policy::{
+    AllocContext, Decision, DefaultPolicy, FifoPolicy, JobView, MachineUse, MachineView, Policy,
+    ReclaimRule,
+};
+pub use rshprime::{RshPrime, RshPrimeInstaller};
+pub use setup::{
+    build_cluster, build_standard_cluster, submit_job, BrokerPrograms, Cluster, ClusterOptions,
+};
+pub use subappl::SubAppl;
+pub use tools::{query_status, status_sink, RbStat};

@@ -1,0 +1,209 @@
+//! External modules — the plug-in programs that let the broker manage
+//! systems (PVM, LAM) that refuse anonymous machines.
+//!
+//! When a user submits a job with `(module="xxx")`, ResourceBroker assumes
+//! the existence of three external programs, `xxx_grow`, `xxx_shrink`, and
+//! `xxx_halt`, to assist in growing, shrinking, and halting the job. In the
+//! paper these are five-line shell scripts that drive a console; here each
+//! module is a small object that spawns the corresponding scripted console
+//! process. New programming systems are supported by registering a new
+//! module — the broker itself is never recompiled.
+
+use rb_proto::{CommandSpec, ConsoleCmd};
+use rb_simnet::{Behavior, Ctx, ProgramFactory};
+use std::collections::HashMap;
+
+/// One external module triple (`grow` / `shrink` / `halt`).
+///
+/// Each method runs on the `appl`'s machine in the job user's environment
+/// (so the spawned console can find the job's local master daemon via the
+/// service registry), exactly as the real scripts run out of `$HOME`.
+pub trait ExternalModule: Send {
+    /// The module name users put in `(module="...")`.
+    fn name(&self) -> &'static str;
+
+    /// `xxx_grow <host>`: coerce the job to add `hostname`.
+    fn grow(&self, ctx: &mut Ctx<'_>, hostname: &str);
+
+    /// `xxx_shrink <host>`: coerce the job to release `hostname`.
+    fn shrink(&self, ctx: &mut Ctx<'_>, hostname: &str);
+
+    /// `xxx_halt`: shut the job down.
+    fn halt(&self, ctx: &mut Ctx<'_>);
+}
+
+/// The factory used by modules to spawn their console processes; kept as a
+/// helper so module implementations stay five-liners.
+fn run_console(ctx: &mut Ctx<'_>, cmd: CommandSpec) {
+    // The console runs as the job's user so that the per-user service
+    // registry resolves to the job's own master daemon. The appl's
+    // environment already carries that user.
+    let factory = ConsoleFactory;
+    if let Some(behavior) = factory.build(&cmd) {
+        ctx.spawn_local(behavior);
+    }
+}
+
+struct ConsoleFactory;
+
+impl ProgramFactory for ConsoleFactory {
+    fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
+        match cmd {
+            CommandSpec::PvmConsole { script } => {
+                Some(Box::new(rb_parsys::PvmConsole::new(script.clone())))
+            }
+            CommandSpec::LamConsole { script } => {
+                Some(Box::new(rb_parsys::LamConsole::new(script.clone())))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// `pvm_grow` / `pvm_shrink` / `pvm_halt` — the simulated analogue of the
+/// paper's Figure 3 script:
+///
+/// ```text
+/// #!/bin/bash
+/// echo add $1 > $HOME/.pvmrc
+/// echo quit >> $HOME/.pvmrc
+/// pvm > /dev/null
+/// rm $HOME/.pvmrc
+/// ```
+#[derive(Debug, Default)]
+pub struct PvmModule;
+
+impl ExternalModule for PvmModule {
+    fn name(&self) -> &'static str {
+        "pvm"
+    }
+
+    fn grow(&self, ctx: &mut Ctx<'_>, hostname: &str) {
+        ctx.trace("module.pvm.grow", hostname.to_string());
+        run_console(
+            ctx,
+            CommandSpec::PvmConsole {
+                script: vec![ConsoleCmd::Add(hostname.to_string()), ConsoleCmd::Quit],
+            },
+        );
+    }
+
+    fn shrink(&self, ctx: &mut Ctx<'_>, hostname: &str) {
+        ctx.trace("module.pvm.shrink", hostname.to_string());
+        run_console(
+            ctx,
+            CommandSpec::PvmConsole {
+                script: vec![ConsoleCmd::Delete(hostname.to_string()), ConsoleCmd::Quit],
+            },
+        );
+    }
+
+    fn halt(&self, ctx: &mut Ctx<'_>) {
+        ctx.trace("module.pvm.halt", "");
+        run_console(
+            ctx,
+            CommandSpec::PvmConsole {
+                script: vec![ConsoleCmd::Halt],
+            },
+        );
+    }
+}
+
+/// `lam_grow` / `lam_shrink` / `lam_halt` — a similar mechanism is used for
+/// both PVM and LAM programs; the plug-in approach makes the design
+/// extensible across programming systems.
+#[derive(Debug, Default)]
+pub struct LamModule;
+
+impl ExternalModule for LamModule {
+    fn name(&self) -> &'static str {
+        "lam"
+    }
+
+    fn grow(&self, ctx: &mut Ctx<'_>, hostname: &str) {
+        ctx.trace("module.lam.grow", hostname.to_string());
+        run_console(
+            ctx,
+            CommandSpec::LamConsole {
+                script: vec![ConsoleCmd::Add(hostname.to_string()), ConsoleCmd::Quit],
+            },
+        );
+    }
+
+    fn shrink(&self, ctx: &mut Ctx<'_>, hostname: &str) {
+        ctx.trace("module.lam.shrink", hostname.to_string());
+        run_console(
+            ctx,
+            CommandSpec::LamConsole {
+                script: vec![ConsoleCmd::Delete(hostname.to_string()), ConsoleCmd::Quit],
+            },
+        );
+    }
+
+    fn halt(&self, ctx: &mut Ctx<'_>) {
+        ctx.trace("module.lam.halt", "");
+        run_console(
+            ctx,
+            CommandSpec::LamConsole {
+                script: vec![ConsoleCmd::Halt],
+            },
+        );
+    }
+}
+
+/// The module registry an `appl` consults when its job was submitted with
+/// `(module="...")`. Shared, immutable after setup.
+pub struct ModuleRegistry {
+    modules: HashMap<&'static str, std::sync::Arc<dyn ExternalModule + Sync>>,
+}
+
+impl ModuleRegistry {
+    /// Registry with the stock `pvm` and `lam` modules.
+    pub fn standard() -> Self {
+        let mut r = ModuleRegistry {
+            modules: HashMap::new(),
+        };
+        r.register(std::sync::Arc::new(PvmModule));
+        r.register(std::sync::Arc::new(LamModule));
+        r
+    }
+
+    /// An empty registry (for testing "unknown module" handling).
+    pub fn empty() -> Self {
+        ModuleRegistry {
+            modules: HashMap::new(),
+        }
+    }
+
+    /// Install a module (future programming systems plug in here).
+    pub fn register(&mut self, module: std::sync::Arc<dyn ExternalModule + Sync>) {
+        self.modules.insert(module.name(), module);
+    }
+
+    pub fn get(&self, name: &str) -> Option<std::sync::Arc<dyn ExternalModule + Sync>> {
+        self.modules.get(name).cloned()
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.modules.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_pvm_and_lam() {
+        let r = ModuleRegistry::standard();
+        assert!(r.contains("pvm"));
+        assert!(r.contains("lam"));
+        assert!(!r.contains("condor"));
+        assert_eq!(r.get("pvm").unwrap().name(), "pvm");
+    }
+
+    #[test]
+    fn empty_registry_has_nothing() {
+        assert!(!ModuleRegistry::empty().contains("pvm"));
+    }
+}

@@ -1,0 +1,490 @@
+//! Allocation policy — the *plug-in* half of the paper's
+//! mechanism/policy separation.
+//!
+//! The broker implements the mechanisms (interception, redirection,
+//! modules, reallocation); which machine a job gets, and at whose expense,
+//! is decided by a [`Policy`] object that can be swapped without touching
+//! any mechanism code. The [`DefaultPolicy`] reproduces the paper's rules;
+//! [`FifoPolicy`] is a deliberately naive alternative used by the policy
+//! ablation benchmark.
+
+use rb_proto::{JobId, MachineAttrs, MachineId, SymbolicHost};
+
+/// What the broker knows about one machine when a decision is made.
+#[derive(Debug, Clone)]
+pub struct MachineView {
+    pub id: MachineId,
+    pub attrs: MachineAttrs,
+    pub state: MachineUse,
+    /// The machine's private owner is at the console.
+    pub owner_present: bool,
+    /// Runnable application processes, per the last daemon report.
+    pub load: u32,
+    /// The daemon on this machine is reporting (machine is usable).
+    pub daemon_alive: bool,
+}
+
+/// Broker-side usage state of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineUse {
+    /// Unallocated and available.
+    Free,
+    /// Allocated to a job. `adaptive` mirrors the holding job's class so a
+    /// policy can tell which allocations are revocable.
+    Allocated { job: JobId, adaptive: bool },
+    /// Being vacated; unavailable until the release completes.
+    Reclaiming,
+    /// Reserved for a specific job (a pending `GrowOffer`).
+    Reserved { job: JobId },
+    /// Held for its returned owner.
+    OwnerHeld,
+}
+
+/// What the broker knows about the requesting job.
+#[derive(Debug, Clone)]
+pub struct AllocContext {
+    pub job: JobId,
+    pub adaptive: bool,
+    /// Symbolic-host constraint from the intercepted `rsh`.
+    pub constraint: SymbolicHost,
+    /// Machine-level RSL constraints from the job's request
+    /// (e.g. `(arch="i686")`).
+    pub rsl_constraints: Vec<rb_rsl::Clause>,
+    /// Machines the job currently holds.
+    pub held: u32,
+    /// The job's home machine (where it was submitted; where its master
+    /// daemons run). Already part of the job — never granted to it.
+    pub home: Option<MachineId>,
+    pub user: String,
+}
+
+/// Jobs' holdings, for fairness decisions.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    pub job: JobId,
+    pub adaptive: bool,
+    pub held: u32,
+    pub desired: u32,
+}
+
+/// The policy's verdict for one allocation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// Use this free/reserved machine.
+    Grant(MachineId),
+    /// Take `machine` away from `victim` first, then grant it.
+    Reclaim { victim: JobId, machine: MachineId },
+    /// Nothing can be provided now.
+    Deny { reason: String },
+}
+
+/// A pluggable allocation policy.
+pub trait Policy: Send {
+    fn name(&self) -> &'static str;
+
+    /// Choose a machine (or a victim) for a request.
+    fn allocate(
+        &mut self,
+        req: &AllocContext,
+        machines: &[MachineView],
+        jobs: &[JobView],
+    ) -> Decision;
+
+    /// When a machine frees up, which job (with unmet desire) should be
+    /// offered it? `None` leaves the machine idle.
+    fn offer(&mut self, machine: &MachineView, jobs: &[JobView]) -> Option<JobId> {
+        // Default: the adaptive job with unmet desire holding the fewest
+        // machines (even partitioning).
+        let _ = machine;
+        jobs.iter()
+            .filter(|j| j.adaptive && j.held < j.desired)
+            .min_by_key(|j| (j.held, j.job))
+            .map(|j| j.job)
+    }
+
+    /// Should an adaptive job be evicted from a private machine when the
+    /// owner returns? (The paper's policy: yes, always.)
+    fn evict_on_owner_return(&self) -> bool {
+        true
+    }
+}
+
+/// Is `m` eligible for `req` at all (constraint, liveness, privacy rule)?
+fn eligible(req: &AllocContext, m: &MachineView) -> bool {
+    if !m.daemon_alive || m.owner_present {
+        return false;
+    }
+    if req.home == Some(m.id) {
+        return false;
+    }
+    if !req.constraint.matches(&m.attrs) {
+        return false;
+    }
+    if !rb_rsl::machine_matches(&req.rsl_constraints, &m.attrs) {
+        return false;
+    }
+    // Private machines are allocated only to adaptive jobs (they must be
+    // evictable when the owner returns).
+    if m.attrs.ownership.is_private() && !req.adaptive {
+        return false;
+    }
+    true
+}
+
+/// When is it acceptable to take a machine away from an adaptive job?
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReclaimRule {
+    /// Reclaim only while it evens out the partition: the victim must hold
+    /// strictly more machines than the requester would after the grant.
+    /// This is the paper's stated "evenly partition among jobs" policy.
+    #[default]
+    EvenPartition,
+    /// Demand-driven: an explicit request may take any machine an adaptive
+    /// job holds. This reproduces the paper's Figure 7 experiment, where a
+    /// PVM virtual machine of up to 16 hosts is carved entirely out of a
+    /// Calypso job.
+    Demand,
+}
+
+/// The paper's policy:
+///
+/// 1. machines reserved for the requesting job are used first;
+/// 2. otherwise the least-loaded eligible free machine (public preferred,
+///    so private machines stay clear for their owners);
+/// 3. otherwise reclaim from the adaptive job holding the most machines,
+///    subject to the configured [`ReclaimRule`];
+/// 4. otherwise deny (the job's standing desire makes the broker offer a
+///    machine later, asynchronously).
+#[derive(Debug, Default)]
+pub struct DefaultPolicy {
+    pub reclaim: ReclaimRule,
+}
+
+impl DefaultPolicy {
+    pub fn with_rule(reclaim: ReclaimRule) -> Self {
+        DefaultPolicy { reclaim }
+    }
+}
+
+impl Policy for DefaultPolicy {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn allocate(
+        &mut self,
+        req: &AllocContext,
+        machines: &[MachineView],
+        jobs: &[JobView],
+    ) -> Decision {
+        // 1. Reserved for us.
+        if let Some(m) = machines.iter().find(|m| {
+            matches!(m.state, MachineUse::Reserved { job } if job == req.job) && eligible(req, m)
+        }) {
+            return Decision::Grant(m.id);
+        }
+        // 2. Free machines: least loaded; public before private; stable by id.
+        if let Some(m) = machines
+            .iter()
+            .filter(|m| m.state == MachineUse::Free && eligible(req, m))
+            .min_by_key(|m| (m.load, m.attrs.ownership.is_private(), m.id))
+        {
+            return Decision::Grant(m.id);
+        }
+        // 3. Even partitioning: reclaim from the fattest adaptive job.
+        let fattest = jobs
+            .iter()
+            .filter(|j| j.adaptive && j.job != req.job && j.held > 0)
+            .max_by_key(|j| (j.held, std::cmp::Reverse(j.job)));
+        if let Some(victim) = fattest {
+            let may_reclaim = match self.reclaim {
+                ReclaimRule::EvenPartition => victim.held > req.held + 1,
+                ReclaimRule::Demand => victim.held > 0,
+            };
+            if may_reclaim {
+                // Pick one of the victim's machines satisfying the request.
+                if let Some(m) = machines
+                    .iter()
+                    .filter(|m| {
+                        matches!(m.state, MachineUse::Allocated { job, .. } if job == victim.job)
+                            && eligible(req, m)
+                    })
+                    .max_by_key(|m| m.id)
+                {
+                    return Decision::Reclaim {
+                        victim: victim.job,
+                        machine: m.id,
+                    };
+                }
+            }
+        }
+        Decision::Deny {
+            reason: "no machine available".into(),
+        }
+    }
+}
+
+/// Naive ablation policy: first free machine in id order, never reclaims,
+/// never offers. Under a mixed workload this strands reclaimable capacity,
+/// which the `policy_ablation` bench quantifies.
+#[derive(Debug, Default)]
+pub struct FifoPolicy;
+
+impl Policy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn allocate(
+        &mut self,
+        req: &AllocContext,
+        machines: &[MachineView],
+        _jobs: &[JobView],
+    ) -> Decision {
+        machines
+            .iter()
+            .find(|m| m.state == MachineUse::Free && eligible(req, m))
+            .map(|m| Decision::Grant(m.id))
+            .unwrap_or(Decision::Deny {
+                reason: "no free machine".into(),
+            })
+    }
+
+    fn offer(&mut self, _machine: &MachineView, _jobs: &[JobView]) -> Option<JobId> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_proto::MachineAttrs;
+
+    fn mv(id: u32, state: MachineUse) -> MachineView {
+        MachineView {
+            id: MachineId(id),
+            attrs: MachineAttrs::public_linux(format!("n{id:02}")),
+            state,
+            owner_present: false,
+            load: 0,
+            daemon_alive: true,
+        }
+    }
+
+    fn req(job: u32, adaptive: bool, held: u32) -> AllocContext {
+        AllocContext {
+            job: JobId(job),
+            adaptive,
+            constraint: SymbolicHost::Any,
+            rsl_constraints: Vec::new(),
+            held,
+            home: None,
+            user: "u".into(),
+        }
+    }
+
+    fn jv(job: u32, adaptive: bool, held: u32, desired: u32) -> JobView {
+        JobView {
+            job: JobId(job),
+            adaptive,
+            held,
+            desired,
+        }
+    }
+
+    #[test]
+    fn default_grants_free_machine() {
+        let mut p = DefaultPolicy::default();
+        let ms = vec![
+            mv(
+                0,
+                MachineUse::Allocated {
+                    job: JobId(9),
+                    adaptive: true,
+                },
+            ),
+            mv(1, MachineUse::Free),
+        ];
+        assert_eq!(
+            p.allocate(&req(1, false, 0), &ms, &[]),
+            Decision::Grant(MachineId(1))
+        );
+    }
+
+    #[test]
+    fn default_prefers_least_loaded_public() {
+        let mut p = DefaultPolicy::default();
+        let mut busy = mv(0, MachineUse::Free);
+        busy.load = 3;
+        let mut private_idle = mv(1, MachineUse::Free);
+        private_idle.attrs = MachineAttrs::private_linux("p01", "alice");
+        let public_idle = mv(2, MachineUse::Free);
+        let ms = vec![busy, private_idle, public_idle];
+        // Adaptive job may use private machines, but public is preferred.
+        assert_eq!(
+            p.allocate(&req(1, true, 0), &ms, &[]),
+            Decision::Grant(MachineId(2))
+        );
+    }
+
+    #[test]
+    fn private_machines_only_for_adaptive_jobs() {
+        let mut p = DefaultPolicy::default();
+        let mut private = mv(0, MachineUse::Free);
+        private.attrs = MachineAttrs::private_linux("p01", "alice");
+        let ms = vec![private];
+        assert!(matches!(
+            p.allocate(&req(1, false, 0), &ms, &[]),
+            Decision::Deny { .. }
+        ));
+        assert_eq!(
+            p.allocate(&req(1, true, 0), &ms, &[]),
+            Decision::Grant(MachineId(0))
+        );
+    }
+
+    #[test]
+    fn owner_present_blocks_allocation() {
+        let mut p = DefaultPolicy::default();
+        let mut m = mv(0, MachineUse::Free);
+        m.owner_present = true;
+        assert!(matches!(
+            p.allocate(&req(1, true, 0), &[m], &[]),
+            Decision::Deny { .. }
+        ));
+    }
+
+    #[test]
+    fn constraint_filters_machines() {
+        let mut p = DefaultPolicy::default();
+        let mut solaris = mv(0, MachineUse::Free);
+        solaris.attrs.os = rb_proto::Os::Solaris;
+        let linux = mv(1, MachineUse::Free);
+        let ms = vec![solaris, linux];
+        let mut r = req(1, true, 0);
+        r.constraint = SymbolicHost::AnyOs(rb_proto::Os::Linux);
+        assert_eq!(p.allocate(&r, &ms, &[]), Decision::Grant(MachineId(1)));
+    }
+
+    #[test]
+    fn reclaims_from_fattest_adaptive_job_for_even_partition() {
+        let mut p = DefaultPolicy::default();
+        let ms: Vec<MachineView> = (0..4)
+            .map(|i| {
+                mv(
+                    i,
+                    MachineUse::Allocated {
+                        job: JobId(7),
+                        adaptive: true,
+                    },
+                )
+            })
+            .collect();
+        let jobs = vec![jv(7, true, 4, 8), jv(1, true, 0, 2)];
+        let d = p.allocate(&req(1, true, 0), &ms, &jobs);
+        assert!(
+            matches!(d, Decision::Reclaim { victim, .. } if victim == JobId(7)),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn does_not_reclaim_when_partition_already_even() {
+        let mut p = DefaultPolicy::default();
+        let ms = vec![mv(
+            0,
+            MachineUse::Allocated {
+                job: JobId(7),
+                adaptive: true,
+            },
+        )];
+        let jobs = vec![jv(7, true, 1, 4), jv(1, true, 1, 4)];
+        // Requester already holds 1; victim holds 1: reclaiming would just
+        // swap the imbalance.
+        assert!(matches!(
+            p.allocate(&req(1, true, 1), &ms, &jobs),
+            Decision::Deny { .. }
+        ));
+    }
+
+    #[test]
+    fn reserved_machine_goes_to_its_job() {
+        let mut p = DefaultPolicy::default();
+        let ms = vec![
+            mv(0, MachineUse::Reserved { job: JobId(3) }),
+            mv(1, MachineUse::Free),
+        ];
+        assert_eq!(
+            p.allocate(&req(3, true, 0), &ms, &[]),
+            Decision::Grant(MachineId(0))
+        );
+        // Another job does not get the reserved machine.
+        assert_eq!(
+            p.allocate(&req(4, true, 0), &ms, &[]),
+            Decision::Grant(MachineId(1))
+        );
+    }
+
+    #[test]
+    fn offer_picks_hungriest_smallest_job() {
+        let mut p = DefaultPolicy::default();
+        let m = mv(0, MachineUse::Free);
+        let jobs = vec![jv(1, true, 3, 8), jv(2, true, 1, 8), jv(3, false, 0, 8)];
+        // Job 2 holds least among adaptive jobs with unmet desire.
+        assert_eq!(p.offer(&m, &jobs), Some(JobId(2)));
+        // Nobody hungry -> no offer.
+        let sated = vec![jv(1, true, 8, 8)];
+        assert_eq!(p.offer(&m, &sated), None);
+    }
+
+    #[test]
+    fn demand_rule_reclaims_past_even_split() {
+        let mut p = DefaultPolicy::with_rule(ReclaimRule::Demand);
+        let ms = vec![mv(
+            0,
+            MachineUse::Allocated {
+                job: JobId(7),
+                adaptive: true,
+            },
+        )];
+        let jobs = vec![jv(7, true, 1, 16), jv(1, true, 6, 16)];
+        // Requester already holds more than the victim; EvenPartition would
+        // deny, Demand reclaims the victim's last machine.
+        let d = p.allocate(&req(1, true, 6), &ms, &jobs);
+        assert!(matches!(d, Decision::Reclaim { victim, .. } if victim == JobId(7)));
+        let mut even = DefaultPolicy::default();
+        assert!(matches!(
+            even.allocate(&req(1, true, 6), &ms, &jobs),
+            Decision::Deny { .. }
+        ));
+    }
+
+    #[test]
+    fn fifo_never_reclaims() {
+        let mut p = FifoPolicy;
+        let ms = vec![mv(
+            0,
+            MachineUse::Allocated {
+                job: JobId(7),
+                adaptive: true,
+            },
+        )];
+        let jobs = vec![jv(7, true, 1, 1)];
+        assert!(matches!(
+            p.allocate(&req(1, true, 0), &ms, &jobs),
+            Decision::Deny { .. }
+        ));
+        assert_eq!(p.offer(&mv(0, MachineUse::Free), &jobs), None);
+    }
+
+    #[test]
+    fn dead_daemon_machine_is_ineligible() {
+        let mut p = DefaultPolicy::default();
+        let mut m = mv(0, MachineUse::Free);
+        m.daemon_alive = false;
+        assert!(matches!(
+            p.allocate(&req(1, true, 0), &[m], &[]),
+            Decision::Deny { .. }
+        ));
+    }
+}

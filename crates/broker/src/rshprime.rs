@@ -1,0 +1,138 @@
+//! `rsh'` — ResourceBroker's interposing replacement for the standard
+//! remote shell.
+//!
+//! `rsh'` is what turns unmodified programs into managed ones: parallel
+//! systems ultimately spawn remote processes through `rsh`, so replacing
+//! the binary on `$PATH` is a functional interface that requires no
+//! recompilation. The shim classifies its host argument:
+//!
+//! * **symbolic** (`anyhost`, `anylinux`, …) → an intra-job resource
+//!   manager is asking for assistance: forward to the managing `appl` and
+//!   exit with whatever outcome it dictates (redirect, or the Phase-I
+//!   failure of the module protocol);
+//! * **real** under broker management → consult the `appl` (it may be the
+//!   second phase of a module grow); normally it answers "proceed", and
+//!   `rsh'` runs the standard `rsh` itself — sub-millisecond overhead;
+//! * anything without a managing `appl` → fall back to the standard `rsh`
+//!   outright, so installing `rsh'` system-wide is harmless.
+
+use rb_proto::{ApplMsg, ExitStatus, Payload, ProcId, RshError, RshHandle, TimerToken};
+use rb_simcore::Duration;
+use rb_simnet::{Behavior, Ctx, RshPrimeFactory, RshPrimeRequest};
+
+/// How long `rsh'` waits for its `appl` before giving up.
+const APPL_TIMEOUT: Duration = Duration::from_secs(30);
+
+enum State {
+    /// Waiting for the appl's verdict.
+    AwaitAppl,
+    /// Running the standard rsh ourselves.
+    Standard(RshHandle),
+}
+
+/// The `rsh'` process.
+pub struct RshPrime {
+    req: RshPrimeRequest,
+    state: State,
+    timeout: Option<TimerToken>,
+}
+
+impl RshPrime {
+    pub fn new(req: RshPrimeRequest) -> Self {
+        RshPrime {
+            req,
+            state: State::AwaitAppl,
+            timeout: None,
+        }
+    }
+
+    fn run_standard(&mut self, ctx: &mut Ctx<'_>) {
+        let handle = ctx.rsh_standard_spec(self.req.host.clone(), self.req.cmd.clone());
+        self.state = State::Standard(handle);
+    }
+}
+
+impl Behavior for RshPrime {
+    fn name(&self) -> &'static str {
+        "rsh-prime"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        match self.req.caller_env.appl {
+            Some(appl) => {
+                ctx.trace(
+                    "rsh.intercept",
+                    format!("{} {}", self.req.host, self.req.cmd.name()),
+                );
+                ctx.send(
+                    appl,
+                    Payload::Appl(ApplMsg::Intercepted {
+                        origin: self.req.caller,
+                        host: self.req.host.clone(),
+                        cmd: self.req.cmd.clone(),
+                    }),
+                );
+                self.timeout = Some(ctx.set_timer(APPL_TIMEOUT));
+            }
+            None => {
+                // Not under broker management: behave exactly like rsh.
+                ctx.trace("rsh.fallback", self.req.host.to_string());
+                self.run_standard(ctx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        if !matches!(self.state, State::AwaitAppl) {
+            return;
+        }
+        match msg {
+            Payload::Appl(ApplMsg::RshOutcome { status }) => {
+                if let Some(t) = self.timeout.take() {
+                    ctx.cancel_timer(t);
+                }
+                ctx.exit(status);
+            }
+            Payload::Appl(ApplMsg::RshProceedStandard) => {
+                if let Some(t) = self.timeout.take() {
+                    ctx.cancel_timer(t);
+                }
+                ctx.trace("rsh.passthrough", self.req.host.to_string());
+                self.run_standard(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if self.timeout == Some(token) && matches!(self.state, State::AwaitAppl) {
+            ctx.trace("rsh.appl-timeout", self.req.host.to_string());
+            ctx.exit(ExitStatus::Failure(1));
+        }
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, RshError>,
+    ) {
+        if let State::Standard(h) = self.state {
+            if h == handle {
+                match result {
+                    Ok(status) => ctx.exit(status),
+                    Err(_) => ctx.exit(ExitStatus::Failure(1)),
+                }
+            }
+        }
+    }
+}
+
+/// Installs `rsh'` as the cluster's shim.
+pub struct RshPrimeInstaller;
+
+impl RshPrimeFactory for RshPrimeInstaller {
+    fn build(&self, req: RshPrimeRequest) -> Box<dyn Behavior> {
+        Box::new(RshPrime::new(req))
+    }
+}

@@ -1,0 +1,193 @@
+//! The sub-`appl` process: the application layer's per-machine agent.
+//!
+//! A sub-`appl` is started (by the `appl`, over the standard `rsh`) on
+//! every machine a job extends to. It fetches the program to execute from
+//! the `appl`, spawns it locally with the job's environment (and `rsh'` on
+//! its PATH), monitors it, and — when the broker reclaims the machine —
+//! sends it a standard Unix signal, granting a grace period before killing
+//! it outright. Between events it lies dormant and imposes no overhead.
+
+use rb_proto::{ApplMsg, ExitStatus, GrowId, JobId, Payload, ProcId, Signal, TimerToken};
+use rb_simnet::{Behavior, Ctx, ProcEnv, RshBinding};
+
+/// The sub-`appl` behavior.
+pub struct SubAppl {
+    appl: ProcId,
+    job: JobId,
+    grow: GrowId,
+    child: Option<ProcId>,
+    child_alive: bool,
+    releasing: bool,
+    grace_timer: Option<TimerToken>,
+    /// Bounds the wait for the appl's `Program` message: if the appl died
+    /// between spawning us and delegating work, exit instead of lingering.
+    program_timer: Option<TimerToken>,
+}
+
+impl SubAppl {
+    pub fn new(appl: ProcId, job: JobId, grow: GrowId) -> Self {
+        SubAppl {
+            appl,
+            job,
+            grow,
+            child: None,
+            child_alive: false,
+            releasing: false,
+            grace_timer: None,
+            program_timer: None,
+        }
+    }
+
+    fn report_released(&mut self, ctx: &mut Ctx<'_>) {
+        let machine = ctx.machine();
+        ctx.send(
+            self.appl,
+            Payload::Appl(ApplMsg::Released {
+                grow: self.grow,
+                machine,
+            }),
+        );
+        ctx.trace("subappl.released", ctx.hostname());
+        ctx.exit(ExitStatus::Success);
+    }
+}
+
+impl Behavior for SubAppl {
+    fn name(&self) -> &'static str {
+        "sub-appl"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Daemonize so the appl's rsh completes, then announce readiness
+        // after our (small) startup cost.
+        ctx.detach();
+        let machine = ctx.machine();
+        let startup = ctx.cost().subappl_startup;
+        ctx.trace("subappl.start", ctx.hostname());
+        ctx.send_after(
+            self.appl,
+            Payload::Appl(ApplMsg::SubApplReady {
+                grow: self.grow,
+                machine,
+            }),
+            startup,
+        );
+        self.program_timer = Some(ctx.set_timer(rb_simcore::Duration::from_secs(30)));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Appl(ApplMsg::Program { grow, cmd }) => {
+                debug_assert_eq!(grow, self.grow);
+                if let Some(t) = self.program_timer.take() {
+                    ctx.cancel_timer(t);
+                }
+                let Some(behavior) = ctx.build_program(&cmd) else {
+                    ctx.trace("subappl.no-such-program", cmd.name());
+                    ctx.send(
+                        self.appl,
+                        Payload::Appl(ApplMsg::ChildExited {
+                            grow: self.grow,
+                            status: ExitStatus::Failure(127),
+                        }),
+                    );
+                    ctx.exit(ExitStatus::Failure(127));
+                    return;
+                };
+                // The child runs as the job's user, managed by the broker:
+                // its PATH resolves rsh to rsh'.
+                let mut env = ctx.env();
+                env.job = Some(self.job);
+                env.appl = Some(self.appl);
+                env.rsh = RshBinding::Broker;
+                env.system = false;
+                let env = ProcEnv { ..env };
+                let child = ctx.spawn_local_with_env(behavior, env);
+                self.child = Some(child);
+                self.child_alive = true;
+                ctx.trace("subappl.spawn", format!("{} -> {child}", cmd.name()));
+                ctx.send(
+                    self.appl,
+                    Payload::Appl(ApplMsg::ChildStarted {
+                        grow: self.grow,
+                        child,
+                    }),
+                );
+            }
+            Payload::Appl(ApplMsg::ReleaseChild) => {
+                self.releasing = true;
+                ctx.trace("subappl.release", ctx.hostname());
+                if self.child_alive {
+                    if let Some(child) = self.child {
+                        // Standard Unix signal; grace period; then SIGKILL.
+                        ctx.kill(child, Signal::Term);
+                        let grace = ctx.cost().release_grace;
+                        self.grace_timer = Some(ctx.set_timer(grace));
+                    }
+                } else {
+                    self.report_released(ctx);
+                }
+            }
+            Payload::Appl(ApplMsg::Shutdown) => {
+                if self.child_alive {
+                    if let Some(child) = self.child {
+                        ctx.kill(child, Signal::Kill);
+                    }
+                }
+                ctx.exit(ExitStatus::Success);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if self.program_timer == Some(token) {
+            // The appl never delegated a program (it probably died): don't
+            // linger as an orphan on someone else's machine.
+            ctx.trace("subappl.program-timeout", ctx.hostname());
+            ctx.exit(ExitStatus::Failure(1));
+            return;
+        }
+        if self.grace_timer == Some(token) && self.child_alive {
+            // The child did not terminate within the grace period.
+            if let Some(child) = self.child {
+                ctx.trace("subappl.grace-expired", ctx.hostname());
+                ctx.kill(child, Signal::Kill);
+            }
+        }
+    }
+
+    fn on_child_detach(&mut self, ctx: &mut Ctx<'_>, child: ProcId) {
+        if self.child == Some(child) {
+            ctx.send(
+                self.appl,
+                Payload::Appl(ApplMsg::ChildDetached {
+                    grow: self.grow,
+                    child,
+                }),
+            );
+        }
+    }
+
+    fn on_child_exit(&mut self, ctx: &mut Ctx<'_>, child: ProcId, status: ExitStatus) {
+        if self.child != Some(child) {
+            return;
+        }
+        self.child_alive = false;
+        if let Some(t) = self.grace_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if self.releasing {
+            self.report_released(ctx);
+        } else {
+            ctx.send(
+                self.appl,
+                Payload::Appl(ApplMsg::ChildExited {
+                    grow: self.grow,
+                    status,
+                }),
+            );
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+}

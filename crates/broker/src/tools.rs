@@ -1,0 +1,81 @@
+//! User-facing command-line tools (the paper's "users communicate with
+//! ResourceBroker to query machine availability, to learn the status of
+//! queued jobs, …").
+
+use rb_proto::{BrokerMsg, ExitStatus, Payload, ProcId, TimerToken};
+use rb_simcore::Duration;
+use rb_simnet::{Behavior, Ctx};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Where `rbstat` deposits the broker's answer for the caller to read.
+pub type StatusSink = Rc<RefCell<Option<Vec<String>>>>;
+
+/// Make an empty sink.
+pub fn status_sink() -> StatusSink {
+    Rc::new(RefCell::new(None))
+}
+
+/// `rbstat` — query the broker for cluster and job status, print (deposit)
+/// the reply, and exit. Fails after a timeout if the broker is unreachable.
+pub struct RbStat {
+    broker: ProcId,
+    sink: StatusSink,
+    timeout: Option<TimerToken>,
+}
+
+impl RbStat {
+    pub fn new(broker: ProcId, sink: StatusSink) -> Self {
+        RbStat {
+            broker,
+            sink,
+            timeout: None,
+        }
+    }
+}
+
+impl Behavior for RbStat {
+    fn name(&self) -> &'static str {
+        "rbstat"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        ctx.send(
+            self.broker,
+            Payload::Broker(BrokerMsg::QueryCluster { reply_to: me }),
+        );
+        self.timeout = Some(ctx.set_timer(Duration::from_secs(10)));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        if let Payload::Broker(BrokerMsg::ClusterStatus { lines }) = msg {
+            *self.sink.borrow_mut() = Some(lines);
+            if let Some(t) = self.timeout.take() {
+                ctx.cancel_timer(t);
+            }
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if self.timeout == Some(token) {
+            ctx.trace("rbstat.timeout", "broker unreachable");
+            ctx.exit(ExitStatus::Failure(1));
+        }
+    }
+}
+
+/// Convenience: run `rbstat` against a cluster and return the status lines.
+pub fn query_status(cluster: &mut crate::setup::Cluster) -> Vec<String> {
+    let sink = status_sink();
+    let p = cluster.world.spawn_user(
+        cluster.machines[0],
+        Box::new(RbStat::new(cluster.broker, sink.clone())),
+        rb_simnet::ProcEnv::system("user"),
+    );
+    let limit = rb_simcore::SimTime(cluster.world.now().as_micros() + 20_000_000);
+    cluster.world.run_until_pred(limit, |w| !w.alive(p));
+    let lines = sink.borrow().clone();
+    lines.unwrap_or_default()
+}

@@ -1,0 +1,243 @@
+//! Property-based tests of the allocation policies: for arbitrary cluster
+//! states and requests, decisions never violate the broker's invariants.
+
+use proptest::prelude::*;
+use rb_broker::{
+    AllocContext, Decision, DefaultPolicy, FifoPolicy, JobView, MachineUse, MachineView, Policy,
+    ReclaimRule,
+};
+use rb_proto::{Arch, JobId, MachineAttrs, MachineId, Os, Ownership, SymbolicHost};
+
+fn arb_attrs(id: u32) -> impl Strategy<Value = MachineAttrs> {
+    (
+        prop_oneof![Just(Arch::I686), Just(Arch::Sparc), Just(Arch::Alpha)],
+        prop_oneof![Just(Os::Linux), Just(Os::Solaris), Just(Os::Osf1)],
+        prop_oneof![
+            Just(Ownership::Public),
+            Just(Ownership::Private {
+                owner: "owner".into()
+            })
+        ],
+    )
+        .prop_map(move |(arch, os, ownership)| MachineAttrs {
+            hostname: format!("n{id:02}"),
+            arch,
+            os,
+            ownership,
+            speed: 1.0,
+        })
+}
+
+fn arb_use(jobs: u32) -> impl Strategy<Value = MachineUse> {
+    prop_oneof![
+        Just(MachineUse::Free),
+        Just(MachineUse::Reclaiming),
+        Just(MachineUse::OwnerHeld),
+        (1..=jobs, any::<bool>()).prop_map(|(j, adaptive)| MachineUse::Allocated {
+            job: JobId(j),
+            adaptive,
+        }),
+        (1..=jobs).prop_map(|j| MachineUse::Reserved { job: JobId(j) }),
+    ]
+}
+
+fn arb_machine(id: u32, jobs: u32) -> impl Strategy<Value = MachineView> {
+    (
+        arb_attrs(id),
+        arb_use(jobs),
+        any::<bool>(),
+        0u32..5,
+        any::<bool>(),
+    )
+        .prop_map(
+            move |(attrs, state, owner_present, load, daemon_alive)| MachineView {
+                id: MachineId(id),
+                attrs,
+                state,
+                owner_present,
+                load,
+                daemon_alive,
+            },
+        )
+}
+
+fn arb_cluster(jobs: u32) -> impl Strategy<Value = Vec<MachineView>> {
+    proptest::collection::vec(0u32..12, 1..12).prop_flat_map(move |ids| {
+        ids.into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_machine(i as u32, jobs))
+            .collect::<Vec<_>>()
+    })
+}
+
+fn arb_jobs(jobs: u32) -> impl Strategy<Value = Vec<JobView>> {
+    (1..=jobs)
+        .prop_flat_map(|n| proptest::collection::vec((any::<bool>(), 0u32..8, 1u32..8), n as usize))
+        .prop_map(|specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (adaptive, held, desired))| JobView {
+                    job: JobId(i as u32 + 1),
+                    adaptive,
+                    held,
+                    desired,
+                })
+                .collect()
+        })
+}
+
+fn arb_constraint() -> impl Strategy<Value = SymbolicHost> {
+    prop_oneof![
+        Just(SymbolicHost::Any),
+        Just(SymbolicHost::AnyOs(Os::Linux)),
+        Just(SymbolicHost::AnyArch(Arch::I686)),
+    ]
+}
+
+fn req(job: u32, adaptive: bool, held: u32, constraint: SymbolicHost) -> AllocContext {
+    AllocContext {
+        job: JobId(job),
+        adaptive,
+        constraint,
+        rsl_constraints: Vec::new(),
+        held,
+        home: None,
+        user: "u".into(),
+    }
+}
+
+/// The invariants every policy must uphold, regardless of rule set.
+fn check_decision(
+    decision: &Decision,
+    req: &AllocContext,
+    machines: &[MachineView],
+    jobs: &[JobView],
+) -> Result<(), TestCaseError> {
+    match decision {
+        Decision::Grant(m) => {
+            let mv = machines
+                .iter()
+                .find(|x| x.id == *m)
+                .expect("granted machine exists");
+            // Only free machines, or machines reserved for this very job.
+            prop_assert!(
+                mv.state == MachineUse::Free || mv.state == MachineUse::Reserved { job: req.job },
+                "granted {:?}",
+                mv.state
+            );
+            prop_assert!(mv.daemon_alive, "granted machine has no daemon");
+            prop_assert!(!mv.owner_present, "granted machine has owner present");
+            prop_assert!(req.constraint.matches(&mv.attrs), "constraint violated");
+            if mv.attrs.ownership.is_private() {
+                prop_assert!(req.adaptive, "private machine to non-adaptive job");
+            }
+        }
+        Decision::Reclaim { victim, machine } => {
+            prop_assert!(*victim != req.job, "self-reclaim");
+            let mv = machines
+                .iter()
+                .find(|x| x.id == *machine)
+                .expect("reclaimed machine exists");
+            prop_assert!(
+                matches!(mv.state, MachineUse::Allocated { job, .. } if job == *victim),
+                "reclaimed machine not held by victim"
+            );
+            let jv = jobs
+                .iter()
+                .find(|j| j.job == *victim)
+                .expect("victim known");
+            prop_assert!(jv.adaptive, "reclaim from non-adaptive job");
+            prop_assert!(req.constraint.matches(&mv.attrs));
+        }
+        Decision::Deny { .. } => {}
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn default_policy_decisions_respect_invariants(
+        machines in arb_cluster(4),
+        jobs in arb_jobs(4),
+        job in 1u32..5,
+        adaptive in any::<bool>(),
+        held in 0u32..8,
+        constraint in arb_constraint(),
+        demand in any::<bool>(),
+    ) {
+        let rule = if demand { ReclaimRule::Demand } else { ReclaimRule::EvenPartition };
+        let mut p = DefaultPolicy::with_rule(rule);
+        let r = req(job, adaptive, held, constraint);
+        let d = p.allocate(&r, &machines, &jobs);
+        check_decision(&d, &r, &machines, &jobs)?;
+    }
+
+    #[test]
+    fn even_partition_never_reclaims_below_parity(
+        machines in arb_cluster(4),
+        jobs in arb_jobs(4),
+        job in 1u32..5,
+        held in 0u32..8,
+    ) {
+        let mut p = DefaultPolicy::default();
+        let r = req(job, true, held, SymbolicHost::Any);
+        if let Decision::Reclaim { victim, .. } = p.allocate(&r, &machines, &jobs) {
+            let jv = jobs.iter().find(|j| j.job == victim).unwrap();
+            prop_assert!(jv.held > r.held + 1,
+                "reclaimed from {:?} though requester holds {}", jv, r.held);
+        }
+    }
+
+    #[test]
+    fn fifo_grants_lowest_eligible_id_or_denies(
+        machines in arb_cluster(4),
+        jobs in arb_jobs(4),
+        job in 1u32..5,
+        adaptive in any::<bool>(),
+        constraint in arb_constraint(),
+    ) {
+        let mut p = FifoPolicy;
+        let r = req(job, adaptive, 0, constraint);
+        let d = p.allocate(&r, &machines, &jobs);
+        check_decision(&d, &r, &machines, &jobs)?;
+        prop_assert!(!matches!(d, Decision::Reclaim { .. }), "fifo reclaimed");
+    }
+
+    #[test]
+    fn offer_targets_only_hungry_adaptive_jobs(
+        machines in arb_cluster(4),
+        jobs in arb_jobs(4),
+    ) {
+        let mut p = DefaultPolicy::default();
+        let free = MachineView {
+            id: MachineId(99),
+            attrs: MachineAttrs::public_linux("n99"),
+            state: MachineUse::Free,
+            owner_present: false,
+            load: 0,
+            daemon_alive: true,
+        };
+        let _ = &machines;
+        if let Some(job) = p.offer(&free, &jobs) {
+            let jv = jobs.iter().find(|j| j.job == job).unwrap();
+            prop_assert!(jv.adaptive, "offered to non-adaptive job");
+            prop_assert!(jv.held < jv.desired, "offered to a sated job");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic(
+        machines in arb_cluster(3),
+        jobs in arb_jobs(3),
+        job in 1u32..4,
+        adaptive in any::<bool>(),
+    ) {
+        let r = req(job, adaptive, 1, SymbolicHost::Any);
+        let d1 = DefaultPolicy::default().allocate(&r, &machines, &jobs);
+        let d2 = DefaultPolicy::default().allocate(&r, &machines, &jobs);
+        prop_assert_eq!(d1, d2);
+    }
+}

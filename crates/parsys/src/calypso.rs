@@ -1,0 +1,442 @@
+//! A behavioral model of Calypso: fault-tolerant master/worker parallel
+//! computing with eager scheduling.
+//!
+//! The two properties that make the broker's **default (redirect)** path
+//! work for Calypso are modeled directly:
+//!
+//! * workers join **anonymously** — the master accepts a registration from
+//!   any machine, so redirecting an `rsh anylinux` to a machine chosen at
+//!   runtime goes unnoticed;
+//! * worker **removal is tolerated by the runtime layer** (not by user
+//!   code): an in-flight task whose worker leaves or dies is simply
+//!   re-executed elsewhere, so the broker can reclaim machines at any time.
+
+use rb_proto::{
+    CalypsoMsg, CommandSpec, CtlMsg, ExitStatus, Payload, ProcId, RshHandle, Signal, TimerToken,
+};
+use rb_simcore::Duration;
+use rb_simnet::{Behavior, Ctx};
+use std::collections::{HashMap, VecDeque};
+
+/// Service name the master registers.
+pub const CALYPSO_SERVICE: &str = "calypso";
+
+/// The master's supply of work.
+#[derive(Debug, Clone)]
+pub enum TaskBag {
+    /// A fixed set of tasks; the job completes when all have results.
+    Finite(Vec<u64>),
+    /// An endless supply (long-running adaptive computation).
+    Endless { cpu_millis: u64 },
+}
+
+/// Configuration for a Calypso master.
+#[derive(Debug, Clone)]
+pub struct CalypsoConfig {
+    pub tasks: TaskBag,
+    /// How many workers the job tries to hold (its standing desire).
+    pub desired_workers: u32,
+    /// The job's `.hosts` file: host arguments used when growing, cycled
+    /// through in order. Under the broker this is typically a single
+    /// symbolic entry such as `anylinux`.
+    pub hostfile: Vec<String>,
+    /// Re-execute a task if no result arrives within this budget (eager
+    /// scheduling's fault-tolerance backstop).
+    pub task_timeout: Option<Duration>,
+}
+
+impl Default for CalypsoConfig {
+    fn default() -> Self {
+        CalypsoConfig {
+            tasks: TaskBag::Endless { cpu_millis: 1_000 },
+            desired_workers: 1,
+            hostfile: vec!["anylinux".to_string()],
+            task_timeout: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Task {
+    id: u64,
+    cpu_millis: u64,
+}
+
+#[derive(Debug)]
+struct WorkerInfo {
+    hostname: String,
+    current: Option<Task>,
+    timeout: Option<TimerToken>,
+}
+
+/// The Calypso master process (the job's root).
+pub struct CalypsoMaster {
+    cfg: CalypsoConfig,
+    queue: VecDeque<Task>,
+    workers: HashMap<ProcId, WorkerInfo>,
+    idle: Vec<ProcId>,
+    timeout_map: HashMap<TimerToken, (ProcId, u64)>,
+    grow_inflight: HashMap<RshHandle, ()>,
+    hostfile_cursor: usize,
+    next_task: u64,
+    results: u64,
+    total_finite: Option<u64>,
+    stopping: bool,
+}
+
+impl CalypsoMaster {
+    pub fn new(cfg: CalypsoConfig) -> Self {
+        let mut queue = VecDeque::new();
+        let mut next_task = 0;
+        let total_finite = match &cfg.tasks {
+            TaskBag::Finite(list) => {
+                for &cpu in list {
+                    queue.push_back(Task {
+                        id: next_task,
+                        cpu_millis: cpu,
+                    });
+                    next_task += 1;
+                }
+                Some(list.len() as u64)
+            }
+            TaskBag::Endless { .. } => None,
+        };
+        CalypsoMaster {
+            cfg,
+            queue,
+            workers: HashMap::new(),
+            idle: Vec::new(),
+            timeout_map: HashMap::new(),
+            grow_inflight: HashMap::new(),
+            hostfile_cursor: 0,
+            next_task,
+            results: 0,
+            total_finite,
+            stopping: false,
+        }
+    }
+
+    /// Number of results collected so far.
+    pub fn results(&self) -> u64 {
+        self.results
+    }
+
+    fn next_task(&mut self) -> Option<Task> {
+        if let Some(t) = self.queue.pop_front() {
+            return Some(t);
+        }
+        match self.cfg.tasks {
+            TaskBag::Endless { cpu_millis } => {
+                let t = Task {
+                    id: self.next_task,
+                    cpu_millis,
+                };
+                self.next_task += 1;
+                Some(t)
+            }
+            TaskBag::Finite(_) => None,
+        }
+    }
+
+    fn assign(&mut self, ctx: &mut Ctx<'_>, worker: ProcId) {
+        if self.stopping {
+            return;
+        }
+        let Some(task) = self.next_task() else {
+            if !self.idle.contains(&worker) {
+                self.idle.push(worker);
+            }
+            ctx.send(worker, Payload::Calypso(CalypsoMsg::Idle));
+            return;
+        };
+        let timeout = self.cfg.task_timeout.map(|d| {
+            let token = ctx.set_timer(d);
+            self.timeout_map.insert(token, (worker, task.id));
+            token
+        });
+        if let Some(info) = self.workers.get_mut(&worker) {
+            info.current = Some(task);
+            info.timeout = timeout;
+        }
+        ctx.send(
+            worker,
+            Payload::Calypso(CalypsoMsg::TaskAssign {
+                task: task.id,
+                cpu_millis: task.cpu_millis,
+            }),
+        );
+    }
+
+    /// Put a task back in the bag and hand it to an idle worker if any.
+    fn requeue(&mut self, ctx: &mut Ctx<'_>, task: Task) {
+        self.queue.push_front(task);
+        if let Some(w) = self.idle.pop() {
+            self.assign(ctx, w);
+        }
+    }
+
+    fn drop_worker(&mut self, ctx: &mut Ctx<'_>, worker: ProcId) {
+        self.idle.retain(|&w| w != worker);
+        if let Some(info) = self.workers.remove(&worker) {
+            if let Some(token) = info.timeout {
+                ctx.cancel_timer(token);
+                self.timeout_map.remove(&token);
+            }
+            if let Some(task) = info.current {
+                ctx.trace("calypso.task.requeue", format!("task {}", task.id));
+                self.requeue(ctx, task);
+            }
+            ctx.trace("calypso.worker.gone", info.hostname);
+        }
+    }
+
+    fn try_grow(&mut self, ctx: &mut Ctx<'_>, count: u32) {
+        if self.cfg.hostfile.is_empty() || self.stopping {
+            return;
+        }
+        for _ in 0..count {
+            let host = self.cfg.hostfile[self.hostfile_cursor % self.cfg.hostfile.len()].clone();
+            self.hostfile_cursor += 1;
+            let me = ctx.me();
+            ctx.trace("calypso.grow.attempt", host.clone());
+            let handle = ctx.rsh(&host, CommandSpec::CalypsoWorker { master: me });
+            self.grow_inflight.insert(handle, ());
+        }
+    }
+
+    fn maybe_complete(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(total) = self.total_finite {
+            if self.results >= total && !self.stopping {
+                self.finish(ctx);
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        self.stopping = true;
+        let mut workers: Vec<ProcId> = self.workers.keys().copied().collect();
+        workers.sort();
+        for w in workers {
+            ctx.send(w, Payload::Calypso(CalypsoMsg::JobComplete));
+        }
+        ctx.trace("calypso.complete", format!("results={}", self.results));
+        // Exit after notifications flush.
+        ctx.set_timer(Duration::from_millis(20));
+    }
+}
+
+impl Behavior for CalypsoMaster {
+    fn name(&self) -> &'static str {
+        "calypso-master"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.register_service(CALYPSO_SERVICE);
+        ctx.trace("calypso.master.up", ctx.hostname());
+        let want = self.cfg.desired_workers;
+        self.try_grow(ctx, want);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if self.stopping {
+            ctx.exit(ExitStatus::Success);
+            return;
+        }
+        // Task timeout: eager re-execution.
+        if let Some((worker, task_id)) = self.timeout_map.remove(&token) {
+            let still_current = self
+                .workers
+                .get(&worker)
+                .and_then(|i| i.current)
+                .map(|t| t.id == task_id)
+                .unwrap_or(false);
+            if still_current {
+                ctx.trace(
+                    "calypso.task.timeout",
+                    format!("task {task_id} on {worker}"),
+                );
+                self.drop_worker(ctx, worker);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Calypso(CalypsoMsg::WorkerRegister { worker, hostname }) => {
+                // Anonymous join: always accepted.
+                self.workers.insert(
+                    worker,
+                    WorkerInfo {
+                        hostname: hostname.clone(),
+                        current: None,
+                        timeout: None,
+                    },
+                );
+                ctx.trace("calypso.worker.joined", hostname);
+                ctx.send(worker, Payload::Calypso(CalypsoMsg::WorkerWelcome));
+                self.assign(ctx, worker);
+            }
+            Payload::Calypso(CalypsoMsg::TaskResult { worker, task }) => {
+                let valid = self
+                    .workers
+                    .get(&worker)
+                    .and_then(|i| i.current)
+                    .map(|t| t.id == task)
+                    .unwrap_or(false);
+                if valid {
+                    if let Some(info) = self.workers.get_mut(&worker) {
+                        info.current = None;
+                        if let Some(token) = info.timeout.take() {
+                            ctx.cancel_timer(token);
+                            self.timeout_map.remove(&token);
+                        }
+                    }
+                    self.results += 1;
+                    self.maybe_complete(ctx);
+                    if !self.stopping {
+                        self.assign(ctx, worker);
+                    }
+                }
+            }
+            Payload::Calypso(CalypsoMsg::WorkerLeaving { worker }) => {
+                self.drop_worker(ctx, worker);
+            }
+            Payload::Ctl(CtlMsg::GrowHint { count }) => {
+                self.try_grow(ctx, count);
+            }
+            Payload::Ctl(CtlMsg::ShrinkHint { count }) => {
+                for _ in 0..count {
+                    if let Some(w) = self
+                        .idle
+                        .pop()
+                        .or_else(|| self.workers.keys().min().copied())
+                    {
+                        ctx.send(w, Payload::Calypso(CalypsoMsg::JobComplete));
+                        self.drop_worker(ctx, w);
+                    }
+                }
+            }
+            Payload::Ctl(CtlMsg::Stop) => {
+                let _ = from;
+                self.finish(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, rb_proto::RshError>,
+    ) {
+        if self.grow_inflight.remove(&handle).is_some()
+            && !matches!(result, Ok(ExitStatus::Success))
+        {
+            ctx.trace("calypso.grow.failed", format!("{result:?}"));
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Ctx<'_>, sig: Signal) {
+        if matches!(sig, Signal::Term | Signal::Int) {
+            self.finish(ctx);
+        }
+    }
+}
+
+/// A Calypso worker: joins anonymously, computes assigned tasks, retreats
+/// gracefully when evicted.
+pub struct CalypsoWorker {
+    master: ProcId,
+    current_task: Option<u64>,
+    leaving: bool,
+}
+
+impl CalypsoWorker {
+    pub fn new(master: ProcId) -> Self {
+        CalypsoWorker {
+            master,
+            current_task: None,
+            leaving: false,
+        }
+    }
+}
+
+impl Behavior for CalypsoWorker {
+    fn name(&self) -> &'static str {
+        "calypso-worker"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let hostname = ctx.hostname();
+        let startup = ctx.cost().calypso_worker_startup;
+        ctx.send_after(
+            self.master,
+            Payload::Calypso(CalypsoMsg::WorkerRegister {
+                worker: me,
+                hostname,
+            }),
+            startup,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        if self.leaving {
+            return;
+        }
+        match msg {
+            Payload::Calypso(CalypsoMsg::WorkerWelcome) => {
+                ctx.detach();
+                ctx.trace("calypso.worker.up", ctx.hostname());
+            }
+            Payload::Calypso(CalypsoMsg::TaskAssign { task, cpu_millis }) => {
+                self.current_task = Some(task);
+                ctx.cpu_burst(Duration::from_millis(cpu_millis));
+            }
+            Payload::Calypso(CalypsoMsg::Idle) => {}
+            Payload::Calypso(CalypsoMsg::JobComplete) => {
+                ctx.exit(ExitStatus::Success);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if let Some(task) = self.current_task.take() {
+            let me = ctx.me();
+            ctx.send(
+                self.master,
+                Payload::Calypso(CalypsoMsg::TaskResult { worker: me, task }),
+            );
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Ctx<'_>, sig: Signal) {
+        match sig {
+            Signal::Term | Signal::Int => {
+                if self.leaving {
+                    return;
+                }
+                self.leaving = true;
+                let me = ctx.me();
+                ctx.send(
+                    self.master,
+                    Payload::Calypso(CalypsoMsg::WorkerLeaving { worker: me }),
+                );
+                ctx.trace("calypso.worker.retreat", ctx.hostname());
+                // Deregistration and state flush take a moment; the
+                // sub-appl's grace period exists precisely for this.
+                let retreat = ctx.cost().graceful_retreat;
+                ctx.set_timer(retreat);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        if self.leaving {
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+}

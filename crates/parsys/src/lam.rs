@@ -1,0 +1,433 @@
+//! A behavioral model of LAM/MPI: the session origin daemon (`lamboot`
+//! host), node daemons, and scripted consoles (`lamgrow`/`lamshrink`/
+//! `lamhalt`).
+//!
+//! LAM shares PVM's critical property — **nodes from machines the origin
+//! did not attempt to boot are refused** — but has its own boot protocol
+//! and heavier startup costs, demonstrating that the broker's external
+//! module mechanism generalizes across programming systems without
+//! modifying the broker itself.
+
+use rb_proto::{
+    CommandSpec, ConsoleCmd, CtlMsg, ExitStatus, LamMsg, Payload, ProcId, RshHandle, SessionId,
+    Signal, TimerToken,
+};
+use rb_simcore::Duration;
+use rb_simnet::{Behavior, Ctx};
+use std::collections::{HashMap, VecDeque};
+
+/// Service name the origin daemon registers for console discovery.
+pub const LAMD_SERVICE: &str = "lamd";
+
+/// Configuration for a LAM session origin.
+#[derive(Debug, Clone, Default)]
+pub struct LamOriginConfig {
+    pub session: SessionId,
+    /// Boot schema (hosts booted at `lamboot` time).
+    pub boot_hosts: Vec<String>,
+    /// CPU cost of one self-scheduled work unit.
+    pub work_millis: u64,
+}
+
+#[derive(Debug, Clone)]
+struct NodeEntry {
+    hostname: String,
+    node: ProcId,
+}
+
+/// The LAM session origin (the daemon `lamboot` leaves on the origin host).
+pub struct LamOrigin {
+    cfg: LamOriginConfig,
+    nodes: Vec<NodeEntry>,
+    pending: HashMap<String, Option<ProcId>>,
+    /// Boot/grow requests waiting their turn (LAM's boot protocol brings
+    /// nodes up one at a time).
+    grow_queue: VecDeque<(String, Option<ProcId>)>,
+    grow_active: Option<String>,
+    rsh_inflight: HashMap<RshHandle, String>,
+    work_done: u64,
+    rr: usize,
+    own_host: String,
+    started: bool,
+    halting: bool,
+}
+
+impl LamOrigin {
+    pub fn new(cfg: LamOriginConfig) -> Self {
+        LamOrigin {
+            cfg,
+            nodes: Vec::new(),
+            pending: HashMap::new(),
+            grow_queue: VecDeque::new(),
+            grow_active: None,
+            rsh_inflight: HashMap::new(),
+            work_done: 0,
+            rr: 0,
+            own_host: String::new(),
+            started: false,
+            halting: false,
+        }
+    }
+
+    fn begin_grow(&mut self, ctx: &mut Ctx<'_>, host: String, origin: Option<ProcId>) {
+        if host == self.own_host
+            || self.pending.contains_key(&host)
+            || self.grow_queue.iter().any(|(h, _)| *h == host)
+            || self.nodes.iter().any(|n| n.hostname == host)
+        {
+            if let Some(o) = origin {
+                ctx.send(o, Payload::Lam(LamMsg::GrowResult { host, ok: false }));
+            }
+            return;
+        }
+        self.grow_queue.push_back((host, origin));
+        self.pump_grows(ctx);
+    }
+
+    fn pump_grows(&mut self, ctx: &mut Ctx<'_>) {
+        if self.grow_active.is_some() {
+            return;
+        }
+        let Some((host, origin)) = self.grow_queue.pop_front() else {
+            return;
+        };
+        ctx.trace("lam.grow.attempt", host.clone());
+        self.grow_active = Some(host.clone());
+        self.pending.insert(host.clone(), origin);
+        let me = ctx.me();
+        let session = self.cfg.session;
+        let handle = ctx.rsh(
+            &host,
+            CommandSpec::LamNode {
+                origin: me,
+                session,
+            },
+        );
+        self.rsh_inflight.insert(handle, host);
+    }
+
+    fn grow_finished(&mut self, ctx: &mut Ctx<'_>, host: &str) {
+        if self.grow_active.as_deref() == Some(host) {
+            self.grow_active = None;
+        }
+        self.pump_grows(ctx);
+    }
+
+    fn fail_grow(&mut self, ctx: &mut Ctx<'_>, host: &str) {
+        ctx.trace("lam.grow.failed", host.to_string());
+        if let Some(origin) = self.pending.remove(host).flatten() {
+            ctx.send(
+                origin,
+                Payload::Lam(LamMsg::GrowResult {
+                    host: host.to_string(),
+                    ok: false,
+                }),
+            );
+        }
+        self.grow_finished(ctx, host);
+    }
+}
+
+impl Behavior for LamOrigin {
+    fn name(&self) -> &'static str {
+        "lam-origin"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // LAM's boot protocol does more handshaking than PVM's.
+        ctx.set_timer(Duration::from_millis(120));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        if !self.started {
+            self.started = true;
+            self.own_host = ctx.hostname();
+            ctx.register_service(LAMD_SERVICE);
+            ctx.trace("lam.origin.up", ctx.hostname());
+            for host in self.cfg.boot_hosts.clone() {
+                self.begin_grow(ctx, host, None);
+            }
+        } else if self.halting {
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Lam(LamMsg::GrowNode { host }) => {
+                self.begin_grow(ctx, host, Some(from));
+            }
+            Payload::Lam(LamMsg::ShrinkNode { host }) => {
+                if let Some(pos) = self.nodes.iter().position(|n| n.hostname == host) {
+                    let entry = self.nodes.remove(pos);
+                    ctx.send(entry.node, Payload::Lam(LamMsg::NodeHalt));
+                    ctx.trace("lam.shrink", host);
+                }
+            }
+            Payload::Lam(LamMsg::Halt) => {
+                ctx.trace("lam.halt", "");
+                for n in &self.nodes {
+                    ctx.send(n.node, Payload::Lam(LamMsg::NodeHalt));
+                }
+                self.nodes.clear();
+                self.halting = true;
+                ctx.set_timer(Duration::from_millis(80));
+            }
+            Payload::Lam(LamMsg::NodeRegister { node, hostname }) => {
+                if self.pending.contains_key(&hostname) {
+                    let origin = self.pending.remove(&hostname).flatten();
+                    self.nodes.push(NodeEntry {
+                        hostname: hostname.clone(),
+                        node,
+                    });
+                    ctx.send(node, Payload::Lam(LamMsg::NodeAccepted));
+                    ctx.trace("lam.node.accepted", hostname.clone());
+                    if let Some(o) = origin {
+                        ctx.send(
+                            o,
+                            Payload::Lam(LamMsg::GrowResult {
+                                host: hostname.clone(),
+                                ok: true,
+                            }),
+                        );
+                    }
+                    self.grow_finished(ctx, &hostname);
+                } else {
+                    ctx.trace("lam.node.refused", hostname.clone());
+                    ctx.send(
+                        node,
+                        Payload::Lam(LamMsg::NodeRefused {
+                            reason: format!("host {hostname} not in boot set"),
+                        }),
+                    );
+                }
+            }
+            Payload::Lam(LamMsg::NodeExiting { node }) => {
+                if let Some(pos) = self.nodes.iter().position(|n| n.node == node) {
+                    let entry = self.nodes.remove(pos);
+                    ctx.trace("lam.node.gone", entry.hostname);
+                }
+            }
+            Payload::Lam(LamMsg::RunWork { cpu_millis }) => {
+                // Self-scheduling dispatch: fan work units to nodes
+                // round-robin; with no nodes, run on the origin host.
+                let cpu = if cpu_millis > 0 {
+                    cpu_millis
+                } else {
+                    self.cfg.work_millis.max(1)
+                };
+                if self.nodes.is_empty() {
+                    ctx.cpu_burst(Duration::from_millis(cpu));
+                } else {
+                    let target = self.nodes[self.rr % self.nodes.len()].node;
+                    self.rr += 1;
+                    ctx.send(target, Payload::Lam(LamMsg::RunWork { cpu_millis: cpu }));
+                }
+            }
+            Payload::Lam(LamMsg::WorkDone { .. }) => {
+                self.work_done += 1;
+            }
+            Payload::Ctl(CtlMsg::GrowHint { count }) => {
+                // A self-scheduling MPI program asking for more nodes.
+                for _ in 0..count {
+                    self.begin_grow(ctx, "anylinux".to_string(), None);
+                }
+            }
+            Payload::Ctl(CtlMsg::Stop) => {
+                self.on_message(ctx, from, Payload::Lam(LamMsg::Halt));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, rb_proto::RshError>,
+    ) {
+        let Some(host) = self.rsh_inflight.remove(&handle) else {
+            return;
+        };
+        if !matches!(result, Ok(ExitStatus::Success)) {
+            self.fail_grow(ctx, &host);
+        }
+    }
+
+    fn on_cpu_done(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {
+        // A work unit executed on the origin host itself.
+        self.work_done += 1;
+    }
+}
+
+/// A LAM node daemon on a remote machine.
+pub struct LamNode {
+    origin: ProcId,
+    #[allow(dead_code)]
+    session: SessionId,
+    accepted: bool,
+}
+
+impl LamNode {
+    pub fn new(origin: ProcId, session: SessionId) -> Self {
+        LamNode {
+            origin,
+            session,
+            accepted: false,
+        }
+    }
+}
+
+impl Behavior for LamNode {
+    fn name(&self) -> &'static str {
+        "lamd"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let hostname = ctx.hostname();
+        // LAM's node boot is slower than PVM's slave start.
+        let startup = ctx.cost().lamd_startup;
+        ctx.send_after(
+            self.origin,
+            Payload::Lam(LamMsg::NodeRegister { node: me, hostname }),
+            startup,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Lam(LamMsg::NodeAccepted) => {
+                self.accepted = true;
+                ctx.register_service(LAMD_SERVICE);
+                ctx.detach();
+                ctx.trace("lam.node.up", ctx.hostname());
+            }
+            Payload::Lam(LamMsg::NodeRefused { reason }) => {
+                ctx.trace("lam.node.refused.exit", reason);
+                ctx.exit(ExitStatus::Failure(1));
+            }
+            Payload::Lam(LamMsg::RunWork { cpu_millis }) => {
+                ctx.cpu_burst(Duration::from_millis(cpu_millis));
+            }
+            Payload::Lam(LamMsg::NodeHalt) => {
+                ctx.exit(ExitStatus::Success);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        let me = ctx.me();
+        ctx.send(self.origin, Payload::Lam(LamMsg::WorkDone { node: me }));
+    }
+
+    fn on_signal(&mut self, ctx: &mut Ctx<'_>, sig: Signal) {
+        match sig {
+            Signal::Term | Signal::Int => {
+                let me = ctx.me();
+                ctx.send(self.origin, Payload::Lam(LamMsg::NodeExiting { node: me }));
+                ctx.trace("lam.node.retreat", ctx.hostname());
+                ctx.exit(ExitStatus::Success);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A scripted LAM console (the analogue of `lamgrow` et al.). Reuses the
+/// shared [`ConsoleCmd`] vocabulary so the broker's module framework can
+/// drive PVM and LAM identically.
+pub struct LamConsole {
+    script: Vec<ConsoleCmd>,
+    idx: usize,
+    origin: Option<ProcId>,
+    waiting: Option<String>,
+    results: Vec<(String, bool)>,
+}
+
+impl LamConsole {
+    pub fn new(script: Vec<ConsoleCmd>) -> Self {
+        LamConsole {
+            script,
+            idx: 0,
+            origin: None,
+            waiting: None,
+            results: Vec::new(),
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(origin) = self.origin else { return };
+        loop {
+            if self.waiting.is_some() {
+                return;
+            }
+            let Some(cmd) = self.script.get(self.idx).cloned() else {
+                ctx.exit(ExitStatus::Success);
+                return;
+            };
+            self.idx += 1;
+            match cmd {
+                ConsoleCmd::Add(host) => {
+                    self.waiting = Some(host.clone());
+                    ctx.send(origin, Payload::Lam(LamMsg::GrowNode { host }));
+                    return;
+                }
+                ConsoleCmd::Delete(host) => {
+                    ctx.send(origin, Payload::Lam(LamMsg::ShrinkNode { host }));
+                }
+                ConsoleCmd::Halt => {
+                    ctx.send(origin, Payload::Lam(LamMsg::Halt));
+                    ctx.exit(ExitStatus::Success);
+                    return;
+                }
+                ConsoleCmd::Spawn(n) => {
+                    // `mpirun`-style: fan a work unit to each of n nodes.
+                    for _ in 0..n {
+                        ctx.send(origin, Payload::Lam(LamMsg::RunWork { cpu_millis: 0 }));
+                    }
+                }
+                ConsoleCmd::Quit => {
+                    ctx.exit(ExitStatus::Success);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Behavior for LamConsole {
+    fn name(&self) -> &'static str {
+        "lam-console"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let startup = ctx.cost().lam_console_startup;
+        ctx.set_timer(startup);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        match ctx.lookup_service(LAMD_SERVICE) {
+            Some(origin) => {
+                self.origin = Some(origin);
+                self.step(ctx);
+            }
+            None => {
+                ctx.trace("lam.console.no-lamd", ctx.hostname());
+                ctx.exit(ExitStatus::Failure(1));
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        if let Payload::Lam(LamMsg::GrowResult { host, ok }) = msg {
+            if self.waiting.as_deref() == Some(host.as_str()) {
+                self.waiting = None;
+                self.results.push((host.clone(), ok));
+                ctx.trace("lam.console.grow-result", format!("{host} ok={ok}"));
+                self.step(ctx);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # rb-parsys — commodity parallel programming systems
+//!
+//! Behavioral models of the four systems the paper's evaluation manages
+//! with ResourceBroker, **unmodified**:
+//!
+//! | system | grows by | accepts anonymous machines? | broker path |
+//! |--------|----------|------------------------------|-------------|
+//! | PVM    | master pvmd `rsh <host>` | **no** — refuses unexpected slaves | external modules (two-phase) |
+//! | LAM/MPI| origin daemon `rsh <host>` | **no** | external modules (two-phase) |
+//! | Calypso| master `rsh <host>` per worker | **yes** | default (redirect) |
+//! | PLinda | server `rsh <host>` per worker | **yes** | default (redirect) |
+//! | pmake  | one `rsh <host>` per recipe | n/a (plain commands) | default (redirect) |
+//!
+//! Each system is a set of [`rb_simnet::Behavior`] state machines plus an
+//! intra-job resource manager (host tables, task scheduling, graceful
+//! retreat on SIGTERM). The [`ParsysPrograms`] factory installs the
+//! remotely-spawnable programs (slaves, nodes, workers, consoles) into a
+//! simulated world, the way binaries are installed on cluster machines.
+
+pub mod calypso;
+pub mod lam;
+pub mod plinda;
+pub mod pmake;
+pub mod pvm;
+
+use rb_proto::CommandSpec;
+use rb_simnet::{Behavior, ProgramFactory};
+
+pub use calypso::{CalypsoConfig, CalypsoMaster, CalypsoWorker, TaskBag, CALYPSO_SERVICE};
+pub use lam::{LamConsole, LamNode, LamOrigin, LamOriginConfig, LAMD_SERVICE};
+pub use plinda::{
+    decode_tuples, encode_tuples, task_pattern, PlindaConfig, PlindaServer, PlindaWorker,
+    CHECKPOINT_FILE, PLINDA_SERVICE,
+};
+pub use pmake::{MakeRule, Pmake, PmakeConfig};
+pub use pvm::{
+    PvmApp, PvmAppConfig, PvmConsole, PvmMaster, PvmMasterConfig, PvmSlave, PVMD_SERVICE,
+};
+
+/// Program factory for everything the parallel systems spawn remotely.
+pub struct ParsysPrograms;
+
+impl ProgramFactory for ParsysPrograms {
+    fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
+        match cmd {
+            CommandSpec::PvmSlave { master, vm } => Some(Box::new(PvmSlave::new(*master, *vm))),
+            CommandSpec::PvmConsole { script } => Some(Box::new(PvmConsole::new(script.clone()))),
+            CommandSpec::LamNode { origin, session } => {
+                Some(Box::new(LamNode::new(*origin, *session)))
+            }
+            CommandSpec::LamConsole { script } => Some(Box::new(LamConsole::new(script.clone()))),
+            CommandSpec::CalypsoWorker { master } => Some(Box::new(CalypsoWorker::new(*master))),
+            CommandSpec::PlindaWorker { server } => Some(Box::new(PlindaWorker::new(*server))),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,474 @@
+//! A behavioral model of PLinda (Persistent Linda): a tuple-space server
+//! with transactional `in`/`out` and anonymous bag-of-tasks workers.
+//!
+//! Like Calypso, PLinda programs accept anonymous machines, so the broker's
+//! default redirect path applies. The *transactional* tuple withdrawal is
+//! what makes worker eviction safe: a tuple held by a departing worker is
+//! rolled back into the space and re-executed elsewhere.
+
+use rb_proto::{
+    CommandSpec, CtlMsg, ExitStatus, PatternField, Payload, PlindaMsg, ProcId, RshHandle, Signal,
+    TimerToken, Tuple, TupleField, TuplePattern,
+};
+use rb_simcore::Duration;
+use rb_simnet::{Behavior, Ctx};
+use std::collections::{HashMap, VecDeque};
+
+/// Service name the tuple-space server registers.
+pub const PLINDA_SERVICE: &str = "plinda";
+
+/// Configuration for a PLinda tuple-space server seeded with a task bag.
+#[derive(Debug, Clone)]
+pub struct PlindaConfig {
+    /// CPU cost of each task tuple.
+    pub tasks: Vec<u64>,
+    /// How many workers to recruit at startup.
+    pub desired_workers: u32,
+    /// The job's `.hosts` file: host arguments cycled through when growing.
+    pub hostfile: Vec<String>,
+    /// Persist the tuple space to stable storage after every mutation —
+    /// the "P" in PLinda. A restarted server on the same machine recovers
+    /// the space (withdrawn-but-uncommitted tuples roll back).
+    pub persistent: bool,
+}
+
+impl Default for PlindaConfig {
+    fn default() -> Self {
+        PlindaConfig {
+            tasks: Vec::new(),
+            desired_workers: 1,
+            hostfile: vec!["anylinux".to_string()],
+            persistent: false,
+        }
+    }
+}
+
+/// Checkpoint file name in the user's home directory.
+pub const CHECKPOINT_FILE: &str = "plinda.ckpt";
+
+/// Serialize a tuple list to a compact binary form (length-prefixed).
+pub fn encode_tuples(tuples: &[Tuple]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend((tuples.len() as u32).to_le_bytes());
+    for t in tuples {
+        out.extend((t.0.len() as u32).to_le_bytes());
+        for f in &t.0 {
+            match f {
+                TupleField::Int(v) => {
+                    out.push(0);
+                    out.extend(v.to_le_bytes());
+                }
+                TupleField::Str(s) => {
+                    out.push(1);
+                    out.extend((s.len() as u32).to_le_bytes());
+                    out.extend(s.as_bytes());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_tuples`]; `None` on any corruption.
+pub fn decode_tuples(bytes: &[u8]) -> Option<Vec<Tuple>> {
+    let mut i = 0usize;
+    let mut take = |n: usize| -> Option<&[u8]> {
+        let s = bytes.get(i..i + n)?;
+        i += n;
+        Some(s)
+    };
+    let count = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+    let mut tuples = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let arity = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+        let mut fields = Vec::with_capacity(arity.min(64));
+        for _ in 0..arity {
+            match take(1)?[0] {
+                0 => {
+                    let v = i64::from_le_bytes(take(8)?.try_into().ok()?);
+                    fields.push(TupleField::Int(v));
+                }
+                1 => {
+                    let len = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+                    let s = std::str::from_utf8(take(len)?).ok()?;
+                    fields.push(TupleField::Str(s.to_string()));
+                }
+                _ => return None,
+            }
+        }
+        tuples.push(Tuple(fields));
+    }
+    if i == bytes.len() {
+        Some(tuples)
+    } else {
+        None
+    }
+}
+
+fn task_tuple(id: u64, cpu_millis: u64) -> Tuple {
+    Tuple(vec![
+        TupleField::Str("task".into()),
+        TupleField::Int(id as i64),
+        TupleField::Int(cpu_millis as i64),
+    ])
+}
+
+/// The pattern workers use to withdraw work.
+pub fn task_pattern() -> TuplePattern {
+    TuplePattern(vec![
+        PatternField::Exact(TupleField::Str("task".into())),
+        PatternField::AnyInt,
+        PatternField::AnyInt,
+    ])
+}
+
+/// The tuple-space server (also the job's root process: it seeds the bag,
+/// recruits workers, and collects results).
+pub struct PlindaServer {
+    cfg: PlindaConfig,
+    space: Vec<Tuple>,
+    /// Blocked `in` requests: (worker, pattern).
+    pending_in: VecDeque<(ProcId, TuplePattern)>,
+    /// Transactionally withdrawn tuples, by worker.
+    in_progress: HashMap<ProcId, Tuple>,
+    workers: HashMap<ProcId, String>,
+    grow_inflight: HashMap<RshHandle, ()>,
+    hostfile_cursor: usize,
+    results: u64,
+    total: u64,
+    stopping: bool,
+}
+
+impl PlindaServer {
+    pub fn new(cfg: PlindaConfig) -> Self {
+        let space: Vec<Tuple> = cfg
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, &cpu)| task_tuple(i as u64, cpu))
+            .collect();
+        let total = cfg.tasks.len() as u64;
+        PlindaServer {
+            cfg,
+            space,
+            pending_in: VecDeque::new(),
+            in_progress: HashMap::new(),
+            workers: HashMap::new(),
+            grow_inflight: HashMap::new(),
+            hostfile_cursor: 0,
+            results: 0,
+            total,
+            stopping: false,
+        }
+    }
+
+    /// Tuples currently in the space (test hook).
+    pub fn space_len(&self) -> usize {
+        self.space.len()
+    }
+
+    /// Persist the durable view of the space: resident tuples plus the
+    /// rollback of every open transaction (a withdrawn tuple that was
+    /// never committed must reappear after a crash).
+    fn checkpoint(&mut self, ctx: &mut Ctx<'_>) {
+        // No checkpoints while stopping: the clean-completion removal of
+        // the file must be final even if stragglers' messages trickle in.
+        if !self.cfg.persistent || self.stopping {
+            return;
+        }
+        let mut durable: Vec<Tuple> = self.space.clone();
+        let mut open: Vec<&Tuple> = self.in_progress.values().collect();
+        open.sort_by_key(|t| format!("{t:?}"));
+        durable.extend(open.into_iter().cloned());
+        ctx.disk_write(CHECKPOINT_FILE, encode_tuples(&durable));
+    }
+
+    /// On startup, a persistent server recovers the space from disk.
+    fn recover(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.cfg.persistent {
+            return;
+        }
+        if let Some(bytes) = ctx.disk_read(CHECKPOINT_FILE) {
+            if let Some(tuples) = decode_tuples(&bytes) {
+                ctx.trace("plinda.recover", format!("{} tuples", tuples.len()));
+                self.space = tuples;
+                // Results already banked count toward completion.
+                self.results = self
+                    .space
+                    .iter()
+                    .filter(|t| matches!(t.0.first(), Some(TupleField::Str(s)) if s == "result"))
+                    .count() as u64;
+                let tasks = self
+                    .space
+                    .iter()
+                    .filter(|t| matches!(t.0.first(), Some(TupleField::Str(s)) if s == "task"))
+                    .count() as u64;
+                // A restarted server seeded with nothing derives its goal
+                // from the recovered space.
+                if self.total == 0 {
+                    self.total = tasks + self.results;
+                }
+            } else {
+                ctx.trace("plinda.recover.corrupt", "ignoring checkpoint");
+            }
+        }
+    }
+
+    fn try_grow(&mut self, ctx: &mut Ctx<'_>, count: u32) {
+        if self.cfg.hostfile.is_empty() {
+            return;
+        }
+        for _ in 0..count {
+            let host = self.cfg.hostfile[self.hostfile_cursor % self.cfg.hostfile.len()].clone();
+            self.hostfile_cursor += 1;
+            let me = ctx.me();
+            ctx.trace("plinda.grow.attempt", host.clone());
+            let handle = ctx.rsh(&host, CommandSpec::PlindaWorker { server: me });
+            self.grow_inflight.insert(handle, ());
+        }
+    }
+
+    /// Serve an `in` request if a matching tuple is available; otherwise
+    /// block it.
+    fn serve_in(&mut self, ctx: &mut Ctx<'_>, worker: ProcId, pattern: TuplePattern) {
+        if let Some(pos) = self.space.iter().position(|t| pattern.matches(t)) {
+            let tuple = self.space.remove(pos);
+            // Transaction open: remember the withdrawal.
+            self.in_progress.insert(worker, tuple.clone());
+            ctx.send(worker, Payload::Plinda(PlindaMsg::InReply { tuple }));
+        } else {
+            self.pending_in.push_back((worker, pattern));
+        }
+    }
+
+    /// After the space gained tuples, retry blocked `in`s.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let mut still_blocked = VecDeque::new();
+        while let Some((worker, pattern)) = self.pending_in.pop_front() {
+            if let Some(pos) = self.space.iter().position(|t| pattern.matches(t)) {
+                let tuple = self.space.remove(pos);
+                self.in_progress.insert(worker, tuple.clone());
+                ctx.send(worker, Payload::Plinda(PlindaMsg::InReply { tuple }));
+            } else {
+                still_blocked.push_back((worker, pattern));
+            }
+        }
+        self.pending_in = still_blocked;
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.stopping {
+            return;
+        }
+        self.stopping = true;
+        if self.cfg.persistent {
+            ctx.disk_remove(CHECKPOINT_FILE);
+        }
+        let mut workers: Vec<ProcId> = self.workers.keys().copied().collect();
+        workers.sort();
+        for w in workers {
+            ctx.send(w, Payload::Plinda(PlindaMsg::SpaceClosed));
+        }
+        ctx.trace("plinda.complete", format!("results={}", self.results));
+        ctx.set_timer(Duration::from_millis(20));
+    }
+}
+
+impl Behavior for PlindaServer {
+    fn name(&self) -> &'static str {
+        "plinda-server"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.register_service(PLINDA_SERVICE);
+        ctx.trace("plinda.server.up", ctx.hostname());
+        self.recover(ctx);
+        self.checkpoint(ctx);
+        let want = self.cfg.desired_workers;
+        self.try_grow(ctx, want);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        if self.stopping {
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Plinda(PlindaMsg::WorkerRegister { worker, hostname }) => {
+                self.workers.insert(worker, hostname.clone());
+                ctx.trace("plinda.worker.joined", hostname);
+                ctx.send(worker, Payload::Plinda(PlindaMsg::WorkerWelcome));
+            }
+            Payload::Plinda(PlindaMsg::In { pattern }) => {
+                self.serve_in(ctx, from, pattern);
+                self.checkpoint(ctx);
+            }
+            Payload::Plinda(PlindaMsg::Out { tuple }) => {
+                // An `out` from a worker holding a withdrawn tuple commits
+                // its transaction.
+                self.in_progress.remove(&from);
+                let is_result =
+                    matches!(tuple.0.first(), Some(TupleField::Str(s)) if s == "result");
+                self.space.push(tuple);
+                self.pump(ctx);
+                self.checkpoint(ctx);
+                if is_result {
+                    self.results += 1;
+                    if self.total > 0 && self.results >= self.total {
+                        self.finish(ctx);
+                    }
+                }
+            }
+            Payload::Plinda(PlindaMsg::WorkerLeaving { worker }) => {
+                // Transaction rollback: the withdrawn tuple returns.
+                if let Some(tuple) = self.in_progress.remove(&worker) {
+                    ctx.trace("plinda.rollback", format!("{tuple:?}"));
+                    self.space.push(tuple);
+                }
+                self.pending_in.retain(|(w, _)| *w != worker);
+                if let Some(host) = self.workers.remove(&worker) {
+                    ctx.trace("plinda.worker.gone", host);
+                }
+                self.pump(ctx);
+                self.checkpoint(ctx);
+            }
+            Payload::Ctl(CtlMsg::GrowHint { count }) => {
+                self.try_grow(ctx, count);
+            }
+            Payload::Ctl(CtlMsg::Stop) => {
+                self.finish(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, rb_proto::RshError>,
+    ) {
+        if self.grow_inflight.remove(&handle).is_some()
+            && !matches!(result, Ok(ExitStatus::Success))
+        {
+            ctx.trace("plinda.grow.failed", format!("{result:?}"));
+        }
+    }
+}
+
+/// A PLinda worker: withdraw a task tuple, compute, deposit a result,
+/// repeat.
+pub struct PlindaWorker {
+    server: ProcId,
+    current: Option<(u64, u64)>,
+    leaving: bool,
+}
+
+impl PlindaWorker {
+    pub fn new(server: ProcId) -> Self {
+        PlindaWorker {
+            server,
+            current: None,
+            leaving: false,
+        }
+    }
+
+    fn request_task(&self, ctx: &mut Ctx<'_>) {
+        ctx.send(
+            self.server,
+            Payload::Plinda(PlindaMsg::In {
+                pattern: task_pattern(),
+            }),
+        );
+    }
+}
+
+impl Behavior for PlindaWorker {
+    fn name(&self) -> &'static str {
+        "plinda-worker"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let hostname = ctx.hostname();
+        let startup = ctx.cost().plinda_worker_startup;
+        ctx.send_after(
+            self.server,
+            Payload::Plinda(PlindaMsg::WorkerRegister {
+                worker: me,
+                hostname,
+            }),
+            startup,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        if self.leaving {
+            return;
+        }
+        match msg {
+            Payload::Plinda(PlindaMsg::WorkerWelcome) => {
+                ctx.detach();
+                ctx.trace("plinda.worker.up", ctx.hostname());
+                self.request_task(ctx);
+            }
+            Payload::Plinda(PlindaMsg::InReply { tuple }) => {
+                if let [TupleField::Str(tag), TupleField::Int(id), TupleField::Int(cpu)] =
+                    &tuple.0[..]
+                {
+                    if tag == "task" {
+                        self.current = Some((*id as u64, *cpu as u64));
+                        ctx.cpu_burst(Duration::from_millis((*cpu).max(0) as u64));
+                    }
+                }
+            }
+            Payload::Plinda(PlindaMsg::SpaceClosed) => {
+                ctx.exit(ExitStatus::Success);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if let Some((id, _)) = self.current.take() {
+            ctx.send(
+                self.server,
+                Payload::Plinda(PlindaMsg::Out {
+                    tuple: Tuple(vec![
+                        TupleField::Str("result".into()),
+                        TupleField::Int(id as i64),
+                    ]),
+                }),
+            );
+            self.request_task(ctx);
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Ctx<'_>, sig: Signal) {
+        match sig {
+            Signal::Term | Signal::Int => {
+                if self.leaving {
+                    return;
+                }
+                self.leaving = true;
+                let me = ctx.me();
+                ctx.send(
+                    self.server,
+                    Payload::Plinda(PlindaMsg::WorkerLeaving { worker: me }),
+                );
+                ctx.trace("plinda.worker.retreat", ctx.hostname());
+                let retreat = ctx.cost().graceful_retreat;
+                ctx.set_timer(retreat);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        if self.leaving {
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! `pmake` — a distributed parallel `make`.
+//!
+//! The paper lists "parallelizable tasks such as `make`" among the
+//! programs the broker's **default behavior** serves: each recipe is an
+//! ordinary remote command launched over `rsh`, so running the build under
+//! ResourceBroker with a symbolic hostfile spreads independent targets
+//! over machines chosen just in time — with zero changes to the build
+//! description.
+//!
+//! The model is deliberately make-like: a DAG of rules, a goal target,
+//! bounded parallelism (`-j`), failure aborts the build after in-flight
+//! recipes drain, and cycles are detected up front.
+
+use rb_proto::{CommandSpec, CtlMsg, ExitStatus, Payload, ProcId, RshHandle, Signal};
+use rb_simnet::{Behavior, Ctx};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One build rule.
+#[derive(Debug, Clone)]
+pub struct MakeRule {
+    pub target: String,
+    pub deps: Vec<String>,
+    /// CPU cost of the recipe (a compile step, say).
+    pub cpu_millis: u64,
+    /// Model a recipe whose command exits non-zero.
+    pub fails: bool,
+}
+
+impl MakeRule {
+    pub fn new(target: impl Into<String>, deps: &[&str], cpu_millis: u64) -> Self {
+        MakeRule {
+            target: target.into(),
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+            cpu_millis,
+            fails: false,
+        }
+    }
+
+    pub fn failing(mut self) -> Self {
+        self.fails = true;
+        self
+    }
+}
+
+/// Configuration for a build.
+#[derive(Debug, Clone)]
+pub struct PmakeConfig {
+    pub rules: Vec<MakeRule>,
+    pub goal: String,
+    /// Maximum concurrent recipes (`make -j`).
+    pub jobs: u32,
+    /// Hosts to launch recipes on, cycled (symbolic under the broker).
+    pub hostfile: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TargetState {
+    Waiting,
+    Running,
+    Built,
+    Failed,
+}
+
+/// The distributed make driver (the job's root process).
+pub struct Pmake {
+    cfg: PmakeConfig,
+    states: HashMap<String, TargetState>,
+    /// rsh handle -> target being built.
+    running: HashMap<RshHandle, String>,
+    /// Targets whose dependencies are satisfied, FIFO.
+    ready: VecDeque<String>,
+    hostfile_cursor: usize,
+    /// Build is aborting after a failure; drain in-flight recipes.
+    aborting: bool,
+    built_count: u64,
+}
+
+impl Pmake {
+    pub fn new(cfg: PmakeConfig) -> Self {
+        Pmake {
+            cfg,
+            states: HashMap::new(),
+            running: HashMap::new(),
+            ready: VecDeque::new(),
+            hostfile_cursor: 0,
+            aborting: false,
+            built_count: 0,
+        }
+    }
+
+    fn rule(&self, target: &str) -> Option<&MakeRule> {
+        self.cfg.rules.iter().find(|r| r.target == target)
+    }
+
+    /// The subgraph reachable from the goal, in no particular order.
+    /// Returns an error message on a missing rule or a dependency cycle.
+    fn needed_targets(&self) -> Result<Vec<String>, String> {
+        let mut needed = Vec::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![self.cfg.goal.clone()];
+        while let Some(t) = stack.pop() {
+            if !seen.insert(t.clone()) {
+                continue;
+            }
+            let rule = self
+                .rule(&t)
+                .ok_or_else(|| format!("no rule to make target '{t}'"))?;
+            for d in &rule.deps {
+                stack.push(d.clone());
+            }
+            needed.push(t);
+        }
+        // Kahn's algorithm detects cycles within the needed subgraph.
+        let needed_set: HashSet<&String> = needed.iter().collect();
+        let mut indegree: HashMap<&String, usize> = needed
+            .iter()
+            .map(|t| (t, self.rule(t).expect("validated").deps.len()))
+            .collect();
+        let mut frontier: VecDeque<&String> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut visited = 0;
+        while let Some(t) = frontier.pop_front() {
+            visited += 1;
+            for r in &self.cfg.rules {
+                if needed_set.contains(&r.target) && r.deps.iter().any(|d| d == t) {
+                    let e = indegree.get_mut(&r.target).expect("needed");
+                    *e -= 1;
+                    if *e == 0 {
+                        frontier.push_back(&r.target);
+                    }
+                }
+            }
+        }
+        if visited != needed.len() {
+            return Err("dependency cycle detected".into());
+        }
+        Ok(needed)
+    }
+
+    fn deps_built(&self, target: &str) -> bool {
+        self.rule(target)
+            .map(|r| {
+                r.deps
+                    .iter()
+                    .all(|d| self.states.get(d) == Some(&TargetState::Built))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Move newly satisfiable targets into the ready queue.
+    fn refresh_ready(&mut self) {
+        let newly: Vec<String> = self
+            .states
+            .iter()
+            .filter(|(_, &s)| s == TargetState::Waiting)
+            .map(|(t, _)| t.clone())
+            .filter(|t| self.deps_built(t))
+            .collect();
+        for t in newly {
+            self.states.insert(t.clone(), TargetState::Running);
+            self.ready.push_back(t);
+        }
+    }
+
+    /// Launch recipes up to the parallelism bound.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if self.aborting {
+            if self.running.is_empty() {
+                ctx.trace("pmake.fail", self.cfg.goal.clone());
+                ctx.exit(ExitStatus::Failure(2));
+            }
+            return;
+        }
+        while (self.running.len() as u32) < self.cfg.jobs.max(1) {
+            let Some(target) = self.ready.pop_front() else {
+                break;
+            };
+            let rule = self.rule(&target).expect("validated").clone();
+            let host = self.cfg.hostfile[self.hostfile_cursor % self.cfg.hostfile.len()].clone();
+            self.hostfile_cursor += 1;
+            let cmd = if rule.fails {
+                CommandSpec::Custom {
+                    name: "false".into(),
+                    arg: 0,
+                }
+            } else {
+                CommandSpec::Loop {
+                    cpu_millis: rule.cpu_millis.max(1),
+                }
+            };
+            ctx.trace("pmake.launch", format!("{target} on {host}"));
+            let handle = ctx.rsh(&host, cmd);
+            self.running.insert(handle, target);
+        }
+        if self.running.is_empty() && self.ready.is_empty() {
+            // Nothing runs and nothing is ready: the goal must be built.
+            if self.states.get(&self.cfg.goal) == Some(&TargetState::Built) {
+                ctx.trace("pmake.done", format!("{} targets", self.built_count));
+                ctx.exit(ExitStatus::Success);
+            }
+        }
+    }
+}
+
+impl Behavior for Pmake {
+    fn name(&self) -> &'static str {
+        "pmake"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.hostfile.is_empty() {
+            ctx.trace("pmake.error", "empty hostfile");
+            ctx.exit(ExitStatus::Failure(2));
+            return;
+        }
+        match self.needed_targets() {
+            Ok(needed) => {
+                for t in needed {
+                    self.states.insert(t, TargetState::Waiting);
+                }
+                ctx.trace("pmake.start", format!("{} targets", self.states.len()));
+                self.refresh_ready();
+                self.pump(ctx);
+            }
+            Err(err) => {
+                ctx.trace("pmake.error", err);
+                ctx.exit(ExitStatus::Failure(2));
+            }
+        }
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, rb_proto::RshError>,
+    ) {
+        let Some(target) = self.running.remove(&handle) else {
+            return;
+        };
+        match result {
+            Ok(ExitStatus::Success) => {
+                self.states.insert(target.clone(), TargetState::Built);
+                self.built_count += 1;
+                ctx.trace("pmake.built", target);
+                self.refresh_ready();
+            }
+            other => {
+                self.states.insert(target.clone(), TargetState::Failed);
+                ctx.trace("pmake.recipe-failed", format!("{target}: {other:?}"));
+                self.aborting = true;
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        if let Payload::Ctl(CtlMsg::Stop) = msg {
+            self.aborting = true;
+            self.pump(ctx);
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Ctx<'_>, sig: Signal) {
+        if matches!(sig, Signal::Term | Signal::Int) {
+            self.aborting = true;
+            if self.running.is_empty() {
+                ctx.exit(ExitStatus::Killed(sig));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rules: Vec<MakeRule>, goal: &str) -> PmakeConfig {
+        PmakeConfig {
+            rules,
+            goal: goal.into(),
+            jobs: 4,
+            hostfile: vec!["n01".into()],
+        }
+    }
+
+    fn pmake(rules: Vec<MakeRule>, goal: &str) -> Pmake {
+        Pmake::new(cfg(rules, goal))
+    }
+
+    #[test]
+    fn needed_targets_follows_the_goal_subgraph() {
+        let p = pmake(
+            vec![
+                MakeRule::new("a", &[], 1),
+                MakeRule::new("b", &["a"], 1),
+                MakeRule::new("unrelated", &[], 1),
+            ],
+            "b",
+        );
+        let mut needed = p.needed_targets().unwrap();
+        needed.sort();
+        assert_eq!(needed, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn missing_rule_is_an_error() {
+        let p = pmake(vec![MakeRule::new("a", &["ghost"], 1)], "a");
+        let err = p.needed_targets().unwrap_err();
+        assert!(err.contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn cycle_is_an_error() {
+        let p = pmake(
+            vec![MakeRule::new("a", &["b"], 1), MakeRule::new("b", &["a"], 1)],
+            "a",
+        );
+        let err = p.needed_targets().unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let p = pmake(vec![MakeRule::new("a", &["a"], 1)], "a");
+        assert!(p.needed_targets().is_err());
+    }
+}

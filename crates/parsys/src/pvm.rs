@@ -1,0 +1,692 @@
+//! A behavioral model of PVM 3: master and slave daemons, consoles, and
+//! tasks.
+//!
+//! The properties the broker's mechanisms depend on are modeled faithfully:
+//!
+//! * the virtual machine grows by the **master pvmd issuing `rsh`** with an
+//!   explicit host name (from `pvm> add <host>` or `pvm_addhosts()`);
+//! * the master **refuses slaves from machines other than those it
+//!   attempted to spawn on** — which is why the broker's default redirect
+//!   path cannot work for PVM and the external-module path exists;
+//! * failed `add` attempts are **tolerated** (the master notes the failure
+//!   and keeps running) — which is what makes Phase I of the two-phase
+//!   protocol safe;
+//! * consoles are scriptable, which is what the five-line `pvm_grow`
+//!   external module exploits.
+
+use rb_proto::{
+    CommandSpec, ConsoleCmd, CtlMsg, ExitStatus, Payload, ProcId, PvmMsg, RshHandle, Signal,
+    TimerToken, VmId,
+};
+use rb_simcore::Duration;
+use rb_simnet::{Behavior, Ctx};
+use std::collections::{HashMap, VecDeque};
+
+/// Service name a pvmd registers on its machine (the analogue of the
+/// `/tmp/pvmd.<uid>` socket file a console uses to find its daemon).
+pub const PVMD_SERVICE: &str = "pvmd";
+
+/// One entry of the master's host table.
+#[derive(Debug, Clone)]
+struct HostEntry {
+    hostname: String,
+    slave: ProcId,
+}
+
+/// Configuration for a master pvmd.
+#[derive(Debug, Clone, Default)]
+pub struct PvmMasterConfig {
+    /// Virtual-machine id (for traces).
+    pub vm: VmId,
+    /// Hosts to add immediately at startup (like a `pvm` hostfile).
+    pub initial_hosts: Vec<String>,
+    /// CPU cost of one task dispatched by `SpawnTasks`.
+    pub default_task_millis: u64,
+}
+
+/// The master PVM daemon. Started by the first `pvm` console (modeled as
+/// the job's root process).
+pub struct PvmMaster {
+    cfg: PvmMasterConfig,
+    /// Slaves currently in the virtual machine.
+    hosts: Vec<HostEntry>,
+    /// Host names we have attempted to spawn on and not yet resolved;
+    /// value is the console/task that asked (if any).
+    pending_adds: HashMap<String, Option<ProcId>>,
+    /// Adds waiting their turn: the real pvmd's host-startup protocol is
+    /// single-threaded, so hosts are added one at a time.
+    add_queue: VecDeque<(String, Option<ProcId>)>,
+    /// The host currently being added.
+    add_active: Option<String>,
+    /// Outstanding rsh handles -> attempted host name.
+    rsh_inflight: HashMap<RshHandle, String>,
+    /// Tasks completed (across the VM).
+    tasks_done: u64,
+    /// Tasks still running.
+    tasks_running: u64,
+    /// Round-robin dispatch cursor.
+    rr: usize,
+    own_host: String,
+    /// Application processes to notify of task completions
+    /// (`pvm_notify()`-style subscriptions).
+    subscribers: Vec<ProcId>,
+    started: bool,
+    halting: bool,
+}
+
+impl PvmMaster {
+    pub fn new(cfg: PvmMasterConfig) -> Self {
+        PvmMaster {
+            cfg,
+            hosts: Vec::new(),
+            pending_adds: HashMap::new(),
+            add_queue: VecDeque::new(),
+            add_active: None,
+            rsh_inflight: HashMap::new(),
+            tasks_done: 0,
+            tasks_running: 0,
+            rr: 0,
+            own_host: String::new(),
+            subscribers: Vec::new(),
+            started: false,
+            halting: false,
+        }
+    }
+
+    fn begin_add(&mut self, ctx: &mut Ctx<'_>, host: String, origin: Option<ProcId>) {
+        // The master's own host is in the virtual machine from the start;
+        // a second `add` for any host already pending or present fails
+        // fast, exactly like the real console's "already in virtual
+        // machine" error.
+        if host == self.own_host
+            || self.pending_adds.contains_key(&host)
+            || self.add_queue.iter().any(|(h, _)| *h == host)
+            || self.hosts.iter().any(|h| h.hostname == host)
+        {
+            if let Some(origin) = origin {
+                ctx.send(origin, Payload::Pvm(PvmMsg::AddResult { host, ok: false }));
+            }
+            return;
+        }
+        self.add_queue.push_back((host, origin));
+        self.pump_adds(ctx);
+    }
+
+    /// Start the next queued add if none is in flight (the pvmd host-add
+    /// protocol is serial).
+    fn pump_adds(&mut self, ctx: &mut Ctx<'_>) {
+        if self.add_active.is_some() {
+            return;
+        }
+        let Some((host, origin)) = self.add_queue.pop_front() else {
+            return;
+        };
+        ctx.trace("pvm.add.attempt", host.clone());
+        self.add_active = Some(host.clone());
+        self.pending_adds.insert(host.clone(), origin);
+        let me = ctx.me();
+        let vm = self.cfg.vm;
+        let handle = ctx.rsh(&host, CommandSpec::PvmSlave { master: me, vm });
+        self.rsh_inflight.insert(handle, host);
+    }
+
+    fn add_finished(&mut self, ctx: &mut Ctx<'_>, host: &str) {
+        if self.add_active.as_deref() == Some(host) {
+            self.add_active = None;
+        }
+        self.pump_adds(ctx);
+    }
+
+    fn fail_add(&mut self, ctx: &mut Ctx<'_>, host: &str) {
+        ctx.trace("pvm.add.failed", host.to_string());
+        if let Some(origin) = self.pending_adds.remove(host).flatten() {
+            ctx.send(
+                origin,
+                Payload::Pvm(PvmMsg::AddResult {
+                    host: host.to_string(),
+                    ok: false,
+                }),
+            );
+        }
+        self.add_finished(ctx, host);
+    }
+
+    fn dispatch_task(&mut self, ctx: &mut Ctx<'_>, cpu_millis: u64) {
+        if self.hosts.is_empty() {
+            // No slaves: the master's host runs it.
+            ctx.cpu_burst(Duration::from_millis(cpu_millis));
+            self.tasks_running += 1;
+            return;
+        }
+        let target = self.hosts[self.rr % self.hosts.len()].slave;
+        self.rr += 1;
+        self.tasks_running += 1;
+        ctx.send(target, Payload::Pvm(PvmMsg::RunTask { cpu_millis }));
+    }
+
+    /// Current host table (slave host names).
+    fn conf(&self) -> Vec<String> {
+        self.hosts.iter().map(|h| h.hostname.clone()).collect()
+    }
+}
+
+impl Behavior for PvmMaster {
+    fn name(&self) -> &'static str {
+        "pvm-master"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // pvmd initialization, then register for console discovery.
+        ctx.set_timer(Duration::from_millis(60));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        if !self.started {
+            self.started = true;
+            self.own_host = ctx.hostname();
+            ctx.register_service(PVMD_SERVICE);
+            ctx.trace("pvm.master.up", ctx.hostname());
+            for host in self.cfg.initial_hosts.clone() {
+                self.begin_add(ctx, host, None);
+            }
+        } else if self.halting {
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Pvm(PvmMsg::AddHosts { hosts }) => {
+                for h in hosts {
+                    self.begin_add(ctx, h, Some(from));
+                }
+            }
+            Payload::Pvm(PvmMsg::DeleteHost { host }) => {
+                if let Some(pos) = self.hosts.iter().position(|h| h.hostname == host) {
+                    let entry = self.hosts.remove(pos);
+                    ctx.send(entry.slave, Payload::Pvm(PvmMsg::SlaveHalt));
+                    ctx.trace("pvm.delete", host);
+                }
+            }
+            Payload::Pvm(PvmMsg::Halt) => {
+                ctx.trace("pvm.halt", "");
+                for h in &self.hosts {
+                    ctx.send(h.slave, Payload::Pvm(PvmMsg::SlaveHalt));
+                }
+                self.hosts.clear();
+                self.halting = true;
+                ctx.set_timer(Duration::from_millis(50));
+            }
+            Payload::Pvm(PvmMsg::Conf { reply_to }) => {
+                ctx.send(
+                    reply_to,
+                    Payload::Pvm(PvmMsg::ConfReply { hosts: self.conf() }),
+                );
+            }
+            Payload::Pvm(PvmMsg::SpawnTasks { n, cpu_millis }) => {
+                let cpu = if cpu_millis > 0 {
+                    cpu_millis
+                } else {
+                    self.cfg.default_task_millis.max(1)
+                };
+                for _ in 0..n {
+                    self.dispatch_task(ctx, cpu);
+                }
+            }
+            Payload::Pvm(PvmMsg::Subscribe { listener })
+                if !self.subscribers.contains(&listener) =>
+            {
+                self.subscribers.push(listener);
+            }
+            Payload::Pvm(PvmMsg::SlaveRegister { slave, hostname }) => {
+                if self.pending_adds.contains_key(&hostname) {
+                    let origin = self.pending_adds.remove(&hostname).flatten();
+                    self.hosts.push(HostEntry {
+                        hostname: hostname.clone(),
+                        slave,
+                    });
+                    ctx.send(
+                        slave,
+                        Payload::Pvm(PvmMsg::SlaveAccepted { vm: self.cfg.vm }),
+                    );
+                    ctx.trace("pvm.slave.accepted", hostname.clone());
+                    if let Some(origin) = origin {
+                        ctx.send(
+                            origin,
+                            Payload::Pvm(PvmMsg::AddResult {
+                                host: hostname.clone(),
+                                ok: true,
+                            }),
+                        );
+                    }
+                    self.add_finished(ctx, &hostname);
+                } else {
+                    // The defining PVM property: a slave from a machine the
+                    // master did not attempt to spawn on is refused.
+                    ctx.trace("pvm.slave.refused", hostname.clone());
+                    ctx.send(
+                        slave,
+                        Payload::Pvm(PvmMsg::SlaveRefused {
+                            reason: format!("host {hostname} was not added"),
+                        }),
+                    );
+                }
+            }
+            Payload::Pvm(PvmMsg::SlaveExiting { slave }) => {
+                if let Some(pos) = self.hosts.iter().position(|h| h.slave == slave) {
+                    let entry = self.hosts.remove(pos);
+                    ctx.trace("pvm.slave.gone", entry.hostname);
+                }
+            }
+            Payload::Pvm(PvmMsg::TaskDone { slave }) => {
+                self.tasks_done += 1;
+                self.tasks_running = self.tasks_running.saturating_sub(1);
+                ctx.trace("pvm.task.done", format!("total={}", self.tasks_done));
+                for &l in &self.subscribers {
+                    ctx.send(l, Payload::Pvm(PvmMsg::TaskDone { slave }));
+                }
+            }
+            Payload::Ctl(CtlMsg::GrowHint { count }) => {
+                // A self-scheduling PVM application calling pvm_addhosts()
+                // with a symbolic name.
+                for _ in 0..count {
+                    self.begin_add(ctx, "anylinux".to_string(), None);
+                }
+            }
+            Payload::Ctl(CtlMsg::Stop) => {
+                self.on_message(ctx, from, Payload::Pvm(PvmMsg::Halt));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, rb_proto::RshError>,
+    ) {
+        let Some(host) = self.rsh_inflight.remove(&handle) else {
+            return;
+        };
+        match result {
+            Ok(ExitStatus::Success) => {
+                // Slave daemonized; registration drives the rest.
+            }
+            _ => {
+                // Failed attempts to add machines are tolerated; this is
+                // exactly what Phase I of the module protocol relies on.
+                self.fail_add(ctx, &host);
+            }
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        // A locally executed task finished.
+        self.tasks_done += 1;
+        self.tasks_running = self.tasks_running.saturating_sub(1);
+        ctx.trace("pvm.task.done", format!("total={}", self.tasks_done));
+        let me = ctx.me();
+        for &l in &self.subscribers {
+            ctx.send(l, Payload::Pvm(PvmMsg::TaskDone { slave: me }));
+        }
+    }
+}
+
+/// A slave PVM daemon, started on a remote machine by `rsh`.
+pub struct PvmSlave {
+    master: ProcId,
+    vm: VmId,
+    accepted: bool,
+    /// In-flight local task CPU tokens.
+    running: u64,
+}
+
+impl PvmSlave {
+    pub fn new(master: ProcId, vm: VmId) -> Self {
+        PvmSlave {
+            master,
+            vm,
+            accepted: false,
+            running: 0,
+        }
+    }
+}
+
+impl Behavior for PvmSlave {
+    fn name(&self) -> &'static str {
+        "pvmd"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.me();
+        let hostname = ctx.hostname();
+        // pvmd initialization cost then registration.
+        let startup = ctx.cost().pvmd_startup;
+        ctx.send_after(
+            self.master,
+            Payload::Pvm(PvmMsg::SlaveRegister {
+                slave: me,
+                hostname,
+            }),
+            startup,
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Pvm(PvmMsg::SlaveAccepted { vm }) => {
+                debug_assert_eq!(vm, self.vm);
+                self.accepted = true;
+                ctx.register_service(PVMD_SERVICE);
+                // Daemonize: the rsh that started us returns.
+                ctx.detach();
+                ctx.trace("pvm.slave.up", ctx.hostname());
+            }
+            Payload::Pvm(PvmMsg::SlaveRefused { reason }) => {
+                ctx.trace("pvm.slave.refused.exit", reason);
+                ctx.exit(ExitStatus::Failure(1));
+            }
+            Payload::Pvm(PvmMsg::RunTask { cpu_millis }) => {
+                self.running += 1;
+                ctx.cpu_burst(Duration::from_millis(cpu_millis));
+            }
+            Payload::Pvm(PvmMsg::SlaveHalt) => {
+                ctx.exit(ExitStatus::Success);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        self.running = self.running.saturating_sub(1);
+        let me = ctx.me();
+        ctx.send(self.master, Payload::Pvm(PvmMsg::TaskDone { slave: me }));
+    }
+
+    fn on_signal(&mut self, ctx: &mut Ctx<'_>, sig: Signal) {
+        match sig {
+            Signal::Term | Signal::Int => {
+                // Graceful retreat: tell the master, then exit.
+                let me = ctx.me();
+                ctx.send(
+                    self.master,
+                    Payload::Pvm(PvmMsg::SlaveExiting { slave: me }),
+                );
+                ctx.trace("pvm.slave.retreat", ctx.hostname());
+                ctx.exit(ExitStatus::Success);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A scripted PVM console: finds the local pvmd through the per-user
+/// service registry and executes its commands in order, waiting for each
+/// `add` to resolve — exactly what the `pvm_grow` module script does.
+pub struct PvmConsole {
+    script: Vec<ConsoleCmd>,
+    idx: usize,
+    master: Option<ProcId>,
+    waiting_add: Option<String>,
+    /// Results of `add` commands, for tests: (host, ok).
+    results: Vec<(String, bool)>,
+}
+
+impl PvmConsole {
+    pub fn new(script: Vec<ConsoleCmd>) -> Self {
+        PvmConsole {
+            script,
+            idx: 0,
+            master: None,
+            waiting_add: None,
+            results: Vec::new(),
+        }
+    }
+
+    fn step(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(master) = self.master else {
+            return;
+        };
+        loop {
+            if self.waiting_add.is_some() {
+                return;
+            }
+            let Some(cmd) = self.script.get(self.idx).cloned() else {
+                ctx.exit(ExitStatus::Success);
+                return;
+            };
+            self.idx += 1;
+            match cmd {
+                ConsoleCmd::Add(host) => {
+                    self.waiting_add = Some(host.clone());
+                    ctx.send(master, Payload::Pvm(PvmMsg::AddHosts { hosts: vec![host] }));
+                    return;
+                }
+                ConsoleCmd::Delete(host) => {
+                    ctx.send(master, Payload::Pvm(PvmMsg::DeleteHost { host }));
+                }
+                ConsoleCmd::Halt => {
+                    ctx.send(master, Payload::Pvm(PvmMsg::Halt));
+                    ctx.exit(ExitStatus::Success);
+                    return;
+                }
+                ConsoleCmd::Spawn(n) => {
+                    ctx.send(
+                        master,
+                        Payload::Pvm(PvmMsg::SpawnTasks { n, cpu_millis: 0 }),
+                    );
+                }
+                ConsoleCmd::Quit => {
+                    ctx.exit(ExitStatus::Success);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Behavior for PvmConsole {
+    fn name(&self) -> &'static str {
+        "pvm-console"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Console startup: read .pvmrc, connect to the local pvmd.
+        let startup = ctx.cost().pvm_console_startup;
+        ctx.set_timer(startup);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        match ctx.lookup_service(PVMD_SERVICE) {
+            Some(master) => {
+                self.master = Some(master);
+                self.step(ctx);
+            }
+            None => {
+                ctx.trace("pvm.console.no-pvmd", ctx.hostname());
+                ctx.exit(ExitStatus::Failure(1));
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        if let Payload::Pvm(PvmMsg::AddResult { host, ok }) = msg {
+            if self.waiting_add.as_deref() == Some(host.as_str()) {
+                self.waiting_add = None;
+                self.results.push((host.clone(), ok));
+                ctx.trace("pvm.console.add-result", format!("{host} ok={ok}"));
+                self.step(ctx);
+            }
+        }
+    }
+}
+
+/// Configuration for a self-scheduling PVM application.
+#[derive(Debug, Clone)]
+pub struct PvmAppConfig {
+    /// Work units (CPU-milliseconds each) left in the application's bag.
+    pub work: Vec<u64>,
+    /// Keep this many tasks in flight per virtual-machine host.
+    pub tasks_per_host: u32,
+    /// Ask for another host (`pvm_addhosts("anylinux")`) whenever the
+    /// remaining bag exceeds this many units per current host — the
+    /// application's own adaptivity policy.
+    pub grow_backlog_per_host: usize,
+    /// Upper bound on self-initiated grows.
+    pub max_hosts: usize,
+}
+
+impl Default for PvmAppConfig {
+    fn default() -> Self {
+        PvmAppConfig {
+            work: Vec::new(),
+            tasks_per_host: 2,
+            grow_backlog_per_host: 8,
+            max_hosts: 8,
+        }
+    }
+}
+
+/// A **self-scheduling PVM application task**: it farms its bag of work
+/// over the virtual machine and — like the paper's "self-scheduling MPI
+/// programs" — calls `pvm_addhosts()` with a symbolic host name whenever
+/// its backlog outgrows the machines it has. Under the broker this makes
+/// the application adaptive with no code written for the broker at all:
+/// the `addhosts` turns into an intercepted `rsh anylinux`.
+pub struct PvmApp {
+    cfg: PvmAppConfig,
+    master: Option<ProcId>,
+    remaining: Vec<u64>,
+    outstanding: u32,
+    hosts: usize,
+    grows_requested: usize,
+    waiting_add: bool,
+    conf_timer: Option<TimerToken>,
+}
+
+impl PvmApp {
+    pub fn new(cfg: PvmAppConfig) -> Self {
+        let remaining = cfg.work.clone();
+        PvmApp {
+            cfg,
+            master: None,
+            remaining,
+            outstanding: 0,
+            hosts: 1, // the master's own host
+            grows_requested: 0,
+            waiting_add: false,
+            conf_timer: None,
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(master) = self.master else { return };
+        // Keep tasks_per_host tasks in flight per VM host.
+        let want = self.cfg.tasks_per_host as usize * self.hosts;
+        while (self.outstanding as usize) < want {
+            let Some(cpu) = self.remaining.pop() else {
+                break;
+            };
+            self.outstanding += 1;
+            ctx.send(
+                master,
+                Payload::Pvm(PvmMsg::SpawnTasks {
+                    n: 1,
+                    cpu_millis: cpu,
+                }),
+            );
+        }
+        // Self-scheduling adaptivity: more work than machines? Ask for one.
+        if !self.waiting_add
+            && self.hosts + self.grows_requested < self.cfg.max_hosts
+            && self.remaining.len() > self.cfg.grow_backlog_per_host * self.hosts
+        {
+            self.waiting_add = true;
+            self.grows_requested += 1;
+            ctx.trace("pvm.app.addhosts", "anylinux");
+            ctx.send(
+                master,
+                Payload::Pvm(PvmMsg::AddHosts {
+                    hosts: vec!["anylinux".to_string()],
+                }),
+            );
+        }
+        if self.remaining.is_empty() && self.outstanding == 0 {
+            ctx.trace("pvm.app.done", "");
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+}
+
+impl Behavior for PvmApp {
+    fn name(&self) -> &'static str {
+        "pvm-app"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Like any PVM task, find the local pvmd and enroll.
+        ctx.set_timer(Duration::from_millis(40));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        if self.conf_timer == Some(token) {
+            // Periodic pvm_config(): module-driven grows complete
+            // asynchronously, so the app polls the VM size.
+            if let Some(master) = self.master {
+                let me = ctx.me();
+                ctx.send(master, Payload::Pvm(PvmMsg::Conf { reply_to: me }));
+            }
+            self.conf_timer = Some(ctx.set_timer(Duration::from_secs(2)));
+            return;
+        }
+        match ctx.lookup_service(PVMD_SERVICE) {
+            Some(master) => {
+                self.master = Some(master);
+                let me = ctx.me();
+                ctx.send(master, Payload::Pvm(PvmMsg::Subscribe { listener: me }));
+                self.conf_timer = Some(ctx.set_timer(Duration::from_secs(2)));
+                self.dispatch(ctx);
+            }
+            None => {
+                ctx.trace("pvm.app.no-pvmd", ctx.hostname());
+                ctx.exit(ExitStatus::Failure(1));
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+        match msg {
+            Payload::Pvm(PvmMsg::TaskDone { .. }) => {
+                self.outstanding = self.outstanding.saturating_sub(1);
+                self.dispatch(ctx);
+            }
+            Payload::Pvm(PvmMsg::AddResult { ok, host }) => {
+                self.waiting_add = false;
+                if ok {
+                    self.hosts += 1;
+                    ctx.trace("pvm.app.grown", host);
+                } else {
+                    // Tolerated, exactly like the paper requires. Under the
+                    // broker, phase I always "fails" here while the real
+                    // grow proceeds asynchronously; the periodic Conf poll
+                    // picks the new host up.
+                    ctx.trace("pvm.app.add-failed", host);
+                }
+                self.dispatch(ctx);
+            }
+            Payload::Pvm(PvmMsg::ConfReply { hosts }) => {
+                let vm_size = hosts.len() + 1; // slaves + master host
+                if vm_size > self.hosts {
+                    ctx.trace("pvm.app.vm-size", format!("{vm_size}"));
+                }
+                self.hosts = vm_size;
+                self.dispatch(ctx);
+            }
+            Payload::Ctl(CtlMsg::Stop) => {
+                self.remaining.clear();
+            }
+            _ => {}
+        }
+    }
+}

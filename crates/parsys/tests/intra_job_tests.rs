@@ -1,0 +1,252 @@
+//! Second batch of programming-system tests: the *intra-job* resource
+//! managers' scheduling and bookkeeping — task distribution, host tables,
+//! voluntary shrink, tuple-space semantics.
+
+use rb_parsys::{
+    CalypsoConfig, CalypsoMaster, LamOrigin, LamOriginConfig, ParsysPrograms, PlindaConfig,
+    PlindaServer, PvmMaster, PvmMasterConfig, TaskBag,
+};
+use rb_proto::{CtlMsg, LamMsg, Payload, ProcId, PvmMsg, Tuple, TupleField};
+use rb_simcore::{Duration, SimTime};
+use rb_simnet::{BasePrograms, Behavior, Ctx, FactoryChain, ProcEnv, World, WorldBuilder};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn lab(n: usize) -> (World, Vec<rb_proto::MachineId>) {
+    let mut b = WorldBuilder::new()
+        .seed(23)
+        .factory(FactoryChain::new().with(BasePrograms).with(ParsysPrograms));
+    let ms = b.standard_lab(n);
+    (b.build(), ms)
+}
+
+fn env() -> ProcEnv {
+    ProcEnv::user_standard("alice")
+}
+
+// ---------------------------------------------------------------------
+// PVM scheduling
+// ---------------------------------------------------------------------
+
+#[test]
+fn pvm_tasks_round_robin_across_slaves() {
+    let (mut world, ms) = lab(4);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig {
+            initial_hosts: vec!["n01".into(), "n02".into(), "n03".into()],
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    assert_eq!(world.procs_named("pvmd").len(), 3);
+    world.send_from_harness(
+        master,
+        Payload::Pvm(PvmMsg::SpawnTasks {
+            n: 6,
+            cpu_millis: 1_000,
+        }),
+    );
+    world.run_until(SimTime(10_000_000));
+    assert_eq!(world.trace().count("pvm.task.done"), 6);
+    // Round-robin over 3 slaves, 6 tasks: each machine did ~2 CPU-seconds.
+    for m in &ms[1..] {
+        let busy = world.busy_time(*m).as_secs_f64();
+        assert!((1.9..=2.2).contains(&busy), "busy {busy} on {m}");
+    }
+}
+
+#[test]
+fn pvm_conf_reports_the_host_table() {
+    struct ConfAsker {
+        master: ProcId,
+        hosts: Rc<RefCell<Option<Vec<String>>>>,
+    }
+    impl Behavior for ConfAsker {
+        fn name(&self) -> &'static str {
+            "conf-asker"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let me = ctx.me();
+            ctx.send(self.master, Payload::Pvm(PvmMsg::Conf { reply_to: me }));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+            if let Payload::Pvm(PvmMsg::ConfReply { hosts }) = msg {
+                *self.hosts.borrow_mut() = Some(hosts);
+                ctx.exit(rb_proto::ExitStatus::Success);
+            }
+        }
+    }
+    let (mut world, ms) = lab(3);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig {
+            initial_hosts: vec!["n01".into(), "n02".into()],
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    let hosts = Rc::new(RefCell::new(None));
+    world.spawn_user(
+        ms[0],
+        Box::new(ConfAsker {
+            master,
+            hosts: hosts.clone(),
+        }),
+        env(),
+    );
+    world.run_until(SimTime(6_000_000));
+    let mut got = hosts.borrow().clone().unwrap();
+    got.sort();
+    assert_eq!(got, vec!["n01".to_string(), "n02".to_string()]);
+}
+
+#[test]
+fn pvm_tasks_run_locally_with_no_slaves() {
+    let (mut world, ms) = lab(1);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig {
+            default_task_millis: 500,
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(1_000_000));
+    world.send_from_harness(
+        master,
+        Payload::Pvm(PvmMsg::SpawnTasks {
+            n: 2,
+            cpu_millis: 0,
+        }),
+    );
+    world.run_until(SimTime(5_000_000));
+    assert_eq!(world.trace().count("pvm.task.done"), 2);
+    // The master's own host burned the CPU.
+    assert!(world.busy_time(ms[0]).as_secs_f64() >= 0.9);
+}
+
+// ---------------------------------------------------------------------
+// LAM work units
+// ---------------------------------------------------------------------
+
+#[test]
+fn lam_work_units_spread_and_complete() {
+    let (mut world, ms) = lab(3);
+    let origin = world.spawn_user(
+        ms[0],
+        Box::new(LamOrigin::new(LamOriginConfig {
+            boot_hosts: vec!["n01".into(), "n02".into()],
+            work_millis: 800,
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    for _ in 0..4 {
+        world.send_from_harness(origin, Payload::Lam(LamMsg::RunWork { cpu_millis: 0 }));
+    }
+    world.run_until(SimTime(10_000_000));
+    // 4 units x 0.8s over 2 nodes: each node computed ~1.6s.
+    for m in &ms[1..] {
+        let busy = world.busy_time(*m).as_secs_f64();
+        assert!((1.5..=1.8).contains(&busy), "busy {busy}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Calypso voluntary shrink
+// ---------------------------------------------------------------------
+
+#[test]
+fn calypso_shrink_hint_sheds_workers_gracefully() {
+    let (mut world, ms) = lab(4);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(CalypsoMaster::new(CalypsoConfig {
+            tasks: TaskBag::Endless { cpu_millis: 400 },
+            desired_workers: 3,
+            hostfile: vec!["n01".into(), "n02".into(), "n03".into()],
+            task_timeout: None,
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    assert_eq!(world.procs_named("calypso-worker").len(), 3);
+    world.send_from_harness(master, Payload::Ctl(CtlMsg::ShrinkHint { count: 2 }));
+    world.run_until(SimTime(10_000_000));
+    assert_eq!(world.procs_named("calypso-worker").len(), 1);
+    // The remaining worker still computes.
+    let before = world.trace().count("calypso.task.requeue");
+    world.run_until(SimTime(15_000_000));
+    assert!(world.alive(master));
+    let _ = before;
+}
+
+// ---------------------------------------------------------------------
+// PLinda tuple-space semantics
+// ---------------------------------------------------------------------
+
+#[test]
+fn plinda_out_in_roundtrip_through_harness() {
+    // A server with no tasks; deposit two tuples of different shapes; a
+    // worker must receive only the matching ("task", int, int) one.
+    let (mut world, ms) = lab(2);
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(PlindaConfig {
+            tasks: vec![],
+            desired_workers: 1,
+            hostfile: vec!["n01".into()],
+            persistent: false,
+        })),
+        env(),
+    );
+    world.run_until(SimTime(3_000_000));
+    assert_eq!(world.procs_named("plinda-worker").len(), 1);
+
+    // A non-matching tuple first: the worker's blocked `in` stays blocked.
+    world.send_from_harness(
+        server,
+        Payload::Plinda(rb_proto::PlindaMsg::Out {
+            tuple: Tuple(vec![TupleField::Str("banner".into())]),
+        }),
+    );
+    world.run_until(SimTime(4_000_000));
+    assert_eq!(world.busy_time(ms[1]), Duration::ZERO, "no work yet");
+
+    // Now a real task: the worker computes it.
+    world.send_from_harness(
+        server,
+        Payload::Plinda(rb_proto::PlindaMsg::Out {
+            tuple: Tuple(vec![
+                TupleField::Str("task".into()),
+                TupleField::Int(1),
+                TupleField::Int(700),
+            ]),
+        }),
+    );
+    world.run_until(SimTime(6_000_000));
+    let busy = world.busy_time(ms[1]).as_secs_f64();
+    assert!((0.65..=0.8).contains(&busy), "busy {busy}");
+}
+
+#[test]
+fn plinda_server_counts_results_not_other_outs() {
+    let (mut world, ms) = lab(3);
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(PlindaConfig {
+            tasks: vec![300; 3],
+            desired_workers: 2,
+            hostfile: vec!["n01".into(), "n02".into()],
+            persistent: false,
+        })),
+        env(),
+    );
+    world.run_until_pred(SimTime(60_000_000), |w| !w.alive(server));
+    let complete = world.trace().last("plinda.complete").unwrap();
+    assert!(complete.detail.contains("results=3"), "{}", complete.detail);
+}

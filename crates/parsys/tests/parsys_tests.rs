@@ -1,0 +1,462 @@
+//! Behavioral tests of the four programming systems running on the raw
+//! substrate (no broker): growth with real host names, refusal of
+//! unexpected machines, task execution, graceful retreat, and fault
+//! tolerance.
+
+use rb_parsys::{
+    CalypsoConfig, CalypsoMaster, LamOrigin, LamOriginConfig, ParsysPrograms, PlindaConfig,
+    PlindaServer, PvmConsole, PvmMaster, PvmMasterConfig, PvmSlave, TaskBag,
+};
+use rb_proto::{ConsoleCmd, CtlMsg, ExitStatus, Payload, ProcId, Signal, VmId};
+use rb_simcore::{Duration, SimTime};
+use rb_simnet::{BasePrograms, FactoryChain, ProcEnv, World, WorldBuilder};
+
+const FAR: SimTime = SimTime(3_600_000_000);
+
+fn lab(n: usize) -> (World, Vec<rb_proto::MachineId>) {
+    let mut b = WorldBuilder::new()
+        .seed(11)
+        .factory(FactoryChain::new().with(BasePrograms).with(ParsysPrograms));
+    let ms = b.standard_lab(n);
+    (b.build(), ms)
+}
+
+fn env() -> ProcEnv {
+    ProcEnv::user_standard("alice")
+}
+
+// ---------------------------------------------------------------------
+// PVM
+// ---------------------------------------------------------------------
+
+#[test]
+fn pvm_grows_with_real_host_names() {
+    let (mut world, ms) = lab(4);
+    world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig {
+            initial_hosts: vec!["n01".into(), "n02".into(), "n03".into()],
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    assert_eq!(world.procs_named("pvmd").len(), 3);
+    assert_eq!(world.trace().count("pvm.slave.accepted"), 3);
+    assert_eq!(world.trace().count("pvm.slave.refused"), 0);
+}
+
+#[test]
+fn pvm_add_of_unknown_host_fails_but_master_survives() {
+    let (mut world, ms) = lab(2);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig {
+            initial_hosts: vec!["n01".into(), "bogus-host".into()],
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    assert!(world.alive(master), "failed adds are tolerated");
+    assert_eq!(world.procs_named("pvmd").len(), 1);
+    assert_eq!(world.trace().count("pvm.add.failed"), 1);
+}
+
+#[test]
+fn pvm_refuses_slave_from_unexpected_machine() {
+    // Spawn a slave on a machine the master never attempted to add: it
+    // must be refused and exit with a failure status.
+    let (mut world, ms) = lab(3);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig::default())),
+        env(),
+    );
+    world.run_until(SimTime(1_000_000));
+    let rogue = world.spawn_user(ms[2], Box::new(PvmSlave::new(master, VmId(0))), env());
+    world.run_until(SimTime(3_000_000));
+    assert_eq!(world.exit_status(rogue), Some(ExitStatus::Failure(1)));
+    assert_eq!(world.trace().count("pvm.slave.refused"), 1);
+    assert!(world.procs_named("pvmd").is_empty());
+}
+
+#[test]
+fn pvm_console_script_grows_and_halts() {
+    let (mut world, ms) = lab(3);
+    world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig::default())),
+        env(),
+    );
+    // The console finds the pvmd via the per-user service registry, adds
+    // two hosts, spawns tasks, and quits — exactly what a module does.
+    world.schedule(SimTime(500_000), move |w| {
+        let m0 = w.machine_by_host("n00").unwrap();
+        w.spawn_user(
+            m0,
+            Box::new(PvmConsole::new(vec![
+                ConsoleCmd::Add("n01".into()),
+                ConsoleCmd::Add("n02".into()),
+                ConsoleCmd::Spawn(4),
+                ConsoleCmd::Quit,
+            ])),
+            ProcEnv::user_standard("alice"),
+        );
+    });
+    world.run_until(SimTime(10_000_000));
+    assert_eq!(world.procs_named("pvmd").len(), 2);
+    assert_eq!(world.trace().count("pvm.console.add-result"), 2);
+    // 4 tasks dispatched; each completes.
+    assert_eq!(world.trace().count("pvm.task.done"), 4);
+
+    // Now halt everything via a second console.
+    world.schedule_in(Duration::from_secs(1), move |w| {
+        let m0 = w.machine_by_host("n00").unwrap();
+        w.spawn_user(
+            m0,
+            Box::new(PvmConsole::new(vec![ConsoleCmd::Halt])),
+            ProcEnv::user_standard("alice"),
+        );
+    });
+    world.run_until(SimTime(20_000_000));
+    assert!(world.procs_named("pvmd").is_empty());
+    assert!(world.procs_named("pvm-master").is_empty());
+}
+
+#[test]
+fn pvm_console_without_pvmd_fails() {
+    let (mut world, ms) = lab(1);
+    let console = world.spawn_user(
+        ms[0],
+        Box::new(PvmConsole::new(vec![ConsoleCmd::Quit])),
+        env(),
+    );
+    world.run_until(SimTime(2_000_000));
+    assert_eq!(world.exit_status(console), Some(ExitStatus::Failure(1)));
+}
+
+#[test]
+fn pvm_duplicate_add_fails_fast() {
+    let (mut world, ms) = lab(2);
+    world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig {
+            initial_hosts: vec!["n01".into()],
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(3_000_000));
+    world.schedule_in(Duration::ZERO, |w| {
+        let m0 = w.machine_by_host("n00").unwrap();
+        w.spawn_user(
+            m0,
+            Box::new(PvmConsole::new(vec![
+                ConsoleCmd::Add("n01".into()),
+                ConsoleCmd::Quit,
+            ])),
+            ProcEnv::user_standard("alice"),
+        );
+    });
+    world.run_until(SimTime(6_000_000));
+    // The console observed a failed add for the duplicate host.
+    let trace = world.trace();
+    assert!(trace
+        .with_topic("pvm.console.add-result")
+        .any(|e| e.detail.contains("ok=false")));
+    assert_eq!(world.procs_named("pvmd").len(), 1);
+}
+
+#[test]
+fn pvm_slave_retreats_gracefully_on_sigterm() {
+    let (mut world, ms) = lab(2);
+    world.spawn_user(
+        ms[0],
+        Box::new(PvmMaster::new(PvmMasterConfig {
+            initial_hosts: vec!["n01".into()],
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(3_000_000));
+    let slave = world.procs_named("pvmd")[0];
+    world.kill_from_harness(slave, Signal::Term);
+    world.run_until(SimTime(5_000_000));
+    assert!(world.procs_named("pvmd").is_empty());
+    assert_eq!(world.trace().count("pvm.slave.gone"), 1);
+}
+
+// ---------------------------------------------------------------------
+// LAM
+// ---------------------------------------------------------------------
+
+#[test]
+fn lam_boots_and_grows() {
+    let (mut world, ms) = lab(4);
+    let origin = world.spawn_user(
+        ms[0],
+        Box::new(LamOrigin::new(LamOriginConfig {
+            boot_hosts: vec!["n01".into(), "n02".into()],
+            work_millis: 100,
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    assert_eq!(world.procs_named("lamd").len(), 2);
+    // Grow one more via the self-scheduling hook.
+    world.send_from_harness(origin, Payload::Ctl(CtlMsg::GrowHint { count: 1 }));
+    world.run_until(SimTime(6_000_000));
+    // GrowHint uses "anylinux" which plain rsh cannot resolve: tolerated
+    // failure, still 2 nodes.
+    assert_eq!(world.procs_named("lamd").len(), 2);
+    assert_eq!(world.trace().count("lam.grow.failed"), 1);
+    assert!(world.alive(origin));
+}
+
+#[test]
+fn lam_refuses_unexpected_node() {
+    let (mut world, ms) = lab(3);
+    let origin = world.spawn_user(
+        ms[0],
+        Box::new(LamOrigin::new(LamOriginConfig::default())),
+        env(),
+    );
+    world.run_until(SimTime(1_000_000));
+    let rogue = world.spawn_user(
+        ms[2],
+        Box::new(rb_parsys::LamNode::new(origin, rb_proto::SessionId(0))),
+        env(),
+    );
+    world.run_until(SimTime(3_000_000));
+    assert_eq!(world.exit_status(rogue), Some(ExitStatus::Failure(1)));
+    assert_eq!(world.trace().count("lam.node.refused"), 1);
+}
+
+#[test]
+fn lam_halt_shuts_everything_down() {
+    let (mut world, ms) = lab(3);
+    let origin = world.spawn_user(
+        ms[0],
+        Box::new(LamOrigin::new(LamOriginConfig {
+            boot_hosts: vec!["n01".into(), "n02".into()],
+            ..Default::default()
+        })),
+        env(),
+    );
+    world.run_until(SimTime(5_000_000));
+    world.send_from_harness(origin, Payload::Lam(rb_proto::LamMsg::Halt));
+    world.run_until(SimTime(8_000_000));
+    assert!(world.procs_named("lamd").is_empty());
+    assert!(world.procs_named("lam-origin").is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Calypso
+// ---------------------------------------------------------------------
+
+fn calypso_cfg(hosts: &[&str], tasks: TaskBag) -> CalypsoConfig {
+    CalypsoConfig {
+        tasks,
+        desired_workers: hosts.len() as u32,
+        hostfile: hosts.iter().map(|s| s.to_string()).collect(),
+        task_timeout: None,
+    }
+}
+
+#[test]
+fn calypso_finite_job_completes() {
+    let (mut world, ms) = lab(3);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(CalypsoMaster::new(calypso_cfg(
+            &["n01", "n02"],
+            TaskBag::Finite(vec![500; 8]),
+        ))),
+        env(),
+    );
+    world.run_until_pred(FAR, |w| !w.alive(master));
+    assert_eq!(world.exit_status(master), Some(ExitStatus::Success));
+    assert_eq!(world.trace().count("calypso.complete"), 1);
+    // Workers exit after JobComplete.
+    world.run_until(world.now() + Duration::from_secs(1));
+    assert!(world.procs_named("calypso-worker").is_empty());
+}
+
+#[test]
+fn calypso_parallel_speedup() {
+    // 8 tasks x 1 CPU-second each: 2 workers ≈ 4s of compute, 4 workers ≈ 2s.
+    fn elapsed(workers: usize) -> f64 {
+        let (mut world, ms) = lab(workers + 1);
+        let hosts: Vec<String> = (1..=workers).map(|i| format!("n{i:02}")).collect();
+        let host_refs: Vec<&str> = hosts.iter().map(|s| s.as_str()).collect();
+        let master = world.spawn_user(
+            ms[0],
+            Box::new(CalypsoMaster::new(calypso_cfg(
+                &host_refs,
+                TaskBag::Finite(vec![1_000; 8]),
+            ))),
+            env(),
+        );
+        world.run_until_pred(FAR, |w| !w.alive(master));
+        world.now().as_secs_f64()
+    }
+    let two = elapsed(2);
+    let four = elapsed(4);
+    assert!(four < two, "more workers should be faster: {four} vs {two}");
+    assert!(
+        (two / four) > 1.6,
+        "speedup should be near 2x: {two} / {four}"
+    );
+}
+
+#[test]
+fn calypso_tolerates_worker_eviction() {
+    let (mut world, ms) = lab(3);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(CalypsoMaster::new(calypso_cfg(
+            &["n01", "n02"],
+            TaskBag::Finite(vec![2_000; 6]),
+        ))),
+        env(),
+    );
+    // Evict one worker mid-computation via SIGTERM (the sub-appl's method).
+    world.schedule(SimTime(1_500_000), |w| {
+        let workers = w.procs_named("calypso-worker");
+        if let Some(&first) = workers.first() {
+            w.kill_from_harness(first, Signal::Term);
+        }
+    });
+    world.run_until_pred(FAR, |w| !w.alive(master));
+    assert_eq!(world.exit_status(master), Some(ExitStatus::Success));
+    // The in-flight task was requeued and re-executed.
+    assert!(world.trace().count("calypso.task.requeue") >= 1);
+}
+
+#[test]
+fn calypso_task_timeout_reexecutes_after_worker_crash() {
+    // SIGKILL a worker (no graceful retreat): eager scheduling's timeout
+    // must recover the task.
+    let (mut world, ms) = lab(3);
+    let mut cfg = calypso_cfg(&["n01", "n02"], TaskBag::Finite(vec![2_000; 4]));
+    cfg.task_timeout = Some(Duration::from_secs(6));
+    let master = world.spawn_user(ms[0], Box::new(CalypsoMaster::new(cfg)), env());
+    world.schedule(SimTime(1_500_000), |w| {
+        let workers = w.procs_named("calypso-worker");
+        if let Some(&first) = workers.first() {
+            w.kill_from_harness(first, Signal::Kill);
+        }
+    });
+    world.run_until_pred(FAR, |w| !w.alive(master));
+    assert_eq!(world.exit_status(master), Some(ExitStatus::Success));
+    assert!(world.trace().count("calypso.task.timeout") >= 1);
+}
+
+#[test]
+fn calypso_grow_hint_adds_workers() {
+    let (mut world, ms) = lab(4);
+    let master = world.spawn_user(
+        ms[0],
+        Box::new(CalypsoMaster::new(CalypsoConfig {
+            tasks: TaskBag::Endless { cpu_millis: 500 },
+            desired_workers: 1,
+            hostfile: vec!["n01".into(), "n02".into(), "n03".into()],
+            task_timeout: None,
+        })),
+        env(),
+    );
+    world.run_until(SimTime(3_000_000));
+    assert_eq!(world.procs_named("calypso-worker").len(), 1);
+    world.send_from_harness(master, Payload::Ctl(CtlMsg::GrowHint { count: 2 }));
+    world.run_until(SimTime(6_000_000));
+    assert_eq!(world.procs_named("calypso-worker").len(), 3);
+}
+
+// ---------------------------------------------------------------------
+// PLinda
+// ---------------------------------------------------------------------
+
+#[test]
+fn plinda_bag_of_tasks_completes() {
+    let (mut world, ms) = lab(3);
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(PlindaConfig {
+            tasks: vec![400; 10],
+            desired_workers: 2,
+            hostfile: vec!["n01".into(), "n02".into()],
+            persistent: false,
+        })),
+        env(),
+    );
+    world.run_until_pred(FAR, |w| !w.alive(server));
+    assert_eq!(world.exit_status(server), Some(ExitStatus::Success));
+    assert!(world
+        .trace()
+        .last("plinda.complete")
+        .unwrap()
+        .detail
+        .contains("results=10"));
+}
+
+#[test]
+fn plinda_rolls_back_tuple_on_worker_departure() {
+    let (mut world, ms) = lab(3);
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(PlindaConfig {
+            tasks: vec![3_000; 4],
+            desired_workers: 2,
+            hostfile: vec!["n01".into(), "n02".into()],
+            persistent: false,
+        })),
+        env(),
+    );
+    world.schedule(SimTime(1_500_000), |w| {
+        let workers = w.procs_named("plinda-worker");
+        if let Some(&first) = workers.first() {
+            w.kill_from_harness(first, Signal::Term);
+        }
+    });
+    world.run_until_pred(FAR, |w| !w.alive(server));
+    assert_eq!(world.exit_status(server), Some(ExitStatus::Success));
+    assert!(world.trace().count("plinda.rollback") >= 1);
+}
+
+#[test]
+fn plinda_blocked_in_served_when_tuple_arrives() {
+    // One worker, zero tasks initially: its `in` blocks. A task deposited
+    // later unblocks it.
+    let (mut world, ms) = lab(2);
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(PlindaConfig {
+            tasks: vec![],
+            desired_workers: 1,
+            hostfile: vec!["n01".into()],
+            persistent: false,
+        })),
+        env(),
+    );
+    world.run_until(SimTime(2_000_000));
+    assert_eq!(world.procs_named("plinda-worker").len(), 1);
+    // Harness deposits a task tuple directly (an `out` from "nowhere").
+    world.send_from_harness(
+        server,
+        Payload::Plinda(rb_proto::PlindaMsg::Out {
+            tuple: rb_proto::Tuple(vec![
+                rb_proto::TupleField::Str("task".into()),
+                rb_proto::TupleField::Int(0),
+                rb_proto::TupleField::Int(200),
+            ]),
+        }),
+    );
+    world.run_until(SimTime(4_000_000));
+    // The worker computed it and deposited a result; total==0 means the
+    // server never self-terminates, so check the trace.
+    assert!(world.alive(server));
+    let results: Vec<ProcId> = world.procs_named("plinda-worker");
+    assert_eq!(results.len(), 1, "worker still attached");
+}

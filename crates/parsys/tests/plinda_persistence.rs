@@ -1,0 +1,181 @@
+//! The "P" in PLinda: the tuple space is checkpointed to stable storage
+//! and a restarted server recovers it — including rolling back tuples that
+//! were withdrawn but never committed when the server died.
+
+use proptest::prelude::*;
+use rb_parsys::{decode_tuples, encode_tuples, ParsysPrograms, PlindaConfig, PlindaServer};
+use rb_proto::{ExitStatus, Signal, Tuple, TupleField};
+use rb_simcore::{Duration, SimTime};
+use rb_simnet::{BasePrograms, FactoryChain, ProcEnv, World, WorldBuilder};
+
+fn lab(n: usize) -> (World, Vec<rb_proto::MachineId>) {
+    let mut b = WorldBuilder::new()
+        .seed(47)
+        .factory(FactoryChain::new().with(BasePrograms).with(ParsysPrograms));
+    let ms = b.standard_lab(n);
+    (b.build(), ms)
+}
+
+fn persistent_cfg(tasks: Vec<u64>, hosts: &[&str]) -> PlindaConfig {
+    PlindaConfig {
+        tasks,
+        desired_workers: hosts.len() as u32,
+        hostfile: hosts.iter().map(|s| s.to_string()).collect(),
+        persistent: true,
+    }
+}
+
+#[test]
+fn encode_decode_roundtrip_simple() {
+    let tuples = vec![
+        Tuple(vec![TupleField::Str("task".into()), TupleField::Int(1)]),
+        Tuple(vec![TupleField::Int(-42)]),
+        Tuple(vec![]),
+        Tuple(vec![TupleField::Str(String::new())]),
+    ];
+    let bytes = encode_tuples(&tuples);
+    assert_eq!(decode_tuples(&bytes), Some(tuples));
+}
+
+#[test]
+fn decode_rejects_corruption() {
+    let tuples = vec![Tuple(vec![TupleField::Str("abc".into())])];
+    let mut bytes = encode_tuples(&tuples);
+    // Truncation.
+    bytes.pop();
+    assert_eq!(decode_tuples(&bytes), None);
+    // Bad tag.
+    let mut bytes = encode_tuples(&tuples);
+    bytes[8] = 9;
+    assert_eq!(decode_tuples(&bytes), None);
+    // Trailing garbage.
+    let mut bytes = encode_tuples(&tuples);
+    bytes.push(0);
+    assert_eq!(decode_tuples(&bytes), None);
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(
+        tuples in proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    any::<i64>().prop_map(TupleField::Int),
+                    "[ -~]{0,16}".prop_map(TupleField::Str),
+                ],
+                0..6,
+            )
+            .prop_map(Tuple),
+            0..20,
+        )
+    ) {
+        let bytes = encode_tuples(&tuples);
+        prop_assert_eq!(decode_tuples(&bytes), Some(tuples));
+    }
+}
+
+#[test]
+fn server_crash_loses_nothing_with_persistence() {
+    // 6 tasks, 2 workers. Kill the server mid-run (some tasks withdrawn,
+    // some done). Restart it on the same machine: the recovered space must
+    // contain every unfinished task (withdrawn ones rolled back), and the
+    // job completes with all 6 results.
+    let (mut world, ms) = lab(3);
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(persistent_cfg(
+            vec![2_000; 6],
+            &["n01", "n02"],
+        ))),
+        ProcEnv::user_standard("alice"),
+    );
+    world.run_until(SimTime(3_000_000));
+    assert_eq!(world.procs_named("plinda-worker").len(), 2);
+    // Mid-computation: two tasks are in workers' hands.
+    world.kill_from_harness(server, Signal::Kill);
+    world.run_until(SimTime(4_000_000));
+    assert!(!world.alive(server));
+    // The checkpoint survived the crash.
+    assert!(world
+        .disk_on(ms[0], "alice", rb_parsys::CHECKPOINT_FILE)
+        .is_some());
+
+    // The old workers are orphans of the dead server; clear them (their
+    // in-flight work is already rolled back in the checkpoint).
+    for w in world.procs_named("plinda-worker") {
+        world.kill_from_harness(w, Signal::Kill);
+    }
+    world.run_until(SimTime(5_000_000));
+
+    // Restart the server on the same machine as the same user.
+    let server2 = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(persistent_cfg(
+            vec![], // no fresh seeding: everything comes from the checkpoint
+            &["n01", "n02"],
+        ))),
+        ProcEnv::user_standard("alice"),
+    );
+    let done = world.run_until_pred(SimTime(120_000_000), |w| !w.alive(server2));
+    assert!(done, "restarted server never finished");
+    assert_eq!(world.exit_status(server2), Some(ExitStatus::Success));
+    assert!(world.trace().count("plinda.recover") >= 1);
+    // Completion requires results == total; total after recovery is the
+    // recovered task count, so a full completion proves nothing was lost.
+    let complete = world.trace().last("plinda.complete").unwrap();
+    assert!(complete.detail.contains("results=6"), "{}", complete.detail);
+    // A clean completion removes the checkpoint.
+    assert!(world
+        .disk_on(ms[0], "alice", rb_parsys::CHECKPOINT_FILE)
+        .is_none());
+}
+
+#[test]
+fn non_persistent_server_loses_its_space() {
+    let (mut world, ms) = lab(2);
+    let mut cfg = persistent_cfg(vec![1_000; 4], &["n01"]);
+    cfg.persistent = false;
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(cfg)),
+        ProcEnv::user_standard("alice"),
+    );
+    world.run_until(SimTime(2_000_000));
+    world.kill_from_harness(server, Signal::Kill);
+    world.run_until(SimTime(3_000_000));
+    assert!(world
+        .disk_on(ms[0], "alice", rb_parsys::CHECKPOINT_FILE)
+        .is_none());
+}
+
+#[test]
+fn disk_survives_machine_crash() {
+    // Stable storage semantics of the substrate itself.
+    let (mut world, ms) = lab(2);
+    let server = world.spawn_user(
+        ms[0],
+        Box::new(PlindaServer::new(persistent_cfg(vec![5_000; 3], &["n01"]))),
+        ProcEnv::user_standard("alice"),
+    );
+    world.run_until(SimTime(2_000_000));
+    world.set_machine_up(ms[0], false);
+    world.run_until(SimTime(3_000_000));
+    assert!(!world.alive(server));
+    assert!(world
+        .disk_on(ms[0], "alice", rb_parsys::CHECKPOINT_FILE)
+        .is_some());
+    world.set_machine_up(ms[0], true);
+    let recovered = decode_tuples(
+        world
+            .disk_on(ms[0], "alice", rb_parsys::CHECKPOINT_FILE)
+            .unwrap(),
+    )
+    .expect("checkpoint decodes");
+    // All three tasks durable (none completed before the crash).
+    let tasks = recovered
+        .iter()
+        .filter(|t| matches!(t.0.first(), Some(TupleField::Str(s)) if s == "task"))
+        .count();
+    assert_eq!(tasks, 3);
+    let _ = Duration::ZERO;
+}

@@ -1,0 +1,129 @@
+//! Command specifications — the simulated analogue of an `rsh` command line.
+//!
+//! When a process runs `rsh <host> <command>` the remote `rshd` must know
+//! what to execute. In the real system the command line names a binary and
+//! arguments; here it names one of the known simulated programs together
+//! with the parameters the real command line would carry (master addresses,
+//! session ids, …).
+
+use crate::ids::{GrowId, JobId, ProcId, SessionId, VmId};
+
+/// A scripted command fed to a PVM or LAM console.
+///
+/// The paper's external modules are five-line shell scripts that write
+/// console commands to `$HOME/.pvmrc` and start a console to execute them
+/// ("notice how this is a simple script that simulates users' actions").
+/// `ConsoleCmd` is the simulated form of one such line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsoleCmd {
+    /// `add <host>` — grow the virtual machine by one named host.
+    Add(String),
+    /// `delete <host>` — shrink the virtual machine.
+    Delete(String),
+    /// `halt` — shut the whole virtual machine down.
+    Halt,
+    /// `spawn <n>` — start `n` tasks on the virtual machine.
+    Spawn(u32),
+    /// `quit` — detach the console, leaving the virtual machine running.
+    Quit,
+}
+
+/// The program an `rsh` (or local spawn) should execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandSpec {
+    /// A C program with an empty `main()` — exits immediately.
+    Null,
+    /// A CPU-bound tight loop consuming the given CPU time at baseline
+    /// machine speed.
+    Loop { cpu_millis: u64 },
+    /// The broker's application-layer monitor process, started on each
+    /// machine a job extends to.
+    SubAppl {
+        appl: ProcId,
+        job: JobId,
+        grow: GrowId,
+    },
+    /// A slave PVM daemon that will register with `master`.
+    PvmSlave { master: ProcId, vm: VmId },
+    /// A PVM console executing a script (used interactively and by the
+    /// `pvm_grow`/`pvm_shrink`/`pvm_halt` external modules).
+    PvmConsole { script: Vec<ConsoleCmd> },
+    /// A LAM node daemon that will register with the session origin.
+    LamNode { origin: ProcId, session: SessionId },
+    /// A LAM console (`lamgrow`/`lamshrink`/`lamhalt` equivalents).
+    LamConsole { script: Vec<ConsoleCmd> },
+    /// A Calypso worker joining `master` anonymously.
+    CalypsoWorker { master: ProcId },
+    /// A PLinda worker attaching to the tuple-space `server` anonymously.
+    PlindaWorker { server: ProcId },
+    /// The broker's per-machine monitoring daemon (spawned by the broker
+    /// at startup and respawned on failure).
+    RbDaemon { broker: ProcId },
+    /// Extension point for tests and user-defined programs registered with
+    /// the program factory by name.
+    Custom { name: String, arg: u64 },
+}
+
+impl CommandSpec {
+    /// Short human-readable name used in traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommandSpec::Null => "null",
+            CommandSpec::Loop { .. } => "loop",
+            CommandSpec::SubAppl { .. } => "sub-appl",
+            CommandSpec::PvmSlave { .. } => "pvmd",
+            CommandSpec::PvmConsole { .. } => "pvm-console",
+            CommandSpec::LamNode { .. } => "lamd",
+            CommandSpec::LamConsole { .. } => "lam-console",
+            CommandSpec::CalypsoWorker { .. } => "calypso-worker",
+            CommandSpec::PlindaWorker { .. } => "plinda-worker",
+            CommandSpec::RbDaemon { .. } => "rb-daemon",
+            CommandSpec::Custom { .. } => "custom",
+        }
+    }
+
+    /// `true` for the programs whose intra-job manager refuses processes
+    /// from machines other than those it attempted to spawn (PVM, LAM) —
+    /// the property that forces the broker onto the external-module path.
+    pub fn requires_named_host(&self) -> bool {
+        matches!(
+            self,
+            CommandSpec::PvmSlave { .. } | CommandSpec::LamNode { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CommandSpec::Null.name(), "null");
+        assert_eq!(CommandSpec::Loop { cpu_millis: 10 }.name(), "loop");
+        assert_eq!(
+            CommandSpec::PvmSlave {
+                master: ProcId(1),
+                vm: VmId(1)
+            }
+            .name(),
+            "pvmd"
+        );
+    }
+
+    #[test]
+    fn named_host_requirement() {
+        assert!(CommandSpec::PvmSlave {
+            master: ProcId(1),
+            vm: VmId(0)
+        }
+        .requires_named_host());
+        assert!(CommandSpec::LamNode {
+            origin: ProcId(1),
+            session: SessionId(0)
+        }
+        .requires_named_host());
+        assert!(!CommandSpec::CalypsoWorker { master: ProcId(1) }.requires_named_host());
+        assert!(!CommandSpec::Null.requires_named_host());
+    }
+}

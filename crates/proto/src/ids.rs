@@ -1,0 +1,118 @@
+//! Strongly-typed identifiers used throughout the simulation.
+//!
+//! Every identifier is a newtype over a small integer so that mixing up,
+//! say, a process id and a machine id is a compile-time error. All ids are
+//! `Copy` and order/hash by their inner value, which keeps them cheap to use
+//! as map keys (see the perf-book guidance on small key types).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw inner value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A machine (workstation) in the simulated network.
+    MachineId,
+    u32,
+    "m"
+);
+id_type!(
+    /// A simulated process. Unique across the whole simulation, never reused.
+    ProcId,
+    u64,
+    "p"
+);
+id_type!(
+    /// A user job submitted to the broker (one `appl` process per job).
+    JobId,
+    u32,
+    "j"
+);
+id_type!(
+    /// One outstanding `rsh`/`rsh'` invocation by a process.
+    RshHandle,
+    u64,
+    "rsh#"
+);
+id_type!(
+    /// A timer registered by a process (echoed back on expiry).
+    TimerToken,
+    u64,
+    "t"
+);
+id_type!(
+    /// A PVM virtual machine instance.
+    VmId,
+    u64,
+    "vm"
+);
+id_type!(
+    /// A LAM/MPI session (the unit created by `lamboot`).
+    SessionId,
+    u64,
+    "s"
+);
+id_type!(
+    /// One grow transaction within the application layer: ties together the
+    /// `rsh'` request, the broker allocation, and the eventual sub-`appl`.
+    GrowId,
+    u64,
+    "g"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert_eq!(ProcId(12).to_string(), "p12");
+        assert_eq!(JobId(1).to_string(), "j1");
+        assert_eq!(RshHandle(7).to_string(), "rsh#7");
+        assert_eq!(GrowId(9).to_string(), "g9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(ProcId(1));
+        set.insert(ProcId(2));
+        set.insert(ProcId(1));
+        assert_eq!(set.len(), 2);
+        assert!(ProcId(1) < ProcId(2));
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let m: MachineId = 5u32.into();
+        assert_eq!(m.raw(), 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! # rb-proto — shared vocabulary for the ResourceBroker simulation
+//!
+//! This crate defines the identifiers, machine attributes, command
+//! specifications, and *wire messages* exchanged between every simulated
+//! process in the system: the broker, the per-machine daemons, the
+//! application-layer (`appl` / `sub-appl`) processes, the `rsh'`
+//! interposition shim, and the four commodity parallel programming systems
+//! (PVM, LAM/MPI, Calypso, PLinda).
+//!
+//! It contains **no behavior** — only types — so that the substrate crate
+//! (`rb-simnet`), the programming-system crate (`rb-parsys`) and the broker
+//! crate (`rb-broker`) can exchange strongly-typed messages without cyclic
+//! dependencies, mirroring how the real system's components communicate over
+//! sockets with an agreed-upon protocol.
+
+pub mod command;
+pub mod ids;
+pub mod machine;
+pub mod message;
+pub mod status;
+
+pub use command::{CommandSpec, ConsoleCmd};
+pub use ids::{GrowId, JobId, MachineId, ProcId, RshHandle, SessionId, TimerToken, VmId};
+pub use machine::{Arch, HostSpec, MachineAttrs, Os, Ownership, SymbolicHost};
+pub use message::{
+    ApplMsg, BrokerMsg, CalypsoMsg, CtlMsg, DaemonReport, LamMsg, PatternField, Payload, PlindaMsg,
+    PvmMsg, Tuple, TupleField, TuplePattern,
+};
+pub use status::{ExitStatus, RshError, Signal};

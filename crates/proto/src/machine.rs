@@ -1,0 +1,304 @@
+//! Machine attributes and host naming.
+//!
+//! The paper's broker matches jobs to machines by attributes carried in RSL
+//! requests (`(arch="i686")`), and distinguishes *symbolic* host names
+//! (`anyhost`, `anylinux`, …) — which trigger broker intervention — from
+//! *real* host names, which are allowed to proceed.
+
+use std::fmt;
+
+/// CPU architecture of a machine (the paper's testbed was all `i686`;
+/// heterogeneity exercises the RSL matcher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    I686,
+    Sparc,
+    Alpha,
+}
+
+impl Arch {
+    /// The RSL spelling of this architecture.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Arch::I686 => "i686",
+            Arch::Sparc => "sparc",
+            Arch::Alpha => "alpha",
+        }
+    }
+
+    /// Parse the RSL spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "i686" | "i86linux" | "x86" => Some(Arch::I686),
+            "sparc" => Some(Arch::Sparc),
+            "alpha" => Some(Arch::Alpha),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Operating system of a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Os {
+    Linux,
+    Solaris,
+    Osf1,
+}
+
+impl Os {
+    /// The spelling used in symbolic host names (`any<os>`) and RSL.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Os::Linux => "linux",
+            Os::Solaris => "solaris",
+            Os::Osf1 => "osf1",
+        }
+    }
+
+    /// Parse the RSL / symbolic spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "linux" => Some(Os::Linux),
+            "solaris" => Some(Os::Solaris),
+            "osf1" => Some(Os::Osf1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Os {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Whether a machine is privately owned or public.
+///
+/// The default policy allocates private machines only to adaptive jobs
+/// (which can be evicted when the owner returns); public machines — e.g. in
+/// a laboratory — are available to every job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ownership {
+    /// Available to all users; typically resides in a public laboratory.
+    Public,
+    /// Belongs to the named individual, who has absolute priority.
+    Private { owner: String },
+}
+
+impl Ownership {
+    /// `true` for privately owned machines.
+    pub fn is_private(&self) -> bool {
+        matches!(self, Ownership::Private { .. })
+    }
+}
+
+/// Static attributes of a simulated workstation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineAttrs {
+    /// Host name, e.g. `n01`. Unique within the cluster.
+    pub hostname: String,
+    pub arch: Arch,
+    pub os: Os,
+    pub ownership: Ownership,
+    /// Relative CPU speed (1.0 = the paper's 200 MHz PentiumPro baseline).
+    /// A `loop`-style burst of `c` CPU-seconds takes `c / speed` seconds of
+    /// dedicated machine time.
+    pub speed: f64,
+}
+
+impl MachineAttrs {
+    /// A public Linux/i686 machine at baseline speed — the common case in
+    /// the paper's testbed.
+    pub fn public_linux(hostname: impl Into<String>) -> Self {
+        MachineAttrs {
+            hostname: hostname.into(),
+            arch: Arch::I686,
+            os: Os::Linux,
+            ownership: Ownership::Public,
+            speed: 1.0,
+        }
+    }
+
+    /// A privately owned Linux/i686 machine.
+    pub fn private_linux(hostname: impl Into<String>, owner: impl Into<String>) -> Self {
+        MachineAttrs {
+            ownership: Ownership::Private {
+                owner: owner.into(),
+            },
+            ..MachineAttrs::public_linux(hostname)
+        }
+    }
+}
+
+/// A symbolic host name — a request for the broker to pick a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolicHost {
+    /// `anyhost`: any machine at all.
+    Any,
+    /// `any<os>` (e.g. `anylinux`): any machine running the given OS.
+    AnyOs(Os),
+    /// `any-<arch>` (e.g. `any-i686`): any machine of the given architecture.
+    AnyArch(Arch),
+}
+
+impl fmt::Display for SymbolicHost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicHost::Any => f.write_str("anyhost"),
+            SymbolicHost::AnyOs(os) => write!(f, "any{os}"),
+            SymbolicHost::AnyArch(a) => write!(f, "any-{a}"),
+        }
+    }
+}
+
+impl SymbolicHost {
+    /// Does the given machine satisfy this symbolic name?
+    pub fn matches(&self, attrs: &MachineAttrs) -> bool {
+        match self {
+            SymbolicHost::Any => true,
+            SymbolicHost::AnyOs(os) => attrs.os == *os,
+            SymbolicHost::AnyArch(a) => attrs.arch == *a,
+        }
+    }
+}
+
+/// The host argument of an `rsh` invocation, as classified by `rsh'`.
+///
+/// `rsh` commands with symbolic host names are interpreted as intra-job
+/// resource-manager requests for assistance; real host names are allowed to
+/// proceed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HostSpec {
+    /// A concrete host name such as `n01`.
+    Real(String),
+    /// A symbolic request such as `anylinux`.
+    Symbolic(SymbolicHost),
+}
+
+impl HostSpec {
+    /// Classify a host-name string exactly as `rsh'` does: `anyhost`/`any`
+    /// and `any<os>`/`any-<arch>` are symbolic, everything else is a real
+    /// host name.
+    pub fn classify(name: &str) -> HostSpec {
+        if name == "any" || name == "anyhost" {
+            return HostSpec::Symbolic(SymbolicHost::Any);
+        }
+        if let Some(rest) = name.strip_prefix("any-") {
+            if let Some(arch) = Arch::parse(rest) {
+                return HostSpec::Symbolic(SymbolicHost::AnyArch(arch));
+            }
+        }
+        if let Some(rest) = name.strip_prefix("any") {
+            if let Some(os) = Os::parse(rest) {
+                return HostSpec::Symbolic(SymbolicHost::AnyOs(os));
+            }
+        }
+        HostSpec::Real(name.to_string())
+    }
+
+    /// `true` when the broker must pick the machine.
+    pub fn is_symbolic(&self) -> bool {
+        matches!(self, HostSpec::Symbolic(_))
+    }
+}
+
+impl fmt::Display for HostSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostSpec::Real(h) => f.write_str(h),
+            HostSpec::Symbolic(s) => s.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_symbolic_names() {
+        assert_eq!(
+            HostSpec::classify("anyhost"),
+            HostSpec::Symbolic(SymbolicHost::Any)
+        );
+        assert_eq!(
+            HostSpec::classify("any"),
+            HostSpec::Symbolic(SymbolicHost::Any)
+        );
+        assert_eq!(
+            HostSpec::classify("anylinux"),
+            HostSpec::Symbolic(SymbolicHost::AnyOs(Os::Linux))
+        );
+        assert_eq!(
+            HostSpec::classify("anysolaris"),
+            HostSpec::Symbolic(SymbolicHost::AnyOs(Os::Solaris))
+        );
+        assert_eq!(
+            HostSpec::classify("any-sparc"),
+            HostSpec::Symbolic(SymbolicHost::AnyArch(Arch::Sparc))
+        );
+    }
+
+    #[test]
+    fn classify_real_names() {
+        assert_eq!(HostSpec::classify("n01"), HostSpec::Real("n01".into()));
+        // Unknown OS suffix after "any" is treated as a real host name.
+        assert_eq!(
+            HostSpec::classify("anyplan9"),
+            HostSpec::Real("anyplan9".into())
+        );
+        // A host literally named "anybody" stays real.
+        assert_eq!(
+            HostSpec::classify("anybody"),
+            HostSpec::Real("anybody".into())
+        );
+    }
+
+    #[test]
+    fn symbolic_matching() {
+        let linux = MachineAttrs::public_linux("n01");
+        let mut sparc_solaris = MachineAttrs::public_linux("s01");
+        sparc_solaris.arch = Arch::Sparc;
+        sparc_solaris.os = Os::Solaris;
+
+        assert!(SymbolicHost::Any.matches(&linux));
+        assert!(SymbolicHost::Any.matches(&sparc_solaris));
+        assert!(SymbolicHost::AnyOs(Os::Linux).matches(&linux));
+        assert!(!SymbolicHost::AnyOs(Os::Linux).matches(&sparc_solaris));
+        assert!(SymbolicHost::AnyArch(Arch::Sparc).matches(&sparc_solaris));
+        assert!(!SymbolicHost::AnyArch(Arch::Sparc).matches(&linux));
+    }
+
+    #[test]
+    fn ownership_predicates() {
+        let m = MachineAttrs::private_linux("n01", "alice");
+        assert!(m.ownership.is_private());
+        assert!(!MachineAttrs::public_linux("n02").ownership.is_private());
+    }
+
+    #[test]
+    fn display_roundtrip_for_symbolic() {
+        for s in [
+            SymbolicHost::Any,
+            SymbolicHost::AnyOs(Os::Linux),
+            SymbolicHost::AnyArch(Arch::Alpha),
+        ] {
+            let shown = s.to_string();
+            assert_eq!(HostSpec::classify(&shown), HostSpec::Symbolic(s));
+        }
+    }
+
+    #[test]
+    fn arch_os_parse() {
+        assert_eq!(Arch::parse("i686"), Some(Arch::I686));
+        assert_eq!(Arch::parse("vax"), None);
+        assert_eq!(Os::parse("linux"), Some(Os::Linux));
+        assert_eq!(Os::parse("beos"), None);
+    }
+}

@@ -1,0 +1,363 @@
+//! Wire messages exchanged between simulated processes.
+//!
+//! One top-level [`Payload`] enum with one sub-enum per protocol keeps the
+//! dispatch in each behavior a single `match`, and makes illegal
+//! cross-protocol traffic unrepresentable at the type level.
+
+use crate::command::CommandSpec;
+use crate::ids::{GrowId, JobId, MachineId, ProcId, VmId};
+use crate::machine::SymbolicHost;
+use crate::status::ExitStatus;
+
+/// Periodic report a machine daemon sends to the broker.
+///
+/// Daemons are responsible for monitoring resources such as the CPU status,
+/// the users who are logged on, the number of running jobs, and the
+/// keyboard- and mouse-status of the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaemonReport {
+    pub machine: MachineId,
+    /// Number of runnable application-layer processes (the load signal).
+    pub load: u32,
+    /// Number of interactively logged-in users.
+    pub users: u32,
+    /// Keyboard or mouse activity observed since the last report.
+    pub console_active: bool,
+    /// The machine's private owner is currently present.
+    pub owner_present: bool,
+}
+
+/// Resource-management layer protocol: broker ↔ daemons, broker ↔ `appl`s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrokerMsg {
+    // --- daemon -> broker ---
+    /// First message from a (re)started daemon.
+    DaemonHello { machine: MachineId },
+    /// Periodic resource report.
+    DaemonStatus(DaemonReport),
+
+    // --- broker -> daemon ---
+    /// Liveness probe; a daemon that misses replies is restarted.
+    DaemonPing { seq: u64 },
+    /// Reply to `DaemonPing`.
+    DaemonPong { machine: MachineId, seq: u64 },
+
+    // --- appl -> broker ---
+    /// A user submitted a job through an `appl` process. The broker parses
+    /// the RSL itself (`adaptive`, `module`, `count`, machine constraints).
+    RegisterJob {
+        appl: ProcId,
+        rsl: String,
+        user: String,
+        /// The machine the job was submitted from (its root process and
+        /// master daemons live there; it is already part of the job and is
+        /// never allocated to it again).
+        home: MachineId,
+    },
+    /// Request one machine, just in time, for a grow attempt.
+    AllocRequest {
+        job: JobId,
+        grow: GrowId,
+        constraint: SymbolicHost,
+    },
+    /// The `appl` finished vacating a machine the broker reclaimed.
+    MachineFreed { job: JobId, machine: MachineId },
+    /// The `appl` could not reach a machine the broker granted it (its
+    /// `rshd` did not answer) — the broker should distrust it until its
+    /// daemon reports again.
+    MachineUnreachable { machine: MachineId },
+    /// The job terminated; all its machines return to the pool.
+    JobDone { job: JobId },
+
+    // --- broker -> appl ---
+    /// Job admitted; the broker assigned it an id.
+    JobAccepted { job: JobId },
+    /// Job rejected (malformed RSL or unknown module).
+    JobRejected { reason: String },
+    /// A machine was selected for the grow attempt.
+    AllocGrant {
+        grow: GrowId,
+        machine: MachineId,
+        hostname: String,
+    },
+    /// No machine can be provided (policy or availability).
+    AllocDenied { grow: GrowId, reason: String },
+    /// Directive: give the named machine back (eviction / reallocation).
+    ReleaseMachine { machine: MachineId },
+    /// A machine became available and the job's standing desire is unmet;
+    /// the broker offers it so the job can grow asynchronously.
+    GrowOffer {
+        machine: MachineId,
+        hostname: String,
+    },
+
+    // --- user tools -> broker ---
+    /// Query machine availability and queued jobs.
+    QueryCluster { reply_to: ProcId },
+    /// Human-readable cluster status.
+    ClusterStatus { lines: Vec<String> },
+}
+
+/// Application-layer protocol: `rsh'` ↔ `appl` ↔ sub-`appl`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplMsg {
+    // --- rsh' -> appl ---
+    /// An intercepted `rsh`. The sender is the `rsh'` process; `origin` is
+    /// the job process that invoked it.
+    Intercepted {
+        origin: ProcId,
+        host: crate::machine::HostSpec,
+        cmd: CommandSpec,
+    },
+
+    // --- appl -> rsh' ---
+    /// Final outcome the `rsh'` process should exit with.
+    RshOutcome { status: ExitStatus },
+    /// Directive: run the standard `rsh` yourself and exit with its result
+    /// (real-host passthrough).
+    RshProceedStandard,
+
+    // --- sub-appl -> appl ---
+    /// Sub-`appl` started on its machine and awaits the program to run.
+    SubApplReady { grow: GrowId, machine: MachineId },
+    /// The delegated program was spawned (and detached, for daemons).
+    ChildStarted { grow: GrowId, child: ProcId },
+    /// The delegated program daemonized (detached from its controlling
+    /// sub-`appl`); for daemon-style programs this is the moment the grow
+    /// attempt counts as successful.
+    ChildDetached { grow: GrowId, child: ProcId },
+    /// The delegated program exited.
+    ChildExited { grow: GrowId, status: ExitStatus },
+    /// The machine has been vacated after a `ReleaseChild`.
+    Released { grow: GrowId, machine: MachineId },
+
+    // --- appl -> sub-appl ---
+    /// The program this sub-`appl` must execute on behalf of the job.
+    Program { grow: GrowId, cmd: CommandSpec },
+    /// Vacate: signal the child, grace-wait, kill if needed, then report.
+    ReleaseChild,
+    /// Job is over: kill the child and exit.
+    Shutdown,
+}
+
+/// PVM protocol: master pvmd ↔ slave pvmds ↔ consoles ↔ tasks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PvmMsg {
+    // --- console/task -> master pvmd ---
+    /// `pvm> add <host>` or `pvm_addhosts()`.
+    AddHosts { hosts: Vec<String> },
+    /// `pvm> delete <host>`.
+    DeleteHost { host: String },
+    /// `pvm> halt`.
+    Halt,
+    /// `pvm> conf` — ask for the current host table.
+    Conf { reply_to: ProcId },
+    /// Reply to `Conf`.
+    ConfReply { hosts: Vec<String> },
+    /// `pvm> spawn` — start `n` tasks across the virtual machine.
+    SpawnTasks { n: u32, cpu_millis: u64 },
+    /// A task (application process) asks to be notified of task
+    /// completions (`pvm_notify()`-style).
+    Subscribe { listener: ProcId },
+
+    // --- master pvmd -> console ---
+    /// Outcome of one `add` attempt.
+    AddResult { host: String, ok: bool },
+
+    // --- slave pvmd -> master pvmd ---
+    /// A freshly started slave announcing itself; `hostname` is the machine
+    /// it actually runs on, which the master checks against the host it
+    /// attempted to spawn on.
+    SlaveRegister { slave: ProcId, hostname: String },
+    /// Graceful departure (e.g. after `delete` or eviction).
+    SlaveExiting { slave: ProcId },
+    /// A task finished on a slave.
+    TaskDone { slave: ProcId },
+
+    // --- master pvmd -> slave pvmd ---
+    /// Registration accepted; slave becomes part of the virtual machine.
+    SlaveAccepted { vm: VmId },
+    /// Registration refused: the master did not attempt to spawn on this
+    /// machine ("PVM will refuse to accept processes from machines other
+    /// than those they attempted to spawn").
+    SlaveRefused { reason: String },
+    /// Run one task of the given CPU cost.
+    RunTask { cpu_millis: u64 },
+    /// Shut down (halt or delete).
+    SlaveHalt,
+}
+
+/// LAM/MPI protocol — structurally parallel to PVM, with its own timing and
+/// boot sequence, to demonstrate module reuse across systems.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LamMsg {
+    /// `lamgrow <host>` from a console, or a self-scheduling MPI program
+    /// asking for another node.
+    GrowNode { host: String },
+    /// `lamshrink <host>`.
+    ShrinkNode { host: String },
+    /// `lamhalt`.
+    Halt,
+    /// Outcome of one grow attempt.
+    GrowResult { host: String, ok: bool },
+    /// Node daemon announcing itself to the session origin.
+    NodeRegister { node: ProcId, hostname: String },
+    /// Accepted into the session.
+    NodeAccepted,
+    /// Refused — hostname not in the attempted-boot set.
+    NodeRefused { reason: String },
+    /// Node daemon leaving.
+    NodeExiting { node: ProcId },
+    /// Origin asks the node to run a self-scheduled work unit.
+    RunWork { cpu_millis: u64 },
+    /// Work unit complete.
+    WorkDone { node: ProcId },
+    /// Shut this node down.
+    NodeHalt,
+}
+
+/// Calypso protocol: fault-tolerant master/worker with eager scheduling;
+/// workers join anonymously and may vanish at any time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalypsoMsg {
+    /// Worker announcing itself (always accepted — this is what makes the
+    /// broker's default *redirect* path work for Calypso).
+    WorkerRegister { worker: ProcId, hostname: String },
+    /// Welcome; master may immediately follow with a task.
+    WorkerWelcome,
+    /// Assign one task.
+    TaskAssign { task: u64, cpu_millis: u64 },
+    /// Task result.
+    TaskResult { worker: ProcId, task: u64 },
+    /// Worker departing gracefully (eviction path).
+    WorkerLeaving { worker: ProcId },
+    /// No work right now; worker idles until poked.
+    Idle,
+    /// Master is done; workers should exit.
+    JobComplete,
+}
+
+/// PLinda protocol: a tuple-space server with bag-of-tasks workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlindaMsg {
+    /// `out(tuple)` — deposit a tuple.
+    Out { tuple: Tuple },
+    /// `in(pattern)` — blocking withdraw of a matching tuple.
+    In { pattern: TuplePattern },
+    /// Reply to `In` once a tuple matches.
+    InReply { tuple: Tuple },
+    /// Worker attaching to the space (always accepted).
+    WorkerRegister { worker: ProcId, hostname: String },
+    /// Attach acknowledged.
+    WorkerWelcome,
+    /// Worker departing gracefully.
+    WorkerLeaving { worker: ProcId },
+    /// Server shutting down.
+    SpaceClosed,
+}
+
+/// A PLinda tuple: an ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple(pub Vec<TupleField>);
+
+/// One field of a tuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TupleField {
+    Int(i64),
+    Str(String),
+}
+
+/// A pattern for `in()`: each position either matches a concrete field or is
+/// a typed wildcard (a "formal" in Linda terminology).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TuplePattern(pub Vec<PatternField>);
+
+/// One position of a tuple pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PatternField {
+    /// Must equal this field exactly.
+    Exact(TupleField),
+    /// Any integer.
+    AnyInt,
+    /// Any string.
+    AnyStr,
+}
+
+impl TuplePattern {
+    /// Does `tuple` match this pattern (same arity, each field compatible)?
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.0.len() == tuple.0.len()
+            && self.0.iter().zip(tuple.0.iter()).all(|(p, f)| match p {
+                PatternField::Exact(e) => e == f,
+                PatternField::AnyInt => matches!(f, TupleField::Int(_)),
+                PatternField::AnyStr => matches!(f, TupleField::Str(_)),
+            })
+    }
+}
+
+/// Scenario/test control messages (the simulated analogue of a user at a
+/// terminal or a driver script).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtlMsg {
+    /// Nudge an adaptive job to try to grow by `count` machines.
+    GrowHint { count: u32 },
+    /// Nudge an adaptive job to shed `count` machines voluntarily.
+    ShrinkHint { count: u32 },
+    /// Ask a program to finish up gracefully.
+    Stop,
+    /// Liveness probe used by tests.
+    Probe { reply_to: ProcId, token: u64 },
+    /// Reply to `Probe`.
+    ProbeReply { token: u64 },
+}
+
+/// Top-level message payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    Broker(BrokerMsg),
+    Appl(ApplMsg),
+    Pvm(PvmMsg),
+    Lam(LamMsg),
+    Calypso(CalypsoMsg),
+    Plinda(PlindaMsg),
+    Ctl(CtlMsg),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(fields: Vec<TupleField>) -> Tuple {
+        Tuple(fields)
+    }
+
+    #[test]
+    fn tuple_pattern_matching() {
+        let tuple = t(vec![TupleField::Str("task".into()), TupleField::Int(7)]);
+        let exact = TuplePattern(vec![
+            PatternField::Exact(TupleField::Str("task".into())),
+            PatternField::Exact(TupleField::Int(7)),
+        ]);
+        let formal = TuplePattern(vec![
+            PatternField::Exact(TupleField::Str("task".into())),
+            PatternField::AnyInt,
+        ]);
+        let wrong_type = TuplePattern(vec![
+            PatternField::Exact(TupleField::Str("task".into())),
+            PatternField::AnyStr,
+        ]);
+        let wrong_arity = TuplePattern(vec![PatternField::AnyStr]);
+
+        assert!(exact.matches(&tuple));
+        assert!(formal.matches(&tuple));
+        assert!(!wrong_type.matches(&tuple));
+        assert!(!wrong_arity.matches(&tuple));
+    }
+
+    #[test]
+    fn payload_is_cloneable_and_comparable() {
+        let a = Payload::Ctl(CtlMsg::GrowHint { count: 2 });
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Process exit statuses, Unix-style signals, and `rsh` errors.
+
+use std::fmt;
+
+/// The subset of Unix signals the mechanisms rely on.
+///
+/// Taking a machine away from a job is carried out by the sub-`appl`
+/// sending a standard Unix signal to its child; if the child does not
+/// terminate within a grace period, the sub-`appl` kills it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// SIGTERM — catchable; adaptive runtimes use it to retreat gracefully.
+    Term,
+    /// SIGKILL — uncatchable; the simulation kernel enforces immediate death.
+    Kill,
+    /// SIGINT — catchable; used by consoles.
+    Int,
+    /// SIGUSR1 — catchable; free for runtime-specific use.
+    Usr1,
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Signal::Term => "SIGTERM",
+            Signal::Kill => "SIGKILL",
+            Signal::Int => "SIGINT",
+            Signal::Usr1 => "SIGUSR1",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How a simulated process ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExitStatus {
+    /// Exit code 0.
+    Success,
+    /// Non-zero exit code.
+    Failure(i32),
+    /// Terminated by a signal.
+    Killed(Signal),
+}
+
+impl ExitStatus {
+    /// `true` only for a clean zero exit.
+    pub fn is_success(self) -> bool {
+        matches!(self, ExitStatus::Success)
+    }
+}
+
+impl fmt::Display for ExitStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitStatus::Success => f.write_str("exit(0)"),
+            ExitStatus::Failure(c) => write!(f, "exit({c})"),
+            ExitStatus::Killed(sig) => write!(f, "killed({sig})"),
+        }
+    }
+}
+
+/// Why an `rsh`/`rsh'` invocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RshError {
+    /// No machine with that host name exists on the network.
+    UnknownHost(String),
+    /// The target machine is down.
+    HostDown(String),
+    /// The broker declined to allocate a machine for a symbolic request.
+    Denied(String),
+    /// Remote command could not be started.
+    SpawnFailed(String),
+}
+
+impl fmt::Display for RshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RshError::UnknownHost(h) => write!(f, "unknown host: {h}"),
+            RshError::HostDown(h) => write!(f, "host down: {h}"),
+            RshError::Denied(r) => write!(f, "allocation denied: {r}"),
+            RshError::SpawnFailed(r) => write!(f, "spawn failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for RshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_predicate() {
+        assert!(ExitStatus::Success.is_success());
+        assert!(!ExitStatus::Failure(1).is_success());
+        assert!(!ExitStatus::Killed(Signal::Kill).is_success());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ExitStatus::Success.to_string(), "exit(0)");
+        assert_eq!(ExitStatus::Failure(2).to_string(), "exit(2)");
+        assert_eq!(
+            ExitStatus::Killed(Signal::Term).to_string(),
+            "killed(SIGTERM)"
+        );
+        assert_eq!(
+            RshError::UnknownHost("n99".into()).to_string(),
+            "unknown host: n99"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # rb-rsl — the Resource Specification Language
+//!
+//! ResourceBroker adopted the Resource Specification Language of Globus and
+//! extended it to support adaptive programs: `adaptive`, `start_script`,
+//! and `module` parameters describe adaptive jobs. A request such as
+//!
+//! ```text
+//! +(count>=4)(arch="i686")(module="pvm")
+//! ```
+//!
+//! asks to execute a PVM program on at least four i686 Linux machines,
+//! using the external `pvm_*` modules for grow/shrink/halt.
+//!
+//! This crate provides the lexer, parser, AST, and two evaluators:
+//! [`job_spec`] extracts job-level requirements, and [`machine_matches`]
+//! checks the remaining clauses against a machine's attributes.
+//!
+//! ```
+//! use rb_rsl::{parse, job_spec};
+//! let req = parse(r#"+(count>=4)(arch="i686")(module="pvm")"#).unwrap();
+//! let spec = job_spec(&req).unwrap();
+//! assert_eq!(spec.min_count, 4);
+//! assert_eq!(spec.module.as_deref(), Some("pvm"));
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{Clause, Request, Value};
+pub use eval::{clause_matches, job_spec, machine_matches, JobSpec, SpecError};
+pub use lexer::{lex, LexError, RelOp, Token};
+pub use parser::{parse, ParseError};

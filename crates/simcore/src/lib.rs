@@ -1,0 +1,22 @@
+//! # rb-simcore — deterministic discrete-event simulation kernel
+//!
+//! A minimal, domain-agnostic event kernel: virtual time, a stable-ordered
+//! event queue, a seeded random-number generator, and recorders for traces
+//! and summary statistics. `rb-simnet` builds the cluster substrate on top
+//! of this.
+//!
+//! Determinism contract: given the same seed and the same sequence of
+//! `schedule` calls, a simulation replays identically. Ties in time are
+//! broken by insertion sequence number, never by heap internals.
+
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use metrics::{Histogram, Series, Summary};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{Duration, SimTime};
+pub use trace::{TraceEvent, TraceRecorder};

@@ -1,0 +1,322 @@
+//! Summary statistics and reporting helpers.
+//!
+//! The paper reports *median measured elapsed times taking into account all
+//! overheads*; [`Summary::median`] is therefore the headline statistic of
+//! every experiment binary.
+
+use std::fmt;
+
+/// Descriptive statistics over a sample of `f64` observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Build from raw observations (NaNs are rejected).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|v| !v.is_nan()),
+            "NaN observation in sample set"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Summary { sorted: samples }
+    }
+
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(f64::NAN)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(f64::NAN)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Median (average of the two middle elements for even counts).
+    pub fn median(&self) -> f64 {
+        let n = self.sorted.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n % 2 == 1 {
+            self.sorted[n / 2]
+        } else {
+            (self.sorted[n / 2 - 1] + self.sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.sorted.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.sorted.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.sorted.len() as f64;
+        var.sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} median={:.3} mean={:.3} min={:.3} max={:.3} sd={:.3}",
+            self.count(),
+            self.median(),
+            self.mean(),
+            self.min(),
+            self.max(),
+            self.stddev()
+        )
+    }
+}
+
+/// An (x, y) series for figure reproduction (e.g. reallocation time vs
+/// number of machines).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Least-squares slope of y on x (used to check the paper's "scales
+    /// linearly at roughly one second per machine" claim).
+    pub fn slope(&self) -> f64 {
+        let n = self.points.len() as f64;
+        if self.points.len() < 2 {
+            return f64::NAN;
+        }
+        let sx: f64 = self.points.iter().map(|p| p.0).sum();
+        let sy: f64 = self.points.iter().map(|p| p.1).sum();
+        let sxx: f64 = self.points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = self.points.iter().map(|p| p.0 * p.1).sum();
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    }
+
+    /// Coefficient of determination of the least-squares line (linearity
+    /// check: R² ≈ 1 means the series is a straight line).
+    pub fn r_squared(&self) -> f64 {
+        if self.points.len() < 2 {
+            return f64::NAN;
+        }
+        let n = self.points.len() as f64;
+        let mean_y: f64 = self.points.iter().map(|p| p.1).sum::<f64>() / n;
+        let slope = self.slope();
+        let mean_x: f64 = self.points.iter().map(|p| p.0).sum::<f64>() / n;
+        let intercept = mean_y - slope * mean_x;
+        let ss_res: f64 = self
+            .points
+            .iter()
+            .map(|p| {
+                let e = p.1 - (slope * p.0 + intercept);
+                e * e
+            })
+            .sum();
+        let ss_tot: f64 = self
+            .points
+            .iter()
+            .map(|p| (p.1 - mean_y) * (p.1 - mean_y))
+            .sum();
+        if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        }
+    }
+
+    /// Render as aligned two-column text.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {}\n", self.name);
+        for (x, y) in &self.points {
+            out.push_str(&format!("{x:>10.3} {y:>10.3}\n"));
+        }
+        out
+    }
+}
+
+/// A fixed-width-bucket histogram (used for idleness distributions).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    /// Observations below `lo` or at/above the top edge.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// `n` buckets of `width` starting at `lo`.
+    pub fn new(lo: f64, width: f64, n: usize) -> Self {
+        assert!(width > 0.0 && n > 0);
+        Histogram {
+            lo,
+            width,
+            buckets: vec![0; n],
+            outliers: 0,
+        }
+    }
+
+    pub fn add(&mut self, v: f64) {
+        if v < self.lo {
+            self.outliers += 1;
+            return;
+        }
+        let idx = ((v - self.lo) / self.width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.outliers += 1;
+        }
+    }
+
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.outliers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::from_samples(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.median(), 2.0);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_median_interpolates() {
+        let s = Summary::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn percentiles() {
+        let s = Summary::from_samples((0..=100).map(f64::from).collect());
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.percentile(25.0) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::from_samples(vec![]);
+        assert!(s.median().is_nan());
+        assert!(s.mean().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn series_slope_of_line() {
+        let mut s = Series::new("line");
+        for k in 1..=16 {
+            s.push(k as f64, 1.0 * k as f64 + 0.2);
+        }
+        assert!((s.slope() - 1.0).abs() < 1e-9);
+        assert!((s.r_squared() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_r_squared_detects_nonlinearity() {
+        let mut s = Series::new("quad");
+        for k in 1..=16 {
+            s.push(k as f64, (k * k) as f64);
+        }
+        assert!(s.r_squared() < 0.99);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.1, 0.9, 1.5, 3.9, 4.0, -0.5] {
+            h.add(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 1, 0, 1]);
+        assert_eq!(h.outliers(), 2);
+        assert_eq!(h.total(), 6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Median always lies between min and max, and mean is bounded too.
+        #[test]
+        fn summary_invariants(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::from_samples(samples);
+            prop_assert!(s.min() <= s.median() && s.median() <= s.max());
+            prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
+            prop_assert!(s.stddev() >= 0.0);
+        }
+
+        /// Percentile is monotone in p.
+        #[test]
+        fn percentile_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 2..50),
+                               a in 0.0f64..100.0, b in 0.0f64..100.0) {
+            let s = Summary::from_samples(samples);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The event queue: a time-ordered priority queue with stable FIFO ordering
+//! among events scheduled for the same instant.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events pop in non-decreasing time order; events at equal times pop in the
+/// order they were pushed. This tie-break is what makes whole-simulation
+/// replays bit-identical across runs and platforms.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.at, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled so far (including popped ones).
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn popped_total(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        }
+    }
+
+    #[test]
+    fn counters_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(7), ());
+        q.push(SimTime(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.popped_total(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping never yields a time earlier than the previous pop, and
+        /// every pushed event comes back exactly once.
+        #[test]
+        fn pops_are_monotone_and_complete(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime(t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            let mut last = SimTime::ZERO;
+            while let Some((at, idx)) = q.pop() {
+                prop_assert!(at >= last);
+                prop_assert_eq!(at, SimTime(times[idx]));
+                prop_assert!(!seen[idx]);
+                seen[idx] = true;
+                last = at;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+
+        /// FIFO among equal timestamps holds for arbitrary interleavings.
+        #[test]
+        fn fifo_within_timestamp(times in proptest::collection::vec(0u64..5, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime(t), i);
+            }
+            let mut last_seq_at: std::collections::HashMap<u64, usize> = Default::default();
+            while let Some((at, idx)) = q.pop() {
+                if let Some(&prev) = last_seq_at.get(&at.0) {
+                    prop_assert!(idx > prev, "FIFO violated at t={}", at.0);
+                }
+                last_seq_at.insert(at.0, idx);
+            }
+        }
+    }
+}

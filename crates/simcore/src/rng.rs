@@ -1,0 +1,112 @@
+//! Seeded randomness for simulations.
+//!
+//! Every simulation owns exactly one `SimRng`; all stochastic decisions
+//! (arrival times, job durations, jitter) flow through it so that a run is
+//! reproducible from its seed alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source.
+pub struct SimRng {
+    inner: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with (for run reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Exponentially distributed value with the given mean (inter-arrival
+    /// times of Poisson processes).
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Pick a uniformly random element index from a slice length.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "empty slice");
+        self.inner.gen_range(0..len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seeded(1);
+        let mut b = SimRng::seeded(2);
+        let sa: Vec<u64> = (0..16).map(|_| a.uniform_u64(0, u64::MAX - 1)).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.uniform_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let mut r = SimRng::seeded(7);
+        for _ in 0..1_000 {
+            let v = r.uniform_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.uniform_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_plausible() {
+        let mut r = SimRng::seeded(11);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exponential(5.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 5.0).abs() < 0.25, "mean {mean} too far from 5.0");
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut r = SimRng::seeded(3);
+        for _ in 0..100 {
+            assert!(r.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Virtual time.
+//!
+//! Time is kept in integer microseconds to make event ordering exact and
+//! platform-independent; floating point enters only at the reporting edge.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Convert from fractional seconds, saturating at zero for negatives.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            Duration(0)
+        } else {
+            Duration((s * 1e6).round() as u64)
+        }
+    }
+
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by a non-negative factor (used by the processor-sharing model).
+    pub fn mul_f64(self, k: f64) -> Duration {
+        debug_assert!(k >= 0.0, "negative time scale");
+        Duration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// An instant of virtual time (microseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier` (panics in debug if `earlier` is later).
+    pub fn since(self, earlier: SimTime) -> Duration {
+        debug_assert!(earlier <= self, "time went backwards");
+        Duration(self.0 - earlier.0)
+    }
+
+    /// Saturating version of [`SimTime::since`].
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Duration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(Duration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Duration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert!((Duration::from_micros(1_500_000).as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + Duration::from_secs(1);
+        assert_eq!(t.as_micros(), 1_000_000);
+        assert_eq!(
+            (t + Duration::from_millis(500)).since(t),
+            Duration::from_millis(500)
+        );
+        assert_eq!(
+            Duration::from_secs(1).saturating_sub(Duration::from_secs(2)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(
+            Duration::from_secs(1).mul_f64(2.5),
+            Duration::from_micros(2_500_000)
+        );
+        assert_eq!(Duration::from_secs(1).mul_f64(0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Duration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(SimTime(2_000_000).to_string(), "T+2.000000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    #[cfg(debug_assertions)]
+    fn since_panics_when_reversed() {
+        let _ = SimTime(1).since(SimTime(2));
+    }
+}

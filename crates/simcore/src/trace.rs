@@ -1,0 +1,171 @@
+//! Structured event tracing.
+//!
+//! The trace is the simulation's observable record: integration tests
+//! assert that mechanism walk-throughs (e.g. the paper's Figure 5 and
+//! Figure 6 step sequences) happen in the documented order, and the
+//! experiment harness derives elapsed times and utilization from it.
+
+use crate::time::SimTime;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub at: SimTime,
+    /// Dot-separated topic, e.g. `rsh.intercept`, `broker.grant`,
+    /// `pvm.slave.refused`.
+    pub topic: String,
+    /// Free-form detail (host names, ids).
+    pub detail: String,
+}
+
+/// An append-only trace with query helpers.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// A recorder that stores events.
+    pub fn enabled() -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A recorder that drops everything (for long utilization runs where
+    /// only metrics matter).
+    pub fn disabled() -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, topic: impl Into<String>, detail: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                topic: topic.into(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All events, in recording order (which equals time order, since the
+    /// kernel records as it dispatches).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose topic starts with `prefix`.
+    pub fn with_topic<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.topic.starts_with(prefix))
+    }
+
+    /// First event with the exact topic.
+    pub fn first(&self, topic: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.topic == topic)
+    }
+
+    /// Last event with the exact topic.
+    pub fn last(&self, topic: &str) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| e.topic == topic)
+    }
+
+    /// Count of events with the exact topic.
+    pub fn count(&self, topic: &str) -> usize {
+        self.events.iter().filter(|e| e.topic == topic).count()
+    }
+
+    /// Assert (returning `Result` for test ergonomics) that events with the
+    /// given exact topics occur in the given relative order; other events
+    /// may interleave freely.
+    pub fn check_order(&self, topics: &[&str]) -> Result<(), String> {
+        let mut idx = 0;
+        for e in &self.events {
+            if idx < topics.len() && e.topic == topics[idx] {
+                idx += 1;
+            }
+        }
+        if idx == topics.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected topic '{}' (position {idx}) was not found in order; trace has {} events",
+                topics[idx],
+                self.events.len()
+            ))
+        }
+    }
+
+    /// Render the trace as text lines (for example binaries and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>14}  {:<28} {}\n",
+                e.at.to_string(),
+                e.topic,
+                e.detail
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceRecorder {
+        let mut t = TraceRecorder::enabled();
+        t.record(SimTime(1), "a.x", "one");
+        t.record(SimTime(2), "b", "two");
+        t.record(SimTime(3), "a.y", "three");
+        t.record(SimTime(4), "b", "four");
+        t
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = TraceRecorder::disabled();
+        t.record(SimTime(1), "a", "x");
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn queries() {
+        let t = sample();
+        assert_eq!(t.with_topic("a.").count(), 2);
+        assert_eq!(t.count("b"), 2);
+        assert_eq!(t.first("b").unwrap().detail, "two");
+        assert_eq!(t.last("b").unwrap().detail, "four");
+        assert!(t.first("zzz").is_none());
+    }
+
+    #[test]
+    fn order_checking() {
+        let t = sample();
+        assert!(t.check_order(&["a.x", "a.y", "b"]).is_ok());
+        assert!(t.check_order(&["a.x", "b", "b"]).is_ok());
+        let err = t.check_order(&["a.y", "a.x"]).unwrap_err();
+        assert!(err.contains("a.x"));
+    }
+
+    #[test]
+    fn render_contains_topics() {
+        let s = sample().render();
+        assert!(s.contains("a.x"));
+        assert!(s.contains("four"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Per-machine processor-sharing CPU model.
+//!
+//! Each machine runs its runnable bursts at an equal share of the CPU: with
+//! `n` active bursts each progresses at `speed / n` CPU-seconds per second.
+//! This reproduces the effect the paper observes in Table 2 — a
+//! compute-bound job gets a *faster turnaround* on a machine that has first
+//! been cleared of an adaptive job's worker than on one where it must share.
+//!
+//! Remaining work is tracked in CPU-microseconds (f64 for fractional
+//! shares); a burst completes when its remainder falls below half a
+//! microsecond.
+
+use rb_proto::ProcId;
+use rb_simcore::{Duration, SimTime};
+
+const DONE_EPS_US: f64 = 0.5;
+
+#[derive(Debug, Clone)]
+struct Burst {
+    proc: ProcId,
+    token: u64,
+    remaining_us: f64,
+}
+
+/// Processor-sharing scheduler for a single machine.
+#[derive(Debug)]
+pub struct CpuScheduler {
+    speed: f64,
+    bursts: Vec<Burst>,
+    last_update: SimTime,
+    /// Generation counter: any membership change invalidates previously
+    /// scheduled completion checks.
+    gen: u64,
+    busy_accum: Duration,
+    busy_since: Option<SimTime>,
+}
+
+impl CpuScheduler {
+    pub fn new(speed: f64) -> Self {
+        assert!(speed > 0.0, "machine speed must be positive");
+        CpuScheduler {
+            speed,
+            bursts: Vec::new(),
+            last_update: SimTime::ZERO,
+            gen: 0,
+            busy_accum: Duration::ZERO,
+            busy_since: None,
+        }
+    }
+
+    /// Number of runnable bursts (the daemon's load signal).
+    pub fn load(&self) -> usize {
+        self.bursts.len()
+    }
+
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    /// Progress all bursts up to `now`.
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update);
+        let elapsed = now.saturating_since(self.last_update).as_micros() as f64;
+        if elapsed > 0.0 && !self.bursts.is_empty() {
+            let per_burst = elapsed * self.speed / self.bursts.len() as f64;
+            for b in &mut self.bursts {
+                b.remaining_us = (b.remaining_us - per_burst).max(0.0);
+            }
+        }
+        self.last_update = now;
+    }
+
+    fn note_busy_transition(&mut self, now: SimTime) {
+        match (self.busy_since, self.bursts.is_empty()) {
+            (None, false) => self.busy_since = Some(now),
+            (Some(since), true) => {
+                self.busy_accum += now.saturating_since(since);
+                self.busy_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Add a burst of `cpu` CPU time for `proc`; returns the new generation.
+    pub fn add(&mut self, now: SimTime, proc: ProcId, token: u64, cpu: Duration) -> u64 {
+        self.advance(now);
+        self.bursts.push(Burst {
+            proc,
+            token,
+            remaining_us: cpu.as_micros() as f64,
+        });
+        self.gen += 1;
+        self.note_busy_transition(now);
+        self.gen
+    }
+
+    /// Remove every burst belonging to `proc` (process exit); returns the
+    /// cancelled tokens and the new generation.
+    pub fn remove_proc(&mut self, now: SimTime, proc: ProcId) -> (Vec<u64>, u64) {
+        self.advance(now);
+        let mut cancelled = Vec::new();
+        self.bursts.retain(|b| {
+            if b.proc == proc {
+                cancelled.push(b.token);
+                false
+            } else {
+                true
+            }
+        });
+        if !cancelled.is_empty() {
+            self.gen += 1;
+        }
+        self.note_busy_transition(now);
+        (cancelled, self.gen)
+    }
+
+    /// Absolute time at which the earliest burst will finish if membership
+    /// does not change.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        let min = self
+            .bursts
+            .iter()
+            .map(|b| b.remaining_us)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            let n = self.bursts.len() as f64;
+            let wall_us = (min.max(0.0) * n / self.speed).ceil() as u64;
+            Some(now + Duration::from_micros(wall_us))
+        } else {
+            None
+        }
+    }
+
+    /// Collect bursts that have completed by `now`; returns the finished
+    /// `(proc, token)` pairs and the new generation.
+    pub fn take_finished(&mut self, now: SimTime) -> (Vec<(ProcId, u64)>, u64) {
+        self.advance(now);
+        let mut done = Vec::new();
+        self.bursts.retain(|b| {
+            if b.remaining_us <= DONE_EPS_US {
+                done.push((b.proc, b.token));
+                false
+            } else {
+                true
+            }
+        });
+        if !done.is_empty() {
+            self.gen += 1;
+        }
+        self.note_busy_transition(now);
+        (done, self.gen)
+    }
+
+    /// Total time this machine has had at least one runnable burst,
+    /// counting a still-open busy interval up to `now`.
+    pub fn busy_time(&self, now: SimTime) -> Duration {
+        match self.busy_since {
+            Some(since) => self.busy_accum + now.saturating_since(since),
+            None => self.busy_accum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> ProcId {
+        ProcId(n)
+    }
+
+    #[test]
+    fn single_burst_runs_at_full_speed() {
+        let mut cpu = CpuScheduler::new(1.0);
+        let t0 = SimTime(0);
+        cpu.add(t0, p(1), 1, Duration::from_secs(5));
+        let completion = cpu.next_completion(t0).unwrap();
+        assert_eq!(completion, SimTime(5_000_000));
+        let (done, _) = cpu.take_finished(completion);
+        assert_eq!(done, vec![(p(1), 1)]);
+        assert_eq!(cpu.load(), 0);
+    }
+
+    #[test]
+    fn two_bursts_share_the_cpu() {
+        let mut cpu = CpuScheduler::new(1.0);
+        let t0 = SimTime(0);
+        cpu.add(t0, p(1), 1, Duration::from_secs(4));
+        cpu.add(t0, p(2), 2, Duration::from_secs(4));
+        // Each gets half the CPU: 4 CPU-seconds take 8 wall seconds.
+        let completion = cpu.next_completion(t0).unwrap();
+        assert_eq!(completion, SimTime(8_000_000));
+        let (done, _) = cpu.take_finished(completion);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn departure_speeds_up_remaining_burst() {
+        let mut cpu = CpuScheduler::new(1.0);
+        let t0 = SimTime(0);
+        cpu.add(t0, p(1), 1, Duration::from_secs(4));
+        cpu.add(t0, p(2), 2, Duration::from_secs(10));
+        // After 2 wall-seconds each consumed 1 CPU-second.
+        let t1 = SimTime(2_000_000);
+        let (cancelled, _) = cpu.remove_proc(t1, p(1));
+        assert_eq!(cancelled, vec![1]);
+        // p2 has 9 CPU-seconds left and the whole CPU: finishes at t1+9.
+        assert_eq!(cpu.next_completion(t1).unwrap(), SimTime(11_000_000));
+    }
+
+    #[test]
+    fn faster_machine_scales_time() {
+        let mut cpu = CpuScheduler::new(2.0);
+        let t0 = SimTime(0);
+        cpu.add(t0, p(1), 1, Duration::from_secs(4));
+        assert_eq!(cpu.next_completion(t0).unwrap(), SimTime(2_000_000));
+    }
+
+    #[test]
+    fn busy_time_accounting() {
+        let mut cpu = CpuScheduler::new(1.0);
+        cpu.add(SimTime(1_000_000), p(1), 1, Duration::from_secs(2));
+        let (done, _) = cpu.take_finished(SimTime(3_000_000));
+        assert_eq!(done.len(), 1);
+        // Busy from t=1 to t=3.
+        assert_eq!(cpu.busy_time(SimTime(10_000_000)), Duration::from_secs(2));
+        // A second interval, still open, counts up to "now".
+        cpu.add(SimTime(10_000_000), p(2), 7, Duration::from_secs(100));
+        assert_eq!(cpu.busy_time(SimTime(12_000_000)), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn generation_changes_on_membership_changes() {
+        let mut cpu = CpuScheduler::new(1.0);
+        let g0 = cpu.generation();
+        let g1 = cpu.add(SimTime(0), p(1), 1, Duration::from_secs(1));
+        assert_ne!(g0, g1);
+        let (_, g2) = cpu.remove_proc(SimTime(0), p(1));
+        assert_ne!(g1, g2);
+        // Removing a proc with no bursts does not bump the generation.
+        let (cancelled, g3) = cpu.remove_proc(SimTime(0), p(9));
+        assert!(cancelled.is_empty());
+        assert_eq!(g2, g3);
+    }
+
+    #[test]
+    fn empty_scheduler_has_no_completion() {
+        let mut cpu = CpuScheduler::new(1.0);
+        assert!(cpu.next_completion(SimTime(5)).is_none());
+        assert_eq!(cpu.load(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under processor sharing, total CPU handed out never exceeds
+        /// wall-time × speed, and all work eventually completes when run to
+        /// the scheduler's own predicted horizon.
+        #[test]
+        fn conservation_of_work(
+            cpu_secs in proptest::collection::vec(1u64..20, 1..8),
+            speed in 0.5f64..4.0,
+        ) {
+            let mut cpu = CpuScheduler::new(speed);
+            let t0 = SimTime(0);
+            let total_cpu: u64 = cpu_secs.iter().sum();
+            for (i, &c) in cpu_secs.iter().enumerate() {
+                cpu.add(t0, ProcId(i as u64), i as u64, Duration::from_secs(c));
+            }
+            // Run the scheduler to completion by repeatedly jumping to the
+            // next predicted completion.
+            let mut finished = 0usize;
+            let mut now = t0;
+            let mut guard = 0;
+            while let Some(next) = cpu.next_completion(now) {
+                now = next;
+                let (done, _) = cpu.take_finished(now);
+                finished += done.len();
+                guard += 1;
+                prop_assert!(guard < 1000, "scheduler failed to converge");
+            }
+            prop_assert_eq!(finished, cpu_secs.len());
+            // Work conservation: elapsed wall time x speed >= total CPU
+            // (equality up to rounding since the machine was never idle).
+            let wall = now.as_secs_f64();
+            prop_assert!(wall * speed >= total_cpu as f64 - 1e-3,
+                         "wall {wall} x speed {speed} < cpu {total_cpu}");
+            prop_assert!(wall * speed <= total_cpu as f64 + 1.0,
+                         "machine idled while work pending");
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! [`Ctx`] — the capability handle a behavior uses to act on the world.
+//!
+//! All interactions of a simulated process with its environment go through
+//! here: sending messages (with realistic latencies), timers, spawning,
+//! `rsh`, CPU consumption, service registration, signals, and exit.
+
+use crate::process::{Behavior, ProcEnv, RshBinding};
+use crate::world::{Event, World};
+use rb_proto::{
+    CommandSpec, ExitStatus, HostSpec, JobId, MachineAttrs, MachineId, Payload, ProcId, RshHandle,
+    Signal, TimerToken,
+};
+use rb_simcore::{Duration, SimTime};
+
+/// Execution context passed to every [`Behavior`] callback.
+pub struct Ctx<'w> {
+    world: &'w mut World,
+    me: ProcId,
+    exit: Option<ExitStatus>,
+}
+
+impl<'w> Ctx<'w> {
+    pub(crate) fn new(world: &'w mut World, me: ProcId) -> Self {
+        Ctx {
+            world,
+            me,
+            exit: None,
+        }
+    }
+
+    pub(crate) fn take_exit(&mut self) -> Option<ExitStatus> {
+        self.exit.take()
+    }
+
+    // ---------------- identity & inspection ----------------
+
+    /// This process's id.
+    pub fn me(&self) -> ProcId {
+        self.me
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The machine this process runs on.
+    pub fn machine(&self) -> MachineId {
+        self.world.procs[&self.me].machine
+    }
+
+    /// Host name of this process's machine.
+    pub fn hostname(&self) -> String {
+        self.world.hostname(self.machine()).to_string()
+    }
+
+    /// Attributes of an arbitrary machine (static data a process could
+    /// learn from `uname`/config files).
+    pub fn attrs_of(&self, m: MachineId) -> MachineAttrs {
+        self.world.machine_attrs(m).clone()
+    }
+
+    /// Resolve a host name.
+    pub fn lookup_host(&self, host: &str) -> Option<MachineId> {
+        self.world.machine_by_host(host)
+    }
+
+    /// All machine ids in the network (what a site administrator's host
+    /// list would contain — the broker reads this at startup).
+    pub fn all_machines(&self) -> Vec<MachineId> {
+        (0..self.world.machine_count() as u32)
+            .map(MachineId)
+            .collect()
+    }
+
+    /// Instantiate a program from the world's installed factory (what a
+    /// sub-`appl` does when told which command to execute). `None` means
+    /// "command not found".
+    pub fn build_program(&self, cmd: &rb_proto::CommandSpec) -> Option<Box<dyn Behavior>> {
+        self.world.build_program(cmd)
+    }
+
+    /// The world's timing constants (what a process would "know" from
+    /// system configuration, e.g. how long a graceful retreat may take).
+    pub fn cost(&self) -> &crate::cost::CostModel {
+        self.world.cost()
+    }
+
+    /// This process's environment.
+    pub fn env(&self) -> ProcEnv {
+        self.world.procs[&self.me].env.clone()
+    }
+
+    /// The job this process runs under, if broker-managed.
+    pub fn job(&self) -> Option<JobId> {
+        self.world.procs[&self.me].env.job
+    }
+
+    /// The managing `appl`, if any.
+    pub fn appl(&self) -> Option<ProcId> {
+        self.world.procs[&self.me].env.appl
+    }
+
+    /// Status snapshot of this process's machine, as a local daemon would
+    /// observe it (CPU load, logins, console activity, owner presence).
+    /// Reading clears the one-shot console-activity flag, modeling a
+    /// "since last poll" sensor.
+    pub fn poll_machine_status(&mut self) -> MachineStatus {
+        let m = self.machine();
+        let state = &mut self.world.machines[m.0 as usize];
+        let status = MachineStatus {
+            machine: m,
+            load: state.cpu.load() as u32,
+            app_procs: state.app_proc_count(),
+            users: state.users,
+            console_active: state.console_active,
+            owner_present: state.owner_present,
+        };
+        state.console_active = false;
+        status
+    }
+
+    // ---------------- randomness & tracing ----------------
+
+    /// Deterministic uniform integer in `[lo, hi)`.
+    pub fn rng_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.world.rng.uniform_u64(lo, hi)
+    }
+
+    /// Deterministic uniform float in `[lo, hi)`.
+    pub fn rng_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.world.rng.uniform_f64(lo, hi)
+    }
+
+    /// Record a trace event under this process's identity.
+    pub fn trace(&mut self, topic: impl Into<String>, detail: impl Into<String>) {
+        let at = self.world.now();
+        self.world.trace.record(at, topic, detail.into());
+    }
+
+    // ---------------- messaging ----------------
+
+    /// Send a message; latency is local or LAN depending on the target's
+    /// machine. Messages to dead processes are dropped (like writes to a
+    /// closed socket).
+    pub fn send(&mut self, to: ProcId, msg: Payload) {
+        self.send_after(to, msg, Duration::ZERO);
+    }
+
+    /// Send with additional processing delay before the wire latency.
+    pub fn send_after(&mut self, to: ProcId, msg: Payload, extra: Duration) {
+        let latency = match self.world.procs.get(&to) {
+            Some(entry) if entry.machine == self.machine() => self.world.cost().local_latency,
+            _ => self.world.cost().lan_latency,
+        };
+        let at = self.world.now() + extra + latency;
+        self.world.push_event_at(
+            at,
+            Event::Deliver {
+                to,
+                from: self.me,
+                msg,
+            },
+        );
+    }
+
+    // ---------------- timers ----------------
+
+    /// Arm a one-shot timer; the token is echoed to `on_timer`.
+    pub fn set_timer(&mut self, d: Duration) -> TimerToken {
+        let token = self.world.fresh_timer();
+        let at = self.world.now() + d;
+        self.world.push_event_at(
+            at,
+            Event::Timer {
+                proc: self.me,
+                token,
+            },
+        );
+        token
+    }
+
+    /// Cancel a pending timer (no-op if already fired).
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.world.cancelled_timers.insert(token);
+    }
+
+    // ---------------- process control ----------------
+
+    /// Spawn a child process on this machine, inheriting this process's
+    /// environment (fork/exec semantics).
+    pub fn spawn_local(&mut self, behavior: Box<dyn Behavior>) -> ProcId {
+        let env = self.env();
+        self.spawn_local_with_env(behavior, env)
+    }
+
+    /// Spawn a child process on this machine with an explicit environment
+    /// (what the sub-`appl` does when launching job programs).
+    pub fn spawn_local_with_env(&mut self, behavior: Box<dyn Behavior>, env: ProcEnv) -> ProcId {
+        let machine = self.machine();
+        let p = self
+            .world
+            .insert_proc(machine, behavior, env, Some(self.me));
+        let at = self.world.now() + self.world.cost().local_fork;
+        self.world.push_event_at(at, Event::Start(p));
+        p
+    }
+
+    /// Deliver a signal to another process. `SIGKILL` is enforced by the
+    /// kernel and cannot be caught.
+    pub fn kill(&mut self, target: ProcId, sig: Signal) {
+        let latency = match self.world.procs.get(&target) {
+            Some(entry) if entry.machine == self.machine() => self.world.cost().local_latency,
+            _ => self.world.cost().lan_latency,
+        };
+        let at = self.world.now() + latency;
+        self.world
+            .push_event_at(at, Event::SigDeliver { proc: target, sig });
+    }
+
+    /// Terminate this process with `status` once the current callback
+    /// returns.
+    pub fn exit(&mut self, status: ExitStatus) {
+        self.exit = Some(status);
+    }
+
+    /// Daemonize: any `rsh` waiting on this process completes successfully
+    /// now, and the local parent is notified (`on_child_detach`).
+    pub fn detach(&mut self) {
+        self.world.detach_proc(self.me);
+    }
+
+    // ---------------- rsh ----------------
+
+    /// Invoke whatever `rsh` this process's PATH resolves to (per its
+    /// environment's [`RshBinding`]). Completion arrives via
+    /// `on_rsh_result`.
+    pub fn rsh(&mut self, host: &str, cmd: CommandSpec) -> RshHandle {
+        let binding = self.world.procs[&self.me].env.rsh;
+        self.world.rsh_begin(self.me, host, cmd, binding)
+    }
+
+    /// Invoke the *standard* rsh explicitly, bypassing any shim (used by
+    /// the `appl` layer, which redirects jobs by design).
+    pub fn rsh_standard(&mut self, host: &str, cmd: CommandSpec) -> RshHandle {
+        self.world
+            .rsh_begin(self.me, host, cmd, RshBinding::Standard)
+    }
+
+    /// Used by the `rsh'` behavior itself: run the standard rsh state
+    /// machine under a pre-classified host spec.
+    pub fn rsh_standard_spec(&mut self, host: HostSpec, cmd: CommandSpec) -> RshHandle {
+        let handle = self.world.rsh_begin_raw();
+        self.world.standard_rsh(self.me, handle, host, cmd);
+        handle
+    }
+
+    // ---------------- CPU ----------------
+
+    /// Begin a CPU burst of `cpu` CPU-time under processor sharing;
+    /// completion arrives via `on_cpu_done` with the returned token.
+    pub fn cpu_burst(&mut self, cpu: Duration) -> u64 {
+        let token = self.world.next_cpu_token;
+        self.world.next_cpu_token += 1;
+        let m = self.machine();
+        let now = self.world.now();
+        self.world.machines[m.0 as usize]
+            .cpu
+            .add(now, self.me, token, cpu);
+        self.world.reschedule_cpu(m);
+        token
+    }
+
+    // ---------------- service registry ----------------
+
+    /// Register this process as the provider of a named per-user service
+    /// on this machine (the analogue of a `/tmp/pvmd.<uid>` socket file).
+    pub fn register_service(&mut self, name: &str) {
+        let m = self.machine();
+        let user = self.world.procs[&self.me].env.user.clone();
+        self.world
+            .services
+            .insert((m, user, name.to_string()), self.me);
+    }
+
+    /// Look up a service registered by this process's user on this machine.
+    pub fn lookup_service(&self, name: &str) -> Option<ProcId> {
+        let m = self.machine();
+        let user = &self.world.procs[&self.me].env.user;
+        self.world
+            .services
+            .get(&(m, user.clone(), name.to_string()))
+            .copied()
+    }
+
+    // ---------------- stable storage ----------------
+
+    /// Write a file in this user's home directory on this machine. The
+    /// disk survives process death and machine crashes.
+    pub fn disk_write(&mut self, file: &str, bytes: Vec<u8>) {
+        let m = self.machine();
+        let user = self.world.procs[&self.me].env.user.clone();
+        self.world.disks.insert((m, user, file.to_string()), bytes);
+    }
+
+    /// Read a file from this user's home directory on this machine.
+    pub fn disk_read(&self, file: &str) -> Option<Vec<u8>> {
+        let m = self.machine();
+        let user = &self.world.procs[&self.me].env.user;
+        self.world
+            .disks
+            .get(&(m, user.clone(), file.to_string()))
+            .cloned()
+    }
+
+    /// Remove a file from this user's home directory on this machine.
+    pub fn disk_remove(&mut self, file: &str) {
+        let m = self.machine();
+        let user = self.world.procs[&self.me].env.user.clone();
+        self.world.disks.remove(&(m, user, file.to_string()));
+    }
+}
+
+/// Snapshot of local machine state as observed by a daemon poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineStatus {
+    pub machine: MachineId,
+    /// Runnable CPU bursts.
+    pub load: u32,
+    /// Alive application processes.
+    pub app_procs: u32,
+    /// Interactive logins.
+    pub users: u32,
+    /// Keyboard/mouse activity since the previous poll.
+    pub console_active: bool,
+    /// Private owner at the console.
+    pub owner_present: bool,
+}

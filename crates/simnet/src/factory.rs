@@ -1,0 +1,114 @@
+//! Program factories: how the simulated `rshd` (and sub-`appl`s) turn a
+//! [`CommandSpec`] into a running behavior, and how the kernel instantiates
+//! `rsh'` for processes whose PATH resolves to the broker's shim.
+//!
+//! Splitting these behind traits keeps the dependency direction clean:
+//! `rb-simnet` knows nothing about PVM or the broker; `rb-parsys` and
+//! `rb-broker` register their programs at world-construction time, exactly
+//! like installing binaries on the cluster's machines.
+
+use crate::process::{Behavior, ProcEnv};
+use rb_proto::{CommandSpec, HostSpec, ProcId, RshHandle};
+
+/// Builds behaviors for commands. Return `None` for commands this factory
+/// does not provide ("command not found").
+pub trait ProgramFactory {
+    fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>>;
+}
+
+/// Tries a sequence of factories in order — like `$PATH` lookup across
+/// several installation prefixes.
+#[derive(Default)]
+pub struct FactoryChain {
+    factories: Vec<Box<dyn ProgramFactory>>,
+}
+
+impl FactoryChain {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with(mut self, f: impl ProgramFactory + 'static) -> Self {
+        self.factories.push(Box::new(f));
+        self
+    }
+
+    pub fn push(&mut self, f: impl ProgramFactory + 'static) {
+        self.factories.push(Box::new(f));
+    }
+}
+
+impl ProgramFactory for FactoryChain {
+    fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
+        self.factories.iter().find_map(|f| f.build(cmd))
+    }
+}
+
+/// Everything `rsh'` needs to know about the invocation it replaced.
+#[derive(Debug, Clone)]
+pub struct RshPrimeRequest {
+    /// The process that invoked `rsh` (e.g. a master pvmd).
+    pub caller: ProcId,
+    /// The handle the caller will receive the result under.
+    pub handle: RshHandle,
+    /// The host argument, already classified real/symbolic.
+    pub host: HostSpec,
+    /// The command to execute remotely.
+    pub cmd: CommandSpec,
+    /// The caller's environment (carries the managing `appl`, if any).
+    pub caller_env: ProcEnv,
+}
+
+/// Instantiates the `rsh'` behavior. Provided by `rb-broker`; absent in
+/// broker-less baseline clusters.
+pub trait RshPrimeFactory {
+    fn build(&self, req: RshPrimeRequest) -> Box<dyn Behavior>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::Ctx;
+
+    struct Prog(&'static str);
+    impl Behavior for Prog {
+        fn name(&self) -> &'static str {
+            self.0
+        }
+        fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    }
+
+    struct OnlyNull;
+    impl ProgramFactory for OnlyNull {
+        fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
+            matches!(cmd, CommandSpec::Null).then(|| Box::new(Prog("null")) as Box<dyn Behavior>)
+        }
+    }
+
+    struct OnlyLoop;
+    impl ProgramFactory for OnlyLoop {
+        fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
+            matches!(cmd, CommandSpec::Loop { .. })
+                .then(|| Box::new(Prog("loop")) as Box<dyn Behavior>)
+        }
+    }
+
+    #[test]
+    fn chain_tries_in_order() {
+        let chain = FactoryChain::new().with(OnlyNull).with(OnlyLoop);
+        assert_eq!(chain.build(&CommandSpec::Null).unwrap().name(), "null");
+        assert_eq!(
+            chain
+                .build(&CommandSpec::Loop { cpu_millis: 1 })
+                .unwrap()
+                .name(),
+            "loop"
+        );
+        assert!(chain
+            .build(&CommandSpec::Custom {
+                name: "nope".into(),
+                arg: 0
+            })
+            .is_none());
+    }
+}

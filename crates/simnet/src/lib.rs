@@ -1,0 +1,43 @@
+//! # rb-simnet — the simulated network of workstations
+//!
+//! A deterministic, event-driven substrate that stands in for the paper's
+//! testbed (16 × 200 MHz PentiumPro machines, Fast Ethernet, `rshd`,
+//! user-level daemons). It provides:
+//!
+//! * **machines** with static attributes (hostname, arch, OS, ownership,
+//!   speed) and dynamic state (liveness, logins, console activity, owner
+//!   presence);
+//! * **processes** as actor-style state machines ([`Behavior`]) with Unix
+//!   semantics: fork/exec ([`Ctx::spawn_local`]), environments, signals
+//!   (SIGTERM catchable, SIGKILL not), parent-exit notification,
+//!   daemonization ([`Ctx::detach`]);
+//! * **processor-sharing CPU** per machine, so compute-bound programs slow
+//!   down when they share a machine — the effect Table 2 of the paper
+//!   measures;
+//! * **`rsh`/`rshd`** with a calibrated cost model, plus the interposition
+//!   point where the broker's `rsh'` replaces the standard `rsh`
+//!   ([`RshBinding`], [`RshPrimeFactory`]);
+//! * **messaging** with local/LAN latencies, timers, a per-user service
+//!   registry (how consoles find their local `pvmd`), and a structured
+//!   trace.
+//!
+//! The substrate deliberately knows nothing about PVM, Calypso, or the
+//! broker: those are programs *installed into* a world via
+//! [`ProgramFactory`] chains, the same way binaries are installed on real
+//! machines.
+
+pub mod cost;
+pub mod cpu;
+pub mod ctx;
+pub mod factory;
+pub mod machine;
+pub mod process;
+pub mod programs;
+pub mod world;
+
+pub use cost::CostModel;
+pub use ctx::{Ctx, MachineStatus};
+pub use factory::{FactoryChain, ProgramFactory, RshPrimeFactory, RshPrimeRequest};
+pub use process::{Behavior, ProcEnv, ProcState, RshBinding};
+pub use programs::{BasePrograms, EchoProg, FalseProg, LoopProg, NullProg};
+pub use world::{World, WorldBuilder, HARNESS};

@@ -1,0 +1,137 @@
+//! Per-machine dynamic state: liveness, interactive activity (the signals
+//! the broker's daemons monitor), CPU scheduler, and utilization accounting.
+
+use crate::cpu::CpuScheduler;
+use rb_proto::MachineAttrs;
+use rb_simcore::{Duration, SimTime};
+
+/// Dynamic state of one workstation.
+#[derive(Debug)]
+pub struct MachineState {
+    pub attrs: MachineAttrs,
+    /// Machine is powered and reachable.
+    pub up: bool,
+    /// The private owner is at the console (daemons report this; the
+    /// default policy evicts adaptive jobs from private machines when it
+    /// becomes true).
+    pub owner_present: bool,
+    /// Interactively logged-in users.
+    pub users: u32,
+    /// Keyboard or mouse activity since the last daemon poll.
+    pub console_active: bool,
+    /// Processor-sharing CPU.
+    pub cpu: CpuScheduler,
+    /// Alive non-system (application-layer) processes.
+    app_procs: u32,
+    alloc_accum: Duration,
+    alloc_since: Option<SimTime>,
+    /// Total time the machine has been up (down-time is excluded from
+    /// utilization denominators).
+    up_since: Option<SimTime>,
+    up_accum: Duration,
+}
+
+impl MachineState {
+    pub fn new(attrs: MachineAttrs) -> Self {
+        let speed = attrs.speed;
+        MachineState {
+            attrs,
+            up: true,
+            owner_present: false,
+            users: 0,
+            console_active: false,
+            cpu: CpuScheduler::new(speed),
+            app_procs: 0,
+            alloc_accum: Duration::ZERO,
+            alloc_since: None,
+            up_since: Some(SimTime::ZERO),
+            up_accum: Duration::ZERO,
+        }
+    }
+
+    /// Record that an application process appeared on this machine.
+    pub fn app_proc_started(&mut self, now: SimTime) {
+        if self.app_procs == 0 {
+            self.alloc_since = Some(now);
+        }
+        self.app_procs += 1;
+    }
+
+    /// Record that an application process left this machine.
+    pub fn app_proc_ended(&mut self, now: SimTime) {
+        debug_assert!(self.app_procs > 0, "app proc count underflow");
+        self.app_procs = self.app_procs.saturating_sub(1);
+        if self.app_procs == 0 {
+            if let Some(since) = self.alloc_since.take() {
+                self.alloc_accum += now.saturating_since(since);
+            }
+        }
+    }
+
+    pub fn app_proc_count(&self) -> u32 {
+        self.app_procs
+    }
+
+    /// Total time this machine has hosted at least one application process.
+    pub fn allocated_time(&self, now: SimTime) -> Duration {
+        match self.alloc_since {
+            Some(since) => self.alloc_accum + now.saturating_since(since),
+            None => self.alloc_accum,
+        }
+    }
+
+    /// Mark the machine up or down, maintaining the up-time accumulator.
+    pub fn set_up(&mut self, now: SimTime, up: bool) {
+        if up == self.up {
+            return;
+        }
+        self.up = up;
+        if up {
+            self.up_since = Some(now);
+        } else if let Some(since) = self.up_since.take() {
+            self.up_accum += now.saturating_since(since);
+        }
+    }
+
+    /// Total time the machine has been up.
+    pub fn up_time(&self, now: SimTime) -> Duration {
+        match self.up_since {
+            Some(since) => self.up_accum + now.saturating_since(since),
+            None => self.up_accum,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> MachineState {
+        MachineState::new(MachineAttrs::public_linux("n01"))
+    }
+
+    #[test]
+    fn allocation_accounting_spans_process_lifetimes() {
+        let mut s = m();
+        s.app_proc_started(SimTime(1_000_000));
+        s.app_proc_started(SimTime(2_000_000)); // overlapping proc
+        s.app_proc_ended(SimTime(3_000_000));
+        // Still one process alive: interval open.
+        assert_eq!(s.allocated_time(SimTime(4_000_000)), Duration::from_secs(3));
+        s.app_proc_ended(SimTime(5_000_000));
+        assert_eq!(s.allocated_time(SimTime(9_000_000)), Duration::from_secs(4));
+        assert_eq!(s.app_proc_count(), 0);
+    }
+
+    #[test]
+    fn up_time_accounting() {
+        let mut s = m();
+        s.set_up(SimTime(2_000_000), false);
+        assert_eq!(s.up_time(SimTime(10_000_000)), Duration::from_secs(2));
+        s.set_up(SimTime(4_000_000), true);
+        assert_eq!(s.up_time(SimTime(5_000_000)), Duration::from_secs(3));
+        // Idempotent transitions don't double-count.
+        s.set_up(SimTime(6_000_000), true);
+        assert_eq!(s.up_time(SimTime(6_000_000)), Duration::from_secs(4));
+    }
+}

@@ -1,0 +1,142 @@
+//! Simulated processes: environment, behavior trait, and the process table
+//! entry the kernel keeps per process.
+
+use crate::ctx::Ctx;
+use rb_proto::{ExitStatus, JobId, Payload, ProcId, RshError, RshHandle, Signal, TimerToken};
+
+/// Which `rsh` implementation a process's spawn attempts go through.
+///
+/// In the real system this is decided by what `$PATH` resolves `rsh` to;
+/// replacing the system-wide `rsh` with `rsh'` is feasible because the
+/// interposition overhead is negligible for users who don't use the broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RshBinding {
+    /// The standard Unix remote shell.
+    Standard,
+    /// ResourceBroker's interposing version (`rsh'`).
+    Broker,
+}
+
+/// Per-process environment, inherited across local spawns (like Unix
+/// environment variables through fork/exec).
+#[derive(Debug, Clone)]
+pub struct ProcEnv {
+    /// The job this process belongs to, if it runs under broker management.
+    pub job: Option<JobId>,
+    /// The managing `appl` process (set by `appl`/sub-`appl` when they
+    /// spawn job processes; how `rsh'` finds its application layer).
+    pub appl: Option<ProcId>,
+    /// Which `rsh` this process invokes.
+    pub rsh: RshBinding,
+    /// Owning user name (for per-user service discovery and policy).
+    pub user: String,
+    /// System processes (broker, daemons, appl layer) are excluded from
+    /// machine-utilization accounting.
+    pub system: bool,
+}
+
+impl ProcEnv {
+    /// Environment of a user-launched process using plain `rsh`.
+    pub fn user_standard(user: impl Into<String>) -> Self {
+        ProcEnv {
+            job: None,
+            appl: None,
+            rsh: RshBinding::Standard,
+            user: user.into(),
+            system: false,
+        }
+    }
+
+    /// Environment of a user-launched process with `rsh'` on its PATH.
+    pub fn user_broker(user: impl Into<String>) -> Self {
+        ProcEnv {
+            rsh: RshBinding::Broker,
+            ..ProcEnv::user_standard(user)
+        }
+    }
+
+    /// Environment of a system (broker infrastructure) process.
+    pub fn system(user: impl Into<String>) -> Self {
+        ProcEnv {
+            system: true,
+            ..ProcEnv::user_standard(user)
+        }
+    }
+}
+
+/// The state machine of one simulated process.
+///
+/// All methods receive a [`Ctx`] through which the process interacts with
+/// the world (send messages, set timers, spawn, rsh, consume CPU, exit).
+/// Methods have empty defaults so behaviors implement only what they react
+/// to. `SIGKILL` is enforced by the kernel and never delivered here.
+#[allow(unused_variables)]
+pub trait Behavior {
+    /// Short stable name used in traces and test queries (e.g. `"pvmd"`).
+    fn name(&self) -> &'static str;
+
+    /// Called once when the process starts running.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {}
+
+    /// A message arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {}
+
+    /// A timer set with [`Ctx::set_timer`] expired.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {}
+
+    /// A catchable signal was delivered. The default disposition mirrors
+    /// Unix: `SIGTERM`/`SIGINT` terminate the process.
+    fn on_signal(&mut self, ctx: &mut Ctx<'_>, sig: Signal) {
+        match sig {
+            Signal::Term | Signal::Int => ctx.exit(ExitStatus::Killed(sig)),
+            Signal::Kill => unreachable!("SIGKILL is handled by the kernel"),
+            Signal::Usr1 => {}
+        }
+    }
+
+    /// A locally spawned child exited.
+    fn on_child_exit(&mut self, ctx: &mut Ctx<'_>, child: ProcId, status: ExitStatus) {}
+
+    /// A locally spawned child daemonized (called [`Ctx::detach`]).
+    fn on_child_detach(&mut self, ctx: &mut Ctx<'_>, child: ProcId) {}
+
+    /// An `rsh`/`rsh'` invocation completed: `Ok(status)` carries the remote
+    /// command's exit status (or `Success` at daemonization), `Err` means
+    /// the spawn itself failed.
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, RshError>,
+    ) {
+    }
+
+    /// A CPU burst requested with [`Ctx::cpu_burst`] finished.
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {}
+}
+
+/// Liveness of a process-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    Running,
+    Exited(ExitStatus),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_constructors() {
+        let e = ProcEnv::user_standard("alice");
+        assert_eq!(e.rsh, RshBinding::Standard);
+        assert!(!e.system);
+        assert!(e.job.is_none());
+
+        let b = ProcEnv::user_broker("bob");
+        assert_eq!(b.rsh, RshBinding::Broker);
+
+        let s = ProcEnv::system("rb");
+        assert!(s.system);
+    }
+}

@@ -1,0 +1,101 @@
+//! Built-in sequential programs: the paper's `null` and `loop`
+//! micro-benchmark programs, plus small utility behaviors for tests.
+
+use crate::ctx::Ctx;
+use crate::factory::ProgramFactory;
+use crate::process::Behavior;
+use rb_proto::{CommandSpec, CtlMsg, ExitStatus, Payload, ProcId};
+use rb_simcore::Duration;
+
+/// `null`: a C program with an empty `main()` — exits immediately.
+pub struct NullProg;
+
+impl Behavior for NullProg {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.exit(ExitStatus::Success);
+    }
+}
+
+/// `loop`: a CPU-bound tight loop of a fixed number of CPU-milliseconds.
+///
+/// Runs under processor sharing, so its elapsed time depends on what else
+/// the machine is doing — which is exactly what Table 2 measures.
+pub struct LoopProg {
+    cpu_millis: u64,
+    token: Option<u64>,
+}
+
+impl LoopProg {
+    pub fn new(cpu_millis: u64) -> Self {
+        LoopProg {
+            cpu_millis,
+            token: None,
+        }
+    }
+}
+
+impl Behavior for LoopProg {
+    fn name(&self) -> &'static str {
+        "loop"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.token = Some(ctx.cpu_burst(Duration::from_millis(self.cpu_millis)));
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if self.token == Some(token) {
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+}
+
+/// Answers [`CtlMsg::Probe`] messages; useful for liveness checks in tests.
+pub struct EchoProg;
+
+impl Behavior for EchoProg {
+    fn name(&self) -> &'static str {
+        "echo"
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        if let Payload::Ctl(CtlMsg::Probe { reply_to, token }) = msg {
+            let _ = from;
+            ctx.send(reply_to, Payload::Ctl(CtlMsg::ProbeReply { token }));
+        }
+    }
+}
+
+/// `false`: exits with status 1 immediately (for failure-path tests and
+/// failing make rules).
+pub struct FalseProg;
+
+impl Behavior for FalseProg {
+    fn name(&self) -> &'static str {
+        "false"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.exit(ExitStatus::Failure(1));
+    }
+}
+
+/// Factory for the built-in sequential programs. `Custom {"true", _}` and
+/// `Custom {"false", _}` map to the classic no-op binaries.
+pub struct BasePrograms;
+
+impl ProgramFactory for BasePrograms {
+    fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
+        match cmd {
+            CommandSpec::Null => Some(Box::new(NullProg)),
+            CommandSpec::Loop { cpu_millis } => Some(Box::new(LoopProg::new(*cpu_millis))),
+            CommandSpec::Custom { name, .. } if name == "true" => Some(Box::new(NullProg)),
+            CommandSpec::Custom { name, .. } if name == "false" => Some(Box::new(FalseProg)),
+            _ => None,
+        }
+    }
+}

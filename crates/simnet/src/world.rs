@@ -1,0 +1,980 @@
+//! The simulation world: machines, the process table, the event loop, and
+//! the `rsh`/`rshd` machinery.
+
+use crate::cost::CostModel;
+use crate::ctx::Ctx;
+use crate::factory::{ProgramFactory, RshPrimeFactory, RshPrimeRequest};
+use crate::machine::MachineState;
+use crate::process::{Behavior, ProcEnv, ProcState, RshBinding};
+use rb_proto::{
+    CommandSpec, ExitStatus, HostSpec, MachineAttrs, MachineId, Payload, ProcId, RshError,
+    RshHandle, Signal, TimerToken,
+};
+use rb_simcore::{Duration, EventQueue, SimRng, SimTime, TraceRecorder};
+use std::collections::{HashMap, HashSet};
+
+/// Pseudo-sender for messages injected by the test/scenario harness.
+pub const HARNESS: ProcId = ProcId(0);
+
+/// A deferred harness action (scenario scripting).
+type HarnessFn = Box<dyn FnOnce(&mut World)>;
+
+pub(crate) enum Event {
+    Start(ProcId),
+    Deliver {
+        to: ProcId,
+        from: ProcId,
+        msg: Payload,
+    },
+    Timer {
+        proc: ProcId,
+        token: TimerToken,
+    },
+    SigDeliver {
+        proc: ProcId,
+        sig: Signal,
+    },
+    CpuRecheck {
+        machine: MachineId,
+        gen: u64,
+    },
+    RshAdvance {
+        handle: RshHandle,
+    },
+    RshComplete {
+        handle: RshHandle,
+        to: ProcId,
+        result: Result<ExitStatus, RshError>,
+    },
+    ChildExit {
+        parent: ProcId,
+        child: ProcId,
+        status: ExitStatus,
+    },
+    ChildDetach {
+        parent: ProcId,
+        child: ProcId,
+    },
+    Harness(HarnessFn),
+}
+
+pub(crate) struct ProcEntry {
+    pub behavior: Option<Box<dyn Behavior>>,
+    pub name: &'static str,
+    pub machine: MachineId,
+    pub parent: Option<ProcId>,
+    pub env: ProcEnv,
+    pub state: ProcState,
+    /// `rsh` operation waiting on this process (completion on detach/exit).
+    pub waited_rsh: Option<RshHandle>,
+    /// Set when this process is an `rsh'` shim: (caller, caller's handle).
+    pub rsh_prime_for: Option<(ProcId, RshHandle)>,
+    pub detached: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RshStage {
+    Connecting,
+    Forking,
+    Waiting(ProcId),
+}
+
+struct RshOp {
+    caller: ProcId,
+    target: MachineId,
+    cmd: CommandSpec,
+    child_env: ProcEnv,
+    stage: RshStage,
+}
+
+/// Builder for [`World`].
+pub struct WorldBuilder {
+    machines: Vec<MachineAttrs>,
+    seed: u64,
+    cost: CostModel,
+    trace: bool,
+    default_remote_binding: RshBinding,
+    factory: Option<Box<dyn ProgramFactory>>,
+    rsh_prime: Option<Box<dyn RshPrimeFactory>>,
+}
+
+impl WorldBuilder {
+    pub fn new() -> Self {
+        WorldBuilder {
+            machines: Vec::new(),
+            seed: 1,
+            cost: CostModel::default(),
+            trace: true,
+            default_remote_binding: RshBinding::Standard,
+            factory: None,
+            rsh_prime: None,
+        }
+    }
+
+    /// Add one machine; returns the id it will get.
+    pub fn machine(&mut self, attrs: MachineAttrs) -> MachineId {
+        let id = MachineId(self.machines.len() as u32);
+        self.machines.push(attrs);
+        id
+    }
+
+    /// Add `n` public Linux machines named `n00`, `n01`, ….
+    pub fn standard_lab(&mut self, n: usize) -> Vec<MachineId> {
+        (0..n)
+            .map(|i| self.machine(MachineAttrs::public_linux(format!("n{i:02}"))))
+            .collect()
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// What `rsh` resolves to in the login environment of `rshd`-spawned
+    /// processes: `Broker` models a cluster where `rsh'` replaced the
+    /// system-wide `rsh`.
+    pub fn default_remote_binding(mut self, b: RshBinding) -> Self {
+        self.default_remote_binding = b;
+        self
+    }
+
+    pub fn factory(mut self, f: impl ProgramFactory + 'static) -> Self {
+        self.factory = Some(Box::new(f));
+        self
+    }
+
+    pub fn rsh_prime(mut self, f: impl RshPrimeFactory + 'static) -> Self {
+        self.rsh_prime = Some(Box::new(f));
+        self
+    }
+
+    pub fn build(self) -> World {
+        assert!(!self.machines.is_empty(), "a world needs machines");
+        let hosts = self
+            .machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.hostname.clone(), MachineId(i as u32)))
+            .collect();
+        World {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            machines: self.machines.into_iter().map(MachineState::new).collect(),
+            hosts,
+            procs: HashMap::new(),
+            next_proc: 1,
+            next_rsh: 1,
+            next_timer: 1,
+            next_cpu_token: 1,
+            cancelled_timers: HashSet::new(),
+            rsh_ops: HashMap::new(),
+            services: HashMap::new(),
+            disks: HashMap::new(),
+            rng: SimRng::seeded(self.seed),
+            trace: if self.trace {
+                TraceRecorder::enabled()
+            } else {
+                TraceRecorder::disabled()
+            },
+            cost: self.cost,
+            default_remote_binding: self.default_remote_binding,
+            factory: self.factory,
+            rsh_prime: self.rsh_prime,
+        }
+    }
+}
+
+impl Default for WorldBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The simulated network of workstations.
+pub struct World {
+    pub(crate) now: SimTime,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) machines: Vec<MachineState>,
+    hosts: HashMap<String, MachineId>,
+    pub(crate) procs: HashMap<ProcId, ProcEntry>,
+    next_proc: u64,
+    next_rsh: u64,
+    next_timer: u64,
+    pub(crate) next_cpu_token: u64,
+    pub(crate) cancelled_timers: HashSet<TimerToken>,
+    rsh_ops: HashMap<RshHandle, RshOp>,
+    /// (machine, user, service-name) -> provider process.
+    pub(crate) services: HashMap<(MachineId, String, String), ProcId>,
+    /// Stable storage: (machine, user, file) -> bytes. Survives process
+    /// death and machine crashes (it's a disk).
+    pub(crate) disks: HashMap<(MachineId, String, String), Vec<u8>>,
+    pub(crate) rng: SimRng,
+    pub(crate) trace: TraceRecorder,
+    pub(crate) cost: CostModel,
+    default_remote_binding: RshBinding,
+    factory: Option<Box<dyn ProgramFactory>>,
+    rsh_prime: Option<Box<dyn RshPrimeFactory>>,
+}
+
+impl World {
+    // ------------------------------------------------------------------
+    // Introspection (harness / tests)
+    // ------------------------------------------------------------------
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Instantiate a program from the installed factory.
+    pub fn build_program(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
+        self.factory.as_ref()?.build(cmd)
+    }
+
+    pub fn machine_by_host(&self, host: &str) -> Option<MachineId> {
+        self.hosts.get(host).copied()
+    }
+
+    pub fn machine_attrs(&self, m: MachineId) -> &MachineAttrs {
+        &self.machines[m.0 as usize].attrs
+    }
+
+    pub fn hostname(&self, m: MachineId) -> &str {
+        &self.machines[m.0 as usize].attrs.hostname
+    }
+
+    pub fn alive(&self, p: ProcId) -> bool {
+        self.procs
+            .get(&p)
+            .map(|e| matches!(e.state, ProcState::Running))
+            .unwrap_or(false)
+    }
+
+    pub fn exit_status(&self, p: ProcId) -> Option<ExitStatus> {
+        match self.procs.get(&p)?.state {
+            ProcState::Exited(s) => Some(s),
+            ProcState::Running => None,
+        }
+    }
+
+    pub fn proc_name(&self, p: ProcId) -> Option<&'static str> {
+        self.procs.get(&p).map(|e| e.name)
+    }
+
+    pub fn proc_machine(&self, p: ProcId) -> Option<MachineId> {
+        self.procs.get(&p).map(|e| e.machine)
+    }
+
+    /// Ids of all *alive* processes with the given behavior name.
+    pub fn procs_named(&self, name: &str) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self
+            .procs
+            .iter()
+            .filter(|(_, e)| e.name == name && matches!(e.state, ProcState::Running))
+            .map(|(&p, _)| p)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Alive application (non-system) processes on a machine.
+    pub fn app_procs_on(&self, m: MachineId) -> u32 {
+        self.machines[m.0 as usize].app_proc_count()
+    }
+
+    /// Total CPU-busy time of a machine.
+    pub fn busy_time(&self, m: MachineId) -> Duration {
+        self.machines[m.0 as usize].cpu.busy_time(self.now)
+    }
+
+    /// Total time a machine hosted at least one application process.
+    pub fn allocated_time(&self, m: MachineId) -> Duration {
+        self.machines[m.0 as usize].allocated_time(self.now)
+    }
+
+    pub fn machine_up(&self, m: MachineId) -> bool {
+        self.machines[m.0 as usize].up
+    }
+
+    /// Look up a named service on a machine for a user (e.g. the pvmd a
+    /// console on that machine would find via `/tmp/pvmd.<uid>`).
+    pub fn service_on(&self, m: MachineId, user: &str, name: &str) -> Option<ProcId> {
+        self.services
+            .get(&(m, user.to_string(), name.to_string()))
+            .copied()
+    }
+
+    /// Read a file from a machine's stable storage (harness-side).
+    pub fn disk_on(&self, m: MachineId, user: &str, file: &str) -> Option<&[u8]> {
+        self.disks
+            .get(&(m, user.to_string(), file.to_string()))
+            .map(|v| v.as_slice())
+    }
+
+    // ------------------------------------------------------------------
+    // Harness-side mutation
+    // ------------------------------------------------------------------
+
+    /// Spawn a process directly (the harness's analogue of a user typing a
+    /// command at a machine's console).
+    pub fn spawn_user(
+        &mut self,
+        machine: MachineId,
+        behavior: Box<dyn Behavior>,
+        env: ProcEnv,
+    ) -> ProcId {
+        let p = self.insert_proc(machine, behavior, env, None);
+        self.queue.push(self.now, Event::Start(p));
+        p
+    }
+
+    /// Schedule a harness action at an absolute time.
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+        assert!(at >= self.now, "cannot schedule in the past");
+        self.queue.push(at, Event::Harness(Box::new(f)));
+    }
+
+    /// Schedule a harness action after a delay.
+    pub fn schedule_in(&mut self, d: Duration, f: impl FnOnce(&mut World) + 'static) {
+        self.schedule(self.now + d, f);
+    }
+
+    /// Inject a message from the harness pseudo-process.
+    pub fn send_from_harness(&mut self, to: ProcId, msg: Payload) {
+        self.queue.push(
+            self.now + self.cost.local_latency,
+            Event::Deliver {
+                to,
+                from: HARNESS,
+                msg,
+            },
+        );
+    }
+
+    /// Deliver a signal from the harness.
+    pub fn kill_from_harness(&mut self, to: ProcId, sig: Signal) {
+        self.queue.push(
+            self.now + self.cost.local_latency,
+            Event::SigDeliver { proc: to, sig },
+        );
+    }
+
+    /// Set owner presence on a (private) machine; daemons observe it at
+    /// their next poll.
+    pub fn set_owner_present(&mut self, m: MachineId, present: bool) {
+        self.machines[m.0 as usize].owner_present = present;
+        self.machines[m.0 as usize].console_active |= present;
+        let host = self.hostname(m).to_string();
+        self.trace.record(
+            self.now,
+            "machine.owner",
+            format!("{host} present={present}"),
+        );
+    }
+
+    /// Set the interactive-login count on a machine.
+    pub fn set_users(&mut self, m: MachineId, users: u32) {
+        self.machines[m.0 as usize].users = users;
+    }
+
+    /// Record keyboard/mouse activity (one-shot; cleared by daemon polls).
+    pub fn touch_console(&mut self, m: MachineId) {
+        self.machines[m.0 as usize].console_active = true;
+    }
+
+    /// Crash or restore a machine. Crashing SIGKILLs every process on it.
+    pub fn set_machine_up(&mut self, m: MachineId, up: bool) {
+        if self.machines[m.0 as usize].up == up {
+            return;
+        }
+        self.machines[m.0 as usize].set_up(self.now, up);
+        let host = self.hostname(m).to_string();
+        self.trace
+            .record(self.now, "machine.power", format!("{host} up={up}"));
+        if !up {
+            let mut victims: Vec<ProcId> = self
+                .procs
+                .iter()
+                .filter(|(_, e)| e.machine == m && matches!(e.state, ProcState::Running))
+                .map(|(&p, _)| p)
+                .collect();
+            victims.sort();
+            for v in victims {
+                self.terminate(v, ExitStatus::Killed(Signal::Kill));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Run loop
+    // ------------------------------------------------------------------
+
+    /// Dispatch one event. Returns `false` if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((at, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        self.handle(ev);
+        true
+    }
+
+    /// Run until virtual time reaches `t` (events at exactly `t` included).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Run for a span of virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+
+    /// Run until the queue drains (only terminates for worlds without
+    /// self-rearming timers) or `limit` is reached.
+    pub fn run_until_idle(&mut self, limit: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > limit {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until `pred(world)` holds, checking after every event, up to
+    /// `limit`. Returns `true` if the predicate was satisfied.
+    pub fn run_until_pred(&mut self, limit: SimTime, pred: impl Fn(&World) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        while let Some(next) = self.queue.peek_time() {
+            if next > limit {
+                break;
+            }
+            self.step();
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery
+    // ------------------------------------------------------------------
+
+    pub(crate) fn insert_proc(
+        &mut self,
+        machine: MachineId,
+        behavior: Box<dyn Behavior>,
+        env: ProcEnv,
+        parent: Option<ProcId>,
+    ) -> ProcId {
+        let p = ProcId(self.next_proc);
+        self.next_proc += 1;
+        let name = behavior.name();
+        if !env.system {
+            self.machines[machine.0 as usize].app_proc_started(self.now);
+        }
+        self.procs.insert(
+            p,
+            ProcEntry {
+                behavior: Some(behavior),
+                name,
+                machine,
+                parent,
+                env,
+                state: ProcState::Running,
+                waited_rsh: None,
+                rsh_prime_for: None,
+                detached: false,
+            },
+        );
+        let host = self.hostname(machine).to_string();
+        self.trace
+            .record(self.now, "proc.start", format!("{p} {name} on {host}"));
+        p
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Start(p) => self.dispatch(p, |b, ctx| b.on_start(ctx)),
+            Event::Deliver { to, from, msg } => {
+                if self.alive(to) {
+                    self.dispatch(to, move |b, ctx| b.on_message(ctx, from, msg));
+                } else {
+                    self.trace
+                        .record(self.now, "msg.drop", format!("to dead {to}"));
+                }
+            }
+            Event::Timer { proc, token } => {
+                if self.cancelled_timers.remove(&token) {
+                    return;
+                }
+                self.dispatch(proc, move |b, ctx| b.on_timer(ctx, token));
+            }
+            Event::SigDeliver { proc, sig } => {
+                if !self.alive(proc) {
+                    return;
+                }
+                if sig == Signal::Kill {
+                    self.terminate(proc, ExitStatus::Killed(Signal::Kill));
+                } else {
+                    self.dispatch(proc, move |b, ctx| b.on_signal(ctx, sig));
+                }
+            }
+            Event::CpuRecheck { machine, gen } => {
+                if self.machines[machine.0 as usize].cpu.generation() != gen {
+                    return; // stale
+                }
+                let (done, _) = self.machines[machine.0 as usize]
+                    .cpu
+                    .take_finished(self.now);
+                for (p, token) in done {
+                    self.dispatch(p, move |b, ctx| b.on_cpu_done(ctx, token));
+                }
+                self.reschedule_cpu(machine);
+            }
+            Event::RshAdvance { handle } => self.rsh_advance(handle),
+            Event::RshComplete { handle, to, result } => {
+                self.rsh_ops.remove(&handle);
+                self.trace
+                    .record(self.now, "rsh.complete", format!("{handle} -> {result:?}"));
+                if self.alive(to) {
+                    self.dispatch(to, move |b, ctx| b.on_rsh_result(ctx, handle, result));
+                }
+            }
+            Event::ChildExit {
+                parent,
+                child,
+                status,
+            } => {
+                self.dispatch(parent, move |b, ctx| b.on_child_exit(ctx, child, status));
+            }
+            Event::ChildDetach { parent, child } => {
+                self.dispatch(parent, move |b, ctx| b.on_child_detach(ctx, child));
+            }
+            Event::Harness(f) => f(self),
+        }
+    }
+
+    fn dispatch(&mut self, p: ProcId, f: impl FnOnce(&mut dyn Behavior, &mut Ctx<'_>)) {
+        let Some(entry) = self.procs.get_mut(&p) else {
+            return;
+        };
+        if !matches!(entry.state, ProcState::Running) {
+            return;
+        }
+        let Some(mut behavior) = entry.behavior.take() else {
+            return; // re-entrant dispatch cannot happen, but be safe
+        };
+        let mut ctx = Ctx::new(self, p);
+        f(behavior.as_mut(), &mut ctx);
+        let exit = ctx.take_exit();
+        if let Some(entry) = self.procs.get_mut(&p) {
+            if matches!(entry.state, ProcState::Running) {
+                entry.behavior = Some(behavior);
+            }
+        }
+        if let Some(status) = exit {
+            self.terminate(p, status);
+        }
+    }
+
+    pub(crate) fn terminate(&mut self, p: ProcId, status: ExitStatus) {
+        let Some(entry) = self.procs.get_mut(&p) else {
+            return;
+        };
+        if !matches!(entry.state, ProcState::Running) {
+            return;
+        }
+        entry.state = ProcState::Exited(status);
+        entry.behavior = None;
+        let machine = entry.machine;
+        let parent = entry.parent;
+        let waited = entry.waited_rsh.take();
+        let prime_for = entry.rsh_prime_for.take();
+        let system = entry.env.system;
+        let name = entry.name;
+
+        if !system {
+            self.machines[machine.0 as usize].app_proc_ended(self.now);
+        }
+        // Free the CPU and wake the machine's scheduler.
+        let (_cancelled, _) = self.machines[machine.0 as usize]
+            .cpu
+            .remove_proc(self.now, p);
+        self.reschedule_cpu(machine);
+        // Drop services this process provided.
+        self.services.retain(|_, &mut provider| provider != p);
+
+        self.trace
+            .record(self.now, "proc.exit", format!("{p} {name} {status}"));
+
+        // Parent notification (local, like SIGCHLD).
+        if let Some(parent) = parent {
+            if self.alive(parent) {
+                self.queue.push(
+                    self.now + self.cost.local_latency,
+                    Event::ChildExit {
+                        parent,
+                        child: p,
+                        status,
+                    },
+                );
+            }
+        }
+        // A standard rsh waiting on this process completes with its status.
+        if let Some(handle) = waited {
+            if let Some(op) = self.rsh_ops.get(&handle) {
+                let to = op.caller;
+                self.queue.push(
+                    self.now + self.cost.lan_latency,
+                    Event::RshComplete {
+                        handle,
+                        to,
+                        result: Ok(status),
+                    },
+                );
+            }
+        }
+        // An rsh' shim's exit is its caller's rsh result (the op entry was
+        // registered at rsh_begin).
+        if let Some((caller, handle)) = prime_for {
+            self.queue.push(
+                self.now + self.cost.local_latency,
+                Event::RshComplete {
+                    handle,
+                    to: caller,
+                    result: Ok(status),
+                },
+            );
+        }
+    }
+
+    pub(crate) fn reschedule_cpu(&mut self, m: MachineId) {
+        let now = self.now;
+        let cpu = &mut self.machines[m.0 as usize].cpu;
+        if let Some(at) = cpu.next_completion(now) {
+            let gen = cpu.generation();
+            self.queue.push(at, Event::CpuRecheck { machine: m, gen });
+        }
+    }
+
+    pub(crate) fn fresh_timer(&mut self) -> TimerToken {
+        let t = TimerToken(self.next_timer);
+        self.next_timer += 1;
+        t
+    }
+
+    pub(crate) fn push_event_at(&mut self, at: SimTime, ev: Event) {
+        self.queue.push(at, ev);
+    }
+
+    // ------------------------------------------------------------------
+    // rsh machinery
+    // ------------------------------------------------------------------
+
+    /// Begin an rsh operation for `caller`. `binding` selects the real rsh
+    /// or the broker's shim.
+    /// Allocate a fresh rsh handle without starting an operation (used by
+    /// the `rsh'` behavior when it drives the standard path itself).
+    pub(crate) fn rsh_begin_raw(&mut self) -> RshHandle {
+        let handle = RshHandle(self.next_rsh);
+        self.next_rsh += 1;
+        handle
+    }
+
+    pub(crate) fn rsh_begin(
+        &mut self,
+        caller: ProcId,
+        host: &str,
+        cmd: CommandSpec,
+        binding: RshBinding,
+    ) -> RshHandle {
+        let handle = self.rsh_begin_raw();
+        let spec = HostSpec::classify(host);
+        self.trace.record(
+            self.now,
+            "rsh.invoke",
+            format!("{caller} {binding:?} {spec} {}", cmd.name()),
+        );
+
+        match binding {
+            RshBinding::Broker if self.rsh_prime.is_some() => {
+                // Spawn the rsh' shim locally as a child of the caller.
+                let entry = self.procs.get(&caller).expect("caller exists");
+                let machine = entry.machine;
+                let caller_env = entry.env.clone();
+                let req = RshPrimeRequest {
+                    caller,
+                    handle,
+                    host: spec,
+                    cmd: cmd.clone(),
+                    caller_env: caller_env.clone(),
+                };
+                let behavior = self.rsh_prime.as_ref().expect("checked above").build(req);
+                let mut env = caller_env;
+                env.system = true; // infrastructure shim
+                let shim = self.insert_proc(machine, behavior, env, Some(caller));
+                self.procs
+                    .get_mut(&shim)
+                    .expect("just inserted")
+                    .rsh_prime_for = Some((caller, handle));
+                // Register the op so RshComplete can route to the caller.
+                self.rsh_ops.insert(
+                    handle,
+                    RshOp {
+                        caller,
+                        target: machine,
+                        cmd,
+                        child_env: ProcEnv::user_standard("rsh-prime"),
+                        stage: RshStage::Waiting(shim),
+                    },
+                );
+                // The shim replaces the rsh client binary, whose fork/exec
+                // cost is already charged inside `rsh_connect` on the
+                // standard path; only the classification overhead is extra.
+                self.queue
+                    .push(self.now + self.cost.rsh_prime_overhead, Event::Start(shim));
+                handle
+            }
+            _ => {
+                // Standard rsh (also the fallback when no shim is installed).
+                self.standard_rsh(caller, handle, spec, cmd);
+                handle
+            }
+        }
+    }
+
+    /// The standard rsh path: resolve, connect, remote fork, wait.
+    pub(crate) fn standard_rsh(
+        &mut self,
+        caller: ProcId,
+        handle: RshHandle,
+        host: HostSpec,
+        cmd: CommandSpec,
+    ) {
+        let fail = |world: &mut World, err: RshError| {
+            world
+                .trace
+                .record(world.now, "rsh.fail", format!("{handle} {err}"));
+            world.queue.push(
+                world.now + world.cost.rsh_fail,
+                Event::RshComplete {
+                    handle,
+                    to: caller,
+                    result: Err(err),
+                },
+            );
+        };
+        let hostname = match &host {
+            // Plain rsh has no notion of symbolic hosts: name lookup fails.
+            HostSpec::Symbolic(s) => {
+                fail(self, RshError::UnknownHost(s.to_string()));
+                return;
+            }
+            HostSpec::Real(h) => h.clone(),
+        };
+        let Some(target) = self.machine_by_host(&hostname) else {
+            fail(self, RshError::UnknownHost(hostname));
+            return;
+        };
+        if !self.machines[target.0 as usize].up {
+            fail(self, RshError::HostDown(hostname));
+            return;
+        }
+        let caller_user = self
+            .procs
+            .get(&caller)
+            .map(|e| e.env.user.clone())
+            .unwrap_or_else(|| "unknown".to_string());
+        let child_env = self.rshd_child_env(&cmd, &caller_user);
+        self.rsh_ops.insert(
+            handle,
+            RshOp {
+                caller,
+                target,
+                cmd,
+                child_env,
+                stage: RshStage::Connecting,
+            },
+        );
+        self.queue.push(
+            self.now + self.cost.rsh_connect,
+            Event::RshAdvance { handle },
+        );
+    }
+
+    /// Environment an `rshd`-spawned process gets: the user's login
+    /// environment on the remote machine. Real `rsh` does not propagate
+    /// environment variables, so `job`/`appl` are unset — except for the
+    /// sub-`appl`, whose command line carries its managing `appl` and job
+    /// (and which is part of the broker installation, hence `system`).
+    fn rshd_child_env(&self, cmd: &CommandSpec, user: &str) -> ProcEnv {
+        match cmd {
+            CommandSpec::SubAppl { appl, job, .. } => ProcEnv {
+                job: Some(*job),
+                appl: Some(*appl),
+                rsh: RshBinding::Standard,
+                user: user.to_string(),
+                system: true,
+            },
+            CommandSpec::RbDaemon { .. } => ProcEnv {
+                job: None,
+                appl: None,
+                rsh: RshBinding::Standard,
+                user: user.to_string(),
+                system: true,
+            },
+            _ => ProcEnv {
+                job: None,
+                appl: None,
+                rsh: self.default_remote_binding,
+                user: user.to_string(),
+                system: false,
+            },
+        }
+    }
+
+    fn rsh_advance(&mut self, handle: RshHandle) {
+        let Some(op) = self.rsh_ops.get(&handle) else {
+            return;
+        };
+        let target = op.target;
+        if !self.machines[target.0 as usize].up {
+            let host = self.hostname(target).to_string();
+            let to = op.caller;
+            self.rsh_ops.remove(&handle);
+            self.queue.push(
+                self.now,
+                Event::RshComplete {
+                    handle,
+                    to,
+                    result: Err(RshError::HostDown(host)),
+                },
+            );
+            return;
+        }
+        match op.stage {
+            RshStage::Connecting => {
+                self.rsh_ops.get_mut(&handle).expect("present").stage = RshStage::Forking;
+                self.queue
+                    .push(self.now + self.cost.rshd_fork, Event::RshAdvance { handle });
+            }
+            RshStage::Forking => {
+                let (cmd, env) = {
+                    let op = self.rsh_ops.get(&handle).expect("present");
+                    (op.cmd.clone(), op.child_env.clone())
+                };
+                let caller = self.rsh_ops.get(&handle).expect("present").caller;
+                let Some(factory) = self.factory.as_ref() else {
+                    self.rsh_ops.remove(&handle);
+                    self.queue.push(
+                        self.now,
+                        Event::RshComplete {
+                            handle,
+                            to: caller,
+                            result: Err(RshError::SpawnFailed("no program factory".into())),
+                        },
+                    );
+                    return;
+                };
+                let Some(behavior) = factory.build(&cmd) else {
+                    self.rsh_ops.remove(&handle);
+                    self.queue.push(
+                        self.now,
+                        Event::RshComplete {
+                            handle,
+                            to: caller,
+                            result: Err(RshError::SpawnFailed(format!(
+                                "command not found: {}",
+                                cmd.name()
+                            ))),
+                        },
+                    );
+                    return;
+                };
+                let child = self.insert_proc(target, behavior, env, None);
+                self.procs
+                    .get_mut(&child)
+                    .expect("just inserted")
+                    .waited_rsh = Some(handle);
+                self.rsh_ops.get_mut(&handle).expect("present").stage = RshStage::Waiting(child);
+                self.trace.record(
+                    self.now,
+                    "rsh.spawned",
+                    format!("{handle} -> {child} {}", cmd.name()),
+                );
+                self.queue.push(self.now, Event::Start(child));
+            }
+            RshStage::Waiting(_) => {
+                // Completion is driven by the child's detach/exit.
+            }
+        }
+    }
+
+    /// Mark a process as daemonized; any rsh waiting on it completes now.
+    pub(crate) fn detach_proc(&mut self, p: ProcId) {
+        let Some(entry) = self.procs.get_mut(&p) else {
+            return;
+        };
+        if entry.detached {
+            return;
+        }
+        entry.detached = true;
+        let parent = entry.parent;
+        if let Some(handle) = entry.waited_rsh.take() {
+            if let Some(op) = self.rsh_ops.get(&handle) {
+                let to = op.caller;
+                self.queue.push(
+                    self.now + self.cost.lan_latency,
+                    Event::RshComplete {
+                        handle,
+                        to,
+                        result: Ok(ExitStatus::Success),
+                    },
+                );
+            }
+        }
+        if let Some(parent) = parent {
+            if self.alive(parent) {
+                self.queue.push(
+                    self.now + self.cost.local_latency,
+                    Event::ChildDetach { parent, child: p },
+                );
+            }
+        }
+        self.trace.record(self.now, "proc.detach", format!("{p}"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based churn testing of the substrate: arbitrary interleavings
+//! of spawns, kills, machine crashes, and restores must preserve the
+//! kernel's accounting invariants.
+
+use proptest::prelude::*;
+use rb_proto::{MachineId, ProcId, Signal};
+use rb_simcore::{Duration, SimTime};
+use rb_simnet::{BasePrograms, LoopProg, ProcEnv, World, WorldBuilder};
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Spawn a loop of the given CPU-millis on machine (index % count).
+    Spawn { machine: u8, cpu_millis: u16 },
+    /// SIGKILL the oldest alive loop process.
+    KillOldest,
+    /// SIGTERM the newest alive loop process.
+    TermNewest,
+    /// Crash a machine.
+    Crash { machine: u8 },
+    /// Restore a machine.
+    Restore { machine: u8 },
+    /// Advance time.
+    Advance { millis: u16 },
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u8>(), 10u16..3_000).prop_map(|(machine, cpu_millis)| Action::Spawn {
+            machine,
+            cpu_millis
+        }),
+        Just(Action::KillOldest),
+        Just(Action::TermNewest),
+        any::<u8>().prop_map(|machine| Action::Crash { machine }),
+        any::<u8>().prop_map(|machine| Action::Restore { machine }),
+        (10u16..2_000).prop_map(|millis| Action::Advance { millis }),
+    ]
+}
+
+fn apply(world: &mut World, machines: &[MachineId], action: &Action) {
+    match action {
+        Action::Spawn {
+            machine,
+            cpu_millis,
+        } => {
+            let m = machines[*machine as usize % machines.len()];
+            if world.machine_up(m) {
+                world.spawn_user(
+                    m,
+                    Box::new(LoopProg::new(*cpu_millis as u64)),
+                    ProcEnv::user_standard("u"),
+                );
+            }
+        }
+        Action::KillOldest => {
+            if let Some(&p) = world.procs_named("loop").first() {
+                world.kill_from_harness(p, Signal::Kill);
+            }
+        }
+        Action::TermNewest => {
+            if let Some(&p) = world.procs_named("loop").last() {
+                world.kill_from_harness(p, Signal::Term);
+            }
+        }
+        Action::Crash { machine } => {
+            let m = machines[*machine as usize % machines.len()];
+            world.set_machine_up(m, false);
+        }
+        Action::Restore { machine } => {
+            let m = machines[*machine as usize % machines.len()];
+            world.set_machine_up(m, true);
+        }
+        Action::Advance { millis } => {
+            let t = world.now() + Duration::from_millis(*millis as u64);
+            world.run_until(t);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_invariants_hold_under_churn(
+        actions in proptest::collection::vec(arb_action(), 1..60),
+    ) {
+        let mut b = WorldBuilder::new().seed(99).factory(BasePrograms);
+        let machines = b.standard_lab(3);
+        let mut world = b.build();
+        for a in &actions {
+            apply(&mut world, &machines, a);
+            // Invariant: busy time never exceeds allocated time (a CPU
+            // burst implies a resident app process), and neither exceeds
+            // total elapsed time.
+            let now = world.now();
+            for &m in &machines {
+                let busy = world.busy_time(m).as_micros();
+                let alloc = world.allocated_time(m).as_micros();
+                prop_assert!(busy <= alloc + 1, "busy {busy} > alloc {alloc}");
+                prop_assert!(alloc <= now.as_micros() + 1);
+            }
+        }
+        // Drain: all work finishes, nothing is left runnable.
+        let end = SimTime(world.now().as_micros() + 3_600_000_000);
+        world.run_until_idle(end);
+        for &m in &machines {
+            if world.machine_up(m) {
+                // After the queue drains no process should still be alive.
+                prop_assert_eq!(world.app_procs_on(m), 0,
+                    "machine {} still has app procs", m);
+            }
+        }
+        // Every loop process we ever spawned has a terminal status.
+        let alive_loops = world.procs_named("loop");
+        prop_assert!(alive_loops.is_empty(), "{alive_loops:?} still alive");
+        let _ = ProcId(0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Ablations of design choices DESIGN.md calls out.
+//!
+//! * **Policy ablation** — the default (even-partition, offer-driven)
+//!   policy vs. the naive FIFO policy under the utilization workload: FIFO
+//!   never reclaims and never offers, so capacity strands whenever demand
+//!   shifts.
+//! * **Layer ablation** — the marginal cost of the two-level application
+//!   layer: plain `rsh` vs. `rsh'` passthrough vs. the full redirect path,
+//!   isolating what each level of interposition costs.
+
+use crate::drivers::{slot, ExecOutcome, TimedRsh};
+use crate::scenarios::{
+    await_calypso_workers, broker_testbed, plain_world, submit_endless_calypso,
+};
+use crate::utilization::UtilizationReport;
+use rb_broker::{DefaultPolicy, FifoPolicy, JobRequest, JobRun, Policy};
+use rb_proto::CommandSpec;
+use rb_simcore::{Duration, SimTime};
+use rb_simnet::ProcEnv;
+
+/// Utilization under a given policy (reduced horizon for benches).
+pub fn utilization_with_policy(policy_name: &str, hours: f64, seed: u64) -> UtilizationReport {
+    // `run_utilization` always uses the default policy; replicate its
+    // structure with a pluggable one.
+    let policy: Box<dyn Policy> = match policy_name {
+        "default" => Box::new(DefaultPolicy::default()),
+        "fifo" => Box::new(FifoPolicy),
+        other => panic!("unknown policy {other}"),
+    };
+    utilization_with(policy, hours, seed)
+}
+
+fn utilization_with(policy: Box<dyn Policy>, hours: f64, seed: u64) -> UtilizationReport {
+    // A leaner inline version of the utilization experiment so the policy
+    // can be swapped.
+    use rb_broker::submit_job;
+    use rb_simcore::SimRng;
+
+    let machines = 8usize;
+    let mut c = broker_testbed(machines, seed, policy, false);
+    submit_endless_calypso(&mut c, machines as u32, 2_000);
+    // FIFO never reclaims, but the initial grows land on free machines, so
+    // saturation still happens.
+    let limit = SimTime(c.world.now().as_micros() + 120_000_000);
+    await_calypso_workers(&mut c, machines, limit);
+    let t_start = c.world.now();
+    let mut alloc0 = Vec::new();
+    for &m in &c.machines[1..] {
+        alloc0.push(c.world.allocated_time(m));
+    }
+    let mut rng = SimRng::seeded(seed ^ 0xF00D);
+    let end = t_start + Duration::from_secs((hours * 3600.0) as u64);
+    let broker = c.broker;
+    let modules = c.modules.clone();
+    let home = c.machines[0];
+    let appls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut t = t_start + Duration::from_secs(100);
+    let mut submitted = 0;
+    while t < end {
+        let cpu_millis = (rng.uniform_f64(1.0, 10.0) * 60_000.0) as u64;
+        let modules = modules.clone();
+        let appls = appls.clone();
+        c.world.schedule(t, move |w| {
+            let appl = submit_job(
+                w,
+                home,
+                broker,
+                &modules,
+                JobRequest {
+                    rsl: "(adaptive=0)".into(),
+                    user: "seq".into(),
+                    run: JobRun::Remote {
+                        host: "anylinux".into(),
+                        cmd: CommandSpec::Loop { cpu_millis },
+                    },
+                },
+            );
+            appls.borrow_mut().push(appl);
+        });
+        submitted += 1;
+        t = t + Duration::from_secs(100);
+    }
+    c.world.run_until(end);
+    let measured = end - t_start;
+    let mut alloc_total = Duration::ZERO;
+    for (i, &m) in c.machines[1..].iter().enumerate() {
+        alloc_total += c.world.allocated_time(m).saturating_sub(alloc0[i]);
+    }
+    let denom = measured.as_secs_f64() * machines as f64;
+    let mut completed = 0;
+    let mut failed = 0;
+    for &appl in appls.borrow().iter() {
+        match c.world.exit_status(appl) {
+            Some(s) if s.is_success() => completed += 1,
+            Some(_) => failed += 1,
+            None => {}
+        }
+    }
+    UtilizationReport {
+        idleness: 1.0 - alloc_total.as_secs_f64() / denom,
+        cpu_idleness: f64::NAN,
+        seq_jobs_submitted: submitted,
+        seq_jobs_completed: completed,
+        seq_jobs_failed: failed,
+        simulated_hours: hours,
+    }
+}
+
+/// One row of the layer ablation: seconds per spawn for each level of
+/// interposition.
+#[derive(Debug, Clone)]
+pub struct LayerAblation {
+    /// Plain `rsh`, no broker anywhere.
+    pub plain_rsh: f64,
+    /// `rsh'` on PATH, but the target machine explicitly named by a job
+    /// outside broker management: fallback to standard rsh inside the shim.
+    pub shim_fallback: f64,
+    /// Full default path: appl + broker + sub-appl.
+    pub full_redirect: f64,
+}
+
+/// Measure the three interposition levels with the `null` program.
+pub fn layer_ablation(seed: u64) -> LayerAblation {
+    // Level 0: plain rsh.
+    let plain_rsh = {
+        let mut world = plain_world(1, seed);
+        let n00 = world.machine_by_host("n00").unwrap();
+        let out = slot::<ExecOutcome>();
+        let p = world.spawn_user(
+            n00,
+            Box::new(TimedRsh::new("n01", CommandSpec::Null, out.clone())),
+            ProcEnv::user_standard("u"),
+        );
+        world.run_until_pred(SimTime(600_000_000), |w| !w.alive(p));
+        let elapsed = out.borrow().clone().unwrap().elapsed_secs();
+        elapsed
+    };
+    // Level 1: rsh' installed system-wide, but this user does not use the
+    // broker: the shim falls back to the standard rsh.
+    let shim_fallback = {
+        let mut c = broker_testbed(1, seed, Box::new(DefaultPolicy::default()), false);
+        let out = slot::<ExecOutcome>();
+        let p = c.world.spawn_user(
+            c.machines[0],
+            Box::new(TimedRsh::new("n01", CommandSpec::Null, out.clone())),
+            ProcEnv::user_broker("u"),
+        );
+        c.world
+            .run_until_pred(SimTime(600_000_000), |w| !w.alive(p));
+        let elapsed = out.borrow().clone().unwrap().elapsed_secs();
+        elapsed
+    };
+    // Level 2: the full default path through appl + broker + sub-appl.
+    let full_redirect = {
+        let mut c = broker_testbed(1, seed, Box::new(DefaultPolicy::default()), false);
+        let t0 = c.world.now();
+        let appl = c.submit(
+            c.machines[0],
+            JobRequest {
+                rsl: "(adaptive=0)".into(),
+                user: "u".into(),
+                run: JobRun::Remote {
+                    host: "anylinux".into(),
+                    cmd: CommandSpec::Null,
+                },
+            },
+        );
+        c.await_appl(appl, SimTime(600_000_000)).unwrap();
+        (c.world.now() - t0).as_secs_f64()
+    };
+    LayerAblation {
+        plain_rsh,
+        shim_fallback,
+        full_redirect,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shim_fallback_is_nearly_free() {
+        let a = layer_ablation(5);
+        // Installing rsh' system-wide costs users who don't use the broker
+        // well under a millisecond.
+        assert!(
+            a.shim_fallback - a.plain_rsh < 0.02,
+            "fallback {} vs plain {}",
+            a.shim_fallback,
+            a.plain_rsh
+        );
+        // The full path costs more, but under half a second extra.
+        assert!(a.full_redirect > a.shim_fallback);
+        assert!(a.full_redirect - a.plain_rsh < 0.5);
+    }
+
+    #[test]
+    fn default_policy_beats_fifo_on_stranded_capacity() {
+        let fifo = utilization_with_policy("fifo", 0.5, 21);
+        let def = utilization_with_policy("default", 0.5, 21);
+        // Under FIFO no machine is ever reclaimed, so while the adaptive
+        // job holds the cluster every sequential job sits in the broker's
+        // queue forever: nothing completes.
+        assert_eq!(fifo.seq_jobs_completed, 0, "fifo completed jobs?");
+        assert!(
+            def.seq_jobs_completed > 0,
+            "default completed {} jobs",
+            def.seq_jobs_completed
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Measurement driver behaviors: simulated users at terminals timing
+//! commands with a stopwatch, as in the paper's experiments.
+
+use rb_proto::{CommandSpec, ExitStatus, ProcId, RshError, RshHandle};
+use rb_simcore::SimTime;
+use rb_simnet::{Behavior, Ctx};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared slot the driver writes its observation into.
+pub type Slot<T> = Rc<RefCell<Option<T>>>;
+
+/// Outcome of one timed remote execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    pub started: SimTime,
+    pub finished: SimTime,
+    pub result: Result<ExitStatus, RshError>,
+}
+
+impl ExecOutcome {
+    pub fn elapsed_secs(&self) -> f64 {
+        self.finished.saturating_since(self.started).as_secs_f64()
+    }
+}
+
+/// Times one `rsh <host> <cmd>` (through whatever `rsh` the environment
+/// binds) from invocation to completion — exactly what `time rsh n01 loop`
+/// measures at a shell.
+pub struct TimedRsh {
+    host: String,
+    cmd: CommandSpec,
+    outcome: Slot<ExecOutcome>,
+    started: SimTime,
+    handle: Option<RshHandle>,
+}
+
+impl TimedRsh {
+    pub fn new(host: impl Into<String>, cmd: CommandSpec, outcome: Slot<ExecOutcome>) -> Self {
+        TimedRsh {
+            host: host.into(),
+            cmd,
+            outcome,
+            started: SimTime::ZERO,
+            handle: None,
+        }
+    }
+}
+
+impl Behavior for TimedRsh {
+    fn name(&self) -> &'static str {
+        "timed-rsh"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.started = ctx.now();
+        self.handle = Some(ctx.rsh(&self.host.clone(), self.cmd.clone()));
+    }
+
+    fn on_rsh_result(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        handle: RshHandle,
+        result: Result<ExitStatus, RshError>,
+    ) {
+        if self.handle == Some(handle) {
+            *self.outcome.borrow_mut() = Some(ExecOutcome {
+                started: self.started,
+                finished: ctx.now(),
+                result,
+            });
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+}
+
+/// Watches for a process-count condition and records when it first holds.
+/// Used to time "until the virtual machine reached size k".
+pub struct CountWatcher;
+
+impl CountWatcher {
+    /// Run the world until `procs_named(name).len() == target`; returns the
+    /// time the condition first held, or `None` on timeout.
+    pub fn await_count(
+        world: &mut rb_simnet::World,
+        name: &'static str,
+        target: usize,
+        limit: SimTime,
+    ) -> Option<SimTime> {
+        let ok = world.run_until_pred(limit, |w| w.procs_named(name).len() == target);
+        ok.then(|| world.now())
+    }
+}
+
+/// Makes a fresh shared observation slot.
+pub fn slot<T>() -> Slot<T> {
+    Rc::new(RefCell::new(None))
+}
+
+/// A tiny behavior that just forwards one message to a target after start
+/// (a user typing one console command).
+pub struct OneShot {
+    pub to: ProcId,
+    pub msg: rb_proto::Payload,
+}
+
+impl Behavior for OneShot {
+    fn name(&self) -> &'static str {
+        "one-shot"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(self.to, self.msg.clone());
+        ctx.exit(ExitStatus::Success);
+    }
+}

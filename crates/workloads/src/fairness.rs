@@ -1,0 +1,156 @@
+//! Trace-based allocation accounting: machine-seconds per job, recovered
+//! from the broker's grant/free events. Used to validate the default
+//! policy's "evenly partition machines among jobs" claim quantitatively.
+
+use rb_simcore::{SimTime, TraceEvent};
+use std::collections::HashMap;
+
+/// Machine-seconds of allocation per job id (as the trace spells it, e.g.
+/// `"j1"`), computed from `broker.grant` / `broker.freed` /
+/// `broker.job.done` events. Open allocations are charged up to `horizon`.
+pub fn machine_seconds_by_job(events: &[TraceEvent], horizon: SimTime) -> HashMap<String, f64> {
+    // host -> (job, since)
+    let mut held: HashMap<String, (String, SimTime)> = HashMap::new();
+    let mut totals: HashMap<String, f64> = HashMap::new();
+    let mut charge = |job: &str, since: SimTime, until: SimTime| {
+        *totals.entry(job.to_string()).or_default() += until.saturating_since(since).as_secs_f64();
+    };
+    for e in events {
+        match e.topic.as_str() {
+            "broker.grant" => {
+                let host = e.detail.split(" -> ").next().unwrap().to_string();
+                let job = e
+                    .detail
+                    .split(" -> ")
+                    .nth(1)
+                    .unwrap()
+                    .split(' ')
+                    .next()
+                    .unwrap()
+                    .to_string();
+                held.insert(host, (job, e.at));
+            }
+            "broker.freed" => {
+                let host = e.detail.split(" by ").next().unwrap();
+                if let Some((job, since)) = held.remove(host) {
+                    charge(&job, since, e.at);
+                }
+            }
+            "broker.job.done" => {
+                let done = e.detail.trim();
+                let hosts: Vec<String> = held
+                    .iter()
+                    .filter(|(_, (job, _))| job == done)
+                    .map(|(h, _)| h.clone())
+                    .collect();
+                for h in hosts {
+                    if let Some((job, since)) = held.remove(&h) {
+                        charge(&job, since, e.at);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for (_, (job, since)) in held {
+        charge(&job, since, horizon);
+    }
+    totals
+}
+
+/// Jain's fairness index over the per-job machine-seconds: 1.0 = perfectly
+/// even, 1/n = maximally skewed.
+pub fn jain_index(allocations: &HashMap<String, f64>) -> f64 {
+    let n = allocations.len() as f64;
+    if n == 0.0 {
+        return f64::NAN;
+    }
+    let sum: f64 = allocations.values().sum();
+    let sum_sq: f64 = allocations.values().map(|v| v * v).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::broker_testbed;
+    use rb_broker::{DefaultPolicy, JobRequest, JobRun};
+    use rb_parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+    use rb_simcore::Duration;
+
+    fn trace_events(at: &[(u64, &str, &str)]) -> Vec<TraceEvent> {
+        at.iter()
+            .map(|&(t, topic, detail)| TraceEvent {
+                at: SimTime(t),
+                topic: topic.into(),
+                detail: detail.into(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accounting_from_synthetic_trace() {
+        let events = trace_events(&[
+            (0, "broker.grant", "n01 -> j1 (g1)"),
+            (5_000_000, "broker.freed", "n01 by j1"),
+            (5_000_000, "broker.grant", "n01 -> j2 (g1)"),
+            (6_000_000, "broker.grant", "n02 -> j2 (g2)"),
+            (8_000_000, "broker.job.done", "j2"),
+        ]);
+        let totals = machine_seconds_by_job(&events, SimTime(10_000_000));
+        assert!((totals["j1"] - 5.0).abs() < 1e-9);
+        // j2: n01 for 3s + n02 for 2s.
+        assert!((totals["j2"] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_allocations_charge_to_horizon() {
+        let events = trace_events(&[(2_000_000, "broker.grant", "n01 -> j1 (g1)")]);
+        let totals = machine_seconds_by_job(&events, SimTime(10_000_000));
+        assert!((totals["j1"] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_extremes() {
+        let even: HashMap<String, f64> = [("j1".into(), 5.0), ("j2".into(), 5.0)]
+            .into_iter()
+            .collect();
+        assert!((jain_index(&even) - 1.0).abs() < 1e-9);
+        let skew: HashMap<String, f64> = [("j1".into(), 10.0), ("j2".into(), 0.0)]
+            .into_iter()
+            .collect();
+        assert!((jain_index(&skew) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_adaptive_jobs_share_evenly_over_time() {
+        // 6 public machines; two identical always-hungry Calypso jobs. The
+        // even-partition policy should end near a 3/3 split, with Jain
+        // index close to 1 over a 5-minute window.
+        let mut c = broker_testbed(6, 44, Box::new(DefaultPolicy::default()), true);
+        for user in ["a", "b"] {
+            c.submit(
+                c.machines[0],
+                JobRequest {
+                    rsl: "+(count>=6)(adaptive=1)".into(),
+                    user: user.into(),
+                    run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                        tasks: TaskBag::Endless { cpu_millis: 900 },
+                        desired_workers: 6,
+                        hostfile: vec!["anylinux".into()],
+                        task_timeout: None,
+                    }))),
+                },
+            );
+            c.world.run_until(c.world.now() + Duration::from_secs(3));
+        }
+        c.world.run_until(c.world.now() + Duration::from_secs(300));
+        let totals = machine_seconds_by_job(c.world.trace().events(), c.world.now());
+        assert_eq!(totals.len(), 2, "{totals:?}");
+        let fairness = jain_index(&totals);
+        assert!(fairness > 0.9, "jain {fairness}, totals {totals:?}");
+    }
+}

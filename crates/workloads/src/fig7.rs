@@ -1,0 +1,114 @@
+//! Figure 7 — time to reallocate k machines from a Calypso job to a PVM
+//! virtual machine, k = 1..16.
+//!
+//! An adaptive Calypso job runs on every public machine. A PVM virtual
+//! machine is then created and asked to grow by k symbolic hosts; every
+//! grant requires taking a machine away from Calypso first. The paper
+//! reports ≈ 1 second per machine, scaling linearly.
+//!
+//! Note on policy: the paper's described policy "evenly partitions"
+//! machines among jobs, yet this experiment hands the entire cluster to
+//! the PVM job. We therefore run it under the demand-driven reclaim rule
+//! ([`ReclaimRule::Demand`]); the discrepancy is recorded in
+//! EXPERIMENTS.md.
+
+use crate::scenarios::{await_calypso_workers, broker_testbed, submit_endless_calypso};
+use rb_broker::{DefaultPolicy, JobRequest, JobRun, ReclaimRule};
+use rb_parsys::{PvmMaster, PvmMasterConfig};
+use rb_proto::{CommandSpec, ConsoleCmd};
+use rb_simcore::{Series, SimTime};
+use rb_simnet::ProcEnv;
+
+/// Measure one point: seconds to move `k` machines to a fresh PVM VM.
+pub fn realloc_k_machines(k: usize, total_machines: usize, seed: u64) -> f64 {
+    assert!(k <= total_machines);
+    let mut c = broker_testbed(
+        total_machines,
+        seed,
+        Box::new(DefaultPolicy::with_rule(ReclaimRule::Demand)),
+        false,
+    );
+    // Calypso occupies every public machine.
+    submit_endless_calypso(&mut c, total_machines as u32, 900);
+    let limit = SimTime(c.world.now().as_micros() + 120_000_000);
+    await_calypso_workers(&mut c, total_machines, limit);
+
+    // Start the PVM job (module path) and let its master come up.
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(adaptive=1)(module="pvm")"#.into(),
+            user: "pvm-user".into(),
+            run: JobRun::Root(Box::new(PvmMaster::new(PvmMasterConfig::default()))),
+        },
+    );
+    let boot = SimTime(c.world.now().as_micros() + 30_000_000);
+    assert!(c
+        .world
+        .run_until_pred(boot, |w| !w.procs_named("pvm-master").is_empty()));
+    c.world
+        .run_until(SimTime(c.world.now().as_micros() + 1_000_000));
+
+    // The user asks for k machines at the console.
+    let t0 = c.world.now();
+    let mut script: Vec<ConsoleCmd> = (0..k)
+        .map(|_| ConsoleCmd::Add("anylinux".to_string()))
+        .collect();
+    script.push(ConsoleCmd::Quit);
+    let behavior = c
+        .world
+        .build_program(&CommandSpec::PvmConsole { script })
+        .expect("console installed");
+    c.world.spawn_user(
+        c.machines[0],
+        behavior,
+        ProcEnv {
+            job: None,
+            appl: None,
+            rsh: rb_simnet::RshBinding::Broker,
+            user: "pvm-user".into(),
+            system: false,
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + 600_000_000);
+    let reached = c
+        .world
+        .run_until_pred(limit, |w| w.procs_named("pvmd").len() == k);
+    assert!(
+        reached,
+        "PVM never reached {k} slaves (has {})",
+        c.world.procs_named("pvmd").len()
+    );
+    (c.world.now() - t0).as_secs_f64()
+}
+
+/// The full figure: reallocation time vs. number of machines.
+pub fn run(ks: impl IntoIterator<Item = usize>, total_machines: usize, seed: u64) -> Series {
+    let mut series = Series::new("reallocation time vs machines (PVM from Calypso)");
+    for k in ks {
+        let secs = realloc_k_machines(k, total_machines, seed + k as u64);
+        series.push(k as f64, secs);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reallocation_scales_linearly() {
+        // A compressed version of the figure (k = 1, 3, 5 on 6 machines)
+        // to keep test time modest; the bench binary runs the full sweep.
+        let series = run([1, 3, 5], 6, 77);
+        assert_eq!(series.points.len(), 3);
+        // Strictly increasing.
+        assert!(series.points[0].1 < series.points[1].1);
+        assert!(series.points[1].1 < series.points[2].1);
+        // Roughly linear: R^2 close to 1.
+        assert!(series.r_squared() > 0.98, "r2 = {}", series.r_squared());
+        // Roughly a second per machine (generous band).
+        let slope = series.slope();
+        assert!((0.4..=2.0).contains(&slope), "slope {slope}");
+    }
+}

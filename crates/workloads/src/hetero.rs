@@ -1,0 +1,158 @@
+//! Extension experiment: RSL-constrained placement on a *heterogeneous*
+//! cluster (the paper's testbed was uniform; its RSL — `(arch=...)`,
+//! `(os=...)` — clearly anticipates heterogeneity, so we exercise it).
+//!
+//! Cluster: four i686/Linux boxes, two SPARC/Solaris boxes, two fast
+//! (2× speed) i686/Linux boxes. Three competing jobs with different
+//! constraints must each land only on machines satisfying their RSL.
+
+use rb_broker::{build_cluster, Cluster, ClusterOptions, JobRequest, JobRun};
+use rb_parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use rb_proto::{Arch, CommandSpec, MachineAttrs, Os};
+use rb_simcore::{Duration, SimTime};
+use std::collections::HashMap;
+
+/// Where every job's processes ended up: job user -> host names.
+pub type Placement = HashMap<String, Vec<String>>;
+
+/// Build the heterogeneous testbed.
+pub fn hetero_cluster(seed: u64) -> Cluster {
+    let mut machines = vec![MachineAttrs::public_linux("n00")];
+    machines.extend((1..=3).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
+    for i in 0..2 {
+        let mut m = MachineAttrs::public_linux(format!("s{i:02}"));
+        m.arch = Arch::Sparc;
+        m.os = Os::Solaris;
+        machines.push(m);
+    }
+    for i in 0..2 {
+        let mut m = MachineAttrs::public_linux(format!("f{i:02}"));
+        m.speed = 2.0;
+        machines.push(m);
+    }
+    let opts = ClusterOptions {
+        seed,
+        machines,
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    c.settle();
+    c
+}
+
+fn calypso(workers: u32, host: &str) -> JobRun {
+    JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+        tasks: TaskBag::Endless { cpu_millis: 700 },
+        desired_workers: workers,
+        hostfile: vec![host.into()],
+        task_timeout: None,
+    })))
+}
+
+/// Run the placement experiment and return (placement, fast-loop seconds,
+/// baseline-loop seconds).
+pub fn run(seed: u64) -> (Placement, f64, f64) {
+    let mut c = hetero_cluster(seed);
+    // Job A: i686-only, via RSL constraint with a generic `anyhost` grow.
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=3)(adaptive=1)(arch="i686")"#.into(),
+            user: "linus".into(),
+            run: calypso(3, "anyhost"),
+        },
+    );
+    // Job B: Solaris-only.
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=2)(adaptive=1)(os="solaris")"#.into(),
+            user: "scott".into(),
+            run: calypso(2, "anyhost"),
+        },
+    );
+    c.world.run_until(c.world.now() + Duration::from_secs(20));
+
+    // Job C: a compute job demanding a fast machine (speed in percent).
+    let t0 = c.world.now();
+    let fast_job = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(speed>=150)".into(),
+            user: "flash".into(),
+            run: JobRun::Remote {
+                host: "anyhost".into(),
+                cmd: CommandSpec::Loop { cpu_millis: 8_000 },
+            },
+        },
+    );
+    let status = c
+        .await_appl(fast_job, SimTime(c.world.now().as_micros() + 300_000_000))
+        .expect("fast job finished");
+    assert!(status.is_success(), "{status}");
+    let fast_secs = (c.world.now() - t0).as_secs_f64();
+
+    // Baseline: the same loop without a speed constraint, forced onto a
+    // baseline machine by constraining to speed < 150.
+    let t1 = c.world.now();
+    let base_job = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(speed<150)".into(),
+            user: "tortoise".into(),
+            run: JobRun::Remote {
+                host: "anyhost".into(),
+                cmd: CommandSpec::Loop { cpu_millis: 8_000 },
+            },
+        },
+    );
+    let status = c
+        .await_appl(base_job, SimTime(c.world.now().as_micros() + 300_000_000))
+        .expect("baseline job finished");
+    assert!(status.is_success(), "{status}");
+    let base_secs = (c.world.now() - t1).as_secs_f64();
+
+    // Placement per job id, from the broker's grant trace.
+    let mut placement: Placement = HashMap::new();
+    for e in c.world.trace().with_topic("broker.grant") {
+        let host = e.detail.split(" -> ").next().unwrap().to_string();
+        let job = e
+            .detail
+            .split(" -> ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .to_string();
+        placement.entry(job).or_default().push(host);
+    }
+    (placement, fast_secs, base_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_confine_each_job_to_matching_machines() {
+        let (placement, fast_secs, base_secs) = run(55);
+        // j1 = linus (i686 only): never on s**.
+        for h in placement.get("j1").expect("j1 granted machines") {
+            assert!(!h.starts_with('s'), "i686 job landed on {h}");
+        }
+        // j2 = scott (solaris only): only s**.
+        for h in placement.get("j2").expect("j2 granted machines") {
+            assert!(h.starts_with('s'), "solaris job landed on {h}");
+        }
+        // j3 = flash (speed>=150): only f**.
+        for h in placement.get("j3").expect("j3 granted a machine") {
+            assert!(h.starts_with('f'), "fast job landed on {h}");
+        }
+        // The 2x machine halves the 8 CPU-second loop (sharing aside).
+        assert!(
+            base_secs - fast_secs > 3.0,
+            "fast {fast_secs} vs baseline {base_secs}"
+        );
+    }
+}

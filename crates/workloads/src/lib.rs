@@ -1,0 +1,31 @@
+//! # rb-workloads — workload generators and the evaluation harness
+//!
+//! Everything needed to regenerate the paper's evaluation (§6): the
+//! `null`/`loop` micro-benchmark programs are provided by `rb-simnet`; this
+//! crate adds the measurement drivers, the testbed scenarios, and one
+//! module per table/figure:
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`table1`] | Table 1 — `rsh'` vs `rsh` micro-benchmarks on idle machines |
+//! | [`table2`] | Table 2 — reallocation cost and the cleared-machine speedup |
+//! | [`table3`] | Table 3 — adding 1–4 machines to PVM/LAM three ways |
+//! | [`fig7`]   | Figure 7 — reallocation time vs. number of machines |
+//! | [`utilization`] | §6.2 — five-hour utilization / idleness experiment |
+//! | [`ablation`] | policy & layering ablations from DESIGN.md |
+//! | [`fairness`] | trace-based machine-seconds accounting & Jain index |
+//! | [`hetero`] | extension: RSL-constrained placement on a heterogeneous cluster |
+
+pub mod ablation;
+pub mod drivers;
+pub mod fairness;
+pub mod fig7;
+pub mod hetero;
+pub mod report;
+pub mod scenarios;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod utilization;
+
+pub use report::{render_matrix, render_rows, MatrixRow, Row};

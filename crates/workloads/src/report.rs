@@ -1,0 +1,102 @@
+//! Tabular reporting shared by the experiment binaries and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// One measured row of a paper table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Operation label exactly as the paper prints it, e.g. `rsh' anylinux loop`.
+    pub operation: String,
+    /// Median elapsed seconds (simulated clock).
+    pub seconds: f64,
+}
+
+impl Row {
+    pub fn new(operation: impl Into<String>, seconds: f64) -> Self {
+        Row {
+            operation: operation.into(),
+            seconds,
+        }
+    }
+}
+
+/// Render rows as an aligned two-column table.
+pub fn render_rows(title: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let width = rows
+        .iter()
+        .map(|r| r.operation.len())
+        .max()
+        .unwrap_or(9)
+        .max("Operation".len());
+    let _ = writeln!(out, "{:<width$}  Time (s)", "Operation");
+    let _ = writeln!(out, "{}  --------", "-".repeat(width));
+    for r in rows {
+        let _ = writeln!(out, "{:<width$}  {:>8.3}", r.operation, r.seconds);
+    }
+    out
+}
+
+/// A table with one row label and a value per machine count (Table 3's
+/// shape: rows × {1, 2, 3, 4} machines).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    pub label: String,
+    pub values: Vec<f64>,
+}
+
+/// Render a matrix table with machine-count headers.
+pub fn render_matrix(title: &str, counts: &[usize], rows: &[MatrixRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let width = rows
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(9)
+        .max("Operation".len());
+    let mut header = format!("{:<width$}", "Operation");
+    for c in counts {
+        let _ = write!(header, "  {c:>7} mach");
+    }
+    let _ = writeln!(out, "{header}");
+    for r in rows {
+        let mut line = format!("{:<width$}", r.label);
+        for v in &r.values {
+            let _ = write!(line, "  {v:>12.3}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_aligned() {
+        let rows = vec![
+            Row::new("rsh n01 null", 0.3),
+            Row::new("rsh' anylinux loop", 6.5),
+        ];
+        let s = render_rows("Table 1", &rows);
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("rsh n01 null"));
+        assert!(s.contains("0.300"));
+        assert!(s.contains("6.500"));
+    }
+
+    #[test]
+    fn matrix_renders_counts() {
+        let rows = vec![MatrixRow {
+            label: "pvm w/ anylinux".into(),
+            values: vec![1.2, 2.4],
+        }];
+        let s = render_matrix("Table 3", &[1, 2], &rows);
+        assert!(s.contains("1 mach"));
+        assert!(s.contains("2 mach"));
+        assert!(s.contains("1.200"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Table 1 — performance of `rsh'` vs. `rsh` on idle machines.
+//!
+//! Two idle machines, `n00` and `n01`; commands issued on `n00` and
+//! directed to execute on `n01`: `null` (empty `main()`) and `loop`
+//! (5.3 CPU-seconds), through the plain `rsh`, through `rsh'` with an
+//! explicit host, and through `rsh'` with the symbolic `anylinux`.
+
+use crate::drivers::{slot, ExecOutcome, TimedRsh};
+use crate::report::Row;
+use crate::scenarios::{broker_testbed, plain_world, LOOP_MILLIS};
+use rb_broker::{DefaultPolicy, JobRequest, JobRun};
+use rb_proto::CommandSpec;
+use rb_simcore::{SimTime, Summary};
+use rb_simnet::ProcEnv;
+
+const LIMIT: SimTime = SimTime(600_000_000);
+
+/// One plain-`rsh` measurement.
+fn plain_rsh_once(seed: u64, cmd: CommandSpec) -> f64 {
+    let mut world = plain_world(1, seed);
+    let n00 = world.machine_by_host("n00").expect("n00");
+    let out = slot::<ExecOutcome>();
+    let driver = TimedRsh::new("n01", cmd, out.clone());
+    let p = world.spawn_user(n00, Box::new(driver), ProcEnv::user_standard("user"));
+    world.run_until_pred(LIMIT, |w| !w.alive(p));
+    let outcome = out.borrow().clone().expect("rsh completed");
+    assert!(outcome.result.is_ok(), "plain rsh failed: {outcome:?}");
+    outcome.elapsed_secs()
+}
+
+/// One `rsh'` measurement: submit through an `appl` (the broker's remote
+/// execution front end) and time submission → completion.
+fn rsh_prime_once(seed: u64, host: &str, cmd: CommandSpec) -> f64 {
+    let mut c = broker_testbed(1, seed, Box::new(DefaultPolicy::default()), false);
+    let t0 = c.world.now();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "user".into(),
+            run: JobRun::Remote {
+                host: host.into(),
+                cmd,
+            },
+        },
+    );
+    let status = c.await_appl(appl, LIMIT).expect("appl finished");
+    assert!(status.is_success(), "rsh' run failed: {status}");
+    (c.world.now() - t0).as_secs_f64()
+}
+
+fn median(samples: Vec<f64>) -> f64 {
+    Summary::from_samples(samples).median()
+}
+
+/// Regenerate Table 1. `reps` independent seeded runs per row; the paper
+/// reports medians.
+pub fn run(reps: usize) -> Vec<Row> {
+    assert!(reps > 0);
+    let seeds = || (0..reps as u64).map(|i| 1000 + i);
+    let null = || CommandSpec::Null;
+    let lp = || CommandSpec::Loop {
+        cpu_millis: LOOP_MILLIS,
+    };
+    vec![
+        Row::new(
+            "rsh n01 null",
+            median(seeds().map(|s| plain_rsh_once(s, null())).collect()),
+        ),
+        Row::new(
+            "rsh' n01 null",
+            median(seeds().map(|s| rsh_prime_once(s, "n01", null())).collect()),
+        ),
+        Row::new(
+            "rsh' anylinux null",
+            median(
+                seeds()
+                    .map(|s| rsh_prime_once(s, "anylinux", null()))
+                    .collect(),
+            ),
+        ),
+        Row::new(
+            "rsh n01 loop",
+            median(seeds().map(|s| plain_rsh_once(s, lp())).collect()),
+        ),
+        Row::new(
+            "rsh' n01 loop",
+            median(seeds().map(|s| rsh_prime_once(s, "n01", lp())).collect()),
+        ),
+        Row::new(
+            "rsh' anylinux loop",
+            median(
+                seeds()
+                    .map(|s| rsh_prime_once(s, "anylinux", lp()))
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        let rows = run(1);
+        let get = |op: &str| {
+            rows.iter()
+                .find(|r| r.operation == op)
+                .unwrap_or_else(|| panic!("row {op}"))
+                .seconds
+        };
+        let rsh_null = get("rsh n01 null");
+        let prime_null = get("rsh' n01 null");
+        let any_null = get("rsh' anylinux null");
+        let rsh_loop = get("rsh n01 loop");
+        let prime_loop = get("rsh' n01 loop");
+        let any_loop = get("rsh' anylinux loop");
+
+        // Plain rsh null ≈ 0.3 s.
+        assert!((0.25..=0.40).contains(&rsh_null), "{rsh_null}");
+        // rsh' overhead is a fraction of a second and "hardly noticeable".
+        let overhead = prime_null - rsh_null;
+        assert!((0.05..=0.45).contains(&overhead), "overhead {overhead}");
+        // Choosing a machine costs no more than a named one (±50 ms).
+        assert!(
+            (any_null - prime_null).abs() < 0.05,
+            "{any_null} vs {prime_null}"
+        );
+        // Loop rows are the null rows plus ~5.3 s of compute.
+        assert!((rsh_loop - rsh_null - 5.3).abs() < 0.1);
+        assert!((prime_loop - prime_null - 5.3).abs() < 0.1);
+        assert!((any_loop - any_null - 5.3).abs() < 0.1);
+    }
+}

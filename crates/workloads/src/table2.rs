@@ -1,0 +1,128 @@
+//! Table 2 — performance of reallocation.
+//!
+//! Three machines: the user's `n00` plus `n01`/`n02`, with an adaptive
+//! Calypso job running on both public machines. Plain `rsh` lands on an
+//! occupied machine and shares the CPU; `rsh' anylinux` makes the broker
+//! *reallocate* — take a machine away from the Calypso job first — which
+//! costs about a second, after which compute-bound jobs actually finish
+//! sooner because the machine has been cleared of external processes.
+
+use crate::drivers::{slot, ExecOutcome, TimedRsh};
+use crate::report::Row;
+use crate::scenarios::{
+    await_calypso_workers, broker_testbed, submit_endless_calypso, LOOP_MILLIS,
+};
+use rb_broker::{Cluster, DefaultPolicy, JobRequest, JobRun};
+use rb_proto::CommandSpec;
+use rb_simcore::{SimTime, Summary};
+use rb_simnet::ProcEnv;
+
+const LIMIT_OFF: u64 = 600_000_000;
+
+/// Build the occupied testbed: Calypso holding n01 and n02.
+fn occupied(seed: u64) -> Cluster {
+    let mut c = broker_testbed(2, seed, Box::new(DefaultPolicy::default()), false);
+    submit_endless_calypso(&mut c, 2, 800);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 2, limit);
+    c
+}
+
+/// Plain rsh onto the occupied n02: no reallocation, CPU is shared.
+fn plain_onto_occupied(seed: u64, cmd: CommandSpec) -> f64 {
+    let mut c = occupied(seed);
+    let out = slot::<ExecOutcome>();
+    let p = c.world.spawn_user(
+        c.machines[0],
+        Box::new(TimedRsh::new("n02", cmd, out.clone())),
+        ProcEnv::user_standard("user"),
+    );
+    let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
+    c.world.run_until_pred(limit, |w| !w.alive(p));
+    let outcome = out.borrow().clone().expect("rsh completed");
+    assert!(outcome.result.is_ok(), "{outcome:?}");
+    outcome.elapsed_secs()
+}
+
+/// rsh' anylinux: the broker clears a machine first.
+fn prime_with_realloc(seed: u64, cmd: CommandSpec) -> f64 {
+    let mut c = occupied(seed);
+    let t0 = c.world.now();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "user".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd,
+            },
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
+    let status = c.await_appl(appl, limit).expect("appl finished");
+    assert!(status.is_success(), "{status}");
+    (c.world.now() - t0).as_secs_f64()
+}
+
+fn median(samples: Vec<f64>) -> f64 {
+    Summary::from_samples(samples).median()
+}
+
+/// Regenerate Table 2.
+pub fn run(reps: usize) -> Vec<Row> {
+    assert!(reps > 0);
+    let seeds = || (0..reps as u64).map(|i| 2000 + i);
+    let null = || CommandSpec::Null;
+    let lp = || CommandSpec::Loop {
+        cpu_millis: LOOP_MILLIS,
+    };
+    vec![
+        Row::new(
+            "rsh n02 null",
+            median(seeds().map(|s| plain_onto_occupied(s, null())).collect()),
+        ),
+        Row::new(
+            "rsh' anylinux null",
+            median(seeds().map(|s| prime_with_realloc(s, null())).collect()),
+        ),
+        Row::new(
+            "rsh n02 loop",
+            median(seeds().map(|s| plain_onto_occupied(s, lp())).collect()),
+        ),
+        Row::new(
+            "rsh' anylinux loop",
+            median(seeds().map(|s| prime_with_realloc(s, lp())).collect()),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let rows = run(1);
+        let get = |op: &str| rows.iter().find(|r| r.operation == op).unwrap().seconds;
+        let rsh_null = get("rsh n02 null");
+        let prime_null = get("rsh' anylinux null");
+        let rsh_loop = get("rsh n02 loop");
+        let prime_loop = get("rsh' anylinux loop");
+
+        // Plain rsh is still ~0.3 s (spawning is cheap even on a busy box).
+        assert!((0.25..=0.45).contains(&rsh_null), "{rsh_null}");
+        // Reallocation completes in about a second.
+        assert!((0.7..=1.8).contains(&prime_null), "{prime_null}");
+        // Sharing the CPU with the Calypso worker roughly doubles loop's
+        // runtime...
+        assert!(rsh_loop > 9.0, "{rsh_loop}");
+        // ...so despite paying ~1 s for reallocation, the compute-bound
+        // job turns around *faster* on a cleared machine.
+        assert!(
+            prime_loop < rsh_loop,
+            "cleared {prime_loop} vs shared {rsh_loop}"
+        );
+        assert!((prime_null + 5.0..prime_null + 5.6).contains(&prime_loop));
+    }
+}

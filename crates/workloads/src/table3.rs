@@ -1,0 +1,234 @@
+//! Table 3 — dynamically adding 1–4 machines to PVM and LAM programs.
+//!
+//! Three methods per system:
+//!
+//! * **w/ rsh** — no broker at all: a console adds explicitly named hosts
+//!   through the plain `rsh` (the baseline);
+//! * **w/ host** — under the broker, `rsh'` interposed, but hosts still
+//!   explicitly named: the passthrough path, whose overhead is fractions
+//!   of a millisecond per machine;
+//! * **w/ anylinux** — the broker chooses each machine just in time via
+//!   the two-phase external-module protocol, costing roughly a second per
+//!   machine, once, at startup.
+//!
+//! Each measurement is the elapsed time from the console starting until
+//! the virtual machine holds all `k` requested daemons.
+
+use crate::report::MatrixRow;
+use crate::scenarios::{broker_testbed, plain_world};
+use rb_broker::{Cluster, DefaultPolicy, JobRequest, JobRun};
+use rb_proto::{CommandSpec, ConsoleCmd, ProcId};
+use rb_simcore::{SimTime, Summary};
+use rb_simnet::{ProcEnv, World};
+
+/// Which programming system a measurement drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sys {
+    Pvm,
+    Lam,
+}
+
+impl Sys {
+    fn daemon_name(self) -> &'static str {
+        match self {
+            Sys::Pvm => "pvmd",
+            Sys::Lam => "lamd",
+        }
+    }
+
+    fn master(self) -> Box<dyn rb_simnet::Behavior> {
+        match self {
+            Sys::Pvm => Box::new(rb_parsys::PvmMaster::new(
+                rb_parsys::PvmMasterConfig::default(),
+            )),
+            Sys::Lam => Box::new(rb_parsys::LamOrigin::new(
+                rb_parsys::LamOriginConfig::default(),
+            )),
+        }
+    }
+
+    fn console(self, script: Vec<ConsoleCmd>) -> CommandSpec {
+        match self {
+            Sys::Pvm => CommandSpec::PvmConsole { script },
+            Sys::Lam => CommandSpec::LamConsole { script },
+        }
+    }
+
+    fn rsl(self) -> &'static str {
+        match self {
+            Sys::Pvm => r#"+(adaptive=1)(module="pvm")"#,
+            Sys::Lam => r#"+(adaptive=1)(module="lam")"#,
+        }
+    }
+}
+
+fn add_script(hosts: &[String]) -> Vec<ConsoleCmd> {
+    let mut script: Vec<ConsoleCmd> = hosts.iter().cloned().map(ConsoleCmd::Add).collect();
+    script.push(ConsoleCmd::Quit);
+    script
+}
+
+fn named_hosts(k: usize) -> Vec<String> {
+    (1..=k).map(|i| format!("n{i:02}")).collect()
+}
+
+/// Baseline: no broker, explicit hosts, plain rsh.
+fn with_rsh_once(sys: Sys, k: usize, seed: u64) -> f64 {
+    let mut world = plain_world(k, seed);
+    let n00 = world.machine_by_host("n00").unwrap();
+    world.spawn_user(n00, sys.master(), ProcEnv::user_standard("user"));
+    // Let the master come up and register its service.
+    world.run_until(SimTime(1_000_000));
+    let t0 = world.now();
+    spawn_console(&mut world, n00, sys, add_script(&named_hosts(k)));
+    let reached = world.run_until_pred(SimTime(600_000_000), |w| {
+        w.procs_named(sys.daemon_name()).len() == k
+    });
+    assert!(reached, "{sys:?} w/rsh never reached {k} daemons");
+    (world.now() - t0).as_secs_f64()
+}
+
+fn spawn_console(
+    world: &mut World,
+    machine: rb_proto::MachineId,
+    sys: Sys,
+    script: Vec<ConsoleCmd>,
+) {
+    let behavior = world
+        .build_program(&sys.console(script))
+        .expect("console installed");
+    world.spawn_user(machine, behavior, ProcEnv::user_standard("user"));
+}
+
+/// Under the broker: submit the master as a module job, then drive adds
+/// from a console running as the same user on the same machine.
+fn brokered_once(sys: Sys, k: usize, hosts: Vec<String>, seed: u64) -> f64 {
+    let mut c: Cluster = broker_testbed(k, seed, Box::new(DefaultPolicy::default()), false);
+    let appl: ProcId = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: sys.rsl().into(),
+            user: "user".into(),
+            run: JobRun::Root(sys.master()),
+        },
+    );
+    // Let the appl register and the master come up.
+    let boot_limit = SimTime(c.world.now().as_micros() + 30_000_000);
+    let up = c.world.run_until_pred(boot_limit, |w| {
+        !w.procs_named(match sys {
+            Sys::Pvm => "pvm-master",
+            Sys::Lam => "lam-origin",
+        })
+        .is_empty()
+    });
+    assert!(up, "master never started");
+    c.world
+        .run_until(SimTime(c.world.now().as_micros() + 1_000_000));
+    assert!(c.world.alive(appl));
+
+    let t0 = c.world.now();
+    // The console runs as the job's user so the service registry resolves
+    // to the job's own master daemon.
+    let behavior = c
+        .world
+        .build_program(&sys.console(add_script(&hosts)))
+        .expect("console installed");
+    c.world.spawn_user(
+        c.machines[0],
+        behavior,
+        ProcEnv {
+            job: None,
+            appl: None,
+            rsh: rb_simnet::RshBinding::Broker,
+            user: "user".into(),
+            system: false,
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + 600_000_000);
+    let reached = c
+        .world
+        .run_until_pred(limit, |w| w.procs_named(sys.daemon_name()).len() == k);
+    assert!(
+        reached,
+        "{sys:?} brokered never reached {k} daemons (has {})",
+        c.world.procs_named(sys.daemon_name()).len()
+    );
+    (c.world.now() - t0).as_secs_f64()
+}
+
+/// Full Table 3: rows {pvm,lam} × {w/ rsh, w/ host, w/ anylinux}, columns
+/// 1..=max_k machines, medians over `reps` seeded runs.
+pub fn run(max_k: usize, reps: usize) -> Vec<MatrixRow> {
+    assert!(max_k >= 1 && reps >= 1);
+    let median = |f: &dyn Fn(u64) -> f64| {
+        Summary::from_samples((0..reps as u64).map(|i| f(3000 + i)).collect()).median()
+    };
+    let mut rows = Vec::new();
+    for sys in [Sys::Pvm, Sys::Lam] {
+        let name = match sys {
+            Sys::Pvm => "pvm",
+            Sys::Lam => "lam",
+        };
+        let mut w_rsh = Vec::new();
+        let mut w_host = Vec::new();
+        let mut w_any = Vec::new();
+        for k in 1..=max_k {
+            w_rsh.push(median(&|s| with_rsh_once(sys, k, s)));
+            w_host.push(median(&|s| brokered_once(sys, k, named_hosts(k), s)));
+            w_any.push(median(&|s| {
+                brokered_once(sys, k, vec!["anylinux".to_string(); k], s)
+            }));
+        }
+        rows.push(MatrixRow {
+            label: format!("{name} w/ rsh"),
+            values: w_rsh,
+        });
+        rows.push(MatrixRow {
+            label: format!("{name} w/ host"),
+            values: w_host,
+        });
+        rows.push(MatrixRow {
+            label: format!("{name} w/ anylinux"),
+            values: w_any,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pvm_passthrough_overhead_is_sub_millisecond_per_machine() {
+        let k = 3;
+        let base = with_rsh_once(Sys::Pvm, k, 7);
+        let host = brokered_once(Sys::Pvm, k, named_hosts(k), 7);
+        let per_machine = (host - base) / k as f64;
+        assert!(
+            per_machine.abs() < 0.002,
+            "passthrough {per_machine}s/machine"
+        );
+    }
+
+    #[test]
+    fn pvm_anylinux_costs_roughly_a_second_per_machine() {
+        let k = 2;
+        let host = brokered_once(Sys::Pvm, k, named_hosts(k), 8);
+        let any = brokered_once(Sys::Pvm, k, vec!["anylinux".into(); k], 8);
+        let per_machine = (any - host) / k as f64;
+        assert!(
+            (0.3..2.0).contains(&per_machine),
+            "anylinux overhead {per_machine}s/machine"
+        );
+    }
+
+    #[test]
+    fn lam_anylinux_costs_more_than_pvm() {
+        // LAM's console and node daemons start slower; the paper reports
+        // ~1.4 s vs PVM's ~1.2 s per machine.
+        let pvm = brokered_once(Sys::Pvm, 1, vec!["anylinux".into()], 9);
+        let lam = brokered_once(Sys::Lam, 1, vec!["anylinux".into()], 9);
+        assert!(lam > pvm, "lam {lam} <= pvm {pvm}");
+    }
+}

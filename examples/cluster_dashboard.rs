@@ -1,0 +1,72 @@
+//! An operator's view: run a mixed workload and poll `rbstat` once a
+//! minute, printing the cluster status the way a user at a terminal would
+//! see it ("users communicate with ResourceBroker to query machine
+//! availability [and] the status of queued jobs").
+//!
+//! Run with: `cargo run --example cluster_dashboard`
+
+use resourcebroker::broker::{build_standard_cluster, query_status, JobRequest, JobRun};
+use resourcebroker::parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use resourcebroker::proto::CommandSpec;
+use resourcebroker::simcore::Duration;
+
+fn main() {
+    let mut cluster = build_standard_cluster(5, 77);
+    cluster.settle();
+
+    // An adaptive background job...
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "+(count>=4)(adaptive=1)".into(),
+            user: "carol".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 1_200 },
+                desired_workers: 4,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    // ...and a stream of batch jobs that force reallocation and queueing.
+    for i in 0..4 {
+        let at = cluster.world.now() + Duration::from_secs(30 + i * 45);
+        let broker = cluster.broker;
+        let modules = cluster.modules.clone();
+        let home = cluster.machines[0];
+        cluster.world.schedule(at, move |w| {
+            resourcebroker::broker::submit_job(
+                w,
+                home,
+                broker,
+                &modules,
+                JobRequest {
+                    rsl: "(adaptive=0)".into(),
+                    user: format!("batch{i}"),
+                    run: JobRun::Remote {
+                        host: "anylinux".into(),
+                        cmd: CommandSpec::Loop { cpu_millis: 60_000 },
+                    },
+                },
+            );
+        });
+    }
+
+    for minute in 1..=4 {
+        cluster
+            .world
+            .run_until(cluster.world.now() + Duration::from_secs(60));
+        println!("── rbstat @ minute {minute} ───────────────────────────────");
+        for line in query_status(&mut cluster) {
+            println!("  {line}");
+        }
+        println!();
+    }
+    println!(
+        "broker decisions so far: {} grants / {} reclaims / {} offers / {} queued",
+        cluster.world.trace().count("broker.grant"),
+        cluster.world.trace().count("broker.reclaim"),
+        cluster.world.trace().count("broker.offer"),
+        cluster.world.trace().count("broker.queued"),
+    );
+}

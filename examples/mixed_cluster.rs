@@ -1,0 +1,122 @@
+//! Multiple adaptive jobs from *different programming systems* competing
+//! for one cluster — the capability no prior resource manager had.
+//!
+//! A Calypso job and a PLinda job (default redirect path) and a PVM job
+//! (external-module path) share eight machines; sequential jobs arrive in
+//! the middle and get machines reallocated to them just in time.
+//!
+//! Run with: `cargo run --example mixed_cluster`
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{
+    CalypsoConfig, CalypsoMaster, PlindaConfig, PlindaServer, PvmMaster, PvmMasterConfig, TaskBag,
+};
+use resourcebroker::proto::CommandSpec;
+use resourcebroker::simcore::{Duration, SimTime};
+
+fn main() {
+    let mut cluster = build_standard_cluster(8, 2026);
+    cluster.settle();
+
+    // An adaptive Calypso job that will soak up whatever it can get.
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "+(count>=6)(adaptive=1)".into(),
+            user: "carol".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 1_500 },
+                desired_workers: 6,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    cluster.world.run_until(SimTime(20_000_000));
+
+    // A PLinda bag-of-tasks job wants two workers.
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "+(count>=2)(adaptive=1)".into(),
+            user: "pat".into(),
+            run: JobRun::Root(Box::new(PlindaServer::new(PlindaConfig {
+                tasks: vec![800; 24],
+                desired_workers: 2,
+                hostfile: vec!["anylinux".into()],
+                persistent: false,
+            }))),
+        },
+    );
+    cluster.world.run_until(SimTime(40_000_000));
+
+    // A PVM job (module path) wants two more.
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=2)(adaptive=1)(module="pvm")"#.into(),
+            user: "vik".into(),
+            run: JobRun::Root(Box::new(PvmMaster::new(PvmMasterConfig {
+                initial_hosts: vec!["anylinux".into()],
+                ..Default::default()
+            }))),
+        },
+    );
+    cluster.world.run_until(SimTime(70_000_000));
+
+    // A burst of sequential work arrives.
+    let mut seq = Vec::new();
+    for i in 0..2 {
+        let appl = cluster.submit(
+            cluster.machines[0],
+            JobRequest {
+                rsl: "(adaptive=0)".into(),
+                user: format!("seq{i}"),
+                run: JobRun::Remote {
+                    host: "anylinux".into(),
+                    cmd: CommandSpec::Loop { cpu_millis: 4_000 },
+                },
+            },
+        );
+        seq.push(appl);
+        cluster
+            .world
+            .run_until(cluster.world.now() + Duration::from_secs(2));
+    }
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(60));
+
+    println!("after the dust settles:");
+    println!(
+        "  calypso workers: {}",
+        cluster.world.procs_named("calypso-worker").len()
+    );
+    println!(
+        "  plinda workers : {}",
+        cluster.world.procs_named("plinda-worker").len()
+    );
+    println!(
+        "  pvm slaves     : {}",
+        cluster.world.procs_named("pvmd").len()
+    );
+    for (i, appl) in seq.iter().enumerate() {
+        println!(
+            "  sequential #{i}  : {:?}",
+            cluster.world.exit_status(*appl)
+        );
+    }
+    println!(
+        "\nbroker decisions: {} grants, {} reclaims, {} offers",
+        cluster.world.trace().count("broker.grant"),
+        cluster.world.trace().count("broker.reclaim"),
+        cluster.world.trace().count("broker.offer"),
+    );
+    println!("machine allocation (time with an application process, first 70s+):");
+    for &m in &cluster.machines {
+        let host = cluster.world.hostname(m).to_string();
+        let alloc = cluster.world.allocated_time(m).as_secs_f64();
+        let total = cluster.world.now().as_secs_f64();
+        println!("  {host}: {:.1}% allocated", 100.0 * alloc / total);
+    }
+}

@@ -1,0 +1,102 @@
+//! The social contract for private workstations: an adaptive job may use a
+//! colleague's machine overnight, but the moment the owner touches the
+//! keyboard the broker evicts it — and re-offers the machine when the
+//! owner leaves again.
+//!
+//! Run with: `cargo run --example owner_workstation`
+
+use resourcebroker::broker::{build_cluster, ClusterOptions, JobRequest, JobRun};
+use resourcebroker::parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use resourcebroker::proto::MachineAttrs;
+use resourcebroker::simcore::Duration;
+
+fn main() {
+    let mut opts = ClusterOptions {
+        seed: 9,
+        ..Default::default()
+    };
+    opts.machines = vec![
+        MachineAttrs::public_linux("n00"),
+        MachineAttrs::public_linux("n01"),
+        MachineAttrs::private_linux("bob-desk", "bob"),
+        MachineAttrs::private_linux("eve-desk", "eve"),
+    ];
+    let mut cluster = build_cluster(opts);
+    // It's evening: both owners are at their desks.
+    let bob_desk = cluster.world.machine_by_host("bob-desk").unwrap();
+    let eve_desk = cluster.world.machine_by_host("eve-desk").unwrap();
+    cluster.world.set_owner_present(bob_desk, true);
+    cluster.world.set_owner_present(eve_desk, true);
+    cluster.settle();
+
+    // An adaptive job that would happily use all four machines.
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "+(count>=3)(adaptive=1)".into(),
+            user: "carol".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 1_000 },
+                desired_workers: 3,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(20));
+    report(
+        &cluster,
+        "evening (owners present): job limited to public machines",
+    );
+
+    // Bob goes home; his machine is offered to the hungry job.
+    cluster.world.set_owner_present(bob_desk, false);
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(30));
+    report(&cluster, "night (bob left): job expands onto bob-desk");
+
+    // Bob comes in early: daemons notice keyboard activity; the worker is
+    // evicted with SIGTERM + grace, and bob-desk is held for its owner.
+    cluster.world.set_owner_present(bob_desk, true);
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(20));
+    report(
+        &cluster,
+        "morning (bob back): worker evicted within seconds",
+    );
+
+    println!("\neviction trail:");
+    for event in cluster.world.trace().events() {
+        if event.topic.starts_with("broker.evict")
+            || event.topic.starts_with("broker.offer")
+            || event.topic == "calypso.worker.retreat"
+        {
+            println!(
+                "  {:>12}  {:<22} {}",
+                event.at.to_string(),
+                event.topic,
+                event.detail
+            );
+        }
+    }
+}
+
+fn report(cluster: &resourcebroker::broker::Cluster, label: &str) {
+    let mut hosts: Vec<String> = cluster
+        .world
+        .procs_named("calypso-worker")
+        .iter()
+        .map(|&w| {
+            cluster
+                .world
+                .hostname(cluster.world.proc_machine(w).unwrap())
+                .to_string()
+        })
+        .collect();
+    hosts.sort();
+    println!("{label}\n  workers on: {hosts:?}");
+}

@@ -1,0 +1,98 @@
+//! The paper's Figure 6 walk-through: an unmodified PVM program grows onto
+//! broker-chosen machines through the two-phase external-module protocol.
+//!
+//! Phase I: the master pvmd's `rsh anylinux` is intercepted and *failed*
+//! while the broker allocates a machine. Phase II: the `pvm_grow` module
+//! coerces the master — through an ordinary scripted console — to re-issue
+//! the `rsh` with the real host name, which then proceeds under the
+//! sub-`appl`'s supervision. The pvmd never knows a broker exists.
+//!
+//! Run with: `cargo run --example pvm_two_phase`
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{PvmMaster, PvmMasterConfig};
+use resourcebroker::proto::{CommandSpec, ConsoleCmd, Payload, PvmMsg};
+use resourcebroker::simcore::Duration;
+use resourcebroker::simnet::ProcEnv;
+
+fn main() {
+    let mut cluster = build_standard_cluster(4, 7);
+    cluster.settle();
+
+    // Submit the PVM job with the module option, exactly like
+    //   $ appl pvm --(module="pvm")
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=2)(adaptive=1)(module="pvm")"#.into(),
+            user: "alice".into(),
+            run: JobRun::Root(Box::new(PvmMaster::new(PvmMasterConfig {
+                // The user's hostfile contains only the symbolic name.
+                initial_hosts: vec!["anylinux".into()],
+                default_task_millis: 500,
+                ..Default::default()
+            }))),
+        },
+    );
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(10));
+
+    // Grow once more from a user console, then run tasks.
+    let behavior = cluster
+        .world
+        .build_program(&CommandSpec::PvmConsole {
+            script: vec![ConsoleCmd::Add("anylinux".into()), ConsoleCmd::Quit],
+        })
+        .expect("pvm console installed");
+    cluster
+        .world
+        .spawn_user(cluster.machines[0], behavior, ProcEnv::user_broker("alice"));
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(10));
+
+    let master = cluster.world.procs_named("pvm-master")[0];
+    cluster.world.send_from_harness(
+        master,
+        Payload::Pvm(PvmMsg::SpawnTasks {
+            n: 6,
+            cpu_millis: 400,
+        }),
+    );
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(10));
+
+    println!(
+        "virtual machine size: {} slave pvmds",
+        cluster.world.procs_named("pvmd").len()
+    );
+    println!(
+        "tasks completed: {}\n",
+        cluster.world.trace().count("pvm.task.done")
+    );
+
+    println!("two-phase protocol, as it happened:");
+    for event in cluster.world.trace().events() {
+        let interesting = [
+            "rsh.intercept",
+            "appl.module.phase1",
+            "broker.grant",
+            "module.pvm.grow",
+            "pvm.add.attempt",
+            "appl.module.phase2",
+            "subappl.spawn",
+            "pvm.slave.accepted",
+            "pvm.add.failed",
+        ];
+        if interesting.contains(&event.topic.as_str()) {
+            println!(
+                "  {:>12}  {:<22} {}",
+                event.at.to_string(),
+                event.topic,
+                event.detail
+            );
+        }
+    }
+}

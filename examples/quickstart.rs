@@ -1,0 +1,75 @@
+//! Quickstart: boot a broker-managed cluster, run a sequential program on
+//! a just-in-time machine, then grow an adaptive Calypso job across the
+//! rest of the cluster.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use resourcebroker::proto::CommandSpec;
+use resourcebroker::simcore::{Duration, SimTime};
+
+fn main() {
+    // Four public Linux workstations; the broker boots on n00 and spawns a
+    // monitoring daemon on every machine.
+    let mut cluster = build_standard_cluster(4, 42);
+    cluster.settle();
+    println!(
+        "cluster up: {} machines, {} daemons\n",
+        cluster.machines.len(),
+        cluster.world.procs_named("rb-daemon").len()
+    );
+
+    // 1. Remote execution with a symbolic host: "run this anywhere".
+    let appl = cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "alice".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd: CommandSpec::Loop { cpu_millis: 2_000 },
+            },
+        },
+    );
+    let t0 = cluster.world.now();
+    let status = cluster.await_appl(appl, SimTime(600_000_000)).unwrap();
+    println!(
+        "sequential job on a broker-chosen machine: {status} after {:.2}s\n",
+        (cluster.world.now() - t0).as_secs_f64()
+    );
+
+    // 2. An adaptive Calypso job that wants three workers; each worker is
+    //    placed by the broker when the job's runtime asks for `anylinux`.
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "+(count>=3)(adaptive=1)".into(),
+            user: "alice".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Finite(vec![1_000; 12]),
+                desired_workers: 3,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(30));
+
+    println!("trace highlights:");
+    for event in cluster.world.trace().events() {
+        if event.topic.starts_with("broker.grant")
+            || event.topic.starts_with("calypso.worker.joined")
+            || event.topic == "calypso.complete"
+        {
+            println!(
+                "  {:>12}  {:<24} {}",
+                event.at.to_string(),
+                event.topic,
+                event.detail
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # resourcebroker — just-in-time allocation of resources to adaptive parallel programs
+//!
+//! A faithful, fully simulated reproduction of *Mechanisms for Just-in-Time
+//! Allocation of Resources to Adaptive Parallel Programs* (Baratloo,
+//! Itzkovitz, Kedem, Zhao — IPPS 1999): a user-level resource broker that
+//! manages **unmodified** PVM, LAM/MPI, Calypso, and PLinda programs by
+//! interposing on `rsh`, redirecting symbolic host names to machines chosen
+//! just in time, and coercing systems that refuse anonymous machines
+//! through a two-phase external-module protocol.
+//!
+//! ## Crate map
+//!
+//! * [`proto`] — ids and wire messages shared by every component
+//! * [`simcore`] — deterministic discrete-event kernel
+//! * [`simnet`] — the simulated network of workstations (machines,
+//!   processes, signals, CPU sharing, `rsh`/`rshd`)
+//! * [`rsl`] — the Resource Specification Language
+//! * [`parsys`] — the four commodity parallel programming systems
+//! * [`broker`] — ResourceBroker itself (the paper's contribution)
+//! * [`workloads`] — the evaluation scenarios (every table and figure)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+//! use resourcebroker::proto::CommandSpec;
+//! use resourcebroker::simcore::SimTime;
+//!
+//! // A 4-machine cluster managed by the broker.
+//! let mut cluster = build_standard_cluster(4, 1);
+//! cluster.settle();
+//!
+//! // Run a sequential program on a machine the broker picks just in time.
+//! let appl = cluster.submit(
+//!     cluster.machines[0],
+//!     JobRequest {
+//!         rsl: "(adaptive=0)".into(),
+//!         user: "alice".into(),
+//!         run: JobRun::Remote {
+//!             host: "anylinux".into(),
+//!             cmd: CommandSpec::Loop { cpu_millis: 1000 },
+//!         },
+//!     },
+//! );
+//! let status = cluster.await_appl(appl, SimTime(60_000_000)).unwrap();
+//! assert!(status.is_success());
+//! ```
+
+pub use rb_broker as broker;
+pub use rb_parsys as parsys;
+pub use rb_proto as proto;
+pub use rb_rsl as rsl;
+pub use rb_simcore as simcore;
+pub use rb_simnet as simnet;
+pub use rb_workloads as workloads;

@@ -1,0 +1,280 @@
+//! Failure injection: machine crashes, daemon deaths, and job deaths under
+//! broker management. The broker runs at user level; the paper argues it
+//! "does not compromise the security of the networked machines even if it
+//! malfunctions" — here we check the complementary property: the cluster
+//! recovers from component failures.
+
+use resourcebroker::broker::{build_standard_cluster, Cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use resourcebroker::proto::{CommandSpec, ExitStatus, Signal};
+use resourcebroker::simcore::{Duration, SimTime};
+
+const FAR: SimTime = SimTime(3_600_000_000);
+
+fn cluster(n: usize, seed: u64) -> Cluster {
+    let mut c = build_standard_cluster(n, seed);
+    c.settle();
+    c
+}
+
+#[test]
+fn machine_crash_kills_worker_and_job_recovers_via_timeout() {
+    let mut c = cluster(4, 61);
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=2)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Finite(vec![4_000; 6]),
+                desired_workers: 2,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: Some(Duration::from_secs(10)),
+            }))),
+        },
+    );
+    // Wait until both workers have *joined the master* and hold tasks.
+    let ok = c.world.run_until_pred(SimTime(30_000_000), |w| {
+        w.trace().count("calypso.worker.joined") == 2
+    });
+    assert!(ok);
+    c.world.run_until(c.world.now() + Duration::from_secs(1));
+    // Power off one worker's machine: the worker dies mid-task without any
+    // graceful deregistration.
+    let victim_machine = c
+        .world
+        .proc_machine(c.world.procs_named("calypso-worker")[0])
+        .unwrap();
+    c.world.set_machine_up(victim_machine, false);
+    // Eager scheduling's task timeout recovers the lost task; the job
+    // still completes on the surviving worker.
+    c.world.run_until_pred(FAR, |w| !w.alive(appl));
+    assert_eq!(c.world.exit_status(appl), Some(ExitStatus::Success));
+    assert!(c.world.trace().count("calypso.task.timeout") >= 1);
+    let complete = c.world.trace().last("calypso.complete").unwrap();
+    assert!(complete.detail.contains("results=6"));
+}
+
+#[test]
+fn daemon_killed_repeatedly_is_always_respawned() {
+    let mut c = cluster(3, 62);
+    for round in 0..3 {
+        let daemons = c.world.procs_named("rb-daemon");
+        assert_eq!(daemons.len(), 3, "round {round}");
+        c.world.kill_from_harness(daemons[1], Signal::Kill);
+        // First the kill lands...
+        let died = c
+            .world
+            .run_until_pred(SimTime(c.world.now().as_micros() + 1_000_000), |w| {
+                w.procs_named("rb-daemon").len() == 2
+            });
+        assert!(died, "kill did not land in round {round}");
+        // ...then, within the liveness window, the broker respawns.
+        let ok = c
+            .world
+            .run_until_pred(SimTime(c.world.now().as_micros() + 60_000_000), |w| {
+                w.procs_named("rb-daemon").len() == 3
+            });
+        assert!(ok, "daemon not respawned in round {round}");
+    }
+    assert!(c.world.trace().count("broker.daemon.lost") >= 3);
+}
+
+#[test]
+fn crashed_machine_rejoins_the_pool_when_restored() {
+    let mut c = cluster(2, 63);
+    let m1 = c.machines[1];
+    c.world.set_machine_up(m1, false);
+    c.world.run_until(c.world.now() + Duration::from_secs(30));
+    assert_eq!(c.world.procs_named("rb-daemon").len(), 1);
+
+    // While down, allocation requests for it fail over or get denied —
+    // and the broker keeps retrying the daemon spawn.
+    c.world.set_machine_up(m1, true);
+    let ok = c
+        .world
+        .run_until_pred(SimTime(c.world.now().as_micros() + 120_000_000), |w| {
+            w.procs_named("rb-daemon").len() == 2
+        });
+    assert!(ok, "daemon not respawned after machine restore");
+
+    // The machine is usable again.
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "u".into(),
+            run: JobRun::Remote {
+                host: "n01".into(),
+                cmd: CommandSpec::Null,
+            },
+        },
+    );
+    assert_eq!(c.await_appl(appl, FAR), Some(ExitStatus::Success));
+}
+
+#[test]
+fn job_root_crash_releases_all_its_machines() {
+    let mut c = cluster(4, 64);
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=3)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 800 },
+                desired_workers: 3,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    let ok = c.world.run_until_pred(SimTime(30_000_000), |w| {
+        w.procs_named("calypso-worker").len() == 3
+    });
+    assert!(ok);
+
+    // Kill the master outright; the appl notices its root died, shuts the
+    // sub-appls down (which SIGKILL their children), and reports JobDone.
+    let master = c.world.procs_named("calypso-master")[0];
+    c.world.kill_from_harness(master, Signal::Kill);
+    c.world.run_until_pred(FAR, |w| !w.alive(appl));
+    c.world.run_until(c.world.now() + Duration::from_secs(5));
+    assert!(c.world.procs_named("calypso-worker").is_empty());
+    assert!(c.world.procs_named("sub-appl").is_empty());
+    assert!(c.world.trace().count("broker.job.done") >= 1);
+
+    // The machines are immediately reusable by a new job.
+    let appl2 = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "v".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd: CommandSpec::Null,
+            },
+        },
+    );
+    assert_eq!(c.await_appl(appl2, FAR), Some(ExitStatus::Success));
+}
+
+#[test]
+fn rsh_prime_times_out_when_appl_vanishes() {
+    // An orphaned managed process whose appl has died: its rsh' gets no
+    // answer and must fail after the timeout instead of hanging forever.
+    let mut c = cluster(3, 65);
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=1)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 800 },
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    let ok = c.world.run_until_pred(SimTime(30_000_000), |w| {
+        w.procs_named("calypso-worker").len() == 1
+    });
+    assert!(ok);
+    let master = c.world.procs_named("calypso-master")[0];
+
+    // Kill the appl (not the job). The master keeps running, orphaned.
+    c.world.kill_from_harness(appl, Signal::Kill);
+    c.world.run_until(c.world.now() + Duration::from_secs(2));
+    assert!(c.world.alive(master));
+
+    // Nudge the orphaned master to grow: rsh' can't reach the dead appl
+    // and gives up after its timeout; the master tolerates the failure.
+    c.world.send_from_harness(
+        master,
+        resourcebroker::proto::Payload::Ctl(resourcebroker::proto::CtlMsg::GrowHint { count: 1 }),
+    );
+    c.world.run_until(c.world.now() + Duration::from_secs(60));
+    assert!(c.world.trace().count("rsh.appl-timeout") >= 1);
+    assert!(c.world.alive(master), "job survives its appl's death");
+}
+
+#[test]
+fn machine_crash_while_allocated_does_not_wedge_the_broker() {
+    // A machine dies while an adaptive job holds it AND a competing job is
+    // waiting on its reclaim. The appl's release deadline reports it freed;
+    // the broker re-runs the pending request on a healthy machine.
+    let mut c = cluster(3, 66);
+    let cal = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=2)(adaptive=1)".into(),
+            user: "cal".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 600 },
+                desired_workers: 2,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: Some(Duration::from_secs(15)),
+            }))),
+        },
+    );
+    let ok = c.world.run_until_pred(SimTime(30_000_000), |w| {
+        w.procs_named("calypso-worker").len() == 2
+    });
+    assert!(ok);
+    // Crash one worker's machine outright.
+    let victim = c
+        .world
+        .proc_machine(c.world.procs_named("calypso-worker")[0])
+        .unwrap();
+    c.world.set_machine_up(victim, false);
+    c.world.run_until(c.world.now() + Duration::from_secs(2));
+
+    // A batch job arrives; with one machine dead the broker must still be
+    // able to serve it (reclaiming the surviving worker's machine if
+    // needed, or waiting out the release deadline on the dead one).
+    let seq = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "seq".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd: CommandSpec::Null,
+            },
+        },
+    );
+    let status = c.await_appl(seq, SimTime(c.world.now().as_micros() + 120_000_000));
+    assert_eq!(status, Some(ExitStatus::Success), "broker wedged");
+    assert!(c.world.alive(cal));
+}
+
+#[test]
+fn batch_job_retries_allocation_when_granted_machine_is_dead() {
+    // Crash a machine between the daemon's last report and the grant: the
+    // appl's sub-appl rsh fails, and instead of failing the user's command
+    // it asks the broker again and lands on a healthy machine.
+    let mut c = cluster(3, 67);
+    // Crash n01 abruptly: daemons report every 2 s, so for a short window
+    // the broker still believes it is alive.
+    c.world.set_machine_up(c.machines[1], false);
+    let seq = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "seq".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd: CommandSpec::Null,
+            },
+        },
+    );
+    let status = c.await_appl(seq, FAR).unwrap();
+    assert_eq!(status, ExitStatus::Success);
+    // Either the broker never picked the dead machine (timing) or the
+    // retry path rescued the job; in both cases the job succeeded. When a
+    // retry happened, it is visible in the trace.
+    let retried = c.world.trace().count("appl.alloc.retry");
+    let failed_spawn = c.world.trace().count("appl.subappl.failed");
+    assert_eq!(retried, failed_spawn, "every dead grant retried");
+}

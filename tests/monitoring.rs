@@ -1,0 +1,110 @@
+//! The resource-management layer's monitoring duties: keyboard/mouse
+//! activity detection, the `rbstat` user tool, and daemon report plumbing.
+
+use resourcebroker::broker::{build_cluster, query_status, ClusterOptions, JobRequest, JobRun};
+use resourcebroker::parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use resourcebroker::proto::MachineAttrs;
+use resourcebroker::simcore::{Duration, SimTime};
+
+#[test]
+fn keyboard_activity_on_private_machine_evicts_adaptive_job() {
+    // No login event — just keystrokes. The daemon's keyboard/mouse
+    // monitoring must be enough to trigger eviction.
+    let opts = ClusterOptions {
+        seed: 91,
+        machines: vec![
+            MachineAttrs::public_linux("n00"),
+            MachineAttrs::private_linux("p01", "bob"),
+            MachineAttrs::public_linux("n02"),
+        ],
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    c.settle();
+    let p01 = c.world.machine_by_host("p01").unwrap();
+
+    // Busy up the public machines so the adaptive job lands on p01.
+    for host in ["n00", "n02"] {
+        let m = c.world.machine_by_host(host).unwrap();
+        c.world.spawn_user(
+            m,
+            Box::new(resourcebroker::simnet::LoopProg::new(600_000)),
+            resourcebroker::simnet::ProcEnv::user_standard("x"),
+        );
+    }
+    c.world.run_until(SimTime(5_000_000));
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=1)(adaptive=1)".into(),
+            user: "carol".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 400 },
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    let ok = c.world.run_until_pred(SimTime(30_000_000), |w| {
+        w.procs_named("calypso-worker").len() == 1
+    });
+    assert!(ok);
+    let worker = c.world.procs_named("calypso-worker")[0];
+    assert_eq!(c.world.proc_machine(worker), Some(p01));
+
+    // Bob touches the keyboard (no login): next daemon poll reports the
+    // activity and the broker evicts.
+    c.world.touch_console(p01);
+    c.world.run_until(c.world.now() + Duration::from_secs(10));
+    assert!(c.world.procs_named("calypso-worker").is_empty());
+    assert!(c.world.trace().count("broker.evict.owner") >= 1);
+    assert_eq!(c.world.app_procs_on(p01), 0);
+}
+
+#[test]
+fn rbstat_reports_machines_jobs_and_daemons() {
+    let mut c = resourcebroker::broker::build_standard_cluster(3, 92);
+    c.settle();
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=1)(adaptive=1)".into(),
+            user: "carol".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 500 },
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    c.world.run_until(c.world.now() + Duration::from_secs(10));
+
+    let lines = query_status(&mut c);
+    assert_eq!(
+        lines.iter().filter(|l| l.starts_with('n')).count(),
+        3,
+        "one line per machine: {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("user=carol")),
+        "job line present: {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("Allocated")),
+        "allocation visible: {lines:?}"
+    );
+}
+
+#[test]
+fn rbstat_times_out_against_a_dead_broker() {
+    let mut c = resourcebroker::broker::build_standard_cluster(2, 93);
+    c.settle();
+    c.world
+        .kill_from_harness(c.broker, resourcebroker::proto::Signal::Kill);
+    c.world.run_until(c.world.now() + Duration::from_secs(1));
+    let lines = query_status(&mut c);
+    assert!(lines.is_empty());
+    assert!(c.world.trace().count("rbstat.timeout") >= 1);
+}

@@ -1,0 +1,201 @@
+//! `pmake` end-to-end: dependency-ordered distributed builds, bounded
+//! parallelism, failure handling — and the paper's point that plain
+//! parallelizable tools gain just-in-time placement under the broker's
+//! default path with zero modification.
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{MakeRule, ParsysPrograms, Pmake, PmakeConfig};
+use resourcebroker::proto::ExitStatus;
+use resourcebroker::simcore::SimTime;
+use resourcebroker::simnet::{BasePrograms, FactoryChain, ProcEnv, World, WorldBuilder};
+
+const FAR: SimTime = SimTime(3_600_000_000);
+
+fn plain_world(publics: usize, seed: u64) -> World {
+    let mut b = WorldBuilder::new()
+        .seed(seed)
+        .factory(FactoryChain::new().with(BasePrograms).with(ParsysPrograms));
+    b.standard_lab(publics + 1);
+    b.build()
+}
+
+/// A classic diamond: lib.o and app.o build in parallel, link needs both.
+fn diamond(cpu: u64) -> Vec<MakeRule> {
+    vec![
+        MakeRule::new("config.h", &[], cpu / 4),
+        MakeRule::new("lib.o", &["config.h"], cpu),
+        MakeRule::new("app.o", &["config.h"], cpu),
+        MakeRule::new("app", &["lib.o", "app.o"], cpu / 2),
+    ]
+}
+
+fn run_pmake(world: &mut World, cfg: PmakeConfig) -> (ExitStatus, f64) {
+    let n00 = world.machine_by_host("n00").unwrap();
+    let t0 = world.now();
+    let p = world.spawn_user(
+        n00,
+        Box::new(Pmake::new(cfg)),
+        ProcEnv::user_standard("dev"),
+    );
+    world.run_until_pred(FAR, |w| !w.alive(p));
+    (
+        world.exit_status(p).expect("pmake finished"),
+        (world.now() - t0).as_secs_f64(),
+    )
+}
+
+#[test]
+fn diamond_builds_in_dependency_order() {
+    let mut world = plain_world(3, 81);
+    let (status, _) = run_pmake(
+        &mut world,
+        PmakeConfig {
+            rules: diamond(2_000),
+            goal: "app".into(),
+            jobs: 4,
+            hostfile: vec!["n01".into(), "n02".into(), "n03".into()],
+        },
+    );
+    assert_eq!(status, ExitStatus::Success);
+    // config.h strictly before the objects; both objects before the link.
+    let t = world.trace();
+    let idx = |needle: &str| {
+        t.events()
+            .iter()
+            .position(|e| e.topic == "pmake.built" && e.detail == needle)
+            .unwrap_or_else(|| panic!("{needle} never built"))
+    };
+    assert!(idx("config.h") < idx("lib.o"));
+    assert!(idx("config.h") < idx("app.o"));
+    assert!(idx("lib.o") < idx("app"));
+    assert!(idx("app.o") < idx("app"));
+}
+
+#[test]
+fn parallel_objects_overlap_with_enough_jobs() {
+    // With -j2 the two 4s object files overlap; with -j1 they serialize.
+    let elapsed = |jobs: u32| {
+        let mut world = plain_world(2, 82);
+        let (status, secs) = run_pmake(
+            &mut world,
+            PmakeConfig {
+                rules: diamond(4_000),
+                goal: "app".into(),
+                jobs,
+                hostfile: vec!["n01".into(), "n02".into()],
+            },
+        );
+        assert_eq!(status, ExitStatus::Success);
+        secs
+    };
+    let serial = elapsed(1);
+    let parallel = elapsed(2);
+    assert!(
+        serial - parallel > 3.0,
+        "-j2 {parallel}s should beat -j1 {serial}s by ~4s"
+    );
+}
+
+#[test]
+fn failing_recipe_aborts_the_build() {
+    let mut world = plain_world(2, 83);
+    let rules = vec![
+        MakeRule::new("good.o", &[], 1_000),
+        MakeRule::new("bad.o", &[], 500).failing(),
+        MakeRule::new("app", &["good.o", "bad.o"], 500),
+    ];
+    let (status, _) = run_pmake(
+        &mut world,
+        PmakeConfig {
+            rules,
+            goal: "app".into(),
+            jobs: 2,
+            hostfile: vec!["n01".into(), "n02".into()],
+        },
+    );
+    assert_eq!(status, ExitStatus::Failure(2));
+    // The goal was never attempted after the failure.
+    assert!(world
+        .trace()
+        .events()
+        .iter()
+        .all(|e| !(e.topic == "pmake.launch" && e.detail.starts_with("app "))));
+    assert!(world.trace().count("pmake.recipe-failed") == 1);
+}
+
+#[test]
+fn missing_rule_and_cycle_fail_fast() {
+    let mut world = plain_world(1, 84);
+    let (status, secs) = run_pmake(
+        &mut world,
+        PmakeConfig {
+            rules: vec![MakeRule::new("app", &["ghost"], 100)],
+            goal: "app".into(),
+            jobs: 1,
+            hostfile: vec!["n01".into()],
+        },
+    );
+    assert_eq!(status, ExitStatus::Failure(2));
+    assert!(secs < 0.1, "failed fast, not after launching ({secs}s)");
+
+    let (status, _) = run_pmake(
+        &mut world,
+        PmakeConfig {
+            rules: vec![
+                MakeRule::new("a", &["b"], 100),
+                MakeRule::new("b", &["a"], 100),
+            ],
+            goal: "a".into(),
+            jobs: 1,
+            hostfile: vec!["n01".into()],
+        },
+    );
+    assert_eq!(status, ExitStatus::Failure(2));
+}
+
+#[test]
+fn pmake_under_the_broker_uses_just_in_time_machines() {
+    // The same build description, hostfile = ["anylinux"]: every recipe is
+    // redirected to a broker-chosen machine; recipes spread across the
+    // cluster without naming a single host.
+    let mut c = build_standard_cluster(4, 85);
+    c.settle();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "dev".into(),
+            run: JobRun::Root(Box::new(Pmake::new(PmakeConfig {
+                rules: diamond(2_000),
+                goal: "app".into(),
+                jobs: 3,
+                hostfile: vec!["anylinux".into()],
+            }))),
+        },
+    );
+    let status = c.await_appl(appl, FAR).unwrap();
+    assert_eq!(status, ExitStatus::Success);
+    assert!(c.world.trace().count("broker.grant") >= 4);
+    // The two parallel objects really did land on distinct machines.
+    let launches: Vec<&str> = c
+        .world
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| e.topic == "pmake.launch")
+        .map(|e| e.detail.as_str())
+        .collect();
+    assert!(launches.iter().all(|l| l.contains("anylinux")));
+    let loop_machines: std::collections::HashSet<String> = c
+        .world
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| e.topic == "proc.start" && e.detail.contains(" loop on "))
+        .map(|e| e.detail.split(" on ").nth(1).unwrap().to_string())
+        .collect();
+    assert!(
+        loop_machines.len() >= 2,
+        "recipes spread over machines: {loop_machines:?}"
+    );
+}

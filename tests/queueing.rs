@@ -1,0 +1,181 @@
+//! Batch-job queueing: when nothing is available (and policy cannot
+//! reclaim), a non-adaptive job waits in the broker's queue — users can
+//! "learn the status of queued jobs" — and is served FIFO as machines
+//! free up.
+
+use resourcebroker::broker::{
+    build_cluster, Cluster, ClusterOptions, FifoPolicy, JobRequest, JobRun,
+};
+use resourcebroker::proto::{BrokerMsg, CommandSpec, ExitStatus, MachineAttrs, Payload, ProcId};
+use resourcebroker::simcore::{Duration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const FAR: SimTime = SimTime(3_600_000_000);
+
+/// One public machine plus the user's workstation (out of pool).
+fn tiny(seed: u64) -> Cluster {
+    let opts = ClusterOptions {
+        seed,
+        machines: vec![
+            MachineAttrs::private_linux("n00", "user"),
+            MachineAttrs::public_linux("n01"),
+        ],
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    c.world.set_owner_present(c.machines[0], true);
+    c.settle();
+    c
+}
+
+fn loop_job(cpu_millis: u64) -> JobRequest {
+    JobRequest {
+        rsl: "(adaptive=0)".into(),
+        user: "u".into(),
+        run: JobRun::Remote {
+            host: "anylinux".into(),
+            cmd: CommandSpec::Loop { cpu_millis },
+        },
+    }
+}
+
+#[test]
+fn batch_jobs_queue_and_run_in_fifo_order() {
+    let mut c = tiny(71);
+    // Three 3-second jobs for one machine: they must serialize in
+    // submission order.
+    let a = c.submit(c.machines[0], loop_job(3_000));
+    c.world
+        .run_until(c.world.now() + Duration::from_millis(200));
+    let b = c.submit(c.machines[0], loop_job(3_000));
+    c.world
+        .run_until(c.world.now() + Duration::from_millis(200));
+    let d = c.submit(c.machines[0], loop_job(3_000));
+
+    // While A runs, B and D wait in the queue.
+    c.world.run_until(c.world.now() + Duration::from_secs(2));
+    assert!(c.world.alive(a) && c.world.alive(b) && c.world.alive(d));
+    assert_eq!(c.world.trace().count("broker.queued"), 2);
+
+    // All three eventually complete, in order.
+    assert_eq!(c.await_appl(a, FAR), Some(ExitStatus::Success));
+    let t_a = c.world.now();
+    assert_eq!(c.await_appl(b, FAR), Some(ExitStatus::Success));
+    let t_b = c.world.now();
+    assert_eq!(c.await_appl(d, FAR), Some(ExitStatus::Success));
+    let t_d = c.world.now();
+    assert!(t_a < t_b && t_b < t_d);
+    // Total ≈ 3 × (3 s + startup overheads): the machine was never shared.
+    assert!(t_d.as_secs_f64() < 13.0, "end {}", t_d);
+}
+
+#[test]
+fn queued_jobs_appear_in_cluster_status() {
+    struct Query {
+        broker: ProcId,
+        lines: Rc<RefCell<Vec<String>>>,
+    }
+    impl resourcebroker::simnet::Behavior for Query {
+        fn name(&self) -> &'static str {
+            "query"
+        }
+        fn on_start(&mut self, ctx: &mut resourcebroker::simnet::Ctx<'_>) {
+            let me = ctx.me();
+            ctx.send(
+                self.broker,
+                Payload::Broker(BrokerMsg::QueryCluster { reply_to: me }),
+            );
+        }
+        fn on_message(
+            &mut self,
+            ctx: &mut resourcebroker::simnet::Ctx<'_>,
+            _from: ProcId,
+            msg: Payload,
+        ) {
+            if let Payload::Broker(BrokerMsg::ClusterStatus { lines }) = msg {
+                *self.lines.borrow_mut() = lines;
+                ctx.exit(ExitStatus::Success);
+            }
+        }
+    }
+
+    let mut c = tiny(72);
+    c.submit(c.machines[0], loop_job(30_000));
+    c.world.run_until(c.world.now() + Duration::from_secs(2));
+    c.submit(c.machines[0], loop_job(1_000));
+    c.world.run_until(c.world.now() + Duration::from_secs(2));
+
+    let lines = Rc::new(RefCell::new(Vec::new()));
+    c.world.spawn_user(
+        c.machines[0],
+        Box::new(Query {
+            broker: c.broker,
+            lines: lines.clone(),
+        }),
+        resourcebroker::simnet::ProcEnv::system("user"),
+    );
+    c.world.run_until(c.world.now() + Duration::from_secs(1));
+    let lines = lines.borrow();
+    assert!(
+        lines.iter().any(|l| l.starts_with("queued:")),
+        "no queued line in {lines:?}"
+    );
+}
+
+#[test]
+fn queued_request_dropped_when_its_job_dies() {
+    let mut c = tiny(73);
+    let a = c.submit(c.machines[0], loop_job(30_000));
+    c.world.run_until(c.world.now() + Duration::from_secs(2));
+    let b = c.submit(c.machines[0], loop_job(1_000));
+    c.world.run_until(c.world.now() + Duration::from_secs(2));
+    // Kill the queued job's appl; when A finishes, the machine must not be
+    // granted to a ghost.
+    c.world
+        .kill_from_harness(b, resourcebroker::proto::Signal::Kill);
+    assert_eq!(c.await_appl(a, FAR), Some(ExitStatus::Success));
+    c.world.run_until(c.world.now() + Duration::from_secs(5));
+    // n01 is free again (no stranded allocation).
+    assert_eq!(c.world.app_procs_on(c.machines[1]), 0);
+}
+
+#[test]
+fn fifo_policy_with_queueing_disabled_denies_outright() {
+    // queue_batch_jobs can be turned off: then a busy cluster denies batch
+    // jobs immediately (the pre-queueing behavior).
+    use resourcebroker::broker::{Broker, BrokerConfig, ModuleRegistry, RshPrimeInstaller};
+    use resourcebroker::simnet::{BasePrograms, FactoryChain, ProcEnv, RshBinding, WorldBuilder};
+    let mut bld = WorldBuilder::new()
+        .seed(74)
+        .default_remote_binding(RshBinding::Broker)
+        .factory(
+            FactoryChain::new()
+                .with(BasePrograms)
+                .with(resourcebroker::parsys::ParsysPrograms)
+                .with(resourcebroker::broker::BrokerPrograms),
+        )
+        .rsh_prime(RshPrimeInstaller);
+    let m0 = bld.machine(MachineAttrs::private_linux("n00", "user"));
+    let _m1 = bld.machine(MachineAttrs::public_linux("n01"));
+    let mut world = bld.build();
+    let broker = world.spawn_user(
+        m0,
+        Box::new(Broker::new(BrokerConfig {
+            policy: Box::new(FifoPolicy),
+            spawn_daemons: true,
+            queue_batch_jobs: false,
+        })),
+        ProcEnv::system("rb"),
+    );
+    world.set_owner_present(m0, true);
+    world.run_until(SimTime(1_000_000));
+    let modules = std::sync::Arc::new(ModuleRegistry::standard());
+
+    let a = resourcebroker::broker::submit_job(&mut world, m0, broker, &modules, loop_job(30_000));
+    world.run_until(world.now() + Duration::from_secs(2));
+    let b = resourcebroker::broker::submit_job(&mut world, m0, broker, &modules, loop_job(1_000));
+    world.run_until_pred(FAR, |w| !w.alive(b));
+    assert_eq!(world.exit_status(b), Some(ExitStatus::Failure(1)));
+    assert!(world.alive(a));
+}

@@ -1,0 +1,118 @@
+//! `(start_script=...)` semantics end-to-end: the appl restarts a job
+//! whose root dies abnormally, and a persistent PLinda server recovers its
+//! tuple space from the checkpoint — crash-through-completion.
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{PlindaConfig, PlindaServer};
+use resourcebroker::proto::{ExitStatus, Signal};
+use resourcebroker::simcore::SimTime;
+
+const FAR: SimTime = SimTime(3_600_000_000);
+
+fn plinda_cfg(tasks: Vec<u64>) -> PlindaConfig {
+    PlindaConfig {
+        tasks,
+        desired_workers: 2,
+        hostfile: vec!["anylinux".into()],
+        persistent: true,
+    }
+}
+
+#[test]
+fn crashed_persistent_plinda_job_restarts_and_completes() {
+    let mut c = build_standard_cluster(4, 101);
+    c.settle();
+    // First incarnation seeds 8 tasks; restarts seed nothing and recover
+    // everything from the checkpoint.
+    let mut first = true;
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=2)(adaptive=1)(start_script="run-plinda.sh")"#.into(),
+            user: "pat".into(),
+            run: JobRun::Script {
+                make: Box::new(move || {
+                    let tasks = if first { vec![2_000; 8] } else { vec![] };
+                    first = false;
+                    Box::new(PlindaServer::new(plinda_cfg(tasks)))
+                }),
+                max_restarts: 2,
+            },
+        },
+    );
+    // Let it get going, then murder the server mid-computation.
+    let ok = c.world.run_until_pred(SimTime(60_000_000), |w| {
+        w.trace().count("plinda.worker.joined") >= 2
+    });
+    assert!(ok);
+    c.world
+        .run_until(c.world.now() + resourcebroker::simcore::Duration::from_secs(1));
+    let server = c.world.procs_named("plinda-server")[0];
+    c.world.kill_from_harness(server, Signal::Kill);
+
+    // The appl restarts it; the new incarnation recovers and finishes.
+    let status = c.await_appl(appl, FAR).expect("job finished");
+    assert_eq!(status, ExitStatus::Success);
+    assert!(c.world.trace().count("appl.restart") >= 1);
+    assert!(c.world.trace().count("plinda.recover") >= 1);
+    let complete = c.world.trace().last("plinda.complete").unwrap();
+    assert!(complete.detail.contains("results=8"), "{}", complete.detail);
+}
+
+#[test]
+fn restart_budget_is_finite() {
+    // A root that always crashes: after max_restarts the appl gives up and
+    // reports the failure.
+    use resourcebroker::simnet::{Behavior, Ctx};
+    struct Crasher;
+    impl Behavior for Crasher {
+        fn name(&self) -> &'static str {
+            "crasher"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.exit(ExitStatus::Failure(7));
+        }
+    }
+    let mut c = build_standard_cluster(2, 102);
+    c.settle();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"(start_script="crash.sh")"#.into(),
+            user: "u".into(),
+            run: JobRun::Script {
+                make: Box::new(|| Box::new(Crasher)),
+                max_restarts: 3,
+            },
+        },
+    );
+    let status = c.await_appl(appl, FAR).unwrap();
+    assert_eq!(status, ExitStatus::Failure(7));
+    assert_eq!(c.world.trace().count("appl.restart"), 3);
+}
+
+#[test]
+fn clean_exit_is_not_restarted() {
+    use resourcebroker::simnet::NullProg;
+    let mut c = build_standard_cluster(2, 103);
+    c.settle();
+    let mut spawned = 0u32;
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"(start_script="ok.sh")"#.into(),
+            user: "u".into(),
+            run: JobRun::Script {
+                make: Box::new(move || {
+                    spawned += 1;
+                    assert!(spawned <= 1, "clean job must not be restarted");
+                    Box::new(NullProg)
+                }),
+                max_restarts: 5,
+            },
+        },
+    );
+    let status = c.await_appl(appl, FAR).unwrap();
+    assert_eq!(status, ExitStatus::Success);
+    assert_eq!(c.world.trace().count("appl.restart"), 0);
+}

@@ -1,0 +1,114 @@
+//! The paper's "self-scheduling" adaptivity: a PVM *application* that calls
+//! `pvm_addhosts()` with a symbolic name whenever its backlog outgrows its
+//! machines. Unmodified, it fails to grow under plain rsh; under the broker
+//! it transparently acquires machines just in time and finishes faster.
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{ParsysPrograms, PvmApp, PvmAppConfig, PvmMaster, PvmMasterConfig};
+use resourcebroker::proto::{ExitStatus, ProcId};
+use resourcebroker::simcore::{Duration, SimTime};
+use resourcebroker::simnet::{BasePrograms, Behavior, Ctx, FactoryChain, ProcEnv, WorldBuilder};
+
+const FAR: SimTime = SimTime(3_600_000_000);
+
+/// A job root that starts a master pvmd and then the self-scheduling app
+/// as a sibling (the way a user runs `pvm` and then their program).
+struct PvmJob {
+    app_cfg: PvmAppConfig,
+    app: Option<ProcId>,
+}
+
+impl Behavior for PvmJob {
+    fn name(&self) -> &'static str {
+        "pvm-job"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.spawn_local(Box::new(PvmMaster::new(PvmMasterConfig::default())));
+        ctx.set_timer(Duration::from_millis(300));
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: resourcebroker::proto::TimerToken) {
+        if self.app.is_none() {
+            let app = ctx.spawn_local(Box::new(PvmApp::new(self.app_cfg.clone())));
+            self.app = Some(app);
+        }
+    }
+    fn on_child_exit(&mut self, ctx: &mut Ctx<'_>, child: ProcId, status: ExitStatus) {
+        if self.app == Some(child) {
+            ctx.exit(status);
+        }
+    }
+}
+
+fn app_cfg() -> PvmAppConfig {
+    PvmAppConfig {
+        work: vec![800; 40],
+        tasks_per_host: 2,
+        grow_backlog_per_host: 6,
+        max_hosts: 4,
+    }
+}
+
+#[test]
+fn self_scheduling_app_without_broker_stays_on_one_host() {
+    // Plain rsh world: `pvm_addhosts("anylinux")` fails (unknown host);
+    // the app tolerates it and grinds through on the master's machine.
+    let mut b = WorldBuilder::new()
+        .seed(31)
+        .factory(FactoryChain::new().with(BasePrograms).with(ParsysPrograms));
+    let ms = b.standard_lab(4);
+    let mut world = b.build();
+    let job = world.spawn_user(
+        ms[0],
+        Box::new(PvmJob {
+            app_cfg: app_cfg(),
+            app: None,
+        }),
+        ProcEnv::user_standard("u"),
+    );
+    world.run_until_pred(FAR, |w| !w.alive(job));
+    assert_eq!(world.exit_status(job), Some(ExitStatus::Success));
+    assert!(world.trace().count("pvm.app.addhosts") >= 1);
+    assert_eq!(world.procs_named("pvmd").len(), 0, "no slaves ever joined");
+    // 40 x 0.8s on one machine: at least 32 seconds.
+    assert!(world.now().as_secs_f64() > 30.0);
+}
+
+#[test]
+fn self_scheduling_app_under_broker_grows_and_finishes_faster() {
+    let mut c = build_standard_cluster(4, 31);
+    c.settle();
+    let t0 = c.world.now();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=1)(adaptive=1)(module="pvm")"#.into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(PvmJob {
+                app_cfg: app_cfg(),
+                app: None,
+            })),
+        },
+    );
+    let status = c.await_appl(appl, FAR).unwrap();
+    assert_eq!(status, ExitStatus::Success);
+    let elapsed = (c.world.now() - t0).as_secs_f64();
+
+    // The backlog-driven addhosts went through the module path and the VM
+    // actually grew.
+    assert!(c.world.trace().count("pvm.app.addhosts") >= 1);
+    assert!(c.world.trace().count("module.pvm.grow") >= 1);
+    assert!(c.world.trace().count("pvm.slave.accepted") >= 1);
+    assert!(
+        c.world
+            .trace()
+            .with_topic("pvm.app.vm-size")
+            .next()
+            .is_some(),
+        "the app observed the asynchronous growth"
+    );
+    // 32 CPU-seconds spread over >= 2 hosts: well under the 1-host time.
+    assert!(
+        elapsed < 26.0,
+        "adaptive run took {elapsed}s; should beat the ~33s single-host grind"
+    );
+}

@@ -1,0 +1,249 @@
+//! Randomized stress testing: mixed workloads of all four programming
+//! systems plus batch jobs arriving on randomly sized clusters, checked
+//! against global allocation invariants recovered from the event trace.
+//!
+//! This is model-checking-lite: the schedules are deterministic per seed,
+//! so any violation found here is replayable.
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{
+    CalypsoConfig, CalypsoMaster, MakeRule, PlindaConfig, PlindaServer, Pmake, PmakeConfig,
+    PvmMaster, PvmMasterConfig, TaskBag,
+};
+use resourcebroker::proto::CommandSpec;
+use resourcebroker::simcore::{Duration, SimRng, TraceEvent};
+use std::collections::HashMap;
+
+/// Recover per-machine grant/free alternation from the trace. Every grant
+/// of a machine must be followed by a free before it can be granted again.
+fn check_no_double_allocation(events: &[TraceEvent]) {
+    let mut held: HashMap<String, String> = HashMap::new(); // host -> "jN"
+    for e in events {
+        match e.topic.as_str() {
+            "broker.grant" => {
+                // detail: "<host> -> jN (gK)"
+                let host = e.detail.split(" -> ").next().unwrap().to_string();
+                let job = e
+                    .detail
+                    .split(" -> ")
+                    .nth(1)
+                    .unwrap()
+                    .split(' ')
+                    .next()
+                    .unwrap()
+                    .to_string();
+                if let Some(prev) = held.get(&host) {
+                    panic!(
+                        "{}: {host} granted to {job} while still held by {prev}",
+                        e.at
+                    );
+                }
+                held.insert(host, job);
+            }
+            "broker.freed" => {
+                // detail: "<host> by jN"
+                let host = e.detail.split(" by ").next().unwrap().to_string();
+                held.remove(&host);
+            }
+            "broker.job.done" => {
+                // detail: "jN" — the job's machines return without
+                // individual freed events.
+                let job = e.detail.trim().to_string();
+                held.retain(|_, j| *j != job);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Every reclaim eventually leads to the machine being freed (no machine
+/// stuck in `Reclaiming` forever), within the run horizon.
+fn check_reclaims_complete(events: &[TraceEvent]) {
+    // host -> victim job ("jN") of the outstanding reclaim.
+    let mut pending: HashMap<String, String> = HashMap::new();
+    for e in events {
+        match e.topic.as_str() {
+            "broker.reclaim" => {
+                let host = e.detail.split(" from ").next().unwrap().to_string();
+                let victim = e.detail.split(" from ").nth(1).unwrap().to_string();
+                pending.insert(host, victim);
+            }
+            "broker.freed" => {
+                let host = e.detail.split(" by ").next().unwrap().to_string();
+                pending.remove(&host);
+            }
+            "broker.grant" => {
+                // A grant of the host also resolves the reclaim (the
+                // JobDone shortcut grants without an explicit freed).
+                let host = e.detail.split(" -> ").next().unwrap().to_string();
+                pending.remove(&host);
+            }
+            "broker.job.done" => {
+                let job = e.detail.trim().to_string();
+                pending.retain(|_, victim| *victim != job);
+            }
+            _ => {}
+        }
+    }
+    assert!(pending.is_empty(), "reclaims never completed: {pending:?}");
+}
+
+fn random_workload(seed: u64) {
+    let mut rng = SimRng::seeded(seed);
+    let machines = rng.uniform_u64(3, 9) as usize;
+    let mut c = build_standard_cluster(machines, seed);
+    c.settle();
+
+    let n_jobs = rng.uniform_u64(3, 8);
+    for i in 0..n_jobs {
+        let kind = rng.uniform_u64(0, 5);
+        let user = format!("user{i}");
+        let req = match kind {
+            0 => JobRequest {
+                rsl: format!("+(count>={})(adaptive=1)", rng.uniform_u64(1, 4)),
+                user,
+                run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                    tasks: TaskBag::Finite(vec![
+                        rng.uniform_u64(200, 2_000);
+                        rng.uniform_u64(2, 10) as usize
+                    ]),
+                    desired_workers: rng.uniform_u64(1, 4) as u32,
+                    hostfile: vec!["anylinux".into()],
+                    task_timeout: Some(Duration::from_secs(20)),
+                }))),
+            },
+            1 => JobRequest {
+                rsl: "+(count>=1)(adaptive=1)".into(),
+                user,
+                run: JobRun::Root(Box::new(PlindaServer::new(PlindaConfig {
+                    tasks: vec![rng.uniform_u64(200, 1_500); rng.uniform_u64(2, 8) as usize],
+                    desired_workers: rng.uniform_u64(1, 3) as u32,
+                    hostfile: vec!["anylinux".into()],
+                    persistent: false,
+                }))),
+            },
+            2 => JobRequest {
+                rsl: r#"+(count>=1)(adaptive=1)(module="pvm")"#.into(),
+                user,
+                run: JobRun::Root(Box::new(PvmMaster::new(PvmMasterConfig {
+                    initial_hosts: vec!["anylinux".into()],
+                    default_task_millis: 400,
+                    ..Default::default()
+                }))),
+            },
+            3 => JobRequest {
+                rsl: "(adaptive=0)".into(),
+                user,
+                run: JobRun::Root(Box::new(Pmake::new(PmakeConfig {
+                    rules: vec![
+                        MakeRule::new("a", &[], rng.uniform_u64(200, 1_000)),
+                        MakeRule::new("b", &["a"], rng.uniform_u64(200, 1_000)),
+                        MakeRule::new("c", &["a"], rng.uniform_u64(200, 1_000)),
+                        MakeRule::new("goal", &["b", "c"], 300),
+                    ],
+                    goal: "goal".into(),
+                    jobs: 2,
+                    hostfile: vec!["anylinux".into()],
+                }))),
+            },
+            _ => JobRequest {
+                rsl: "(adaptive=0)".into(),
+                user,
+                run: JobRun::Remote {
+                    host: "anylinux".into(),
+                    cmd: CommandSpec::Loop {
+                        cpu_millis: rng.uniform_u64(500, 5_000),
+                    },
+                },
+            },
+        };
+        let delay = Duration::from_millis(rng.uniform_u64(0, 20_000));
+        let when = c.world.now() + delay;
+        let broker = c.broker;
+        let modules = c.modules.clone();
+        let home = c.machines[0];
+        c.world.schedule(when, move |w| {
+            resourcebroker::broker::submit_job(w, home, broker, &modules, req);
+        });
+    }
+
+    // Random mid-run disturbance: keyboard activity, a daemon death, a
+    // whole-machine crash (restored a minute later), or nothing.
+    match rng.uniform_u64(0, 4) {
+        0 => {
+            let m = c.machines[rng.index(c.machines.len())];
+            let at = c.world.now() + Duration::from_secs(rng.uniform_u64(5, 30));
+            c.world.schedule(at, move |w| w.touch_console(m));
+        }
+        1 => {
+            let at = c.world.now() + Duration::from_secs(rng.uniform_u64(5, 30));
+            c.world.schedule(at, |w| {
+                if let Some(&d) = w.procs_named("rb-daemon").first() {
+                    w.kill_from_harness(d, resourcebroker::proto::Signal::Kill);
+                }
+            });
+        }
+        // Never crash the home machine (the broker itself lives there;
+        // broker fail-over is outside the paper's scope).
+        2 if c.machines.len() > 1 => {
+            let m = c.machines[1 + rng.index(c.machines.len() - 1)];
+            let at = c.world.now() + Duration::from_secs(rng.uniform_u64(5, 30));
+            c.world.schedule(at, move |w| w.set_machine_up(m, false));
+            let back = at + Duration::from_secs(60);
+            c.world.schedule(back, move |w| w.set_machine_up(m, true));
+        }
+        _ => {}
+    }
+
+    // Run three simulated minutes — long enough for every finite job to
+    // finish and the cluster to reach steady state.
+    c.world.run_until(c.world.now() + Duration::from_secs(180));
+
+    let events = c.world.trace().events();
+    check_no_double_allocation(events);
+    check_reclaims_complete(events);
+
+    // No sub-appl outlives its job's machines: any alive sub-appl must
+    // still have an alive appl.
+    let appls = c.world.procs_named("appl");
+    for sub in c.world.procs_named("sub-appl") {
+        assert!(
+            !appls.is_empty(),
+            "orphan sub-appl {sub} with no appl alive"
+        );
+    }
+}
+
+#[test]
+fn stress_mixed_workloads_32_seeds() {
+    for seed in 0..32 {
+        random_workload(9_000 + seed);
+    }
+}
+
+#[test]
+fn stress_is_deterministic_per_seed() {
+    // Same seed twice: identical traces (the whole stress harness included).
+    fn trace_of(seed: u64) -> String {
+        let mut rng = SimRng::seeded(seed);
+        let machines = rng.uniform_u64(3, 9) as usize;
+        let mut c = build_standard_cluster(machines, seed);
+        c.settle();
+        c.submit(
+            c.machines[0],
+            JobRequest {
+                rsl: "+(count>=2)(adaptive=1)".into(),
+                user: "u".into(),
+                run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                    tasks: TaskBag::Finite(vec![500; 6]),
+                    desired_workers: 2,
+                    hostfile: vec!["anylinux".into()],
+                    task_timeout: None,
+                }))),
+            },
+        );
+        c.world.run_until(c.world.now() + Duration::from_secs(60));
+        c.world.trace().render()
+    }
+    assert_eq!(trace_of(4242), trace_of(4242));
+}

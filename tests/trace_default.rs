@@ -1,0 +1,161 @@
+//! Mechanism validation for the paper's Figure 5: the *default* behavior —
+//! an intercepted `rsh` with a symbolic host name is redirected to a
+//! machine selected at runtime, through the numbered step sequence the
+//! paper diagrams, for every system that accepts anonymous machines.
+
+use resourcebroker::broker::{build_standard_cluster, Cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{CalypsoConfig, CalypsoMaster, PlindaConfig, PlindaServer, TaskBag};
+use resourcebroker::proto::CommandSpec;
+use resourcebroker::simcore::SimTime;
+
+const FAR: SimTime = SimTime(3_600_000_000);
+
+fn cluster(n: usize) -> Cluster {
+    let mut c = build_standard_cluster(n, 31);
+    c.settle();
+    c
+}
+
+/// Figure 5's steps, by trace topic:
+/// 1-2. the job's rsh' realizes a symbolic name and contacts the appl;
+/// 3.   the appl asks the broker for a machine;
+/// 4.   the broker grants one;
+/// 5-7. the appl spawns a sub-appl there over the standard rsh;
+/// 8-9. the sub-appl fetches and spawns the program;
+/// 10.  the new process contacts its master and the job proceeds.
+const FIGURE5: &[&str] = &[
+    "rsh.intercept",
+    "appl.default.redirect",
+    "broker.grant",
+    "subappl.start",
+    "subappl.spawn",
+];
+
+#[test]
+fn figure5_steps_for_calypso() {
+    let mut c = cluster(3);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=1)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 500 },
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(20_000_000));
+    let mut steps = FIGURE5.to_vec();
+    steps.push("calypso.worker.joined");
+    c.world.trace().check_order(&steps).unwrap();
+    assert_eq!(c.world.procs_named("calypso-worker").len(), 1);
+}
+
+#[test]
+fn figure5_steps_for_plinda() {
+    let mut c = cluster(3);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=1)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(PlindaServer::new(PlindaConfig {
+                tasks: vec![500; 4],
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                persistent: false,
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(30_000_000));
+    let mut steps = FIGURE5.to_vec();
+    steps.push("plinda.worker.joined");
+    c.world.trace().check_order(&steps).unwrap();
+    // The bag-of-tasks job actually completes on its redirected worker.
+    assert!(c
+        .world
+        .trace()
+        .last("plinda.complete")
+        .unwrap()
+        .detail
+        .contains("results=4"));
+}
+
+#[test]
+fn figure5_steps_for_sequential_job() {
+    let mut c = cluster(2);
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "u".into(),
+            run: JobRun::Remote {
+                host: "anyhost".into(),
+                cmd: CommandSpec::Null,
+            },
+        },
+    );
+    let status = c.await_appl(appl, FAR).unwrap();
+    assert!(status.is_success());
+    // Sequential jobs skip the rsh' (the appl itself is the front end) but
+    // go through allocation and sub-appl interposition.
+    c.world
+        .trace()
+        .check_order(&["broker.grant", "subappl.start", "subappl.spawn"])
+        .unwrap();
+}
+
+#[test]
+fn redirect_is_invisible_to_the_job() {
+    // The Calypso master asked for `anylinux`; the worker it got reports a
+    // real host name; the master accepted it without any notion of the
+    // broker: no refusal, no failed grow.
+    let mut c = cluster(3);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=2)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 500 },
+                desired_workers: 2,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(20_000_000));
+    assert_eq!(c.world.trace().count("calypso.grow.failed"), 0);
+    assert_eq!(c.world.procs_named("calypso-worker").len(), 2);
+}
+
+#[test]
+fn dormant_after_setup_no_interaction_until_change() {
+    // "From this point, until resources need to be reallocated, there is
+    // no interaction between the job and ResourceBroker." After the grow
+    // completes, no further broker traffic occurs while the job computes.
+    let mut c = cluster(2);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=1)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 2_000 },
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(15_000_000));
+    let grants_before = c.world.trace().count("broker.grant");
+    let reclaims_before = c.world.trace().count("broker.reclaim");
+    // One quiet minute of computation.
+    c.world.run_until(SimTime(75_000_000));
+    assert_eq!(c.world.trace().count("broker.grant"), grants_before);
+    assert_eq!(c.world.trace().count("broker.reclaim"), reclaims_before);
+}

@@ -1,0 +1,210 @@
+//! Mechanism validation for the paper's Figure 6: the *two-phase external
+//! module* protocol for systems that refuse anonymous machines — and the
+//! extensibility claim: future programming systems are supported by
+//! plugging in a module, without recompiling the broker.
+
+use resourcebroker::broker::{
+    build_cluster, build_standard_cluster, Cluster, ClusterOptions, ExternalModule, JobRequest,
+    JobRun, ModuleRegistry,
+};
+use resourcebroker::parsys::{
+    CalypsoConfig, CalypsoMaster, LamOrigin, LamOriginConfig, PvmMaster, PvmMasterConfig, TaskBag,
+};
+use resourcebroker::simcore::SimTime;
+use resourcebroker::simnet::Ctx;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn cluster(n: usize) -> Cluster {
+    let mut c = build_standard_cluster(n, 17);
+    c.settle();
+    c
+}
+
+/// Figure 6's two phases, by trace topic.
+const FIGURE6: &[&str] = &[
+    "rsh.intercept",      // (1) master pvmd issues rsh anylinux
+    "appl.module.phase1", // (2-6) appl learns of it, requests a machine
+    "broker.grant",       // the broker selects one
+    "pvm.add.failed",     // (7) phase I ends in a visible failed add
+    "module.pvm.grow",    // (1') pvm_grow drives a console
+    "pvm.add.attempt",    // (2') the master re-issues rsh with a real name
+    "appl.module.phase2", // proceed: sub-appl chain on the named machine
+    "subappl.spawn",
+    "pvm.slave.accepted", // the slave's hostname matches: accepted
+];
+
+#[test]
+fn figure6_steps_for_pvm() {
+    let mut c = cluster(3);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=1)(adaptive=1)(module="pvm")"#.into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(PvmMaster::new(PvmMasterConfig {
+                initial_hosts: vec!["anylinux".into()],
+                ..Default::default()
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(20_000_000));
+    c.world.trace().check_order(FIGURE6).unwrap();
+    assert_eq!(c.world.procs_named("pvmd").len(), 1);
+    assert_eq!(c.world.trace().count("pvm.slave.refused"), 0);
+}
+
+#[test]
+fn same_mechanism_drives_lam_without_broker_changes() {
+    let mut c = cluster(3);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=1)(adaptive=1)(module="lam")"#.into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(LamOrigin::new(LamOriginConfig {
+                boot_hosts: vec!["anylinux".into()],
+                ..Default::default()
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(20_000_000));
+    c.world
+        .trace()
+        .check_order(&[
+            "rsh.intercept",
+            "appl.module.phase1",
+            "broker.grant",
+            "lam.grow.failed",
+            "module.lam.grow",
+            "lam.grow.attempt",
+            "appl.module.phase2",
+            "lam.node.accepted",
+        ])
+        .unwrap();
+    assert_eq!(c.world.procs_named("lamd").len(), 1);
+}
+
+#[test]
+fn without_module_option_pvm_cannot_use_symbolic_hosts() {
+    // Submitted WITHOUT (module="pvm"): the default redirect delivers the
+    // slave to an unexpected machine and PVM refuses it — exactly why the
+    // module mechanism exists.
+    let mut c = cluster(3);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "+(count>=1)(adaptive=1)".into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(PvmMaster::new(PvmMasterConfig {
+                initial_hosts: vec!["anylinux".into()],
+                ..Default::default()
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(20_000_000));
+    // At least one refusal; the appl's offer cooldown keeps the cluster
+    // from thrashing on a job that cannot use redirected machines.
+    let refused = c.world.trace().count("pvm.slave.refused");
+    assert!((1..=3).contains(&refused), "refusals: {refused}");
+    assert!(c.world.procs_named("pvmd").is_empty());
+    // The master survives the failed add (tolerance property).
+    assert_eq!(c.world.procs_named("pvm-master").len(), 1);
+}
+
+/// A user-defined module for a hypothetical future programming system:
+/// counts its invocations to prove the registry dispatched to it.
+struct CountingModule {
+    grows: Arc<AtomicUsize>,
+}
+
+impl ExternalModule for CountingModule {
+    fn name(&self) -> &'static str {
+        "future-sys"
+    }
+    fn grow(&self, ctx: &mut Ctx<'_>, hostname: &str) {
+        self.grows.fetch_add(1, Ordering::SeqCst);
+        ctx.trace("module.future.grow", hostname.to_string());
+    }
+    fn shrink(&self, _ctx: &mut Ctx<'_>, _hostname: &str) {}
+    fn halt(&self, _ctx: &mut Ctx<'_>) {}
+}
+
+#[test]
+fn user_defined_modules_plug_in_without_recompilation() {
+    let opts = ClusterOptions {
+        seed: 3,
+        machines: (0..3)
+            .map(|i| resourcebroker::proto::MachineAttrs::public_linux(format!("n{i:02}")))
+            .collect(),
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    let grows = Arc::new(AtomicUsize::new(0));
+    // Register the third-party module (the analogue of dropping
+    // `future-sys_grow` into the module directory).
+    let mut registry = ModuleRegistry::standard();
+    registry.register(Arc::new(CountingModule {
+        grows: grows.clone(),
+    }));
+    c.modules = Arc::new(registry);
+    c.settle();
+
+    // Any job claiming (module="future-sys") now routes grow coercion to
+    // the custom module. Use a Calypso master as the stand-in root (its
+    // rsh is intercepted like any other program's).
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=1)(adaptive=1)(module="future-sys")"#.into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 500 },
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    c.world.run_until(SimTime(20_000_000));
+    assert_eq!(grows.load(Ordering::SeqCst), 1, "custom module invoked");
+    assert_eq!(c.world.trace().count("module.future.grow"), 1);
+}
+
+#[test]
+fn failed_coercion_returns_the_machine() {
+    // The CountingModule above never actually coerces a second rsh, so the
+    // granted machine must come back to the pool after the appl's timeout,
+    // not strand forever.
+    let opts = ClusterOptions {
+        seed: 4,
+        machines: (0..2)
+            .map(|i| resourcebroker::proto::MachineAttrs::public_linux(format!("n{i:02}")))
+            .collect(),
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    let mut registry = ModuleRegistry::standard();
+    registry.register(Arc::new(CountingModule {
+        grows: Arc::new(AtomicUsize::new(0)),
+    }));
+    c.modules = Arc::new(registry);
+    c.settle();
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(count>=1)(adaptive=1)(module="future-sys")"#.into(),
+            user: "u".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Endless { cpu_millis: 500 },
+                desired_workers: 1,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    // Wait past the 20 s grow-lapse timeout.
+    c.world.run_until(SimTime(40_000_000));
+    assert!(c.world.trace().count("appl.module.grow-lapsed") >= 1);
+    assert!(c.world.trace().count("broker.freed") >= 1);
+}
