@@ -1,0 +1,103 @@
+//! `rblint` — lint dumped simulation traces and the protocol graph.
+//!
+//! ```text
+//! rblint [--graph] [--rules] <trace-file>...
+//! ```
+//!
+//! Trace files are `TraceRecorder::render` output (the format the example
+//! binaries and `World::trace().render()` produce). Exit status is 0 when
+//! everything passes, 1 on violations or graph problems, 2 on usage or
+//! I/O errors.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rblint [--graph] [--rules] <trace-file>...
+  --graph   check the declared protocol graph
+  --rules   list the trace-invariant rule catalogue
+";
+
+/// Write `out` to stdout, swallowing broken-pipe (e.g. `rblint ... | head`)
+/// instead of panicking like `println!` would.
+fn emit(out: &str) {
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut want_graph = false;
+    let mut want_rules = false;
+    let mut files: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--graph" => want_graph = true,
+            "--rules" => want_rules = true,
+            "--help" | "-h" => {
+                emit(USAGE);
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => {
+                eprintln!("rblint: unknown flag {a}");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            f => files.push(f),
+        }
+    }
+    if !want_graph && !want_rules && files.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut failed = false;
+
+    if want_rules {
+        let mut out = String::from("trace-invariant rules:\n");
+        for r in rb_analyze::all_rules() {
+            out.push_str(&format!("  {:<24} {}\n", r.name, r.description));
+        }
+        emit(&out);
+    }
+
+    if want_graph {
+        emit(&rb_analyze::graph::render_graph_summary());
+        if rb_analyze::check_protocol_graph().is_err() {
+            failed = true;
+        }
+    }
+
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rblint: {f}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let events = match rb_simcore::parse_rendered(&text) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("rblint: {f}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let violations = rb_analyze::lint_events(&events);
+        if violations.is_empty() {
+            emit(&format!("{f}: {} events, clean\n", events.len()));
+        } else {
+            failed = true;
+            emit(&format!(
+                "{f}: {} events, {} violation(s)\n{}",
+                events.len(),
+                violations.len(),
+                rb_analyze::render_violations(&violations)
+            ));
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

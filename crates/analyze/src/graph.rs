@@ -1,0 +1,336 @@
+//! Static message-flow analysis over the declared protocol specs.
+//!
+//! Every behavior in the stack publishes a [`ProtocolSpec`] (see
+//! `rb_broker::protocol`, `rb_parsys::protocol`, `rb_simnet::protocol`)
+//! naming the wire-message variants it emits and dispatches on. This
+//! module merges those declarations into one send/handle graph over the
+//! complete variant catalog ([`rb_proto::ALL_VARIANTS`]) and reports:
+//!
+//! - names that do not exist in the catalog (typos shrink graphs silently
+//!   otherwise),
+//! - variants somebody sends but nobody handles (messages to /dev/null),
+//! - variants somebody handles but nobody sends (dead handler surface,
+//!   unless explicitly allowlisted),
+//! - catalog variants that appear in no spec at all (uncovered protocol),
+//! - request variants ([`rb_proto::REQUEST_VARIANTS`]) with no declared
+//!   reply/timeout edge (requests that can hang forever),
+//! - reply/timeout edges that reference replies nobody sends.
+//!
+//! [`check_protocol_graph`] is the `#[test]`-callable entry point.
+
+use rb_proto::{ProtocolSpec, ALL_VARIANTS, REQUEST_VARIANTS};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Variants that are *handled but never sent* by design. Every entry must
+/// carry a justification; the check fails if an entry becomes stale (i.e.
+/// somebody starts sending it).
+pub const HANDLED_NEVER_SENT_ALLOW: &[&str] = &[
+    // The broker tracks daemon liveness by silence (missed DaemonStatus
+    // heartbeats) rather than active probing, so nothing currently emits
+    // DaemonPing. The daemon keeps its handler and the ping->pong edge so
+    // an active-probe policy can be turned on without a protocol change.
+    "Broker::DaemonPing",
+];
+
+/// All protocol specs contributed by the stack: broker-side actors,
+/// the four programming systems, and the simulation substrate's own
+/// actors (echo, harness).
+pub fn all_specs() -> Vec<&'static ProtocolSpec> {
+    let mut specs = rb_broker::protocol_specs();
+    specs.extend(rb_parsys::protocol_specs());
+    specs.extend(rb_simnet::protocol_specs());
+    specs
+}
+
+/// The outcome of analyzing a set of specs against the catalog.
+#[derive(Debug, Default)]
+pub struct GraphReport {
+    /// Number of actors analyzed.
+    pub actors: usize,
+    /// `actor: name` pairs where `name` is not in the catalog.
+    pub unknown_names: Vec<String>,
+    /// Actor names declared more than once.
+    pub duplicate_actors: Vec<String>,
+    /// Variants with at least one sender but no handler.
+    pub sent_never_handled: Vec<String>,
+    /// Variants with at least one handler but no sender (allowlist
+    /// entries excluded).
+    pub handled_never_sent: Vec<String>,
+    /// Allowlist entries that now *do* have a sender and should be
+    /// removed from [`HANDLED_NEVER_SENT_ALLOW`].
+    pub stale_allowlist: Vec<String>,
+    /// Catalog variants that appear in no spec at all.
+    pub uncovered: Vec<String>,
+    /// Request variants with no [`rb_proto::ReqEdge`] anywhere.
+    pub requests_without_edge: Vec<String>,
+    /// Edges whose reply set is empty and that carry no timeout, or whose
+    /// replies nobody sends — the requester can wait forever.
+    pub unanswerable_edges: Vec<String>,
+    /// Edge requests that are not listed in [`REQUEST_VARIANTS`] (the
+    /// request list and the edges must agree).
+    pub undeclared_requests: Vec<String>,
+}
+
+impl GraphReport {
+    /// Every problem in the report as one human-readable line each.
+    pub fn problems(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut emit = |kind: &str, items: &[String]| {
+            for it in items {
+                out.push(format!("{kind}: {it}"));
+            }
+        };
+        emit("unknown variant name", &self.unknown_names);
+        emit("duplicate actor", &self.duplicate_actors);
+        emit("sent but never handled", &self.sent_never_handled);
+        emit("handled but never sent", &self.handled_never_sent);
+        emit("stale allowlist entry (now sent)", &self.stale_allowlist);
+        emit("variant in no spec", &self.uncovered);
+        emit(
+            "request without reply/timeout edge",
+            &self.requests_without_edge,
+        );
+        emit("unanswerable edge", &self.unanswerable_edges);
+        emit(
+            "edge request missing from REQUEST_VARIANTS",
+            &self.undeclared_requests,
+        );
+        out
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.problems().is_empty()
+    }
+}
+
+/// Build the send/handle graph from `specs` and check it against the
+/// catalog. Pure function of its input; [`check_protocol_graph`] applies
+/// it to [`all_specs`].
+pub fn analyze_specs(specs: &[&ProtocolSpec]) -> GraphReport {
+    let catalog: BTreeSet<&str> = ALL_VARIANTS.iter().copied().collect();
+    let mut report = GraphReport {
+        actors: specs.len(),
+        ..GraphReport::default()
+    };
+
+    let mut seen_actors: BTreeSet<&str> = BTreeSet::new();
+    let mut senders: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut handlers: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut edge_requests: BTreeSet<&str> = BTreeSet::new();
+
+    for spec in specs {
+        if !seen_actors.insert(spec.actor) {
+            report.duplicate_actors.push(spec.actor.to_string());
+        }
+        let check_name = |name: &'static str, unknown: &mut Vec<String>| {
+            if !catalog.contains(name) {
+                unknown.push(format!("{}: {name}", spec.actor));
+            }
+        };
+        for &s in spec.sends {
+            check_name(s, &mut report.unknown_names);
+            senders.entry(s).or_default().push(spec.actor);
+        }
+        for &h in spec.handles {
+            check_name(h, &mut report.unknown_names);
+            handlers.entry(h).or_default().push(spec.actor);
+        }
+        for edge in spec.requests {
+            check_name(edge.request, &mut report.unknown_names);
+            edge_requests.insert(edge.request);
+            if !REQUEST_VARIANTS.contains(&edge.request) {
+                report
+                    .undeclared_requests
+                    .push(format!("{}: {}", spec.actor, edge.request));
+            }
+            if edge.replies.is_empty() && !edge.has_timeout {
+                report.unanswerable_edges.push(format!(
+                    "{}: {} has no replies and no timeout",
+                    spec.actor, edge.request
+                ));
+            }
+            for &reply in edge.replies {
+                check_name(reply, &mut report.unknown_names);
+                if catalog.contains(reply) && !specs.iter().any(|s| s.sends.contains(&reply)) {
+                    report.unanswerable_edges.push(format!(
+                        "{}: {} -> {reply}, but nobody sends {reply}",
+                        spec.actor, edge.request
+                    ));
+                }
+            }
+        }
+    }
+
+    for &variant in ALL_VARIANTS {
+        let sent = senders.contains_key(variant);
+        let handled = handlers.contains_key(variant);
+        let allowed = HANDLED_NEVER_SENT_ALLOW.contains(&variant);
+        match (sent, handled) {
+            (true, false) => report.sent_never_handled.push(variant.to_string()),
+            (false, true) if !allowed => report.handled_never_sent.push(variant.to_string()),
+            (false, false) => report.uncovered.push(variant.to_string()),
+            _ => {}
+        }
+        if sent && allowed {
+            report.stale_allowlist.push(variant.to_string());
+        }
+    }
+
+    for &req in REQUEST_VARIANTS {
+        if !edge_requests.contains(req) {
+            report.requests_without_edge.push(req.to_string());
+        }
+    }
+
+    report
+}
+
+/// Analyze the full stack's declared protocol graph. Call this from a
+/// `#[test]`; the `Err` carries one line per problem.
+pub fn check_protocol_graph() -> Result<(), String> {
+    let specs = all_specs();
+    let report = analyze_specs(&specs);
+    let problems = report.problems();
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "protocol graph has {} problem(s):\n  {}",
+            problems.len(),
+            problems.join("\n  ")
+        ))
+    }
+}
+
+/// A human-readable summary of the graph (for `rblint --graph`).
+pub fn render_graph_summary() -> String {
+    let specs = all_specs();
+    let report = analyze_specs(&specs);
+    let mut out = format!(
+        "protocol graph: {} actors, {} variants\n",
+        report.actors,
+        ALL_VARIANTS.len()
+    );
+    let problems = report.problems();
+    if problems.is_empty() {
+        out.push_str("no problems found\n");
+    } else {
+        for p in &problems {
+            out.push_str(&format!("problem: {p}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_proto::ReqEdge;
+
+    /// The shipped specs must produce a clean graph: this is the
+    /// zero-orphan regression test. Every variant is covered, nothing is
+    /// sent into the void, and every request has a reply/timeout edge.
+    #[test]
+    fn shipped_graph_is_clean() {
+        if let Err(e) = check_protocol_graph() {
+            panic!("{e}");
+        }
+    }
+
+    #[test]
+    fn shipped_graph_covers_every_variant() {
+        let specs = all_specs();
+        let report = analyze_specs(&specs);
+        assert!(
+            report.uncovered.is_empty(),
+            "uncovered: {:?}",
+            report.uncovered
+        );
+        assert!(report.actors >= 18, "expected the full actor roster");
+    }
+
+    const EMPTY: ProtocolSpec = ProtocolSpec {
+        actor: "empty",
+        sends: &[],
+        handles: &[],
+        requests: &[],
+    };
+
+    #[test]
+    fn detects_unknown_names() {
+        let bad = ProtocolSpec {
+            actor: "bad",
+            sends: &["Broker::NoSuchThing"],
+            ..EMPTY
+        };
+        let report = analyze_specs(&[&bad]);
+        assert_eq!(report.unknown_names.len(), 1);
+        assert!(report.unknown_names[0].contains("NoSuchThing"));
+    }
+
+    #[test]
+    fn detects_sent_never_handled_and_vice_versa() {
+        let a = ProtocolSpec {
+            actor: "a",
+            sends: &["Broker::AllocGrant"],
+            handles: &["Broker::AllocDenied"],
+            ..EMPTY
+        };
+        let report = analyze_specs(&[&a]);
+        assert!(report
+            .sent_never_handled
+            .contains(&"Broker::AllocGrant".to_string()));
+        assert!(report
+            .handled_never_sent
+            .contains(&"Broker::AllocDenied".to_string()));
+        // DaemonPing stays allowlisted even in a tiny spec set.
+        assert!(!report
+            .handled_never_sent
+            .contains(&"Broker::DaemonPing".to_string()));
+    }
+
+    #[test]
+    fn detects_stale_allowlist() {
+        let a = ProtocolSpec {
+            actor: "a",
+            sends: &["Broker::DaemonPing"],
+            handles: &["Broker::DaemonPing"],
+            ..EMPTY
+        };
+        let report = analyze_specs(&[&a]);
+        assert_eq!(report.stale_allowlist, vec!["Broker::DaemonPing"]);
+    }
+
+    #[test]
+    fn detects_unanswerable_edge() {
+        let a = ProtocolSpec {
+            actor: "a",
+            sends: &["Broker::AllocRequest"],
+            handles: &[],
+            requests: &[ReqEdge {
+                request: "Broker::AllocRequest",
+                replies: &[],
+                has_timeout: false,
+            }],
+        };
+        let report = analyze_specs(&[&a]);
+        assert!(report
+            .unanswerable_edges
+            .iter()
+            .any(|e| e.contains("no replies and no timeout")));
+    }
+
+    #[test]
+    fn detects_request_without_edge() {
+        let report = analyze_specs(&[&EMPTY]);
+        assert!(report
+            .requests_without_edge
+            .contains(&"Broker::AllocRequest".to_string()));
+    }
+
+    #[test]
+    fn detects_duplicate_actor() {
+        let report = analyze_specs(&[&EMPTY, &EMPTY]);
+        assert_eq!(report.duplicate_actors, vec!["empty"]);
+    }
+}

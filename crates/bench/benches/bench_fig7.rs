@@ -1,16 +1,7 @@
-//! Criterion bench for the Figure 7 scenario (bulk reallocation sweep).
+//! Wall-clock bench for the Figure 7 scenario (bulk reallocation sweep).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7");
-    g.sample_size(10);
-    g.bench_function("k8_of_16", |b| {
-        b.iter(|| black_box(rb_workloads::fig7::realloc_k_machines(8, 16, 77)))
+fn main() {
+    rb_bench::bench("fig7/k8_of_16", 10, || {
+        rb_workloads::fig7::realloc_k_machines(8, 16, 77)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

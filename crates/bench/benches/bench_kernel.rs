@@ -1,53 +1,37 @@
 //! Microbenchmarks of the simulation kernel itself: event-queue throughput
 //! and the processor-sharing scheduler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rb_simcore::{Duration, EventQueue, SimTime};
 use rb_simnet::cpu::CpuScheduler;
-use std::hint::black_box;
 
-fn bench_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel/event_queue");
+fn main() {
     for n in [1_000u64, 100_000] {
-        g.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut q = EventQueue::new();
-                // Deterministic pseudo-shuffled times.
-                for i in 0..n {
-                    q.push(SimTime((i * 2_654_435_761) % 1_000_000), i);
-                }
-                let mut count = 0u64;
-                while q.pop().is_some() {
-                    count += 1;
-                }
-                black_box(count)
-            })
+        rb_bench::bench(&format!("kernel/event_queue/push_pop/{n}"), 20, || {
+            let mut q = EventQueue::new();
+            // Deterministic pseudo-shuffled times.
+            for i in 0..n {
+                q.push(SimTime((i * 2_654_435_761) % 1_000_000), i);
+            }
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
         });
     }
-    g.finish();
-}
-
-fn bench_cpu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel/cpu_scheduler");
-    g.bench_function("processor_sharing_64_bursts", |b| {
-        b.iter(|| {
-            let mut cpu = CpuScheduler::new(1.0);
-            let t0 = SimTime(0);
-            for i in 0..64u64 {
-                cpu.add(t0, rb_proto::ProcId(i), i, Duration::from_millis(100 + i));
-            }
-            let mut now = t0;
-            let mut finished = 0;
-            while let Some(next) = cpu.next_completion(now) {
-                now = next;
-                let (done, _) = cpu.take_finished(now);
-                finished += done.len();
-            }
-            black_box(finished)
-        })
+    rb_bench::bench("kernel/cpu_scheduler/ps_64_bursts", 20, || {
+        let mut cpu = CpuScheduler::new(1.0);
+        let t0 = SimTime(0);
+        for i in 0..64u64 {
+            cpu.add(t0, rb_proto::ProcId(i), i, Duration::from_millis(100 + i));
+        }
+        let mut now = t0;
+        let mut finished = 0;
+        while let Some(next) = cpu.next_completion(now) {
+            now = next;
+            let (done, _) = cpu.take_finished(now);
+            finished += done.len();
+        }
+        finished
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_queue, bench_cpu);
-criterion_main!(benches);

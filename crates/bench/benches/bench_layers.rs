@@ -1,16 +1,7 @@
-//! Criterion bench for the interposition-layer ablation scenario.
+//! Wall-clock bench for the interposition-layer ablation scenario.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("layers");
-    g.sample_size(20);
-    g.bench_function("three_levels", |b| {
-        b.iter(|| black_box(rb_workloads::ablation::layer_ablation(5)))
+fn main() {
+    rb_bench::bench("layers/three_levels", 20, || {
+        rb_workloads::ablation::layer_ablation(5)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,31 +1,30 @@
 //! Microbenchmarks of the RSL parser and evaluator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rb_proto::MachineAttrs;
 use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let src = r#"+(count>=4)(arch="i686")(os="linux")(adaptive=1)(module="pvm")(speed>=100)"#;
-    let mut g = c.benchmark_group("rsl");
-    g.bench_function("parse", |b| {
-        b.iter(|| black_box(rb_rsl::parse(black_box(src)).unwrap()))
+    rb_bench::bench("rsl/parse", 20, || {
+        // Parsing is microseconds; batch to get a measurable sample.
+        for _ in 0..1_000 {
+            black_box(rb_rsl::parse(black_box(src)).unwrap());
+        }
     });
     let req = rb_rsl::parse(src).unwrap();
-    g.bench_function("job_spec", |b| {
-        b.iter(|| black_box(rb_rsl::job_spec(black_box(&req)).unwrap()))
+    rb_bench::bench("rsl/job_spec", 20, || {
+        for _ in 0..1_000 {
+            black_box(rb_rsl::job_spec(black_box(&req)).unwrap());
+        }
     });
     let spec = rb_rsl::job_spec(&req).unwrap();
     let attrs = MachineAttrs::public_linux("n01");
-    g.bench_function("machine_matches", |b| {
-        b.iter(|| {
+    rb_bench::bench("rsl/machine_matches", 20, || {
+        for _ in 0..10_000 {
             black_box(rb_rsl::machine_matches(
                 black_box(&spec.constraints),
                 black_box(&attrs),
-            ))
-        })
+            ));
+        }
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,17 +1,8 @@
-//! Criterion bench for the Table 1 scenario: wall-clock cost of simulating
-//! each micro-benchmark row (regression guard for the substrate).
+//! Wall-clock bench for the Table 1 scenario: cost of simulating each
+//! micro-benchmark row (regression guard for the substrate).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
-    g.sample_size(20);
-    g.bench_function("full_table_one_rep", |b| {
-        b.iter(|| black_box(rb_workloads::table1::run(1)))
+fn main() {
+    rb_bench::bench("table1/full_table_one_rep", 20, || {
+        rb_workloads::table1::run(1)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

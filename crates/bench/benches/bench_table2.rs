@@ -1,16 +1,7 @@
-//! Criterion bench for the Table 2 (reallocation) scenario.
+//! Wall-clock bench for the Table 2 (reallocation) scenario.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2");
-    g.sample_size(10);
-    g.bench_function("full_table_one_rep", |b| {
-        b.iter(|| black_box(rb_workloads::table2::run(1)))
+fn main() {
+    rb_bench::bench("table2/full_table_one_rep", 10, || {
+        rb_workloads::table2::run(1)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

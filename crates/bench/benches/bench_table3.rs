@@ -1,16 +1,5 @@
-//! Criterion bench for the Table 3 scenario (PVM/LAM growth, three ways).
+//! Wall-clock bench for the Table 3 scenario (PVM/LAM growth, three ways).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("k2_one_rep", |b| {
-        b.iter(|| black_box(rb_workloads::table3::run(2, 1)))
-    });
-    g.finish();
+fn main() {
+    rb_bench::bench("table3/k2_one_rep", 10, || rb_workloads::table3::run(2, 1));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

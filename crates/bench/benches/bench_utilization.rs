@@ -1,24 +1,14 @@
-//! Criterion bench for the utilization experiment: simulator throughput on
-//! a one-hour mixed workload (the headline "how fast is the simulator"
+//! Wall-clock bench for the utilization experiment: simulator throughput
+//! on a one-hour mixed workload (the headline "how fast is the simulator"
 //! number).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rb_workloads::utilization::{run, UtilizationConfig};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("utilization");
-    g.sample_size(10);
-    g.bench_function("one_simulated_hour", |b| {
-        b.iter(|| {
-            black_box(run(&UtilizationConfig {
-                hours: 1.0,
-                ..Default::default()
-            }))
+fn main() {
+    rb_bench::bench("utilization/one_simulated_hour", 10, || {
+        run(&UtilizationConfig {
+            hours: 1.0,
+            ..Default::default()
         })
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

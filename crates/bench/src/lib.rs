@@ -2,8 +2,8 @@
 //!
 //! Regenerates every table and figure from the paper's §6 evaluation as a
 //! set of binaries (printing the paper-shaped rows from the *simulated*
-//! clock), plus Criterion benches that guard the simulator's own wall-clock
-//! performance on each scenario.
+//! clock), plus self-contained wall-clock benches (`cargo bench`) that
+//! guard the simulator's own performance on each scenario.
 //!
 //! | binary | regenerates |
 //! |--------|-------------|
@@ -26,4 +26,25 @@ pub fn arg_usize(default: usize) -> usize {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
+}
+
+/// A tiny self-contained benchmark runner (offline stand-in for Criterion):
+/// warms up, takes `samples` timed runs of the closure, and prints
+/// min/median/max wall-clock times in a stable, greppable format.
+pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
+    use std::time::Instant;
+    // One warm-up run, untimed.
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let max = times[times.len() - 1];
+    println!("bench {name:<40} min {min:>10.3} ms   median {median:>10.3} ms   max {max:>10.3} ms");
 }

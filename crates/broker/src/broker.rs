@@ -532,7 +532,9 @@ impl Behavior for Broker {
                     m.last_contact = ctx.now();
                     m.respawning = false;
                 }
-                ctx.trace("broker.daemon.hello", format!("{machine}"));
+                // Record the hostname (not the machine id): the linter
+                // correlates hellos with grants, which use hostnames.
+                ctx.trace("broker.daemon.hello", ctx.attrs_of(machine).hostname);
             }
             BrokerMsg::DaemonStatus(report) => {
                 let machine = report.machine;

@@ -38,6 +38,7 @@ pub mod broker;
 pub mod daemon;
 pub mod modules;
 pub mod policy;
+pub mod protocol;
 pub mod rshprime;
 pub mod setup;
 pub mod subappl;
@@ -50,6 +51,9 @@ pub use modules::{ExternalModule, LamModule, ModuleRegistry, PvmModule};
 pub use policy::{
     AllocContext, Decision, DefaultPolicy, FifoPolicy, JobView, MachineUse, MachineView, Policy,
     ReclaimRule,
+};
+pub use protocol::{
+    protocol_specs, APPL_SPEC, BROKER_SPEC, DAEMON_SPEC, RBSTAT_SPEC, RSHPRIME_SPEC, SUBAPPL_SPEC,
 };
 pub use rshprime::{RshPrime, RshPrimeInstaller};
 pub use setup::{

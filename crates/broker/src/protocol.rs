@@ -1,0 +1,160 @@
+//! Protocol participation declared by every broker-stack behavior.
+//!
+//! Each [`ProtocolSpec`] states which wire-message variants the actor
+//! emits and which it dispatches on, plus the request/reply edges it owns.
+//! `rb-analyze` aggregates these into the system-wide send/handle graph;
+//! a behavior change that adds or drops a message without updating its
+//! spec here fails the protocol-graph test.
+
+use rb_proto::{ProtocolSpec, ReqEdge};
+
+/// The resource broker itself (`broker.rs`).
+pub const BROKER_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "broker",
+    sends: &[
+        "Broker::JobAccepted",
+        "Broker::JobRejected",
+        "Broker::AllocGrant",
+        "Broker::AllocDenied",
+        "Broker::ReleaseMachine",
+        "Broker::GrowOffer",
+        "Broker::ClusterStatus",
+    ],
+    handles: &[
+        "Broker::DaemonHello",
+        "Broker::DaemonStatus",
+        "Broker::DaemonPong",
+        "Broker::RegisterJob",
+        "Broker::AllocRequest",
+        "Broker::MachineFreed",
+        "Broker::MachineUnreachable",
+        "Broker::JobDone",
+        "Broker::QueryCluster",
+    ],
+    requests: &[
+        ReqEdge {
+            request: "Broker::RegisterJob",
+            replies: &["Broker::JobAccepted", "Broker::JobRejected"],
+            has_timeout: false,
+        },
+        ReqEdge {
+            request: "Broker::AllocRequest",
+            replies: &["Broker::AllocGrant", "Broker::AllocDenied"],
+            // The appl retries a lapsed request through its own timers.
+            has_timeout: true,
+        },
+        ReqEdge {
+            request: "Broker::QueryCluster",
+            replies: &["Broker::ClusterStatus"],
+            has_timeout: false,
+        },
+    ],
+};
+
+/// The per-machine daemon (`daemon.rs`).
+pub const DAEMON_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "rb-daemon",
+    sends: &[
+        "Broker::DaemonHello",
+        "Broker::DaemonStatus",
+        "Broker::DaemonPong",
+    ],
+    handles: &["Broker::DaemonPing"],
+    requests: &[ReqEdge {
+        request: "Broker::DaemonPing",
+        replies: &["Broker::DaemonPong"],
+        has_timeout: true,
+    }],
+};
+
+/// The per-job application layer (`appl.rs`).
+pub const APPL_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "appl",
+    sends: &[
+        "Broker::RegisterJob",
+        "Broker::AllocRequest",
+        "Broker::MachineFreed",
+        "Broker::MachineUnreachable",
+        "Broker::JobDone",
+        "Appl::RshOutcome",
+        "Appl::RshProceedStandard",
+        "Appl::Program",
+        "Appl::ReleaseChild",
+        "Appl::Shutdown",
+        // Default-redirect jobs are nudged to regrow on a GrowOffer.
+        "Ctl::GrowHint",
+    ],
+    handles: &[
+        "Broker::JobAccepted",
+        "Broker::JobRejected",
+        "Broker::AllocGrant",
+        "Broker::AllocDenied",
+        "Broker::ReleaseMachine",
+        "Broker::GrowOffer",
+        "Appl::Intercepted",
+        "Appl::SubApplReady",
+        "Appl::ChildStarted",
+        "Appl::ChildDetached",
+        "Appl::ChildExited",
+        "Appl::Released",
+    ],
+    requests: &[ReqEdge {
+        // The appl bounds every vacate with the release hard deadline.
+        request: "Appl::ReleaseChild",
+        replies: &["Appl::Released"],
+        has_timeout: true,
+    }],
+};
+
+/// The per-grow remote agent (`subappl.rs`).
+pub const SUBAPPL_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "sub-appl",
+    sends: &[
+        "Appl::SubApplReady",
+        "Appl::ChildStarted",
+        "Appl::ChildDetached",
+        "Appl::ChildExited",
+        "Appl::Released",
+    ],
+    handles: &["Appl::Program", "Appl::ReleaseChild", "Appl::Shutdown"],
+    requests: &[ReqEdge {
+        // SubApplReady awaits the Program to run, bounded by the
+        // program-wait timeout.
+        request: "Appl::SubApplReady",
+        replies: &["Appl::Program"],
+        has_timeout: true,
+    }],
+};
+
+/// The interposed `rsh'` shim (`rshprime.rs`).
+pub const RSHPRIME_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "rsh'",
+    sends: &["Appl::Intercepted"],
+    handles: &["Appl::RshOutcome", "Appl::RshProceedStandard"],
+    requests: &[ReqEdge {
+        // rsh' falls back to the standard rsh if the appl never answers.
+        request: "Appl::Intercepted",
+        replies: &["Appl::RshOutcome", "Appl::RshProceedStandard"],
+        has_timeout: true,
+    }],
+};
+
+/// The `rbstat` status tool (`tools.rs`).
+pub const RBSTAT_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "rbstat",
+    sends: &["Broker::QueryCluster"],
+    handles: &["Broker::ClusterStatus"],
+    requests: &[],
+};
+
+/// Every spec this crate contributes to the protocol graph.
+pub fn protocol_specs() -> Vec<&'static ProtocolSpec> {
+    vec![
+        &BROKER_SPEC,
+        &DAEMON_SPEC,
+        &APPL_SPEC,
+        &SUBAPPL_SPEC,
+        &RSHPRIME_SPEC,
+        &RBSTAT_SPEC,
+    ]
+}

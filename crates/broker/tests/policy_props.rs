@@ -1,98 +1,84 @@
-//! Property-based tests of the allocation policies: for arbitrary cluster
+//! Randomized tests of the allocation policies: for arbitrary cluster
 //! states and requests, decisions never violate the broker's invariants.
+//! Generation is driven by the in-repo seeded PRNG so every failure is
+//! replayable from its seed.
 
-use proptest::prelude::*;
 use rb_broker::{
     AllocContext, Decision, DefaultPolicy, FifoPolicy, JobView, MachineUse, MachineView, Policy,
     ReclaimRule,
 };
 use rb_proto::{Arch, JobId, MachineAttrs, MachineId, Os, Ownership, SymbolicHost};
+use rb_simcore::SimRng;
 
-fn arb_attrs(id: u32) -> impl Strategy<Value = MachineAttrs> {
-    (
-        prop_oneof![Just(Arch::I686), Just(Arch::Sparc), Just(Arch::Alpha)],
-        prop_oneof![Just(Os::Linux), Just(Os::Solaris), Just(Os::Osf1)],
-        prop_oneof![
-            Just(Ownership::Public),
-            Just(Ownership::Private {
-                owner: "owner".into()
-            })
-        ],
-    )
-        .prop_map(move |(arch, os, ownership)| MachineAttrs {
-            hostname: format!("n{id:02}"),
-            arch,
-            os,
-            ownership,
-            speed: 1.0,
+fn rand_attrs(rng: &mut SimRng, id: u32) -> MachineAttrs {
+    let arch = [Arch::I686, Arch::Sparc, Arch::Alpha][rng.index(3)];
+    let os = [Os::Linux, Os::Solaris, Os::Osf1][rng.index(3)];
+    let ownership = if rng.chance(0.5) {
+        Ownership::Public
+    } else {
+        Ownership::Private {
+            owner: "owner".into(),
+        }
+    };
+    MachineAttrs {
+        hostname: format!("n{id:02}"),
+        arch,
+        os,
+        ownership,
+        speed: 1.0,
+    }
+}
+
+fn rand_use(rng: &mut SimRng, jobs: u32) -> MachineUse {
+    match rng.index(5) {
+        0 => MachineUse::Free,
+        1 => MachineUse::Reclaiming,
+        2 => MachineUse::OwnerHeld,
+        3 => MachineUse::Allocated {
+            job: JobId(rng.uniform_u64(1, jobs as u64 + 1) as u32),
+            adaptive: rng.chance(0.5),
+        },
+        _ => MachineUse::Reserved {
+            job: JobId(rng.uniform_u64(1, jobs as u64 + 1) as u32),
+        },
+    }
+}
+
+fn rand_machine(rng: &mut SimRng, id: u32, jobs: u32) -> MachineView {
+    MachineView {
+        id: MachineId(id),
+        attrs: rand_attrs(rng, id),
+        state: rand_use(rng, jobs),
+        owner_present: rng.chance(0.5),
+        load: rng.uniform_u64(0, 5) as u32,
+        daemon_alive: rng.chance(0.5),
+    }
+}
+
+fn rand_cluster(rng: &mut SimRng, jobs: u32) -> Vec<MachineView> {
+    (0..rng.uniform_u64(1, 12))
+        .map(|i| rand_machine(rng, i as u32, jobs))
+        .collect()
+}
+
+fn rand_jobs(rng: &mut SimRng, jobs: u32) -> Vec<JobView> {
+    let n = rng.uniform_u64(1, jobs as u64 + 1);
+    (0..n)
+        .map(|i| JobView {
+            job: JobId(i as u32 + 1),
+            adaptive: rng.chance(0.5),
+            held: rng.uniform_u64(0, 8) as u32,
+            desired: rng.uniform_u64(1, 8) as u32,
         })
+        .collect()
 }
 
-fn arb_use(jobs: u32) -> impl Strategy<Value = MachineUse> {
-    prop_oneof![
-        Just(MachineUse::Free),
-        Just(MachineUse::Reclaiming),
-        Just(MachineUse::OwnerHeld),
-        (1..=jobs, any::<bool>()).prop_map(|(j, adaptive)| MachineUse::Allocated {
-            job: JobId(j),
-            adaptive,
-        }),
-        (1..=jobs).prop_map(|j| MachineUse::Reserved { job: JobId(j) }),
-    ]
-}
-
-fn arb_machine(id: u32, jobs: u32) -> impl Strategy<Value = MachineView> {
-    (
-        arb_attrs(id),
-        arb_use(jobs),
-        any::<bool>(),
-        0u32..5,
-        any::<bool>(),
-    )
-        .prop_map(
-            move |(attrs, state, owner_present, load, daemon_alive)| MachineView {
-                id: MachineId(id),
-                attrs,
-                state,
-                owner_present,
-                load,
-                daemon_alive,
-            },
-        )
-}
-
-fn arb_cluster(jobs: u32) -> impl Strategy<Value = Vec<MachineView>> {
-    proptest::collection::vec(0u32..12, 1..12).prop_flat_map(move |ids| {
-        ids.into_iter()
-            .enumerate()
-            .map(|(i, _)| arb_machine(i as u32, jobs))
-            .collect::<Vec<_>>()
-    })
-}
-
-fn arb_jobs(jobs: u32) -> impl Strategy<Value = Vec<JobView>> {
-    (1..=jobs)
-        .prop_flat_map(|n| proptest::collection::vec((any::<bool>(), 0u32..8, 1u32..8), n as usize))
-        .prop_map(|specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (adaptive, held, desired))| JobView {
-                    job: JobId(i as u32 + 1),
-                    adaptive,
-                    held,
-                    desired,
-                })
-                .collect()
-        })
-}
-
-fn arb_constraint() -> impl Strategy<Value = SymbolicHost> {
-    prop_oneof![
-        Just(SymbolicHost::Any),
-        Just(SymbolicHost::AnyOs(Os::Linux)),
-        Just(SymbolicHost::AnyArch(Arch::I686)),
-    ]
+fn rand_constraint(rng: &mut SimRng) -> SymbolicHost {
+    match rng.index(3) {
+        0 => SymbolicHost::Any,
+        1 => SymbolicHost::AnyOs(Os::Linux),
+        _ => SymbolicHost::AnyArch(Arch::I686),
+    }
 }
 
 fn req(job: u32, adaptive: bool, held: u32, constraint: SymbolicHost) -> AllocContext {
@@ -113,7 +99,7 @@ fn check_decision(
     req: &AllocContext,
     machines: &[MachineView],
     jobs: &[JobView],
-) -> Result<(), TestCaseError> {
+) {
     match decision {
         Decision::Grant(m) => {
             let mv = machines
@@ -121,25 +107,25 @@ fn check_decision(
                 .find(|x| x.id == *m)
                 .expect("granted machine exists");
             // Only free machines, or machines reserved for this very job.
-            prop_assert!(
+            assert!(
                 mv.state == MachineUse::Free || mv.state == MachineUse::Reserved { job: req.job },
                 "granted {:?}",
                 mv.state
             );
-            prop_assert!(mv.daemon_alive, "granted machine has no daemon");
-            prop_assert!(!mv.owner_present, "granted machine has owner present");
-            prop_assert!(req.constraint.matches(&mv.attrs), "constraint violated");
+            assert!(mv.daemon_alive, "granted machine has no daemon");
+            assert!(!mv.owner_present, "granted machine has owner present");
+            assert!(req.constraint.matches(&mv.attrs), "constraint violated");
             if mv.attrs.ownership.is_private() {
-                prop_assert!(req.adaptive, "private machine to non-adaptive job");
+                assert!(req.adaptive, "private machine to non-adaptive job");
             }
         }
         Decision::Reclaim { victim, machine } => {
-            prop_assert!(*victim != req.job, "self-reclaim");
+            assert!(*victim != req.job, "self-reclaim");
             let mv = machines
                 .iter()
                 .find(|x| x.id == *machine)
                 .expect("reclaimed machine exists");
-            prop_assert!(
+            assert!(
                 matches!(mv.state, MachineUse::Allocated { job, .. } if job == *victim),
                 "reclaimed machine not held by victim"
             );
@@ -147,70 +133,78 @@ fn check_decision(
                 .iter()
                 .find(|j| j.job == *victim)
                 .expect("victim known");
-            prop_assert!(jv.adaptive, "reclaim from non-adaptive job");
-            prop_assert!(req.constraint.matches(&mv.attrs));
+            assert!(jv.adaptive, "reclaim from non-adaptive job");
+            assert!(req.constraint.matches(&mv.attrs));
         }
         Decision::Deny { .. } => {}
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn default_policy_decisions_respect_invariants(
-        machines in arb_cluster(4),
-        jobs in arb_jobs(4),
-        job in 1u32..5,
-        adaptive in any::<bool>(),
-        held in 0u32..8,
-        constraint in arb_constraint(),
-        demand in any::<bool>(),
-    ) {
-        let rule = if demand { ReclaimRule::Demand } else { ReclaimRule::EvenPartition };
+#[test]
+fn default_policy_decisions_respect_invariants() {
+    let mut rng = SimRng::seeded(0xb01);
+    for _ in 0..256 {
+        let machines = rand_cluster(&mut rng, 4);
+        let jobs = rand_jobs(&mut rng, 4);
+        let job = rng.uniform_u64(1, 5) as u32;
+        let adaptive = rng.chance(0.5);
+        let held = rng.uniform_u64(0, 8) as u32;
+        let constraint = rand_constraint(&mut rng);
+        let rule = if rng.chance(0.5) {
+            ReclaimRule::Demand
+        } else {
+            ReclaimRule::EvenPartition
+        };
         let mut p = DefaultPolicy::with_rule(rule);
         let r = req(job, adaptive, held, constraint);
         let d = p.allocate(&r, &machines, &jobs);
-        check_decision(&d, &r, &machines, &jobs)?;
+        check_decision(&d, &r, &machines, &jobs);
     }
+}
 
-    #[test]
-    fn even_partition_never_reclaims_below_parity(
-        machines in arb_cluster(4),
-        jobs in arb_jobs(4),
-        job in 1u32..5,
-        held in 0u32..8,
-    ) {
+#[test]
+fn even_partition_never_reclaims_below_parity() {
+    let mut rng = SimRng::seeded(0xb02);
+    for _ in 0..256 {
+        let machines = rand_cluster(&mut rng, 4);
+        let jobs = rand_jobs(&mut rng, 4);
+        let job = rng.uniform_u64(1, 5) as u32;
+        let held = rng.uniform_u64(0, 8) as u32;
         let mut p = DefaultPolicy::default();
         let r = req(job, true, held, SymbolicHost::Any);
         if let Decision::Reclaim { victim, .. } = p.allocate(&r, &machines, &jobs) {
             let jv = jobs.iter().find(|j| j.job == victim).unwrap();
-            prop_assert!(jv.held > r.held + 1,
-                "reclaimed from {:?} though requester holds {}", jv, r.held);
+            assert!(
+                jv.held > r.held + 1,
+                "reclaimed from {jv:?} though requester holds {}",
+                r.held
+            );
         }
     }
+}
 
-    #[test]
-    fn fifo_grants_lowest_eligible_id_or_denies(
-        machines in arb_cluster(4),
-        jobs in arb_jobs(4),
-        job in 1u32..5,
-        adaptive in any::<bool>(),
-        constraint in arb_constraint(),
-    ) {
+#[test]
+fn fifo_grants_lowest_eligible_id_or_denies() {
+    let mut rng = SimRng::seeded(0xb03);
+    for _ in 0..256 {
+        let machines = rand_cluster(&mut rng, 4);
+        let jobs = rand_jobs(&mut rng, 4);
+        let job = rng.uniform_u64(1, 5) as u32;
+        let adaptive = rng.chance(0.5);
+        let constraint = rand_constraint(&mut rng);
         let mut p = FifoPolicy;
         let r = req(job, adaptive, 0, constraint);
         let d = p.allocate(&r, &machines, &jobs);
-        check_decision(&d, &r, &machines, &jobs)?;
-        prop_assert!(!matches!(d, Decision::Reclaim { .. }), "fifo reclaimed");
+        check_decision(&d, &r, &machines, &jobs);
+        assert!(!matches!(d, Decision::Reclaim { .. }), "fifo reclaimed");
     }
+}
 
-    #[test]
-    fn offer_targets_only_hungry_adaptive_jobs(
-        machines in arb_cluster(4),
-        jobs in arb_jobs(4),
-    ) {
+#[test]
+fn offer_targets_only_hungry_adaptive_jobs() {
+    let mut rng = SimRng::seeded(0xb04);
+    for _ in 0..256 {
+        let jobs = rand_jobs(&mut rng, 4);
         let mut p = DefaultPolicy::default();
         let free = MachineView {
             id: MachineId(99),
@@ -220,24 +214,25 @@ proptest! {
             load: 0,
             daemon_alive: true,
         };
-        let _ = &machines;
         if let Some(job) = p.offer(&free, &jobs) {
             let jv = jobs.iter().find(|j| j.job == job).unwrap();
-            prop_assert!(jv.adaptive, "offered to non-adaptive job");
-            prop_assert!(jv.held < jv.desired, "offered to a sated job");
+            assert!(jv.adaptive, "offered to non-adaptive job");
+            assert!(jv.held < jv.desired, "offered to a sated job");
         }
     }
+}
 
-    #[test]
-    fn decisions_are_deterministic(
-        machines in arb_cluster(3),
-        jobs in arb_jobs(3),
-        job in 1u32..4,
-        adaptive in any::<bool>(),
-    ) {
+#[test]
+fn decisions_are_deterministic() {
+    let mut rng = SimRng::seeded(0xb05);
+    for _ in 0..256 {
+        let machines = rand_cluster(&mut rng, 3);
+        let jobs = rand_jobs(&mut rng, 3);
+        let job = rng.uniform_u64(1, 4) as u32;
+        let adaptive = rng.chance(0.5);
         let r = req(job, adaptive, 1, SymbolicHost::Any);
         let d1 = DefaultPolicy::default().allocate(&r, &machines, &jobs);
         let d2 = DefaultPolicy::default().allocate(&r, &machines, &jobs);
-        prop_assert_eq!(d1, d2);
+        assert_eq!(d1, d2);
     }
 }

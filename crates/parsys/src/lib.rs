@@ -21,6 +21,7 @@ pub mod calypso;
 pub mod lam;
 pub mod plinda;
 pub mod pmake;
+pub mod protocol;
 pub mod pvm;
 
 use rb_proto::CommandSpec;
@@ -33,6 +34,7 @@ pub use plinda::{
     CHECKPOINT_FILE, PLINDA_SERVICE,
 };
 pub use pmake::{MakeRule, Pmake, PmakeConfig};
+pub use protocol::protocol_specs;
 pub use pvm::{
     PvmApp, PvmAppConfig, PvmConsole, PvmMaster, PvmMasterConfig, PvmSlave, PVMD_SERVICE,
 };

@@ -1,0 +1,280 @@
+//! Protocol participation declared by the four programming systems'
+//! behaviors (PVM, LAM, Calypso, PLinda) plus `pmake`.
+//!
+//! See `rb_broker::protocol` for the broker-side specs; `rb-analyze`
+//! merges both sets into one send/handle graph.
+
+use rb_proto::{ProtocolSpec, ReqEdge};
+
+/// The master pvmd (`pvm.rs`).
+pub const PVM_MASTER_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "pvm-master",
+    sends: &[
+        "Pvm::AddResult",
+        "Pvm::ConfReply",
+        "Pvm::RunTask",
+        "Pvm::SlaveAccepted",
+        "Pvm::SlaveRefused",
+        "Pvm::SlaveHalt",
+        // Task completions are forwarded to `Subscribe`d listeners.
+        "Pvm::TaskDone",
+    ],
+    handles: &[
+        "Pvm::AddHosts",
+        "Pvm::DeleteHost",
+        "Pvm::Halt",
+        "Pvm::Conf",
+        "Pvm::SpawnTasks",
+        "Pvm::Subscribe",
+        "Pvm::SlaveRegister",
+        "Pvm::SlaveExiting",
+        "Pvm::TaskDone",
+        "Ctl::GrowHint",
+        "Ctl::Stop",
+    ],
+    requests: &[
+        ReqEdge {
+            // An `add` resolves to AddResult once the rsh attempt settles.
+            request: "Pvm::AddHosts",
+            replies: &["Pvm::AddResult"],
+            has_timeout: false,
+        },
+        ReqEdge {
+            request: "Pvm::Conf",
+            replies: &["Pvm::ConfReply"],
+            has_timeout: false,
+        },
+        ReqEdge {
+            // Registration is answered, never silently dropped: PVM
+            // refuses machines it did not attempt to spawn on.
+            request: "Pvm::SlaveRegister",
+            replies: &["Pvm::SlaveAccepted", "Pvm::SlaveRefused"],
+            has_timeout: false,
+        },
+    ],
+};
+
+/// A slave pvmd (`pvm.rs`).
+pub const PVM_SLAVE_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "pvmd",
+    sends: &["Pvm::SlaveRegister", "Pvm::SlaveExiting", "Pvm::TaskDone"],
+    handles: &[
+        "Pvm::SlaveAccepted",
+        "Pvm::SlaveRefused",
+        "Pvm::RunTask",
+        "Pvm::SlaveHalt",
+    ],
+    requests: &[],
+};
+
+/// A scripted PVM console (`pvm.rs`), as spawned by the pvm module.
+pub const PVM_CONSOLE_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "pvm-console",
+    sends: &[
+        "Pvm::AddHosts",
+        "Pvm::DeleteHost",
+        "Pvm::Halt",
+        "Pvm::SpawnTasks",
+    ],
+    handles: &["Pvm::AddResult"],
+    requests: &[],
+};
+
+/// A self-scheduling PVM application task (`pvm.rs`).
+pub const PVM_APP_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "pvm-app",
+    sends: &[
+        "Pvm::SpawnTasks",
+        "Pvm::AddHosts",
+        "Pvm::Conf",
+        "Pvm::Subscribe",
+    ],
+    handles: &[
+        "Pvm::TaskDone",
+        "Pvm::AddResult",
+        "Pvm::ConfReply",
+        "Ctl::Stop",
+    ],
+    requests: &[],
+};
+
+/// The LAM session origin (`lam.rs`).
+pub const LAM_ORIGIN_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "lam-origin",
+    sends: &[
+        "Lam::GrowResult",
+        "Lam::NodeAccepted",
+        "Lam::NodeRefused",
+        "Lam::NodeHalt",
+        // Self-scheduled work units are forwarded to member nodes.
+        "Lam::RunWork",
+    ],
+    handles: &[
+        "Lam::GrowNode",
+        "Lam::ShrinkNode",
+        "Lam::Halt",
+        "Lam::NodeRegister",
+        "Lam::NodeExiting",
+        "Lam::RunWork",
+        "Lam::WorkDone",
+        "Ctl::GrowHint",
+        "Ctl::Stop",
+    ],
+    requests: &[
+        ReqEdge {
+            request: "Lam::GrowNode",
+            replies: &["Lam::GrowResult"],
+            has_timeout: false,
+        },
+        ReqEdge {
+            request: "Lam::NodeRegister",
+            replies: &["Lam::NodeAccepted", "Lam::NodeRefused"],
+            has_timeout: false,
+        },
+    ],
+};
+
+/// A LAM node daemon (`lam.rs`).
+pub const LAM_NODE_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "lamd",
+    sends: &["Lam::NodeRegister", "Lam::NodeExiting", "Lam::WorkDone"],
+    handles: &[
+        "Lam::NodeAccepted",
+        "Lam::NodeRefused",
+        "Lam::RunWork",
+        "Lam::NodeHalt",
+    ],
+    requests: &[],
+};
+
+/// A scripted LAM console (`lam.rs`), as spawned by the lam module.
+pub const LAM_CONSOLE_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "lam-console",
+    sends: &[
+        "Lam::GrowNode",
+        "Lam::ShrinkNode",
+        "Lam::Halt",
+        "Lam::RunWork",
+    ],
+    handles: &["Lam::GrowResult"],
+    requests: &[],
+};
+
+/// The Calypso master (`calypso.rs`).
+pub const CALYPSO_MASTER_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "calypso-master",
+    sends: &[
+        "Calypso::WorkerWelcome",
+        "Calypso::TaskAssign",
+        "Calypso::Idle",
+        "Calypso::JobComplete",
+    ],
+    handles: &[
+        "Calypso::WorkerRegister",
+        "Calypso::TaskResult",
+        "Calypso::WorkerLeaving",
+        "Ctl::GrowHint",
+        "Ctl::ShrinkHint",
+        "Ctl::Stop",
+    ],
+    requests: &[ReqEdge {
+        // Anonymous workers are always welcomed — this is what makes the
+        // broker's default redirect path work for Calypso.
+        request: "Calypso::WorkerRegister",
+        replies: &["Calypso::WorkerWelcome"],
+        has_timeout: false,
+    }],
+};
+
+/// A Calypso worker (`calypso.rs`).
+pub const CALYPSO_WORKER_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "calypso-worker",
+    sends: &[
+        "Calypso::WorkerRegister",
+        "Calypso::TaskResult",
+        "Calypso::WorkerLeaving",
+    ],
+    handles: &[
+        "Calypso::WorkerWelcome",
+        "Calypso::TaskAssign",
+        "Calypso::Idle",
+        "Calypso::JobComplete",
+    ],
+    requests: &[],
+};
+
+/// The PLinda tuple-space server (`plinda.rs`).
+pub const PLINDA_SERVER_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "plinda-server",
+    sends: &[
+        "Plinda::InReply",
+        "Plinda::WorkerWelcome",
+        "Plinda::SpaceClosed",
+    ],
+    handles: &[
+        "Plinda::Out",
+        "Plinda::In",
+        "Plinda::WorkerRegister",
+        "Plinda::WorkerLeaving",
+        "Ctl::GrowHint",
+        "Ctl::Stop",
+    ],
+    requests: &[
+        ReqEdge {
+            // `in()` blocks until a tuple matches; there is deliberately
+            // no timeout (Linda semantics), but the reply edge must exist.
+            request: "Plinda::In",
+            replies: &["Plinda::InReply"],
+            has_timeout: false,
+        },
+        ReqEdge {
+            request: "Plinda::WorkerRegister",
+            replies: &["Plinda::WorkerWelcome"],
+            has_timeout: false,
+        },
+    ],
+};
+
+/// A PLinda worker (`plinda.rs`).
+pub const PLINDA_WORKER_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "plinda-worker",
+    sends: &[
+        "Plinda::Out",
+        "Plinda::In",
+        "Plinda::WorkerRegister",
+        "Plinda::WorkerLeaving",
+    ],
+    handles: &[
+        "Plinda::InReply",
+        "Plinda::WorkerWelcome",
+        "Plinda::SpaceClosed",
+    ],
+    requests: &[],
+};
+
+/// The parallel-make driver (`pmake.rs`) — pure rsh fan-out, no protocol
+/// of its own beyond the stop control.
+pub const PMAKE_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "pmake",
+    sends: &[],
+    handles: &["Ctl::Stop"],
+    requests: &[],
+};
+
+/// Every spec this crate contributes to the protocol graph.
+pub fn protocol_specs() -> Vec<&'static ProtocolSpec> {
+    vec![
+        &PVM_MASTER_SPEC,
+        &PVM_SLAVE_SPEC,
+        &PVM_CONSOLE_SPEC,
+        &PVM_APP_SPEC,
+        &LAM_ORIGIN_SPEC,
+        &LAM_NODE_SPEC,
+        &LAM_CONSOLE_SPEC,
+        &CALYPSO_MASTER_SPEC,
+        &CALYPSO_WORKER_SPEC,
+        &PLINDA_SERVER_SPEC,
+        &PLINDA_WORKER_SPEC,
+        &PMAKE_SPEC,
+    ]
+}

@@ -2,7 +2,6 @@
 //! and a restarted server recovers it — including rolling back tuples that
 //! were withdrawn but never committed when the server died.
 
-use proptest::prelude::*;
 use rb_parsys::{decode_tuples, encode_tuples, ParsysPrograms, PlindaConfig, PlindaServer};
 use rb_proto::{ExitStatus, Signal, Tuple, TupleField};
 use rb_simcore::{Duration, SimTime};
@@ -54,23 +53,32 @@ fn decode_rejects_corruption() {
     assert_eq!(decode_tuples(&bytes), None);
 }
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(
-        tuples in proptest::collection::vec(
-            proptest::collection::vec(
-                prop_oneof![
-                    any::<i64>().prop_map(TupleField::Int),
-                    "[ -~]{0,16}".prop_map(TupleField::Str),
-                ],
-                0..6,
-            )
-            .prop_map(Tuple),
-            0..20,
-        )
-    ) {
+#[test]
+fn encode_decode_roundtrip_randomized() {
+    // Seeded randomized roundtrip over arbitrary tuple shapes, including
+    // empty tuples, empty spaces, and arbitrary printable strings.
+    let mut rng = rb_simcore::SimRng::seeded(0x91da);
+    for _ in 0..256 {
+        let tuples: Vec<Tuple> = (0..rng.index(20))
+            .map(|_| {
+                Tuple(
+                    (0..rng.index(6))
+                        .map(|_| {
+                            if rng.chance(0.5) {
+                                TupleField::Int(rng.uniform_u64(0, u64::MAX - 1) as i64)
+                            } else {
+                                let s: String = (0..rng.index(17))
+                                    .map(|_| (rng.uniform_u64(0x20, 0x7f) as u8) as char)
+                                    .collect();
+                                TupleField::Str(s)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
         let bytes = encode_tuples(&tuples);
-        prop_assert_eq!(decode_tuples(&bytes), Some(tuples));
+        assert_eq!(decode_tuples(&bytes), Some(tuples));
     }
 }
 

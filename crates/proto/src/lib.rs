@@ -17,6 +17,7 @@ pub mod command;
 pub mod ids;
 pub mod machine;
 pub mod message;
+pub mod protocol;
 pub mod status;
 
 pub use command::{CommandSpec, ConsoleCmd};
@@ -26,4 +27,5 @@ pub use message::{
     ApplMsg, BrokerMsg, CalypsoMsg, CtlMsg, DaemonReport, LamMsg, PatternField, Payload, PlindaMsg,
     PvmMsg, Tuple, TupleField, TuplePattern,
 };
+pub use protocol::{variant_name, ProtocolSpec, ReqEdge, ALL_VARIANTS, REQUEST_VARIANTS};
 pub use status::{ExitStatus, RshError, Signal};

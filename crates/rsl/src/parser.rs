@@ -182,43 +182,66 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Seeded randomized roundtrip testing (the offline stand-in for the
+    //! earlier proptest suite): any structurally valid request survives a
+    //! display→parse roundtrip.
+
     use super::*;
     use crate::lexer::RelOp;
-    use proptest::prelude::*;
+    use rb_simcore::SimRng;
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        prop_oneof![
-            (-1000i64..1000).prop_map(Value::Int),
-            "[a-z][a-z0-9_.-]{0,12}".prop_map(Value::Str),
-        ]
+    const OPS: [RelOp; 6] = [
+        RelOp::Eq,
+        RelOp::Ne,
+        RelOp::Ge,
+        RelOp::Le,
+        RelOp::Gt,
+        RelOp::Lt,
+    ];
+
+    fn rand_ident(rng: &mut SimRng, tail_max: usize) -> String {
+        let head = b"abcdefghijklmnopqrstuvwxyz";
+        let tail = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        let mut s = String::new();
+        s.push(head[rng.index(head.len())] as char);
+        for _ in 0..rng.index(tail_max + 1) {
+            s.push(tail[rng.index(tail.len())] as char);
+        }
+        s
     }
 
-    fn arb_op() -> impl Strategy<Value = RelOp> {
-        prop_oneof![
-            Just(RelOp::Eq),
-            Just(RelOp::Ne),
-            Just(RelOp::Ge),
-            Just(RelOp::Le),
-            Just(RelOp::Gt),
-            Just(RelOp::Lt),
-        ]
+    fn rand_value(rng: &mut SimRng) -> Value {
+        if rng.chance(0.5) {
+            Value::Int(rng.uniform_u64(0, 2_000) as i64 - 1_000)
+        } else {
+            let chars = b"abcdefghijklmnopqrstuvwxyz0123456789_.-";
+            let mut s = String::new();
+            s.push(b"abcdefghijklmnopqrstuvwxyz"[rng.index(26)] as char);
+            for _ in 0..rng.index(13) {
+                s.push(chars[rng.index(chars.len())] as char);
+            }
+            Value::Str(s)
+        }
     }
 
-    proptest! {
-        /// Any structurally valid request survives a display→parse roundtrip.
-        #[test]
-        fn display_parse_roundtrip(
-            clauses in proptest::collection::vec(
-                ("[a-z][a-z0-9_]{0,10}", arb_op(), arb_value())
-                    .prop_map(|(a, o, v)| Clause::new(a, o, v)),
-                1..8,
-            )
-        ) {
+    #[test]
+    fn display_parse_roundtrip() {
+        let mut rng = SimRng::seeded(0x5151);
+        for _ in 0..256 {
+            let clauses = (0..rng.uniform_u64(1, 8))
+                .map(|_| {
+                    Clause::new(
+                        rand_ident(&mut rng, 10),
+                        OPS[rng.index(OPS.len())],
+                        rand_value(&mut rng),
+                    )
+                })
+                .collect();
             let r = Request { clauses };
             let shown = r.to_string();
             let parsed = parse(&shown).expect("roundtrip parse");
-            prop_assert_eq!(parsed, r);
+            assert_eq!(parsed, r, "roundtrip of {shown}");
         }
     }
 }

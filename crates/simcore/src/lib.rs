@@ -19,4 +19,4 @@ pub use metrics::{Histogram, Series, Summary};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};
-pub use trace::{TraceEvent, TraceRecorder};
+pub use trace::{parse_rendered, TraceEvent, TraceRecorder};

@@ -296,27 +296,38 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        /// Median always lies between min and max, and mean is bounded too.
-        #[test]
-        fn summary_invariants(samples in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+    /// Median always lies between min and max, and mean is bounded too.
+    #[test]
+    fn summary_invariants() {
+        let mut rng = SimRng::seeded(0x0303);
+        for _ in 0..256 {
+            let samples: Vec<f64> = (0..rng.uniform_u64(1, 100))
+                .map(|_| rng.uniform_f64(-1e6, 1e6))
+                .collect();
             let s = Summary::from_samples(samples);
-            prop_assert!(s.min() <= s.median() && s.median() <= s.max());
-            prop_assert!(s.min() <= s.mean() && s.mean() <= s.max());
-            prop_assert!(s.stddev() >= 0.0);
+            assert!(s.min() <= s.median() && s.median() <= s.max());
+            assert!(s.min() <= s.mean() && s.mean() <= s.max());
+            assert!(s.stddev() >= 0.0);
         }
+    }
 
-        /// Percentile is monotone in p.
-        #[test]
-        fn percentile_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 2..50),
-                               a in 0.0f64..100.0, b in 0.0f64..100.0) {
+    /// Percentile is monotone in p.
+    #[test]
+    fn percentile_monotone() {
+        let mut rng = SimRng::seeded(0x0404);
+        for _ in 0..256 {
+            let samples: Vec<f64> = (0..rng.uniform_u64(2, 50))
+                .map(|_| rng.uniform_f64(-1e6, 1e6))
+                .collect();
+            let a = rng.uniform_f64(0.0, 100.0);
+            let b = rng.uniform_f64(0.0, 100.0);
             let s = Summary::from_samples(samples);
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
+            assert!(s.percentile(lo) <= s.percentile(hi) + 1e-9);
         }
     }
 }

@@ -141,15 +141,19 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SimRng;
 
-    proptest! {
-        /// Popping never yields a time earlier than the previous pop, and
-        /// every pushed event comes back exactly once.
-        #[test]
-        fn pops_are_monotone_and_complete(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+    /// Popping never yields a time earlier than the previous pop, and
+    /// every pushed event comes back exactly once.
+    #[test]
+    fn pops_are_monotone_and_complete() {
+        let mut rng = SimRng::seeded(0x0101);
+        for _ in 0..128 {
+            let times: Vec<u64> = (0..rng.uniform_u64(1, 200))
+                .map(|_| rng.uniform_u64(0, 1_000))
+                .collect();
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime(t), i);
@@ -157,18 +161,24 @@ mod proptests {
             let mut seen = vec![false; times.len()];
             let mut last = SimTime::ZERO;
             while let Some((at, idx)) = q.pop() {
-                prop_assert!(at >= last);
-                prop_assert_eq!(at, SimTime(times[idx]));
-                prop_assert!(!seen[idx]);
+                assert!(at >= last);
+                assert_eq!(at, SimTime(times[idx]));
+                assert!(!seen[idx]);
                 seen[idx] = true;
                 last = at;
             }
-            prop_assert!(seen.iter().all(|&s| s));
+            assert!(seen.iter().all(|&s| s));
         }
+    }
 
-        /// FIFO among equal timestamps holds for arbitrary interleavings.
-        #[test]
-        fn fifo_within_timestamp(times in proptest::collection::vec(0u64..5, 1..100)) {
+    /// FIFO among equal timestamps holds for arbitrary interleavings.
+    #[test]
+    fn fifo_within_timestamp() {
+        let mut rng = SimRng::seeded(0x0202);
+        for _ in 0..128 {
+            let times: Vec<u64> = (0..rng.uniform_u64(1, 100))
+                .map(|_| rng.uniform_u64(0, 5))
+                .collect();
             let mut q = EventQueue::new();
             for (i, &t) in times.iter().enumerate() {
                 q.push(SimTime(t), i);
@@ -176,7 +186,7 @@ mod proptests {
             let mut last_seq_at: std::collections::HashMap<u64, usize> = Default::default();
             while let Some((at, idx)) = q.pop() {
                 if let Some(&prev) = last_seq_at.get(&at.0) {
-                    prop_assert!(idx > prev, "FIFO violated at t={}", at.0);
+                    assert!(idx > prev, "FIFO violated at t={}", at.0);
                 }
                 last_seq_at.insert(at.0, idx);
             }

@@ -3,23 +3,37 @@
 //! Every simulation owns exactly one `SimRng`; all stochastic decisions
 //! (arrival times, job durations, jitter) flow through it so that a run is
 //! reproducible from its seed alone.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256** (Blackman & Vigna),
+//! seeded through SplitMix64 — no external crates, so the workspace builds
+//! with no network access, and the stream is stable across toolchains.
 
 /// A deterministic random source.
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
     seed: u64,
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create from a 64-bit seed.
     pub fn seeded(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        SimRng { state, seed }
     }
 
     /// The seed this generator was created with (for run reports).
@@ -27,36 +41,67 @@ impl SimRng {
         self.seed
     }
 
+    /// One raw xoshiro256** output word.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
     /// Uniform integer in `[lo, hi)`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): reject the short low region.
+        let zone = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let (hi128, lo128) = {
+                let m = (x as u128) * (span as u128);
+                ((m >> 64) as u64, m as u64)
+            };
+            if lo128 >= zone {
+                return lo + hi128;
+            }
+        }
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        lo + self.unit_f64() * (hi - lo)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 random bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial.
     pub fn chance(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p));
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.unit_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Exponentially distributed value with the given mean (inter-arrival
     /// times of Poisson processes).
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0);
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.unit_f64().max(f64::EPSILON);
         -mean * u.ln()
     }
 
     /// Pick a uniformly random element index from a slice length.
     pub fn index(&mut self, len: usize) -> usize {
         assert!(len > 0, "empty slice");
-        self.inner.gen_range(0..len)
+        self.uniform_u64(0, len as u64) as usize
     }
 }
 
@@ -108,5 +153,23 @@ mod tests {
         for _ in 0..100 {
             assert!(r.index(7) < 7);
         }
+    }
+
+    #[test]
+    fn chance_rate_is_plausible() {
+        let mut r = SimRng::seeded(19);
+        let hits = (0..20_000).filter(|_| r.chance(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn uniform_u64_covers_small_range() {
+        let mut r = SimRng::seeded(23);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.uniform_u64(0, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values seen: {seen:?}");
     }
 }

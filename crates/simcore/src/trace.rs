@@ -120,6 +120,59 @@ impl TraceRecorder {
         }
         out
     }
+
+    /// Rebuild a recorder from events parsed or recorded elsewhere (the
+    /// inverse of [`TraceRecorder::render`] via [`parse_rendered`]; used by
+    /// offline trace tooling such as `rblint`).
+    pub fn from_events(events: Vec<TraceEvent>) -> Self {
+        TraceRecorder {
+            events,
+            enabled: true,
+        }
+    }
+}
+
+/// Parse one line of [`TraceRecorder::render`] output back into a
+/// [`TraceEvent`]. Blank lines yield `None`.
+fn parse_rendered_line(line: &str) -> Result<Option<TraceEvent>, String> {
+    let rest = line.trim_start();
+    if rest.is_empty() {
+        return Ok(None);
+    }
+    let (time_tok, rest) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("missing topic in line: {line:?}"))?;
+    let secs: f64 = time_tok
+        .strip_prefix("T+")
+        .and_then(|s| s.strip_suffix('s'))
+        .ok_or_else(|| format!("bad time {time_tok:?}"))?
+        .parse()
+        .map_err(|e| format!("bad time {time_tok:?}: {e}"))?;
+    let rest = rest.trim_start();
+    let (topic, detail) = match rest.split_once(char::is_whitespace) {
+        Some((t, d)) => (t, d.trim_start()),
+        None => (rest, ""),
+    };
+    if topic.is_empty() {
+        return Err(format!("missing topic in line: {line:?}"));
+    }
+    Ok(Some(TraceEvent {
+        at: SimTime((secs * 1e6).round() as u64),
+        topic: topic.to_string(),
+        detail: detail.trim_end().to_string(),
+    }))
+}
+
+/// Parse a full [`TraceRecorder::render`] dump back into events.
+pub fn parse_rendered(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .enumerate()
+        .filter_map(|(n, line)| match parse_rendered_line(line) {
+            Ok(Some(e)) => Some(Ok(e)),
+            Ok(None) => None,
+            Err(e) => Some(Err(format!("line {}: {e}", n + 1))),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -167,5 +220,23 @@ mod tests {
         let s = sample().render();
         assert!(s.contains("a.x"));
         assert!(s.contains("four"));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut t = sample();
+        t.record(SimTime(5_000_000), "no.detail", "");
+        t.record(SimTime(6_500_000), "spaced", "n01 -> j3 (g7)");
+        let parsed = parse_rendered(&t.render()).unwrap();
+        assert_eq!(parsed, t.events());
+        let rebuilt = TraceRecorder::from_events(parsed);
+        assert_eq!(rebuilt.render(), t.render());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_rendered("not a trace line\n").is_err());
+        assert!(parse_rendered("T+1.000000s\n").is_err());
+        assert!(parse_rendered("").unwrap().is_empty());
     }
 }

@@ -33,6 +33,7 @@ pub mod factory;
 pub mod machine;
 pub mod process;
 pub mod programs;
+pub mod protocol;
 pub mod world;
 
 pub use cost::CostModel;
@@ -40,4 +41,5 @@ pub use ctx::{Ctx, MachineStatus};
 pub use factory::{FactoryChain, ProgramFactory, RshPrimeFactory, RshPrimeRequest};
 pub use process::{Behavior, ProcEnv, ProcState, RshBinding};
 pub use programs::{BasePrograms, EchoProg, FalseProg, LoopProg, NullProg};
+pub use protocol::{protocol_specs, ECHO_SPEC, HARNESS_SPEC};
 pub use world::{World, WorldBuilder, HARNESS};

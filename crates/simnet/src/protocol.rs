@@ -1,0 +1,37 @@
+//! Protocol participation of the substrate's own actors: the base
+//! programs and the test/scenario harness (the simulated analogue of a
+//! user at a terminal or a driver script), which is where every control
+//! message originates.
+
+use rb_proto::{ProtocolSpec, ReqEdge};
+
+/// `echo` — answers liveness probes (`programs.rs`).
+pub const ECHO_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "echo",
+    sends: &["Ctl::ProbeReply"],
+    handles: &["Ctl::Probe"],
+    requests: &[ReqEdge {
+        request: "Ctl::Probe",
+        replies: &["Ctl::ProbeReply"],
+        has_timeout: false,
+    }],
+};
+
+/// The out-of-band harness (tests, scenario drivers, workload scripts):
+/// it nudges adaptive jobs and probes liveness but is not a process.
+pub const HARNESS_SPEC: ProtocolSpec = ProtocolSpec {
+    actor: "harness",
+    sends: &[
+        "Ctl::GrowHint",
+        "Ctl::ShrinkHint",
+        "Ctl::Stop",
+        "Ctl::Probe",
+    ],
+    handles: &["Ctl::ProbeReply"],
+    requests: &[],
+};
+
+/// Every spec this crate contributes to the protocol graph.
+pub fn protocol_specs() -> Vec<&'static ProtocolSpec> {
+    vec![&ECHO_SPEC, &HARNESS_SPEC]
+}

@@ -190,6 +190,7 @@ impl WorldBuilder {
             default_remote_binding: self.default_remote_binding,
             factory: self.factory,
             rsh_prime: self.rsh_prime,
+            trace_checks: Vec::new(),
         }
     }
 }
@@ -224,7 +225,12 @@ pub struct World {
     default_remote_binding: RshBinding,
     factory: Option<Box<dyn ProgramFactory>>,
     rsh_prime: Option<Box<dyn RshPrimeFactory>>,
+    /// Opt-in post-run trace invariants (installed e.g. by `rb-analyze`).
+    trace_checks: Vec<(String, TraceCheck)>,
 }
+
+/// A post-run invariant over the recorded trace.
+pub type TraceCheck = Box<dyn Fn(&TraceRecorder) -> Result<(), String>>;
 
 impl World {
     // ------------------------------------------------------------------
@@ -237,6 +243,32 @@ impl World {
 
     pub fn trace(&self) -> &TraceRecorder {
         &self.trace
+    }
+
+    /// Install a post-run trace invariant. Checks are opt-in: nothing runs
+    /// until [`World::run_trace_checks`] is called (typically at the end of
+    /// an integration test).
+    pub fn add_trace_check(
+        &mut self,
+        name: impl Into<String>,
+        check: impl Fn(&TraceRecorder) -> Result<(), String> + 'static,
+    ) {
+        self.trace_checks.push((name.into(), Box::new(check)));
+    }
+
+    /// Run every installed trace check against the recorded trace,
+    /// collecting all failures.
+    pub fn run_trace_checks(&self) -> Result<(), String> {
+        let failures: Vec<String> = self
+            .trace_checks
+            .iter()
+            .filter_map(|(name, check)| check(&self.trace).err().map(|e| format!("[{name}] {e}")))
+            .collect();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("\n"))
+        }
     }
 
     pub fn cost(&self) -> &CostModel {
@@ -547,6 +579,9 @@ impl World {
                 if !self.alive(proc) {
                     return;
                 }
+                let name = self.procs[&proc].name;
+                self.trace
+                    .record(self.now, "sig.deliver", format!("{proc} {name} {sig:?}"));
                 if sig == Signal::Kill {
                     self.terminate(proc, ExitStatus::Killed(Signal::Kill));
                 } else {

@@ -1,10 +1,10 @@
-//! Property-based churn testing of the substrate: arbitrary interleavings
+//! Randomized churn testing of the substrate: arbitrary interleavings
 //! of spawns, kills, machine crashes, and restores must preserve the
-//! kernel's accounting invariants.
+//! kernel's accounting invariants. Driven by the in-repo seeded PRNG so
+//! every failing interleaving is replayable from its seed.
 
-use proptest::prelude::*;
-use rb_proto::{MachineId, ProcId, Signal};
-use rb_simcore::{Duration, SimTime};
+use rb_proto::{MachineId, Signal};
+use rb_simcore::{Duration, SimRng, SimTime};
 use rb_simnet::{BasePrograms, LoopProg, ProcEnv, World, WorldBuilder};
 
 #[derive(Debug, Clone)]
@@ -23,18 +23,24 @@ enum Action {
     Advance { millis: u16 },
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (any::<u8>(), 10u16..3_000).prop_map(|(machine, cpu_millis)| Action::Spawn {
-            machine,
-            cpu_millis
-        }),
-        Just(Action::KillOldest),
-        Just(Action::TermNewest),
-        any::<u8>().prop_map(|machine| Action::Crash { machine }),
-        any::<u8>().prop_map(|machine| Action::Restore { machine }),
-        (10u16..2_000).prop_map(|millis| Action::Advance { millis }),
-    ]
+fn rand_action(rng: &mut SimRng) -> Action {
+    match rng.index(6) {
+        0 => Action::Spawn {
+            machine: rng.uniform_u64(0, 256) as u8,
+            cpu_millis: rng.uniform_u64(10, 3_000) as u16,
+        },
+        1 => Action::KillOldest,
+        2 => Action::TermNewest,
+        3 => Action::Crash {
+            machine: rng.uniform_u64(0, 256) as u8,
+        },
+        4 => Action::Restore {
+            machine: rng.uniform_u64(0, 256) as u8,
+        },
+        _ => Action::Advance {
+            millis: rng.uniform_u64(10, 2_000) as u16,
+        },
+    }
 }
 
 fn apply(world: &mut World, machines: &[MachineId], action: &Action) {
@@ -77,13 +83,13 @@ fn apply(world: &mut World, machines: &[MachineId], action: &Action) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn kernel_invariants_hold_under_churn(
-        actions in proptest::collection::vec(arb_action(), 1..60),
-    ) {
+#[test]
+fn kernel_invariants_hold_under_churn() {
+    let mut rng = SimRng::seeded(0xc0c0);
+    for _ in 0..64 {
+        let actions: Vec<Action> = (0..rng.uniform_u64(1, 60))
+            .map(|_| rand_action(&mut rng))
+            .collect();
         let mut b = WorldBuilder::new().seed(99).factory(BasePrograms);
         let machines = b.standard_lab(3);
         let mut world = b.build();
@@ -96,8 +102,8 @@ proptest! {
             for &m in &machines {
                 let busy = world.busy_time(m).as_micros();
                 let alloc = world.allocated_time(m).as_micros();
-                prop_assert!(busy <= alloc + 1, "busy {busy} > alloc {alloc}");
-                prop_assert!(alloc <= now.as_micros() + 1);
+                assert!(busy <= alloc + 1, "busy {busy} > alloc {alloc}");
+                assert!(alloc <= now.as_micros() + 1);
             }
         }
         // Drain: all work finishes, nothing is left runnable.
@@ -106,13 +112,11 @@ proptest! {
         for &m in &machines {
             if world.machine_up(m) {
                 // After the queue drains no process should still be alive.
-                prop_assert_eq!(world.app_procs_on(m), 0,
-                    "machine {} still has app procs", m);
+                assert_eq!(world.app_procs_on(m), 0, "machine {m} still has app procs");
             }
         }
         // Every loop process we ever spawned has a terminal status.
         let alive_loops = world.procs_named("loop");
-        prop_assert!(alive_loops.is_empty(), "{alive_loops:?} still alive");
-        let _ = ProcId(0);
+        assert!(alive_loops.is_empty(), "{alive_loops:?} still alive");
     }
 }

@@ -1,0 +1,58 @@
+//! Run a short mixed workload and dump the full event trace in the
+//! `TraceRecorder::render` format that `rblint` consumes.
+//!
+//! Run with: `cargo run --example dump_trace -- /tmp/trace.txt`
+//! (no argument prints the trace to stdout). Then lint it:
+//! `cargo run -p rb-analyze --bin rblint -- /tmp/trace.txt`
+
+use resourcebroker::broker::{build_standard_cluster, JobRequest, JobRun};
+use resourcebroker::parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
+use resourcebroker::proto::CommandSpec;
+use resourcebroker::simcore::Duration;
+
+fn main() {
+    let mut cluster = build_standard_cluster(3, 7);
+    cluster.settle();
+
+    // A sequential job and an adaptive job compete for the same machines,
+    // so the dump exercises the grant/reclaim/release vocabulary.
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "+(count>=2)(adaptive=1)".into(),
+            user: "alice".into(),
+            run: JobRun::Root(Box::new(CalypsoMaster::new(CalypsoConfig {
+                tasks: TaskBag::Finite(vec![1_500; 8]),
+                desired_workers: 2,
+                hostfile: vec!["anylinux".into()],
+                task_timeout: None,
+            }))),
+        },
+    );
+    cluster.submit(
+        cluster.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "bob".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd: CommandSpec::Loop { cpu_millis: 3_000 },
+            },
+        },
+    );
+    cluster
+        .world
+        .run_until(cluster.world.now() + Duration::from_secs(60));
+
+    let rendered = cluster.world.trace().render();
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &rendered).expect("write trace dump");
+            eprintln!(
+                "wrote {} events to {path}",
+                cluster.world.trace().events().len()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+}

@@ -20,6 +20,9 @@ fn pooled(publics: usize, seed: u64) -> Cluster {
         ..Default::default()
     };
     let mut c = build_cluster(opts);
+    // Post-run trace invariants come from the rb-analyze linter; each test
+    // runs them via `run_trace_checks` after its scenario completes.
+    rb_analyze::install_linter(&mut c.world);
     c.world.set_owner_present(c.machines[0], true);
     c.settle();
     c
@@ -88,6 +91,7 @@ fn reclaim_from_pvm_job_goes_through_module_shrink() {
     // One slave remains; the VM kept computing.
     assert_eq!(c.world.procs_named("pvmd").len(), 1);
     assert_eq!(c.world.procs_named("pvm-master").len(), 1);
+    c.world.run_trace_checks().unwrap();
 }
 
 /// A worker that ignores SIGTERM entirely (a buggy or hostile program).
@@ -135,6 +139,7 @@ fn grace_period_then_sigkill_for_stubborn_processes() {
     let m0 = b.machine(MachineAttrs::private_linux("n00", "user"));
     let _m1 = b.machine(MachineAttrs::public_linux("n01"));
     let mut world = b.build();
+    rb_analyze::install_linter(&mut world);
     let broker = world.spawn_user(
         m0,
         Box::new(resourcebroker::broker::Broker::new(
@@ -206,6 +211,7 @@ fn grace_period_then_sigkill_for_stubborn_processes() {
         .unwrap();
     assert!(world.procs_named("stubborn").is_empty());
     let _ = stubborn_appl;
+    world.run_trace_checks().unwrap();
 }
 
 #[test]
@@ -242,6 +248,7 @@ fn victim_job_recovers_lost_work_after_eviction() {
     assert_eq!(c.world.exit_status(cal_appl), Some(ExitStatus::Success));
     let complete = c.world.trace().last("calypso.complete").unwrap();
     assert!(complete.detail.contains("results=8"), "{}", complete.detail);
+    c.world.run_trace_checks().unwrap();
 }
 
 #[test]
@@ -280,6 +287,7 @@ fn released_machine_returns_to_victim_when_requester_finishes() {
         .run_until_pred(FAR, |w| w.procs_named("calypso-worker").len() == 2);
     assert!(regrown, "calypso never regrew");
     assert!(c.world.trace().count("broker.offer") >= 1);
+    c.world.run_trace_checks().unwrap();
 }
 
 #[test]
@@ -314,4 +322,5 @@ fn concurrent_reallocations_complete_independently() {
         assert_eq!(c.await_appl(appl, FAR), Some(ExitStatus::Success));
     }
     assert!(c.world.trace().count("broker.reclaim") >= 2);
+    c.world.run_trace_checks().unwrap();
 }

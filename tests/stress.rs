@@ -11,87 +11,16 @@ use resourcebroker::parsys::{
     PvmMaster, PvmMasterConfig, TaskBag,
 };
 use resourcebroker::proto::CommandSpec;
-use resourcebroker::simcore::{Duration, SimRng, TraceEvent};
-use std::collections::HashMap;
-
-/// Recover per-machine grant/free alternation from the trace. Every grant
-/// of a machine must be followed by a free before it can be granted again.
-fn check_no_double_allocation(events: &[TraceEvent]) {
-    let mut held: HashMap<String, String> = HashMap::new(); // host -> "jN"
-    for e in events {
-        match e.topic.as_str() {
-            "broker.grant" => {
-                // detail: "<host> -> jN (gK)"
-                let host = e.detail.split(" -> ").next().unwrap().to_string();
-                let job = e
-                    .detail
-                    .split(" -> ")
-                    .nth(1)
-                    .unwrap()
-                    .split(' ')
-                    .next()
-                    .unwrap()
-                    .to_string();
-                if let Some(prev) = held.get(&host) {
-                    panic!(
-                        "{}: {host} granted to {job} while still held by {prev}",
-                        e.at
-                    );
-                }
-                held.insert(host, job);
-            }
-            "broker.freed" => {
-                // detail: "<host> by jN"
-                let host = e.detail.split(" by ").next().unwrap().to_string();
-                held.remove(&host);
-            }
-            "broker.job.done" => {
-                // detail: "jN" — the job's machines return without
-                // individual freed events.
-                let job = e.detail.trim().to_string();
-                held.retain(|_, j| *j != job);
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Every reclaim eventually leads to the machine being freed (no machine
-/// stuck in `Reclaiming` forever), within the run horizon.
-fn check_reclaims_complete(events: &[TraceEvent]) {
-    // host -> victim job ("jN") of the outstanding reclaim.
-    let mut pending: HashMap<String, String> = HashMap::new();
-    for e in events {
-        match e.topic.as_str() {
-            "broker.reclaim" => {
-                let host = e.detail.split(" from ").next().unwrap().to_string();
-                let victim = e.detail.split(" from ").nth(1).unwrap().to_string();
-                pending.insert(host, victim);
-            }
-            "broker.freed" => {
-                let host = e.detail.split(" by ").next().unwrap().to_string();
-                pending.remove(&host);
-            }
-            "broker.grant" => {
-                // A grant of the host also resolves the reclaim (the
-                // JobDone shortcut grants without an explicit freed).
-                let host = e.detail.split(" -> ").next().unwrap().to_string();
-                pending.remove(&host);
-            }
-            "broker.job.done" => {
-                let job = e.detail.trim().to_string();
-                pending.retain(|_, victim| *victim != job);
-            }
-            _ => {}
-        }
-    }
-    assert!(pending.is_empty(), "reclaims never completed: {pending:?}");
-}
+use resourcebroker::simcore::{Duration, SimRng};
 
 fn random_workload(seed: u64) {
     let mut rng = SimRng::seeded(seed);
     let machines = rng.uniform_u64(3, 9) as usize;
     let mut c = build_standard_cluster(machines, seed);
+    // Trace invariants (no double allocation, reclaims terminate, SIGKILL
+    // only after SIGTERM+grace, ...) are checked by the rb-analyze linter
+    // at the end of the run.
+    rb_analyze::install_linter(&mut c.world);
     c.settle();
 
     let n_jobs = rng.uniform_u64(3, 8);
@@ -199,9 +128,9 @@ fn random_workload(seed: u64) {
     // finish and the cluster to reach steady state.
     c.world.run_until(c.world.now() + Duration::from_secs(180));
 
-    let events = c.world.trace().events();
-    check_no_double_allocation(events);
-    check_reclaims_complete(events);
+    if let Err(e) = c.world.run_trace_checks() {
+        panic!("seed {seed}: {e}");
+    }
 
     // No sub-appl outlives its job's machines: any alive sub-appl must
     // still have an alive appl.
