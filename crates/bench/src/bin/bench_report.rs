@@ -1,0 +1,181 @@
+//! `bench_report` — machine-readable kernel/scenario benchmark baseline.
+//!
+//! Runs the kernel microbenchmarks plus the Table-2 and utilization
+//! scenarios, fanning independent reps across threads (one deterministic
+//! `SimRng` stream per rep), and emits:
+//!
+//! * `BENCH_kernel.json` — events/sec, wall ms, peak queue depth per
+//!   scenario (the simulator's own performance);
+//! * `BENCH_table2.json` — the paper-shaped Table 2 rows in simulated
+//!   seconds, alongside the harness wall-clock cost of producing them.
+//!
+//! ```text
+//! bench_report [reps]
+//!   RB_BENCH_SAMPLES=<n>    override rep count (CI smoke uses 2)
+//!   RB_BENCH_OUT=<dir>      output directory (default: current dir)
+//!   RB_BENCH_BASELINE=<f>   compare against a previous BENCH_kernel.json;
+//!                           exit 1 if any scenario's median events/sec
+//!                           falls below RB_BENCH_MIN_RATIO (default 1.0)
+//! ```
+
+use rb_bench::json::Json;
+use rb_bench::report::{
+    check_against_baseline, render_scenario_line, report_json, run_scenario, RepOutcome, Scenario,
+};
+use rb_simcore::{EventQueue, SimTime};
+use rb_workloads::table2;
+use rb_workloads::utilization::{run as run_utilization, UtilizationConfig};
+use std::process::ExitCode;
+
+/// Pure event-queue churn: push/pop `n` pseudo-shuffled events.
+fn queue_scenario(n: u64) -> Scenario {
+    Scenario::new(format!("kernel.event_queue.push_pop_{n}"), move |seed| {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(
+                SimTime((i.wrapping_mul(2_654_435_761) ^ seed) % 1_000_000),
+                i,
+            );
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            debug_assert!(at >= last);
+            last = at;
+        }
+        RepOutcome {
+            queue: q.stats(),
+            sim_seconds: last.as_secs_f64(),
+        }
+    })
+}
+
+fn table2_scenario(name: &str, plain: bool) -> Scenario {
+    Scenario::new(name, move |seed| {
+        let out = if plain {
+            table2::plain_onto_occupied(seed, table2::loop_cmd())
+        } else {
+            table2::prime_with_realloc(seed, table2::loop_cmd())
+        };
+        RepOutcome {
+            queue: out.queue,
+            sim_seconds: out.elapsed_secs,
+        }
+    })
+}
+
+fn utilization_scenario(hours: f64) -> Scenario {
+    Scenario::new(format!("utilization.{hours:.0}h"), move |seed| {
+        let report = run_utilization(&UtilizationConfig {
+            hours,
+            seed,
+            ..Default::default()
+        });
+        RepOutcome {
+            queue: report.queue,
+            sim_seconds: report.simulated_hours * 3600.0,
+        }
+    })
+}
+
+fn out_path(file: &str) -> std::path::PathBuf {
+    let dir = std::env::var("RB_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    std::path::Path::new(&dir).join(file)
+}
+
+fn write_doc(file: &str, doc: &Json) {
+    let path = out_path(file);
+    std::fs::write(&path, doc.render()).unwrap_or_else(|e| {
+        panic!("writing {}: {e}", path.display());
+    });
+    println!("wrote {}", path.display());
+}
+
+fn main() -> ExitCode {
+    let reps = rb_bench::effective_samples(rb_bench::arg_usize(rb_bench::DEFAULT_REPS));
+    const BASE_SEED: u64 = 7_000;
+
+    // ---- BENCH_kernel.json -------------------------------------------
+    let scenarios = vec![
+        queue_scenario(100_000),
+        table2_scenario("table2.plain_loop", true),
+        table2_scenario("table2.realloc_loop", false),
+        utilization_scenario(1.0),
+    ];
+    let mut reports = Vec::new();
+    for s in &scenarios {
+        let r = run_scenario(s, BASE_SEED, reps);
+        println!("{}", render_scenario_line(&r));
+        reports.push(r);
+    }
+    let kernel_doc = report_json("rb-bench/kernel/v1", reps, &reports);
+    write_doc("BENCH_kernel.json", &kernel_doc);
+
+    // ---- BENCH_table2.json -------------------------------------------
+    let rows = table2::run(reps);
+    let rows_json: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .set("operation", r.operation.as_str())
+                .set("sim_seconds_median", r.seconds)
+        })
+        .collect();
+    // Throughput context for the same scenario family.
+    let table2_scenarios: Vec<&rb_bench::report::ScenarioReport> = reports
+        .iter()
+        .filter(|r| r.name.starts_with("table2."))
+        .collect();
+    let table2_doc = Json::obj()
+        .set("schema", "rb-bench/table2/v1")
+        .set("generated_by", "rb-bench bench_report")
+        .set("reps", reps)
+        .set("rows", Json::Arr(rows_json))
+        .set(
+            "scenarios",
+            Json::Arr(
+                table2_scenarios
+                    .iter()
+                    .map(|r| rb_bench::report::scenario_json(r))
+                    .collect(),
+            ),
+        );
+    write_doc("BENCH_table2.json", &table2_doc);
+
+    // ---- regression guard --------------------------------------------
+    if let Ok(baseline_path) = std::env::var("RB_BENCH_BASELINE") {
+        let min_ratio: f64 = std::env::var("RB_BENCH_MIN_RATIO")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_report: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = match rb_bench::json::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("bench_report: bad baseline {baseline_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check_against_baseline(&kernel_doc, &baseline, min_ratio) {
+            Ok(lines) => {
+                println!("baseline comparison ({baseline_path}, required {min_ratio:.2}x):");
+                for l in lines {
+                    println!("  {l}");
+                }
+            }
+            Err(violations) => {
+                eprintln!("bench_report: regression guard FAILED:");
+                for v in violations {
+                    eprintln!("  {v}");
+                }
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,8 @@
 //! Regenerates every table and figure from the paper's §6 evaluation as a
 //! set of binaries (printing the paper-shaped rows from the *simulated*
 //! clock), plus self-contained wall-clock benches (`cargo bench`) that
-//! guard the simulator's own performance on each scenario.
+//! guard the simulator's own performance on each scenario, and
+//! `bench_report`, which emits machine-readable `BENCH_*.json` baselines.
 //!
 //! | binary | regenerates |
 //! |--------|-------------|
@@ -14,8 +15,17 @@
 //! | `utilization` | §6.2 — five-hour utilization experiment |
 //! | `policy_ablation` | default vs. FIFO policy under the mixed workload |
 //! | `layers` | interposition-layer cost breakdown |
+//! | `bench_report` | `BENCH_kernel.json` / `BENCH_table2.json` |
 //!
 //! Run any of them with `cargo run --release -p rb-bench --bin <name>`.
+//!
+//! Every bench honors `RB_BENCH_SAMPLES=<n>` to override its sample count
+//! (CI smoke runs set it to 1–2 to keep wall time down).
+
+pub mod json;
+pub mod report;
+
+use rb_simcore::Summary;
 
 /// Default repetition count for median-of-N experiment binaries.
 pub const DEFAULT_REPS: usize = 5;
@@ -28,23 +38,100 @@ pub fn arg_usize(default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Effective sample count: the `RB_BENCH_SAMPLES` environment variable wins
+/// over the requested count; either way the result is clamped to ≥ 1 so
+/// summary indexing can never panic.
+pub fn effective_samples(requested: usize) -> usize {
+    std::env::var("RB_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(requested)
+        .max(1)
+}
+
+/// Wall-clock timings of one benchmarked closure, in milliseconds.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    pub name: String,
+    /// Number of timed samples actually taken.
+    pub samples: usize,
+    summary: Summary,
+}
+
+impl BenchStats {
+    pub fn min_ms(&self) -> f64 {
+        self.summary.min()
+    }
+    pub fn median_ms(&self) -> f64 {
+        self.summary.median()
+    }
+    pub fn mean_ms(&self) -> f64 {
+        self.summary.mean()
+    }
+    pub fn max_ms(&self) -> f64 {
+        self.summary.max()
+    }
+
+    /// The single greppable line the bench binaries print.
+    pub fn render(&self) -> String {
+        format!(
+            "bench {:<40} min {:>10.3} ms   median {:>10.3} ms   mean {:>10.3} ms   max {:>10.3} ms",
+            self.name,
+            self.min_ms(),
+            self.median_ms(),
+            self.mean_ms(),
+            self.max_ms()
+        )
+    }
+}
+
 /// A tiny self-contained benchmark runner (offline stand-in for Criterion):
-/// warms up, takes `samples` timed runs of the closure, and prints
-/// min/median/max wall-clock times in a stable, greppable format.
-pub fn bench<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) {
+/// warms up, takes `samples` timed runs of the closure (clamped to ≥ 1 and
+/// overridable via `RB_BENCH_SAMPLES`), and returns the timings.
+pub fn bench_stats<T>(name: &str, samples: usize, mut f: impl FnMut() -> T) -> BenchStats {
     use std::time::Instant;
+    let samples = effective_samples(samples);
     // One warm-up run, untimed.
     std::hint::black_box(f());
-    let mut times: Vec<f64> = (0..samples.max(1))
+    let times: Vec<f64> = (0..samples)
         .map(|_| {
             let t0 = Instant::now();
             std::hint::black_box(f());
             t0.elapsed().as_secs_f64() * 1e3
         })
         .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    let min = times[0];
-    let median = times[times.len() / 2];
-    let max = times[times.len() - 1];
-    println!("bench {name:<40} min {min:>10.3} ms   median {median:>10.3} ms   max {max:>10.3} ms");
+    BenchStats {
+        name: name.to_string(),
+        samples,
+        summary: Summary::from_samples(times),
+    }
+}
+
+/// Run a benchmark and print its min/median/mean/max line.
+pub fn bench<T>(name: &str, samples: usize, f: impl FnMut() -> T) {
+    println!("{}", bench_stats(name, samples, f).render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_samples_is_clamped() {
+        // Regression: `samples == 0` used to index an empty vec.
+        let s = bench_stats("clamp", 0, || 1 + 1);
+        assert_eq!(s.samples.max(1), s.samples);
+        assert!(s.samples >= 1);
+        assert!(s.median_ms() >= 0.0);
+        assert!(s.mean_ms() >= 0.0);
+    }
+
+    #[test]
+    fn stats_are_ordered() {
+        let s = bench_stats("order", 5, || std::hint::black_box(42u64).pow(3));
+        assert!(s.min_ms() <= s.median_ms());
+        assert!(s.median_ms() <= s.max_ms());
+        assert!(s.min_ms() <= s.mean_ms() && s.mean_ms() <= s.max_ms());
+        assert!(s.render().contains("mean"));
+    }
 }

@@ -1,0 +1,268 @@
+//! Machine-readable benchmark reports (`BENCH_kernel.json`,
+//! `BENCH_table2.json`).
+//!
+//! Each scenario is a deterministic closure from a seed to a finished
+//! simulation; the harness fans independent repetitions across OS threads
+//! (`std::thread::scope`), one `SimRng`-seeded world per rep, and reduces
+//! wall-clock timings plus kernel event counters into min/median/mean/max
+//! summaries. The JSON artifacts give the perf trajectory a baseline: CI
+//! re-runs them in reduced-sample mode and the regression guard compares
+//! median events/sec against a committed reference.
+
+use crate::json::Json;
+use rb_simcore::{QueueStats, Summary};
+use std::time::Instant;
+
+/// What one repetition of a scenario produced (wall time is measured by the
+/// harness around the call).
+#[derive(Debug, Clone, Copy)]
+pub struct RepOutcome {
+    /// Kernel events dispatched during the rep.
+    pub queue: QueueStats,
+    /// Virtual seconds the scenario simulated.
+    pub sim_seconds: f64,
+}
+
+/// A named deterministic scenario: seed in, finished run out.
+pub struct Scenario {
+    pub name: String,
+    pub run: Box<dyn Fn(u64) -> RepOutcome + Sync>,
+}
+
+impl Scenario {
+    pub fn new(name: impl Into<String>, run: impl Fn(u64) -> RepOutcome + Sync + 'static) -> Self {
+        Scenario {
+            name: name.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Reduced measurements of one scenario across reps.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    pub name: String,
+    pub reps: usize,
+    pub wall_ms: Summary,
+    pub events_per_sec: Summary,
+    /// Dispatched events in the first rep (deterministic per seed).
+    pub events_dispatched: u64,
+    pub peak_queue_depth: usize,
+    pub sim_seconds: f64,
+}
+
+/// Run `reps` independent repetitions of a scenario, fanned across up to
+/// `available_parallelism` threads. Rep `i` runs with seed `base_seed + i`,
+/// so every rep is an independent deterministic `SimRng` stream and the
+/// fan-out cannot perturb simulation results — only wall clocks differ.
+pub fn run_scenario(scenario: &Scenario, base_seed: u64, reps: usize) -> ScenarioReport {
+    let reps = reps.max(1);
+    let lanes = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reps);
+    let mut outcomes: Vec<Option<(f64, RepOutcome)>> = Vec::new();
+    outcomes.resize_with(reps, || None);
+
+    // Warm-up rep (untimed): faults in code paths and allocators.
+    let _ = (scenario.run)(base_seed);
+
+    std::thread::scope(|scope| {
+        for (lane, chunk) in outcomes.chunks_mut(reps.div_ceil(lanes)).enumerate() {
+            let run = &scenario.run;
+            let first_rep = lane * reps.div_ceil(lanes);
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    let seed = base_seed + (first_rep + i) as u64;
+                    let t0 = Instant::now();
+                    let outcome = run(seed);
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    *slot = Some((wall_ms, outcome));
+                }
+            });
+        }
+    });
+
+    let measured: Vec<(f64, RepOutcome)> =
+        outcomes.into_iter().map(|o| o.expect("rep ran")).collect();
+    let wall_ms = Summary::from_samples(measured.iter().map(|(w, _)| *w).collect());
+    let events_per_sec = Summary::from_samples(
+        measured
+            .iter()
+            .map(|(w, o)| o.queue.dispatched as f64 / (w / 1e3).max(1e-9))
+            .collect(),
+    );
+    let first = measured[0].1;
+    ScenarioReport {
+        name: scenario.name.clone(),
+        reps,
+        wall_ms,
+        events_per_sec,
+        events_dispatched: first.queue.dispatched,
+        peak_queue_depth: measured
+            .iter()
+            .map(|(_, o)| o.queue.peak_depth)
+            .max()
+            .unwrap_or(0),
+        sim_seconds: first.sim_seconds,
+    }
+}
+
+fn summary_json(s: &Summary) -> Json {
+    Json::obj()
+        .set("min", s.min())
+        .set("median", s.median())
+        .set("mean", s.mean())
+        .set("max", s.max())
+}
+
+/// One scenario as a JSON object.
+pub fn scenario_json(r: &ScenarioReport) -> Json {
+    Json::obj()
+        .set("name", r.name.as_str())
+        .set("reps", r.reps)
+        .set("wall_ms", summary_json(&r.wall_ms))
+        .set("events_per_sec", summary_json(&r.events_per_sec))
+        .set("events_dispatched", r.events_dispatched)
+        .set("peak_queue_depth", r.peak_queue_depth)
+        .set("sim_seconds", r.sim_seconds)
+}
+
+/// Assemble a whole report document.
+pub fn report_json(schema: &str, reps: usize, scenarios: &[ScenarioReport]) -> Json {
+    Json::obj()
+        .set("schema", schema)
+        .set("generated_by", "rb-bench bench_report")
+        .set("reps", reps)
+        .set(
+            "scenarios",
+            Json::Arr(scenarios.iter().map(scenario_json).collect()),
+        )
+}
+
+/// A human-readable one-liner per scenario (printed alongside the JSON).
+pub fn render_scenario_line(r: &ScenarioReport) -> String {
+    format!(
+        "scenario {:<44} wall median {:>9.3} ms   events/sec median {:>12.0}   events {:>9}   peak depth {:>6}",
+        r.name,
+        r.wall_ms.median(),
+        r.events_per_sec.median(),
+        r.events_dispatched,
+        r.peak_queue_depth
+    )
+}
+
+/// Compare a freshly generated report against a baseline document: every
+/// scenario present in both must keep `median events/sec >= min_ratio ×
+/// baseline`. Returns human-readable comparison lines, or the violations.
+pub fn check_against_baseline(
+    current: &Json,
+    baseline: &Json,
+    min_ratio: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut lines = Vec::new();
+    let mut violations = Vec::new();
+    let empty: Vec<Json> = Vec::new();
+    let base_scenarios = baseline
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    for cur in current
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+    {
+        let Some(name) = cur.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base) = base_scenarios
+            .iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+        else {
+            lines.push(format!("{name}: no baseline entry (new scenario)"));
+            continue;
+        };
+        let (Some(cur_eps), Some(base_eps)) = (
+            cur.path("events_per_sec.median").and_then(Json::as_f64),
+            base.path("events_per_sec.median").and_then(Json::as_f64),
+        ) else {
+            violations.push(format!("{name}: missing events_per_sec.median"));
+            continue;
+        };
+        let ratio = cur_eps / base_eps.max(1e-9);
+        let line =
+            format!("{name}: {cur_eps:.0} vs baseline {base_eps:.0} events/sec ({ratio:.2}x)");
+        if ratio < min_ratio {
+            violations.push(format!("{line} < required {min_ratio:.2}x"));
+        } else {
+            lines.push(line);
+        }
+    }
+    if violations.is_empty() {
+        Ok(lines)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(name: &str, eps: f64) -> Json {
+        Json::obj()
+            .set("name", name)
+            .set("events_per_sec", Json::obj().set("median", eps))
+    }
+
+    fn doc(scenarios: Vec<Json>) -> Json {
+        Json::obj().set("scenarios", Json::Arr(scenarios))
+    }
+
+    #[test]
+    fn scenario_reps_fan_out_deterministically() {
+        let s = Scenario::new("spin", |seed| {
+            let mut rng = rb_simcore::SimRng::seeded(seed);
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(rng.uniform_u64(0, 1 << 40));
+            }
+            std::hint::black_box(acc);
+            RepOutcome {
+                queue: QueueStats {
+                    scheduled: 10_000,
+                    dispatched: 10_000,
+                    peak_depth: 7,
+                    depth: 0,
+                },
+                sim_seconds: 1.0,
+            }
+        });
+        let r = run_scenario(&s, 1, 4);
+        assert_eq!(r.reps, 4);
+        assert_eq!(r.events_dispatched, 10_000);
+        assert_eq!(r.peak_queue_depth, 7);
+        assert!(r.events_per_sec.median() > 0.0);
+        let j = scenario_json(&r);
+        assert_eq!(j.get("name").unwrap().as_str(), Some("spin"));
+    }
+
+    #[test]
+    fn baseline_guard_flags_regressions() {
+        let base = doc(vec![fake("a", 1000.0), fake("b", 1000.0)]);
+        let good = doc(vec![fake("a", 2000.0), fake("b", 990.0)]);
+        assert!(check_against_baseline(&good, &base, 0.9).is_ok());
+        let bad = doc(vec![fake("a", 400.0)]);
+        let err = check_against_baseline(&bad, &base, 0.9).unwrap_err();
+        assert_eq!(err.len(), 1);
+        assert!(err[0].contains("0.40x"));
+    }
+
+    #[test]
+    fn new_scenarios_pass_without_baseline() {
+        let base = doc(vec![]);
+        let cur = doc(vec![fake("fresh", 10.0)]);
+        let lines = check_against_baseline(&cur, &base, 1.0).unwrap();
+        assert!(lines[0].contains("no baseline entry"));
+    }
+}

@@ -16,7 +16,7 @@ pub mod time;
 pub mod trace;
 
 pub use metrics::{Histogram, Series, Summary};
-pub use queue::EventQueue;
+pub use queue::{EventQueue, QueueStats};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};
 pub use trace::{parse_rendered, TraceEvent, TraceRecorder};

@@ -34,6 +34,23 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Counters describing how hard the event queue worked during a run.
+///
+/// `scheduled`/`dispatched` are lifetime totals; `peak_depth` is the largest
+/// number of simultaneously pending events, the figure long utilization
+/// sweeps watch to confirm the kernel stays flat as load grows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events pushed over the queue's lifetime.
+    pub scheduled: u64,
+    /// Events popped over the queue's lifetime.
+    pub dispatched: u64,
+    /// Maximum simultaneous pending events.
+    pub peak_depth: usize,
+    /// Currently pending events.
+    pub depth: usize,
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// Events pop in non-decreasing time order; events at equal times pop in the
@@ -43,6 +60,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     popped: u64,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -57,6 +75,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             popped: 0,
+            peak: 0,
         }
     }
 
@@ -65,6 +84,9 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        if self.heap.len() > self.peak {
+            self.peak = self.heap.len();
+        }
     }
 
     /// Remove and return the earliest event.
@@ -95,6 +117,21 @@ impl<E> EventQueue<E> {
     /// Total number of events dispatched so far.
     pub fn popped_total(&self) -> u64 {
         self.popped
+    }
+
+    /// Largest number of simultaneously pending events so far.
+    pub fn peak_depth(&self) -> usize {
+        self.peak
+    }
+
+    /// Snapshot of the queue's work counters.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.seq,
+            dispatched: self.popped,
+            peak_depth: self.peak,
+            depth: self.len(),
+        }
     }
 }
 

@@ -275,6 +275,11 @@ impl World {
         &self.cost
     }
 
+    /// Work counters of the kernel's event queue (throughput reporting).
+    pub fn kernel_stats(&self) -> rb_simcore::QueueStats {
+        self.queue.stats()
+    }
+
     pub fn machine_count(&self) -> usize {
         self.machines.len()
     }

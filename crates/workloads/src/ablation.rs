@@ -103,6 +103,7 @@ fn utilization_with(policy: Box<dyn Policy>, hours: f64, seed: u64) -> Utilizati
         seq_jobs_completed: completed,
         seq_jobs_failed: failed,
         simulated_hours: hours,
+        queue: c.world.kernel_stats(),
     }
 }
 

@@ -28,8 +28,17 @@ fn occupied(seed: u64) -> Cluster {
     c
 }
 
+/// One measured reallocation run: the paper's simulated-seconds metric plus
+/// the kernel's event-queue counters (for the `bench_report` throughput
+/// baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    pub elapsed_secs: f64,
+    pub queue: rb_simcore::QueueStats,
+}
+
 /// Plain rsh onto the occupied n02: no reallocation, CPU is shared.
-fn plain_onto_occupied(seed: u64, cmd: CommandSpec) -> f64 {
+pub fn plain_onto_occupied(seed: u64, cmd: CommandSpec) -> RunOutcome {
     let mut c = occupied(seed);
     let out = slot::<ExecOutcome>();
     let p = c.world.spawn_user(
@@ -41,11 +50,14 @@ fn plain_onto_occupied(seed: u64, cmd: CommandSpec) -> f64 {
     c.world.run_until_pred(limit, |w| !w.alive(p));
     let outcome = out.borrow().clone().expect("rsh completed");
     assert!(outcome.result.is_ok(), "{outcome:?}");
-    outcome.elapsed_secs()
+    RunOutcome {
+        elapsed_secs: outcome.elapsed_secs(),
+        queue: c.world.kernel_stats(),
+    }
 }
 
 /// rsh' anylinux: the broker clears a machine first.
-fn prime_with_realloc(seed: u64, cmd: CommandSpec) -> f64 {
+pub fn prime_with_realloc(seed: u64, cmd: CommandSpec) -> RunOutcome {
     let mut c = occupied(seed);
     let t0 = c.world.now();
     let appl = c.submit(
@@ -62,7 +74,17 @@ fn prime_with_realloc(seed: u64, cmd: CommandSpec) -> f64 {
     let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
     let status = c.await_appl(appl, limit).expect("appl finished");
     assert!(status.is_success(), "{status}");
-    (c.world.now() - t0).as_secs_f64()
+    RunOutcome {
+        elapsed_secs: (c.world.now() - t0).as_secs_f64(),
+        queue: c.world.kernel_stats(),
+    }
+}
+
+/// The loop command used by Table 2's compute-bound rows.
+pub fn loop_cmd() -> CommandSpec {
+    CommandSpec::Loop {
+        cpu_millis: LOOP_MILLIS,
+    }
 }
 
 fn median(samples: Vec<f64>) -> f64 {
@@ -74,25 +96,38 @@ pub fn run(reps: usize) -> Vec<Row> {
     assert!(reps > 0);
     let seeds = || (0..reps as u64).map(|i| 2000 + i);
     let null = || CommandSpec::Null;
-    let lp = || CommandSpec::Loop {
-        cpu_millis: LOOP_MILLIS,
-    };
     vec![
         Row::new(
             "rsh n02 null",
-            median(seeds().map(|s| plain_onto_occupied(s, null())).collect()),
+            median(
+                seeds()
+                    .map(|s| plain_onto_occupied(s, null()).elapsed_secs)
+                    .collect(),
+            ),
         ),
         Row::new(
             "rsh' anylinux null",
-            median(seeds().map(|s| prime_with_realloc(s, null())).collect()),
+            median(
+                seeds()
+                    .map(|s| prime_with_realloc(s, null()).elapsed_secs)
+                    .collect(),
+            ),
         ),
         Row::new(
             "rsh n02 loop",
-            median(seeds().map(|s| plain_onto_occupied(s, lp())).collect()),
+            median(
+                seeds()
+                    .map(|s| plain_onto_occupied(s, loop_cmd()).elapsed_secs)
+                    .collect(),
+            ),
         ),
         Row::new(
             "rsh' anylinux loop",
-            median(seeds().map(|s| prime_with_realloc(s, lp())).collect()),
+            median(
+                seeds()
+                    .map(|s| prime_with_realloc(s, loop_cmd()).elapsed_secs)
+                    .collect(),
+            ),
         ),
     ]
 }

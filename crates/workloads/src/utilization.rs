@@ -51,6 +51,8 @@ pub struct UtilizationReport {
     pub seq_jobs_completed: usize,
     pub seq_jobs_failed: usize,
     pub simulated_hours: f64,
+    /// Event-queue work counters for the whole run (kernel throughput).
+    pub queue: rb_simcore::QueueStats,
 }
 
 /// Run the experiment, sampling cluster-wide allocation once a minute.
@@ -187,6 +189,7 @@ fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_
             seq_jobs_completed: completed,
             seq_jobs_failed: failed,
             simulated_hours: measured.as_secs_f64() / 3600.0,
+            queue: c.world.kernel_stats(),
         },
         series,
     )
