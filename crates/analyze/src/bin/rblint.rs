@@ -74,6 +74,11 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        // Echo `#` header lines (e.g. the kernel's queue counters written
+        // by `World::render_trace_with_stats`) before the lint summary.
+        for line in text.lines().filter(|l| l.starts_with('#')) {
+            emit(&format!("{f}: {line}\n"));
+        }
         let events = match rb_simcore::parse_rendered(&text) {
             Ok(ev) => ev,
             Err(e) => {

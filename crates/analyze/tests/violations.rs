@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 fn ev(ms: u64, topic: &str, detail: &str) -> TraceEvent {
     TraceEvent {
         at: SimTime(ms * 1_000),
-        topic: topic.to_string(),
+        topic: topic.to_string().into(),
         detail: detail.to_string(),
     }
 }

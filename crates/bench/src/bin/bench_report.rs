@@ -22,15 +22,20 @@ use rb_bench::json::Json;
 use rb_bench::report::{
     check_against_baseline, render_scenario_line, report_json, run_scenario, RepOutcome, Scenario,
 };
-use rb_simcore::{EventQueue, SimTime};
+use rb_simcore::{EventQueue, QueueKind, SimTime};
 use rb_workloads::table2;
 use rb_workloads::utilization::{run as run_utilization, UtilizationConfig};
 use std::process::ExitCode;
 
-/// Pure event-queue churn: push/pop `n` pseudo-shuffled events.
-fn queue_scenario(n: u64) -> Scenario {
-    Scenario::new(format!("kernel.event_queue.push_pop_{n}"), move |seed| {
-        let mut q = EventQueue::new();
+/// Pure event-queue churn: push/pop `n` pseudo-shuffled events. The heap
+/// variant keeps the pre-change scenario name so baselines stay comparable.
+fn queue_scenario(kind: QueueKind, n: u64) -> Scenario {
+    let name = match kind {
+        QueueKind::Heap => format!("kernel.event_queue.push_pop_{n}"),
+        QueueKind::Wheel => format!("kernel.event_queue.wheel.push_pop_{n}"),
+    };
+    Scenario::new(name, move |seed| {
+        let mut q = EventQueue::with_kind(kind);
         for i in 0..n {
             q.push(
                 SimTime((i.wrapping_mul(2_654_435_761) ^ seed) % 1_000_000),
@@ -63,11 +68,16 @@ fn table2_scenario(name: &str, plain: bool) -> Scenario {
     })
 }
 
-fn utilization_scenario(hours: f64) -> Scenario {
-    Scenario::new(format!("utilization.{hours:.0}h"), move |seed| {
+fn utilization_scenario(kind: QueueKind, hours: f64) -> Scenario {
+    let name = match kind {
+        QueueKind::Heap => format!("utilization.{hours:.0}h"),
+        QueueKind::Wheel => format!("utilization.{hours:.0}h.wheel"),
+    };
+    Scenario::new(name, move |seed| {
         let report = run_utilization(&UtilizationConfig {
             hours,
             seed,
+            scheduler: kind,
             ..Default::default()
         });
         RepOutcome {
@@ -96,10 +106,12 @@ fn main() -> ExitCode {
 
     // ---- BENCH_kernel.json -------------------------------------------
     let scenarios = vec![
-        queue_scenario(100_000),
+        queue_scenario(QueueKind::Heap, 100_000),
+        queue_scenario(QueueKind::Wheel, 100_000),
         table2_scenario("table2.plain_loop", true),
         table2_scenario("table2.realloc_loop", false),
-        utilization_scenario(1.0),
+        utilization_scenario(QueueKind::Heap, 1.0),
+        utilization_scenario(QueueKind::Wheel, 1.0),
     ];
     let mut reports = Vec::new();
     for s in &scenarios {

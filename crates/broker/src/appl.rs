@@ -25,8 +25,8 @@ use rb_proto::{
     ApplMsg, BrokerMsg, CommandSpec, ExitStatus, GrowId, HostSpec, JobId, MachineId, Payload,
     ProcId, RshError, RshHandle, SymbolicHost, TimerToken,
 };
+use rb_simcore::FxHashMap;
 use rb_simnet::{Behavior, Ctx, ProcEnv, RshBinding};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Factory producing a fresh job-root behavior (what a `start_script`
@@ -104,7 +104,7 @@ impl Grow {
 pub struct Appl {
     broker: ProcId,
     rsl: String,
-    user: String,
+    user: std::sync::Arc<str>,
     run: Option<JobRun>,
     modules: Arc<ModuleRegistry>,
     spec: Option<rb_rsl::JobSpec>,
@@ -112,23 +112,23 @@ pub struct Appl {
     root: Option<ProcId>,
     /// Restart factory + remaining budget, for `JobRun::Script` jobs.
     restart: Option<(RootScript, u32)>,
-    grows: HashMap<GrowId, Grow>,
+    grows: FxHashMap<GrowId, Grow>,
     next_grow: u64,
     /// standard-rsh handles (sub-appl spawns) -> grow.
-    by_handle: HashMap<RshHandle, GrowId>,
+    by_handle: FxHashMap<RshHandle, GrowId>,
     /// module grows awaiting the job's second rsh, keyed by host name.
-    pending_named: HashMap<String, GrowId>,
+    pending_named: FxHashMap<String, GrowId>,
     /// machines currently held, for release routing.
-    by_machine: HashMap<MachineId, GrowId>,
+    by_machine: FxHashMap<MachineId, GrowId>,
     /// module-shrink backstop timers.
-    shrink_timers: HashMap<TimerToken, MachineId>,
+    shrink_timers: FxHashMap<TimerToken, MachineId>,
     /// Hard deadline per release: if the sub-appl never reports back (its
     /// machine may have crashed), the machine is reported freed anyway so
     /// the broker's pool is never wedged on a dead box.
-    release_deadlines: HashMap<TimerToken, MachineId>,
+    release_deadlines: FxHashMap<TimerToken, MachineId>,
     /// timers bounding how long a module grant may wait for the job's
     /// second (named) rsh before the machine is handed back.
-    named_timers: HashMap<TimerToken, String>,
+    named_timers: FxHashMap<TimerToken, String>,
     /// Module grows run one at a time per job: the real `xxx_grow` scripts
     /// share a single `$HOME/.pvmrc`, so concurrent runs would clobber it.
     module_queue: std::collections::VecDeque<(GrowId, String)>,
@@ -145,21 +145,21 @@ impl Appl {
         Appl {
             broker,
             rsl: req.rsl,
-            user: req.user,
+            user: req.user.into(),
             run: Some(req.run),
             modules,
             spec: None,
             job: None,
             root: None,
             restart: None,
-            grows: HashMap::new(),
+            grows: FxHashMap::default(),
             next_grow: 1,
-            by_handle: HashMap::new(),
-            pending_named: HashMap::new(),
-            by_machine: HashMap::new(),
-            shrink_timers: HashMap::new(),
-            release_deadlines: HashMap::new(),
-            named_timers: HashMap::new(),
+            by_handle: FxHashMap::default(),
+            pending_named: FxHashMap::default(),
+            by_machine: FxHashMap::default(),
+            shrink_timers: FxHashMap::default(),
+            release_deadlines: FxHashMap::default(),
+            named_timers: FxHashMap::default(),
             module_queue: std::collections::VecDeque::new(),
             module_active: None,
             offer_cooldown_until: None,
@@ -297,7 +297,7 @@ impl Appl {
         if let Some(job) = self.job {
             ctx.send(self.broker, Payload::Broker(BrokerMsg::JobDone { job }));
         }
-        ctx.trace("appl.done", format!("{status}"));
+        ctx.trace("appl.done", format_args!("{status}"));
         ctx.exit(status);
     }
 
@@ -325,7 +325,7 @@ impl Appl {
                     // The job's rsh fails now; the allocation proceeds in
                     // the background and the module will coerce a second,
                     // named rsh.
-                    ctx.trace("appl.module.phase1", format!("{sym} {}", cmd.name()));
+                    ctx.trace("appl.module.phase1", format_args!("{sym} {}", cmd.name()));
                     ctx.send(
                         rshp,
                         Payload::Appl(ApplMsg::RshOutcome {
@@ -336,7 +336,10 @@ impl Appl {
                     self.request_alloc(ctx, grow, sym);
                 } else {
                     // ---- default path: redirect ----
-                    ctx.trace("appl.default.redirect", format!("{sym} {}", cmd.name()));
+                    ctx.trace(
+                        "appl.default.redirect",
+                        format_args!("{sym} {}", cmd.name()),
+                    );
                     let grow = self.fresh_grow(GrowKind::Default);
                     if let Some(g) = self.grows.get_mut(&grow) {
                         g.rshp = Some(rshp);
@@ -402,7 +405,7 @@ impl Behavior for Appl {
             Payload::Broker(BrokerMsg::RegisterJob {
                 appl: me,
                 rsl: self.rsl.clone(),
-                user: self.user.clone(),
+                user: self.user.to_string(),
                 home,
             }),
             startup,
@@ -414,7 +417,7 @@ impl Behavior for Appl {
             // ---------------- broker ----------------
             Payload::Broker(BrokerMsg::JobAccepted { job }) => {
                 self.job = Some(job);
-                ctx.trace("appl.job", format!("{job}"));
+                ctx.trace("appl.job", format_args!("{job}"));
                 match self.run.take() {
                     Some(JobRun::Remote { host, cmd }) => {
                         let grow = self.fresh_grow(GrowKind::Remote);
@@ -438,7 +441,7 @@ impl Behavior for Appl {
                     }
                     Some(JobRun::Root(behavior)) => {
                         let root = self.spawn_root(ctx, job, behavior);
-                        ctx.trace("appl.root", format!("{root}"));
+                        ctx.trace("appl.root", format_args!("{root}"));
                     }
                     Some(JobRun::Script {
                         mut make,
@@ -447,7 +450,7 @@ impl Behavior for Appl {
                         let behavior = make();
                         self.restart = Some((make, max_restarts));
                         let root = self.spawn_root(ctx, job, behavior);
-                        ctx.trace("appl.root", format!("{root} (restartable)"));
+                        ctx.trace("appl.root", format_args!("{root} (restartable)"));
                     }
                     None => {}
                 }
@@ -608,7 +611,7 @@ impl Behavior for Appl {
                     // backstop.
                     let machine = g.machine;
                     self.shrink_timers.retain(|_, m| Some(*m) != machine);
-                    ctx.trace("appl.shrink.done", format!("{grow}"));
+                    ctx.trace("appl.shrink.done", format_args!("{grow}"));
                     self.free_machine(ctx, grow);
                     self.grows.remove(&grow);
                     self.module_grow_done(ctx, grow);
@@ -656,7 +659,7 @@ impl Behavior for Appl {
         if matches!(result, Ok(ExitStatus::Success)) {
             return;
         }
-        ctx.trace("appl.subappl.failed", format!("{grow}: {result:?}"));
+        ctx.trace("appl.subappl.failed", format_args!("{grow}: {result:?}"));
         let kind = self.grows.get(&grow).map(|g| g.kind);
         let machine = self.grows.get(&grow).and_then(|g| g.machine);
         self.free_machine(ctx, grow);
@@ -687,7 +690,7 @@ impl Behavior for Appl {
                         Payload::Broker(BrokerMsg::MachineUnreachable { machine }),
                     );
                 }
-                ctx.trace("appl.alloc.retry", format!("{grow}"));
+                ctx.trace("appl.alloc.retry", format_args!("{grow}"));
                 self.request_alloc(ctx, grow, rb_proto::SymbolicHost::Any);
                 return;
             }
@@ -705,7 +708,7 @@ impl Behavior for Appl {
         // declare the machine freed so the broker can move on.
         if let Some(machine) = self.release_deadlines.remove(&token) {
             if let Some(&grow) = self.by_machine.get(&machine) {
-                ctx.trace("appl.release.timeout", format!("{machine}"));
+                ctx.trace("appl.release.timeout", format_args!("{machine}"));
                 self.free_machine(ctx, grow);
                 self.grows.remove(&grow);
                 self.module_grow_done(ctx, grow);
@@ -728,7 +731,7 @@ impl Behavior for Appl {
         // off the machine, fall back to the sub-appl's signal path.
         if let Some(machine) = self.shrink_timers.remove(&token) {
             if let Some(&grow) = self.by_machine.get(&machine) {
-                ctx.trace("appl.shrink.backstop", format!("{machine}"));
+                ctx.trace("appl.shrink.backstop", format_args!("{machine}"));
                 if let Some(g) = self.grows.get(&grow) {
                     if let Some(sub) = g.subappl {
                         ctx.send(sub, Payload::Appl(ApplMsg::ReleaseChild));
@@ -749,7 +752,7 @@ impl Behavior for Appl {
                         let behavior = make();
                         let job = self.job.expect("registered");
                         let root = self.spawn_root(ctx, job, behavior);
-                        ctx.trace("appl.restart", format!("{root} after {status}"));
+                        ctx.trace("appl.restart", format_args!("{root} after {status}"));
                         return;
                     }
                 }

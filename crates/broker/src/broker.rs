@@ -14,9 +14,9 @@ use rb_proto::{
     BrokerMsg, CommandSpec, ExitStatus, GrowId, JobId, MachineId, Payload, ProcId, RshError,
     RshHandle, TimerToken,
 };
+use rb_simcore::FxHashMap;
 use rb_simcore::SimTime;
 use rb_simnet::{Behavior, Ctx};
-use std::collections::HashMap;
 
 /// Broker configuration.
 pub struct BrokerConfig {
@@ -84,17 +84,17 @@ enum ReclaimFor {
 /// The broker behavior.
 pub struct Broker {
     cfg: BrokerConfig,
-    machines: HashMap<MachineId, MachInfo>,
-    jobs: HashMap<JobId, JobInfo>,
+    machines: FxHashMap<MachineId, MachInfo>,
+    jobs: FxHashMap<JobId, JobInfo>,
     next_job: u32,
     /// machine being vacated -> beneficiary.
-    reclaims: HashMap<MachineId, ReclaimFor>,
+    reclaims: FxHashMap<MachineId, ReclaimFor>,
     /// reservation timers: token -> machine.
-    reservation_timers: HashMap<TimerToken, MachineId>,
+    reservation_timers: FxHashMap<TimerToken, MachineId>,
     /// FIFO queue of batch-job allocation requests waiting for capacity.
     queue: std::collections::VecDeque<QueuedAlloc>,
     tick_timer: Option<TimerToken>,
-    daemon_rsh: HashMap<RshHandle, MachineId>,
+    daemon_rsh: FxHashMap<RshHandle, MachineId>,
 }
 
 #[derive(Debug, Clone)]
@@ -108,14 +108,14 @@ impl Broker {
     pub fn new(cfg: BrokerConfig) -> Self {
         Broker {
             cfg,
-            machines: HashMap::new(),
-            jobs: HashMap::new(),
+            machines: FxHashMap::default(),
+            jobs: FxHashMap::default(),
             next_job: 1,
-            reclaims: HashMap::new(),
-            reservation_timers: HashMap::new(),
+            reclaims: FxHashMap::default(),
+            reservation_timers: FxHashMap::default(),
             queue: std::collections::VecDeque::new(),
             tick_timer: None,
-            daemon_rsh: HashMap::new(),
+            daemon_rsh: FxHashMap::default(),
         }
     }
 
@@ -126,7 +126,7 @@ impl Broker {
             .iter()
             .map(|(&id, info)| MachineView {
                 id,
-                attrs: ctx.attrs_of(id),
+                attrs: ctx.attrs_of(id).clone(),
                 state: info.usage,
                 // Effective presence: logged in, or recent console
                 // activity on a private machine.
@@ -144,8 +144,8 @@ impl Broker {
     /// requester it is destined for. Without this, a burst of concurrent
     /// grow requests all see the victim's stale count and strip it bare —
     /// the even partition the policy promises would never materialize.
-    fn effective_held(&self) -> HashMap<JobId, i64> {
-        let mut held: HashMap<JobId, i64> = self
+    fn effective_held(&self) -> FxHashMap<JobId, i64> {
+        let mut held: FxHashMap<JobId, i64> = self
             .jobs
             .iter()
             .map(|(&job, info)| (job, info.held.len() as i64))
@@ -182,7 +182,7 @@ impl Broker {
     }
 
     fn grant(&mut self, ctx: &mut Ctx<'_>, job: JobId, grow: GrowId, machine: MachineId) {
-        let hostname = ctx.attrs_of(machine).hostname;
+        let hostname = ctx.hostname_of(machine);
         let Some(info) = self.jobs.get_mut(&job) else {
             // Requester vanished while we worked: machine stays free.
             self.set_usage(ctx, machine, MachineUse::Free);
@@ -192,13 +192,13 @@ impl Broker {
         let adaptive = info.adaptive;
         let appl = info.appl;
         self.set_usage(ctx, machine, MachineUse::Allocated { job, adaptive });
-        ctx.trace("broker.grant", format!("{hostname} -> {job} ({grow})"));
+        ctx.trace("broker.grant", format_args!("{hostname} -> {job} ({grow})"));
         ctx.send(
             appl,
             Payload::Broker(BrokerMsg::AllocGrant {
                 grow,
                 machine,
-                hostname,
+                hostname: hostname.to_string(),
             }),
         );
     }
@@ -223,8 +223,8 @@ impl Broker {
         let appl = vinfo.appl;
         self.set_usage(ctx, machine, MachineUse::Reclaiming);
         self.reclaims.insert(machine, why);
-        let host = ctx.attrs_of(machine).hostname;
-        ctx.trace("broker.reclaim", format!("{host} from {victim}"));
+        let host = ctx.hostname_of(machine);
+        ctx.trace("broker.reclaim", format_args!("{host} from {victim}"));
         ctx.send(appl, Payload::Broker(BrokerMsg::ReleaseMachine { machine }));
     }
 
@@ -251,7 +251,7 @@ impl Broker {
         self.set_usage(ctx, machine, MachineUse::Free);
         let view = MachineView {
             id: machine,
-            attrs: ctx.attrs_of(machine),
+            attrs: ctx.attrs_of(machine).clone(),
             state: MachineUse::Free,
             owner_present: false,
             load: self.machines[&machine].load,
@@ -267,7 +267,7 @@ impl Broker {
                 // a machine.
                 let token = ctx.set_timer(rb_simcore::Duration::from_secs(30));
                 self.reservation_timers.insert(token, machine);
-                ctx.trace("broker.offer", format!("{hostname} -> {job}"));
+                ctx.trace("broker.offer", format_args!("{hostname} -> {job}"));
                 ctx.send(
                     appl,
                     Payload::Broker(BrokerMsg::GrowOffer { machine, hostname }),
@@ -277,7 +277,7 @@ impl Broker {
     }
 
     fn spawn_daemon(&mut self, ctx: &mut Ctx<'_>, machine: MachineId) {
-        let hostname = ctx.attrs_of(machine).hostname;
+        let hostname = ctx.hostname_of(machine);
         let me = ctx.me();
         let handle = ctx.rsh_standard(&hostname, CommandSpec::RbDaemon { broker: me });
         self.daemon_rsh.insert(handle, machine);
@@ -328,7 +328,7 @@ impl Broker {
                 if self.cfg.queue_batch_jobs && !req.adaptive {
                     // Batch jobs wait their turn instead of failing; the
                     // user can see them with the query tool.
-                    ctx.trace("broker.queued", format!("{job} ({grow})"));
+                    ctx.trace("broker.queued", format_args!("{job} ({grow})"));
                     let entry = QueuedAlloc {
                         job,
                         grow,
@@ -340,7 +340,7 @@ impl Broker {
                         self.queue.push_front(entry);
                     }
                 } else {
-                    ctx.trace("broker.deny", format!("{job} ({grow}): {reason}"));
+                    ctx.trace("broker.deny", format_args!("{job} ({grow}): {reason}"));
                     ctx.send(
                         appl,
                         Payload::Broker(BrokerMsg::AllocDenied { grow, reason }),
@@ -381,7 +381,7 @@ impl Broker {
                 MachineUse::Allocated { job, adaptive }
                     if adaptive && self.cfg.policy.evict_on_owner_return() =>
                 {
-                    ctx.trace("broker.evict.owner", format!("{machine} from {job}"));
+                    ctx.trace("broker.evict.owner", format_args!("{machine} from {job}"));
                     self.start_reclaim(ctx, job, machine, ReclaimFor::Owner);
                 }
                 MachineUse::Free | MachineUse::Reserved { .. } => {
@@ -390,7 +390,7 @@ impl Broker {
                 _ => {}
             }
         } else if matches!(usage, MachineUse::OwnerHeld) {
-            ctx.trace("broker.owner.left", format!("{machine}"));
+            ctx.trace("broker.owner.left", format_args!("{machine}"));
             self.offer_or_idle(ctx, machine);
         }
     }
@@ -453,7 +453,10 @@ impl Behavior for Broker {
                 },
             );
         }
-        ctx.trace("broker.up", format!("{} machines", self.machines.len()));
+        ctx.trace(
+            "broker.up",
+            format_args!("{} machines", self.machines.len()),
+        );
         if self.cfg.spawn_daemons {
             let ids = ctx.all_machines();
             for id in ids {
@@ -484,7 +487,7 @@ impl Behavior for Broker {
                 .collect();
             stale.sort();
             for id in stale {
-                ctx.trace("broker.daemon.lost", format!("{id}"));
+                ctx.trace("broker.daemon.lost", format_args!("{id}"));
                 if let Some(m) = self.machines.get_mut(&id) {
                     m.daemon = None;
                 }
@@ -500,7 +503,7 @@ impl Behavior for Broker {
                 self.machines.get(&machine).map(|m| m.usage),
                 Some(MachineUse::Reserved { .. })
             ) {
-                ctx.trace("broker.reservation.expired", format!("{machine}"));
+                ctx.trace("broker.reservation.expired", format_args!("{machine}"));
                 self.set_usage(ctx, machine, MachineUse::Free);
             }
         }
@@ -516,7 +519,7 @@ impl Behavior for Broker {
             if let Some(m) = self.machines.get_mut(&machine) {
                 m.respawning = false;
                 if result.is_err() {
-                    ctx.trace("broker.daemon.spawn-failed", format!("{machine}"));
+                    ctx.trace("broker.daemon.spawn-failed", format_args!("{machine}"));
                 }
             }
         }
@@ -534,7 +537,7 @@ impl Behavior for Broker {
                 }
                 // Record the hostname (not the machine id): the linter
                 // correlates hellos with grants, which use hostnames.
-                ctx.trace("broker.daemon.hello", ctx.attrs_of(machine).hostname);
+                ctx.trace("broker.daemon.hello", ctx.hostname_of(machine));
             }
             BrokerMsg::DaemonStatus(report) => {
                 let machine = report.machine;
@@ -590,22 +593,22 @@ impl Behavior for Broker {
                 };
                 let job = JobId(self.next_job);
                 self.next_job += 1;
+                ctx.trace(
+                    "broker.job.accepted",
+                    format_args!("{job} adaptive={} module={:?}", spec.adaptive, spec.module),
+                );
                 self.jobs.insert(
                     job,
                     JobInfo {
                         appl,
                         adaptive: spec.adaptive,
-                        module: spec.module.clone(),
                         desired: spec.min_count,
-                        constraints: spec.constraints.clone(),
+                        module: spec.module,
+                        constraints: spec.constraints,
                         held: Vec::new(),
                         home,
                         user,
                     },
-                );
-                ctx.trace(
-                    "broker.job.accepted",
-                    format!("{job} adaptive={} module={:?}", spec.adaptive, spec.module),
                 );
                 ctx.send(appl, Payload::Broker(BrokerMsg::JobAccepted { job }));
             }
@@ -627,7 +630,7 @@ impl Behavior for Broker {
                 }
             }
             BrokerMsg::MachineUnreachable { machine } => {
-                ctx.trace("broker.unreachable", format!("{machine}"));
+                ctx.trace("broker.unreachable", format_args!("{machine}"));
                 if let Some(m) = self.machines.get_mut(&machine) {
                     // Distrust until a daemon hello/report arrives again;
                     // the liveness tick will keep retrying the respawn.
@@ -638,8 +641,8 @@ impl Behavior for Broker {
                 if let Some(jinfo) = self.jobs.get_mut(&job) {
                     jinfo.held.retain(|&m| m != machine);
                 }
-                let host = ctx.attrs_of(machine).hostname;
-                ctx.trace("broker.freed", format!("{host} by {job}"));
+                let host = ctx.hostname_of(machine);
+                ctx.trace("broker.freed", format_args!("{host} by {job}"));
                 match self.reclaims.remove(&machine) {
                     Some(ReclaimFor::Grow { job: target, grow }) => {
                         self.grant(ctx, target, grow, machine);
@@ -653,7 +656,7 @@ impl Behavior for Broker {
                 }
             }
             BrokerMsg::JobDone { job } => {
-                ctx.trace("broker.job.done", format!("{job}"));
+                ctx.trace("broker.job.done", format_args!("{job}"));
                 if let Some(jinfo) = self.jobs.remove(&job) {
                     for machine in jinfo.held {
                         match self.reclaims.remove(&machine) {

@@ -62,7 +62,7 @@ impl Behavior for RshPrime {
             Some(appl) => {
                 ctx.trace(
                     "rsh.intercept",
-                    format!("{} {}", self.req.host, self.req.cmd.name()),
+                    format_args!("{} {}", self.req.host, self.req.cmd.name()),
                 );
                 ctx.send(
                     appl,

@@ -13,7 +13,7 @@ use crate::policy::Policy;
 use crate::rshprime::RshPrimeInstaller;
 use crate::subappl::SubAppl;
 use rb_proto::{CommandSpec, ExitStatus, MachineAttrs, MachineId, ProcId};
-use rb_simcore::SimTime;
+use rb_simcore::{QueueKind, SimTime};
 use rb_simnet::{
     BasePrograms, Behavior, CostModel, FactoryChain, ProcEnv, ProgramFactory, RshBinding, World,
     WorldBuilder,
@@ -40,6 +40,8 @@ pub struct ClusterOptions {
     pub seed: u64,
     pub cost: CostModel,
     pub trace: bool,
+    /// Event-queue backend for the kernel (both replay bit-identically).
+    pub scheduler: QueueKind,
     /// Machines (defaults to `n` public Linux boxes when using
     /// [`build_standard_cluster`]).
     pub machines: Vec<MachineAttrs>,
@@ -52,6 +54,7 @@ impl Default for ClusterOptions {
             seed: 1,
             cost: CostModel::default(),
             trace: true,
+            scheduler: QueueKind::default(),
             machines: Vec::new(),
             policy: Box::new(crate::policy::DefaultPolicy::default()),
         }
@@ -87,6 +90,7 @@ pub fn build_cluster(opts: ClusterOptions) -> Cluster {
         .seed(opts.seed)
         .cost(opts.cost)
         .trace(opts.trace)
+        .scheduler(opts.scheduler)
         .default_remote_binding(RshBinding::Broker)
         .factory(
             FactoryChain::new()
@@ -139,7 +143,7 @@ pub fn submit_job(
             job: None,
             appl: None,
             rsh: RshBinding::Standard,
-            user,
+            user: user.into(),
             system: true,
         },
     )

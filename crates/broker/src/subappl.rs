@@ -96,7 +96,7 @@ impl Behavior for SubAppl {
                 };
                 // The child runs as the job's user, managed by the broker:
                 // its PATH resolves rsh to rsh'.
-                let mut env = ctx.env();
+                let mut env = ctx.env().clone();
                 env.job = Some(self.job);
                 env.appl = Some(self.appl);
                 env.rsh = RshBinding::Broker;
@@ -105,7 +105,7 @@ impl Behavior for SubAppl {
                 let child = ctx.spawn_local_with_env(behavior, env);
                 self.child = Some(child);
                 self.child_alive = true;
-                ctx.trace("subappl.spawn", format!("{} -> {child}", cmd.name()));
+                ctx.trace("subappl.spawn", format_args!("{} -> {child}", cmd.name()));
                 ctx.send(
                     self.appl,
                     Payload::Appl(ApplMsg::ChildStarted {

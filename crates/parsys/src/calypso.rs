@@ -15,8 +15,9 @@ use rb_proto::{
     CalypsoMsg, CommandSpec, CtlMsg, ExitStatus, Payload, ProcId, RshHandle, Signal, TimerToken,
 };
 use rb_simcore::Duration;
+use rb_simcore::FxHashMap;
 use rb_simnet::{Behavior, Ctx};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Service name the master registers.
 pub const CALYPSO_SERVICE: &str = "calypso";
@@ -73,10 +74,10 @@ struct WorkerInfo {
 pub struct CalypsoMaster {
     cfg: CalypsoConfig,
     queue: VecDeque<Task>,
-    workers: HashMap<ProcId, WorkerInfo>,
+    workers: FxHashMap<ProcId, WorkerInfo>,
     idle: Vec<ProcId>,
-    timeout_map: HashMap<TimerToken, (ProcId, u64)>,
-    grow_inflight: HashMap<RshHandle, ()>,
+    timeout_map: FxHashMap<TimerToken, (ProcId, u64)>,
+    grow_inflight: FxHashMap<RshHandle, ()>,
     hostfile_cursor: usize,
     next_task: u64,
     results: u64,
@@ -104,10 +105,10 @@ impl CalypsoMaster {
         CalypsoMaster {
             cfg,
             queue,
-            workers: HashMap::new(),
+            workers: FxHashMap::default(),
             idle: Vec::new(),
-            timeout_map: HashMap::new(),
-            grow_inflight: HashMap::new(),
+            timeout_map: FxHashMap::default(),
+            grow_inflight: FxHashMap::default(),
             hostfile_cursor: 0,
             next_task,
             results: 0,
@@ -183,7 +184,7 @@ impl CalypsoMaster {
                 self.timeout_map.remove(&token);
             }
             if let Some(task) = info.current {
-                ctx.trace("calypso.task.requeue", format!("task {}", task.id));
+                ctx.trace("calypso.task.requeue", format_args!("task {}", task.id));
                 self.requeue(ctx, task);
             }
             ctx.trace("calypso.worker.gone", info.hostname);
@@ -219,7 +220,7 @@ impl CalypsoMaster {
         for w in workers {
             ctx.send(w, Payload::Calypso(CalypsoMsg::JobComplete));
         }
-        ctx.trace("calypso.complete", format!("results={}", self.results));
+        ctx.trace("calypso.complete", format_args!("results={}", self.results));
         // Exit after notifications flush.
         ctx.set_timer(Duration::from_millis(20));
     }
@@ -253,7 +254,7 @@ impl Behavior for CalypsoMaster {
             if still_current {
                 ctx.trace(
                     "calypso.task.timeout",
-                    format!("task {task_id} on {worker}"),
+                    format_args!("task {task_id} on {worker}"),
                 );
                 self.drop_worker(ctx, worker);
             }
@@ -333,7 +334,7 @@ impl Behavior for CalypsoMaster {
         if self.grow_inflight.remove(&handle).is_some()
             && !matches!(result, Ok(ExitStatus::Success))
         {
-            ctx.trace("calypso.grow.failed", format!("{result:?}"));
+            ctx.trace("calypso.grow.failed", format_args!("{result:?}"));
         }
     }
 
@@ -369,7 +370,7 @@ impl Behavior for CalypsoWorker {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let me = ctx.me();
-        let hostname = ctx.hostname();
+        let hostname = ctx.hostname().to_string();
         let startup = ctx.cost().calypso_worker_startup;
         ctx.send_after(
             self.master,

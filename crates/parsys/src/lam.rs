@@ -13,8 +13,9 @@ use rb_proto::{
     Signal, TimerToken,
 };
 use rb_simcore::Duration;
+use rb_simcore::FxHashMap;
 use rb_simnet::{Behavior, Ctx};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Service name the origin daemon registers for console discovery.
 pub const LAMD_SERVICE: &str = "lamd";
@@ -39,12 +40,12 @@ struct NodeEntry {
 pub struct LamOrigin {
     cfg: LamOriginConfig,
     nodes: Vec<NodeEntry>,
-    pending: HashMap<String, Option<ProcId>>,
+    pending: FxHashMap<String, Option<ProcId>>,
     /// Boot/grow requests waiting their turn (LAM's boot protocol brings
     /// nodes up one at a time).
     grow_queue: VecDeque<(String, Option<ProcId>)>,
     grow_active: Option<String>,
-    rsh_inflight: HashMap<RshHandle, String>,
+    rsh_inflight: FxHashMap<RshHandle, String>,
     work_done: u64,
     rr: usize,
     own_host: String,
@@ -57,10 +58,10 @@ impl LamOrigin {
         LamOrigin {
             cfg,
             nodes: Vec::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             grow_queue: VecDeque::new(),
             grow_active: None,
-            rsh_inflight: HashMap::new(),
+            rsh_inflight: FxHashMap::default(),
             work_done: 0,
             rr: 0,
             own_host: String::new(),
@@ -141,7 +142,7 @@ impl Behavior for LamOrigin {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
         if !self.started {
             self.started = true;
-            self.own_host = ctx.hostname();
+            self.own_host = ctx.hostname().to_string();
             ctx.register_service(LAMD_SERVICE);
             ctx.trace("lam.origin.up", ctx.hostname());
             for host in self.cfg.boot_hosts.clone() {
@@ -285,7 +286,7 @@ impl Behavior for LamNode {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let me = ctx.me();
-        let hostname = ctx.hostname();
+        let hostname = ctx.hostname().to_string();
         // LAM's node boot is slower than PVM's slave start.
         let startup = ctx.cost().lamd_startup;
         ctx.send_after(
@@ -425,7 +426,7 @@ impl Behavior for LamConsole {
             if self.waiting.as_deref() == Some(host.as_str()) {
                 self.waiting = None;
                 self.results.push((host.clone(), ok));
-                ctx.trace("lam.console.grow-result", format!("{host} ok={ok}"));
+                ctx.trace("lam.console.grow-result", format_args!("{host} ok={ok}"));
                 self.step(ctx);
             }
         }

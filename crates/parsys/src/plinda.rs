@@ -11,8 +11,9 @@ use rb_proto::{
     TimerToken, Tuple, TupleField, TuplePattern,
 };
 use rb_simcore::Duration;
+use rb_simcore::FxHashMap;
 use rb_simnet::{Behavior, Ctx};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Service name the tuple-space server registers.
 pub const PLINDA_SERVICE: &str = "plinda";
@@ -130,9 +131,9 @@ pub struct PlindaServer {
     /// Blocked `in` requests: (worker, pattern).
     pending_in: VecDeque<(ProcId, TuplePattern)>,
     /// Transactionally withdrawn tuples, by worker.
-    in_progress: HashMap<ProcId, Tuple>,
-    workers: HashMap<ProcId, String>,
-    grow_inflight: HashMap<RshHandle, ()>,
+    in_progress: FxHashMap<ProcId, Tuple>,
+    workers: FxHashMap<ProcId, String>,
+    grow_inflight: FxHashMap<RshHandle, ()>,
     hostfile_cursor: usize,
     results: u64,
     total: u64,
@@ -152,9 +153,9 @@ impl PlindaServer {
             cfg,
             space,
             pending_in: VecDeque::new(),
-            in_progress: HashMap::new(),
-            workers: HashMap::new(),
-            grow_inflight: HashMap::new(),
+            in_progress: FxHashMap::default(),
+            workers: FxHashMap::default(),
+            grow_inflight: FxHashMap::default(),
             hostfile_cursor: 0,
             results: 0,
             total,
@@ -190,7 +191,7 @@ impl PlindaServer {
         }
         if let Some(bytes) = ctx.disk_read(CHECKPOINT_FILE) {
             if let Some(tuples) = decode_tuples(&bytes) {
-                ctx.trace("plinda.recover", format!("{} tuples", tuples.len()));
+                ctx.trace("plinda.recover", format_args!("{} tuples", tuples.len()));
                 self.space = tuples;
                 // Results already banked count toward completion.
                 self.results = self
@@ -269,7 +270,7 @@ impl PlindaServer {
         for w in workers {
             ctx.send(w, Payload::Plinda(PlindaMsg::SpaceClosed));
         }
-        ctx.trace("plinda.complete", format!("results={}", self.results));
+        ctx.trace("plinda.complete", format_args!("results={}", self.results));
         ctx.set_timer(Duration::from_millis(20));
     }
 }
@@ -324,7 +325,7 @@ impl Behavior for PlindaServer {
             Payload::Plinda(PlindaMsg::WorkerLeaving { worker }) => {
                 // Transaction rollback: the withdrawn tuple returns.
                 if let Some(tuple) = self.in_progress.remove(&worker) {
-                    ctx.trace("plinda.rollback", format!("{tuple:?}"));
+                    ctx.trace("plinda.rollback", format_args!("{tuple:?}"));
                     self.space.push(tuple);
                 }
                 self.pending_in.retain(|(w, _)| *w != worker);
@@ -353,7 +354,7 @@ impl Behavior for PlindaServer {
         if self.grow_inflight.remove(&handle).is_some()
             && !matches!(result, Ok(ExitStatus::Success))
         {
-            ctx.trace("plinda.grow.failed", format!("{result:?}"));
+            ctx.trace("plinda.grow.failed", format_args!("{result:?}"));
         }
     }
 }
@@ -392,7 +393,7 @@ impl Behavior for PlindaWorker {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let me = ctx.me();
-        let hostname = ctx.hostname();
+        let hostname = ctx.hostname().to_string();
         let startup = ctx.cost().plinda_worker_startup;
         ctx.send_after(
             self.server,

@@ -191,14 +191,14 @@ impl Pmake {
                     cpu_millis: rule.cpu_millis.max(1),
                 }
             };
-            ctx.trace("pmake.launch", format!("{target} on {host}"));
+            ctx.trace("pmake.launch", format_args!("{target} on {host}"));
             let handle = ctx.rsh(&host, cmd);
             self.running.insert(handle, target);
         }
         if self.running.is_empty() && self.ready.is_empty() {
             // Nothing runs and nothing is ready: the goal must be built.
             if self.states.get(&self.cfg.goal) == Some(&TargetState::Built) {
-                ctx.trace("pmake.done", format!("{} targets", self.built_count));
+                ctx.trace("pmake.done", format_args!("{} targets", self.built_count));
                 ctx.exit(ExitStatus::Success);
             }
         }
@@ -221,7 +221,7 @@ impl Behavior for Pmake {
                 for t in needed {
                     self.states.insert(t, TargetState::Waiting);
                 }
-                ctx.trace("pmake.start", format!("{} targets", self.states.len()));
+                ctx.trace("pmake.start", format_args!("{} targets", self.states.len()));
                 self.refresh_ready();
                 self.pump(ctx);
             }
@@ -250,7 +250,7 @@ impl Behavior for Pmake {
             }
             other => {
                 self.states.insert(target.clone(), TargetState::Failed);
-                ctx.trace("pmake.recipe-failed", format!("{target}: {other:?}"));
+                ctx.trace("pmake.recipe-failed", format_args!("{target}: {other:?}"));
                 self.aborting = true;
             }
         }

@@ -19,8 +19,9 @@ use rb_proto::{
     TimerToken, VmId,
 };
 use rb_simcore::Duration;
+use rb_simcore::FxHashMap;
 use rb_simnet::{Behavior, Ctx};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Service name a pvmd registers on its machine (the analogue of the
 /// `/tmp/pvmd.<uid>` socket file a console uses to find its daemon).
@@ -52,14 +53,14 @@ pub struct PvmMaster {
     hosts: Vec<HostEntry>,
     /// Host names we have attempted to spawn on and not yet resolved;
     /// value is the console/task that asked (if any).
-    pending_adds: HashMap<String, Option<ProcId>>,
+    pending_adds: FxHashMap<String, Option<ProcId>>,
     /// Adds waiting their turn: the real pvmd's host-startup protocol is
     /// single-threaded, so hosts are added one at a time.
     add_queue: VecDeque<(String, Option<ProcId>)>,
     /// The host currently being added.
     add_active: Option<String>,
     /// Outstanding rsh handles -> attempted host name.
-    rsh_inflight: HashMap<RshHandle, String>,
+    rsh_inflight: FxHashMap<RshHandle, String>,
     /// Tasks completed (across the VM).
     tasks_done: u64,
     /// Tasks still running.
@@ -79,10 +80,10 @@ impl PvmMaster {
         PvmMaster {
             cfg,
             hosts: Vec::new(),
-            pending_adds: HashMap::new(),
+            pending_adds: FxHashMap::default(),
             add_queue: VecDeque::new(),
             add_active: None,
-            rsh_inflight: HashMap::new(),
+            rsh_inflight: FxHashMap::default(),
             tasks_done: 0,
             tasks_running: 0,
             rr: 0,
@@ -183,7 +184,7 @@ impl Behavior for PvmMaster {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
         if !self.started {
             self.started = true;
-            self.own_host = ctx.hostname();
+            self.own_host = ctx.hostname().to_string();
             ctx.register_service(PVMD_SERVICE);
             ctx.trace("pvm.master.up", ctx.hostname());
             for host in self.cfg.initial_hosts.clone() {
@@ -281,7 +282,7 @@ impl Behavior for PvmMaster {
             Payload::Pvm(PvmMsg::TaskDone { slave }) => {
                 self.tasks_done += 1;
                 self.tasks_running = self.tasks_running.saturating_sub(1);
-                ctx.trace("pvm.task.done", format!("total={}", self.tasks_done));
+                ctx.trace("pvm.task.done", format_args!("total={}", self.tasks_done));
                 for &l in &self.subscribers {
                     ctx.send(l, Payload::Pvm(PvmMsg::TaskDone { slave }));
                 }
@@ -325,7 +326,7 @@ impl Behavior for PvmMaster {
         // A locally executed task finished.
         self.tasks_done += 1;
         self.tasks_running = self.tasks_running.saturating_sub(1);
-        ctx.trace("pvm.task.done", format!("total={}", self.tasks_done));
+        ctx.trace("pvm.task.done", format_args!("total={}", self.tasks_done));
         let me = ctx.me();
         for &l in &self.subscribers {
             ctx.send(l, Payload::Pvm(PvmMsg::TaskDone { slave: me }));
@@ -360,7 +361,7 @@ impl Behavior for PvmSlave {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         let me = ctx.me();
-        let hostname = ctx.hostname();
+        let hostname = ctx.hostname().to_string();
         // pvmd initialization cost then registration.
         let startup = ctx.cost().pvmd_startup;
         ctx.send_after(
@@ -515,7 +516,7 @@ impl Behavior for PvmConsole {
             if self.waiting_add.as_deref() == Some(host.as_str()) {
                 self.waiting_add = None;
                 self.results.push((host.clone(), ok));
-                ctx.trace("pvm.console.add-result", format!("{host} ok={ok}"));
+                ctx.trace("pvm.console.add-result", format_args!("{host} ok={ok}"));
                 self.step(ctx);
             }
         }
@@ -678,7 +679,7 @@ impl Behavior for PvmApp {
             Payload::Pvm(PvmMsg::ConfReply { hosts }) => {
                 let vm_size = hosts.len() + 1; // slaves + master host
                 if vm_size > self.hosts {
-                    ctx.trace("pvm.app.vm-size", format!("{vm_size}"));
+                    ctx.trace("pvm.app.vm-size", format_args!("{vm_size}"));
                 }
                 self.hosts = vm_size;
                 self.dispatch(ctx);

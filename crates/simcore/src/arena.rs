@@ -1,0 +1,168 @@
+//! A generation-checked slab arena.
+//!
+//! Dense storage with free-list reuse for objects that are created and
+//! destroyed at high rates (the kernel's in-flight `rsh` operations).
+//! Lookups are a bounds check plus a generation compare — no hashing —
+//! and a key held across its entry's removal can never alias a recycled
+//! slot: the slot's generation is bumped on removal, so the stale key
+//! simply misses.
+//!
+//! Keys pack `generation << 32 | (slot + 1)` into a `u64`. The low half
+//! is offset by one so the very first keys come out as 1, 2, 3, … —
+//! matching the sequential ids the kernel handed out before slabs, which
+//! keeps human-readable trace details stable for short runs.
+
+/// Packed slab key: `generation << 32 | (slot + 1)`.
+pub type SlabKey = u64;
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A dense arena with free-list reuse and generation-checked keys.
+#[derive(Debug)]
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn unpack(key: SlabKey) -> Option<(u32, u32)> {
+        let low = (key & 0xffff_ffff) as u32;
+        let slot = low.checked_sub(1)?;
+        Some(((key >> 32) as u32, slot))
+    }
+
+    /// Insert a value, returning its key.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(s.value.is_none());
+            s.value = Some(value);
+            ((s.generation as u64) << 32) | (slot as u64 + 1)
+        } else {
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            slot as u64 + 1
+        }
+    }
+
+    /// Look up a live entry; stale or foreign keys miss.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        let (generation, slot) = Self::unpack(key)?;
+        let s = self.slots.get(slot as usize)?;
+        if s.generation != generation {
+            return None;
+        }
+        s.value.as_ref()
+    }
+
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        let (generation, slot) = Self::unpack(key)?;
+        let s = self.slots.get_mut(slot as usize)?;
+        if s.generation != generation {
+            return None;
+        }
+        s.value.as_mut()
+    }
+
+    /// Remove an entry, bumping the slot's generation so the key goes
+    /// stale. Returns the value if the key was live.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let (generation, slot) = Self::unpack(key)?;
+        let s = self.slots.get_mut(slot as usize)?;
+        if s.generation != generation {
+            return None;
+        }
+        let value = s.value.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.len -= 1;
+        Some(value)
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_eq!((a, b), (1, 2)); // sequential before any removal
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.get_mut(b).map(|v| *v), Some("b"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn stale_keys_miss_recycled_slots() {
+        let mut s = Slab::new();
+        let a = s.insert(10);
+        s.remove(a);
+        let b = s.insert(20); // reuses the slot with a bumped generation
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get(b), Some(&20));
+    }
+
+    #[test]
+    fn zero_and_garbage_keys_miss() {
+        let mut s = Slab::new();
+        s.insert(1);
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.get(u64::MAX), None);
+        assert_eq!(s.remove(999), None);
+    }
+
+    #[test]
+    fn heavy_churn_reuses_slots() {
+        let mut s = Slab::new();
+        let mut keys = Vec::new();
+        for round in 0..100u64 {
+            for i in 0..10 {
+                keys.push(s.insert(round * 10 + i));
+            }
+            for key in keys.drain(..) {
+                assert!(s.remove(key).is_some());
+            }
+        }
+        assert!(s.is_empty());
+        assert!(s.slots.len() <= 10, "free list was not reused");
+    }
+}

@@ -9,14 +9,20 @@
 //! `schedule` calls, a simulation replays identically. Ties in time are
 //! broken by insertion sequence number, never by heap internals.
 
+pub mod arena;
+pub mod fxhash;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
+pub use arena::{Slab, SlabKey};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{Histogram, Series, Summary};
-pub use queue::{EventQueue, QueueStats};
+pub use queue::{EventQueue, QueueKind, QueueStats};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};
-pub use trace::{parse_rendered, TraceEvent, TraceRecorder};
+pub use trace::{parse_rendered, Topic, TraceEvent, TraceRecorder};
+pub use wheel::TimerWheel;

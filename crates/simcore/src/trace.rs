@@ -4,8 +4,106 @@
 //! assert that mechanism walk-throughs (e.g. the paper's Figure 5 and
 //! Figure 6 step sequences) happen in the documented order, and the
 //! experiment harness derives elapsed times and utilization from it.
+//!
+//! Recording is allocation-free on the disabled path: topics are
+//! [`Topic`]s (a `&'static str` for the overwhelmingly common literal
+//! case, no interning table needed), and details are accepted as
+//! `impl Display` — callers pass `format_args!(…)` and the text is only
+//! materialized when the recorder is actually storing events. A bounded
+//! *ring* mode retains only the most recent events, so long runs can keep
+//! a post-mortem tail without unbounded memory growth.
 
+use crate::queue::QueueStats;
 use crate::time::SimTime;
+use std::borrow::Borrow;
+use std::fmt;
+use std::ops::Deref;
+
+/// A trace topic: either an interned `&'static str` (zero-allocation, the
+/// normal case for literal topics) or an owned string (parsed traces,
+/// dynamically built topics). Compares, hashes, and derefs as a `str`.
+#[derive(Debug, Clone)]
+pub enum Topic {
+    Static(&'static str),
+    Owned(Box<str>),
+}
+
+impl Topic {
+    pub fn as_str(&self) -> &str {
+        match self {
+            Topic::Static(s) => s,
+            Topic::Owned(s) => s,
+        }
+    }
+}
+
+impl Deref for Topic {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Topic {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for Topic {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for Topic {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for Topic {}
+
+impl PartialEq<str> for Topic {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Topic {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl std::hash::Hash for Topic {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&'static str> for Topic {
+    fn from(s: &'static str) -> Topic {
+        Topic::Static(s)
+    }
+}
+
+impl From<String> for Topic {
+    fn from(s: String) -> Topic {
+        Topic::Owned(s.into_boxed_str())
+    }
+}
+
+impl From<Box<str>> for Topic {
+    fn from(s: Box<str>) -> Topic {
+        Topic::Owned(s)
+    }
+}
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -13,7 +111,7 @@ pub struct TraceEvent {
     pub at: SimTime,
     /// Dot-separated topic, e.g. `rsh.intercept`, `broker.grant`,
     /// `pvm.slave.refused`.
-    pub topic: String,
+    pub topic: Topic,
     /// Free-form detail (host names, ids).
     pub detail: String,
 }
@@ -23,6 +121,9 @@ pub struct TraceEvent {
 pub struct TraceRecorder {
     events: Vec<TraceEvent>,
     enabled: bool,
+    /// Ring capacity: retain at least this many recent events, trimming
+    /// once the buffer doubles it (amortized O(1), contiguous storage).
+    ring: Option<usize>,
 }
 
 impl TraceRecorder {
@@ -31,6 +132,7 @@ impl TraceRecorder {
         TraceRecorder {
             events: Vec::new(),
             enabled: true,
+            ring: None,
         }
     }
 
@@ -40,6 +142,19 @@ impl TraceRecorder {
         TraceRecorder {
             events: Vec::new(),
             enabled: false,
+            ring: None,
+        }
+    }
+
+    /// A bounded recorder keeping (at least) the `cap` most recent events:
+    /// the tail a long soak run wants for post-mortems, without the
+    /// unbounded growth of a full trace. At most `2 × cap − 1` events are
+    /// resident at any instant.
+    pub fn ring(cap: usize) -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            enabled: true,
+            ring: Some(cap.max(1)),
         }
     }
 
@@ -47,19 +162,31 @@ impl TraceRecorder {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled).
-    pub fn record(&mut self, at: SimTime, topic: impl Into<String>, detail: impl Into<String>) {
+    /// Record an event (no-op when disabled). The detail is accepted as
+    /// `impl Display` and only formatted when the recorder is enabled —
+    /// pass `format_args!(…)` to keep the disabled path allocation-free.
+    pub fn record(&mut self, at: SimTime, topic: impl Into<Topic>, detail: impl fmt::Display) {
         if self.enabled {
-            self.events.push(TraceEvent {
+            self.push(TraceEvent {
                 at,
                 topic: topic.into(),
-                detail: detail.into(),
+                detail: detail.to_string(),
             });
         }
     }
 
-    /// All events, in recording order (which equals time order, since the
-    /// kernel records as it dispatches).
+    fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+        if let Some(cap) = self.ring {
+            if self.events.len() >= cap * 2 {
+                self.events.drain(..self.events.len() - cap);
+            }
+        }
+    }
+
+    /// All retained events, in recording order (which equals time order,
+    /// since the kernel records as it dispatches). In ring mode this is
+    /// the recent tail, not the full history.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
@@ -109,16 +236,32 @@ impl TraceRecorder {
 
     /// Render the trace as text lines (for example binaries and debugging).
     pub fn render(&self) -> String {
+        use fmt::Write as _;
         let mut out = String::new();
         for e in &self.events {
-            out.push_str(&format!(
-                "{:>14}  {:<28} {}\n",
+            let _ = writeln!(
+                out,
+                "{:>14}  {:<28} {}",
                 e.at.to_string(),
                 e.topic,
                 e.detail
-            ));
+            );
         }
         out
+    }
+
+    /// Render with a `#`-prefixed header carrying the kernel's event-queue
+    /// work counters; [`parse_rendered`] skips such comment lines, and
+    /// `rblint` echoes them back.
+    pub fn render_with_stats(&self, stats: &QueueStats) -> String {
+        format!(
+            "# rb-trace v1 events={} scheduled={} dispatched={} peak_depth={}\n{}",
+            self.events.len(),
+            stats.scheduled,
+            stats.dispatched,
+            stats.peak_depth,
+            self.render()
+        )
     }
 
     /// Rebuild a recorder from events parsed or recorded elsewhere (the
@@ -128,15 +271,16 @@ impl TraceRecorder {
         TraceRecorder {
             events,
             enabled: true,
+            ring: None,
         }
     }
 }
 
 /// Parse one line of [`TraceRecorder::render`] output back into a
-/// [`TraceEvent`]. Blank lines yield `None`.
+/// [`TraceEvent`]. Blank lines and `#` comment/header lines yield `None`.
 fn parse_rendered_line(line: &str) -> Result<Option<TraceEvent>, String> {
     let rest = line.trim_start();
-    if rest.is_empty() {
+    if rest.is_empty() || rest.starts_with('#') {
         return Ok(None);
     }
     let (time_tok, rest) = rest
@@ -158,7 +302,7 @@ fn parse_rendered_line(line: &str) -> Result<Option<TraceEvent>, String> {
     }
     Ok(Some(TraceEvent {
         at: SimTime((secs * 1e6).round() as u64),
-        topic: topic.to_string(),
+        topic: topic.to_string().into(),
         detail: detail.trim_end().to_string(),
     }))
 }
@@ -194,6 +338,52 @@ mod tests {
         t.record(SimTime(1), "a", "x");
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn lazy_details_are_not_formatted_when_disabled() {
+        struct Bomb;
+        impl fmt::Display for Bomb {
+            fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+                panic!("detail formatted on the disabled path");
+            }
+        }
+        let mut t = TraceRecorder::disabled();
+        t.record(SimTime(1), "a", Bomb);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn format_args_details_record() {
+        let mut t = TraceRecorder::enabled();
+        let host = "n01";
+        t.record(SimTime(1), "x", format_args!("{host} up={}", true));
+        assert_eq!(t.events()[0].detail, "n01 up=true");
+    }
+
+    #[test]
+    fn topics_compare_as_strings() {
+        let a: Topic = "broker.grant".into();
+        let b: Topic = String::from("broker.grant").into();
+        assert_eq!(a, b);
+        assert_eq!(a, "broker.grant");
+        assert!(a.starts_with("broker."));
+        assert_eq!(a.to_string(), "broker.grant");
+    }
+
+    #[test]
+    fn ring_mode_keeps_the_recent_tail() {
+        let mut t = TraceRecorder::ring(10);
+        for i in 0..100u64 {
+            t.record(SimTime(i), "tick", format_args!("{i}"));
+        }
+        let events = t.events();
+        assert!(events.len() >= 10, "{}", events.len());
+        assert!(events.len() < 20, "{}", events.len());
+        // The newest events are always retained, in order.
+        assert_eq!(events.last().unwrap().detail, "99");
+        let details: Vec<u64> = events.iter().map(|e| e.detail.parse().unwrap()).collect();
+        assert!(details.windows(2).all(|w| w[0] + 1 == w[1]));
     }
 
     #[test]
@@ -234,9 +424,26 @@ mod tests {
     }
 
     #[test]
+    fn header_renders_and_parses_transparently() {
+        let t = sample();
+        let stats = QueueStats {
+            scheduled: 7,
+            dispatched: 5,
+            peak_depth: 3,
+            depth: 2,
+        };
+        let text = t.render_with_stats(&stats);
+        assert!(text.starts_with("# rb-trace v1 "));
+        assert!(text.contains("peak_depth=3"));
+        let parsed = parse_rendered(&text).unwrap();
+        assert_eq!(parsed, t.events());
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(parse_rendered("not a trace line\n").is_err());
         assert!(parse_rendered("T+1.000000s\n").is_err());
         assert!(parse_rendered("").unwrap().is_empty());
+        assert!(parse_rendered("# just a comment\n").unwrap().is_empty());
     }
 }

@@ -1,0 +1,245 @@
+//! A hierarchical timer wheel over absolute `u64` microsecond timestamps.
+//!
+//! Alternative backing store for [`crate::EventQueue`]: instead of a binary
+//! heap (`O(log n)` per operation with poor locality at large depths), the
+//! wheel buckets events by the position of the highest bit in which their
+//! timestamp differs from the wheel's *cursor* — the classic
+//! hashed-hierarchical scheme from Varghese & Lauck. Eleven levels of 64
+//! slots cover the full 64-bit time domain (6 bits per level), so any
+//! future timestamp lands in exactly one slot.
+//!
+//! Determinism contract (identical to the heap): events pop in
+//! non-decreasing time order, and events with equal timestamps pop in push
+//! (sequence) order. Equal timestamps always share one slot — their bits
+//! are identical, so every level/digit computation agrees — and slots are
+//! FIFO deques, which makes the tie-break exact, not approximate. The
+//! cursor only moves to timestamps of popped events or slot lower bounds,
+//! never past a pending event, so the level invariant
+//! `stored level == level_of(cursor, t)` holds for every resident event.
+//!
+//! Costs: push is `O(1)`; pop amortizes cascades to `O(levels)` per event;
+//! `peek_time` is `O(levels)` thanks to per-slot minima maintained on push.
+
+use std::collections::VecDeque;
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS; // 64
+const LEVELS: usize = 11; // 11 * 6 = 66 bits ≥ the 64-bit time domain
+
+/// Level whose digit contains the highest bit where `t` differs from
+/// `cursor` (0 when equal — same-slot case).
+#[inline]
+fn level_of(cursor: u64, t: u64) -> usize {
+    let diff = cursor ^ t;
+    if diff == 0 {
+        0
+    } else {
+        ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+    }
+}
+
+/// The 6-bit digit of `t` at `level`.
+#[inline]
+fn digit(level: usize, t: u64) -> usize {
+    ((t >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize
+}
+
+/// Hierarchical timer wheel holding `(time, seq, event)` triples.
+pub struct TimerWheel<E> {
+    /// `LEVELS × SLOTS` FIFO buckets, row-major by level.
+    slots: Vec<VecDeque<(u64, u64, E)>>,
+    /// Minimum timestamp per occupied slot (meaningless when empty).
+    slot_min: Vec<u64>,
+    /// Per-level occupancy bitmaps.
+    occupancy: [u64; LEVELS],
+    /// Lower bound on every resident timestamp.
+    cursor: u64,
+    len: usize,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(LEVELS * SLOTS);
+        slots.resize_with(LEVELS * SLOTS, VecDeque::new);
+        TimerWheel {
+            slots,
+            slot_min: vec![0; LEVELS * SLOTS],
+            occupancy: [0; LEVELS],
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an event. `t` must not precede the last popped timestamp
+    /// (the kernel never schedules into the past); earlier values are
+    /// clamped to the cursor to keep the wheel's invariant intact.
+    pub fn push(&mut self, t: u64, seq: u64, event: E) {
+        debug_assert!(t >= self.cursor, "timer wheel push into the past");
+        let t = t.max(self.cursor);
+        self.place(t, seq, event);
+        self.len += 1;
+    }
+
+    #[inline]
+    fn place(&mut self, t: u64, seq: u64, event: E) {
+        let level = level_of(self.cursor, t);
+        let slot = digit(level, t);
+        let idx = level * SLOTS + slot;
+        let bit = 1u64 << slot;
+        if self.occupancy[level] & bit == 0 {
+            self.occupancy[level] |= bit;
+            self.slot_min[idx] = t;
+        } else if t < self.slot_min[idx] {
+            self.slot_min[idx] = t;
+        }
+        self.slots[idx].push_back((t, seq, event));
+    }
+
+    /// Lowest level with any pending event.
+    #[inline]
+    fn lowest_level(&self) -> Option<usize> {
+        self.occupancy.iter().position(|&bits| bits != 0)
+    }
+
+    /// Earliest pending timestamp.
+    pub fn peek_time(&self) -> Option<u64> {
+        let level = self.lowest_level()?;
+        let slot = self.occupancy[level].trailing_zeros() as usize;
+        Some(self.slot_min[level * SLOTS + slot])
+    }
+
+    /// Remove the earliest event; equal times pop in push order.
+    pub fn pop(&mut self) -> Option<(u64, u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let level = self.lowest_level().expect("len > 0 implies occupancy");
+            let slot = self.occupancy[level].trailing_zeros() as usize;
+            let idx = level * SLOTS + slot;
+            if level == 0 {
+                // A level-0 slot holds exactly one timestamp (all higher
+                // bits match the cursor), so front-of-deque is the global
+                // (time, seq) minimum.
+                let (t, seq, event) = self.slots[idx].pop_front().expect("occupied slot");
+                if self.slots[idx].is_empty() {
+                    self.occupancy[0] &= !(1u64 << slot);
+                }
+                self.cursor = t;
+                self.len -= 1;
+                return Some((t, seq, event));
+            }
+            // Cascade: advance the cursor to the slot's time base and
+            // redistribute its events to lower levels, preserving deque
+            // (= sequence) order.
+            let drained = std::mem::take(&mut self.slots[idx]);
+            self.occupancy[level] &= !(1u64 << slot);
+            let level_shift = SLOT_BITS * level as u32;
+            let upper_shift = level_shift + SLOT_BITS;
+            let upper = if upper_shift >= 64 {
+                0
+            } else {
+                (self.cursor >> upper_shift) << upper_shift
+            };
+            self.cursor = upper | ((slot as u64) << level_shift);
+            for (t, seq, event) in drained {
+                debug_assert!(t >= self.cursor);
+                debug_assert!(level_of(self.cursor, t) < level);
+                self.place(t, seq, event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(30, 0, "c");
+        w.push(10, 1, "a");
+        w.push(20, 2, "b");
+        w.push(10, 3, "a2");
+        assert_eq!(w.peek_time(), Some(10));
+        assert_eq!(w.pop(), Some((10, 1, "a")));
+        assert_eq!(w.pop(), Some((10, 3, "a2")));
+        assert_eq!(w.pop(), Some((20, 2, "b")));
+        assert_eq!(w.pop(), Some((30, 0, "c")));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn distant_timestamps_cascade_correctly() {
+        let mut w = TimerWheel::new();
+        // Spread across many levels, including near the top of u64.
+        let times = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            4095,
+            4096,
+            1 << 30,
+            (1 << 30) + 1,
+            1 << 45,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64, t);
+        }
+        let mut last = 0;
+        let mut n = 0;
+        while let Some((t, _, v)) = w.pop() {
+            assert_eq!(t, v);
+            assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_monotone() {
+        let mut rng = SimRng::seeded(0x77);
+        let mut w = TimerWheel::new();
+        let mut seq = 0u64;
+        let mut last = 0u64;
+        for _ in 0..10_000 {
+            if w.is_empty() || rng.uniform_u64(0, 3) > 0 {
+                let horizon = 1u64 << rng.uniform_u64(0, 40);
+                let t = last + rng.uniform_u64(0, horizon);
+                w.push(t, seq, seq);
+                seq += 1;
+            } else {
+                let (t, _, _) = w.pop().unwrap();
+                assert!(t >= last);
+                assert_eq!(w.peek_time().is_some(), !w.is_empty());
+                last = t;
+            }
+        }
+        while let Some((t, _, _)) = w.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+}

@@ -46,18 +46,25 @@ impl<'w> Ctx<'w> {
 
     /// The machine this process runs on.
     pub fn machine(&self) -> MachineId {
-        self.world.procs[&self.me].machine
+        self.world.procs[self.me].machine
     }
 
-    /// Host name of this process's machine.
-    pub fn hostname(&self) -> String {
-        self.world.hostname(self.machine()).to_string()
+    /// Host name of this process's machine (interned — cloning the
+    /// returned handle does not allocate).
+    pub fn hostname(&self) -> std::sync::Arc<str> {
+        self.world.hostname_shared(self.machine())
     }
 
     /// Attributes of an arbitrary machine (static data a process could
-    /// learn from `uname`/config files).
-    pub fn attrs_of(&self, m: MachineId) -> MachineAttrs {
-        self.world.machine_attrs(m).clone()
+    /// learn from `uname`/config files). Borrowed — clone only to store.
+    pub fn attrs_of(&self, m: MachineId) -> &MachineAttrs {
+        self.world.machine_attrs(m)
+    }
+
+    /// Host name of an arbitrary machine (interned — cloning the returned
+    /// handle does not allocate).
+    pub fn hostname_of(&self, m: MachineId) -> std::sync::Arc<str> {
+        self.world.hostname_shared(m)
     }
 
     /// Resolve a host name.
@@ -86,19 +93,24 @@ impl<'w> Ctx<'w> {
         self.world.cost()
     }
 
-    /// This process's environment.
-    pub fn env(&self) -> ProcEnv {
-        self.world.procs[&self.me].env.clone()
+    /// This process's environment (clone it to inherit into a child).
+    pub fn env(&self) -> &ProcEnv {
+        &self.world.procs[self.me].env
+    }
+
+    /// This process's user name (interned).
+    pub fn user(&self) -> std::sync::Arc<str> {
+        self.world.procs[self.me].env.user.clone()
     }
 
     /// The job this process runs under, if broker-managed.
     pub fn job(&self) -> Option<JobId> {
-        self.world.procs[&self.me].env.job
+        self.world.procs[self.me].env.job
     }
 
     /// The managing `appl`, if any.
     pub fn appl(&self) -> Option<ProcId> {
-        self.world.procs[&self.me].env.appl
+        self.world.procs[self.me].env.appl
     }
 
     /// Status snapshot of this process's machine, as a local daemon would
@@ -132,10 +144,13 @@ impl<'w> Ctx<'w> {
         self.world.rng.uniform_f64(lo, hi)
     }
 
-    /// Record a trace event under this process's identity.
-    pub fn trace(&mut self, topic: impl Into<String>, detail: impl Into<String>) {
+    /// Record a trace event under this process's identity. `detail` is
+    /// only formatted when tracing is enabled — pass `format_args!` (or
+    /// any `Display` value) rather than a pre-built `String` so disabled
+    /// runs pay nothing.
+    pub fn trace(&mut self, topic: impl Into<rb_simcore::Topic>, detail: impl std::fmt::Display) {
         let at = self.world.now();
-        self.world.trace.record(at, topic, detail.into());
+        self.world.trace.record(at, topic, detail);
     }
 
     // ---------------- messaging ----------------
@@ -149,7 +164,7 @@ impl<'w> Ctx<'w> {
 
     /// Send with additional processing delay before the wire latency.
     pub fn send_after(&mut self, to: ProcId, msg: Payload, extra: Duration) {
-        let latency = match self.world.procs.get(&to) {
+        let latency = match self.world.procs.get(to) {
             Some(entry) if entry.machine == self.machine() => self.world.cost().local_latency,
             _ => self.world.cost().lan_latency,
         };
@@ -182,7 +197,9 @@ impl<'w> Ctx<'w> {
 
     /// Cancel a pending timer (no-op if already fired).
     pub fn cancel_timer(&mut self, token: TimerToken) {
-        self.world.cancelled_timers.insert(token);
+        if !self.world.cancelled_timers.contains(&token) {
+            self.world.cancelled_timers.push(token);
+        }
     }
 
     // ---------------- process control ----------------
@@ -190,7 +207,7 @@ impl<'w> Ctx<'w> {
     /// Spawn a child process on this machine, inheriting this process's
     /// environment (fork/exec semantics).
     pub fn spawn_local(&mut self, behavior: Box<dyn Behavior>) -> ProcId {
-        let env = self.env();
+        let env = self.env().clone();
         self.spawn_local_with_env(behavior, env)
     }
 
@@ -209,7 +226,7 @@ impl<'w> Ctx<'w> {
     /// Deliver a signal to another process. `SIGKILL` is enforced by the
     /// kernel and cannot be caught.
     pub fn kill(&mut self, target: ProcId, sig: Signal) {
-        let latency = match self.world.procs.get(&target) {
+        let latency = match self.world.procs.get(target) {
             Some(entry) if entry.machine == self.machine() => self.world.cost().local_latency,
             _ => self.world.cost().lan_latency,
         };
@@ -236,7 +253,7 @@ impl<'w> Ctx<'w> {
     /// environment's [`RshBinding`]). Completion arrives via
     /// `on_rsh_result`.
     pub fn rsh(&mut self, host: &str, cmd: CommandSpec) -> RshHandle {
-        let binding = self.world.procs[&self.me].env.rsh;
+        let binding = self.world.procs[self.me].env.rsh;
         self.world.rsh_begin(self.me, host, cmd, binding)
     }
 
@@ -250,7 +267,7 @@ impl<'w> Ctx<'w> {
     /// Used by the `rsh'` behavior itself: run the standard rsh state
     /// machine under a pre-classified host spec.
     pub fn rsh_standard_spec(&mut self, host: HostSpec, cmd: CommandSpec) -> RshHandle {
-        let handle = self.world.rsh_begin_raw();
+        let handle = self.world.rsh_begin_raw(self.me);
         self.world.standard_rsh(self.me, handle, host, cmd);
         handle
     }
@@ -277,7 +294,9 @@ impl<'w> Ctx<'w> {
     /// on this machine (the analogue of a `/tmp/pvmd.<uid>` socket file).
     pub fn register_service(&mut self, name: &str) {
         let m = self.machine();
-        let user = self.world.procs[&self.me].env.user.clone();
+        let entry = self.world.procs.get_mut(self.me).expect("self exists");
+        entry.has_services = true;
+        let user = entry.env.user.to_string();
         self.world
             .services
             .insert((m, user, name.to_string()), self.me);
@@ -286,10 +305,10 @@ impl<'w> Ctx<'w> {
     /// Look up a service registered by this process's user on this machine.
     pub fn lookup_service(&self, name: &str) -> Option<ProcId> {
         let m = self.machine();
-        let user = &self.world.procs[&self.me].env.user;
+        let user = &self.world.procs[self.me].env.user;
         self.world
             .services
-            .get(&(m, user.clone(), name.to_string()))
+            .get(&(m, user.to_string(), name.to_string()))
             .copied()
     }
 
@@ -299,24 +318,24 @@ impl<'w> Ctx<'w> {
     /// disk survives process death and machine crashes.
     pub fn disk_write(&mut self, file: &str, bytes: Vec<u8>) {
         let m = self.machine();
-        let user = self.world.procs[&self.me].env.user.clone();
+        let user = self.world.procs[self.me].env.user.to_string();
         self.world.disks.insert((m, user, file.to_string()), bytes);
     }
 
     /// Read a file from this user's home directory on this machine.
     pub fn disk_read(&self, file: &str) -> Option<Vec<u8>> {
         let m = self.machine();
-        let user = &self.world.procs[&self.me].env.user;
+        let user = &self.world.procs[self.me].env.user;
         self.world
             .disks
-            .get(&(m, user.clone(), file.to_string()))
+            .get(&(m, user.to_string(), file.to_string()))
             .cloned()
     }
 
     /// Remove a file from this user's home directory on this machine.
     pub fn disk_remove(&mut self, file: &str) {
         let m = self.machine();
-        let user = self.world.procs[&self.me].env.user.clone();
+        let user = self.world.procs[self.me].env.user.to_string();
         self.world.disks.remove(&(m, user, file.to_string()));
     }
 }

@@ -19,6 +19,10 @@ pub enum RshBinding {
 
 /// Per-process environment, inherited across local spawns (like Unix
 /// environment variables through fork/exec).
+///
+/// The user name is a shared `Arc<str>`: environments are cloned on every
+/// fork, rsh, and `Ctx` accessor, and interning the one string field makes
+/// those clones allocation-free.
 #[derive(Debug, Clone)]
 pub struct ProcEnv {
     /// The job this process belongs to, if it runs under broker management.
@@ -29,7 +33,7 @@ pub struct ProcEnv {
     /// Which `rsh` this process invokes.
     pub rsh: RshBinding,
     /// Owning user name (for per-user service discovery and policy).
-    pub user: String,
+    pub user: std::sync::Arc<str>,
     /// System processes (broker, daemons, appl layer) are excluded from
     /// machine-utilization accounting.
     pub system: bool,
@@ -37,7 +41,7 @@ pub struct ProcEnv {
 
 impl ProcEnv {
     /// Environment of a user-launched process using plain `rsh`.
-    pub fn user_standard(user: impl Into<String>) -> Self {
+    pub fn user_standard(user: impl Into<std::sync::Arc<str>>) -> Self {
         ProcEnv {
             job: None,
             appl: None,
@@ -48,7 +52,7 @@ impl ProcEnv {
     }
 
     /// Environment of a user-launched process with `rsh'` on its PATH.
-    pub fn user_broker(user: impl Into<String>) -> Self {
+    pub fn user_broker(user: impl Into<std::sync::Arc<str>>) -> Self {
         ProcEnv {
             rsh: RshBinding::Broker,
             ..ProcEnv::user_standard(user)
@@ -56,7 +60,7 @@ impl ProcEnv {
     }
 
     /// Environment of a system (broker infrastructure) process.
-    pub fn system(user: impl Into<String>) -> Self {
+    pub fn system(user: impl Into<std::sync::Arc<str>>) -> Self {
         ProcEnv {
             system: true,
             ..ProcEnv::user_standard(user)

@@ -1,5 +1,12 @@
 //! The simulation world: machines, the process table, the event loop, and
 //! the `rsh`/`rshd` machinery.
+//!
+//! Hot-path layout: the process table is a dense arena indexed by
+//! [`ProcId`] (ids are sequential from 1 and never reused, so lookups are
+//! a bounds check, not a hash), in-flight `rsh` operations live in a
+//! generation-checked [`Slab`] keyed by [`RshHandle`], and host-name
+//! resolution is a binary search over a sorted table. Kernel trace records
+//! use `format_args!` so a disabled recorder costs nothing per event.
 
 use crate::cost::CostModel;
 use crate::ctx::Ctx;
@@ -10,8 +17,9 @@ use rb_proto::{
     CommandSpec, ExitStatus, HostSpec, MachineAttrs, MachineId, Payload, ProcId, RshError,
     RshHandle, Signal, TimerToken,
 };
-use rb_simcore::{Duration, EventQueue, SimRng, SimTime, TraceRecorder};
-use std::collections::{HashMap, HashSet};
+use rb_simcore::FxHashMap;
+use rb_simcore::{Duration, EventQueue, QueueKind, SimRng, SimTime, Slab, TraceRecorder};
+use std::sync::Arc;
 
 /// Pseudo-sender for messages injected by the test/scenario harness.
 pub const HARNESS: ProcId = ProcId(0);
@@ -70,10 +78,54 @@ pub(crate) struct ProcEntry {
     /// Set when this process is an `rsh'` shim: (caller, caller's handle).
     pub rsh_prime_for: Option<(ProcId, RshHandle)>,
     pub detached: bool,
+    /// Whether this process ever registered a service (lets `terminate`
+    /// skip the registry sweep for the common serviceless process).
+    pub has_services: bool,
+}
+
+/// Dense process table indexed by [`ProcId`].
+///
+/// Ids are sequential from 1 (0 is the harness pseudo-process) and are
+/// never reused; exited entries stay resident so `exit_status` and
+/// post-mortem queries keep working. Lookup is a bounds check.
+#[derive(Default)]
+pub(crate) struct ProcTable {
+    entries: Vec<ProcEntry>,
+}
+
+impl ProcTable {
+    pub(crate) fn get(&self, p: ProcId) -> Option<&ProcEntry> {
+        self.entries.get((p.0 as usize).checked_sub(1)?)
+    }
+
+    pub(crate) fn get_mut(&mut self, p: ProcId) -> Option<&mut ProcEntry> {
+        self.entries.get_mut((p.0 as usize).checked_sub(1)?)
+    }
+
+    fn push(&mut self, entry: ProcEntry) -> ProcId {
+        self.entries.push(entry);
+        ProcId(self.entries.len() as u64)
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (ProcId, &ProcEntry)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (ProcId(i as u64 + 1), e))
+    }
+}
+
+impl std::ops::Index<ProcId> for ProcTable {
+    type Output = ProcEntry;
+    fn index(&self, p: ProcId) -> &ProcEntry {
+        self.get(p).expect("no such process")
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RshStage {
+    /// Handle allocated, operation not yet routed (transient).
+    Pending,
     Connecting,
     Forking,
     Waiting(ProcId),
@@ -83,7 +135,8 @@ struct RshOp {
     caller: ProcId,
     target: MachineId,
     cmd: CommandSpec,
-    child_env: ProcEnv,
+    /// Filled by `standard_rsh` before the op reaches `Forking`.
+    child_env: Option<ProcEnv>,
     stage: RshStage,
 }
 
@@ -93,6 +146,8 @@ pub struct WorldBuilder {
     seed: u64,
     cost: CostModel,
     trace: bool,
+    trace_ring: Option<usize>,
+    scheduler: QueueKind,
     default_remote_binding: RshBinding,
     factory: Option<Box<dyn ProgramFactory>>,
     rsh_prime: Option<Box<dyn RshPrimeFactory>>,
@@ -105,6 +160,8 @@ impl WorldBuilder {
             seed: 1,
             cost: CostModel::default(),
             trace: true,
+            trace_ring: None,
+            scheduler: QueueKind::Heap,
             default_remote_binding: RshBinding::Standard,
             factory: None,
             rsh_prime: None,
@@ -140,6 +197,22 @@ impl WorldBuilder {
         self
     }
 
+    /// Keep only the most recent `cap` trace events (bounded memory for
+    /// long soak runs). Implies tracing on.
+    pub fn trace_ring(mut self, cap: usize) -> Self {
+        self.trace = true;
+        self.trace_ring = Some(cap);
+        self
+    }
+
+    /// Which data structure backs the kernel's event queue. Both kinds
+    /// replay bit-identically; `Wheel` trades the heap's `O(log n)` for
+    /// `O(1)` scheduling on deep queues.
+    pub fn scheduler(mut self, kind: QueueKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
     /// What `rsh` resolves to in the login environment of `rshd`-spawned
     /// processes: `Broker` models a cluster where `rsh'` replaced the
     /// system-wide `rsh`.
@@ -160,31 +233,42 @@ impl WorldBuilder {
 
     pub fn build(self) -> World {
         assert!(!self.machines.is_empty(), "a world needs machines");
-        let hosts = self
+        let mut hosts: Vec<(Box<str>, MachineId)> = self
             .machines
             .iter()
             .enumerate()
-            .map(|(i, m)| (m.hostname.clone(), MachineId(i as u32)))
+            .map(|(i, m)| (m.hostname.clone().into_boxed_str(), MachineId(i as u32)))
+            .collect();
+        hosts.sort();
+        let host_names: Vec<Arc<str>> = self
+            .machines
+            .iter()
+            .map(|m| Arc::from(m.hostname.as_str()))
             .collect();
         World {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: {
+                let mut q = EventQueue::with_kind(self.scheduler);
+                // Typical clusters keep a few hundred events pending;
+                // skip the first growth reallocations.
+                q.reserve(256);
+                q
+            },
             machines: self.machines.into_iter().map(MachineState::new).collect(),
             hosts,
-            procs: HashMap::new(),
-            next_proc: 1,
-            next_rsh: 1,
+            host_names,
+            procs: ProcTable::default(),
             next_timer: 1,
             next_cpu_token: 1,
-            cancelled_timers: HashSet::new(),
-            rsh_ops: HashMap::new(),
-            services: HashMap::new(),
-            disks: HashMap::new(),
+            cancelled_timers: Vec::new(),
+            rsh_ops: Slab::new(),
+            services: FxHashMap::default(),
+            disks: FxHashMap::default(),
             rng: SimRng::seeded(self.seed),
-            trace: if self.trace {
-                TraceRecorder::enabled()
-            } else {
-                TraceRecorder::disabled()
+            trace: match (self.trace, self.trace_ring) {
+                (true, Some(cap)) => TraceRecorder::ring(cap),
+                (true, None) => TraceRecorder::enabled(),
+                (false, _) => TraceRecorder::disabled(),
             },
             cost: self.cost,
             default_remote_binding: self.default_remote_binding,
@@ -206,19 +290,22 @@ pub struct World {
     pub(crate) now: SimTime,
     pub(crate) queue: EventQueue<Event>,
     pub(crate) machines: Vec<MachineState>,
-    hosts: HashMap<String, MachineId>,
-    pub(crate) procs: HashMap<ProcId, ProcEntry>,
-    next_proc: u64,
-    next_rsh: u64,
+    /// Host-name resolution table, sorted for binary search.
+    hosts: Vec<(Box<str>, MachineId)>,
+    /// Interned host names, indexed by machine id (shared with `Ctx`).
+    host_names: Vec<Arc<str>>,
+    pub(crate) procs: ProcTable,
     next_timer: u64,
     pub(crate) next_cpu_token: u64,
-    pub(crate) cancelled_timers: HashSet<TimerToken>,
-    rsh_ops: HashMap<RshHandle, RshOp>,
+    /// Pending timer cancellations (usually empty, rarely more than a
+    /// handful — a scan beats hashing here).
+    pub(crate) cancelled_timers: Vec<TimerToken>,
+    rsh_ops: Slab<RshOp>,
     /// (machine, user, service-name) -> provider process.
-    pub(crate) services: HashMap<(MachineId, String, String), ProcId>,
+    pub(crate) services: FxHashMap<(MachineId, String, String), ProcId>,
     /// Stable storage: (machine, user, file) -> bytes. Survives process
     /// death and machine crashes (it's a disk).
-    pub(crate) disks: HashMap<(MachineId, String, String), Vec<u8>>,
+    pub(crate) disks: FxHashMap<(MachineId, String, String), Vec<u8>>,
     pub(crate) rng: SimRng,
     pub(crate) trace: TraceRecorder,
     pub(crate) cost: CostModel,
@@ -280,6 +367,16 @@ impl World {
         self.queue.stats()
     }
 
+    /// Which backend the kernel's event queue runs on.
+    pub fn scheduler_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Render the trace with a `#` header carrying the queue counters.
+    pub fn render_trace_with_stats(&self) -> String {
+        self.trace.render_with_stats(&self.kernel_stats())
+    }
+
     pub fn machine_count(&self) -> usize {
         self.machines.len()
     }
@@ -290,7 +387,10 @@ impl World {
     }
 
     pub fn machine_by_host(&self, host: &str) -> Option<MachineId> {
-        self.hosts.get(host).copied()
+        self.hosts
+            .binary_search_by(|(h, _)| h.as_ref().cmp(host))
+            .ok()
+            .map(|i| self.hosts[i].1)
     }
 
     pub fn machine_attrs(&self, m: MachineId) -> &MachineAttrs {
@@ -301,38 +401,41 @@ impl World {
         &self.machines[m.0 as usize].attrs.hostname
     }
 
+    /// Interned host name (cheap to clone and store).
+    pub fn hostname_shared(&self, m: MachineId) -> Arc<str> {
+        self.host_names[m.0 as usize].clone()
+    }
+
     pub fn alive(&self, p: ProcId) -> bool {
         self.procs
-            .get(&p)
+            .get(p)
             .map(|e| matches!(e.state, ProcState::Running))
             .unwrap_or(false)
     }
 
     pub fn exit_status(&self, p: ProcId) -> Option<ExitStatus> {
-        match self.procs.get(&p)?.state {
+        match self.procs.get(p)?.state {
             ProcState::Exited(s) => Some(s),
             ProcState::Running => None,
         }
     }
 
     pub fn proc_name(&self, p: ProcId) -> Option<&'static str> {
-        self.procs.get(&p).map(|e| e.name)
+        self.procs.get(p).map(|e| e.name)
     }
 
     pub fn proc_machine(&self, p: ProcId) -> Option<MachineId> {
-        self.procs.get(&p).map(|e| e.machine)
+        self.procs.get(p).map(|e| e.machine)
     }
 
-    /// Ids of all *alive* processes with the given behavior name.
+    /// Ids of all *alive* processes with the given behavior name, in id
+    /// order (the table is id-ordered by construction).
     pub fn procs_named(&self, name: &str) -> Vec<ProcId> {
-        let mut v: Vec<ProcId> = self
-            .procs
+        self.procs
             .iter()
             .filter(|(_, e)| e.name == name && matches!(e.state, ProcState::Running))
-            .map(|(&p, _)| p)
-            .collect();
-        v.sort();
-        v
+            .map(|(p, _)| p)
+            .collect()
     }
 
     /// Alive application (non-system) processes on a machine.
@@ -422,11 +525,10 @@ impl World {
     pub fn set_owner_present(&mut self, m: MachineId, present: bool) {
         self.machines[m.0 as usize].owner_present = present;
         self.machines[m.0 as usize].console_active |= present;
-        let host = self.hostname(m).to_string();
         self.trace.record(
             self.now,
             "machine.owner",
-            format!("{host} present={present}"),
+            format_args!("{} present={present}", self.host_names[m.0 as usize]),
         );
     }
 
@@ -446,17 +548,18 @@ impl World {
             return;
         }
         self.machines[m.0 as usize].set_up(self.now, up);
-        let host = self.hostname(m).to_string();
-        self.trace
-            .record(self.now, "machine.power", format!("{host} up={up}"));
+        self.trace.record(
+            self.now,
+            "machine.power",
+            format_args!("{} up={up}", self.host_names[m.0 as usize]),
+        );
         if !up {
-            let mut victims: Vec<ProcId> = self
+            let victims: Vec<ProcId> = self
                 .procs
                 .iter()
                 .filter(|(_, e)| e.machine == m && matches!(e.state, ProcState::Running))
-                .map(|(&p, _)| p)
+                .map(|(p, _)| p)
                 .collect();
-            victims.sort();
             for v in victims {
                 self.terminate(v, ExitStatus::Killed(Signal::Kill));
             }
@@ -537,29 +640,27 @@ impl World {
         env: ProcEnv,
         parent: Option<ProcId>,
     ) -> ProcId {
-        let p = ProcId(self.next_proc);
-        self.next_proc += 1;
         let name = behavior.name();
         if !env.system {
             self.machines[machine.0 as usize].app_proc_started(self.now);
         }
-        self.procs.insert(
-            p,
-            ProcEntry {
-                behavior: Some(behavior),
-                name,
-                machine,
-                parent,
-                env,
-                state: ProcState::Running,
-                waited_rsh: None,
-                rsh_prime_for: None,
-                detached: false,
-            },
+        let p = self.procs.push(ProcEntry {
+            behavior: Some(behavior),
+            name,
+            machine,
+            parent,
+            env,
+            state: ProcState::Running,
+            waited_rsh: None,
+            rsh_prime_for: None,
+            detached: false,
+            has_services: false,
+        });
+        self.trace.record(
+            self.now,
+            "proc.start",
+            format_args!("{p} {name} on {}", self.host_names[machine.0 as usize]),
         );
-        let host = self.hostname(machine).to_string();
-        self.trace
-            .record(self.now, "proc.start", format!("{p} {name} on {host}"));
         p
     }
 
@@ -571,11 +672,12 @@ impl World {
                     self.dispatch(to, move |b, ctx| b.on_message(ctx, from, msg));
                 } else {
                     self.trace
-                        .record(self.now, "msg.drop", format!("to dead {to}"));
+                        .record(self.now, "msg.drop", format_args!("to dead {to}"));
                 }
             }
             Event::Timer { proc, token } => {
-                if self.cancelled_timers.remove(&token) {
+                if let Some(i) = self.cancelled_timers.iter().position(|&t| t == token) {
+                    self.cancelled_timers.swap_remove(i);
                     return;
                 }
                 self.dispatch(proc, move |b, ctx| b.on_timer(ctx, token));
@@ -584,9 +686,12 @@ impl World {
                 if !self.alive(proc) {
                     return;
                 }
-                let name = self.procs[&proc].name;
-                self.trace
-                    .record(self.now, "sig.deliver", format!("{proc} {name} {sig:?}"));
+                let name = self.procs[proc].name;
+                self.trace.record(
+                    self.now,
+                    "sig.deliver",
+                    format_args!("{proc} {name} {sig:?}"),
+                );
                 if sig == Signal::Kill {
                     self.terminate(proc, ExitStatus::Killed(Signal::Kill));
                 } else {
@@ -607,9 +712,12 @@ impl World {
             }
             Event::RshAdvance { handle } => self.rsh_advance(handle),
             Event::RshComplete { handle, to, result } => {
-                self.rsh_ops.remove(&handle);
-                self.trace
-                    .record(self.now, "rsh.complete", format!("{handle} -> {result:?}"));
+                self.rsh_ops.remove(handle.0);
+                self.trace.record(
+                    self.now,
+                    "rsh.complete",
+                    format_args!("{handle} -> {result:?}"),
+                );
                 if self.alive(to) {
                     self.dispatch(to, move |b, ctx| b.on_rsh_result(ctx, handle, result));
                 }
@@ -629,7 +737,7 @@ impl World {
     }
 
     fn dispatch(&mut self, p: ProcId, f: impl FnOnce(&mut dyn Behavior, &mut Ctx<'_>)) {
-        let Some(entry) = self.procs.get_mut(&p) else {
+        let Some(entry) = self.procs.get_mut(p) else {
             return;
         };
         if !matches!(entry.state, ProcState::Running) {
@@ -641,7 +749,7 @@ impl World {
         let mut ctx = Ctx::new(self, p);
         f(behavior.as_mut(), &mut ctx);
         let exit = ctx.take_exit();
-        if let Some(entry) = self.procs.get_mut(&p) {
+        if let Some(entry) = self.procs.get_mut(p) {
             if matches!(entry.state, ProcState::Running) {
                 entry.behavior = Some(behavior);
             }
@@ -652,7 +760,7 @@ impl World {
     }
 
     pub(crate) fn terminate(&mut self, p: ProcId, status: ExitStatus) {
-        let Some(entry) = self.procs.get_mut(&p) else {
+        let Some(entry) = self.procs.get_mut(p) else {
             return;
         };
         if !matches!(entry.state, ProcState::Running) {
@@ -665,6 +773,7 @@ impl World {
         let waited = entry.waited_rsh.take();
         let prime_for = entry.rsh_prime_for.take();
         let system = entry.env.system;
+        let had_services = entry.has_services;
         let name = entry.name;
 
         if !system {
@@ -675,11 +784,14 @@ impl World {
             .cpu
             .remove_proc(self.now, p);
         self.reschedule_cpu(machine);
-        // Drop services this process provided.
-        self.services.retain(|_, &mut provider| provider != p);
+        // Drop services this process provided (skipped for the common
+        // serviceless process).
+        if had_services {
+            self.services.retain(|_, &mut provider| provider != p);
+        }
 
         self.trace
-            .record(self.now, "proc.exit", format!("{p} {name} {status}"));
+            .record(self.now, "proc.exit", format_args!("{p} {name} {status}"));
 
         // Parent notification (local, like SIGCHLD).
         if let Some(parent) = parent {
@@ -696,7 +808,7 @@ impl World {
         }
         // A standard rsh waiting on this process completes with its status.
         if let Some(handle) = waited {
-            if let Some(op) = self.rsh_ops.get(&handle) {
+            if let Some(op) = self.rsh_ops.get(handle.0) {
                 let to = op.caller;
                 self.queue.push(
                     self.now + self.cost.lan_latency,
@@ -745,16 +857,22 @@ impl World {
     // rsh machinery
     // ------------------------------------------------------------------
 
-    /// Begin an rsh operation for `caller`. `binding` selects the real rsh
-    /// or the broker's shim.
-    /// Allocate a fresh rsh handle without starting an operation (used by
-    /// the `rsh'` behavior when it drives the standard path itself).
-    pub(crate) fn rsh_begin_raw(&mut self) -> RshHandle {
-        let handle = RshHandle(self.next_rsh);
-        self.next_rsh += 1;
-        handle
+    /// Allocate a fresh rsh handle by inserting a pending op into the slab
+    /// (used directly by the `rsh'` behavior when it drives the standard
+    /// path itself). Every live handle corresponds to a slab entry; stale
+    /// handles miss on the generation check.
+    pub(crate) fn rsh_begin_raw(&mut self, caller: ProcId) -> RshHandle {
+        RshHandle(self.rsh_ops.insert(RshOp {
+            caller,
+            target: MachineId(0),
+            cmd: CommandSpec::Null,
+            child_env: None,
+            stage: RshStage::Pending,
+        }))
     }
 
+    /// Begin an rsh operation for `caller`. `binding` selects the real rsh
+    /// or the broker's shim.
     pub(crate) fn rsh_begin(
         &mut self,
         caller: ProcId,
@@ -762,18 +880,18 @@ impl World {
         cmd: CommandSpec,
         binding: RshBinding,
     ) -> RshHandle {
-        let handle = self.rsh_begin_raw();
+        let handle = self.rsh_begin_raw(caller);
         let spec = HostSpec::classify(host);
         self.trace.record(
             self.now,
             "rsh.invoke",
-            format!("{caller} {binding:?} {spec} {}", cmd.name()),
+            format_args!("{caller} {binding:?} {spec} {}", cmd.name()),
         );
 
         match binding {
             RshBinding::Broker if self.rsh_prime.is_some() => {
                 // Spawn the rsh' shim locally as a child of the caller.
-                let entry = self.procs.get(&caller).expect("caller exists");
+                let entry = self.procs.get(caller).expect("caller exists");
                 let machine = entry.machine;
                 let caller_env = entry.env.clone();
                 let req = RshPrimeRequest {
@@ -788,20 +906,14 @@ impl World {
                 env.system = true; // infrastructure shim
                 let shim = self.insert_proc(machine, behavior, env, Some(caller));
                 self.procs
-                    .get_mut(&shim)
+                    .get_mut(shim)
                     .expect("just inserted")
                     .rsh_prime_for = Some((caller, handle));
-                // Register the op so RshComplete can route to the caller.
-                self.rsh_ops.insert(
-                    handle,
-                    RshOp {
-                        caller,
-                        target: machine,
-                        cmd,
-                        child_env: ProcEnv::user_standard("rsh-prime"),
-                        stage: RshStage::Waiting(shim),
-                    },
-                );
+                // Route the op so RshComplete can reach the caller.
+                let op = self.rsh_ops.get_mut(handle.0).expect("fresh handle");
+                op.target = machine;
+                op.cmd = cmd;
+                op.stage = RshStage::Waiting(shim);
                 // The shim replaces the rsh client binary, whose fork/exec
                 // cost is already charged inside `rsh_connect` on the
                 // standard path; only the classification overhead is extra.
@@ -817,7 +929,9 @@ impl World {
         }
     }
 
-    /// The standard rsh path: resolve, connect, remote fork, wait.
+    /// The standard rsh path: resolve, connect, remote fork, wait. The
+    /// handle's pending slab entry is either routed into `Connecting` or
+    /// removed on the failure paths.
     pub(crate) fn standard_rsh(
         &mut self,
         caller: ProcId,
@@ -826,9 +940,10 @@ impl World {
         cmd: CommandSpec,
     ) {
         let fail = |world: &mut World, err: RshError| {
+            world.rsh_ops.remove(handle.0);
             world
                 .trace
-                .record(world.now, "rsh.fail", format!("{handle} {err}"));
+                .record(world.now, "rsh.fail", format_args!("{handle} {err}"));
             world.queue.push(
                 world.now + world.cost.rsh_fail,
                 Event::RshComplete {
@@ -856,20 +971,15 @@ impl World {
         }
         let caller_user = self
             .procs
-            .get(&caller)
+            .get(caller)
             .map(|e| e.env.user.clone())
-            .unwrap_or_else(|| "unknown".to_string());
-        let child_env = self.rshd_child_env(&cmd, &caller_user);
-        self.rsh_ops.insert(
-            handle,
-            RshOp {
-                caller,
-                target,
-                cmd,
-                child_env,
-                stage: RshStage::Connecting,
-            },
-        );
+            .unwrap_or_else(|| Arc::from("unknown"));
+        let child_env = self.rshd_child_env(&cmd, caller_user);
+        let op = self.rsh_ops.get_mut(handle.0).expect("fresh handle");
+        op.target = target;
+        op.cmd = cmd;
+        op.child_env = Some(child_env);
+        op.stage = RshStage::Connecting;
         self.queue.push(
             self.now + self.cost.rsh_connect,
             Event::RshAdvance { handle },
@@ -881,41 +991,41 @@ impl World {
     /// environment variables, so `job`/`appl` are unset — except for the
     /// sub-`appl`, whose command line carries its managing `appl` and job
     /// (and which is part of the broker installation, hence `system`).
-    fn rshd_child_env(&self, cmd: &CommandSpec, user: &str) -> ProcEnv {
+    fn rshd_child_env(&self, cmd: &CommandSpec, user: Arc<str>) -> ProcEnv {
         match cmd {
             CommandSpec::SubAppl { appl, job, .. } => ProcEnv {
                 job: Some(*job),
                 appl: Some(*appl),
                 rsh: RshBinding::Standard,
-                user: user.to_string(),
+                user,
                 system: true,
             },
             CommandSpec::RbDaemon { .. } => ProcEnv {
                 job: None,
                 appl: None,
                 rsh: RshBinding::Standard,
-                user: user.to_string(),
+                user,
                 system: true,
             },
             _ => ProcEnv {
                 job: None,
                 appl: None,
                 rsh: self.default_remote_binding,
-                user: user.to_string(),
+                user,
                 system: false,
             },
         }
     }
 
     fn rsh_advance(&mut self, handle: RshHandle) {
-        let Some(op) = self.rsh_ops.get(&handle) else {
+        let Some(op) = self.rsh_ops.get(handle.0) else {
             return;
         };
         let target = op.target;
         if !self.machines[target.0 as usize].up {
-            let host = self.hostname(target).to_string();
             let to = op.caller;
-            self.rsh_ops.remove(&handle);
+            self.rsh_ops.remove(handle.0);
+            let host = self.hostname(target).to_string();
             self.queue.push(
                 self.now,
                 Event::RshComplete {
@@ -927,19 +1037,25 @@ impl World {
             return;
         }
         match op.stage {
+            RshStage::Pending => {
+                debug_assert!(false, "RshAdvance on an unrouted op");
+            }
             RshStage::Connecting => {
-                self.rsh_ops.get_mut(&handle).expect("present").stage = RshStage::Forking;
+                self.rsh_ops.get_mut(handle.0).expect("present").stage = RshStage::Forking;
                 self.queue
                     .push(self.now + self.cost.rshd_fork, Event::RshAdvance { handle });
             }
             RshStage::Forking => {
-                let (cmd, env) = {
-                    let op = self.rsh_ops.get(&handle).expect("present");
-                    (op.cmd.clone(), op.child_env.clone())
+                let (cmd, env, caller) = {
+                    let op = self.rsh_ops.get(handle.0).expect("present");
+                    (
+                        op.cmd.clone(),
+                        op.child_env.clone().expect("routed via standard_rsh"),
+                        op.caller,
+                    )
                 };
-                let caller = self.rsh_ops.get(&handle).expect("present").caller;
                 let Some(factory) = self.factory.as_ref() else {
-                    self.rsh_ops.remove(&handle);
+                    self.rsh_ops.remove(handle.0);
                     self.queue.push(
                         self.now,
                         Event::RshComplete {
@@ -951,7 +1067,7 @@ impl World {
                     return;
                 };
                 let Some(behavior) = factory.build(&cmd) else {
-                    self.rsh_ops.remove(&handle);
+                    self.rsh_ops.remove(handle.0);
                     self.queue.push(
                         self.now,
                         Event::RshComplete {
@@ -966,15 +1082,12 @@ impl World {
                     return;
                 };
                 let child = self.insert_proc(target, behavior, env, None);
-                self.procs
-                    .get_mut(&child)
-                    .expect("just inserted")
-                    .waited_rsh = Some(handle);
-                self.rsh_ops.get_mut(&handle).expect("present").stage = RshStage::Waiting(child);
+                self.procs.get_mut(child).expect("just inserted").waited_rsh = Some(handle);
+                self.rsh_ops.get_mut(handle.0).expect("present").stage = RshStage::Waiting(child);
                 self.trace.record(
                     self.now,
                     "rsh.spawned",
-                    format!("{handle} -> {child} {}", cmd.name()),
+                    format_args!("{handle} -> {child} {}", cmd.name()),
                 );
                 self.queue.push(self.now, Event::Start(child));
             }
@@ -986,7 +1099,7 @@ impl World {
 
     /// Mark a process as daemonized; any rsh waiting on it completes now.
     pub(crate) fn detach_proc(&mut self, p: ProcId) {
-        let Some(entry) = self.procs.get_mut(&p) else {
+        let Some(entry) = self.procs.get_mut(p) else {
             return;
         };
         if entry.detached {
@@ -995,7 +1108,7 @@ impl World {
         entry.detached = true;
         let parent = entry.parent;
         if let Some(handle) = entry.waited_rsh.take() {
-            if let Some(op) = self.rsh_ops.get(&handle) {
+            if let Some(op) = self.rsh_ops.get(handle.0) {
                 let to = op.caller;
                 self.queue.push(
                     self.now + self.cost.lan_latency,
@@ -1015,6 +1128,7 @@ impl World {
                 );
             }
         }
-        self.trace.record(self.now, "proc.detach", format!("{p}"));
+        self.trace
+            .record(self.now, "proc.detach", format_args!("{p}"));
     }
 }

@@ -95,7 +95,7 @@ impl Behavior for Child {
         "env-child"
     }
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        *self.env_out.borrow_mut() = Some(ctx.env());
+        *self.env_out.borrow_mut() = Some(ctx.env().clone());
         ctx.exit(ExitStatus::Success);
     }
 }
@@ -132,7 +132,7 @@ fn children_inherit_the_parent_environment() {
     world.run_until(SimTime(1_000_000));
     assert!(!world.alive(parent), "parent exited after child");
     let got = child_env.borrow().clone().expect("child ran");
-    assert_eq!(got.user, "carol");
+    assert_eq!(&*got.user, "carol");
     assert_eq!(got.job, Some(rb_proto::JobId(7)));
     assert_eq!(got.appl, Some(ProcId(42)));
     assert_eq!(got.rsh, RshBinding::Broker);

@@ -85,7 +85,7 @@ mod tests {
         at.iter()
             .map(|&(t, topic, detail)| TraceEvent {
                 at: SimTime(t),
-                topic: topic.into(),
+                topic: topic.to_string().into(),
                 detail: detail.into(),
             })
             .collect()

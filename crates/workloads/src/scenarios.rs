@@ -3,7 +3,7 @@
 use rb_broker::{build_cluster, Cluster, ClusterOptions, JobRequest, JobRun, Policy};
 use rb_parsys::{CalypsoConfig, CalypsoMaster, TaskBag};
 use rb_proto::{MachineAttrs, ProcId};
-use rb_simcore::SimTime;
+use rb_simcore::{QueueKind, SimTime};
 use rb_simnet::{BasePrograms, FactoryChain, World, WorldBuilder};
 
 /// The `loop` program's CPU cost: "a tight loop running in 5.3 seconds".
@@ -25,6 +25,18 @@ pub fn plain_world(publics: usize, seed: u64) -> World {
 /// owner at the console, hence outside the shared pool) plus `publics`
 /// public lab machines, all under a broker with the given policy.
 pub fn broker_testbed(publics: usize, seed: u64, policy: Box<dyn Policy>, trace: bool) -> Cluster {
+    broker_testbed_kind(publics, seed, policy, trace, QueueKind::default())
+}
+
+/// [`broker_testbed`] with an explicit event-queue backend (both backends
+/// replay bit-identically; see the scheduler-equivalence tests).
+pub fn broker_testbed_kind(
+    publics: usize,
+    seed: u64,
+    policy: Box<dyn Policy>,
+    trace: bool,
+    scheduler: QueueKind,
+) -> Cluster {
     let mut machines = vec![MachineAttrs::private_linux("n00", "user")];
     machines.extend((1..=publics).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
     let opts = ClusterOptions {
@@ -32,6 +44,7 @@ pub fn broker_testbed(publics: usize, seed: u64, policy: Box<dyn Policy>, trace:
         machines,
         policy,
         trace,
+        scheduler,
         ..Default::default()
     };
     let mut c = build_cluster(opts);

@@ -7,7 +7,7 @@
 //! mechanisms are efficient and that, in the presence of adaptive
 //! programs, a resource broker can push network utilization above 99 %.
 
-use crate::scenarios::{await_calypso_workers, broker_testbed, submit_endless_calypso};
+use crate::scenarios::{await_calypso_workers, broker_testbed_kind, submit_endless_calypso};
 use rb_broker::{submit_job, DefaultPolicy, JobRequest, JobRun};
 use rb_proto::CommandSpec;
 use rb_simcore::{Duration, SimRng, SimTime};
@@ -24,6 +24,9 @@ pub struct UtilizationConfig {
     /// Total experiment length, in hours.
     pub hours: f64,
     pub seed: u64,
+    /// Kernel event-queue backend (results are identical; throughput may
+    /// differ).
+    pub scheduler: rb_simcore::QueueKind,
 }
 
 impl Default for UtilizationConfig {
@@ -35,6 +38,7 @@ impl Default for UtilizationConfig {
             runtime_max_minutes: 10.0,
             hours: 5.0,
             seed: 11,
+            scheduler: rb_simcore::QueueKind::default(),
         }
     }
 }
@@ -69,11 +73,12 @@ pub fn run(cfg: &UtilizationConfig) -> UtilizationReport {
 }
 
 fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_simcore::Series) {
-    let mut c = broker_testbed(
+    let mut c = broker_testbed_kind(
         cfg.machines,
         cfg.seed,
         Box::new(DefaultPolicy::default()),
         false,
+        cfg.scheduler,
     );
     // The adaptive job fills the cluster.
     submit_endless_calypso(&mut c, cfg.machines as u32, 2_000);

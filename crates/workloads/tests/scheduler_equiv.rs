@@ -1,0 +1,53 @@
+//! Scheduler-equivalence guarantees: the heap and timer-wheel event-queue
+//! backends replay the same seed bit-identically, and tracing is a pure
+//! observer (enabling it does not perturb the simulation).
+
+use rb_broker::DefaultPolicy;
+use rb_simcore::{QueueKind, SimTime};
+use rb_workloads::scenarios::{await_calypso_workers, broker_testbed_kind, submit_endless_calypso};
+
+/// A busy broker scenario: adaptive job grabs the cluster, then runs on.
+/// Returns the rendered trace (empty when tracing is off), final virtual
+/// time, and the kernel's work counters.
+fn run_scenario(kind: QueueKind, trace: bool) -> (String, u64, rb_simcore::QueueStats) {
+    let mut c = broker_testbed_kind(4, 42, Box::new(DefaultPolicy::default()), trace, kind);
+    assert_eq!(c.world.scheduler_kind(), kind);
+    submit_endless_calypso(&mut c, 4, 500);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 4, limit);
+    c.world.run_until(limit);
+    (
+        c.world.trace().render(),
+        c.world.now().as_micros(),
+        c.world.kernel_stats(),
+    )
+}
+
+#[test]
+fn heap_and_wheel_traces_are_byte_identical() {
+    let (heap_trace, heap_now, heap_stats) = run_scenario(QueueKind::Heap, true);
+    let (wheel_trace, wheel_now, wheel_stats) = run_scenario(QueueKind::Wheel, true);
+    assert!(
+        heap_trace.lines().count() > 100,
+        "scenario should be busy, got {} trace lines",
+        heap_trace.lines().count()
+    );
+    assert_eq!(heap_trace, wheel_trace, "trace divergence between backends");
+    assert_eq!(heap_now, wheel_now);
+    assert_eq!(heap_stats.scheduled, wheel_stats.scheduled);
+    assert_eq!(heap_stats.dispatched, wheel_stats.dispatched);
+    assert_eq!(heap_stats.peak_depth, wheel_stats.peak_depth);
+}
+
+#[test]
+fn tracing_is_a_pure_observer() {
+    for kind in [QueueKind::Heap, QueueKind::Wheel] {
+        let (traced, now_on, stats_on) = run_scenario(kind, true);
+        let (untraced, now_off, stats_off) = run_scenario(kind, false);
+        assert!(!traced.is_empty());
+        assert!(untraced.is_empty(), "disabled recorder must store nothing");
+        assert_eq!(now_on, now_off, "{kind:?}: tracing changed the clock");
+        assert_eq!(stats_on.scheduled, stats_off.scheduled);
+        assert_eq!(stats_on.dispatched, stats_off.dispatched);
+    }
+}

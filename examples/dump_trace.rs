@@ -44,7 +44,9 @@ fn main() {
         .world
         .run_until(cluster.world.now() + Duration::from_secs(60));
 
-    let rendered = cluster.world.trace().render();
+    // Include the `# rb-trace v1 ...` header carrying the kernel's queue
+    // counters; rblint echoes it and skips it during parsing.
+    let rendered = cluster.world.render_trace_with_stats();
     match std::env::args().nth(1) {
         Some(path) => {
             std::fs::write(&path, &rendered).expect("write trace dump");
