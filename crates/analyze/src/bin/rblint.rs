@@ -1,20 +1,23 @@
 //! `rblint` — lint dumped simulation traces and the protocol graph.
 //!
 //! ```text
-//! rblint [--graph] [--rules] <trace-file>...
+//! rblint [--graph] [--rules] [--format text|json] <trace-file>...
 //! ```
 //!
 //! Trace files are `TraceRecorder::render` output (the format the example
-//! binaries and `World::trace().render()` produce). Exit status is 0 when
-//! everything passes, 1 on violations or graph problems, 2 on usage or
-//! I/O errors.
+//! binaries and `World::trace().render()` produce). An empty or
+//! header-only trace is not an error: there is nothing to lint, which is
+//! reported clearly and exits 0. Exit status is 0 when everything passes,
+//! 1 on violations or graph problems, 2 on usage or I/O errors.
 
+use rb_simcore::Json;
 use std::io::Write;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rblint [--graph] [--rules] <trace-file>...
-  --graph   check the declared protocol graph
-  --rules   list the trace-invariant rule catalogue
+const USAGE: &str = "usage: rblint [options] <trace-file>...
+  --graph          check the declared protocol graph
+  --rules          list the trace-invariant rule catalogue
+  --format <f>     text (default) | json
 ";
 
 /// Write `out` to stdout, swallowing broken-pipe (e.g. `rblint ... | head`)
@@ -23,15 +26,58 @@ fn emit(out: &str) {
     let _ = std::io::stdout().write_all(out.as_bytes());
 }
 
+#[derive(PartialEq, Clone, Copy)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn violation_json(v: &rb_analyze::Violation) -> Json {
+    Json::obj()
+        .set("rule", v.rule)
+        .set("at_us", v.at.0 as f64)
+        .set("message", v.message.as_str())
+        .set(
+            "window",
+            Json::Arr(
+                v.window
+                    .iter()
+                    .map(|ev| {
+                        Json::obj()
+                            .set("at_us", ev.at.0 as f64)
+                            .set("topic", ev.topic.as_str())
+                            .set("detail", ev.detail.as_str())
+                    })
+                    .collect(),
+            ),
+        )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut want_graph = false;
     let mut want_rules = false;
+    let mut format = Format::Text;
     let mut files: Vec<&str> = Vec::new();
-    for a in &args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--graph" => want_graph = true,
             "--rules" => want_rules = true,
+            "--format" => {
+                format = match it.next().map(|s| s.as_str()) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some(f) => {
+                        eprintln!("rblint: unknown format {f}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("rblint: --format needs a value");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 emit(USAGE);
                 return ExitCode::SUCCESS;
@@ -50,22 +96,58 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
+    let mut doc = Json::obj().set("schema", "rblint/v1");
 
     if want_rules {
-        let mut out = String::from("trace-invariant rules:\n");
-        for r in rb_analyze::all_rules() {
-            out.push_str(&format!("  {:<24} {}\n", r.name, r.description));
+        if format == Format::Json {
+            doc = doc.set(
+                "rules",
+                Json::Arr(
+                    rb_analyze::all_rules()
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .set("name", r.name)
+                                .set("description", r.description)
+                        })
+                        .collect(),
+                ),
+            );
+        } else {
+            let mut out = String::from("trace-invariant rules:\n");
+            for r in rb_analyze::all_rules() {
+                out.push_str(&format!("  {:<24} {}\n", r.name, r.description));
+            }
+            emit(&out);
         }
-        emit(&out);
     }
 
     if want_graph {
-        emit(&rb_analyze::graph::render_graph_summary());
-        if rb_analyze::check_protocol_graph().is_err() {
+        let graph_ok = rb_analyze::check_protocol_graph().is_ok();
+        if !graph_ok {
             failed = true;
+        }
+        if format == Format::Json {
+            let report = rb_analyze::analyze_specs(&rb_analyze::all_specs());
+            doc = doc.set(
+                "graph",
+                Json::obj().set("ok", graph_ok).set(
+                    "problems",
+                    Json::Arr(
+                        report
+                            .problems()
+                            .iter()
+                            .map(|p| Json::Str(p.clone()))
+                            .collect(),
+                    ),
+                ),
+            );
+        } else {
+            emit(&rb_analyze::graph::render_graph_summary());
         }
     }
 
+    let mut file_objs: Vec<Json> = Vec::new();
     for f in files {
         let text = match std::fs::read_to_string(f) {
             Ok(t) => t,
@@ -74,11 +156,9 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        // Echo `#` header lines (e.g. the kernel's queue counters written
-        // by `World::render_trace_with_stats`) before the lint summary.
-        for line in text.lines().filter(|l| l.starts_with('#')) {
-            emit(&format!("{f}: {line}\n"));
-        }
+        // `#` header lines (e.g. the kernel's queue counters written by
+        // `World::render_trace_with_stats`) are metadata, not events.
+        let headers: Vec<&str> = text.lines().filter(|l| l.starts_with('#')).collect();
         let events = match rb_simcore::parse_rendered(&text) {
             Ok(ev) => ev,
             Err(e) => {
@@ -86,18 +166,68 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let violations = rb_analyze::lint_events(&events);
-        if violations.is_empty() {
-            emit(&format!("{f}: {} events, clean\n", events.len()));
-        } else {
-            failed = true;
-            emit(&format!(
-                "{f}: {} events, {} violation(s)\n{}",
-                events.len(),
-                violations.len(),
-                rb_analyze::render_violations(&violations)
-            ));
+        // An empty (or header-only) trace is vacuously clean: every rule
+        // quantifies over events. Say so explicitly rather than printing a
+        // confusing "0 events, clean".
+        if events.is_empty() {
+            if format == Format::Text {
+                for line in &headers {
+                    emit(&format!("{f}: {line}\n"));
+                }
+                emit(&format!(
+                    "{f}: no trace events{} — nothing to lint (ok)\n",
+                    if headers.is_empty() {
+                        ""
+                    } else {
+                        " (header lines only)"
+                    }
+                ));
+            } else {
+                file_objs.push(
+                    Json::obj()
+                        .set("file", f)
+                        .set("events", 0.0)
+                        .set("empty", true)
+                        .set("violations", Json::Arr(Vec::new())),
+                );
+            }
+            continue;
         }
+        let violations = rb_analyze::lint_events(&events);
+        if format == Format::Json {
+            file_objs.push(
+                Json::obj()
+                    .set("file", f)
+                    .set("events", events.len() as f64)
+                    .set("empty", false)
+                    .set(
+                        "violations",
+                        Json::Arr(violations.iter().map(violation_json).collect()),
+                    ),
+            );
+        } else {
+            for line in &headers {
+                emit(&format!("{f}: {line}\n"));
+            }
+            if violations.is_empty() {
+                emit(&format!("{f}: {} events, clean\n", events.len()));
+            } else {
+                emit(&format!(
+                    "{f}: {} events, {} violation(s)\n{}",
+                    events.len(),
+                    violations.len(),
+                    rb_analyze::render_violations(&violations)
+                ));
+            }
+        }
+        if !violations.is_empty() {
+            failed = true;
+        }
+    }
+
+    if format == Format::Json {
+        doc = doc.set("ok", !failed).set("files", Json::Arr(file_objs));
+        emit(&doc.render());
     }
 
     if failed {

@@ -1,0 +1,262 @@
+//! `rbmodel` — bounded exhaustive interleaving exploration for the broker
+//! protocol (DESIGN.md §11).
+//!
+//! ```text
+//! rbmodel --scenario <name> [--mode dpor|naive|both] [budgets] [--json F]
+//! rbmodel --scenario <name> --replay <file.sched>
+//! rbmodel --list
+//! ```
+//!
+//! Exit status: 0 when exploration finds no counterexample, 1 when any
+//! check fails, 2 on usage errors. With `--sched-out DIR`, every
+//! counterexample's schedule is written as a replayable `.sched` file.
+//! `RB_SCHEDULE=<file>` is equivalent to `--replay <file>`.
+
+use rb_analyze::model::{
+    self, explore, parse_schedule, replay, schedule_to_string, ExploreConfig, Mode, ModelReport,
+};
+use rb_simcore::Json;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rbmodel --scenario <name> [options]
+  --scenario <name>     scenario to explore (repeatable; see --list)
+  --mode <m>            dpor | naive | both  (default: both)
+  --seed <n>            world seed (default: 1)
+  --depth <n>           max branching depth (default: 64)
+  --max-schedules <n>   schedule budget per mode (default: 2000)
+  --max-states <n>      distinct-state budget per mode (default: 20000)
+  --walltime-ms <n>     wall-clock budget per mode (default: 60000)
+  --json <file>         write the machine-readable report
+  --sched-out <dir>     write counterexample .sched files here
+  --replay <file>       replay one .sched file instead of exploring
+  --list                list known scenarios
+";
+
+fn emit(out: &str) {
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+struct Args {
+    scenarios: Vec<String>,
+    modes: Vec<Mode>,
+    cfg: ExploreConfig,
+    json: Option<String>,
+    sched_out: Option<String>,
+    replay: Option<String>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenarios = Vec::new();
+    let mut modes = vec![Mode::Dpor, Mode::Naive];
+    let mut cfg = ExploreConfig::default();
+    let mut json = None;
+    let mut sched_out = None;
+    let mut replay = std::env::var(model::RB_SCHEDULE_ENV).ok();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => {
+                emit(USAGE);
+                return Ok(None);
+            }
+            "--list" => {
+                let mut out = String::from("scenarios:\n");
+                for s in model::scenarios() {
+                    out.push_str(&format!("  {:<20} {}\n", s.name, s.description));
+                }
+                emit(&out);
+                return Ok(None);
+            }
+            "--scenario" => scenarios.push(value("--scenario")?),
+            "--mode" => {
+                modes = match value("--mode")?.as_str() {
+                    "dpor" => vec![Mode::Dpor],
+                    "naive" => vec![Mode::Naive],
+                    "both" => vec![Mode::Dpor, Mode::Naive],
+                    m => return Err(format!("unknown mode {m}")),
+                }
+            }
+            "--seed" => cfg.seed = num(&value("--seed")?)?,
+            "--depth" => cfg.max_depth = num(&value("--depth")?)? as usize,
+            "--max-schedules" => cfg.max_schedules = num(&value("--max-schedules")?)?,
+            "--max-states" => cfg.max_states = num(&value("--max-states")?)?,
+            "--walltime-ms" => cfg.walltime_ms = num(&value("--walltime-ms")?)?,
+            "--json" => json = Some(value("--json")?),
+            "--sched-out" => sched_out = Some(value("--sched-out")?),
+            "--replay" => replay = Some(value("--replay")?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if scenarios.is_empty() {
+        return Err("no --scenario given".into());
+    }
+    Ok(Some(Args {
+        scenarios,
+        modes,
+        cfg,
+        json,
+        sched_out,
+        replay,
+    }))
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn render_report(r: &ModelReport) -> String {
+    let mut out = format!(
+        "{} [{}]: {} schedules, {} states, {} choice points, depth {}{}{} — {}\n",
+        r.scenario,
+        r.mode.as_str(),
+        r.schedules_executed,
+        r.states_seen,
+        r.choice_points,
+        r.max_depth_reached,
+        if r.complete { ", complete" } else { "" },
+        match r.truncated_by {
+            Some(t) => format!(", truncated by {t}"),
+            None => String::new(),
+        },
+        if r.violations.is_empty() {
+            "clean".to_string()
+        } else {
+            format!("{} VIOLATION(S)", r.violations.len())
+        },
+    );
+    for v in &r.violations {
+        out.push_str(&format!("  [{}] {}\n", v.check, v.message));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rbmodel: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Replay mode: run one explicit schedule, report its failures.
+    if let Some(path) = &args.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rbmodel: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let choices = match parse_schedule(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("rbmodel: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut failed = false;
+        for name in &args.scenarios {
+            let Some(sc) = model::scenario(name) else {
+                eprintln!("rbmodel: unknown scenario {name} (try --list)");
+                return ExitCode::from(2);
+            };
+            let (failures, trace) = replay(&sc, args.cfg.seed, &choices);
+            emit(&trace);
+            if failures.is_empty() {
+                emit(&format!("{name}: replay clean\n"));
+            } else {
+                failed = true;
+                for (check, message) in &failures {
+                    emit(&format!("{name}: [{check}] {message}\n"));
+                }
+            }
+        }
+        return if failed {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut failed = false;
+    let mut scenario_objs: Vec<(String, Json)> = Vec::new();
+    for name in &args.scenarios {
+        let Some(sc) = model::scenario(name) else {
+            eprintln!("rbmodel: unknown scenario {name} (try --list)");
+            return ExitCode::from(2);
+        };
+        let mut mode_objs: Vec<(String, Json)> = Vec::new();
+        let mut counts: Vec<(Mode, u64)> = Vec::new();
+        for &mode in &args.modes {
+            let cfg = ExploreConfig {
+                mode,
+                ..args.cfg.clone()
+            };
+            let report = explore(&sc, &cfg);
+            emit(&render_report(&report));
+            if !report.violations.is_empty() {
+                failed = true;
+                if let Some(dir) = &args.sched_out {
+                    for (i, v) in report.violations.iter().enumerate() {
+                        let path = format!(
+                            "{dir}/{}-{}-{i}.sched",
+                            report.scenario,
+                            report.mode.as_str()
+                        );
+                        let body = schedule_to_string(&report.scenario, report.seed, &v.schedule);
+                        if let Err(e) = std::fs::write(&path, body) {
+                            eprintln!("rbmodel: {path}: {e}");
+                        } else {
+                            emit(&format!("  counterexample schedule -> {path}\n"));
+                        }
+                    }
+                }
+            }
+            counts.push((mode, report.schedules_executed));
+            mode_objs.push((mode.as_str().to_string(), report.to_json()));
+        }
+        let mut obj = Json::obj().set("modes", Json::Obj(mode_objs));
+        // Both modes ran on the same config: record the DPOR saving.
+        if let (Some(&(_, dpor)), Some(&(_, naive))) = (
+            counts.iter().find(|(m, _)| *m == Mode::Dpor),
+            counts.iter().find(|(m, _)| *m == Mode::Naive),
+        ) {
+            obj = obj.set(
+                "schedule_reduction",
+                Json::obj()
+                    .set("naive_schedules", naive as f64)
+                    .set("dpor_schedules", dpor as f64),
+            );
+        }
+        scenario_objs.push((name.clone(), obj));
+    }
+
+    if let Some(path) = &args.json {
+        let doc = Json::obj()
+            .set("schema", "rb-model/v1")
+            .set("seed", args.cfg.seed as f64)
+            .set("scenarios", Json::Obj(scenario_objs));
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("rbmodel: {path}: {e}");
+            return ExitCode::from(2);
+        }
+        emit(&format!("report -> {path}\n"));
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

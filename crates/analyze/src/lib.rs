@@ -12,11 +12,19 @@
 //!   properties (no double allocation, reclaims terminate, SIGKILL only
 //!   after SIGTERM + grace, ...). Entry points: [`lint`] /
 //!   [`install_linter`], plus the `rblint` binary for dumped trace files.
+//!
+//! - **Interleaving explorer** ([`model`], DESIGN.md §11) — bounded
+//!   exhaustive exploration of same-instant tie-break schedules with
+//!   dynamic partial-order reduction, running the trace rules plus
+//!   deadlock / lost-wakeup / allocation-linearizability checks on every
+//!   terminal state. Entry points: [`explore`] and the `rbmodel` binary.
 
 pub mod graph;
+pub mod model;
 pub mod rules;
 
 pub use graph::{all_specs, analyze_specs, check_protocol_graph, GraphReport};
+pub use model::{explore, ExploreConfig, Mode, ModelReport, ModelScenario, ModelViolation};
 pub use rules::{all_rules, lint_events, render_violations, Rule, Violation};
 
 use rb_simcore::TraceRecorder;

@@ -1,0 +1,173 @@
+//! Whole-execution checks the explorer runs on every terminal state, on
+//! top of the 10 per-trace invariants from [`crate::rules`].
+
+use rb_simcore::SimTime;
+use rb_simnet::World;
+
+/// One failed whole-execution check.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    pub check: &'static str,
+    pub message: String,
+}
+
+/// Run every whole-execution check against a terminal world state.
+/// `limit` is the virtual-time bound the run was given; quiescence *before*
+/// the bound is meaningful, hitting the bound is not.
+pub fn check_terminal(world: &World, limit: SimTime) -> Vec<CheckFailure> {
+    let mut out = Vec::new();
+    out.extend(deadlock(world, limit));
+    out.extend(lost_wakeup(world));
+    out.extend(linearizability(world));
+    out
+}
+
+/// Deadlock: the event queue drained before the time limit while processes
+/// are still alive. Nothing can ever run again — whatever those processes
+/// are waiting for (a message, a timer, a child) will never arrive.
+fn deadlock(world: &World, limit: SimTime) -> Option<CheckFailure> {
+    if !world.quiescent() || world.now() >= limit {
+        return None;
+    }
+    let alive = world.alive_procs();
+    if alive.is_empty() {
+        return None;
+    }
+    let names: Vec<String> = alive
+        .iter()
+        .map(|(p, name, _)| format!("{p} {name}"))
+        .collect();
+    Some(CheckFailure {
+        check: "deadlock",
+        message: format!(
+            "quiescent at {} (limit {limit}) with {} process(es) alive: {}",
+            world.now(),
+            names.len(),
+            names.join(", ")
+        ),
+    })
+}
+
+/// Lost wakeup: a process traced `wait.arm` more times than `wait.wake`
+/// (the detail's first word is the process id), is still alive, and no
+/// pending event targets it — it sleeps forever. Behaviors opt into the
+/// check by emitting the two markers around their sleep/notify points.
+fn lost_wakeup(world: &World) -> Vec<CheckFailure> {
+    let mut balance: Vec<(String, i64)> = Vec::new();
+    for ev in world.trace().events() {
+        let delta = match ev.topic.as_str() {
+            "wait.arm" => 1,
+            "wait.wake" => -1,
+            _ => continue,
+        };
+        let proc_label = ev
+            .detail
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+        match balance.iter_mut().find(|(l, _)| *l == proc_label) {
+            Some((_, n)) => *n += delta,
+            None => balance.push((proc_label, delta)),
+        }
+    }
+    let pending = world.pending_event_infos();
+    let mut out = Vec::new();
+    for (label, n) in balance {
+        if n <= 0 {
+            continue;
+        }
+        let Some((p, name, _)) = world
+            .alive_procs()
+            .into_iter()
+            .find(|(p, _, _)| p.to_string() == label)
+        else {
+            continue; // exited: it was not left sleeping
+        };
+        let reachable = pending
+            .iter()
+            .any(|(_, info)| info.proc == Some(p) || info.other == Some(p));
+        if !reachable {
+            out.push(CheckFailure {
+                check: "lost-wakeup",
+                message: format!(
+                    "{p} {name} armed a wait that can never be woken \
+                     (arm/wake balance {n}, no pending event targets it)"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Allocation linearizability: the sequence of grants each appl observes
+/// for a host (`appl.grant.seen`, "<host> -> <job>") must be a subsequence
+/// of the broker's own grant order for that host (`broker.grant`,
+/// "<host> -> <job> (<grow>)"). Observations lag the broker by message
+/// latency, so *subsequence* — not equality — is the invariant; an
+/// observation the broker never made, or one out of order, means broker
+/// and appls disagree on who owned the machine.
+fn linearizability(world: &World) -> Vec<CheckFailure> {
+    let mut broker_order: Vec<(String, String)> = Vec::new(); // (host, job)
+    let mut seen_order: Vec<(String, String)> = Vec::new();
+    for ev in world.trace().events() {
+        let mut words = ev.detail.split_whitespace();
+        let (Some(host), Some(_arrow), Some(job)) = (words.next(), words.next(), words.next())
+        else {
+            continue;
+        };
+        match ev.topic.as_str() {
+            "broker.grant" => broker_order.push((host.to_string(), job.to_string())),
+            "appl.grant.seen" => seen_order.push((host.to_string(), job.to_string())),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    let hosts: Vec<&String> = {
+        let mut h: Vec<&String> = seen_order.iter().map(|(host, _)| host).collect();
+        h.sort();
+        h.dedup();
+        h
+    };
+    for host in hosts {
+        let granted: Vec<&String> = broker_order
+            .iter()
+            .filter(|(h, _)| h == host)
+            .map(|(_, j)| j)
+            .collect();
+        let observed: Vec<&String> = seen_order
+            .iter()
+            .filter(|(h, _)| h == host)
+            .map(|(_, j)| j)
+            .collect();
+        // Subsequence check: every observation must match the next broker
+        // grant for that host, in order.
+        let mut gi = 0;
+        for job in &observed {
+            match granted[gi..].iter().position(|g| g == job) {
+                Some(k) => gi += k + 1,
+                None => {
+                    out.push(CheckFailure {
+                        check: "allocation-linearizability",
+                        message: format!(
+                            "appl observed grant of {host} to {job} out of order: \
+                             broker's grant sequence for {host} is [{}], observed [{}]",
+                            granted
+                                .iter()
+                                .map(|s| s.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                            observed
+                                .iter()
+                                .map(|s| s.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,106 @@
+//! Seeded lost-wakeup fixture: a waiter/notifier pair whose correctness
+//! depends entirely on a same-instant tie-break.
+//!
+//! The waiter *arms* via a timer; the notifier's wake message crosses the
+//! network and lands at the exact same microsecond. Under the FIFO
+//! tie-break the arm dispatches first (it was scheduled first) and the
+//! wake is observed. Flip the tie and the wake arrives while the waiter is
+//! still unarmed; the buggy waiter drops it instead of latching it, so the
+//! later arm puts the process to sleep forever — the classic lost wakeup,
+//! same shape as a broker daemon restarting past an in-flight
+//! notification. The fixed variant latches early wakes, so *every*
+//! interleaving terminates and the explorer reports it clean.
+
+use rb_proto::{ApplMsg, ExitStatus, Payload, ProcId, TimerToken};
+use rb_simcore::SimTime;
+use rb_simnet::{Behavior, Ctx, ProcEnv, World, WorldBuilder};
+
+/// Waits for a wake message, but only starts listening ("arms") when its
+/// timer fires. `latch` selects the fixed behavior: remember a wake that
+/// arrives before the arm instead of dropping it.
+struct Waiter {
+    latch: bool,
+    armed: bool,
+    early_wake: bool,
+}
+
+impl Behavior for Waiter {
+    fn name(&self) -> &'static str {
+        "mc-waiter"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Arm exactly when the notifier's LAN message arrives: a genuine
+        // same-instant race, decided solely by the tie-break.
+        let d = ctx.cost().lan_latency;
+        ctx.set_timer(d);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        self.armed = true;
+        ctx.trace("wait.arm", format_args!("{}", ctx.me()));
+        if self.latch && self.early_wake {
+            ctx.trace("wait.wake", format_args!("{} (latched)", ctx.me()));
+            ctx.exit(ExitStatus::Success);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, _msg: Payload) {
+        if self.armed {
+            ctx.trace("wait.wake", format_args!("{}", ctx.me()));
+            ctx.exit(ExitStatus::Success);
+        } else if self.latch {
+            self.early_wake = true;
+        }
+        // else: the seeded bug — a wake before the arm is silently lost.
+    }
+}
+
+/// Sends one wake to the waiter and exits.
+struct Notifier {
+    target: ProcId,
+}
+
+impl Behavior for Notifier {
+    fn name(&self) -> &'static str {
+        "mc-notifier"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send(self.target, Payload::Appl(ApplMsg::Shutdown));
+        ctx.exit(ExitStatus::Success);
+    }
+}
+
+fn build(seed: u64, latch: bool) -> (World, SimTime) {
+    let mut b = WorldBuilder::new().seed(seed).trace(true);
+    b.standard_lab(2);
+    let mut w = b.build();
+    let m0 = w.machine_by_host("n00").expect("lab machine");
+    let m1 = w.machine_by_host("n01").expect("lab machine");
+    let waiter = w.spawn_user(
+        m0,
+        Box::new(Waiter {
+            latch,
+            armed: false,
+            early_wake: false,
+        }),
+        ProcEnv::user_standard("mc"),
+    );
+    w.spawn_user(
+        m1,
+        Box::new(Notifier { target: waiter }),
+        ProcEnv::user_standard("mc"),
+    );
+    (w, SimTime(10_000_000))
+}
+
+/// The buggy fixture: drops a wake that beats the arm.
+pub fn lost_wakeup_buggy(seed: u64) -> (World, SimTime) {
+    build(seed, false)
+}
+
+/// The fixed fixture: latches early wakes; clean under every interleaving.
+pub fn lost_wakeup_fixed(seed: u64) -> (World, SimTime) {
+    build(seed, true)
+}

@@ -1,0 +1,497 @@
+//! rb-model: bounded exhaustive exploration of kernel tie-break schedules
+//! with dynamic partial-order reduction (see DESIGN.md §11).
+//!
+//! The kernel is deterministic up to one degree of freedom: the order in
+//! which events scheduled for the *same microsecond* dispatch. The
+//! explorer drives that choice through a [`rb_simnet::WorldOracle`],
+//! enumerating schedules depth-first. Every run rebuilds the scenario's
+//! world from its seed (the setup prologue is a pure function of the
+//! seed), replays a prefix of recorded choices, and continues FIFO beyond
+//! it — so a schedule is just a list of batch indices, and any
+//! counterexample replays bit-identically from its `.sched` file.
+//!
+//! Two modes share the machinery:
+//! - **naive**: branch on every index of every fresh-state choice point —
+//!   the full bounded tie-break space, the baseline DPOR is measured
+//!   against;
+//! - **dpor**: branch only where the just-run schedule proves two
+//!   same-instant events *dependent* ([`rb_simnet::EventInfo::independent`]),
+//!   in the Flanagan–Godefroid style: on a race between decisions `i` and
+//!   `j < i` at the same instant, insert the later event as a backtrack
+//!   point at `j`.
+//!
+//! Both modes prune choice points whose world fingerprint was already
+//! visited. The fingerprint covers kernel-visible state only (behavior
+//! internals are opaque), so pruning is heuristic — see DESIGN.md §11 for
+//! the soundness discussion.
+
+pub mod checks;
+pub mod fixture;
+
+use rb_simcore::{FxHashSet, Json, SimTime};
+use rb_simnet::{EventInfo, World, WorldOracle};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+pub use checks::{check_terminal, CheckFailure};
+
+/// Environment variable holding a schedule file path; when set, harnesses
+/// that support replay run that schedule instead of exploring.
+pub const RB_SCHEDULE_ENV: &str = "RB_SCHEDULE";
+
+// ---------------------------------------------------------------- scenarios
+
+/// A named world under exploration: `build(seed)` runs the deterministic
+/// FIFO setup phase and returns the world positioned at the racy phase,
+/// plus the virtual-time limit for that phase.
+pub struct ModelScenario {
+    pub name: &'static str,
+    pub description: &'static str,
+    pub build: fn(u64) -> (World, SimTime),
+}
+
+/// The scenario catalogue.
+pub fn scenarios() -> Vec<ModelScenario> {
+    vec![
+        ModelScenario {
+            name: "calypso-handoff",
+            description: "2-host Calypso reallocation: rsh' anylinux reclaims \
+                          the machine an adaptive Calypso job holds",
+            build: rb_workloads::model::calypso_handoff,
+        },
+        ModelScenario {
+            name: "pvm-handoff",
+            description: "2-host PVM module handoff: console `add anylinux` \
+                          through the broker's phase-I/II protocol",
+            build: rb_workloads::model::pvm_handoff,
+        },
+        ModelScenario {
+            name: "lost-wakeup-fixture",
+            description: "seeded bug: waiter drops a wake that beats its arm \
+                          (exactly one bad tie-break order)",
+            build: fixture::lost_wakeup_buggy,
+        },
+        ModelScenario {
+            name: "lost-wakeup-fixed",
+            description: "the fixed waiter latches early wakes; clean under \
+                          every interleaving",
+            build: fixture::lost_wakeup_fixed,
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+pub fn scenario(name: &str) -> Option<ModelScenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+// ---------------------------------------------------------------- schedules
+
+/// Serialize a schedule (one choice index per line) with a header the
+/// parser and humans can both read.
+pub fn schedule_to_string(scenario: &str, seed: u64, choices: &[u32]) -> String {
+    let mut out = format!("# rb-sched v1 scenario={scenario} seed={seed}\n");
+    for c in choices {
+        out.push_str(&format!("{c}\n"));
+    }
+    out
+}
+
+/// Parse a `.sched` file: `#` lines are comments, every other non-empty
+/// line is one choice index.
+pub fn parse_schedule(text: &str) -> Result<Vec<u32>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(
+            line.parse::<u32>()
+                .map_err(|e| format!("line {}: bad choice index {line:?}: {e}", i + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- the oracle
+
+/// One consulted choice point: the instant, the world fingerprint
+/// (including the pending batch), the batch, and the index taken.
+#[derive(Debug, Clone)]
+pub struct DecisionRecord {
+    pub at: SimTime,
+    pub state: u64,
+    pub enabled: Vec<EventInfo>,
+    pub chosen: usize,
+}
+
+/// Replays a prefix of choice indices, FIFO (index 0) beyond it, recording
+/// every decision it makes.
+struct GuidedOracle {
+    prefix: Vec<u32>,
+    pos: usize,
+    log: Rc<RefCell<Vec<DecisionRecord>>>,
+}
+
+impl WorldOracle for GuidedOracle {
+    fn choose(&mut self, at: SimTime, state: u64, enabled: &[EventInfo]) -> usize {
+        let want = self.prefix.get(self.pos).map(|&c| c as usize).unwrap_or(0);
+        self.pos += 1;
+        let idx = want.min(enabled.len() - 1);
+        self.log.borrow_mut().push(DecisionRecord {
+            at,
+            state,
+            enabled: enabled.to_vec(),
+            chosen: idx,
+        });
+        idx
+    }
+}
+
+/// Rebuild the scenario world, run it under the given choice prefix until
+/// its limit, and return the terminal world plus the decision log.
+pub fn run_schedule(
+    scenario: &ModelScenario,
+    seed: u64,
+    prefix: &[u32],
+) -> (World, SimTime, Vec<DecisionRecord>) {
+    let (mut world, limit) = (scenario.build)(seed);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    world.set_schedule_oracle(Box::new(GuidedOracle {
+        prefix: prefix.to_vec(),
+        pos: 0,
+        log: Rc::clone(&log),
+    }));
+    world.run_until_idle(limit);
+    world.clear_schedule_oracle();
+    let decisions = log.borrow().clone();
+    (world, limit, decisions)
+}
+
+// ---------------------------------------------------------------- reports
+
+/// Exploration strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Branch only on observed races (dynamic partial-order reduction).
+    Dpor,
+    /// Branch on every index of every fresh choice point.
+    Naive,
+}
+
+impl Mode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Dpor => "dpor",
+            Mode::Naive => "naive",
+        }
+    }
+}
+
+/// Budgets and knobs for one exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    pub seed: u64,
+    pub mode: Mode,
+    /// Choice points deeper than this never branch (FIFO beyond).
+    pub max_depth: usize,
+    pub max_schedules: u64,
+    pub max_states: u64,
+    pub walltime_ms: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            seed: 1,
+            mode: Mode::Dpor,
+            max_depth: 64,
+            max_schedules: 2_000,
+            max_states: 20_000,
+            walltime_ms: 60_000,
+        }
+    }
+}
+
+/// A failing execution: which check fired, the full choice list that
+/// reproduces it, and the trace it produced.
+#[derive(Debug, Clone)]
+pub struct ModelViolation {
+    pub check: String,
+    pub message: String,
+    pub schedule: Vec<u32>,
+    pub trace: String,
+}
+
+/// What one exploration did.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    pub scenario: String,
+    pub mode: Mode,
+    pub seed: u64,
+    pub schedules_executed: u64,
+    /// Distinct world fingerprints seen at choice points.
+    pub states_seen: u64,
+    /// Total choice points consulted across all runs.
+    pub choice_points: u64,
+    pub max_depth_reached: usize,
+    /// The DFS stack emptied: the bounded schedule space is exhausted.
+    pub complete: bool,
+    /// Which budget stopped exploration, if any.
+    pub truncated_by: Option<&'static str>,
+    pub violations: Vec<ModelViolation>,
+    pub wall_ms: u64,
+}
+
+impl ModelReport {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("mode", self.mode.as_str())
+            .set("seed", self.seed as f64)
+            .set("schedules_executed", self.schedules_executed as f64)
+            .set("states_seen", self.states_seen as f64)
+            .set("choice_points", self.choice_points as f64)
+            .set("max_depth_reached", self.max_depth_reached as f64)
+            .set("complete", self.complete)
+            .set(
+                "truncated_by",
+                match self.truncated_by {
+                    Some(t) => Json::Str(t.to_string()),
+                    None => Json::Null,
+                },
+            )
+            .set(
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            Json::obj()
+                                .set("check", v.check.as_str())
+                                .set("message", v.message.as_str())
+                                .set(
+                                    "schedule",
+                                    Json::Arr(
+                                        v.schedule.iter().map(|&c| Json::Num(c as f64)).collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            )
+            .set("wall_ms", self.wall_ms as f64)
+    }
+}
+
+// ---------------------------------------------------------------- explorer
+
+/// One frame of the DFS stack, mirroring one decision of the last run.
+struct Node {
+    at: SimTime,
+    enabled: Vec<EventInfo>,
+    /// Index taken on the path currently being extended.
+    chosen: u32,
+    /// Indices scheduled for exploration (mode-dependent).
+    todo: BTreeSet<u32>,
+    /// Indices already explored from this node.
+    done: BTreeSet<u32>,
+    /// State was already visited when this node was created: never branch.
+    pruned: bool,
+}
+
+/// Depth-first exploration of the scenario's tie-break schedule space.
+pub fn explore(scenario: &ModelScenario, cfg: &ExploreConfig) -> ModelReport {
+    let start = std::time::Instant::now();
+    let mut visited: FxHashSet<u64> = FxHashSet::default();
+    let mut stack: Vec<Node> = Vec::new();
+    let mut report = ModelReport {
+        scenario: scenario.name.to_string(),
+        mode: cfg.mode,
+        seed: cfg.seed,
+        schedules_executed: 0,
+        states_seen: 0,
+        choice_points: 0,
+        max_depth_reached: 0,
+        complete: false,
+        truncated_by: None,
+        violations: Vec::new(),
+        wall_ms: 0,
+    };
+    loop {
+        if report.schedules_executed >= cfg.max_schedules {
+            report.truncated_by = Some("max_schedules");
+            break;
+        }
+        if visited.len() as u64 >= cfg.max_states {
+            report.truncated_by = Some("max_states");
+            break;
+        }
+        if start.elapsed().as_millis() as u64 >= cfg.walltime_ms {
+            report.truncated_by = Some("walltime");
+            break;
+        }
+
+        let prefix: Vec<u32> = stack.iter().map(|n| n.chosen).collect();
+        let (world, limit, decisions) = run_schedule(scenario, cfg.seed, &prefix);
+        report.schedules_executed += 1;
+        report.choice_points += decisions.len() as u64;
+        report.max_depth_reached = report.max_depth_reached.max(decisions.len());
+
+        // Terminal-state checks: the 10 trace invariants plus the three
+        // whole-execution checks.
+        let schedule: Vec<u32> = decisions.iter().map(|d| d.chosen as u32).collect();
+        let mut failures: Vec<(String, String)> = crate::lint(world.trace())
+            .into_iter()
+            .map(|v| (v.rule.to_string(), v.message))
+            .collect();
+        failures.extend(
+            checks::check_terminal(&world, limit)
+                .into_iter()
+                .map(|f| (f.check.to_string(), f.message)),
+        );
+        for (check, message) in failures {
+            report.violations.push(ModelViolation {
+                check,
+                message,
+                schedule: schedule.clone(),
+                trace: world.trace().render(),
+            });
+        }
+
+        // Extend the stack with the decisions beyond the replayed prefix.
+        debug_assert!(decisions.len() >= stack.len(), "replay lost decisions");
+        for (i, d) in decisions.iter().enumerate() {
+            if i < stack.len() {
+                debug_assert_eq!(
+                    stack[i].chosen as usize, d.chosen,
+                    "replay diverged at decision {i}"
+                );
+                continue;
+            }
+            let fresh = visited.insert(d.state);
+            let mut todo = BTreeSet::new();
+            if cfg.mode == Mode::Naive && fresh && i < cfg.max_depth {
+                todo.extend(0..d.enabled.len() as u32);
+            }
+            stack.push(Node {
+                at: d.at,
+                enabled: d.enabled.clone(),
+                chosen: d.chosen as u32,
+                todo,
+                done: BTreeSet::from([d.chosen as u32]),
+                pruned: !fresh,
+            });
+        }
+        report.states_seen = visited.len() as u64;
+
+        // DPOR race analysis over the whole run: for every pair of
+        // dependent same-instant decisions, insert a backtrack point at
+        // the earlier one.
+        if cfg.mode == Mode::Dpor {
+            dpor_backtrack(&mut stack, cfg.max_depth);
+        }
+
+        // DFS: advance the deepest node with an untried alternative.
+        let mut advanced = false;
+        while let Some(top) = stack.last_mut() {
+            let next = top
+                .todo
+                .iter()
+                .copied()
+                .find(|i| !top.done.contains(i) && (*i as usize) < top.enabled.len());
+            if let (Some(n), false) = (next, top.pruned) {
+                top.done.insert(n);
+                top.chosen = n;
+                advanced = true;
+                break;
+            }
+            stack.pop();
+        }
+        if !advanced {
+            report.complete = true;
+            break;
+        }
+    }
+    report.wall_ms = start.elapsed().as_millis() as u64;
+    report
+}
+
+/// Insert DPOR backtrack points. Two kinds of race, both confined to a
+/// same-instant window (events at different times are ordered by time,
+/// never by choice):
+///
+/// - **within a batch**: the chosen event raced every *dependent*
+///   alternative in its own batch — the un-chosen event may later dispatch
+///   alone (a batch of one never consults the oracle), so this is the only
+///   place its reordering can be scheduled. Branch to each dependent
+///   alternative index.
+/// - **across decisions**: an event created mid-instant (by an earlier
+///   handler at the same time) can race a previously *chosen* event
+///   without ever sharing a batch with it. Scan each decision `i`
+///   backwards for the nearest decision `j` whose chosen event is
+///   dependent with `i`'s; schedule `i`'s event at `j` (exact index when
+///   it was enabled there, every index otherwise — the conservative
+///   fallback).
+fn dpor_backtrack(stack: &mut [Node], max_depth: usize) {
+    for node in stack.iter_mut().take(max_depth) {
+        if node.pruned {
+            continue;
+        }
+        let chosen = node.enabled[node.chosen as usize];
+        let alts: Vec<u32> = node
+            .enabled
+            .iter()
+            .enumerate()
+            .filter(|(k, e)| *k != node.chosen as usize && !e.independent(&chosen))
+            .map(|(k, _)| k as u32)
+            .collect();
+        node.todo.extend(alts);
+    }
+    for i in 1..stack.len() {
+        let ei = stack[i].enabled[stack[i].chosen as usize];
+        let at_i = stack[i].at;
+        for j in (0..i).rev() {
+            if stack[j].at != at_i {
+                break;
+            }
+            let ej = stack[j].enabled[stack[j].chosen as usize];
+            if ei.independent(&ej) {
+                continue;
+            }
+            if j < max_depth && !stack[j].pruned {
+                let node = &mut stack[j];
+                match node.enabled.iter().position(|e| *e == ei) {
+                    Some(alt) => {
+                        node.todo.insert(alt as u32);
+                    }
+                    None => {
+                        node.todo.extend(0..node.enabled.len() as u32);
+                    }
+                }
+            }
+            break; // nearest dependent decision only
+        }
+    }
+}
+
+/// Replay one explicit schedule and report its check failures (empty when
+/// the run is clean) together with the rendered trace.
+pub fn replay(
+    scenario: &ModelScenario,
+    seed: u64,
+    choices: &[u32],
+) -> (Vec<(String, String)>, String) {
+    let (world, limit, _) = run_schedule(scenario, seed, choices);
+    let mut failures: Vec<(String, String)> = crate::lint(world.trace())
+        .into_iter()
+        .map(|v| (v.rule.to_string(), v.message))
+        .collect();
+    failures.extend(
+        checks::check_terminal(&world, limit)
+            .into_iter()
+            .map(|f| (f.check.to_string(), f.message)),
+    );
+    (failures, world.trace().render())
+}

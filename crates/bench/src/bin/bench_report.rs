@@ -52,6 +52,7 @@ fn queue_scenario(kind: QueueKind, n: u64) -> Scenario {
             sim_seconds: last.as_secs_f64(),
         }
     })
+    .with_queue_kind(kind)
 }
 
 fn table2_scenario(name: &str, plain: bool) -> Scenario {
@@ -85,6 +86,7 @@ fn utilization_scenario(kind: QueueKind, hours: f64) -> Scenario {
             sim_seconds: report.simulated_hours * 3600.0,
         }
     })
+    .with_queue_kind(kind)
 }
 
 fn out_path(file: &str) -> std::path::PathBuf {
@@ -140,6 +142,8 @@ fn main() -> ExitCode {
     let table2_doc = Json::obj()
         .set("schema", "rb-bench/table2/v1")
         .set("generated_by", "rb-bench bench_report")
+        .set("git_rev", rb_bench::report::git_rev())
+        .set("samples", reps)
         .set("reps", reps)
         .set("rows", Json::Arr(rows_json))
         .set(

@@ -10,8 +10,35 @@
 //! median events/sec against a committed reference.
 
 use crate::json::Json;
-use rb_simcore::{QueueStats, Summary};
+use rb_simcore::{QueueKind, QueueStats, Summary};
 use std::time::Instant;
+
+/// The git revision the report was produced from: `RB_GIT_REV` when set
+/// (CI passes the exact SHA it checked out), else `git rev-parse --short
+/// HEAD`, else `"unknown"` (e.g. a source tarball without `.git`).
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("RB_GIT_REV") {
+        if !rev.trim().is_empty() {
+            return rev.trim().to_string();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn queue_kind_str(kind: QueueKind) -> &'static str {
+    match kind {
+        QueueKind::Heap => "heap",
+        QueueKind::Wheel => "wheel",
+    }
+}
 
 /// What one repetition of a scenario produced (wall time is measured by the
 /// harness around the call).
@@ -26,6 +53,10 @@ pub struct RepOutcome {
 /// A named deterministic scenario: seed in, finished run out.
 pub struct Scenario {
     pub name: String,
+    /// Which [`EventQueue`](rb_simcore::EventQueue) backend the scenario
+    /// drives — recorded in the JSON so baselines from different backends
+    /// are never silently compared.
+    pub queue_kind: QueueKind,
     pub run: Box<dyn Fn(u64) -> RepOutcome + Sync>,
 }
 
@@ -33,8 +64,15 @@ impl Scenario {
     pub fn new(name: impl Into<String>, run: impl Fn(u64) -> RepOutcome + Sync + 'static) -> Self {
         Scenario {
             name: name.into(),
+            queue_kind: QueueKind::Heap,
             run: Box::new(run),
         }
+    }
+
+    /// Tag the scenario with the queue backend it exercises.
+    pub fn with_queue_kind(mut self, kind: QueueKind) -> Self {
+        self.queue_kind = kind;
+        self
     }
 }
 
@@ -42,6 +80,7 @@ impl Scenario {
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
     pub name: String,
+    pub queue_kind: QueueKind,
     pub reps: usize,
     pub wall_ms: Summary,
     pub events_per_sec: Summary,
@@ -95,6 +134,7 @@ pub fn run_scenario(scenario: &Scenario, base_seed: u64, reps: usize) -> Scenari
     let first = measured[0].1;
     ScenarioReport {
         name: scenario.name.clone(),
+        queue_kind: scenario.queue_kind,
         reps,
         wall_ms,
         events_per_sec,
@@ -120,6 +160,8 @@ fn summary_json(s: &Summary) -> Json {
 pub fn scenario_json(r: &ScenarioReport) -> Json {
     Json::obj()
         .set("name", r.name.as_str())
+        .set("queue_kind", queue_kind_str(r.queue_kind))
+        .set("samples", r.reps)
         .set("reps", r.reps)
         .set("wall_ms", summary_json(&r.wall_ms))
         .set("events_per_sec", summary_json(&r.events_per_sec))
@@ -133,6 +175,8 @@ pub fn report_json(schema: &str, reps: usize, scenarios: &[ScenarioReport]) -> J
     Json::obj()
         .set("schema", schema)
         .set("generated_by", "rb-bench bench_report")
+        .set("git_rev", git_rev())
+        .set("samples", reps)
         .set("reps", reps)
         .set(
             "scenarios",
@@ -238,6 +282,7 @@ mod tests {
                 sim_seconds: 1.0,
             }
         });
+        let s = s.with_queue_kind(QueueKind::Wheel);
         let r = run_scenario(&s, 1, 4);
         assert_eq!(r.reps, 4);
         assert_eq!(r.events_dispatched, 10_000);
@@ -245,6 +290,26 @@ mod tests {
         assert!(r.events_per_sec.median() > 0.0);
         let j = scenario_json(&r);
         assert_eq!(j.get("name").unwrap().as_str(), Some("spin"));
+        assert_eq!(j.get("queue_kind").unwrap().as_str(), Some("wheel"));
+        assert_eq!(j.get("samples").and_then(Json::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn report_doc_carries_provenance() {
+        let doc = report_json("rb-bench/test/v1", 3, &[]);
+        let rev = doc.get("git_rev").and_then(Json::as_str).unwrap();
+        assert!(!rev.is_empty());
+        assert_eq!(doc.get("samples").and_then(Json::as_f64), Some(3.0));
+    }
+
+    #[test]
+    fn git_rev_honors_env_override() {
+        // Set + restore around the call: tests in this binary run in one
+        // process and `git_rev` reads the environment.
+        std::env::set_var("RB_GIT_REV", "cafef00d");
+        let rev = git_rev();
+        std::env::remove_var("RB_GIT_REV");
+        assert_eq!(rev, "cafef00d");
     }
 
     #[test]

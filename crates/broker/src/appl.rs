@@ -476,6 +476,13 @@ impl Behavior for Appl {
                 };
                 g.machine = Some(machine);
                 self.by_machine.insert(machine, grow);
+                // The appl's view of the broker's allocation order: the
+                // linearizability check in rb-model compares these
+                // per-host observations against the broker's own grant
+                // sequence.
+                if let Some(job) = self.job {
+                    ctx.trace("appl.grant.seen", format_args!("{hostname} -> {job}"));
+                }
                 let kind = self.grows[&grow].kind;
                 match kind {
                     GrowKind::ModuleWait => {

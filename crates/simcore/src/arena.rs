@@ -109,6 +109,15 @@ impl<T> Slab<T> {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Iterate live entries as `(key, &value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            let value = s.value.as_ref()?;
+            let key = ((s.generation as u64) << 32) | (i as u64 + 1);
+            Some((key, value))
+        })
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 
 pub mod arena;
 pub mod fxhash;
+pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
@@ -20,8 +21,9 @@ pub mod wheel;
 
 pub use arena::{Slab, SlabKey};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use json::Json;
 pub use metrics::{Histogram, Series, Summary};
-pub use queue::{EventQueue, QueueKind, QueueStats};
+pub use queue::{EventQueue, QueueKind, QueueStats, ScheduleOracle};
 pub use rng::SimRng;
 pub use time::{Duration, SimTime};
 pub use trace::{parse_rendered, Topic, TraceEvent, TraceRecorder};

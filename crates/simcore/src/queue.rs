@@ -80,6 +80,21 @@ pub struct QueueStats {
     pub depth: usize,
 }
 
+/// Pluggable tie-break policy for same-time events.
+///
+/// The default `(time, seq)` order dispatches equal-time events FIFO; an
+/// oracle replaces *only* that tie-break — time order itself is never
+/// negotiable. [`EventQueue::pop_with_oracle`] hands the oracle the full
+/// equal-time batch in FIFO order and dispatches the entry at the returned
+/// index, so index `0` is always the schedule the plain kernel would have
+/// run. Model checkers enumerate the other indices.
+pub trait ScheduleOracle<E> {
+    /// Pick which of the equal-time `batch` entries (FIFO order, each with
+    /// its insertion sequence number) dispatches next. Out-of-range
+    /// returns are clamped to the last entry.
+    fn choose(&mut self, at: SimTime, batch: &[(u64, E)]) -> usize;
+}
+
 enum Backend<E> {
     Heap(BinaryHeap<Entry<E>>),
     Wheel(TimerWheel<E>),
@@ -211,24 +226,140 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Remove and return the earliest event.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+    /// Remove and return the earliest event together with its insertion
+    /// sequence number, without touching the lifetime counters.
+    fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
         enum Popped<E> {
-            Inline(SimTime, E),
-            Slab(SimTime, u32),
+            Inline(SimTime, u64, E),
+            Slab(SimTime, u64, u32),
         }
         let popped = match &mut self.backend {
-            Backend::Heap(heap) => heap.pop().map(|e| Popped::Inline(e.at, e.event)),
-            Backend::Wheel(wheel) => wheel.pop().map(|(t, _, ev)| Popped::Inline(SimTime(t), ev)),
-            Backend::HeapSlab(heap) => heap.pop().map(|e| Popped::Slab(e.at, e.event)),
-            Backend::WheelSlab(wheel) => wheel.pop().map(|(t, _, s)| Popped::Slab(SimTime(t), s)),
+            Backend::Heap(heap) => heap.pop().map(|e| Popped::Inline(e.at, e.seq, e.event)),
+            Backend::Wheel(wheel) => wheel
+                .pop()
+                .map(|(t, seq, ev)| Popped::Inline(SimTime(t), seq, ev)),
+            Backend::HeapSlab(heap) => heap.pop().map(|e| Popped::Slab(e.at, e.seq, e.event)),
+            Backend::WheelSlab(wheel) => wheel
+                .pop()
+                .map(|(t, seq, s)| Popped::Slab(SimTime(t), seq, s)),
         }?;
-        let out = match popped {
-            Popped::Inline(at, event) => (at, event),
-            Popped::Slab(at, slot) => (at, self.store_take(slot)),
-        };
+        Some(match popped {
+            Popped::Inline(at, seq, event) => (at, seq, event),
+            Popped::Slab(at, seq, slot) => (at, seq, self.store_take(slot)),
+        })
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (at, _, event) = self.pop_entry()?;
         self.popped += 1;
-        Some(out)
+        Some((at, event))
+    }
+
+    /// Remove and return *every* event scheduled for the earliest pending
+    /// instant, in FIFO (sequence) order. Each entry carries its original
+    /// sequence number so unchosen entries can be [`requeue`]d without
+    /// disturbing the tie-break of later pops.
+    ///
+    /// [`requeue`]: EventQueue::requeue
+    pub fn pop_front_batch(&mut self) -> Option<(SimTime, Vec<(u64, E)>)> {
+        let at = self.peek_time()?;
+        let mut batch = Vec::new();
+        while self.peek_time() == Some(at) {
+            let (_, seq, event) = self.pop_entry().expect("peeked time implies an event");
+            batch.push((seq, event));
+        }
+        self.popped += batch.len() as u64;
+        Some((at, batch))
+    }
+
+    /// Put back an event taken by [`pop_front_batch`] with its original
+    /// sequence number, undoing its share of the dispatch accounting.
+    ///
+    /// Callers must requeue the unchosen remainder of a batch in ascending
+    /// sequence order before any new `push`: the wheel backend keeps
+    /// equal-time events FIFO by slot order, and since a batch drains its
+    /// slot completely, in-order requeues rebuild exactly the suffix the
+    /// next pop expects. Under that discipline both backends stay
+    /// bit-identical.
+    ///
+    /// [`pop_front_batch`]: EventQueue::pop_front_batch
+    pub fn requeue(&mut self, at: SimTime, seq: u64, event: E) {
+        debug_assert!(seq < self.seq, "requeue of a sequence never issued");
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.push(Entry { at, seq, event }),
+            Backend::Wheel(wheel) => wheel.push(at.0, seq, event),
+            Backend::HeapSlab(_) => {
+                let slot = self.store_insert(event);
+                let Backend::HeapSlab(heap) = &mut self.backend else {
+                    unreachable!()
+                };
+                heap.push(Entry {
+                    at,
+                    seq,
+                    event: slot,
+                });
+            }
+            Backend::WheelSlab(_) => {
+                let slot = self.store_insert(event);
+                let Backend::WheelSlab(wheel) = &mut self.backend else {
+                    unreachable!()
+                };
+                wheel.push(at.0, seq, slot);
+            }
+        }
+        self.popped -= 1;
+    }
+
+    /// Remove the next event, letting `oracle` pick among same-time ties.
+    ///
+    /// Singleton instants skip the oracle entirely, so installing one only
+    /// perturbs executions where a genuine scheduling choice exists. The
+    /// chosen index is clamped; returning `0` reproduces the default
+    /// `(time, seq)` FIFO tie-break exactly.
+    pub fn pop_with_oracle(&mut self, oracle: &mut dyn ScheduleOracle<E>) -> Option<(SimTime, E)> {
+        let (at, mut batch) = self.pop_front_batch()?;
+        let idx = if batch.len() == 1 {
+            0
+        } else {
+            oracle.choose(at, &batch).min(batch.len() - 1)
+        };
+        let (_, chosen) = batch.remove(idx);
+        // `pop_front_batch` counted the whole batch as dispatched and each
+        // requeue undoes one share, so the chosen event's accounting is
+        // already exact here.
+        for (seq, event) in batch {
+            self.requeue(at, seq, event);
+        }
+        Some((at, chosen))
+    }
+
+    /// Visit every pending event in unspecified order (backend-dependent).
+    /// Intended for order-independent accounting such as state
+    /// fingerprinting; nothing about iteration order is stable.
+    pub fn for_each_pending(&self, mut f: impl FnMut(SimTime, u64, &E)) {
+        match &self.backend {
+            Backend::Heap(heap) => {
+                for e in heap.iter() {
+                    f(e.at, e.seq, &e.event);
+                }
+            }
+            Backend::Wheel(wheel) => wheel.for_each(|t, seq, ev| f(SimTime(t), seq, ev)),
+            Backend::HeapSlab(heap) => {
+                for e in heap.iter() {
+                    let ev = self.store[e.event as usize]
+                        .as_ref()
+                        .expect("backend keys and slot store in sync");
+                    f(e.at, e.seq, ev);
+                }
+            }
+            Backend::WheelSlab(wheel) => wheel.for_each(|t, seq, slot| {
+                let ev = self.store[*slot as usize]
+                    .as_ref()
+                    .expect("backend keys and slot store in sync");
+                f(SimTime(t), seq, ev);
+            }),
+        }
     }
 
     /// Time of the earliest pending event.
@@ -310,6 +441,100 @@ mod tests {
             for i in 0..100 {
                 assert_eq!(q.pop(), Some((SimTime(5), i)));
             }
+        }
+    }
+
+    #[test]
+    fn batch_pop_and_requeue_preserve_fifo_and_counters() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime(5), "a");
+            q.push(SimTime(5), "b");
+            q.push(SimTime(5), "c");
+            q.push(SimTime(9), "z");
+            let (at, batch) = q.pop_front_batch().unwrap();
+            assert_eq!(at, SimTime(5));
+            assert_eq!(
+                batch.iter().map(|&(_, e)| e).collect::<Vec<_>>(),
+                ["a", "b", "c"]
+            );
+            // Dispatch "b"; requeue the rest in ascending seq order.
+            let mut rest: Vec<_> = batch.into_iter().filter(|&(_, e)| e != "b").collect();
+            rest.sort_by_key(|&(seq, _)| seq);
+            for (seq, e) in rest {
+                q.requeue(at, seq, e);
+            }
+            assert_eq!(q.len(), 3);
+            assert_eq!(q.pop(), Some((SimTime(5), "a")));
+            assert_eq!(q.pop(), Some((SimTime(5), "c")));
+            assert_eq!(q.pop(), Some((SimTime(9), "z")));
+            assert_eq!(q.scheduled_total(), 4);
+            assert_eq!(q.popped_total(), 4);
+        }
+    }
+
+    #[test]
+    fn oracle_index_zero_matches_fifo() {
+        struct Fifo;
+        impl<E> ScheduleOracle<E> for Fifo {
+            fn choose(&mut self, _at: SimTime, _batch: &[(u64, E)]) -> usize {
+                0
+            }
+        }
+        for kind in kinds() {
+            let mut plain = EventQueue::with_kind(kind);
+            let mut guided = EventQueue::with_kind(kind);
+            for (t, v) in [(5, 'a'), (5, 'b'), (3, 'x'), (5, 'c'), (3, 'y')] {
+                plain.push(SimTime(t), v);
+                guided.push(SimTime(t), v);
+            }
+            loop {
+                let a = plain.pop();
+                let b = guided.pop_with_oracle(&mut Fifo);
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(plain.stats(), guided.stats());
+        }
+    }
+
+    #[test]
+    fn oracle_can_flip_a_tie() {
+        struct Last;
+        impl<E> ScheduleOracle<E> for Last {
+            fn choose(&mut self, _at: SimTime, batch: &[(u64, E)]) -> usize {
+                batch.len() - 1
+            }
+        }
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(SimTime(5), "a");
+            q.push(SimTime(5), "b");
+            assert_eq!(q.pop_with_oracle(&mut Last), Some((SimTime(5), "b")));
+            // The remainder still pops FIFO.
+            assert_eq!(q.pop_with_oracle(&mut Last), Some((SimTime(5), "a")));
+            assert_eq!(q.pop_with_oracle(&mut Last), None);
+        }
+    }
+
+    #[test]
+    fn for_each_pending_sees_exactly_the_pending_multiset() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..20u64 {
+                q.push(SimTime(i % 4), i);
+            }
+            q.pop();
+            q.pop();
+            let mut seen = Vec::new();
+            q.for_each_pending(|at, _seq, &ev| seen.push((at, ev)));
+            assert_eq!(seen.len(), q.len());
+            seen.sort();
+            let mut expect: Vec<_> = (0..20u64).map(|i| (SimTime(i % 4), i)).collect();
+            expect.sort();
+            assert_eq!(seen, expect[2..].to_vec());
         }
     }
 

@@ -41,6 +41,13 @@ impl SimRng {
         self.seed
     }
 
+    /// The current internal state words, for fingerprinting a simulation
+    /// snapshot: two runs that consumed different amounts of randomness
+    /// are different states even when everything else matches.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.state
+    }
+
     /// One raw xoshiro256** output word.
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;

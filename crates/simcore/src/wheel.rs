@@ -122,6 +122,15 @@ impl<E> TimerWheel<E> {
         Some(self.slot_min[level * SLOTS + slot])
     }
 
+    /// Visit every resident event in unspecified (slot) order.
+    pub fn for_each(&self, mut f: impl FnMut(u64, u64, &E)) {
+        for slot in &self.slots {
+            for (t, seq, event) in slot {
+                f(*t, *seq, event);
+            }
+        }
+    }
+
     /// Remove the earliest event; equal times pop in push order.
     pub fn pop(&mut self) -> Option<(u64, u64, E)> {
         if self.len == 0 {
@@ -216,6 +225,67 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, times.len());
+    }
+
+    /// Events beyond the top wheel level's horizon (bits ≥ 60, i.e. past
+    /// level 10's digit range relative to a near-zero cursor) must still
+    /// land in exactly one slot, cascade down as the cursor advances, and
+    /// stay bit-identical with the reference heap — including FIFO order
+    /// among equal far-future timestamps.
+    #[test]
+    fn far_future_beyond_top_horizon_matches_heap() {
+        use crate::queue::{EventQueue, QueueKind};
+        use crate::time::SimTime;
+
+        // Raw wheel: a cluster of far-future timestamps, some equal, some
+        // differing only in the very highest bits, pushed interleaved with
+        // near-term events.
+        let far = u64::MAX - 64;
+        let times = [
+            5u64,
+            far,
+            far,
+            far + 1,
+            u64::MAX,
+            6,
+            far,
+            1 << 63,
+            (1 << 63) + 1,
+            u64::MAX,
+        ];
+        let mut w = TimerWheel::new();
+        let mut heap_order: Vec<(u64, u64)> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            w.push(t, i as u64, i as u64);
+            heap_order.push((t, i as u64));
+        }
+        heap_order.sort();
+        for &(t, i) in &heap_order {
+            assert_eq!(w.pop(), Some((t, i, i)), "wheel diverged at t={t}");
+        }
+        assert!(w.is_empty());
+
+        // Same shape through the EventQueue facade, heap vs wheel
+        // head-to-head, with pops interleaved so the cursor has to chase
+        // the far-future cluster through every level.
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut wheel = EventQueue::with_kind(QueueKind::Wheel);
+        for (i, &t) in times.iter().enumerate() {
+            heap.push(SimTime(t), i);
+            wheel.push(SimTime(t), i);
+            if i % 3 == 2 {
+                assert_eq!(heap.pop(), wheel.pop());
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.stats(), wheel.stats());
     }
 
     #[test]

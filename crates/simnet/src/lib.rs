@@ -42,4 +42,4 @@ pub use factory::{FactoryChain, ProgramFactory, RshPrimeFactory, RshPrimeRequest
 pub use process::{Behavior, ProcEnv, ProcState, RshBinding};
 pub use programs::{BasePrograms, EchoProg, FalseProg, LoopProg, NullProg};
 pub use protocol::{protocol_specs, ECHO_SPEC, HARNESS_SPEC};
-pub use world::{World, WorldBuilder, HARNESS};
+pub use world::{EventInfo, EventKind, World, WorldBuilder, WorldOracle, HARNESS};

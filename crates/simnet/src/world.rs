@@ -66,6 +66,94 @@ pub(crate) enum Event {
     Harness(HarnessFn),
 }
 
+/// The kind of a pending kernel event, as exposed to schedule oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    Start,
+    Deliver,
+    Timer,
+    Signal,
+    CpuRecheck,
+    RshAdvance,
+    RshComplete,
+    ChildExit,
+    ChildDetach,
+    /// Scripted harness action; opaque, touches arbitrary state.
+    Harness,
+}
+
+/// What a pending event touches — the kernel-visible footprint a model
+/// checker needs for independence reasoning, without exposing the private
+/// [`Event`] payloads themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventInfo {
+    pub kind: EventKind,
+    /// Primary target process (the one whose behavior runs).
+    pub proc: Option<ProcId>,
+    /// Secondary process involved (sender, exiting child, rsh caller).
+    pub other: Option<ProcId>,
+    /// Machine whose state the event reads or writes.
+    pub machine: Option<MachineId>,
+    /// Hash of the message payload (0 when the event carries none);
+    /// distinguishes same-shaped deliveries in fingerprints.
+    pub payload_hash: u64,
+}
+
+impl EventInfo {
+    /// Dynamic independence: two events commute if they run disjoint
+    /// processes *and* touch disjoint machine state. Harness events are
+    /// opaque closures over the whole world, so they commute with nothing.
+    /// This is deliberately conservative — dependent-but-actually-commuting
+    /// pairs only cost extra exploration, never missed interleavings.
+    pub fn independent(&self, other: &EventInfo) -> bool {
+        if self.kind == EventKind::Harness || other.kind == EventKind::Harness {
+            return false;
+        }
+        let procs_disjoint = [self.proc, self.other]
+            .iter()
+            .flatten()
+            .all(|p| Some(*p) != other.proc && Some(*p) != other.other);
+        let machines_disjoint = match (self.machine, other.machine) {
+            (Some(a), Some(b)) => a != b,
+            _ => true,
+        };
+        procs_disjoint && machines_disjoint
+    }
+}
+
+/// Pluggable tie-break policy over the kernel's equal-time event batches.
+///
+/// Installed via [`World::set_schedule_oracle`]; consulted only when two or
+/// more events share the earliest pending instant. `enabled` lists the
+/// batch in FIFO order, `state` is the world's [fingerprint] including the
+/// batch itself, and the returned index picks the event to dispatch
+/// (clamped; `0` reproduces the plain FIFO run exactly).
+///
+/// [fingerprint]: World::fingerprint
+pub trait WorldOracle {
+    fn choose(&mut self, at: SimTime, state: u64, enabled: &[EventInfo]) -> usize;
+}
+
+/// `fmt::Write` adapter feeding a hasher, so `Debug` renderings can be
+/// hashed without allocating (message payloads don't implement `Hash`).
+struct HashWriter<'a>(&'a mut rb_simcore::FxHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        use std::hash::Hasher;
+        self.0.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn debug_hash(value: &impl std::fmt::Debug) -> u64 {
+    use std::fmt::Write as _;
+    use std::hash::Hasher;
+    let mut h = rb_simcore::FxHasher::default();
+    write!(HashWriter(&mut h), "{value:?}").expect("hashing never fails");
+    h.finish()
+}
+
 pub(crate) struct ProcEntry {
     pub behavior: Option<Box<dyn Behavior>>,
     pub name: &'static str,
@@ -275,6 +363,7 @@ impl WorldBuilder {
             factory: self.factory,
             rsh_prime: self.rsh_prime,
             trace_checks: Vec::new(),
+            oracle: None,
         }
     }
 }
@@ -314,6 +403,8 @@ pub struct World {
     rsh_prime: Option<Box<dyn RshPrimeFactory>>,
     /// Opt-in post-run trace invariants (installed e.g. by `rb-analyze`).
     trace_checks: Vec<(String, TraceCheck)>,
+    /// Tie-break oracle for same-time event batches (model checking).
+    oracle: Option<Box<dyn WorldOracle>>,
 }
 
 /// A post-run invariant over the recorded trace.
@@ -375,6 +466,196 @@ impl World {
     /// Render the trace with a `#` header carrying the queue counters.
     pub fn render_trace_with_stats(&self) -> String {
         self.trace.render_with_stats(&self.kernel_stats())
+    }
+
+    // ------------------------------------------------------------------
+    // Model-checking hooks
+    // ------------------------------------------------------------------
+
+    /// Install a schedule oracle; subsequent [`World::step`]s route every
+    /// same-time tie through it instead of the FIFO default.
+    pub fn set_schedule_oracle(&mut self, oracle: Box<dyn WorldOracle>) {
+        self.oracle = Some(oracle);
+    }
+
+    /// Remove the installed oracle, restoring plain FIFO tie-breaks.
+    pub fn clear_schedule_oracle(&mut self) {
+        self.oracle = None;
+    }
+
+    /// The kernel-visible footprint of a pending event (see [`EventInfo`]).
+    fn event_info(&self, ev: &Event) -> EventInfo {
+        let on = |p: ProcId| self.procs.get(p).map(|e| e.machine);
+        let (kind, proc, other, machine, payload_hash) = match ev {
+            Event::Start(p) => (EventKind::Start, Some(*p), None, on(*p), 0),
+            Event::Deliver { to, from, msg } => (
+                EventKind::Deliver,
+                Some(*to),
+                Some(*from),
+                on(*to),
+                debug_hash(msg),
+            ),
+            Event::Timer { proc, token } => {
+                (EventKind::Timer, Some(*proc), None, on(*proc), token.0)
+            }
+            Event::SigDeliver { proc, sig } => (
+                EventKind::Signal,
+                Some(*proc),
+                None,
+                on(*proc),
+                *sig as u64 + 1,
+            ),
+            Event::CpuRecheck { machine, gen } => {
+                (EventKind::CpuRecheck, None, None, Some(*machine), *gen)
+            }
+            Event::RshAdvance { handle } => {
+                let op = self.rsh_ops.get(handle.0);
+                (
+                    EventKind::RshAdvance,
+                    op.map(|o| o.caller),
+                    None,
+                    op.map(|o| o.target),
+                    handle.0,
+                )
+            }
+            Event::RshComplete { handle, to, .. } => {
+                (EventKind::RshComplete, Some(*to), None, on(*to), handle.0)
+            }
+            Event::ChildExit { parent, child, .. } => (
+                EventKind::ChildExit,
+                Some(*parent),
+                Some(*child),
+                on(*parent),
+                0,
+            ),
+            Event::ChildDetach { parent, child } => (
+                EventKind::ChildDetach,
+                Some(*parent),
+                Some(*child),
+                on(*parent),
+                0,
+            ),
+            Event::Harness(_) => (EventKind::Harness, None, None, None, 0),
+        };
+        EventInfo {
+            kind,
+            proc,
+            other,
+            machine,
+            payload_hash,
+        }
+    }
+
+    /// Footprints of every pending event, in unspecified order.
+    pub fn pending_event_infos(&self) -> Vec<(SimTime, EventInfo)> {
+        let mut out = Vec::with_capacity(self.queue.len());
+        self.queue
+            .for_each_pending(|at, _, ev| out.push((at, self.event_info(ev))));
+        out
+    }
+
+    /// `true` when no events are pending — nothing can ever happen again.
+    pub fn quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Alive processes as `(id, behavior name, is system process)`.
+    pub fn alive_procs(&self) -> Vec<(ProcId, &'static str, bool)> {
+        self.procs
+            .iter()
+            .filter(|(_, e)| matches!(e.state, ProcState::Running))
+            .map(|(p, e)| (p, e.name, e.env.system))
+            .collect()
+    }
+
+    /// Order-independent hash of the kernel-visible simulation state:
+    /// virtual time, process table, machine state, the pending-event
+    /// multiset, services, disks, in-flight rsh ops, and the RNG state.
+    ///
+    /// Behavior internals are *not* included (they are opaque boxed state
+    /// machines), so two states with equal fingerprints could in principle
+    /// differ inside a behavior — see DESIGN.md §11 for why visited-set
+    /// pruning stays useful regardless.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint_with(&[])
+    }
+
+    /// [`World::fingerprint`] extended with events already popped from the
+    /// queue but not yet dispatched (the batch an oracle is choosing from),
+    /// so the pre-choice state includes them.
+    fn fingerprint_with(&self, extra: &[(SimTime, EventInfo)]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = rb_simcore::FxHasher::default();
+        self.now.0.hash(&mut h);
+        self.next_timer.hash(&mut h);
+        self.next_cpu_token.hash(&mut h);
+        self.rng.seed().hash(&mut h);
+        self.rng.state_words().hash(&mut h);
+        for (p, e) in self.procs.iter() {
+            p.hash(&mut h);
+            e.name.hash(&mut h);
+            e.machine.hash(&mut h);
+            e.parent.hash(&mut h);
+            debug_hash(&e.state).hash(&mut h);
+            e.detached.hash(&mut h);
+            e.has_services.hash(&mut h);
+            e.env.job.hash(&mut h);
+            e.env.appl.hash(&mut h);
+            e.env.system.hash(&mut h);
+        }
+        for (i, m) in self.machines.iter().enumerate() {
+            i.hash(&mut h);
+            m.up.hash(&mut h);
+            m.owner_present.hash(&mut h);
+            m.users.hash(&mut h);
+            m.console_active.hash(&mut h);
+            m.app_proc_count().hash(&mut h);
+            m.cpu.generation().hash(&mut h);
+        }
+        // Pending events form a multiset with no stable order across
+        // backends; combine per-event hashes commutatively.
+        let mut pending: u64 = 0;
+        let mut add = |at: SimTime, info: &EventInfo| {
+            let mut eh = rb_simcore::FxHasher::default();
+            at.0.hash(&mut eh);
+            info.hash(&mut eh);
+            pending = pending.wrapping_add(eh.finish());
+        };
+        self.queue
+            .for_each_pending(|at, _, ev| add(at, &self.event_info(ev)));
+        for (at, info) in extra {
+            add(*at, info);
+        }
+        pending.hash(&mut h);
+        let mut side: u64 = 0;
+        for (k, v) in &self.services {
+            let mut eh = rb_simcore::FxHasher::default();
+            k.hash(&mut eh);
+            v.hash(&mut eh);
+            side = side.wrapping_add(eh.finish());
+        }
+        for (k, v) in &self.disks {
+            let mut eh = rb_simcore::FxHasher::default();
+            k.hash(&mut eh);
+            v.hash(&mut eh);
+            side = side.wrapping_add(eh.finish());
+        }
+        for &t in &self.cancelled_timers {
+            let mut eh = rb_simcore::FxHasher::default();
+            t.0.hash(&mut eh);
+            side = side.wrapping_add(eh.finish());
+        }
+        for (key, op) in self.rsh_ops.iter() {
+            let mut eh = rb_simcore::FxHasher::default();
+            key.hash(&mut eh);
+            op.caller.hash(&mut eh);
+            op.target.hash(&mut eh);
+            debug_hash(&op.stage).hash(&mut eh);
+            debug_hash(&op.cmd).hash(&mut eh);
+            side = side.wrapping_add(eh.finish());
+        }
+        side.hash(&mut h);
+        h.finish()
     }
 
     pub fn machine_count(&self) -> usize {
@@ -572,13 +853,45 @@ impl World {
 
     /// Dispatch one event. Returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some((at, ev)) = self.queue.pop() else {
+        let popped = if self.oracle.is_some() {
+            self.pop_with_oracle()
+        } else {
+            self.queue.pop()
+        };
+        let Some((at, ev)) = popped else {
             return false;
         };
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
         self.handle(ev);
         true
+    }
+
+    /// Oracle-guided pop: drain the earliest equal-time batch, let the
+    /// installed [`WorldOracle`] pick one entry, and put the rest back with
+    /// their original sequence numbers (in ascending order, which keeps
+    /// both queue backends bit-identical — see [`EventQueue::requeue`]).
+    /// Singleton batches never consult the oracle, so guidance only costs
+    /// anything where a real scheduling choice exists.
+    fn pop_with_oracle(&mut self) -> Option<(SimTime, Event)> {
+        let (at, mut batch) = self.queue.pop_front_batch()?;
+        if batch.len() == 1 {
+            let (_, ev) = batch.pop().expect("len checked");
+            return Some((at, ev));
+        }
+        let infos: Vec<EventInfo> = batch.iter().map(|(_, ev)| self.event_info(ev)).collect();
+        let extra: Vec<(SimTime, EventInfo)> = infos.iter().map(|&i| (at, i)).collect();
+        let state = self.fingerprint_with(&extra);
+        // Take the oracle out so it can borrow the world-free batch data
+        // while we still own `self`.
+        let mut oracle = self.oracle.take().expect("caller checked");
+        let idx = oracle.choose(at, state, &infos).min(batch.len() - 1);
+        self.oracle = Some(oracle);
+        let (_, chosen) = batch.remove(idx);
+        for (seq, ev) in batch {
+            self.queue.requeue(at, seq, ev);
+        }
+        Some((at, chosen))
     }
 
     /// Run until virtual time reaches `t` (events at exactly `t` included).

@@ -21,6 +21,7 @@ pub mod drivers;
 pub mod fairness;
 pub mod fig7;
 pub mod hetero;
+pub mod model;
 pub mod report;
 pub mod scenarios;
 pub mod table1;

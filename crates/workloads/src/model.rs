@@ -1,0 +1,106 @@
+//! Small-configuration worlds for the rb-model interleaving explorer.
+//!
+//! Each builder runs a *deterministic setup phase* under the plain FIFO
+//! tie-break (boot the broker, settle the daemons, let the occupying job
+//! claim its machines) and returns the world with the interesting
+//! operation — the handoff — freshly queued but not yet run. The explorer
+//! installs its schedule oracle at that point, so the schedule space it
+//! enumerates covers only the racy phase, not the long deterministic
+//! prologue. This is sound for replay because the prologue is a pure
+//! function of the seed: rebuilding the world reproduces it exactly.
+
+use crate::scenarios::{await_calypso_workers, broker_testbed, submit_endless_calypso};
+use rb_broker::{DefaultPolicy, JobRequest, JobRun};
+use rb_proto::{CommandSpec, ConsoleCmd};
+use rb_simcore::SimTime;
+use rb_simnet::{ProcEnv, World};
+
+/// 2-host Calypso handoff: `n00` (user) + `n01` (public) with a 1-worker
+/// endless Calypso job holding `n01`; the queued operation is a
+/// non-adaptive `rsh' anylinux` job, which forces the broker to *reclaim*
+/// the machine from Calypso and hand it over. Returns the world and the
+/// virtual-time limit for the explored phase.
+pub fn calypso_handoff(seed: u64) -> (World, SimTime) {
+    let mut c = broker_testbed(1, seed, Box::new(DefaultPolicy::default()), true);
+    submit_endless_calypso(&mut c, 1, 800);
+    let boot = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 1, boot);
+    c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "user".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd: CommandSpec::Null,
+            },
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + 20_000_000);
+    (c.world, limit)
+}
+
+/// 2-host PVM handoff: a module-mode PVM job boots its master on `n00`,
+/// then a console's `add anylinux` goes through the broker's phase-I/II
+/// module protocol to start a `pvmd` on the granted machine. The console
+/// spawn is the queued operation.
+pub fn pvm_handoff(seed: u64) -> (World, SimTime) {
+    let mut c = broker_testbed(1, seed, Box::new(DefaultPolicy::default()), true);
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: r#"+(adaptive=1)(module="pvm")"#.into(),
+            user: "user".into(),
+            run: JobRun::Root(Box::new(rb_parsys::PvmMaster::new(
+                rb_parsys::PvmMasterConfig::default(),
+            ))),
+        },
+    );
+    let boot = SimTime(c.world.now().as_micros() + 30_000_000);
+    let up = c
+        .world
+        .run_until_pred(boot, |w| !w.procs_named("pvm-master").is_empty());
+    assert!(up, "pvm master never started");
+    c.world
+        .run_until(SimTime(c.world.now().as_micros() + 1_000_000));
+    assert!(c.world.alive(appl), "appl died during setup");
+    let script = vec![ConsoleCmd::Add("anylinux".into()), ConsoleCmd::Quit];
+    let behavior = c
+        .world
+        .build_program(&CommandSpec::PvmConsole { script })
+        .expect("console installed");
+    c.world.spawn_user(
+        c.machines[0],
+        behavior,
+        ProcEnv {
+            job: None,
+            appl: None,
+            rsh: rb_simnet::RshBinding::Broker,
+            user: "user".into(),
+            system: false,
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + 30_000_000);
+    (c.world, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calypso_handoff_setup_is_deterministic() {
+        let (a, la) = calypso_handoff(42);
+        let (b, lb) = calypso_handoff(42);
+        assert_eq!(la, lb);
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn pvm_handoff_completes_under_fifo() {
+        let (mut w, limit) = pvm_handoff(7);
+        let ok = w.run_until_pred(limit, |w| !w.procs_named("pvmd").is_empty());
+        assert!(ok, "pvmd never started under the FIFO schedule");
+    }
+}
