@@ -1,0 +1,225 @@
+//! `rbtrace` — span trees, latency breakdowns, timelines, and Perfetto
+//! export from dumped simulation traces.
+//!
+//! ```text
+//! rbtrace spans    <trace-file>            render the causal span forest
+//! rbtrace latency  [--format text|json] <trace-file>
+//!                                          per-allocation latency legs
+//! rbtrace timeline [--width N] <trace-file>
+//!                                          per-machine live-proc strips
+//! rbtrace export   [--metrics <json>] [-o <out>] <trace-file>
+//!                                          Chrome trace-event JSON
+//! rbtrace validate <chrome-json-file>      schema-check an export
+//! ```
+//!
+//! Trace files are `TraceRecorder::render` output (what the example
+//! binaries and `World::render_trace_with_stats` write); `export`
+//! produces a document Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing` load directly. Exit status is 0 on success, 1 when
+//! `validate` finds problems, 2 on usage or I/O errors.
+
+use rb_simcore::{Json, SpanForest, TraceEvent};
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rbtrace <command> [options] <file>
+  spans     <trace>                  render the causal span forest
+  latency   [--format text|json] <trace>
+                                     allocation latency breakdowns
+  timeline  [--width N] <trace>      per-machine live-proc timeline
+  export    [--metrics <json>] [-o <out>] <trace>
+                                     Chrome trace-event (Perfetto) JSON
+  validate  <chrome-json>            schema-check an exported document
+";
+
+/// Write to stdout, swallowing broken-pipe (`rbtrace ... | head`).
+fn emit(out: &str) {
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("rbtrace: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn read_events(path: &str) -> Result<Vec<TraceEvent>, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("rbtrace: {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    rb_simcore::parse_rendered(&text).map_err(|e| {
+        eprintln!("rbtrace: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn read_json(path: &str) -> Result<Json, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("rbtrace: {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    rb_simcore::json::parse(&text).map_err(|e| {
+        eprintln!("rbtrace: {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage_error("no command");
+    };
+    let rest = &args[1..];
+    match cmd {
+        "spans" => {
+            let [file] = rest else {
+                return usage_error("spans takes exactly one trace file");
+            };
+            let events = match read_events(file) {
+                Ok(ev) => ev,
+                Err(code) => return code,
+            };
+            let forest = SpanForest::from_events(&events);
+            if forest.is_empty() {
+                emit("no spans in trace (was the world built with tracing on?)\n");
+            } else {
+                emit(&forest.render());
+            }
+            ExitCode::SUCCESS
+        }
+        "latency" => {
+            let mut json = false;
+            let mut file = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => match it.next().map(String::as_str) {
+                        Some("text") => json = false,
+                        Some("json") => json = true,
+                        _ => return usage_error("--format needs text|json"),
+                    },
+                    f if !f.starts_with('-') => file = Some(f),
+                    f => return usage_error(&format!("unknown flag {f}")),
+                }
+            }
+            let Some(file) = file else {
+                return usage_error("latency needs a trace file");
+            };
+            let events = match read_events(file) {
+                Ok(ev) => ev,
+                Err(code) => return code,
+            };
+            let list = rb_analyze::breakdowns_from_events(&events);
+            if json {
+                let doc = Json::obj()
+                    .set("schema", "rbtrace-latency/v1")
+                    .set("allocations", rb_analyze::obs::breakdowns_json(&list));
+                emit(&doc.render());
+            } else {
+                emit(&rb_analyze::render_breakdowns(&list));
+            }
+            ExitCode::SUCCESS
+        }
+        "timeline" => {
+            let mut width = 72usize;
+            let mut file = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--width" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(w) if w > 0 => width = w,
+                        _ => return usage_error("--width needs a positive number"),
+                    },
+                    f if !f.starts_with('-') => file = Some(f),
+                    f => return usage_error(&format!("unknown flag {f}")),
+                }
+            }
+            let Some(file) = file else {
+                return usage_error("timeline needs a trace file");
+            };
+            let events = match read_events(file) {
+                Ok(ev) => ev,
+                Err(code) => return code,
+            };
+            let u = rb_analyze::utilization(&events);
+            emit(&rb_analyze::render_utilization(&u, width));
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let mut metrics_path = None;
+            let mut out_path = None;
+            let mut file = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--metrics" => match it.next() {
+                        Some(p) => metrics_path = Some(p.as_str()),
+                        None => return usage_error("--metrics needs a file"),
+                    },
+                    "-o" | "--out" => match it.next() {
+                        Some(p) => out_path = Some(p.as_str()),
+                        None => return usage_error("-o needs a file"),
+                    },
+                    f if !f.starts_with('-') => file = Some(f),
+                    f => return usage_error(&format!("unknown flag {f}")),
+                }
+            }
+            let Some(file) = file else {
+                return usage_error("export needs a trace file");
+            };
+            let events = match read_events(file) {
+                Ok(ev) => ev,
+                Err(code) => return code,
+            };
+            let metrics = match metrics_path.map(read_json).transpose() {
+                Ok(m) => m,
+                Err(code) => return code,
+            };
+            let doc = rb_analyze::chrome_trace(&events, metrics.as_ref());
+            let rendered = doc.render();
+            match out_path {
+                Some(p) => {
+                    if let Err(e) = std::fs::write(p, rendered) {
+                        eprintln!("rbtrace: {p}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    let n = doc
+                        .get("traceEvents")
+                        .and_then(Json::as_arr)
+                        .map_or(0, |a| a.len());
+                    emit(&format!("wrote {n} trace events to {p}\n"));
+                }
+                None => emit(&rendered),
+            }
+            ExitCode::SUCCESS
+        }
+        "validate" => {
+            let [file] = rest else {
+                return usage_error("validate takes exactly one chrome-json file");
+            };
+            let doc = match read_json(file) {
+                Ok(d) => d,
+                Err(code) => return code,
+            };
+            match rb_analyze::validate_chrome(&doc) {
+                Ok(n) => {
+                    emit(&format!("{file}: {n} trace events, valid\n"));
+                    ExitCode::SUCCESS
+                }
+                Err(problems) => {
+                    emit(&format!("{file}: {} problem(s)\n", problems.len()));
+                    for p in &problems {
+                        emit(&format!("  {p}\n"));
+                    }
+                    ExitCode::from(1)
+                }
+            }
+        }
+        "--help" | "-h" | "help" => {
+            emit(USAGE);
+            ExitCode::SUCCESS
+        }
+        other => usage_error(&format!("unknown command {other}")),
+    }
+}

@@ -13,6 +13,12 @@
 //!   after SIGTERM + grace, ...). Entry points: [`lint`] /
 //!   [`install_linter`], plus the `rblint` binary for dumped trace files.
 //!
+//! - **Observability toolkit** ([`obs`], DESIGN.md §12) — allocation
+//!   latency breakdowns over the causal span trees, per-machine
+//!   utilization timelines, and Perfetto/Chrome trace-event export with
+//!   a schema validator. Entry points: [`breakdowns_from_events`],
+//!   [`chrome_trace`], plus the `rbtrace` binary.
+//!
 //! - **Interleaving explorer** ([`model`], DESIGN.md §11) — bounded
 //!   exhaustive exploration of same-instant tie-break schedules with
 //!   dynamic partial-order reduction, running the trace rules plus
@@ -21,10 +27,15 @@
 
 pub mod graph;
 pub mod model;
+pub mod obs;
 pub mod rules;
 
 pub use graph::{all_specs, analyze_specs, check_protocol_graph, GraphReport};
 pub use model::{explore, ExploreConfig, Mode, ModelReport, ModelScenario, ModelViolation};
+pub use obs::{
+    alloc_breakdowns, breakdowns_from_events, chrome_trace, render_breakdowns, render_utilization,
+    utilization, validate_chrome, AllocBreakdown, Utilization,
+};
 pub use rules::{all_rules, lint_events, render_violations, Rule, Violation};
 
 use rb_simcore::TraceRecorder;

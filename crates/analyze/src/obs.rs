@@ -1,0 +1,710 @@
+//! Offline observability toolkit (DESIGN.md §12): allocation-latency
+//! breakdowns, machine utilization timelines, and Perfetto/Chrome
+//! trace-event export, all reconstructed from a rendered trace.
+//!
+//! The span layer records each allocation as one causal tree — rsh′
+//! request → broker decision → daemon grant → sub-appl spawn → process
+//! exec ([`rb_simcore::SpanForest`]). This module turns those trees into
+//! the paper's Table-2 style numbers: where did the ~1 s reallocation
+//! latency go, leg by leg. Everything here is a pure function over
+//! parsed [`TraceEvent`]s so it works equally on live
+//! `World::render_trace_with_stats` output and on dumped (possibly
+//! ring-truncated) trace files.
+
+use rb_simcore::{Json, SimTime, SpanForest, SpanRecord, Summary, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ----------------------------------------------------------------------
+// Allocation-latency breakdown
+// ----------------------------------------------------------------------
+
+/// One leg of an allocation: the wait between two adjacent stages of the
+/// request → decide → grant → spawn → exec chain.
+#[derive(Debug, Clone, Copy)]
+pub struct Leg {
+    pub name: &'static str,
+    pub secs: f64,
+}
+
+/// The reconstructed latency anatomy of one `alloc` span.
+#[derive(Debug, Clone)]
+pub struct AllocBreakdown {
+    /// Span id of the `alloc` span.
+    pub alloc: u64,
+    pub job: Option<String>,
+    /// `kind=` tag from the alloc detail (Default, Offer, ...).
+    pub kind: Option<String>,
+    /// Stage-to-stage waits, in causal order. Legs whose stage spans were
+    /// truncated away are absent rather than zero.
+    pub legs: Vec<Leg>,
+    /// Request (or alloc) open → exec open: the user-visible allocation
+    /// latency, the quantity Table 2 calls "about a second".
+    pub total_secs: Option<f64>,
+    /// Close outcome of the alloc span (`done`, `denied`, `lapsed`, ...);
+    /// empty if still open / truncated.
+    pub outcome: String,
+    /// Number of `alloc.decide` children — >1 means the broker re-decided
+    /// after a failed spawn (the rsh retry path).
+    pub decisions: usize,
+}
+
+/// Walk every `alloc` span in the forest and reconstruct its latency
+/// legs. Spans without an open (close-only ring stubs) are skipped; a
+/// chain cut short (e.g. a denied request never reaches `alloc.grant`)
+/// yields the legs that do exist.
+pub fn alloc_breakdowns(forest: &SpanForest) -> Vec<AllocBreakdown> {
+    let mut out = Vec::new();
+    for rec in forest.spans.values() {
+        if rec.name != "alloc" || rec.open_at.is_none() {
+            continue;
+        }
+        out.push(breakdown_one(forest, rec));
+    }
+    out
+}
+
+fn child_named<'f>(forest: &'f SpanForest, rec: &SpanRecord, name: &str) -> Option<&'f SpanRecord> {
+    rec.children
+        .iter()
+        .filter_map(|&c| forest.get(c))
+        .find(|c| c.name == name && c.open_at.is_some())
+}
+
+fn breakdown_one(forest: &SpanForest, alloc: &SpanRecord) -> AllocBreakdown {
+    let alloc_open = alloc.open_at.expect("caller checked");
+    // The request root, if the alloc was born from an intercepted rsh′
+    // (growth driven by the appl itself has no request parent).
+    let request = forest
+        .get(alloc.parent)
+        .filter(|p| p.name == "rsh.request" && p.open_at.is_some());
+    // Retries open one decide per attempt; the one that carried the
+    // allocation to completion is the one with a grant child (fall back
+    // to the last attempt for denied/lapsed chains).
+    let decides: Vec<&SpanRecord> = alloc
+        .children
+        .iter()
+        .filter_map(|&c| forest.get(c))
+        .filter(|c| c.name == "alloc.decide" && c.open_at.is_some())
+        .collect();
+    let decide = decides
+        .iter()
+        .rev()
+        .find(|d| child_named(forest, d, "alloc.grant").is_some())
+        .or(decides.last())
+        .copied();
+    let grant = decide.and_then(|d| child_named(forest, d, "alloc.grant"));
+    let spawn = grant
+        .and_then(|g| child_named(forest, g, "alloc.spawn"))
+        .or_else(|| child_named(forest, alloc, "alloc.spawn"));
+    let exec = spawn
+        .and_then(|s| child_named(forest, s, "alloc.exec"))
+        .or_else(|| child_named(forest, alloc, "alloc.exec"));
+
+    let mut legs = Vec::new();
+    let mut leg = |name: &'static str, from: Option<SimTime>, to: Option<SimTime>| {
+        if let (Some(f), Some(t)) = (from, to) {
+            if t >= f {
+                legs.push(Leg {
+                    name,
+                    secs: (t - f).as_secs_f64(),
+                });
+            }
+        }
+    };
+    let open = |r: Option<&SpanRecord>| r.and_then(|r| r.open_at);
+    leg("request→alloc", open(request), Some(alloc_open));
+    leg("alloc→decide", Some(alloc_open), open(decide));
+    leg("decide→grant", open(decide), open(grant));
+    leg("grant→spawn", open(grant), open(spawn));
+    leg("spawn→exec", open(spawn), open(exec));
+
+    let start = open(request).unwrap_or(alloc_open);
+    let total_secs = open(exec).map(|e| (e - start).as_secs_f64());
+    AllocBreakdown {
+        alloc: alloc.id,
+        job: forest.job_of(alloc.id).map(str::to_string),
+        kind: alloc.field("kind").map(str::to_string),
+        legs,
+        total_secs,
+        outcome: alloc.outcome.clone(),
+        decisions: decides.len(),
+    }
+}
+
+/// Render breakdowns for humans: one line per allocation plus a per-job
+/// latency summary (median/p90 over the allocations that reached exec).
+pub fn render_breakdowns(list: &[AllocBreakdown]) -> String {
+    let mut out = String::new();
+    if list.is_empty() {
+        out.push_str("no alloc spans in trace\n");
+        return out;
+    }
+    for b in list {
+        let _ = write!(
+            out,
+            "alloc s{} job={} kind={}",
+            b.alloc,
+            b.job.as_deref().unwrap_or("?"),
+            b.kind.as_deref().unwrap_or("?"),
+        );
+        if b.decisions > 1 {
+            let _ = write!(out, " decisions={}", b.decisions);
+        }
+        for l in &b.legs {
+            let _ = write!(out, "  {} {:.6}s", l.name, l.secs);
+        }
+        match b.total_secs {
+            Some(t) => {
+                let _ = write!(out, "  total {t:.6}s");
+            }
+            None => out.push_str("  total ?"),
+        }
+        if !b.outcome.is_empty() {
+            let _ = write!(out, "  [{}]", b.outcome);
+        }
+        out.push('\n');
+    }
+    // Per-job summary over completed allocations.
+    let mut per_job: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for b in list {
+        if let (Some(j), Some(t)) = (b.job.as_deref(), b.total_secs) {
+            per_job.entry(j).or_default().push(t);
+        }
+    }
+    for (job, samples) in per_job {
+        let s = Summary::from_samples(samples);
+        let _ = writeln!(
+            out,
+            "job {job}: {} alloc(s), latency median {:.6}s p90 {:.6}s max {:.6}s",
+            s.count(),
+            s.median(),
+            s.percentile(90.0),
+            s.max()
+        );
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Machine utilization timeline
+// ----------------------------------------------------------------------
+
+/// Per-host live-process counts over time, derived from `proc.start` /
+/// `proc.exit` events. Each series starts implicitly at zero; entries are
+/// `(time, count after the event)`.
+#[derive(Debug, Default)]
+pub struct Utilization {
+    pub series: BTreeMap<String, Vec<(SimTime, u32)>>,
+}
+
+/// Build the utilization timeline. `proc.exit` events whose start was
+/// truncated away (unknown proc → host mapping) are ignored.
+pub fn utilization(events: &[TraceEvent]) -> Utilization {
+    let mut proc_host: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut live: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut u = Utilization::default();
+    for e in events {
+        match e.topic.as_str() {
+            "proc.start" => {
+                let mut it = e.detail.split_whitespace();
+                let (Some(proc), Some(_name)) = (it.next(), it.next()) else {
+                    continue;
+                };
+                let Some(host) = e.detail.split(" on ").nth(1) else {
+                    continue;
+                };
+                proc_host.insert(proc, host);
+                let n = live.entry(host).or_insert(0);
+                *n += 1;
+                u.series
+                    .entry(host.to_string())
+                    .or_default()
+                    .push((e.at, *n));
+            }
+            "proc.exit" => {
+                let Some(proc) = e.detail.split_whitespace().next() else {
+                    continue;
+                };
+                let Some(host) = proc_host.remove(proc) else {
+                    continue;
+                };
+                let n = live.entry(host).or_insert(0);
+                *n = n.saturating_sub(1);
+                u.series
+                    .entry(host.to_string())
+                    .or_default()
+                    .push((e.at, *n));
+            }
+            _ => {}
+        }
+    }
+    u
+}
+
+/// Render the timeline as one fixed-width strip per host: the trace span
+/// is divided into `buckets` equal windows and each cell shows the peak
+/// live-proc count in that window (`.` = idle, `+` = ten or more).
+pub fn render_utilization(u: &Utilization, buckets: usize) -> String {
+    let mut out = String::new();
+    let buckets = buckets.max(1);
+    let (lo, hi) = match u
+        .series
+        .values()
+        .flat_map(|s| s.iter().map(|&(t, _)| t))
+        .fold(None, |acc: Option<(SimTime, SimTime)>, t| match acc {
+            None => Some((t, t)),
+            Some((lo, hi)) => Some((lo.min(t), hi.max(t))),
+        }) {
+        Some(r) => r,
+        None => {
+            out.push_str("no proc events in trace\n");
+            return out;
+        }
+    };
+    let span_us = (hi.0 - lo.0).max(1);
+    for (host, series) in &u.series {
+        let mut cells = vec![0u32; buckets];
+        let mut level = 0u32;
+        let mut idx = 0usize;
+        for (b, cell) in cells.iter_mut().enumerate() {
+            // Window end, exclusive (the final window is closed).
+            let end = lo.0 + span_us * (b as u64 + 1) / buckets as u64;
+            let mut peak = level;
+            while idx < series.len() && (series[idx].0 .0 < end || b + 1 == buckets) {
+                level = series[idx].1;
+                peak = peak.max(level);
+                idx += 1;
+            }
+            *cell = peak;
+        }
+        let strip: String = cells
+            .iter()
+            .map(|&n| match n {
+                0 => '.',
+                1..=9 => char::from_digit(n, 10).unwrap(),
+                _ => '+',
+            })
+            .collect();
+        let _ = writeln!(out, "{host:>12} |{strip}|");
+    }
+    let _ = writeln!(out, "{:>12}  {} .. {} ({} windows)", "", lo, hi, buckets);
+    out
+}
+
+// ----------------------------------------------------------------------
+// Chrome trace-event (Perfetto) export
+// ----------------------------------------------------------------------
+
+/// Synthetic pids grouping the exported tracks: span trees, raw trace
+/// instants, per-machine counters.
+const PID_SPANS: u64 = 1;
+const PID_EVENTS: u64 = 2;
+const PID_MACHINES: u64 = 3;
+
+/// Export a trace as a Chrome trace-event JSON document (the format
+/// Perfetto and `chrome://tracing` load directly).
+///
+/// - every span with a surviving open becomes a `ph:"X"` complete event
+///   (still-open spans extend to the last trace timestamp), one thread
+///   per span tree so each allocation renders as its own track;
+/// - non-span trace events become `ph:"i"` instants;
+/// - per-machine live-proc counts become `ph:"C"` counter series;
+/// - `metrics`, when given (the [`rb_simcore::MetricsRegistry`] export),
+///   is attached as a final global instant so the numbers travel with
+///   the trace.
+pub fn chrome_trace(events: &[TraceEvent], metrics: Option<&Json>) -> Json {
+    let forest = SpanForest::from_events(events);
+    let end = events.last().map(|e| e.at).unwrap_or(SimTime(0));
+    let mut te: Vec<Json> = Vec::new();
+
+    for (pid, name) in [
+        (PID_SPANS, "allocation spans"),
+        (PID_EVENTS, "trace events"),
+        (PID_MACHINES, "machines"),
+    ] {
+        te.push(
+            Json::obj()
+                .set("name", "process_name")
+                .set("ph", "M")
+                .set("pid", pid)
+                .set("tid", 0u64)
+                .set("args", Json::obj().set("name", name)),
+        );
+    }
+
+    // Root of each span's tree = its thread id, so one allocation chain
+    // stacks on one track. Memoized walk; cycles cannot occur (parents
+    // always have smaller ids) but truncated parents stop the walk.
+    let mut root_of: BTreeMap<u64, u64> = BTreeMap::new();
+    fn root(forest: &SpanForest, memo: &mut BTreeMap<u64, u64>, id: u64) -> u64 {
+        if let Some(&r) = memo.get(&id) {
+            return r;
+        }
+        let parent = forest.get(id).map(|s| s.parent).unwrap_or(0);
+        let r = if parent == 0 || forest.get(parent).is_none() {
+            id
+        } else {
+            root(forest, memo, parent)
+        };
+        memo.insert(id, r);
+        r
+    }
+    for rec in forest.spans.values() {
+        let Some(open) = rec.open_at else {
+            continue; // close-only ring stub: no interval to draw
+        };
+        let close = rec.close_at.unwrap_or(end).max(open);
+        let tid = root(&forest, &mut root_of, rec.id);
+        let mut args = Json::obj().set("span", format!("s{}", rec.id));
+        if !rec.detail.is_empty() {
+            args = args.set("detail", rec.detail.as_str());
+        }
+        args = args.set(
+            "outcome",
+            if rec.close_at.is_some() {
+                rec.outcome.as_str()
+            } else {
+                "(open at end of trace)"
+            },
+        );
+        te.push(
+            Json::obj()
+                .set("name", rec.name.as_str())
+                .set("cat", "span")
+                .set("ph", "X")
+                .set("ts", rec.open_at.map(|t| t.0).unwrap_or(0))
+                .set("dur", close.0 - open.0)
+                .set("pid", PID_SPANS)
+                .set("tid", tid)
+                .set("args", args),
+        );
+    }
+
+    for e in events {
+        if e.topic == "span.open" || e.topic == "span.close" {
+            continue;
+        }
+        te.push(
+            Json::obj()
+                .set("name", e.topic.as_str())
+                .set("cat", "trace")
+                .set("ph", "i")
+                .set("ts", e.at.0)
+                .set("pid", PID_EVENTS)
+                .set("tid", 0u64)
+                .set("s", "t")
+                .set("args", Json::obj().set("detail", e.detail.as_str())),
+        );
+    }
+
+    let util = utilization(events);
+    for (host, series) in &util.series {
+        let name = format!("live-procs {host}");
+        for &(t, n) in series {
+            te.push(
+                Json::obj()
+                    .set("name", name.as_str())
+                    .set("ph", "C")
+                    .set("ts", t.0)
+                    .set("pid", PID_MACHINES)
+                    .set("tid", 0u64)
+                    .set("args", Json::obj().set("procs", u64::from(n))),
+            );
+        }
+    }
+
+    if let Some(m) = metrics {
+        te.push(
+            Json::obj()
+                .set("name", "metrics.final")
+                .set("cat", "metrics")
+                .set("ph", "i")
+                .set("ts", end.0)
+                .set("pid", PID_EVENTS)
+                .set("tid", 0u64)
+                .set("s", "g")
+                .set("args", m.clone()),
+        );
+    }
+
+    Json::obj()
+        .set("traceEvents", Json::Arr(te))
+        .set("displayTimeUnit", "ms")
+}
+
+/// Schema-check a Chrome trace-event document: the shape Perfetto
+/// actually requires, so CI can assert exports stay loadable. Returns
+/// the number of trace events on success, every problem found otherwise.
+pub fn validate_chrome(doc: &Json) -> Result<usize, Vec<String>> {
+    let mut problems = Vec::new();
+    let Some(te) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        return Err(vec!["top-level \"traceEvents\" array missing".into()]);
+    };
+    for (i, e) in te.iter().enumerate() {
+        let mut fail = |msg: String| problems.push(format!("event {i}: {msg}"));
+        let Some(ph) = e.get("ph").and_then(Json::as_str) else {
+            fail("no \"ph\" phase field".into());
+            continue;
+        };
+        if e.get("name").and_then(Json::as_str).is_none() {
+            fail(format!("ph {ph:?} without a string \"name\""));
+        }
+        let num = |key: &str| e.get(key).and_then(Json::as_f64);
+        match ph {
+            "M" => {} // metadata: ts/pid optional
+            "X" | "i" | "C" => {
+                match num("ts") {
+                    Some(ts) if ts >= 0.0 => {}
+                    Some(_) => fail("negative \"ts\"".into()),
+                    None => fail(format!("ph {ph:?} without numeric \"ts\"")),
+                }
+                if num("pid").is_none() {
+                    fail(format!("ph {ph:?} without numeric \"pid\""));
+                }
+                match ph {
+                    "X" => match num("dur") {
+                        Some(d) if d >= 0.0 => {}
+                        Some(_) => fail("negative \"dur\"".into()),
+                        None => fail("ph \"X\" without numeric \"dur\"".into()),
+                    },
+                    "C" => {
+                        let ok = matches!(e.get("args"), Some(Json::Obj(fields))
+                            if fields.iter().any(|(_, v)| v.as_f64().is_some()));
+                        if !ok {
+                            fail("ph \"C\" without a numeric args series".into());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            other => fail(format!("unknown phase {other:?}")),
+        }
+        if let Some(args) = e.get("args") {
+            if !matches!(args, Json::Obj(_)) {
+                fail("\"args\" is not an object".into());
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(te.len())
+    } else {
+        Err(problems)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Convenience entry points over raw rendered text
+// ----------------------------------------------------------------------
+
+/// `SpanForest::from_events` + latency breakdown in one step; the shape
+/// `rbtrace latency` and the acceptance tests consume.
+pub fn breakdowns_from_events(events: &[TraceEvent]) -> Vec<AllocBreakdown> {
+    alloc_breakdowns(&SpanForest::from_events(events))
+}
+
+/// JSON form of a breakdown list (for `rbtrace latency --format json`).
+pub fn breakdowns_json(list: &[AllocBreakdown]) -> Json {
+    Json::Arr(
+        list.iter()
+            .map(|b| {
+                let mut doc = Json::obj()
+                    .set("alloc", format!("s{}", b.alloc))
+                    .set(
+                        "job",
+                        b.job.as_deref().map(Json::from).unwrap_or(Json::Null),
+                    )
+                    .set(
+                        "kind",
+                        b.kind.as_deref().map(Json::from).unwrap_or(Json::Null),
+                    )
+                    .set("decisions", b.decisions)
+                    .set("outcome", b.outcome.as_str())
+                    .set(
+                        "legs",
+                        Json::Arr(
+                            b.legs
+                                .iter()
+                                .map(|l| Json::obj().set("name", l.name).set("secs", l.secs))
+                                .collect(),
+                        ),
+                    );
+                doc = match b.total_secs {
+                    Some(t) => doc.set("total_secs", t),
+                    None => doc.set("total_secs", Json::Null),
+                };
+                doc
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rb_simcore::{parse_rendered, SpanId, SpanTracker, TraceRecorder};
+
+    /// Record the canonical allocation chain and return its events.
+    fn chain_events() -> Vec<TraceEvent> {
+        let mut rec = TraceRecorder::enabled();
+        let mut sp = SpanTracker::new();
+        let req = sp.open(
+            &mut rec,
+            SimTime(0),
+            SpanId::NONE,
+            "rsh.request",
+            "n00 loop",
+        );
+        let alloc = sp.open(
+            &mut rec,
+            SimTime(100),
+            req,
+            "alloc",
+            "g1 job=j1 kind=Default",
+        );
+        let decide = sp.open(
+            &mut rec,
+            SimTime(200),
+            alloc,
+            "alloc.decide",
+            "g1 job=j1 any",
+        );
+        let grant = sp.open(
+            &mut rec,
+            SimTime(900_000),
+            decide,
+            "alloc.grant",
+            "g1 job=j1 n01",
+        );
+        sp.close(
+            &mut rec,
+            SimTime(900_000),
+            decide,
+            "alloc.decide",
+            "granted",
+        );
+        let spawn = sp.open(&mut rec, SimTime(900_100), grant, "alloc.spawn", "g1 n01");
+        let exec = sp.open(
+            &mut rec,
+            SimTime(1_100_000),
+            spawn,
+            "alloc.exec",
+            "g1 job=j1 loop",
+        );
+        rec.record(SimTime(1_100_000), "proc.start", "p9 loop on n01");
+        sp.close(&mut rec, SimTime(6_000_000), exec, "alloc.exec", "done");
+        rec.record(SimTime(6_000_000), "proc.exit", "p9 loop exit:0");
+        sp.close(&mut rec, SimTime(6_000_100), spawn, "alloc.spawn", "ready");
+        sp.close(&mut rec, SimTime(6_000_200), grant, "alloc.grant", "freed");
+        sp.close(&mut rec, SimTime(6_000_300), alloc, "alloc", "done");
+        sp.close(&mut rec, SimTime(6_000_400), req, "rsh.request", "exit:0");
+        parse_rendered(&rec.render()).unwrap()
+    }
+
+    #[test]
+    fn breakdown_reconstructs_the_full_chain() {
+        let events = chain_events();
+        let list = breakdowns_from_events(&events);
+        assert_eq!(list.len(), 1);
+        let b = &list[0];
+        assert_eq!(b.job.as_deref(), Some("j1"));
+        assert_eq!(b.kind.as_deref(), Some("Default"));
+        assert_eq!(b.decisions, 1);
+        let names: Vec<&str> = b.legs.iter().map(|l| l.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "request→alloc",
+                "alloc→decide",
+                "decide→grant",
+                "grant→spawn",
+                "spawn→exec"
+            ]
+        );
+        // decide→grant dominates: that's the broker's reallocation work.
+        let decide_grant = b.legs.iter().find(|l| l.name == "decide→grant").unwrap();
+        assert!((decide_grant.secs - 0.8998).abs() < 1e-6);
+        assert!((b.total_secs.unwrap() - 1.1).abs() < 1e-9);
+        assert_eq!(b.outcome, "done");
+        let text = render_breakdowns(&list);
+        assert!(text.contains("job=j1"), "{text}");
+        assert!(text.contains("job j1: 1 alloc(s)"), "{text}");
+    }
+
+    #[test]
+    fn truncated_chain_yields_partial_legs() {
+        let events = chain_events();
+        // Drop everything before the grant open: request/alloc/decide
+        // opens gone, alloc survives only as a close-stub.
+        let cut: Vec<TraceEvent> = events
+            .iter()
+            .filter(|e| e.at >= SimTime(900_000))
+            .cloned()
+            .collect();
+        let list = breakdowns_from_events(&cut);
+        // The alloc span has no open left → no breakdown, but nothing
+        // panics and the utilization/export paths still work.
+        assert!(list.is_empty());
+        let doc = chrome_trace(&cut, None);
+        assert!(validate_chrome(&doc).is_ok());
+    }
+
+    #[test]
+    fn utilization_counts_live_procs() {
+        let events = chain_events();
+        let u = utilization(&events);
+        let series = u.series.get("n01").unwrap();
+        assert_eq!(
+            series,
+            &vec![(SimTime(1_100_000), 1), (SimTime(6_000_000), 0)]
+        );
+        let strip = render_utilization(&u, 10);
+        assert!(strip.contains("n01"), "{strip}");
+        assert!(strip.contains('1'), "{strip}");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_complete() {
+        let events = chain_events();
+        let metrics = Json::obj().set("counters", Json::Arr(vec![]));
+        let doc = chrome_trace(&events, Some(&metrics));
+        let n = validate_chrome(&doc).expect("valid export");
+        let te = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(n, te.len());
+        // All six spans exported as complete events on one track (the
+        // request root's tree).
+        let spans: Vec<&Json> = te
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 6);
+        let tids: std::collections::BTreeSet<u64> = spans
+            .iter()
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap() as u64)
+            .collect();
+        assert_eq!(tids.len(), 1);
+        // Counter series present for the machine that ran the proc.
+        assert!(te.iter().any(|e| {
+            e.get("ph").unwrap().as_str() == Some("C")
+                && e.get("name").unwrap().as_str() == Some("live-procs n01")
+        }));
+        // The export round-trips through the parser (what CI validates).
+        let back = rb_simcore::json::parse(&doc.render()).unwrap();
+        assert_eq!(validate_chrome(&back).unwrap(), n);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome(&Json::obj()).is_err());
+        let bad = Json::obj().set(
+            "traceEvents",
+            Json::Arr(vec![
+                Json::obj().set("name", "x").set("ph", "X").set("ts", 1u64), // no dur/pid
+                Json::obj().set("name", "y").set("ph", "?"),
+                Json::obj().set("ph", "i").set("ts", -1.0),
+            ]),
+        );
+        let problems = validate_chrome(&bad).unwrap_err();
+        assert!(problems.len() >= 4, "{problems:?}");
+    }
+}

@@ -10,7 +10,8 @@
 //! of a file) can report end-of-trace liveness violations for exchanges
 //! whose completion was cut off.
 
-use rb_simcore::{SimTime, TraceEvent};
+use rb_simcore::span::parse_span_open;
+use rb_simcore::{Duration, SimTime, SpanForest, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One rule violation, anchored to the events that prove it.
@@ -40,7 +41,7 @@ pub fn all_rules() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 10] = [
+static RULES: [Rule; 12] = [
     Rule {
         name: "no-double-allocation",
         description: "a machine is never granted to a job while another job still holds it",
@@ -95,6 +96,16 @@ static RULES: [Rule; 10] = [
         description: "grants only go to machines whose daemon registered, and the held \
                       set never exceeds the pool",
         check: pool_conservation,
+    },
+    Rule {
+        name: "span-closure",
+        description: "every allocation span of a finished job is closed before quiescence",
+        check: span_closure,
+    },
+    Rule {
+        name: "grant-has-request",
+        description: "every grant span descends from an alloc request span",
+        check: grant_has_request,
     },
 ];
 
@@ -625,6 +636,147 @@ fn pool_conservation(events: &[TraceEvent]) -> Vec<Violation> {
     out
 }
 
+/// Allocation spans must not leak: an `alloc*` span (alloc / decide /
+/// grant / spawn / exec — the broker allocation chain) carrying its own
+/// `job=` tag whose job reported done must be closed before the trace
+/// quiesces.
+///
+/// Scoped deliberately:
+/// - only the broker allocation chain is judged: every teardown path
+///   there is required to close its spans. The parallel systems'
+///   `parsys.*` spans are a best-effort local view — a master SIGKILLed
+///   at job teardown strands its in-flight grow spans with no code left
+///   to close them, which is a shutdown race, not a leak;
+/// - only spans whose *own* detail names a job are judged (rsh′ request
+///   roots carry no `job=` and have their own timeout backstop);
+/// - the job must have a `broker.job.done` event *and* the trace must
+///   extend at least one virtual second past it — teardown closes
+///   (grant-freed, exec-done) race the cut-off otherwise;
+/// - any machine crash (`machine.power … up=false`) at or after the
+///   span's open exempts it: crash chaos can legitimately strand spans
+///   whose closing messages died with the machine;
+/// - close-only ring stubs are skipped (their open, and possibly their
+///   close ordering, was truncated away).
+fn span_closure(events: &[TraceEvent]) -> Vec<Violation> {
+    let forest = SpanForest::from_events(events);
+    let Some(end) = events.last().map(|e| e.at) else {
+        return Vec::new();
+    };
+    let mut job_done: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut crashes: Vec<SimTime> = Vec::new();
+    // Span id → index of its `span.open` event, for violation windows.
+    let mut open_idx: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.topic.as_str() {
+            "broker.job.done" => {
+                job_done.insert(e.detail.trim(), i);
+            }
+            "machine.power" => {
+                if let Some((_, updown)) = split2(&e.detail, " up=") {
+                    if updown.trim() == "false" {
+                        crashes.push(e.at);
+                    }
+                }
+            }
+            "span.open" => {
+                if let Some((id, _, _, _)) = parse_span_open(&e.detail) {
+                    open_idx.insert(id, i);
+                }
+            }
+            _ => {}
+        }
+    }
+    let grace = Duration::from_secs(1);
+    let mut out = Vec::new();
+    for rec in forest.spans.values() {
+        if !rec.name.starts_with("alloc") || rec.close_at.is_some() {
+            continue;
+        }
+        let Some(open) = rec.open_at else {
+            continue;
+        };
+        let Some(job) = rec.field("job") else {
+            continue;
+        };
+        let Some(&done_i) = job_done.get(job) else {
+            continue;
+        };
+        let done_at = events[done_i].at;
+        if end < done_at + grace {
+            continue;
+        }
+        if crashes.iter().any(|&t| t >= open) {
+            continue;
+        }
+        let mut window = Vec::new();
+        if let Some(&i) = open_idx.get(&rec.id) {
+            window.push(&events[i]);
+        }
+        window.push(&events[done_i]);
+        out.push(violation(
+            "span-closure",
+            format!(
+                "span s{} ({}) of finished job {job} still open {:.3}s after the job's done",
+                rec.id,
+                rec.name,
+                (end - done_at).as_secs_f64()
+            ),
+            window,
+        ));
+    }
+    out
+}
+
+/// A grant without a request is an allocation from nowhere: every
+/// `alloc.grant` span must reach an `alloc` (request) span by following
+/// parent links. Chains cut by ring truncation — a parent id that never
+/// appears, or a parent surviving only as a close-stub — are skipped
+/// rather than blamed on the protocol.
+fn grant_has_request(events: &[TraceEvent]) -> Vec<Violation> {
+    let forest = SpanForest::from_events(events);
+    // Span id → index of its `span.open` event, for violation windows.
+    let mut open_idx: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.topic == "span.open" {
+            if let Some((id, _, _, _)) = parse_span_open(&e.detail) {
+                open_idx.insert(id, i);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for rec in forest.spans.values() {
+        if rec.name != "alloc.grant" || rec.open_at.is_none() {
+            continue;
+        }
+        let mut cur = rec;
+        let orphaned = loop {
+            if cur.parent == 0 {
+                // A recorded root: the grant (or an ancestor still short
+                // of `alloc`) was opened with no parent at all.
+                break true;
+            }
+            match forest.get(cur.parent) {
+                None => break false, // truncated away — benefit of the doubt
+                Some(p) if p.open_at.is_none() => break false, // close-only stub
+                Some(p) if p.name == "alloc" => break false,
+                Some(p) => cur = p,
+            }
+        };
+        if orphaned {
+            let window = open_idx.get(&rec.id).map(|&i| vec![&events[i]]);
+            out.push(violation(
+                "grant-has-request",
+                format!(
+                    "grant span s{} ({}) has no alloc request ancestor",
+                    rec.id, rec.detail
+                ),
+                window.unwrap_or_default(),
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,7 +788,7 @@ mod tests {
             assert!(seen.insert(r.name), "duplicate rule {}", r.name);
             assert!(!r.description.is_empty());
         }
-        assert_eq!(all_rules().len(), 10);
+        assert_eq!(all_rules().len(), 12);
     }
 
     #[test]

@@ -391,3 +391,91 @@ fn rendered_trace_roundtrips_through_the_linter() {
     let v = lint_events(&parsed);
     assert!(v.iter().any(|x| x.rule == "no-double-allocation"));
 }
+
+// --------------------------------------------------------------- rule 11
+
+#[test]
+fn leaked_allocation_span_is_caught() {
+    let mut t = prologue();
+    // The alloc span opens, the job finishes, the trace runs well past
+    // the grace second — and the span never closes.
+    t.push(ev(10, "span.open", "s1 - alloc g1 job=j1 kind=Default"));
+    t.push(ev(500, "broker.job.done", "j1"));
+    t.push(ev(5_000, "broker.daemon.hello", "n01"));
+    let v = assert_caught(&t, "span-closure");
+    let bad = v.iter().find(|x| x.rule == "span-closure").unwrap();
+    assert!(bad.message.contains("j1"), "{}", bad.message);
+    assert!(!bad.window.is_empty());
+}
+
+#[test]
+fn closed_and_exempt_spans_are_clean() {
+    // Closed before quiescence: clean.
+    let mut t = prologue();
+    t.push(ev(10, "span.open", "s1 - alloc g1 job=j1 kind=Default"));
+    t.push(ev(400, "span.close", "s1 alloc done"));
+    t.push(ev(500, "broker.job.done", "j1"));
+    t.push(ev(5_000, "broker.daemon.hello", "n01"));
+    assert_clean(&t);
+
+    // Open but inside the grace window after job.done: clean.
+    let mut t = prologue();
+    t.push(ev(10, "span.open", "s1 - alloc g1 job=j1 kind=Default"));
+    t.push(ev(500, "broker.job.done", "j1"));
+    t.push(ev(900, "broker.daemon.hello", "n01"));
+    assert_clean(&t);
+
+    // Open, but a machine crashed after the span opened: exempt (the
+    // closing messages may have died with the machine).
+    let mut t = prologue();
+    t.push(ev(10, "span.open", "s1 - alloc g1 job=j1 kind=Default"));
+    t.push(ev(20, "machine.power", "n01 up=false"));
+    t.push(ev(500, "broker.job.done", "j1"));
+    t.push(ev(5_000, "broker.daemon.hello", "n01"));
+    assert_clean(&t);
+
+    // Open with no job= of its own (an rsh′ request root): not judged.
+    let mut t = prologue();
+    t.push(ev(10, "span.open", "s1 - rsh.request n00 loop"));
+    t.push(ev(500, "broker.job.done", "j1"));
+    t.push(ev(5_000, "broker.daemon.hello", "n01"));
+    assert_clean(&t);
+}
+
+// --------------------------------------------------------------- rule 12
+
+#[test]
+fn orphan_grant_span_is_caught() {
+    let mut t = prologue();
+    // A grant span recorded as a root: an allocation from nowhere.
+    t.push(ev(10, "span.open", "s1 - alloc.grant g1 job=j1 n01"));
+    t.push(ev(20, "span.close", "s1 alloc.grant freed"));
+    let v = assert_caught(&t, "grant-has-request");
+    assert!(v[0].message.contains("s1"), "{}", v[0].message);
+}
+
+#[test]
+fn parented_and_truncated_grant_spans_are_clean() {
+    // The full chain: grant → decide → alloc. Clean.
+    let mut t = prologue();
+    t.push(ev(10, "span.open", "s1 - alloc g1 job=j1 kind=Default"));
+    t.push(ev(11, "span.open", "s2 s1 alloc.decide g1 job=j1 any"));
+    t.push(ev(12, "span.open", "s3 s2 alloc.grant g1 job=j1 n01"));
+    t.push(ev(20, "span.close", "s3 alloc.grant freed"));
+    t.push(ev(21, "span.close", "s2 alloc.decide granted"));
+    t.push(ev(22, "span.close", "s1 alloc done"));
+    assert_clean(&t);
+
+    // The decide parent fell off the ring entirely: benefit of the doubt.
+    let mut t = prologue();
+    t.push(ev(12, "span.open", "s3 s2 alloc.grant g1 job=j1 n01"));
+    t.push(ev(20, "span.close", "s3 alloc.grant freed"));
+    assert_clean(&t);
+
+    // The decide parent survives only as a close-stub: also skipped.
+    let mut t = prologue();
+    t.push(ev(12, "span.open", "s3 s2 alloc.grant g1 job=j1 n01"));
+    t.push(ev(20, "span.close", "s3 alloc.grant freed"));
+    t.push(ev(21, "span.close", "s2 alloc.decide granted"));
+    assert_clean(&t);
+}

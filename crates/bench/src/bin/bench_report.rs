@@ -5,7 +5,9 @@
 //! `SimRng` stream per rep), and emits:
 //!
 //! * `BENCH_kernel.json` — events/sec, wall ms, peak queue depth per
-//!   scenario (the simulator's own performance);
+//!   scenario (the simulator's own performance), plus a `metrics`
+//!   section: the sampled metrics registry from one traced reallocation
+//!   run (grants, reclaims, queue depths, allocation latency);
 //! * `BENCH_table2.json` — the paper-shaped Table 2 rows in simulated
 //!   seconds, alongside the harness wall-clock cost of producing them.
 //!
@@ -121,7 +123,13 @@ fn main() -> ExitCode {
         println!("{}", render_scenario_line(&r));
         reports.push(r);
     }
-    let kernel_doc = report_json("rb-bench/kernel/v1", reps, &reports);
+    // One reallocation run in observability trim: the sampled metrics
+    // registry (counters/gauges/latency histograms) rides along in the
+    // kernel report, so a baseline captures not just throughput but what
+    // the cluster *did* — grants, reclaims, queue depths, alloc latency.
+    let (_outcome, _trace, metrics) =
+        table2::prime_with_realloc_traced(BASE_SEED, table2::loop_cmd());
+    let kernel_doc = report_json("rb-bench/kernel/v1", reps, &reports).set("metrics", metrics);
     write_doc("BENCH_kernel.json", &kernel_doc);
 
     // ---- BENCH_table2.json -------------------------------------------

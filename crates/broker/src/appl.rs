@@ -25,7 +25,7 @@ use rb_proto::{
     ApplMsg, BrokerMsg, CommandSpec, ExitStatus, GrowId, HostSpec, JobId, MachineId, Payload,
     ProcId, RshError, RshHandle, SymbolicHost, TimerToken,
 };
-use rb_simcore::FxHashMap;
+use rb_simcore::{FxHashMap, SimTime, SpanId};
 use rb_simnet::{Behavior, Ctx, ProcEnv, RshBinding};
 use std::sync::Arc;
 
@@ -82,6 +82,16 @@ struct Grow {
     releasing: bool,
     /// Allocation retries left after a machine turned out to be dead.
     retries: u32,
+    /// The grow's `alloc` span — one allocation end to end, parented
+    /// under the intercepted `rsh.request` when there is one.
+    span: SpanId,
+    /// `alloc.grant` — open while the granted machine is held; closed
+    /// when the machine goes back to the broker.
+    grant_span: SpanId,
+    /// `alloc.spawn` — the sub-appl chain; closed at `SubApplReady`.
+    spawn_span: SpanId,
+    /// When the allocation request left for the broker (latency metric).
+    requested_at: SimTime,
 }
 
 impl Grow {
@@ -96,6 +106,10 @@ impl Grow {
             detached: false,
             releasing: false,
             retries: 2,
+            span: SpanId::NONE,
+            grant_span: SpanId::NONE,
+            spawn_span: SpanId::NONE,
+            requested_at: SimTime::ZERO,
         }
     }
 }
@@ -167,11 +181,28 @@ impl Appl {
         }
     }
 
-    fn fresh_grow(&mut self, kind: GrowKind) -> GrowId {
+    fn fresh_grow(&mut self, ctx: &mut Ctx<'_>, kind: GrowKind, parent: SpanId) -> GrowId {
         let id = GrowId(self.next_grow);
         self.next_grow += 1;
-        self.grows.insert(id, Grow::new(kind));
+        let mut g = Grow::new(kind);
+        if let Some(job) = self.job {
+            g.span = ctx.open_span(
+                parent,
+                "alloc",
+                format_args!("{id} job={job} kind={kind:?}"),
+            );
+        }
+        self.grows.insert(id, g);
         id
+    }
+
+    /// Close every span the grow still holds and drop it from the table.
+    fn end_grow(&mut self, ctx: &mut Ctx<'_>, grow: GrowId, outcome: &str) {
+        if let Some(g) = self.grows.remove(&grow) {
+            ctx.close_span(g.spawn_span, "alloc.spawn", outcome);
+            ctx.close_span(g.grant_span, "alloc.grant", outcome);
+            ctx.close_span(g.span, "alloc", outcome);
+        }
     }
 
     fn module(&self) -> Option<Arc<dyn crate::modules::ExternalModule + Sync>> {
@@ -183,12 +214,21 @@ impl Appl {
 
     fn request_alloc(&mut self, ctx: &mut Ctx<'_>, grow: GrowId, constraint: SymbolicHost) {
         let job = self.job.expect("registered");
+        let span = match self.grows.get_mut(&grow) {
+            Some(g) => {
+                g.requested_at = ctx.now();
+                g.span
+            }
+            None => SpanId::NONE,
+        };
+        ctx.metric_inc("appl.alloc.requests", job);
         ctx.send(
             self.broker,
             Payload::Broker(BrokerMsg::AllocRequest {
                 job,
                 grow,
                 constraint,
+                span,
             }),
         );
     }
@@ -208,6 +248,16 @@ impl Appl {
         self.by_handle.insert(handle, grow);
         if let Some(g) = self.grows.get_mut(&grow) {
             g.hostname = Some(hostname.to_string());
+            let parent = if g.grant_span != SpanId::NONE {
+                g.grant_span
+            } else {
+                g.span
+            };
+            g.spawn_span = ctx.open_span(
+                parent,
+                "alloc.spawn",
+                format_args!("{grow} job={job} {hostname}"),
+            );
         }
     }
 
@@ -257,6 +307,8 @@ impl Appl {
         self.by_machine.remove(&machine);
         if let Some(g) = self.grows.get_mut(&grow) {
             g.machine = None;
+            let grant = std::mem::replace(&mut g.grant_span, SpanId::NONE);
+            ctx.close_span(grant, "alloc.grant", "freed");
         }
         ctx.send(
             self.broker,
@@ -294,6 +346,13 @@ impl Appl {
         for (_, sub) in subs {
             ctx.send(sub, Payload::Appl(ApplMsg::Shutdown));
         }
+        // Sweep-close every span the job still holds open, so each
+        // allocation tree is complete by the time the job is done.
+        let mut open: Vec<GrowId> = self.grows.keys().copied().collect();
+        open.sort();
+        for grow in open {
+            self.end_grow(ctx, grow, "job-done");
+        }
         if let Some(job) = self.job {
             ctx.send(self.broker, Payload::Broker(BrokerMsg::JobDone { job }));
         }
@@ -308,6 +367,7 @@ impl Appl {
         rshp: ProcId,
         host: HostSpec,
         cmd: CommandSpec,
+        span: SpanId,
     ) {
         if self.done || self.job.is_none() {
             ctx.send(
@@ -332,7 +392,7 @@ impl Appl {
                             status: ExitStatus::Failure(1),
                         }),
                     );
-                    let grow = self.fresh_grow(GrowKind::ModuleWait);
+                    let grow = self.fresh_grow(ctx, GrowKind::ModuleWait, span);
                     self.request_alloc(ctx, grow, sym);
                 } else {
                     // ---- default path: redirect ----
@@ -340,7 +400,7 @@ impl Appl {
                         "appl.default.redirect",
                         format_args!("{sym} {}", cmd.name()),
                     );
-                    let grow = self.fresh_grow(GrowKind::Default);
+                    let grow = self.fresh_grow(ctx, GrowKind::Default, span);
                     if let Some(g) = self.grows.get_mut(&grow) {
                         g.rshp = Some(rshp);
                         g.cmd = Some(cmd);
@@ -420,7 +480,7 @@ impl Behavior for Appl {
                 ctx.trace("appl.job", format_args!("{job}"));
                 match self.run.take() {
                     Some(JobRun::Remote { host, cmd }) => {
-                        let grow = self.fresh_grow(GrowKind::Remote);
+                        let grow = self.fresh_grow(ctx, GrowKind::Remote, SpanId::NONE);
                         if let Some(g) = self.grows.get_mut(&grow) {
                             g.cmd = Some(cmd);
                         }
@@ -463,7 +523,10 @@ impl Behavior for Appl {
                 grow,
                 machine,
                 hostname,
+                span,
             }) => {
+                let now = ctx.now();
+                let job = self.job;
                 let Some(g) = self.grows.get_mut(&grow) else {
                     // Grow abandoned: hand the machine straight back.
                     if let Some(job) = self.job {
@@ -475,6 +538,22 @@ impl Behavior for Appl {
                     return;
                 };
                 g.machine = Some(machine);
+                // The grant leg of the allocation tree: parented under
+                // the broker's decide span when one rode the message.
+                let parent = if span != SpanId::NONE { span } else { g.span };
+                if let Some(job) = job {
+                    g.grant_span = ctx.open_span(
+                        parent,
+                        "alloc.grant",
+                        format_args!("{grow} job={job} {hostname}"),
+                    );
+                    ctx.metric_inc("appl.alloc.grants", job);
+                    ctx.metric_observe(
+                        "alloc.latency_s",
+                        job,
+                        now.since(g.requested_at).as_secs_f64(),
+                    );
+                }
                 self.by_machine.insert(machine, grow);
                 // The appl's view of the broker's allocation order: the
                 // linearizability check in rb-model compares these
@@ -502,9 +581,12 @@ impl Behavior for Appl {
             }
             Payload::Broker(BrokerMsg::AllocDenied { grow, reason }) => {
                 ctx.trace("appl.denied", reason);
+                if let Some(job) = self.job {
+                    ctx.metric_inc("appl.alloc.denied", job);
+                }
                 let kind = self.grows.get(&grow).map(|g| g.kind);
                 self.reply_rshp(ctx, grow, ExitStatus::Failure(1));
-                self.grows.remove(&grow);
+                self.end_grow(ctx, grow, "denied");
                 if kind == Some(GrowKind::Remote) {
                     // The job's only command cannot run.
                     self.finish_job(ctx, ExitStatus::Failure(1));
@@ -565,7 +647,7 @@ impl Behavior for Appl {
                 if self.module().is_some() {
                     // Ask for the reserved machine through the normal
                     // allocation path, then phase II as usual.
-                    let grow = self.fresh_grow(GrowKind::ModuleWait);
+                    let grow = self.fresh_grow(ctx, GrowKind::ModuleWait, SpanId::NONE);
                     self.request_alloc(ctx, grow, SymbolicHost::Any);
                 } else if let Some(root) = self.root {
                     // Nudge the adaptive job; its own grow request follows.
@@ -578,8 +660,9 @@ impl Behavior for Appl {
                 origin: _,
                 host,
                 cmd,
+                span,
             }) => {
-                self.on_intercepted(ctx, from, host, cmd);
+                self.on_intercepted(ctx, from, host, cmd, span);
             }
 
             // ---------------- sub-appls ----------------
@@ -590,10 +673,22 @@ impl Behavior for Appl {
                 };
                 g.subappl = Some(from);
                 g.machine.get_or_insert(machine);
+                // The sub-appl chain is up: close the spawn leg; the
+                // program's exec span parents under it.
+                let spawn = std::mem::replace(&mut g.spawn_span, SpanId::NONE);
+                let exec_parent = if spawn != SpanId::NONE { spawn } else { g.span };
+                ctx.close_span(spawn, "alloc.spawn", "ready");
                 self.by_machine.insert(machine, grow);
                 let cmd = self.grows[&grow].cmd.clone();
                 if let Some(cmd) = cmd {
-                    ctx.send(from, Payload::Appl(ApplMsg::Program { grow, cmd }));
+                    ctx.send(
+                        from,
+                        Payload::Appl(ApplMsg::Program {
+                            grow,
+                            cmd,
+                            span: exec_parent,
+                        }),
+                    );
                 }
             }
             Payload::Appl(ApplMsg::ChildStarted { .. }) => {}
@@ -620,7 +715,7 @@ impl Behavior for Appl {
                     self.shrink_timers.retain(|_, m| Some(*m) != machine);
                     ctx.trace("appl.shrink.done", format_args!("{grow}"));
                     self.free_machine(ctx, grow);
-                    self.grows.remove(&grow);
+                    self.end_grow(ctx, grow, "released");
                     self.module_grow_done(ctx, grow);
                     return;
                 }
@@ -633,7 +728,15 @@ impl Behavior for Appl {
                 }
                 self.reply_rshp(ctx, grow, status);
                 self.free_machine(ctx, grow);
-                self.grows.remove(&grow);
+                self.end_grow(
+                    ctx,
+                    grow,
+                    if status.is_success() {
+                        "done"
+                    } else {
+                        "failed"
+                    },
+                );
                 self.module_grow_done(ctx, grow);
                 if kind == GrowKind::Remote {
                     // Sequential remote execution: job over.
@@ -645,7 +748,7 @@ impl Behavior for Appl {
                 self.release_deadlines.retain(|_, &mut m| m != machine);
                 self.reply_rshp(ctx, grow, ExitStatus::Failure(1));
                 self.free_machine(ctx, grow);
-                self.grows.remove(&grow);
+                self.end_grow(ctx, grow, "released");
                 self.module_grow_done(ctx, grow);
             }
             _ => {}
@@ -670,6 +773,10 @@ impl Behavior for Appl {
         let kind = self.grows.get(&grow).map(|g| g.kind);
         let machine = self.grows.get(&grow).and_then(|g| g.machine);
         self.free_machine(ctx, grow);
+        if let Some(g) = self.grows.get_mut(&grow) {
+            let spawn = std::mem::replace(&mut g.spawn_span, SpanId::NONE);
+            ctx.close_span(spawn, "alloc.spawn", "rsh-failed");
+        }
         // The granted machine was unreachable (it may have crashed between
         // the daemon's last report and our rsh): for a batch job, retry the
         // allocation rather than failing the user's command outright. Only
@@ -703,7 +810,7 @@ impl Behavior for Appl {
             }
         }
         self.reply_rshp(ctx, grow, ExitStatus::Failure(1));
-        self.grows.remove(&grow);
+        self.end_grow(ctx, grow, "spawn-failed");
         self.module_grow_done(ctx, grow);
         if kind == Some(GrowKind::Remote) {
             self.finish_job(ctx, ExitStatus::Failure(1));
@@ -717,7 +824,7 @@ impl Behavior for Appl {
             if let Some(&grow) = self.by_machine.get(&machine) {
                 ctx.trace("appl.release.timeout", format_args!("{machine}"));
                 self.free_machine(ctx, grow);
-                self.grows.remove(&grow);
+                self.end_grow(ctx, grow, "release-timeout");
                 self.module_grow_done(ctx, grow);
             }
             return;
@@ -729,7 +836,7 @@ impl Behavior for Appl {
             if let Some(grow) = self.pending_named.remove(&hostname) {
                 ctx.trace("appl.module.grow-lapsed", hostname);
                 self.free_machine(ctx, grow);
-                self.grows.remove(&grow);
+                self.end_grow(ctx, grow, "lapsed");
                 self.module_grow_done(ctx, grow);
             }
             return;

@@ -15,7 +15,7 @@ use rb_proto::{
     RshHandle, TimerToken,
 };
 use rb_simcore::FxHashMap;
-use rb_simcore::SimTime;
+use rb_simcore::{SimTime, SpanId};
 use rb_simnet::{Behavior, Ctx};
 
 /// Broker configuration.
@@ -75,8 +75,14 @@ struct JobInfo {
 /// Why a machine is being vacated.
 #[derive(Debug, Clone, Copy)]
 enum ReclaimFor {
-    /// A pending grow of another job gets it once free.
-    Grow { job: JobId, grow: GrowId },
+    /// A pending grow of another job gets it once free. The decide span
+    /// stays open across the reclaim: its duration *is* the paper's
+    /// reallocation latency.
+    Grow {
+        job: JobId,
+        grow: GrowId,
+        span: SpanId,
+    },
     /// The private owner returned.
     Owner,
 }
@@ -102,6 +108,8 @@ struct QueuedAlloc {
     job: JobId,
     grow: GrowId,
     constraint: rb_proto::SymbolicHost,
+    /// The still-open decide span: queue wait is part of the decision.
+    span: SpanId,
 }
 
 impl Broker {
@@ -181,10 +189,18 @@ impl Broker {
         v
     }
 
-    fn grant(&mut self, ctx: &mut Ctx<'_>, job: JobId, grow: GrowId, machine: MachineId) {
+    fn grant(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: JobId,
+        grow: GrowId,
+        machine: MachineId,
+        span: SpanId,
+    ) {
         let hostname = ctx.hostname_of(machine);
         let Some(info) = self.jobs.get_mut(&job) else {
             // Requester vanished while we worked: machine stays free.
+            ctx.close_span(span, "alloc.decide", "job-gone");
             self.set_usage(ctx, machine, MachineUse::Free);
             return;
         };
@@ -193,12 +209,15 @@ impl Broker {
         let appl = info.appl;
         self.set_usage(ctx, machine, MachineUse::Allocated { job, adaptive });
         ctx.trace("broker.grant", format_args!("{hostname} -> {job} ({grow})"));
+        ctx.metric_inc("broker.grants", job);
+        ctx.close_span(span, "alloc.decide", "granted");
         ctx.send(
             appl,
             Payload::Broker(BrokerMsg::AllocGrant {
                 grow,
                 machine,
                 hostname: hostname.to_string(),
+                span,
             }),
         );
     }
@@ -225,6 +244,7 @@ impl Broker {
         self.reclaims.insert(machine, why);
         let host = ctx.hostname_of(machine);
         ctx.trace("broker.reclaim", format_args!("{host} from {victim}"));
+        ctx.metric_inc("broker.reclaims", victim);
         ctx.send(appl, Payload::Broker(BrokerMsg::ReleaseMachine { machine }));
     }
 
@@ -268,6 +288,7 @@ impl Broker {
                 let token = ctx.set_timer(rb_simcore::Duration::from_secs(30));
                 self.reservation_timers.insert(token, machine);
                 ctx.trace("broker.offer", format_args!("{hostname} -> {job}"));
+                ctx.metric_inc("broker.offers", job);
                 ctx.send(
                     appl,
                     Payload::Broker(BrokerMsg::GrowOffer { machine, hostname }),
@@ -288,7 +309,10 @@ impl Broker {
 
     /// Run the policy for one allocation request. `may_queue` is false for
     /// requests replayed from the queue (a second failure re-queues at the
-    /// front rather than the back).
+    /// front rather than the back). `req_span` is the appl's `alloc` span;
+    /// `decide` is a decide span already opened for this request (queue
+    /// replays) or `NONE` for a fresh request.
+    #[allow(clippy::too_many_arguments)]
     fn handle_alloc(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -296,10 +320,22 @@ impl Broker {
         grow: GrowId,
         constraint: rb_proto::SymbolicHost,
         may_queue: bool,
+        req_span: SpanId,
+        decide: SpanId,
     ) {
         if !self.jobs.contains_key(&job) {
+            ctx.close_span(decide, "alloc.decide", "job-gone");
             return; // job finished while queued
         }
+        let decide = if decide == SpanId::NONE {
+            ctx.open_span(
+                req_span,
+                "alloc.decide",
+                format_args!("{grow} job={job} {constraint}"),
+            )
+        } else {
+            decide
+        };
         let held = self.effective_held().get(&job).copied().unwrap_or(0).max(0) as u32;
         let jinfo = self.jobs.get(&job).expect("checked above");
         let req = AllocContext {
@@ -319,20 +355,31 @@ impl Broker {
             Decision::Grant(machine) => {
                 // Clear any reservation timer tied to this machine.
                 self.reservation_timers.retain(|_, &mut m| m != machine);
-                self.grant(ctx, job, grow, machine);
+                self.grant(ctx, job, grow, machine, decide);
             }
             Decision::Reclaim { victim, machine } => {
-                self.start_reclaim(ctx, victim, machine, ReclaimFor::Grow { job, grow });
+                self.start_reclaim(
+                    ctx,
+                    victim,
+                    machine,
+                    ReclaimFor::Grow {
+                        job,
+                        grow,
+                        span: decide,
+                    },
+                );
             }
             Decision::Deny { reason } => {
                 if self.cfg.queue_batch_jobs && !req.adaptive {
                     // Batch jobs wait their turn instead of failing; the
                     // user can see them with the query tool.
                     ctx.trace("broker.queued", format_args!("{job} ({grow})"));
+                    ctx.metric_inc("broker.queued", job);
                     let entry = QueuedAlloc {
                         job,
                         grow,
                         constraint,
+                        span: decide,
                     };
                     if may_queue {
                         self.queue.push_back(entry);
@@ -341,6 +388,8 @@ impl Broker {
                     }
                 } else {
                     ctx.trace("broker.deny", format_args!("{job} ({grow}): {reason}"));
+                    ctx.metric_inc("broker.denied", job);
+                    ctx.close_span(decide, "alloc.decide", "denied");
                     ctx.send(
                         appl,
                         Payload::Broker(BrokerMsg::AllocDenied { grow, reason }),
@@ -353,9 +402,17 @@ impl Broker {
     /// A machine became free: serve the batch queue first; only when no
     /// queued request fits is the machine offered to adaptive jobs.
     fn serve_queue_or_offer(&mut self, ctx: &mut Ctx<'_>, machine: MachineId) {
-        // Drop queue entries whose jobs ended meanwhile.
-        let jobs = &self.jobs;
-        self.queue.retain(|q| jobs.contains_key(&q.job));
+        // Drop queue entries whose jobs ended meanwhile, closing their
+        // decide spans so no allocation tree is left dangling.
+        let mut kept = std::collections::VecDeque::with_capacity(self.queue.len());
+        for q in std::mem::take(&mut self.queue) {
+            if self.jobs.contains_key(&q.job) {
+                kept.push_back(q);
+            } else {
+                ctx.close_span(q.span, "alloc.decide", "job-gone");
+            }
+        }
+        self.queue = kept;
         if let Some(q) = self.queue.pop_front() {
             // Machine state is still whatever it was; mark free first so
             // the policy can pick it (or any other machine).
@@ -365,7 +422,15 @@ impl Broker {
                 return;
             }
             self.set_usage(ctx, machine, MachineUse::Free);
-            self.handle_alloc(ctx, q.job, q.grow, q.constraint, false);
+            self.handle_alloc(
+                ctx,
+                q.job,
+                q.grow,
+                q.constraint,
+                false,
+                SpanId::NONE,
+                q.span,
+            );
             return;
         }
         self.offer_or_idle(ctx, machine);
@@ -616,9 +681,10 @@ impl Behavior for Broker {
                 job,
                 grow,
                 constraint,
+                span,
             } => {
                 if self.jobs.contains_key(&job) {
-                    self.handle_alloc(ctx, job, grow, constraint, true);
+                    self.handle_alloc(ctx, job, grow, constraint, true, span, SpanId::NONE);
                 } else {
                     ctx.send(
                         from,
@@ -644,8 +710,12 @@ impl Behavior for Broker {
                 let host = ctx.hostname_of(machine);
                 ctx.trace("broker.freed", format_args!("{host} by {job}"));
                 match self.reclaims.remove(&machine) {
-                    Some(ReclaimFor::Grow { job: target, grow }) => {
-                        self.grant(ctx, target, grow, machine);
+                    Some(ReclaimFor::Grow {
+                        job: target,
+                        grow,
+                        span,
+                    }) => {
+                        self.grant(ctx, target, grow, machine, span);
                     }
                     Some(ReclaimFor::Owner) => {
                         self.set_usage(ctx, machine, MachineUse::OwnerHeld);
@@ -660,8 +730,12 @@ impl Behavior for Broker {
                 if let Some(jinfo) = self.jobs.remove(&job) {
                     for machine in jinfo.held {
                         match self.reclaims.remove(&machine) {
-                            Some(ReclaimFor::Grow { job: target, grow }) => {
-                                self.grant(ctx, target, grow, machine);
+                            Some(ReclaimFor::Grow {
+                                job: target,
+                                grow,
+                                span,
+                            }) => {
+                                self.grant(ctx, target, grow, machine, span);
                             }
                             Some(ReclaimFor::Owner) => {
                                 self.set_usage(ctx, machine, MachineUse::OwnerHeld);
@@ -670,7 +744,15 @@ impl Behavior for Broker {
                         }
                     }
                 }
-                self.queue.retain(|q| q.job != job);
+                let mut kept = std::collections::VecDeque::with_capacity(self.queue.len());
+                for q in std::mem::take(&mut self.queue) {
+                    if q.job != job {
+                        kept.push_back(q);
+                    } else {
+                        ctx.close_span(q.span, "alloc.decide", "job-done");
+                    }
+                }
+                self.queue = kept;
                 // Reservations held for the finished job lapse.
                 let mut lapsed: Vec<MachineId> = self
                     .machines

@@ -24,6 +24,7 @@ impl RbDaemon {
 
     fn report(&mut self, ctx: &mut Ctx<'_>) {
         let status = ctx.poll_machine_status();
+        ctx.metric_inc("daemon.reports", ctx.hostname());
         ctx.send(
             self.broker,
             Payload::Broker(BrokerMsg::DaemonStatus(DaemonReport {

@@ -15,9 +15,14 @@
 //!   `rsh'` runs the standard `rsh` itself — sub-millisecond overhead;
 //! * anything without a managing `appl` → fall back to the standard `rsh`
 //!   outright, so installing `rsh'` system-wide is harmless.
+//!
+//! Each managed invocation opens an `rsh.request` root span; the appl
+//! parents the grow's `alloc` span under it, so one allocation reads as
+//! one tree in the trace. The span closes when the shim exits, whatever
+//! the path.
 
 use rb_proto::{ApplMsg, ExitStatus, Payload, ProcId, RshError, RshHandle, TimerToken};
-use rb_simcore::Duration;
+use rb_simcore::{Duration, SpanId};
 use rb_simnet::{Behavior, Ctx, RshPrimeFactory, RshPrimeRequest};
 
 /// How long `rsh'` waits for its `appl` before giving up.
@@ -35,6 +40,8 @@ pub struct RshPrime {
     req: RshPrimeRequest,
     state: State,
     timeout: Option<TimerToken>,
+    /// The `rsh.request` root span covering this invocation.
+    span: SpanId,
 }
 
 impl RshPrime {
@@ -43,12 +50,20 @@ impl RshPrime {
             req,
             state: State::AwaitAppl,
             timeout: None,
+            span: SpanId::NONE,
         }
     }
 
     fn run_standard(&mut self, ctx: &mut Ctx<'_>) {
         let handle = ctx.rsh_standard_spec(self.req.host.clone(), self.req.cmd.clone());
         self.state = State::Standard(handle);
+    }
+
+    /// Exit, closing the request span with the final status.
+    fn finish(&mut self, ctx: &mut Ctx<'_>, status: ExitStatus) {
+        ctx.close_span(self.span, "rsh.request", format_args!("{status}"));
+        self.span = SpanId::NONE;
+        ctx.exit(status);
     }
 }
 
@@ -58,6 +73,11 @@ impl Behavior for RshPrime {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.span = ctx.open_span(
+            SpanId::NONE,
+            "rsh.request",
+            format_args!("{} {}", self.req.host, self.req.cmd.name()),
+        );
         match self.req.caller_env.appl {
             Some(appl) => {
                 ctx.trace(
@@ -70,6 +90,7 @@ impl Behavior for RshPrime {
                         origin: self.req.caller,
                         host: self.req.host.clone(),
                         cmd: self.req.cmd.clone(),
+                        span: self.span,
                     }),
                 );
                 self.timeout = Some(ctx.set_timer(APPL_TIMEOUT));
@@ -91,7 +112,7 @@ impl Behavior for RshPrime {
                 if let Some(t) = self.timeout.take() {
                     ctx.cancel_timer(t);
                 }
-                ctx.exit(status);
+                self.finish(ctx, status);
             }
             Payload::Appl(ApplMsg::RshProceedStandard) => {
                 if let Some(t) = self.timeout.take() {
@@ -107,7 +128,7 @@ impl Behavior for RshPrime {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
         if self.timeout == Some(token) && matches!(self.state, State::AwaitAppl) {
             ctx.trace("rsh.appl-timeout", self.req.host.to_string());
-            ctx.exit(ExitStatus::Failure(1));
+            self.finish(ctx, ExitStatus::Failure(1));
         }
     }
 
@@ -120,8 +141,8 @@ impl Behavior for RshPrime {
         if let State::Standard(h) = self.state {
             if h == handle {
                 match result {
-                    Ok(status) => ctx.exit(status),
-                    Err(_) => ctx.exit(ExitStatus::Failure(1)),
+                    Ok(status) => self.finish(ctx, status),
+                    Err(_) => self.finish(ctx, ExitStatus::Failure(1)),
                 }
             }
         }

@@ -40,6 +40,9 @@ pub struct ClusterOptions {
     pub seed: u64,
     pub cost: CostModel,
     pub trace: bool,
+    /// Sample kernel/cluster gauges into the metrics registry at this
+    /// interval (`None` disables metrics entirely — zero cost).
+    pub metrics_interval: Option<rb_simcore::Duration>,
     /// Event-queue backend for the kernel (both replay bit-identically).
     pub scheduler: QueueKind,
     /// Machines (defaults to `n` public Linux boxes when using
@@ -54,6 +57,7 @@ impl Default for ClusterOptions {
             seed: 1,
             cost: CostModel::default(),
             trace: true,
+            metrics_interval: None,
             scheduler: QueueKind::default(),
             machines: Vec::new(),
             policy: Box::new(crate::policy::DefaultPolicy::default()),
@@ -99,6 +103,9 @@ pub fn build_cluster(opts: ClusterOptions) -> Cluster {
                 .with(BrokerPrograms),
         )
         .rsh_prime(RshPrimeInstaller);
+    if let Some(interval) = opts.metrics_interval {
+        b = b.metrics(interval);
+    }
     let machines: Vec<MachineId> = opts
         .machines
         .iter()

@@ -8,6 +8,7 @@
 //! it outright. Between events it lies dormant and imposes no overhead.
 
 use rb_proto::{ApplMsg, ExitStatus, GrowId, JobId, Payload, ProcId, Signal, TimerToken};
+use rb_simcore::SpanId;
 use rb_simnet::{Behavior, Ctx, ProcEnv, RshBinding};
 
 /// The sub-`appl` behavior.
@@ -22,6 +23,8 @@ pub struct SubAppl {
     /// Bounds the wait for the appl's `Program` message: if the appl died
     /// between spawning us and delegating work, exit instead of lingering.
     program_timer: Option<TimerToken>,
+    /// `alloc.exec` — open while the delegated program runs here.
+    exec_span: SpanId,
 }
 
 impl SubAppl {
@@ -35,7 +38,14 @@ impl SubAppl {
             releasing: false,
             grace_timer: None,
             program_timer: None,
+            exec_span: SpanId::NONE,
         }
+    }
+
+    /// Close the exec span (if open) with `outcome`.
+    fn end_exec(&mut self, ctx: &mut Ctx<'_>, outcome: &str) {
+        let span = std::mem::replace(&mut self.exec_span, SpanId::NONE);
+        ctx.close_span(span, "alloc.exec", outcome);
     }
 
     fn report_released(&mut self, ctx: &mut Ctx<'_>) {
@@ -77,13 +87,19 @@ impl Behavior for SubAppl {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
         match msg {
-            Payload::Appl(ApplMsg::Program { grow, cmd }) => {
+            Payload::Appl(ApplMsg::Program { grow, cmd, span }) => {
                 debug_assert_eq!(grow, self.grow);
                 if let Some(t) = self.program_timer.take() {
                     ctx.cancel_timer(t);
                 }
+                self.exec_span = ctx.open_span(
+                    span,
+                    "alloc.exec",
+                    format_args!("{grow} job={} {}", self.job, cmd.name()),
+                );
                 let Some(behavior) = ctx.build_program(&cmd) else {
                     ctx.trace("subappl.no-such-program", cmd.name());
+                    self.end_exec(ctx, "no-program");
                     ctx.send(
                         self.appl,
                         Payload::Appl(ApplMsg::ChildExited {
@@ -134,6 +150,7 @@ impl Behavior for SubAppl {
                         ctx.kill(child, Signal::Kill);
                     }
                 }
+                self.end_exec(ctx, "shutdown");
                 ctx.exit(ExitStatus::Success);
             }
             _ => {}
@@ -177,6 +194,14 @@ impl Behavior for SubAppl {
         if let Some(t) = self.grace_timer.take() {
             ctx.cancel_timer(t);
         }
+        self.end_exec(
+            ctx,
+            if status.is_success() {
+                "done"
+            } else {
+                "failed"
+            },
+        );
         if self.releasing {
             self.report_released(ctx);
         } else {

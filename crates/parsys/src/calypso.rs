@@ -77,7 +77,7 @@ pub struct CalypsoMaster {
     workers: FxHashMap<ProcId, WorkerInfo>,
     idle: Vec<ProcId>,
     timeout_map: FxHashMap<TimerToken, (ProcId, u64)>,
-    grow_inflight: FxHashMap<RshHandle, ()>,
+    grow_inflight: FxHashMap<RshHandle, rb_simcore::SpanId>,
     hostfile_cursor: usize,
     next_task: u64,
     results: u64,
@@ -200,8 +200,9 @@ impl CalypsoMaster {
             self.hostfile_cursor += 1;
             let me = ctx.me();
             ctx.trace("calypso.grow.attempt", host.clone());
+            let span = crate::open_grow_span(ctx, "calypso", &host);
             let handle = ctx.rsh(&host, CommandSpec::CalypsoWorker { master: me });
-            self.grow_inflight.insert(handle, ());
+            self.grow_inflight.insert(handle, span);
         }
     }
 
@@ -215,6 +216,15 @@ impl CalypsoMaster {
 
     fn finish(&mut self, ctx: &mut Ctx<'_>) {
         self.stopping = true;
+        // Grow attempts still in flight will never be used; close their
+        // spans so the job's trace quiesces clean.
+        let mut inflight: Vec<rb_simcore::SpanId> = std::mem::take(&mut self.grow_inflight)
+            .into_values()
+            .collect();
+        inflight.sort();
+        for span in inflight {
+            ctx.close_span(span, "parsys.grow", "stopping");
+        }
         let mut workers: Vec<ProcId> = self.workers.keys().copied().collect();
         workers.sort();
         for w in workers {
@@ -312,6 +322,12 @@ impl Behavior for CalypsoMaster {
                         .pop()
                         .or_else(|| self.workers.keys().min().copied())
                     {
+                        let host = self
+                            .workers
+                            .get(&w)
+                            .map(|i| i.hostname.clone())
+                            .unwrap_or_default();
+                        crate::shrink_span(ctx, "calypso", &host);
                         ctx.send(w, Payload::Calypso(CalypsoMsg::JobComplete));
                         self.drop_worker(ctx, w);
                     }
@@ -331,10 +347,13 @@ impl Behavior for CalypsoMaster {
         handle: RshHandle,
         result: Result<ExitStatus, rb_proto::RshError>,
     ) {
-        if self.grow_inflight.remove(&handle).is_some()
-            && !matches!(result, Ok(ExitStatus::Success))
-        {
-            ctx.trace("calypso.grow.failed", format_args!("{result:?}"));
+        if let Some(span) = self.grow_inflight.remove(&handle) {
+            if matches!(result, Ok(ExitStatus::Success)) {
+                ctx.close_span(span, "parsys.grow", "ok");
+            } else {
+                ctx.trace("calypso.grow.failed", format_args!("{result:?}"));
+                ctx.close_span(span, "parsys.grow", "failed");
+            }
         }
     }
 

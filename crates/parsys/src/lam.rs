@@ -46,6 +46,8 @@ pub struct LamOrigin {
     grow_queue: VecDeque<(String, Option<ProcId>)>,
     grow_active: Option<String>,
     rsh_inflight: FxHashMap<RshHandle, String>,
+    /// Open `parsys.grow` spans per host being booted.
+    grow_spans: FxHashMap<String, rb_simcore::SpanId>,
     work_done: u64,
     rr: usize,
     own_host: String,
@@ -62,6 +64,7 @@ impl LamOrigin {
             grow_queue: VecDeque::new(),
             grow_active: None,
             rsh_inflight: FxHashMap::default(),
+            grow_spans: FxHashMap::default(),
             work_done: 0,
             rr: 0,
             own_host: String::new(),
@@ -93,6 +96,8 @@ impl LamOrigin {
             return;
         };
         ctx.trace("lam.grow.attempt", host.clone());
+        let span = crate::open_grow_span(ctx, "lam", &host);
+        self.grow_spans.insert(host.clone(), span);
         self.grow_active = Some(host.clone());
         self.pending.insert(host.clone(), origin);
         let me = ctx.me();
@@ -116,6 +121,9 @@ impl LamOrigin {
 
     fn fail_grow(&mut self, ctx: &mut Ctx<'_>, host: &str) {
         ctx.trace("lam.grow.failed", host.to_string());
+        if let Some(span) = self.grow_spans.remove(host) {
+            ctx.close_span(span, "parsys.grow", "failed");
+        }
         if let Some(origin) = self.pending.remove(host).flatten() {
             ctx.send(
                 origin,
@@ -161,12 +169,19 @@ impl Behavior for LamOrigin {
             Payload::Lam(LamMsg::ShrinkNode { host }) => {
                 if let Some(pos) = self.nodes.iter().position(|n| n.hostname == host) {
                     let entry = self.nodes.remove(pos);
+                    crate::shrink_span(ctx, "lam", &host);
                     ctx.send(entry.node, Payload::Lam(LamMsg::NodeHalt));
                     ctx.trace("lam.shrink", host);
                 }
             }
             Payload::Lam(LamMsg::Halt) => {
                 ctx.trace("lam.halt", "");
+                let mut open: Vec<rb_simcore::SpanId> =
+                    std::mem::take(&mut self.grow_spans).into_values().collect();
+                open.sort();
+                for span in open {
+                    ctx.close_span(span, "parsys.grow", "halted");
+                }
                 for n in &self.nodes {
                     ctx.send(n.node, Payload::Lam(LamMsg::NodeHalt));
                 }
@@ -183,6 +198,9 @@ impl Behavior for LamOrigin {
                     });
                     ctx.send(node, Payload::Lam(LamMsg::NodeAccepted));
                     ctx.trace("lam.node.accepted", hostname.clone());
+                    if let Some(span) = self.grow_spans.remove(&hostname) {
+                        ctx.close_span(span, "parsys.grow", "ok");
+                    }
                     if let Some(o) = origin {
                         ctx.send(
                             o,

@@ -25,7 +25,44 @@ pub mod protocol;
 pub mod pvm;
 
 use rb_proto::CommandSpec;
-use rb_simnet::{Behavior, ProgramFactory};
+use rb_simnet::{Behavior, Ctx, ProgramFactory};
+
+/// Open a `parsys.grow` span for one grow attempt of `system` toward
+/// `host`. The span is a local root (the rsh' interception beneath it
+/// builds its own `rsh.request` tree); the `job=` field ties it to the
+/// job for the linter and the latency breakdowns.
+pub(crate) fn open_grow_span(ctx: &mut Ctx<'_>, system: &str, host: &str) -> rb_simcore::SpanId {
+    match ctx.job() {
+        Some(job) => ctx.open_span(
+            rb_simcore::SpanId::NONE,
+            "parsys.grow",
+            format_args!("{system} {host} job={job}"),
+        ),
+        None => ctx.open_span(
+            rb_simcore::SpanId::NONE,
+            "parsys.grow",
+            format_args!("{system} {host}"),
+        ),
+    }
+}
+
+/// Record a shrink decision as an instant `parsys.shrink` span (the
+/// vacate interval itself is covered by the release path's spans).
+pub(crate) fn shrink_span(ctx: &mut Ctx<'_>, system: &str, host: &str) {
+    let span = match ctx.job() {
+        Some(job) => ctx.open_span(
+            rb_simcore::SpanId::NONE,
+            "parsys.shrink",
+            format_args!("{system} {host} job={job}"),
+        ),
+        None => ctx.open_span(
+            rb_simcore::SpanId::NONE,
+            "parsys.shrink",
+            format_args!("{system} {host}"),
+        ),
+    };
+    ctx.close_span(span, "parsys.shrink", "signaled");
+}
 
 pub use calypso::{CalypsoConfig, CalypsoMaster, CalypsoWorker, TaskBag, CALYPSO_SERVICE};
 pub use lam::{LamConsole, LamNode, LamOrigin, LamOriginConfig, LAMD_SERVICE};

@@ -133,7 +133,7 @@ pub struct PlindaServer {
     /// Transactionally withdrawn tuples, by worker.
     in_progress: FxHashMap<ProcId, Tuple>,
     workers: FxHashMap<ProcId, String>,
-    grow_inflight: FxHashMap<RshHandle, ()>,
+    grow_inflight: FxHashMap<RshHandle, rb_simcore::SpanId>,
     hostfile_cursor: usize,
     results: u64,
     total: u64,
@@ -224,8 +224,9 @@ impl PlindaServer {
             self.hostfile_cursor += 1;
             let me = ctx.me();
             ctx.trace("plinda.grow.attempt", host.clone());
+            let span = crate::open_grow_span(ctx, "plinda", &host);
             let handle = ctx.rsh(&host, CommandSpec::PlindaWorker { server: me });
-            self.grow_inflight.insert(handle, ());
+            self.grow_inflight.insert(handle, span);
         }
     }
 
@@ -262,6 +263,13 @@ impl PlindaServer {
             return;
         }
         self.stopping = true;
+        let mut inflight: Vec<rb_simcore::SpanId> = std::mem::take(&mut self.grow_inflight)
+            .into_values()
+            .collect();
+        inflight.sort();
+        for span in inflight {
+            ctx.close_span(span, "parsys.grow", "stopping");
+        }
         if self.cfg.persistent {
             ctx.disk_remove(CHECKPOINT_FILE);
         }
@@ -351,10 +359,13 @@ impl Behavior for PlindaServer {
         handle: RshHandle,
         result: Result<ExitStatus, rb_proto::RshError>,
     ) {
-        if self.grow_inflight.remove(&handle).is_some()
-            && !matches!(result, Ok(ExitStatus::Success))
-        {
-            ctx.trace("plinda.grow.failed", format_args!("{result:?}"));
+        if let Some(span) = self.grow_inflight.remove(&handle) {
+            if matches!(result, Ok(ExitStatus::Success)) {
+                ctx.close_span(span, "parsys.grow", "ok");
+            } else {
+                ctx.trace("plinda.grow.failed", format_args!("{result:?}"));
+                ctx.close_span(span, "parsys.grow", "failed");
+            }
         }
     }
 }

@@ -61,6 +61,8 @@ pub struct PvmMaster {
     add_active: Option<String>,
     /// Outstanding rsh handles -> attempted host name.
     rsh_inflight: FxHashMap<RshHandle, String>,
+    /// Open `parsys.grow` spans per host being added.
+    grow_spans: FxHashMap<String, rb_simcore::SpanId>,
     /// Tasks completed (across the VM).
     tasks_done: u64,
     /// Tasks still running.
@@ -84,6 +86,7 @@ impl PvmMaster {
             add_queue: VecDeque::new(),
             add_active: None,
             rsh_inflight: FxHashMap::default(),
+            grow_spans: FxHashMap::default(),
             tasks_done: 0,
             tasks_running: 0,
             rr: 0,
@@ -123,6 +126,8 @@ impl PvmMaster {
             return;
         };
         ctx.trace("pvm.add.attempt", host.clone());
+        let span = crate::open_grow_span(ctx, "pvm", &host);
+        self.grow_spans.insert(host.clone(), span);
         self.add_active = Some(host.clone());
         self.pending_adds.insert(host.clone(), origin);
         let me = ctx.me();
@@ -140,6 +145,9 @@ impl PvmMaster {
 
     fn fail_add(&mut self, ctx: &mut Ctx<'_>, host: &str) {
         ctx.trace("pvm.add.failed", host.to_string());
+        if let Some(span) = self.grow_spans.remove(host) {
+            ctx.close_span(span, "parsys.grow", "failed");
+        }
         if let Some(origin) = self.pending_adds.remove(host).flatten() {
             ctx.send(
                 origin,
@@ -205,12 +213,20 @@ impl Behavior for PvmMaster {
             Payload::Pvm(PvmMsg::DeleteHost { host }) => {
                 if let Some(pos) = self.hosts.iter().position(|h| h.hostname == host) {
                     let entry = self.hosts.remove(pos);
+                    crate::shrink_span(ctx, "pvm", &host);
                     ctx.send(entry.slave, Payload::Pvm(PvmMsg::SlaveHalt));
                     ctx.trace("pvm.delete", host);
                 }
             }
             Payload::Pvm(PvmMsg::Halt) => {
                 ctx.trace("pvm.halt", "");
+                // Adds still in flight are abandoned: close their spans.
+                let mut open: Vec<rb_simcore::SpanId> =
+                    std::mem::take(&mut self.grow_spans).into_values().collect();
+                open.sort();
+                for span in open {
+                    ctx.close_span(span, "parsys.grow", "halted");
+                }
                 for h in &self.hosts {
                     ctx.send(h.slave, Payload::Pvm(PvmMsg::SlaveHalt));
                 }
@@ -251,6 +267,9 @@ impl Behavior for PvmMaster {
                         Payload::Pvm(PvmMsg::SlaveAccepted { vm: self.cfg.vm }),
                     );
                     ctx.trace("pvm.slave.accepted", hostname.clone());
+                    if let Some(span) = self.grow_spans.remove(&hostname) {
+                        ctx.close_span(span, "parsys.grow", "ok");
+                    }
                     if let Some(origin) = origin {
                         ctx.send(
                             origin,

@@ -8,6 +8,7 @@ use crate::command::CommandSpec;
 use crate::ids::{GrowId, JobId, MachineId, ProcId, VmId};
 use crate::machine::SymbolicHost;
 use crate::status::ExitStatus;
+use rb_simcore::SpanId;
 
 /// Periodic report a machine daemon sends to the broker.
 ///
@@ -59,6 +60,10 @@ pub enum BrokerMsg {
         job: JobId,
         grow: GrowId,
         constraint: SymbolicHost,
+        /// The `alloc` span this request belongs to ([`SpanId::NONE`]
+        /// when tracing is off), so the broker's decision span can nest
+        /// under the requester's causal tree.
+        span: SpanId,
     },
     /// The `appl` finished vacating a machine the broker reclaimed.
     MachineFreed { job: JobId, machine: MachineId },
@@ -79,6 +84,9 @@ pub enum BrokerMsg {
         grow: GrowId,
         machine: MachineId,
         hostname: String,
+        /// The broker's `alloc.decide` span that produced this grant; the
+        /// appl parents its `alloc.grant` span under it.
+        span: SpanId,
     },
     /// No machine can be provided (policy or availability).
     AllocDenied { grow: GrowId, reason: String },
@@ -108,6 +116,9 @@ pub enum ApplMsg {
         origin: ProcId,
         host: crate::machine::HostSpec,
         cmd: CommandSpec,
+        /// The `rsh.request` root span opened by the rsh' shim; the appl
+        /// parents the grow's `alloc` span under it.
+        span: SpanId,
     },
 
     // --- appl -> rsh' ---
@@ -133,7 +144,13 @@ pub enum ApplMsg {
 
     // --- appl -> sub-appl ---
     /// The program this sub-`appl` must execute on behalf of the job.
-    Program { grow: GrowId, cmd: CommandSpec },
+    Program {
+        grow: GrowId,
+        cmd: CommandSpec,
+        /// The `alloc.spawn` span of the grow; the sub-appl parents its
+        /// `alloc.exec` span under it.
+        span: SpanId,
+    },
     /// Vacate: signal the child, grace-wait, kill if needed, then report.
     ReleaseChild,
     /// Job is over: kill the child and exit.

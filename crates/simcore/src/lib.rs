@@ -14,7 +14,9 @@ pub mod fxhash;
 pub mod json;
 pub mod metrics;
 pub mod queue;
+pub mod registry;
 pub mod rng;
+pub mod span;
 pub mod time;
 pub mod trace;
 pub mod wheel;
@@ -24,7 +26,9 @@ pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
 pub use metrics::{Histogram, Series, Summary};
 pub use queue::{EventQueue, QueueKind, QueueStats, ScheduleOracle};
+pub use registry::MetricsRegistry;
 pub use rng::SimRng;
+pub use span::{SpanForest, SpanId, SpanRecord, SpanTracker};
 pub use time::{Duration, SimTime};
 pub use trace::{parse_rendered, Topic, TraceEvent, TraceRecorder};
 pub use wheel::TimerWheel;

@@ -265,6 +265,50 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentiles_are_nan() {
+        let s = Summary::from_samples(vec![]);
+        assert!(s.percentile(0.0).is_nan());
+        assert!(s.percentile(50.0).is_nan());
+        assert!(s.percentile(100.0).is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn single_sample_percentiles_all_collapse() {
+        let s = Summary::from_samples(vec![7.5]);
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), 7.5);
+        }
+        assert_eq!(s.median(), 7.5);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.stddev(), 0.0);
+    }
+
+    #[test]
+    fn p0_and_p100_are_min_and_max_and_p_clamps() {
+        let s = Summary::from_samples(vec![5.0, -2.0, 11.0, 3.0]);
+        assert_eq!(s.percentile(0.0), s.min());
+        assert_eq!(s.percentile(100.0), s.max());
+        // Out-of-range p clamps instead of indexing out of bounds.
+        assert_eq!(s.percentile(-10.0), s.min());
+        assert_eq!(s.percentile(250.0), s.max());
+    }
+
+    #[test]
+    fn histogram_edges_route_to_outlier_bucket() {
+        let mut h = Histogram::new(1.0, 0.5, 2); // covers [1.0, 2.0)
+        h.add(1.0); // exactly lo → first bucket
+        h.add(1.999_999); // just under the top edge → last bucket
+        h.add(2.0); // exactly the top edge → outlier
+        h.add(0.999_999); // just below lo → outlier
+        h.add(f64::MAX); // far outlier
+        assert_eq!(h.bucket_counts(), &[1, 1]);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
     fn series_slope_of_line() {
         let mut s = Series::new("line");
         for k in 1..=16 {

@@ -1,0 +1,223 @@
+//! Run-scoped metrics registry: counters, gauges, and sample sets keyed
+//! by metric name plus a free-form label (job id, hostname, "" for
+//! global), folded into the machine-readable reports as JSON.
+//!
+//! Naming scheme (`DESIGN.md` §12): dot-separated subsystem-first names
+//! (`broker.grants`, `alloc.latency_s`, `queue.depth`), `_s` suffix for
+//! second-valued samples. Labels pick the keying dimension the metric is
+//! *about*: job ids for allocation metrics, hostnames for machine
+//! metrics.
+//!
+//! Sample sets reduce to [`Summary`] quantiles at export time and also
+//! bucketize through [`Histogram`] so the JSON shows distribution shape,
+//! not just order statistics. `BTreeMap` keys keep the export
+//! deterministic.
+
+use crate::json::Json;
+use crate::metrics::{Histogram, Summary};
+use std::collections::BTreeMap;
+use std::fmt;
+
+type Key = (&'static str, String);
+
+/// Counters, gauges, and histogram samples for one run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    samples: BTreeMap<Key, Vec<f64>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a counter (creating it at zero).
+    pub fn add(&mut self, name: &'static str, label: impl fmt::Display, n: u64) {
+        *self.counters.entry((name, label.to_string())).or_insert(0) += n;
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, name: &'static str, label: impl fmt::Display) {
+        self.add(name, label, 1);
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&mut self, name: &'static str, label: impl fmt::Display, value: f64) {
+        self.gauges.insert((name, label.to_string()), value);
+    }
+
+    /// Record one sample into a distribution (NaN samples are dropped —
+    /// [`Summary`] rejects them).
+    pub fn observe(&mut self, name: &'static str, label: impl fmt::Display, value: f64) {
+        if value.is_nan() {
+            return;
+        }
+        self.samples
+            .entry((name, label.to_string()))
+            .or_default()
+            .push(value);
+    }
+
+    pub fn counter(&self, name: &'static str, label: &str) -> u64 {
+        self.counters
+            .get(&(name, label.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &'static str, label: &str) -> Option<f64> {
+        self.gauges.get(&(name, label.to_string())).copied()
+    }
+
+    /// Reduce one sample set to a [`Summary`] (None if never observed).
+    pub fn summary(&self, name: &'static str, label: &str) -> Option<Summary> {
+        self.samples
+            .get(&(name, label.to_string()))
+            .map(|v| Summary::from_samples(v.clone()))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.samples.is_empty()
+    }
+
+    /// Export everything as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   [{"name": "...", "label": "...", "value": 3}, …],
+    ///   "gauges":     [{"name": "...", "label": "...", "value": 0.5}, …],
+    ///   "histograms": [{"name": "...", "label": "...", "count": 4,
+    ///                   "min": …, "p50": …, "p90": …, "p99": …, "max": …,
+    ///                   "mean": …, "buckets": [n, …], "bucket_lo": …,
+    ///                   "bucket_width": …, "outliers": n}, …]
+    /// }
+    /// ```
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|((name, label), v)| entry(name, label).set("value", *v))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|((name, label), v)| entry(name, label).set("value", *v))
+            .collect();
+        let histograms = self
+            .samples
+            .iter()
+            .map(|((name, label), samples)| {
+                let s = Summary::from_samples(samples.clone());
+                let mut doc = entry(name, label)
+                    .set("count", samples.len())
+                    .set("min", s.min())
+                    .set("p50", s.percentile(50.0))
+                    .set("p90", s.percentile(90.0))
+                    .set("p99", s.percentile(99.0))
+                    .set("max", s.max())
+                    .set("mean", s.mean());
+                // Bucketize over the observed range so the export shows
+                // shape; degenerate ranges collapse to one bucket.
+                let (lo, hi) = (s.min(), s.max());
+                if lo.is_finite() && hi.is_finite() {
+                    let width = ((hi - lo) / 8.0).max(f64::EPSILON);
+                    let mut h = Histogram::new(lo, width, 8);
+                    for &v in samples {
+                        h.add(v);
+                    }
+                    doc = doc
+                        .set("bucket_lo", lo)
+                        .set("bucket_width", width)
+                        .set(
+                            "buckets",
+                            Json::Arr(h.bucket_counts().iter().map(|&n| Json::from(n)).collect()),
+                        )
+                        .set("outliers", h.outliers());
+                }
+                doc
+            })
+            .collect();
+        Json::obj()
+            .set("counters", Json::Arr(counters))
+            .set("gauges", Json::Arr(gauges))
+            .set("histograms", Json::Arr(histograms))
+    }
+}
+
+fn entry(name: &str, label: &str) -> Json {
+    Json::obj().set("name", name).set("label", label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label() {
+        let mut m = MetricsRegistry::new();
+        m.inc("broker.grants", "j1");
+        m.inc("broker.grants", "j1");
+        m.inc("broker.grants", "j2");
+        m.add("broker.grants", "j2", 3);
+        assert_eq!(m.counter("broker.grants", "j1"), 2);
+        assert_eq!(m.counter("broker.grants", "j2"), 4);
+        assert_eq!(m.counter("broker.grants", "j3"), 0);
+        assert_eq!(m.counter("broker.denies", "j1"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_latest() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("queue.depth", "", 3.0);
+        m.gauge_set("queue.depth", "", 5.0);
+        assert_eq!(m.gauge("queue.depth", ""), Some(5.0));
+        assert_eq!(m.gauge("queue.depth", "x"), None);
+    }
+
+    #[test]
+    fn observations_reduce_to_summaries() {
+        let mut m = MetricsRegistry::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.observe("alloc.latency_s", "j1", v);
+        }
+        m.observe("alloc.latency_s", "j1", f64::NAN); // dropped
+        let s = m.summary("alloc.latency_s", "j1").unwrap();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.median(), 2.5);
+        assert!(m.summary("alloc.latency_s", "j2").is_none());
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_complete() {
+        let mut m = MetricsRegistry::new();
+        m.inc("b.z", "l");
+        m.inc("a.x", "l");
+        m.gauge_set("g", "n01", 0.5);
+        for v in [1.0, 9.0] {
+            m.observe("h", "", v);
+        }
+        let doc = m.to_json();
+        let counters = doc.get("counters").unwrap().as_arr().unwrap();
+        // BTreeMap ordering: a.x before b.z.
+        assert_eq!(counters[0].get("name").unwrap().as_str(), Some("a.x"));
+        assert_eq!(counters[1].get("name").unwrap().as_str(), Some("b.z"));
+        let hist = &doc.get("histograms").unwrap().as_arr().unwrap()[0];
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(hist.get("p50").and_then(Json::as_f64), Some(5.0));
+        let buckets = hist.get("buckets").unwrap().as_arr().unwrap();
+        assert_eq!(buckets.len(), 8);
+        // Round-trips through the parser.
+        let back = crate::json::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn empty_registry_exports_empty_sections() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        let doc = m.to_json();
+        assert_eq!(doc.get("counters").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

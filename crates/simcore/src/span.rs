@@ -1,0 +1,459 @@
+//! Causal spans layered on the event trace.
+//!
+//! A span is a named interval with a parent link, recorded as ordinary
+//! trace events (`span.open` / `span.close`) so the existing render /
+//! parse / lint pipeline carries causal structure for free. Each
+//! allocation in the broker stack becomes one tree — rsh′ request →
+//! broker decision → grant → sub-appl spawn → process exec — and offline
+//! tooling ([`SpanForest`]) rebuilds the trees from a rendered trace,
+//! tolerating ring-mode truncation (orphan closes, missing parents).
+//!
+//! Wire format inside the trace:
+//!
+//! ```text
+//! span.open   s<id> <parent|-> <name> <free-form detail>
+//! span.close  s<id> <name> <free-form outcome>
+//! ```
+//!
+//! Recording is pay-for-what-you-use: when the underlying
+//! [`TraceRecorder`] is disabled, [`SpanTracker::open`] returns
+//! [`SpanId::NONE`] without allocating an id or formatting the detail,
+//! and every close on `SpanId::NONE` is a no-op.
+
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceRecorder};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of one span. `0` is the reserved "no span" value used both
+/// for disabled tracing and for root spans' parent links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span: parent of roots, and the id handed out when
+    /// tracing is disabled. Closing it is a no-op.
+    pub const NONE: SpanId = SpanId(0);
+
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            f.write_str("-")
+        } else {
+            write!(f, "s{}", self.0)
+        }
+    }
+}
+
+/// Allocates span ids and records open/close events on a
+/// [`TraceRecorder`]. Owned by the simulation kernel (one per world) so
+/// ids are unique per run and allocation order is deterministic.
+#[derive(Debug, Default)]
+pub struct SpanTracker {
+    next: u64,
+}
+
+impl SpanTracker {
+    pub fn new() -> Self {
+        SpanTracker { next: 1 }
+    }
+
+    /// Open a span. Returns [`SpanId::NONE`] (and records nothing) when
+    /// the recorder is disabled; the `detail` is only formatted when the
+    /// event is actually stored.
+    pub fn open(
+        &mut self,
+        rec: &mut TraceRecorder,
+        at: SimTime,
+        parent: SpanId,
+        name: &'static str,
+        detail: impl fmt::Display,
+    ) -> SpanId {
+        if !rec.is_enabled() {
+            return SpanId::NONE;
+        }
+        let id = SpanId(self.next.max(1));
+        self.next = id.0 + 1;
+        rec.record(
+            at,
+            "span.open",
+            format_args!("{id} {parent} {name} {detail}"),
+        );
+        id
+    }
+
+    /// Close a span with a free-form outcome. No-op on [`SpanId::NONE`]
+    /// or a disabled recorder.
+    pub fn close(
+        &mut self,
+        rec: &mut TraceRecorder,
+        at: SimTime,
+        id: SpanId,
+        name: &'static str,
+        outcome: impl fmt::Display,
+    ) {
+        if id.is_none() || !rec.is_enabled() {
+            return;
+        }
+        rec.record(at, "span.close", format_args!("{id} {name} {outcome}"));
+    }
+}
+
+/// Parse a `span.open` detail: `(id, parent, name, rest)`. `parent` is 0
+/// for roots. Returns `None` for malformed details.
+pub fn parse_span_open(detail: &str) -> Option<(u64, u64, &str, &str)> {
+    let (id_tok, rest) = split_token(detail)?;
+    let id = parse_span_id(id_tok)?;
+    let (parent_tok, rest) = split_token(rest)?;
+    let parent = if parent_tok == "-" {
+        0
+    } else {
+        parse_span_id(parent_tok)?
+    };
+    let (name, rest) = match split_token(rest) {
+        Some((n, r)) => (n, r),
+        None => (rest, ""),
+    };
+    if name.is_empty() {
+        return None;
+    }
+    Some((id, parent, name, rest))
+}
+
+/// Parse a `span.close` detail: `(id, name, rest)`.
+pub fn parse_span_close(detail: &str) -> Option<(u64, &str, &str)> {
+    let (id_tok, rest) = split_token(detail)?;
+    let id = parse_span_id(id_tok)?;
+    let (name, rest) = match split_token(rest) {
+        Some((n, r)) => (n, r),
+        None => (rest, ""),
+    };
+    if name.is_empty() {
+        return None;
+    }
+    Some((id, name, rest))
+}
+
+fn split_token(s: &str) -> Option<(&str, &str)> {
+    let s = s.trim_start();
+    if s.is_empty() {
+        return None;
+    }
+    match s.split_once(char::is_whitespace) {
+        Some((a, b)) => Some((a, b.trim_start())),
+        None => Some((s, "")),
+    }
+}
+
+fn parse_span_id(tok: &str) -> Option<u64> {
+    tok.strip_prefix('s')?.parse().ok()
+}
+
+/// One reconstructed span. `open_at` is `None` when only the close
+/// survived ring truncation; `close_at` is `None` for spans still open at
+/// the end of the trace.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    pub id: u64,
+    /// Parent id as recorded (0 = root). The parent may be absent from
+    /// the forest if its open was truncated away.
+    pub parent: u64,
+    pub name: String,
+    /// Free-form open detail (e.g. `g3 job=j1 kind=Default`).
+    pub detail: String,
+    pub open_at: Option<SimTime>,
+    pub close_at: Option<SimTime>,
+    /// Free-form close outcome (e.g. `grant n01`, `deny`, `exit:0`).
+    pub outcome: String,
+    /// Child ids, in open order.
+    pub children: Vec<u64>,
+}
+
+impl SpanRecord {
+    /// Span duration when both endpoints survived.
+    pub fn duration(&self) -> Option<crate::time::Duration> {
+        match (self.open_at, self.close_at) {
+            (Some(o), Some(c)) if c >= o => Some(c - o),
+            _ => None,
+        }
+    }
+
+    /// Value of a `key=value` token in the open detail, e.g.
+    /// `field("job")` on `g3 job=j1` yields `Some("j1")`.
+    pub fn field<'a>(&'a self, key: &str) -> Option<&'a str> {
+        self.detail
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+    }
+}
+
+/// All spans of a trace, indexed by id, with root links resolved.
+/// Tolerant of ring truncation: closes without opens become stub records,
+/// spans whose parent never appears are treated as roots (the recorded
+/// parent id is kept for diagnostics).
+#[derive(Debug, Default)]
+pub struct SpanForest {
+    pub spans: BTreeMap<u64, SpanRecord>,
+    /// Ids whose parent is 0 or absent from `spans`, in open order.
+    pub roots: Vec<u64>,
+}
+
+impl SpanForest {
+    pub fn from_events(events: &[TraceEvent]) -> SpanForest {
+        let mut spans: BTreeMap<u64, SpanRecord> = BTreeMap::new();
+        let mut order: Vec<u64> = Vec::new();
+        for e in events {
+            if e.topic == "span.open" {
+                let Some((id, parent, name, rest)) = parse_span_open(&e.detail) else {
+                    continue;
+                };
+                let rec = spans.entry(id).or_insert_with(|| SpanRecord {
+                    id,
+                    parent: 0,
+                    name: String::new(),
+                    detail: String::new(),
+                    open_at: None,
+                    close_at: None,
+                    outcome: String::new(),
+                    children: Vec::new(),
+                });
+                rec.parent = parent;
+                rec.name = name.to_string();
+                rec.detail = rest.to_string();
+                rec.open_at = Some(e.at);
+                order.push(id);
+            } else if e.topic == "span.close" {
+                let Some((id, name, rest)) = parse_span_close(&e.detail) else {
+                    continue;
+                };
+                let rec = spans.entry(id).or_insert_with(|| SpanRecord {
+                    id,
+                    parent: 0,
+                    name: name.to_string(),
+                    detail: String::new(),
+                    open_at: None,
+                    close_at: None,
+                    outcome: String::new(),
+                    children: Vec::new(),
+                });
+                rec.close_at = Some(e.at);
+                rec.outcome = rest.to_string();
+                if !order.contains(&id) {
+                    order.push(id);
+                }
+            }
+        }
+        // Resolve parent/child links; parents missing from the map (ring
+        // truncation) demote their children to roots.
+        let mut roots = Vec::new();
+        let ids: Vec<u64> = order.clone();
+        for id in &ids {
+            let parent = spans[id].parent;
+            if parent != 0 && spans.contains_key(&parent) {
+                spans.get_mut(&parent).unwrap().children.push(*id);
+            } else {
+                roots.push(*id);
+            }
+        }
+        SpanForest { spans, roots }
+    }
+
+    pub fn get(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.get(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Walk ancestors of `id` (excluding `id` itself), stopping at roots
+    /// or truncated parents.
+    pub fn ancestors(&self, id: u64) -> impl Iterator<Item = &SpanRecord> {
+        let mut cur = self.spans.get(&id).map(|s| s.parent).unwrap_or(0);
+        std::iter::from_fn(move || {
+            let rec = self.spans.get(&cur)?;
+            cur = rec.parent;
+            Some(rec)
+        })
+    }
+
+    /// The job tag (`job=<j>`) of a span: its own, or the first one found
+    /// in its subtree (an rsh′ request span learns its job from the
+    /// `alloc` child opened under it).
+    pub fn job_of(&self, id: u64) -> Option<&str> {
+        let rec = self.spans.get(&id)?;
+        if let Some(j) = rec.field("job") {
+            return Some(j);
+        }
+        for &c in &rec.children {
+            if let Some(j) = self.job_of(c) {
+                return Some(j);
+            }
+        }
+        None
+    }
+
+    /// Render the forest as an indented tree with durations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for &root in &self.roots {
+            self.render_one(&mut out, root, 0);
+        }
+        out
+    }
+
+    fn render_one(&self, out: &mut String, id: u64, depth: usize) {
+        use fmt::Write as _;
+        let Some(rec) = self.spans.get(&id) else {
+            return;
+        };
+        let open = rec
+            .open_at
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "(truncated)".into());
+        let dur = match rec.duration() {
+            Some(d) => format!("{:.6}s", d.as_secs_f64()),
+            None if rec.close_at.is_none() => "open".into(),
+            None => "?".into(),
+        };
+        let _ = writeln!(
+            out,
+            "{:indent$}s{} {:<14} {:<12} {} {}  {}",
+            "",
+            rec.id,
+            rec.name,
+            dur,
+            open,
+            rec.detail,
+            rec.outcome,
+            indent = depth * 2
+        );
+        for &c in &rec.children {
+            self.render_one(out, c, depth + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_hands_out_none_and_records_nothing() {
+        let mut rec = TraceRecorder::disabled();
+        let mut spans = SpanTracker::new();
+        struct Bomb;
+        impl fmt::Display for Bomb {
+            fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+                panic!("span detail formatted on the disabled path");
+            }
+        }
+        let id = spans.open(&mut rec, SimTime(1), SpanId::NONE, "alloc", Bomb);
+        assert!(id.is_none());
+        spans.close(&mut rec, SimTime(2), id, "alloc", Bomb);
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn open_close_roundtrip_through_render() {
+        let mut rec = TraceRecorder::enabled();
+        let mut spans = SpanTracker::new();
+        let root = spans.open(
+            &mut rec,
+            SimTime(10),
+            SpanId::NONE,
+            "rsh.request",
+            "n01 loop",
+        );
+        let child = spans.open(
+            &mut rec,
+            SimTime(20),
+            root,
+            "alloc",
+            format_args!("g1 job=j1"),
+        );
+        spans.close(&mut rec, SimTime(30), child, "alloc", "done");
+        spans.close(&mut rec, SimTime(40), root, "rsh.request", "exit:0");
+
+        let parsed = crate::trace::parse_rendered(&rec.render()).unwrap();
+        let forest = SpanForest::from_events(&parsed);
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest.roots, vec![1]);
+        let r = forest.get(1).unwrap();
+        assert_eq!(r.name, "rsh.request");
+        assert_eq!(r.children, vec![2]);
+        assert_eq!(
+            r.duration().unwrap(),
+            crate::time::Duration::from_micros(30)
+        );
+        let c = forest.get(2).unwrap();
+        assert_eq!(c.parent, 1);
+        assert_eq!(c.field("job"), Some("j1"));
+        assert_eq!(c.outcome, "done");
+        assert_eq!(forest.job_of(1), Some("j1"));
+    }
+
+    #[test]
+    fn ring_truncated_forest_is_reconstructed_without_panic() {
+        // Open events fell off the ring: only the closes (and a child
+        // whose parent is gone) survive. The forest must still build,
+        // with stubs for orphan closes and truncated parents as roots.
+        let mut rec = TraceRecorder::enabled();
+        let mut spans = SpanTracker::new();
+        let lost = spans.open(&mut rec, SimTime(1), SpanId::NONE, "rsh.request", "early");
+        let kept = spans.open(&mut rec, SimTime(2), lost, "alloc", "g1 job=j1");
+        spans.close(&mut rec, SimTime(3), lost, "rsh.request", "exit:0");
+        spans.close(&mut rec, SimTime(4), kept, "alloc", "done");
+        let events = rec.events();
+        // Drop the first event, as a small ring would.
+        let forest = SpanForest::from_events(&events[1..]);
+        assert_eq!(forest.len(), 2);
+        // s2's parent (s1) has no open, but s1 got a stub from its close,
+        // so s2 hangs under the stub; the stub is the root.
+        let stub = forest.get(1).unwrap();
+        assert!(stub.open_at.is_none());
+        assert_eq!(stub.close_at, Some(SimTime(3)));
+        assert_eq!(forest.roots, vec![1]);
+        assert_eq!(stub.children, vec![2]);
+        // Drop both s1 events: s2 becomes a root with a dangling parent.
+        let forest = SpanForest::from_events(&events[1..2]);
+        assert_eq!(forest.roots, vec![2]);
+        assert_eq!(forest.get(2).unwrap().parent, 1);
+        // Renders without panicking.
+        assert!(forest.render().contains("alloc"));
+    }
+
+    #[test]
+    fn parse_helpers_reject_garbage() {
+        assert!(parse_span_open("").is_none());
+        assert!(parse_span_open("x1 - alloc").is_none());
+        assert!(parse_span_open("s1").is_none());
+        assert_eq!(parse_span_open("s5 - alloc"), Some((5, 0, "alloc", "")));
+        assert_eq!(
+            parse_span_open("s5 s3 alloc g1 job=j1"),
+            Some((5, 3, "alloc", "g1 job=j1"))
+        );
+        assert!(parse_span_close("").is_none());
+        assert_eq!(parse_span_close("s5 alloc"), Some((5, "alloc", "")));
+        assert_eq!(
+            parse_span_close("s5 alloc grant n01"),
+            Some((5, "alloc", "grant n01"))
+        );
+    }
+
+    #[test]
+    fn span_id_displays() {
+        assert_eq!(SpanId::NONE.to_string(), "-");
+        assert_eq!(SpanId(7).to_string(), "s7");
+        assert_eq!(SpanId::default(), SpanId::NONE);
+    }
+}

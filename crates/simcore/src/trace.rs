@@ -124,6 +124,9 @@ pub struct TraceRecorder {
     /// Ring capacity: retain at least this many recent events, trimming
     /// once the buffer doubles it (amortized O(1), contiguous storage).
     ring: Option<usize>,
+    /// Events discarded by ring trimming over the recorder's lifetime, so
+    /// truncation is observable instead of silent.
+    dropped: u64,
 }
 
 impl TraceRecorder {
@@ -133,6 +136,7 @@ impl TraceRecorder {
             events: Vec::new(),
             enabled: true,
             ring: None,
+            dropped: 0,
         }
     }
 
@@ -143,6 +147,7 @@ impl TraceRecorder {
             events: Vec::new(),
             enabled: false,
             ring: None,
+            dropped: 0,
         }
     }
 
@@ -155,11 +160,17 @@ impl TraceRecorder {
             events: Vec::new(),
             enabled: true,
             ring: Some(cap.max(1)),
+            dropped: 0,
         }
     }
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Total events discarded by ring trimming (0 outside ring mode).
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped
     }
 
     /// Record an event (no-op when disabled). The detail is accepted as
@@ -179,7 +190,9 @@ impl TraceRecorder {
         self.events.push(e);
         if let Some(cap) = self.ring {
             if self.events.len() >= cap * 2 {
-                self.events.drain(..self.events.len() - cap);
+                let trim = self.events.len() - cap;
+                self.events.drain(..trim);
+                self.dropped += trim as u64;
             }
         }
     }
@@ -255,8 +268,9 @@ impl TraceRecorder {
     /// `rblint` echoes them back.
     pub fn render_with_stats(&self, stats: &QueueStats) -> String {
         format!(
-            "# rb-trace v1 events={} scheduled={} dispatched={} peak_depth={}\n{}",
+            "# rb-trace v1 events={} dropped={} scheduled={} dispatched={} peak_depth={}\n{}",
             self.events.len(),
+            self.dropped,
             stats.scheduled,
             stats.dispatched,
             stats.peak_depth,
@@ -272,6 +286,7 @@ impl TraceRecorder {
             events,
             enabled: true,
             ring: None,
+            dropped: 0,
         }
     }
 }

@@ -153,6 +153,51 @@ impl<'w> Ctx<'w> {
         self.world.trace.record(at, topic, detail);
     }
 
+    // ---------------- causal spans & metrics ----------------
+
+    /// Open a causal span under `parent` (pass [`SpanId::NONE`] for a
+    /// root). Costs nothing and returns `SpanId::NONE` when tracing is
+    /// off, so instrumented behaviors stay pay-for-what-you-use.
+    pub fn open_span(
+        &mut self,
+        parent: rb_simcore::SpanId,
+        name: &'static str,
+        detail: impl std::fmt::Display,
+    ) -> rb_simcore::SpanId {
+        self.world.open_span(parent, name, detail)
+    }
+
+    /// Close a span with a free-form outcome (no-op on `SpanId::NONE`).
+    pub fn close_span(
+        &mut self,
+        id: rb_simcore::SpanId,
+        name: &'static str,
+        outcome: impl std::fmt::Display,
+    ) {
+        self.world.close_span(id, name, outcome);
+    }
+
+    /// Bump a counter in the world's metrics registry. The label is only
+    /// formatted when metrics are enabled.
+    pub fn metric_inc(&mut self, name: &'static str, label: impl std::fmt::Display) {
+        if let Some(m) = self.world.metrics_mut() {
+            m.inc(name, label);
+        }
+    }
+
+    /// Record one sample into a metrics distribution (e.g. an allocation
+    /// latency in seconds). No-op when metrics are disabled.
+    pub fn metric_observe(
+        &mut self,
+        name: &'static str,
+        label: impl std::fmt::Display,
+        value: f64,
+    ) {
+        if let Some(m) = self.world.metrics_mut() {
+            m.observe(name, label, value);
+        }
+    }
+
     // ---------------- messaging ----------------
 
     /// Send a message; latency is local or LAN depending on the target's

@@ -18,7 +18,10 @@ use rb_proto::{
     RshHandle, Signal, TimerToken,
 };
 use rb_simcore::FxHashMap;
-use rb_simcore::{Duration, EventQueue, QueueKind, SimRng, SimTime, Slab, TraceRecorder};
+use rb_simcore::{
+    Duration, EventQueue, Json, MetricsRegistry, QueueKind, SimRng, SimTime, Slab, SpanId,
+    SpanTracker, TraceRecorder,
+};
 use std::sync::Arc;
 
 /// Pseudo-sender for messages injected by the test/scenario harness.
@@ -235,6 +238,7 @@ pub struct WorldBuilder {
     cost: CostModel,
     trace: bool,
     trace_ring: Option<usize>,
+    metrics_interval: Option<Duration>,
     scheduler: QueueKind,
     default_remote_binding: RshBinding,
     factory: Option<Box<dyn ProgramFactory>>,
@@ -249,6 +253,7 @@ impl WorldBuilder {
             cost: CostModel::default(),
             trace: true,
             trace_ring: None,
+            metrics_interval: None,
             scheduler: QueueKind::Heap,
             default_remote_binding: RshBinding::Standard,
             factory: None,
@@ -290,6 +295,14 @@ impl WorldBuilder {
     pub fn trace_ring(mut self, cap: usize) -> Self {
         self.trace = true;
         self.trace_ring = Some(cap);
+        self
+    }
+
+    /// Enable the metrics registry, with gauges sampled every `interval`
+    /// of virtual time. Off by default: a world without metrics pays one
+    /// `Option` branch per dispatched event and nothing else.
+    pub fn metrics(mut self, interval: Duration) -> Self {
+        self.metrics_interval = Some(interval);
         self
     }
 
@@ -358,6 +371,12 @@ impl WorldBuilder {
                 (true, None) => TraceRecorder::enabled(),
                 (false, _) => TraceRecorder::disabled(),
             },
+            spans: SpanTracker::new(),
+            metrics: self.metrics_interval.map(|interval| MetricsState {
+                registry: MetricsRegistry::new(),
+                interval,
+                next_at: SimTime::ZERO,
+            }),
             cost: self.cost,
             default_remote_binding: self.default_remote_binding,
             factory: self.factory,
@@ -397,6 +416,12 @@ pub struct World {
     pub(crate) disks: FxHashMap<(MachineId, String, String), Vec<u8>>,
     pub(crate) rng: SimRng,
     pub(crate) trace: TraceRecorder,
+    /// Span-id allocator for the causal span layer (ids are handed out in
+    /// dispatch order, so they replay deterministically).
+    pub(crate) spans: SpanTracker,
+    /// Metrics registry plus its virtual-time sampling cursor; `None`
+    /// keeps the per-event overhead to a single branch.
+    metrics: Option<MetricsState>,
     pub(crate) cost: CostModel,
     default_remote_binding: RshBinding,
     factory: Option<Box<dyn ProgramFactory>>,
@@ -409,6 +434,13 @@ pub struct World {
 
 /// A post-run invariant over the recorded trace.
 pub type TraceCheck = Box<dyn Fn(&TraceRecorder) -> Result<(), String>>;
+
+/// Metrics registry plus the virtual-time gauge-sampling cursor.
+struct MetricsState {
+    registry: MetricsRegistry,
+    interval: Duration,
+    next_at: SimTime,
+}
 
 impl World {
     // ------------------------------------------------------------------
@@ -466,6 +498,101 @@ impl World {
     /// Render the trace with a `#` header carrying the queue counters.
     pub fn render_trace_with_stats(&self) -> String {
         self.trace.render_with_stats(&self.kernel_stats())
+    }
+
+    // ------------------------------------------------------------------
+    // Observability: causal spans + metrics registry
+    // ------------------------------------------------------------------
+
+    /// Open a causal span at the current virtual time. Returns
+    /// [`SpanId::NONE`] without formatting anything when tracing is off.
+    pub fn open_span(
+        &mut self,
+        parent: SpanId,
+        name: &'static str,
+        detail: impl std::fmt::Display,
+    ) -> SpanId {
+        self.spans
+            .open(&mut self.trace, self.now, parent, name, detail)
+    }
+
+    /// Close a span with a free-form outcome (no-op on [`SpanId::NONE`]).
+    pub fn close_span(&mut self, id: SpanId, name: &'static str, outcome: impl std::fmt::Display) {
+        self.spans
+            .close(&mut self.trace, self.now, id, name, outcome);
+    }
+
+    /// The metrics registry, when enabled via [`WorldBuilder::metrics`].
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_mut().map(|m| &mut m.registry)
+    }
+
+    /// Export the registry as JSON, folding in the kernel's `QueueStats`
+    /// work counters and the trace recorder's ring-drop count so event
+    /// truncation is visible rather than silent. `None` when metrics were
+    /// not enabled.
+    pub fn metrics_json(&self) -> Option<Json> {
+        let m = self.metrics.as_ref()?;
+        let stats = self.kernel_stats();
+        Some(
+            m.registry.to_json().set(
+                "kernel",
+                Json::obj()
+                    .set("scheduled", stats.scheduled)
+                    .set("dispatched", stats.dispatched)
+                    .set("peak_depth", stats.peak_depth)
+                    .set("depth", stats.depth)
+                    .set("trace_events", self.trace.events().len())
+                    .set("trace_dropped", self.trace.dropped_events()),
+            ),
+        )
+    }
+
+    /// Sample gauges once the virtual-time cursor is due. A quiet world
+    /// samples at most once per dispatched event, so a long virtual gap
+    /// yields one sample, not a backlog of catch-up samples.
+    fn sample_metrics_if_due(&mut self) {
+        let Some(m) = self.metrics.as_mut() else {
+            return;
+        };
+        if self.now < m.next_at {
+            return;
+        }
+        m.next_at = self.now + m.interval;
+        m.registry.inc("metrics.samples", "");
+        let stats = self.queue.stats();
+        let mut per_machine = vec![0u32; self.machines.len()];
+        let mut alive = 0u32;
+        for (_, e) in self.procs.iter() {
+            if matches!(e.state, ProcState::Running) {
+                alive += 1;
+                per_machine[e.machine.0 as usize] += 1;
+            }
+        }
+        // Latest value as a gauge, plus the same reading folded into a
+        // sample set so the export shows the distribution over the run.
+        m.registry.gauge_set("queue.depth", "", stats.depth as f64);
+        m.registry.observe("queue.depth", "", stats.depth as f64);
+        m.registry
+            .gauge_set("queue.scheduled", "", stats.scheduled as f64);
+        m.registry
+            .gauge_set("queue.dispatched", "", stats.dispatched as f64);
+        m.registry
+            .gauge_set("queue.peak_depth", "", stats.peak_depth as f64);
+        m.registry
+            .gauge_set("trace.dropped", "", self.trace.dropped_events() as f64);
+        m.registry.gauge_set("procs.alive", "", alive as f64);
+        m.registry.observe("procs.alive", "", alive as f64);
+        for (i, n) in per_machine.iter().enumerate() {
+            m.registry
+                .gauge_set("machine.procs", &self.host_names[i], *n as f64);
+            m.registry
+                .observe("machine.procs", &self.host_names[i], *n as f64);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -863,6 +990,9 @@ impl World {
         };
         debug_assert!(at >= self.now, "event queue went backwards");
         self.now = at;
+        if self.metrics.is_some() {
+            self.sample_metrics_if_due();
+        }
         self.handle(ev);
         true
     }

@@ -54,6 +54,31 @@ pub fn broker_testbed_kind(
     c
 }
 
+/// [`broker_testbed`] in observability trim: tracing on (spans ride the
+/// trace) and kernel/cluster gauges sampled every `metrics_interval`.
+/// This is what `rbtrace` and the obs-smoke CI job run against.
+pub fn broker_testbed_obs(
+    publics: usize,
+    seed: u64,
+    policy: Box<dyn Policy>,
+    metrics_interval: rb_simcore::Duration,
+) -> Cluster {
+    let mut machines = vec![MachineAttrs::private_linux("n00", "user")];
+    machines.extend((1..=publics).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
+    let opts = ClusterOptions {
+        seed,
+        machines,
+        policy,
+        trace: true,
+        metrics_interval: Some(metrics_interval),
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    c.world.set_owner_present(c.machines[0], true);
+    c.settle();
+    c
+}
+
 /// Submit an adaptive Calypso job from `n00` that tries to hold `workers`
 /// machines forever (`cpu_millis` per task). Returns the appl's id.
 pub fn submit_endless_calypso(c: &mut Cluster, workers: u32, cpu_millis: u64) -> ProcId {

@@ -10,7 +10,7 @@
 use crate::drivers::{slot, ExecOutcome, TimedRsh};
 use crate::report::Row;
 use crate::scenarios::{
-    await_calypso_workers, broker_testbed, submit_endless_calypso, LOOP_MILLIS,
+    await_calypso_workers, broker_testbed, broker_testbed_obs, submit_endless_calypso, LOOP_MILLIS,
 };
 use rb_broker::{Cluster, DefaultPolicy, JobRequest, JobRun};
 use rb_proto::CommandSpec;
@@ -22,6 +22,20 @@ const LIMIT_OFF: u64 = 600_000_000;
 /// Build the occupied testbed: Calypso holding n01 and n02.
 fn occupied(seed: u64) -> Cluster {
     let mut c = broker_testbed(2, seed, Box::new(DefaultPolicy::default()), false);
+    submit_endless_calypso(&mut c, 2, 800);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 2, limit);
+    c
+}
+
+/// [`occupied`] in observability trim (spans traced, metrics sampled).
+fn occupied_obs(seed: u64) -> Cluster {
+    let mut c = broker_testbed_obs(
+        2,
+        seed,
+        Box::new(DefaultPolicy::default()),
+        rb_simcore::Duration::from_millis(500),
+    );
     submit_endless_calypso(&mut c, 2, 800);
     let limit = SimTime(c.world.now().as_micros() + 60_000_000);
     await_calypso_workers(&mut c, 2, limit);
@@ -78,6 +92,42 @@ pub fn prime_with_realloc(seed: u64, cmd: CommandSpec) -> RunOutcome {
         elapsed_secs: (c.world.now() - t0).as_secs_f64(),
         queue: c.world.kernel_stats(),
     }
+}
+
+/// [`prime_with_realloc`] with spans traced and metrics sampled: returns
+/// the outcome plus the rendered trace (for `rbtrace` and the span-tree
+/// acceptance tests) and the metrics JSON document.
+pub fn prime_with_realloc_traced(
+    seed: u64,
+    cmd: CommandSpec,
+) -> (RunOutcome, String, rb_simcore::Json) {
+    let mut c = occupied_obs(seed);
+    let t0 = c.world.now();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "user".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd,
+            },
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
+    let status = c.await_appl(appl, limit).expect("appl finished");
+    assert!(status.is_success(), "{status}");
+    let elapsed_secs = (c.world.now() - t0).as_secs_f64();
+    // Let the released machine flow back so the grant spans close.
+    let settle = SimTime(c.world.now().as_micros() + 5_000_000);
+    c.world.run_until(settle);
+    let outcome = RunOutcome {
+        elapsed_secs,
+        queue: c.world.kernel_stats(),
+    };
+    let trace = c.world.render_trace_with_stats();
+    let metrics = c.world.metrics_json().expect("metrics enabled");
+    (outcome, trace, metrics)
 }
 
 /// The loop command used by Table 2's compute-bound rows.

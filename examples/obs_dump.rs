@@ -1,0 +1,35 @@
+//! Run Table 2's reallocation scenario in observability trim — spans
+//! traced, metrics sampled — and dump everything `rbtrace` consumes.
+//!
+//! Run with: `cargo run --example obs_dump -- /tmp/obs`
+//! Writes `<dir>/trace.txt` (rendered trace with span events) and
+//! `<dir>/metrics.json` (the sampled metrics registry). Then:
+//!
+//! ```text
+//! rbtrace spans    /tmp/obs/trace.txt
+//! rbtrace latency  /tmp/obs/trace.txt
+//! rbtrace export   --metrics /tmp/obs/metrics.json -o /tmp/obs/chrome.json /tmp/obs/trace.txt
+//! rbtrace validate /tmp/obs/chrome.json      # then load it in ui.perfetto.dev
+//! ```
+
+use resourcebroker::proto::CommandSpec;
+use resourcebroker::workloads::table2::prime_with_realloc_traced;
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    std::fs::create_dir_all(&dir).expect("create output dir");
+
+    // The paper's headline mechanism: rsh' onto machines an adaptive
+    // Calypso job holds, forcing the broker to reclaim one (~1 s).
+    let (outcome, trace, metrics) =
+        prime_with_realloc_traced(7, CommandSpec::Loop { cpu_millis: 5_300 });
+
+    let trace_path = format!("{dir}/trace.txt");
+    let metrics_path = format!("{dir}/metrics.json");
+    std::fs::write(&trace_path, &trace).expect("write trace");
+    std::fs::write(&metrics_path, metrics.render()).expect("write metrics");
+    eprintln!(
+        "reallocation took {:.3} simulated seconds; wrote {trace_path} and {metrics_path}",
+        outcome.elapsed_secs
+    );
+}
