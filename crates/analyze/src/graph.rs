@@ -69,6 +69,9 @@ pub struct GraphReport {
     /// Edge requests that are not listed in [`REQUEST_VARIANTS`] (the
     /// request list and the edges must agree).
     pub undeclared_requests: Vec<String>,
+    /// Wait-for cycles among actors connected only by *untimed* request
+    /// edges — static deadlock candidates (see [`untimed_wait_cycles`]).
+    pub untimed_wait_cycles: Vec<String>,
 }
 
 impl GraphReport {
@@ -95,6 +98,7 @@ impl GraphReport {
             "edge request missing from REQUEST_VARIANTS",
             &self.undeclared_requests,
         );
+        emit("untimed wait-for cycle", &self.untimed_wait_cycles);
         out
     }
 
@@ -182,7 +186,141 @@ pub fn analyze_specs(specs: &[&ProtocolSpec]) -> GraphReport {
         }
     }
 
+    report.untimed_wait_cycles = untimed_wait_cycles(specs);
+
     report
+}
+
+/// Detect *wait-for cycles with no timeout escape*: build the directed
+/// wait graph whose nodes are actors and whose edges `A -> B` mean "A
+/// issues a request variant that B handles, and that request's
+/// [`rb_proto::ReqEdge`] carries no timeout" — so A can block on B
+/// indefinitely. Any cycle in that graph is a static deadlock candidate:
+/// every actor on it can end up waiting for the next with nothing ever
+/// breaking the wait. Cycles with at least one timed edge are excluded
+/// (the timer eventually fires and unwinds the wait), which is exactly
+/// the same reasoning rb-model's dynamic deadlock check applies to
+/// concrete states — this is its zero-cost static counterpart.
+///
+/// Returns one human-readable line per strongly connected component that
+/// contains a cycle (including self-loops), deterministic in actor order.
+pub fn untimed_wait_cycles(specs: &[&ProtocolSpec]) -> Vec<String> {
+    // from-actor -> to-actor -> request variants creating the wait.
+    let mut adj: BTreeMap<&str, BTreeMap<&str, BTreeSet<&str>>> = BTreeMap::new();
+    for spec in specs {
+        for edge in spec.requests {
+            if edge.has_timeout {
+                continue;
+            }
+            let requesters = specs.iter().filter(|s| s.sends.contains(&edge.request));
+            for rq in requesters {
+                let responders = specs.iter().filter(|s| s.handles.contains(&edge.request));
+                for rs in responders {
+                    adj.entry(rq.actor)
+                        .or_default()
+                        .entry(rs.actor)
+                        .or_default()
+                        .insert(edge.request);
+                }
+            }
+        }
+    }
+
+    let nodes: Vec<&str> = adj
+        .iter()
+        .flat_map(|(from, tos)| std::iter::once(*from).chain(tos.keys().copied()))
+        .collect::<BTreeSet<&str>>()
+        .into_iter()
+        .collect();
+    let index_of: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let succs: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|n| {
+            adj.get(n)
+                .map(|tos| tos.keys().map(|t| index_of[t]).collect())
+                .unwrap_or_default()
+        })
+        .collect();
+
+    // Tarjan's SCC, iterative (explicit work stack) to stay allocation-
+    // bounded on adversarial inputs.
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        // (node, next-successor-position)
+        let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&(v, si)) = work.last() {
+            if si == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = succs[v].get(si) {
+                work.last_mut().expect("nonempty").1 += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for scc in sccs {
+        let has_cycle =
+            scc.len() > 1 || scc.iter().any(|&v| succs[v].contains(&v) /* self-loop */);
+        if !has_cycle {
+            continue;
+        }
+        let mut members: Vec<&str> = scc.iter().map(|&v| nodes[v]).collect();
+        members.sort_unstable();
+        let in_scc: BTreeSet<&str> = members.iter().copied().collect();
+        let mut via: BTreeSet<&str> = BTreeSet::new();
+        for m in &members {
+            if let Some(tos) = adj.get(m) {
+                for (to, reqs) in tos {
+                    if in_scc.contains(to) {
+                        via.extend(reqs.iter().copied());
+                    }
+                }
+            }
+        }
+        out.push(format!(
+            "actors [{}] wait on each other via untimed requests [{}] — no timeout breaks the cycle",
+            members.join(", "),
+            via.into_iter().collect::<Vec<_>>().join(", ")
+        ));
+    }
+    out.sort();
+    out
 }
 
 /// Analyze the full stack's declared protocol graph. Call this from a
@@ -332,5 +470,97 @@ mod tests {
     fn detects_duplicate_actor() {
         let report = analyze_specs(&[&EMPTY, &EMPTY]);
         assert_eq!(report.duplicate_actors, vec!["empty"]);
+    }
+
+    /// Two actors each blocked on the other's reply, neither edge timed:
+    /// the static deadlock candidate the wait-for check exists for.
+    #[test]
+    fn detects_untimed_wait_cycle() {
+        let a = ProtocolSpec {
+            actor: "a",
+            sends: &["Broker::RegisterJob"],
+            handles: &["Broker::QueryCluster"],
+            requests: &[ReqEdge {
+                request: "Broker::RegisterJob",
+                replies: &["Broker::JobAccepted"],
+                has_timeout: false,
+            }],
+        };
+        let b = ProtocolSpec {
+            actor: "b",
+            sends: &["Broker::QueryCluster", "Broker::JobAccepted"],
+            handles: &["Broker::RegisterJob"],
+            requests: &[ReqEdge {
+                request: "Broker::QueryCluster",
+                replies: &["Broker::ClusterStatus"],
+                has_timeout: false,
+            }],
+        };
+        let cycles = untimed_wait_cycles(&[&a, &b]);
+        assert_eq!(cycles.len(), 1, "got {cycles:?}");
+        assert!(cycles[0].contains("[a, b]"), "got {}", cycles[0]);
+        assert!(cycles[0].contains("Broker::QueryCluster"));
+        assert!(cycles[0].contains("Broker::RegisterJob"));
+        // The report surfaces it as a problem.
+        let report = analyze_specs(&[&a, &b]);
+        assert!(report
+            .problems()
+            .iter()
+            .any(|p| p.starts_with("untimed wait-for cycle")));
+    }
+
+    /// The same shape with a timeout on one edge is *not* a deadlock
+    /// candidate: the timer unwinds the wait.
+    #[test]
+    fn timeout_breaks_wait_cycle() {
+        let a = ProtocolSpec {
+            actor: "a",
+            sends: &["Broker::RegisterJob"],
+            handles: &["Broker::QueryCluster"],
+            requests: &[ReqEdge {
+                request: "Broker::RegisterJob",
+                replies: &["Broker::JobAccepted"],
+                has_timeout: true,
+            }],
+        };
+        let b = ProtocolSpec {
+            actor: "b",
+            sends: &["Broker::QueryCluster"],
+            handles: &["Broker::RegisterJob"],
+            requests: &[ReqEdge {
+                request: "Broker::QueryCluster",
+                replies: &["Broker::ClusterStatus"],
+                has_timeout: false,
+            }],
+        };
+        assert!(untimed_wait_cycles(&[&a, &b]).is_empty());
+    }
+
+    /// An actor that handles its own untimed request kind (e.g. a master
+    /// forwarding completions to itself) is a self-loop and is reported.
+    #[test]
+    fn detects_untimed_self_wait() {
+        let a = ProtocolSpec {
+            actor: "a",
+            sends: &["Plinda::In"],
+            handles: &["Plinda::In"],
+            requests: &[ReqEdge {
+                request: "Plinda::In",
+                replies: &["Plinda::InReply"],
+                has_timeout: false,
+            }],
+        };
+        let cycles = untimed_wait_cycles(&[&a]);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].contains("[a]"));
+    }
+
+    /// The shipped protocol has no untimed wait cycle — the broker stack's
+    /// blocking chains all bottom out in timed edges or acyclic waits.
+    #[test]
+    fn shipped_graph_has_no_untimed_wait_cycle() {
+        let specs = all_specs();
+        let cycles = untimed_wait_cycles(&specs);
+        assert!(cycles.is_empty(), "deadlock candidates: {cycles:?}");
     }
 }

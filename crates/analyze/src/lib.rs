@@ -25,18 +25,24 @@
 //!   deadlock / lost-wakeup / allocation-linearizability checks on every
 //!   terminal state. Entry points: [`explore`] and the `rbmodel` binary.
 
+pub mod check;
 pub mod graph;
 pub mod model;
 pub mod obs;
 pub mod rules;
+pub mod srcmodel;
 
-pub use graph::{all_specs, analyze_specs, check_protocol_graph, GraphReport};
+pub use check::{
+    check_source_conformance, run_check, CheckConfig, CheckKind, Finding, SpecBinding,
+};
+pub use graph::{all_specs, analyze_specs, check_protocol_graph, untimed_wait_cycles, GraphReport};
 pub use model::{explore, ExploreConfig, Mode, ModelReport, ModelScenario, ModelViolation};
 pub use obs::{
     alloc_breakdowns, breakdowns_from_events, chrome_trace, render_breakdowns, render_utilization,
     utilization, validate_chrome, AllocBreakdown, Utilization,
 };
 pub use rules::{all_rules, lint_events, render_violations, Rule, Violation};
+pub use srcmodel::{scan_source, SourceFacts};
 
 use rb_simcore::TraceRecorder;
 use rb_simnet::World;

@@ -1,0 +1,13 @@
+//! Fixture: fully conformant to the test spec
+//! (sends Ctl::ProbeReply; handles Ctl::Probe + Ctl::Stop).
+//! Not compiled — scanned by tests/srccheck.rs.
+
+fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+    match msg {
+        Payload::Ctl(CtlMsg::Probe { reply_to, token }) => {
+            ctx.send(reply_to, Payload::Ctl(CtlMsg::ProbeReply { token }));
+        }
+        Payload::Ctl(CtlMsg::Stop) => ctx.exit(ExitStatus::Success),
+        _ => {}
+    }
+}

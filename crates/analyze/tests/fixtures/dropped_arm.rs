@@ -1,0 +1,11 @@
+//! Fixture: the Ctl::Stop match arm was deleted while the test spec
+//! still declares handling it → dropped-handler.
+
+fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+    match msg {
+        Payload::Ctl(CtlMsg::Probe { reply_to, token }) => {
+            ctx.send(reply_to, Payload::Ctl(CtlMsg::ProbeReply { token }));
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: handles everything the test spec declares but never
+//! constructs the declared Ctl::ProbeReply → phantom-send.
+
+fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
+    match msg {
+        Payload::Ctl(CtlMsg::Probe { reply_to, token }) => {
+            // Probe observed but never answered: the declared reply
+            // is gone from the code.
+            let _ = (reply_to, token);
+        }
+        Payload::Ctl(CtlMsg::Stop) => ctx.exit(ExitStatus::Success),
+        _ => {}
+    }
+}

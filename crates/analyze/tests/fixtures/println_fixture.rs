@@ -1,0 +1,6 @@
+//! Fixture: println! in library code → println-in-lib.
+//! Touches no wire messages.
+
+pub fn report(count: usize) {
+    println!("processed {count} items");
+}

@@ -1,0 +1,16 @@
+//! Fixture: std HashMap in what the test presents as a hot-path crate
+//! → std-hash-in-hot-path. Touches no wire messages.
+
+use std::collections::HashMap;
+
+pub struct Table {
+    by_name: HashMap<String, u64>,
+}
+
+impl Table {
+    pub fn new() -> Self {
+        Table {
+            by_name: HashMap::new(),
+        }
+    }
+}

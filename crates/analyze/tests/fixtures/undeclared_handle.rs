@@ -1,0 +1,14 @@
+//! Fixture: conformant plus a match arm on Ctl::ShrinkHint, which the
+//! test spec does not declare in `handles` → undeclared-handle.
+
+fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+    match msg {
+        Payload::Ctl(CtlMsg::Probe { reply_to, token }) => {
+            ctx.send(reply_to, Payload::Ctl(CtlMsg::ProbeReply { token }));
+        }
+        Payload::Ctl(CtlMsg::Stop) => ctx.exit(ExitStatus::Success),
+        // The drift: dispatching on a variant the spec never declared.
+        Payload::Ctl(CtlMsg::ShrinkHint { amount }) => self.shrink(amount),
+        _ => {}
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: conformant except it also constructs Ctl::GrowHint, which
+//! the test spec does not declare in `sends` → undeclared-send.
+
+fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+    match msg {
+        Payload::Ctl(CtlMsg::Probe { reply_to, token }) => {
+            ctx.send(reply_to, Payload::Ctl(CtlMsg::ProbeReply { token }));
+            // The drift: an emission the spec never declared.
+            ctx.send(from, Payload::Ctl(CtlMsg::GrowHint { amount: 1 }));
+        }
+        Payload::Ctl(CtlMsg::Stop) => ctx.exit(ExitStatus::Success),
+        _ => {}
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: wall-clock read in what the test presents as a simulation
+//! crate → wallclock-in-sim. Touches no wire messages.
+
+pub fn elapsed_guess() -> u64 {
+    let started = std::time::Instant::now();
+    busy_work();
+    started.elapsed().as_millis() as u64
+}

@@ -10,8 +10,8 @@
 //! module — the broker itself is never recompiled.
 
 use rb_proto::{CommandSpec, ConsoleCmd};
+use rb_simcore::FxHashMap;
 use rb_simnet::{Behavior, Ctx, ProgramFactory};
-use std::collections::HashMap;
 
 /// One external module triple (`grow` / `shrink` / `halt`).
 ///
@@ -154,14 +154,14 @@ impl ExternalModule for LamModule {
 /// The module registry an `appl` consults when its job was submitted with
 /// `(module="...")`. Shared, immutable after setup.
 pub struct ModuleRegistry {
-    modules: HashMap<&'static str, std::sync::Arc<dyn ExternalModule + Sync>>,
+    modules: FxHashMap<&'static str, std::sync::Arc<dyn ExternalModule + Sync>>,
 }
 
 impl ModuleRegistry {
     /// Registry with the stock `pvm` and `lam` modules.
     pub fn standard() -> Self {
         let mut r = ModuleRegistry {
-            modules: HashMap::new(),
+            modules: FxHashMap::default(),
         };
         r.register(std::sync::Arc::new(PvmModule));
         r.register(std::sync::Arc::new(LamModule));
@@ -171,7 +171,7 @@ impl ModuleRegistry {
     /// An empty registry (for testing "unknown module" handling).
     pub fn empty() -> Self {
         ModuleRegistry {
-            modules: HashMap::new(),
+            modules: FxHashMap::default(),
         }
     }
 

@@ -12,8 +12,9 @@
 //! recipes drain, and cycles are detected up front.
 
 use rb_proto::{CommandSpec, CtlMsg, ExitStatus, Payload, ProcId, RshHandle, Signal};
+use rb_simcore::{FxHashMap, FxHashSet};
 use rb_simnet::{Behavior, Ctx};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// One build rule.
 #[derive(Debug, Clone)]
@@ -64,9 +65,9 @@ enum TargetState {
 /// The distributed make driver (the job's root process).
 pub struct Pmake {
     cfg: PmakeConfig,
-    states: HashMap<String, TargetState>,
+    states: FxHashMap<String, TargetState>,
     /// rsh handle -> target being built.
-    running: HashMap<RshHandle, String>,
+    running: FxHashMap<RshHandle, String>,
     /// Targets whose dependencies are satisfied, FIFO.
     ready: VecDeque<String>,
     hostfile_cursor: usize,
@@ -79,8 +80,8 @@ impl Pmake {
     pub fn new(cfg: PmakeConfig) -> Self {
         Pmake {
             cfg,
-            states: HashMap::new(),
-            running: HashMap::new(),
+            states: FxHashMap::default(),
+            running: FxHashMap::default(),
             ready: VecDeque::new(),
             hostfile_cursor: 0,
             aborting: false,
@@ -96,7 +97,7 @@ impl Pmake {
     /// Returns an error message on a missing rule or a dependency cycle.
     fn needed_targets(&self) -> Result<Vec<String>, String> {
         let mut needed = Vec::new();
-        let mut seen = HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![self.cfg.goal.clone()];
         while let Some(t) = stack.pop() {
             if !seen.insert(t.clone()) {
@@ -111,8 +112,8 @@ impl Pmake {
             needed.push(t);
         }
         // Kahn's algorithm detects cycles within the needed subgraph.
-        let needed_set: HashSet<&String> = needed.iter().collect();
-        let mut indegree: HashMap<&String, usize> = needed
+        let needed_set: FxHashSet<&String> = needed.iter().collect();
+        let mut indegree: FxHashMap<&String, usize> = needed
             .iter()
             .map(|t| (t, self.rule(t).expect("validated").deps.len()))
             .collect();

@@ -278,3 +278,18 @@ pub fn protocol_specs() -> Vec<&'static ProtocolSpec> {
         &PMAKE_SPEC,
     ]
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every declared `ReqEdge` must name catalog variants: requests from
+    /// `REQUEST_VARIANTS`, replies from `ALL_VARIANTS`.
+    #[test]
+    fn req_edges_stay_in_the_catalog() {
+        for spec in protocol_specs() {
+            let errors = spec.edge_catalog_errors();
+            assert!(errors.is_empty(), "{}", errors.join("\n"));
+        }
+    }
+}

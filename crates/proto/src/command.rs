@@ -35,33 +35,69 @@ pub enum CommandSpec {
     Null,
     /// A CPU-bound tight loop consuming the given CPU time at baseline
     /// machine speed.
-    Loop { cpu_millis: u64 },
+    Loop {
+        /// CPU cost of the loop at baseline speed.
+        cpu_millis: u64,
+    },
     /// The broker's application-layer monitor process, started on each
     /// machine a job extends to.
     SubAppl {
+        /// The job's `appl` process the sub-`appl` reports to.
         appl: ProcId,
+        /// The job this sub-`appl` monitors for.
         job: JobId,
+        /// The grow transaction that placed it.
         grow: GrowId,
     },
     /// A slave PVM daemon that will register with `master`.
-    PvmSlave { master: ProcId, vm: VmId },
+    PvmSlave {
+        /// The master pvmd to register with.
+        master: ProcId,
+        /// The virtual machine the slave should join.
+        vm: VmId,
+    },
     /// A PVM console executing a script (used interactively and by the
     /// `pvm_grow`/`pvm_shrink`/`pvm_halt` external modules).
-    PvmConsole { script: Vec<ConsoleCmd> },
+    PvmConsole {
+        /// Console commands to execute in order.
+        script: Vec<ConsoleCmd>,
+    },
     /// A LAM node daemon that will register with the session origin.
-    LamNode { origin: ProcId, session: SessionId },
+    LamNode {
+        /// The session-origin daemon to register with.
+        origin: ProcId,
+        /// The LAM session the node should join.
+        session: SessionId,
+    },
     /// A LAM console (`lamgrow`/`lamshrink`/`lamhalt` equivalents).
-    LamConsole { script: Vec<ConsoleCmd> },
+    LamConsole {
+        /// Console commands to execute in order.
+        script: Vec<ConsoleCmd>,
+    },
     /// A Calypso worker joining `master` anonymously.
-    CalypsoWorker { master: ProcId },
+    CalypsoWorker {
+        /// The Calypso master to join.
+        master: ProcId,
+    },
     /// A PLinda worker attaching to the tuple-space `server` anonymously.
-    PlindaWorker { server: ProcId },
+    PlindaWorker {
+        /// The tuple-space server to attach to.
+        server: ProcId,
+    },
     /// The broker's per-machine monitoring daemon (spawned by the broker
     /// at startup and respawned on failure).
-    RbDaemon { broker: ProcId },
+    RbDaemon {
+        /// The broker the daemon reports to.
+        broker: ProcId,
+    },
     /// Extension point for tests and user-defined programs registered with
     /// the program factory by name.
-    Custom { name: String, arg: u64 },
+    Custom {
+        /// Factory-registered program name.
+        name: String,
+        /// Opaque parameter passed to the program.
+        arg: u64,
+    },
 }
 
 impl CommandSpec {

@@ -13,6 +13,8 @@
 //! dependencies, mirroring how the real system's components communicate over
 //! sockets with an agreed-upon protocol.
 
+#![warn(missing_docs)]
+
 pub mod command;
 pub mod ids;
 pub mod machine;

@@ -11,8 +11,11 @@ use std::fmt;
 /// heterogeneity exercises the RSL matcher).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arch {
+    /// Intel x86 (the paper's entire testbed).
     I686,
+    /// Sun SPARC.
     Sparc,
+    /// DEC Alpha.
     Alpha,
 }
 
@@ -46,8 +49,11 @@ impl fmt::Display for Arch {
 /// Operating system of a machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Os {
+    /// Linux (`anylinux`).
     Linux,
+    /// Sun Solaris (`anysolaris`).
     Solaris,
+    /// DEC OSF/1 (`anyosf1`).
     Osf1,
 }
 
@@ -88,7 +94,10 @@ pub enum Ownership {
     /// Available to all users; typically resides in a public laboratory.
     Public,
     /// Belongs to the named individual, who has absolute priority.
-    Private { owner: String },
+    Private {
+        /// User name of the machine's owner.
+        owner: String,
+    },
 }
 
 impl Ownership {
@@ -103,8 +112,11 @@ impl Ownership {
 pub struct MachineAttrs {
     /// Host name, e.g. `n01`. Unique within the cluster.
     pub hostname: String,
+    /// CPU architecture, matched against RSL constraints.
     pub arch: Arch,
+    /// Operating system, matched against symbolic host names.
     pub os: Os,
+    /// Public or privately owned (drives the default allocation policy).
     pub ownership: Ownership,
     /// Relative CPU speed (1.0 = the paper's 200 MHz PentiumPro baseline).
     /// A `loop`-style burst of `c` CPU-seconds takes `c / speed` seconds of

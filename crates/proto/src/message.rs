@@ -17,6 +17,7 @@ use rb_simcore::SpanId;
 /// keyboard- and mouse-status of the machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DaemonReport {
+    /// The machine this report describes.
     pub machine: MachineId,
     /// Number of runnable application-layer processes (the load signal).
     pub load: u32,
@@ -33,22 +34,36 @@ pub struct DaemonReport {
 pub enum BrokerMsg {
     // --- daemon -> broker ---
     /// First message from a (re)started daemon.
-    DaemonHello { machine: MachineId },
+    DaemonHello {
+        /// The machine the daemon runs on.
+        machine: MachineId,
+    },
     /// Periodic resource report.
     DaemonStatus(DaemonReport),
 
     // --- broker -> daemon ---
     /// Liveness probe; a daemon that misses replies is restarted.
-    DaemonPing { seq: u64 },
+    DaemonPing {
+        /// Monotonic probe sequence number, echoed in the pong.
+        seq: u64,
+    },
     /// Reply to `DaemonPing`.
-    DaemonPong { machine: MachineId, seq: u64 },
+    DaemonPong {
+        /// The responding daemon's machine.
+        machine: MachineId,
+        /// The `seq` of the ping being answered.
+        seq: u64,
+    },
 
     // --- appl -> broker ---
     /// A user submitted a job through an `appl` process. The broker parses
     /// the RSL itself (`adaptive`, `module`, `count`, machine constraints).
     RegisterJob {
+        /// The `appl` process that will manage the job.
         appl: ProcId,
+        /// The job's RSL resource specification, unparsed.
         rsl: String,
+        /// The submitting user (drives the private-machine policy).
         user: String,
         /// The machine the job was submitted from (its root process and
         /// master daemons live there; it is already part of the job and is
@@ -57,8 +72,11 @@ pub enum BrokerMsg {
     },
     /// Request one machine, just in time, for a grow attempt.
     AllocRequest {
+        /// The requesting job.
         job: JobId,
+        /// The grow transaction the machine is for.
         grow: GrowId,
+        /// The symbolic host constraint to satisfy.
         constraint: SymbolicHost,
         /// The `alloc` span this request belongs to ([`SpanId::NONE`]
         /// when tracing is off), so the broker's decision span can nest
@@ -66,44 +84,80 @@ pub enum BrokerMsg {
         span: SpanId,
     },
     /// The `appl` finished vacating a machine the broker reclaimed.
-    MachineFreed { job: JobId, machine: MachineId },
+    MachineFreed {
+        /// The job that vacated the machine.
+        job: JobId,
+        /// The machine returned to the pool.
+        machine: MachineId,
+    },
     /// The `appl` could not reach a machine the broker granted it (its
     /// `rshd` did not answer) — the broker should distrust it until its
     /// daemon reports again.
-    MachineUnreachable { machine: MachineId },
+    MachineUnreachable {
+        /// The machine that failed to answer.
+        machine: MachineId,
+    },
     /// The job terminated; all its machines return to the pool.
-    JobDone { job: JobId },
+    JobDone {
+        /// The finished job.
+        job: JobId,
+    },
 
     // --- broker -> appl ---
     /// Job admitted; the broker assigned it an id.
-    JobAccepted { job: JobId },
+    JobAccepted {
+        /// The id the broker assigned.
+        job: JobId,
+    },
     /// Job rejected (malformed RSL or unknown module).
-    JobRejected { reason: String },
+    JobRejected {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
     /// A machine was selected for the grow attempt.
     AllocGrant {
+        /// The grow transaction being answered.
         grow: GrowId,
+        /// The granted machine.
         machine: MachineId,
+        /// The granted machine's host name (what `rsh` needs).
         hostname: String,
         /// The broker's `alloc.decide` span that produced this grant; the
         /// appl parents its `alloc.grant` span under it.
         span: SpanId,
     },
     /// No machine can be provided (policy or availability).
-    AllocDenied { grow: GrowId, reason: String },
+    AllocDenied {
+        /// The grow transaction being answered.
+        grow: GrowId,
+        /// Why no machine was granted.
+        reason: String,
+    },
     /// Directive: give the named machine back (eviction / reallocation).
-    ReleaseMachine { machine: MachineId },
+    ReleaseMachine {
+        /// The machine to vacate.
+        machine: MachineId,
+    },
     /// A machine became available and the job's standing desire is unmet;
     /// the broker offers it so the job can grow asynchronously.
     GrowOffer {
+        /// The offered machine.
         machine: MachineId,
+        /// The offered machine's host name.
         hostname: String,
     },
 
     // --- user tools -> broker ---
     /// Query machine availability and queued jobs.
-    QueryCluster { reply_to: ProcId },
+    QueryCluster {
+        /// Where to send the `ClusterStatus` reply.
+        reply_to: ProcId,
+    },
     /// Human-readable cluster status.
-    ClusterStatus { lines: Vec<String> },
+    ClusterStatus {
+        /// One line per machine/job, ready to print.
+        lines: Vec<String>,
+    },
 }
 
 /// Application-layer protocol: `rsh'` ↔ `appl` ↔ sub-`appl`.
@@ -113,8 +167,11 @@ pub enum ApplMsg {
     /// An intercepted `rsh`. The sender is the `rsh'` process; `origin` is
     /// the job process that invoked it.
     Intercepted {
+        /// The job process that invoked `rsh`.
         origin: ProcId,
+        /// The host argument, as classified by `rsh'`.
         host: crate::machine::HostSpec,
+        /// The command the `rsh` asked to run.
         cmd: CommandSpec,
         /// The `rsh.request` root span opened by the rsh' shim; the appl
         /// parents the grow's `alloc` span under it.
@@ -123,29 +180,59 @@ pub enum ApplMsg {
 
     // --- appl -> rsh' ---
     /// Final outcome the `rsh'` process should exit with.
-    RshOutcome { status: ExitStatus },
+    RshOutcome {
+        /// The status `rsh'` exits with.
+        status: ExitStatus,
+    },
     /// Directive: run the standard `rsh` yourself and exit with its result
     /// (real-host passthrough).
     RshProceedStandard,
 
     // --- sub-appl -> appl ---
     /// Sub-`appl` started on its machine and awaits the program to run.
-    SubApplReady { grow: GrowId, machine: MachineId },
+    SubApplReady {
+        /// The grow transaction that placed this sub-`appl`.
+        grow: GrowId,
+        /// The machine it landed on.
+        machine: MachineId,
+    },
     /// The delegated program was spawned (and detached, for daemons).
-    ChildStarted { grow: GrowId, child: ProcId },
+    ChildStarted {
+        /// The grow transaction this child belongs to.
+        grow: GrowId,
+        /// The spawned child process.
+        child: ProcId,
+    },
     /// The delegated program daemonized (detached from its controlling
     /// sub-`appl`); for daemon-style programs this is the moment the grow
     /// attempt counts as successful.
-    ChildDetached { grow: GrowId, child: ProcId },
+    ChildDetached {
+        /// The grow transaction this child belongs to.
+        grow: GrowId,
+        /// The detached child process.
+        child: ProcId,
+    },
     /// The delegated program exited.
-    ChildExited { grow: GrowId, status: ExitStatus },
+    ChildExited {
+        /// The grow transaction this child belonged to.
+        grow: GrowId,
+        /// How the child ended.
+        status: ExitStatus,
+    },
     /// The machine has been vacated after a `ReleaseChild`.
-    Released { grow: GrowId, machine: MachineId },
+    Released {
+        /// The grow transaction being unwound.
+        grow: GrowId,
+        /// The machine now free.
+        machine: MachineId,
+    },
 
     // --- appl -> sub-appl ---
     /// The program this sub-`appl` must execute on behalf of the job.
     Program {
+        /// The grow transaction this program fulfils.
         grow: GrowId,
+        /// What to execute.
         cmd: CommandSpec,
         /// The `alloc.spawn` span of the grow; the sub-appl parents its
         /// `alloc.exec` span under it.
@@ -162,44 +249,89 @@ pub enum ApplMsg {
 pub enum PvmMsg {
     // --- console/task -> master pvmd ---
     /// `pvm> add <host>` or `pvm_addhosts()`.
-    AddHosts { hosts: Vec<String> },
+    AddHosts {
+        /// Host names to add, in order.
+        hosts: Vec<String>,
+    },
     /// `pvm> delete <host>`.
-    DeleteHost { host: String },
+    DeleteHost {
+        /// Host name to remove from the virtual machine.
+        host: String,
+    },
     /// `pvm> halt`.
     Halt,
     /// `pvm> conf` — ask for the current host table.
-    Conf { reply_to: ProcId },
+    Conf {
+        /// Where to send the `ConfReply`.
+        reply_to: ProcId,
+    },
     /// Reply to `Conf`.
-    ConfReply { hosts: Vec<String> },
+    ConfReply {
+        /// Host names currently in the virtual machine.
+        hosts: Vec<String>,
+    },
     /// `pvm> spawn` — start `n` tasks across the virtual machine.
-    SpawnTasks { n: u32, cpu_millis: u64 },
+    SpawnTasks {
+        /// Number of tasks to start.
+        n: u32,
+        /// CPU cost of each task.
+        cpu_millis: u64,
+    },
     /// A task (application process) asks to be notified of task
     /// completions (`pvm_notify()`-style).
-    Subscribe { listener: ProcId },
+    Subscribe {
+        /// The process to notify.
+        listener: ProcId,
+    },
 
     // --- master pvmd -> console ---
     /// Outcome of one `add` attempt.
-    AddResult { host: String, ok: bool },
+    AddResult {
+        /// The host the add targeted.
+        host: String,
+        /// Whether the host joined.
+        ok: bool,
+    },
 
     // --- slave pvmd -> master pvmd ---
     /// A freshly started slave announcing itself; `hostname` is the machine
     /// it actually runs on, which the master checks against the host it
     /// attempted to spawn on.
-    SlaveRegister { slave: ProcId, hostname: String },
+    SlaveRegister {
+        /// The registering slave pvmd.
+        slave: ProcId,
+        /// The machine it actually runs on.
+        hostname: String,
+    },
     /// Graceful departure (e.g. after `delete` or eviction).
-    SlaveExiting { slave: ProcId },
+    SlaveExiting {
+        /// The departing slave pvmd.
+        slave: ProcId,
+    },
     /// A task finished on a slave.
-    TaskDone { slave: ProcId },
+    TaskDone {
+        /// The slave the task ran on.
+        slave: ProcId,
+    },
 
     // --- master pvmd -> slave pvmd ---
     /// Registration accepted; slave becomes part of the virtual machine.
-    SlaveAccepted { vm: VmId },
+    SlaveAccepted {
+        /// The virtual machine joined.
+        vm: VmId,
+    },
     /// Registration refused: the master did not attempt to spawn on this
     /// machine ("PVM will refuse to accept processes from machines other
     /// than those they attempted to spawn").
-    SlaveRefused { reason: String },
+    SlaveRefused {
+        /// Why the registration was refused.
+        reason: String,
+    },
     /// Run one task of the given CPU cost.
-    RunTask { cpu_millis: u64 },
+    RunTask {
+        /// CPU cost of the task.
+        cpu_millis: u64,
+    },
     /// Shut down (halt or delete).
     SlaveHalt,
 }
@@ -210,25 +342,53 @@ pub enum PvmMsg {
 pub enum LamMsg {
     /// `lamgrow <host>` from a console, or a self-scheduling MPI program
     /// asking for another node.
-    GrowNode { host: String },
+    GrowNode {
+        /// Host name to boot a node on.
+        host: String,
+    },
     /// `lamshrink <host>`.
-    ShrinkNode { host: String },
+    ShrinkNode {
+        /// Host name whose node should leave.
+        host: String,
+    },
     /// `lamhalt`.
     Halt,
     /// Outcome of one grow attempt.
-    GrowResult { host: String, ok: bool },
+    GrowResult {
+        /// The host the grow targeted.
+        host: String,
+        /// Whether the node joined the session.
+        ok: bool,
+    },
     /// Node daemon announcing itself to the session origin.
-    NodeRegister { node: ProcId, hostname: String },
+    NodeRegister {
+        /// The registering node daemon.
+        node: ProcId,
+        /// The machine it actually runs on.
+        hostname: String,
+    },
     /// Accepted into the session.
     NodeAccepted,
     /// Refused — hostname not in the attempted-boot set.
-    NodeRefused { reason: String },
+    NodeRefused {
+        /// Why the registration was refused.
+        reason: String,
+    },
     /// Node daemon leaving.
-    NodeExiting { node: ProcId },
+    NodeExiting {
+        /// The departing node daemon.
+        node: ProcId,
+    },
     /// Origin asks the node to run a self-scheduled work unit.
-    RunWork { cpu_millis: u64 },
+    RunWork {
+        /// CPU cost of the work unit.
+        cpu_millis: u64,
+    },
     /// Work unit complete.
-    WorkDone { node: ProcId },
+    WorkDone {
+        /// The node that finished the work.
+        node: ProcId,
+    },
     /// Shut this node down.
     NodeHalt,
 }
@@ -239,15 +399,33 @@ pub enum LamMsg {
 pub enum CalypsoMsg {
     /// Worker announcing itself (always accepted — this is what makes the
     /// broker's default *redirect* path work for Calypso).
-    WorkerRegister { worker: ProcId, hostname: String },
+    WorkerRegister {
+        /// The joining worker.
+        worker: ProcId,
+        /// The machine it runs on.
+        hostname: String,
+    },
     /// Welcome; master may immediately follow with a task.
     WorkerWelcome,
     /// Assign one task.
-    TaskAssign { task: u64, cpu_millis: u64 },
+    TaskAssign {
+        /// Task identifier (for at-most-once result accounting).
+        task: u64,
+        /// CPU cost of the task.
+        cpu_millis: u64,
+    },
     /// Task result.
-    TaskResult { worker: ProcId, task: u64 },
+    TaskResult {
+        /// The worker reporting the result.
+        worker: ProcId,
+        /// The completed task.
+        task: u64,
+    },
     /// Worker departing gracefully (eviction path).
-    WorkerLeaving { worker: ProcId },
+    WorkerLeaving {
+        /// The departing worker.
+        worker: ProcId,
+    },
     /// No work right now; worker idles until poked.
     Idle,
     /// Master is done; workers should exit.
@@ -258,17 +436,34 @@ pub enum CalypsoMsg {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlindaMsg {
     /// `out(tuple)` — deposit a tuple.
-    Out { tuple: Tuple },
+    Out {
+        /// The tuple to deposit.
+        tuple: Tuple,
+    },
     /// `in(pattern)` — blocking withdraw of a matching tuple.
-    In { pattern: TuplePattern },
+    In {
+        /// The pattern to match and withdraw.
+        pattern: TuplePattern,
+    },
     /// Reply to `In` once a tuple matches.
-    InReply { tuple: Tuple },
+    InReply {
+        /// The withdrawn tuple.
+        tuple: Tuple,
+    },
     /// Worker attaching to the space (always accepted).
-    WorkerRegister { worker: ProcId, hostname: String },
+    WorkerRegister {
+        /// The attaching worker.
+        worker: ProcId,
+        /// The machine it runs on.
+        hostname: String,
+    },
     /// Attach acknowledged.
     WorkerWelcome,
     /// Worker departing gracefully.
-    WorkerLeaving { worker: ProcId },
+    WorkerLeaving {
+        /// The departing worker.
+        worker: ProcId,
+    },
     /// Server shutting down.
     SpaceClosed,
 }
@@ -280,7 +475,9 @@ pub struct Tuple(pub Vec<TupleField>);
 /// One field of a tuple.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TupleField {
+    /// An integer field.
     Int(i64),
+    /// A string field.
     Str(String),
 }
 
@@ -317,26 +514,47 @@ impl TuplePattern {
 #[derive(Debug, Clone, PartialEq)]
 pub enum CtlMsg {
     /// Nudge an adaptive job to try to grow by `count` machines.
-    GrowHint { count: u32 },
+    GrowHint {
+        /// How many machines to try to add.
+        count: u32,
+    },
     /// Nudge an adaptive job to shed `count` machines voluntarily.
-    ShrinkHint { count: u32 },
+    ShrinkHint {
+        /// How many machines to give up.
+        count: u32,
+    },
     /// Ask a program to finish up gracefully.
     Stop,
     /// Liveness probe used by tests.
-    Probe { reply_to: ProcId, token: u64 },
+    Probe {
+        /// Where to send the `ProbeReply`.
+        reply_to: ProcId,
+        /// Opaque token echoed back.
+        token: u64,
+    },
     /// Reply to `Probe`.
-    ProbeReply { token: u64 },
+    ProbeReply {
+        /// The token from the probe being answered.
+        token: u64,
+    },
 }
 
 /// Top-level message payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
+    /// Resource-management layer traffic.
     Broker(BrokerMsg),
+    /// Application-layer traffic.
     Appl(ApplMsg),
+    /// PVM traffic.
     Pvm(PvmMsg),
+    /// LAM/MPI traffic.
     Lam(LamMsg),
+    /// Calypso traffic.
     Calypso(CalypsoMsg),
+    /// PLinda traffic.
     Plinda(PlindaMsg),
+    /// Scenario/test control traffic.
     Ctl(CtlMsg),
 }
 
