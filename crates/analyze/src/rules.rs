@@ -10,7 +10,7 @@
 //! of a file) can report end-of-trace liveness violations for exchanges
 //! whose completion was cut off.
 
-use rb_simcore::span::parse_span_open;
+use rb_simcore::span::{parse_span_close, parse_span_open};
 use rb_simcore::{Duration, SimTime, SpanForest, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -41,7 +41,7 @@ pub fn all_rules() -> &'static [Rule] {
     &RULES
 }
 
-static RULES: [Rule; 12] = [
+static RULES: [Rule; 13] = [
     Rule {
         name: "no-double-allocation",
         description: "a machine is never granted to a job while another job still holds it",
@@ -106,6 +106,12 @@ static RULES: [Rule; 12] = [
         name: "grant-has-request",
         description: "every grant span descends from an alloc request span",
         check: grant_has_request,
+    },
+    Rule {
+        name: "span-nesting",
+        description: "spans open once, close after opening at most once, and open after \
+                      their parents (guards the sharded kernel's trace merge)",
+        check: span_nesting,
     },
 ];
 
@@ -777,6 +783,85 @@ fn grant_has_request(events: &[TraceEvent]) -> Vec<Violation> {
     out
 }
 
+/// Span records must interleave like a well-nested event stream: an id
+/// opens at most once (ids are globally unique), closes at most once and
+/// only after its open, and a child's open never precedes its parent's.
+/// Trace-order inversions here are how a broken shard-trace merge would
+/// first show up — the serial kernel can't produce them. Ring-trimmed
+/// traces legitimately lose old opens, so a close (or a parent reference)
+/// whose open is missing from the trace *entirely* gets the benefit of
+/// the doubt; only records that provably appear out of order are flagged.
+fn span_nesting(events: &[TraceEvent]) -> Vec<Violation> {
+    // Pre-pass: first `span.open` index of every id, so an out-of-order
+    // record can be distinguished from a truncated-away one.
+    let mut first_open: BTreeMap<u64, usize> = BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.topic == "span.open" {
+            if let Some((id, _, _, _)) = parse_span_open(&e.detail) {
+                first_open.entry(id).or_insert(i);
+            }
+        }
+    }
+    let mut seen_open: BTreeSet<u64> = BTreeSet::new();
+    let mut seen_close: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut out = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match e.topic.as_str() {
+            "span.open" => {
+                let Some((id, parent, name, _)) = parse_span_open(&e.detail) else {
+                    continue;
+                };
+                if !seen_open.insert(id) {
+                    let w = first_open
+                        .get(&id)
+                        .map(|&j| vec![&events[j], &events[i]])
+                        .unwrap_or_default();
+                    out.push(violation(
+                        "span-nesting",
+                        format!("span s{id} ({name}) opened twice"),
+                        w,
+                    ));
+                    continue;
+                }
+                if parent != 0 && !seen_open.contains(&parent) {
+                    if let Some(&pj) = first_open.get(&parent) {
+                        out.push(violation(
+                            "span-nesting",
+                            format!("span s{id} ({name}) opens before its parent s{parent}"),
+                            vec![&events[i], &events[pj]],
+                        ));
+                    }
+                }
+            }
+            "span.close" => {
+                let Some((id, name, _)) = parse_span_close(&e.detail) else {
+                    continue;
+                };
+                if let Some(&j) = seen_close.get(&id) {
+                    out.push(violation(
+                        "span-nesting",
+                        format!("span s{id} ({name}) closed twice"),
+                        vec![&events[j], &events[i]],
+                    ));
+                    continue;
+                }
+                seen_close.insert(id, i);
+                if !seen_open.contains(&id) {
+                    if let Some(&oj) = first_open.get(&id) {
+                        out.push(violation(
+                            "span-nesting",
+                            format!("span s{id} ({name}) closes before it opens"),
+                            vec![&events[i], &events[oj]],
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -788,7 +873,44 @@ mod tests {
             assert!(seen.insert(r.name), "duplicate rule {}", r.name);
             assert!(!r.description.is_empty());
         }
-        assert_eq!(all_rules().len(), 12);
+        assert_eq!(all_rules().len(), 13);
+    }
+
+    #[test]
+    fn span_nesting_flags_order_inversions_but_tolerates_truncation() {
+        let parse = |text: &str| rb_simcore::parse_rendered(text).unwrap();
+        // Well-nested stream: clean.
+        let ok = parse(
+            "T+1.000000s span.open s1 - alloc job j1\n\
+             T+1.100000s span.open s2 s1 alloc.grant n01\n\
+             T+1.200000s span.close s2 alloc.grant ok\n\
+             T+1.300000s span.close s1 alloc ok\n",
+        );
+        assert!(span_nesting(&ok).is_empty());
+        // Close before open, child before parent, double open, double close.
+        let bad = parse(
+            "T+1.000000s span.close s1 alloc ok\n\
+             T+1.100000s span.open s1 - alloc job j1\n\
+             T+1.200000s span.open s3 s2 alloc.grant n01\n\
+             T+1.300000s span.open s2 - alloc job j2\n\
+             T+1.400000s span.open s2 - alloc job j2\n\
+             T+1.500000s span.close s3 alloc.grant ok\n\
+             T+1.600000s span.close s3 alloc.grant ok\n",
+        );
+        let v = span_nesting(&bad);
+        let msgs: Vec<&str> = v.iter().map(|x| x.message.as_str()).collect();
+        assert_eq!(v.len(), 4, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("closes before it opens")));
+        assert!(msgs.iter().any(|m| m.contains("opens before its parent")));
+        assert!(msgs.iter().any(|m| m.contains("opened twice")));
+        assert!(msgs.iter().any(|m| m.contains("closed twice")));
+        // A ring-trimmed trace that lost s1's open: no blame.
+        let trimmed = parse(
+            "T+5.000000s span.open s9 s1 alloc.grant n02\n\
+             T+5.100000s span.close s9 alloc.grant ok\n\
+             T+5.200000s span.close s1 alloc ok\n",
+        );
+        assert!(span_nesting(&trimmed).is_empty());
     }
 
     #[test]

@@ -69,9 +69,9 @@ fn reallocation_breakdown_reconstructs_the_chain() {
 }
 
 #[test]
-fn real_trace_passes_all_twelve_rules() {
+fn real_trace_passes_all_thirteen_rules() {
     let (events, _) = traced_realloc();
-    assert_eq!(rb_analyze::all_rules().len(), 12);
+    assert_eq!(rb_analyze::all_rules().len(), 13);
     let violations = lint_events(&events);
     assert!(
         violations.is_empty(),

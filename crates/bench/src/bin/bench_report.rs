@@ -9,11 +9,19 @@
 //!   section: the sampled metrics registry from one traced reallocation
 //!   run (grants, reclaims, queue depths, allocation latency);
 //! * `BENCH_table2.json` — the paper-shaped Table 2 rows in simulated
-//!   seconds, alongside the harness wall-clock cost of producing them.
+//!   seconds, alongside the harness wall-clock cost of producing them;
+//! * `BENCH_parallel.json` — the utilization scenario swept across kernel
+//!   shard counts, with each report row carrying its `shards` provenance
+//!   and a speedup-vs-serial summary. Dispatch stays serialized for
+//!   bit-identical replay (see DESIGN.md §14), so speedups hover near 1x;
+//!   the sweep exists to keep the synchronizer's overhead honest and
+//!   visible, not to claim wall-clock parallelism.
 //!
 //! ```text
-//! bench_report [reps]
+//! bench_report [reps] [--shards=1,2,4,8]
 //!   RB_BENCH_SAMPLES=<n>    override rep count (CI smoke uses 2)
+//!   RB_BENCH_SHARDS=<list>  shard counts for BENCH_parallel.json
+//!                           (comma-separated; same as --shards=)
 //!   RB_BENCH_OUT=<dir>      output directory (default: current dir)
 //!   RB_BENCH_BASELINE=<f>   compare against a previous BENCH_kernel.json;
 //!                           exit 1 if any scenario's median events/sec
@@ -91,6 +99,51 @@ fn utilization_scenario(kind: QueueKind, hours: f64) -> Scenario {
     .with_queue_kind(kind)
 }
 
+/// The utilization scenario on an explicit kernel shard count — the
+/// `BENCH_parallel.json` family. Eight public machines keep all eight
+/// shards populated; the heap backend pins the comparison to one queue
+/// implementation so the only variable is the synchronizer.
+fn parallel_scenario(shards: usize) -> Scenario {
+    Scenario::new(format!("parallel.utilization.s{shards}"), move |seed| {
+        let report = run_utilization(&UtilizationConfig {
+            hours: 1.0,
+            seed,
+            scheduler: QueueKind::Heap,
+            shards,
+            ..Default::default()
+        });
+        RepOutcome {
+            queue: report.queue,
+            sim_seconds: report.simulated_hours * 3600.0,
+        }
+    })
+    .with_queue_kind(QueueKind::Heap)
+    .with_shards(shards)
+}
+
+/// Shard counts for the parallel sweep: `--shards=1,2` / `RB_BENCH_SHARDS`
+/// override the default {1, 2, 4, 8}. A leading 1 is always included so
+/// the speedup baseline exists.
+fn shard_counts() -> Vec<usize> {
+    let spec = std::env::args()
+        .find_map(|a| a.strip_prefix("--shards=").map(str::to_string))
+        .or_else(|| std::env::var("RB_BENCH_SHARDS").ok());
+    let mut counts: Vec<usize> = match spec {
+        Some(s) => s
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .collect(),
+        None => vec![1, 2, 4, 8],
+    };
+    if !counts.contains(&1) {
+        counts.insert(0, 1);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
 fn out_path(file: &str) -> std::path::PathBuf {
     let dir = std::env::var("RB_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
     std::path::Path::new(&dir).join(file)
@@ -164,6 +217,42 @@ fn main() -> ExitCode {
             ),
         );
     write_doc("BENCH_table2.json", &table2_doc);
+
+    // ---- BENCH_parallel.json -----------------------------------------
+    // The shard sweep. Every count replays the serial run bit-identically
+    // (scheduler_equiv proves it), so the interesting number here is the
+    // synchronizer's *cost*: speedup_vs_serial near 1.0 means windows,
+    // rings, and barrier accounting are close to free.
+    let parallel_reports: Vec<_> = shard_counts()
+        .into_iter()
+        .map(|n| {
+            let r = run_scenario(&parallel_scenario(n), BASE_SEED, reps);
+            println!("{}", render_scenario_line(&r));
+            r
+        })
+        .collect();
+    let serial_eps = parallel_reports
+        .iter()
+        .find(|r| r.shards == 1)
+        .map(|r| r.events_per_sec.median())
+        .expect("shard_counts always includes 1");
+    let speedups: Vec<Json> = parallel_reports
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .set("shards", r.shards)
+                .set("events_per_sec_median", r.events_per_sec.median())
+                .set("speedup_vs_serial", r.events_per_sec.median() / serial_eps)
+        })
+        .collect();
+    let parallel_doc = report_json("rb-bench/parallel/v1", reps, &parallel_reports)
+        .set("speedups", Json::Arr(speedups))
+        .set(
+            "note",
+            "dispatch is serialized for bit-identical replay; \
+             speedup_vs_serial measures synchronizer overhead, not wall parallelism",
+        );
+    write_doc("BENCH_parallel.json", &parallel_doc);
 
     // ---- regression guard --------------------------------------------
     if let Ok(baseline_path) = std::env::var("RB_BENCH_BASELINE") {

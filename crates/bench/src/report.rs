@@ -57,6 +57,9 @@ pub struct Scenario {
     /// drives — recorded in the JSON so baselines from different backends
     /// are never silently compared.
     pub queue_kind: QueueKind,
+    /// Kernel event shards the scenario runs with (1 = serial kernel) —
+    /// provenance for the `BENCH_parallel` family, recorded in the JSON.
+    pub shards: usize,
     pub run: Box<dyn Fn(u64) -> RepOutcome + Sync>,
 }
 
@@ -65,6 +68,7 @@ impl Scenario {
         Scenario {
             name: name.into(),
             queue_kind: QueueKind::Heap,
+            shards: 1,
             run: Box::new(run),
         }
     }
@@ -74,6 +78,12 @@ impl Scenario {
         self.queue_kind = kind;
         self
     }
+
+    /// Tag the scenario with the shard count it runs under.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
 }
 
 /// Reduced measurements of one scenario across reps.
@@ -81,6 +91,7 @@ impl Scenario {
 pub struct ScenarioReport {
     pub name: String,
     pub queue_kind: QueueKind,
+    pub shards: usize,
     pub reps: usize,
     pub wall_ms: Summary,
     pub events_per_sec: Summary,
@@ -135,6 +146,7 @@ pub fn run_scenario(scenario: &Scenario, base_seed: u64, reps: usize) -> Scenari
     ScenarioReport {
         name: scenario.name.clone(),
         queue_kind: scenario.queue_kind,
+        shards: scenario.shards,
         reps,
         wall_ms,
         events_per_sec,
@@ -161,6 +173,7 @@ pub fn scenario_json(r: &ScenarioReport) -> Json {
     Json::obj()
         .set("name", r.name.as_str())
         .set("queue_kind", queue_kind_str(r.queue_kind))
+        .set("shards", r.shards)
         .set("samples", r.reps)
         .set("reps", r.reps)
         .set("wall_ms", summary_json(&r.wall_ms))

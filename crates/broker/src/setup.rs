@@ -45,6 +45,9 @@ pub struct ClusterOptions {
     pub metrics_interval: Option<rb_simcore::Duration>,
     /// Event-queue backend for the kernel (both replay bit-identically).
     pub scheduler: QueueKind,
+    /// Event shards for the kernel (1 = serial; any count replays
+    /// bit-identically — see [`rb_simnet::WorldBuilder::shards`]).
+    pub shards: usize,
     /// Machines (defaults to `n` public Linux boxes when using
     /// [`build_standard_cluster`]).
     pub machines: Vec<MachineAttrs>,
@@ -59,6 +62,7 @@ impl Default for ClusterOptions {
             trace: true,
             metrics_interval: None,
             scheduler: QueueKind::default(),
+            shards: 1,
             machines: Vec::new(),
             policy: Box::new(crate::policy::DefaultPolicy::default()),
         }
@@ -95,6 +99,7 @@ pub fn build_cluster(opts: ClusterOptions) -> Cluster {
         .cost(opts.cost)
         .trace(opts.trace)
         .scheduler(opts.scheduler)
+        .shards(opts.shards)
         .default_remote_binding(RshBinding::Broker)
         .factory(
             FactoryChain::new()

@@ -17,6 +17,7 @@ pub mod queue;
 pub mod registry;
 pub mod rng;
 pub mod span;
+pub mod spsc;
 pub mod time;
 pub mod trace;
 pub mod wheel;
@@ -29,6 +30,7 @@ pub use queue::{EventQueue, QueueKind, QueueStats, ScheduleOracle};
 pub use registry::MetricsRegistry;
 pub use rng::SimRng;
 pub use span::{SpanForest, SpanId, SpanRecord, SpanTracker};
+pub use spsc::SpscRing;
 pub use time::{Duration, SimTime};
 pub use trace::{parse_rendered, Topic, TraceEvent, TraceRecorder};
 pub use wheel::TimerWheel;

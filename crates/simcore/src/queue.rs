@@ -115,8 +115,17 @@ pub struct EventQueue<E> {
     /// representation is active; unused (and unallocated) otherwise.
     store: Vec<Option<E>>,
     free: Vec<u32>,
+    /// Next sequence number [`push`](EventQueue::push) would assign. With
+    /// [`push_seq`](EventQueue::push_seq) sequence numbers may be
+    /// externally allocated (shared across a sharded kernel's lanes), so
+    /// `seq` is an ordering watermark, not a push count.
     seq: u64,
+    /// Events pushed over the queue's lifetime.
+    scheduled: u64,
     popped: u64,
+    /// Currently pending events. Tracked explicitly because `seq` no
+    /// longer counts pushes when sequence numbers come from outside.
+    depth: usize,
     peak: usize,
 }
 
@@ -162,7 +171,9 @@ impl<E> EventQueue<E> {
             store: Vec::new(),
             free: Vec::new(),
             seq: 0,
+            scheduled: 0,
             popped: 0,
+            depth: 0,
             peak: 0,
         }
     }
@@ -194,10 +205,14 @@ impl<E> EventQueue<E> {
         event
     }
 
-    /// Schedule `event` at absolute time `at`.
-    pub fn push(&mut self, at: SimTime, event: E) {
-        let seq = self.seq;
-        self.seq += 1;
+    /// Hand `event` to the backend under an already-assigned sequence
+    /// number. Shared by [`push`], [`push_seq`] and [`requeue`]; counter
+    /// maintenance stays with the callers.
+    ///
+    /// [`push`]: EventQueue::push
+    /// [`push_seq`]: EventQueue::push_seq
+    /// [`requeue`]: EventQueue::requeue
+    fn place(&mut self, at: SimTime, seq: u64, event: E) {
         match &mut self.backend {
             Backend::Heap(heap) => heap.push(Entry { at, seq, event }),
             Backend::Wheel(wheel) => wheel.push(at.0, seq, event),
@@ -220,9 +235,37 @@ impl<E> EventQueue<E> {
                 wheel.push(at.0, seq, slot);
             }
         }
-        let depth = self.len();
-        if depth > self.peak {
-            self.peak = depth;
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled += 1;
+        self.place(at, seq, event);
+        self.depth += 1;
+        if self.depth > self.peak {
+            self.peak = self.depth;
+        }
+    }
+
+    /// Schedule `event` at `at` under an externally allocated sequence
+    /// number. The sharded kernel draws sequence numbers from one global
+    /// counter shared by every shard's lane, so each lane sees a strictly
+    /// increasing (but gapping) sequence stream; `seq` must be at least
+    /// this queue's watermark, which it then advances past.
+    pub fn push_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        debug_assert!(
+            seq >= self.seq,
+            "push_seq going backwards: {seq} < watermark {}",
+            self.seq
+        );
+        self.seq = seq + 1;
+        self.scheduled += 1;
+        self.place(at, seq, event);
+        self.depth += 1;
+        if self.depth > self.peak {
+            self.peak = self.depth;
         }
     }
 
@@ -253,6 +296,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let (at, _, event) = self.pop_entry()?;
         self.popped += 1;
+        self.depth -= 1;
         Some((at, event))
     }
 
@@ -270,6 +314,7 @@ impl<E> EventQueue<E> {
             batch.push((seq, event));
         }
         self.popped += batch.len() as u64;
+        self.depth -= batch.len();
         Some((at, batch))
     }
 
@@ -286,29 +331,9 @@ impl<E> EventQueue<E> {
     /// [`pop_front_batch`]: EventQueue::pop_front_batch
     pub fn requeue(&mut self, at: SimTime, seq: u64, event: E) {
         debug_assert!(seq < self.seq, "requeue of a sequence never issued");
-        match &mut self.backend {
-            Backend::Heap(heap) => heap.push(Entry { at, seq, event }),
-            Backend::Wheel(wheel) => wheel.push(at.0, seq, event),
-            Backend::HeapSlab(_) => {
-                let slot = self.store_insert(event);
-                let Backend::HeapSlab(heap) = &mut self.backend else {
-                    unreachable!()
-                };
-                heap.push(Entry {
-                    at,
-                    seq,
-                    event: slot,
-                });
-            }
-            Backend::WheelSlab(_) => {
-                let slot = self.store_insert(event);
-                let Backend::WheelSlab(wheel) = &mut self.backend else {
-                    unreachable!()
-                };
-                wheel.push(at.0, seq, slot);
-            }
-        }
+        self.place(at, seq, event);
         self.popped -= 1;
+        self.depth += 1;
     }
 
     /// Remove the next event, letting `oracle` pick among same-time ties.
@@ -324,7 +349,11 @@ impl<E> EventQueue<E> {
         } else {
             oracle.choose(at, &batch).min(batch.len() - 1)
         };
-        let (_, chosen) = batch.remove(idx);
+        // O(1) removal; the remainder is re-sorted so requeues happen in
+        // ascending sequence order (the discipline `requeue` documents —
+        // the wheel rebuilds its slot suffix from exactly that order).
+        let (_, chosen) = batch.swap_remove(idx);
+        batch.sort_unstable_by_key(|&(seq, _)| seq);
         // `pop_front_batch` counted the whole batch as dispatched and each
         // requeue undoes one share, so the chosen event's accounting is
         // already exact here.
@@ -372,11 +401,29 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// `(time, sequence)` key of the earliest pending event — what the
+    /// sharded kernel's coordinator compares across lanes to find the
+    /// globally next dispatch without popping.
+    ///
+    /// The heap backends read their root exactly. The wheel backends
+    /// report the head of the lowest occupied slot, which holds the
+    /// minimum sequence at the minimum time **only while pushes arrive in
+    /// ascending sequence order and nothing is ever requeued** — true for
+    /// shard lanes (one shared monotone counter, no oracle), not for
+    /// queues driven through [`pop_with_oracle`].
+    ///
+    /// [`pop_with_oracle`]: EventQueue::pop_with_oracle
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| (e.at, e.seq)),
+            Backend::HeapSlab(heap) => heap.peek().map(|e| (e.at, e.seq)),
+            Backend::Wheel(wheel) => wheel.peek_key().map(|(t, s)| (SimTime(t), s)),
+            Backend::WheelSlab(wheel) => wheel.peek_key().map(|(t, s)| (SimTime(t), s)),
+        }
+    }
+
     pub fn len(&self) -> usize {
-        // Every push bumps `seq`, every pop bumps `popped`, and nothing
-        // else touches either — so pending depth is their difference,
-        // with no backend dispatch.
-        (self.seq - self.popped) as usize
+        self.depth
     }
 
     pub fn is_empty(&self) -> bool {
@@ -385,7 +432,7 @@ impl<E> EventQueue<E> {
 
     /// Total number of events scheduled so far (including popped ones).
     pub fn scheduled_total(&self) -> u64 {
-        self.seq
+        self.scheduled
     }
 
     /// Total number of events dispatched so far.
@@ -401,7 +448,7 @@ impl<E> EventQueue<E> {
     /// Snapshot of the queue's work counters.
     pub fn stats(&self) -> QueueStats {
         QueueStats {
-            scheduled: self.seq,
+            scheduled: self.scheduled,
             dispatched: self.popped,
             peak_depth: self.peak,
             depth: self.len(),
@@ -516,6 +563,85 @@ mod tests {
             // The remainder still pops FIFO.
             assert_eq!(q.pop_with_oracle(&mut Last), Some((SimTime(5), "a")));
             assert_eq!(q.pop_with_oracle(&mut Last), None);
+        }
+    }
+
+    #[test]
+    fn oracle_requeue_keeps_fifo_after_middle_pick() {
+        // Picking from the middle of a 4-wide tie must leave the other
+        // three popping in their original FIFO order — the swap_remove in
+        // pop_with_oracle re-sorts the remainder before requeueing.
+        struct Pick(usize);
+        impl<E> ScheduleOracle<E> for Pick {
+            fn choose(&mut self, _at: SimTime, _batch: &[(u64, E)]) -> usize {
+                let i = self.0;
+                self.0 = 0;
+                i
+            }
+        }
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            for v in ["a", "b", "c", "d"] {
+                q.push(SimTime(5), v);
+            }
+            q.push(SimTime(9), "z");
+            let mut oracle = Pick(2);
+            assert_eq!(q.pop_with_oracle(&mut oracle), Some((SimTime(5), "c")));
+            assert_eq!(q.pop_with_oracle(&mut oracle), Some((SimTime(5), "a")));
+            assert_eq!(q.pop_with_oracle(&mut oracle), Some((SimTime(5), "b")));
+            assert_eq!(q.pop_with_oracle(&mut oracle), Some((SimTime(5), "d")));
+            assert_eq!(q.pop_with_oracle(&mut oracle), Some((SimTime(9), "z")));
+            assert_eq!(q.stats().dispatched, 5);
+            assert_eq!(q.stats().depth, 0);
+        }
+    }
+
+    #[test]
+    fn push_seq_interleaves_with_external_counter() {
+        // Two lanes fed from one shared counter: each lane sees a gapping
+        // but increasing sequence stream and pops in global (time, seq)
+        // order; depth/scheduled counters track pushes, not the watermark.
+        for kind in kinds() {
+            let mut a = EventQueue::with_kind(kind);
+            let mut b = EventQueue::with_kind(kind);
+            let mut next = 0u64;
+            let mut alloc = || {
+                let s = next;
+                next += 1;
+                s
+            };
+            a.push_seq(SimTime(5), alloc(), "a0");
+            b.push_seq(SimTime(5), alloc(), "b0");
+            b.push_seq(SimTime(3), alloc(), "b1");
+            a.push_seq(SimTime(5), alloc(), "a1");
+            assert_eq!(a.len(), 2);
+            assert_eq!(a.scheduled_total(), 2);
+            assert_eq!(b.peek_key(), Some((SimTime(3), 2)));
+            assert_eq!(a.peek_key(), Some((SimTime(5), 0)));
+            assert_eq!(b.pop(), Some((SimTime(3), "b1")));
+            assert_eq!(b.peek_key(), Some((SimTime(5), 1)));
+            assert_eq!(a.pop(), Some((SimTime(5), "a0")));
+            assert_eq!(b.pop(), Some((SimTime(5), "b0")));
+            assert_eq!(a.pop(), Some((SimTime(5), "a1")));
+            assert_eq!(a.stats().depth + b.stats().depth, 0);
+        }
+    }
+
+    #[test]
+    fn peek_key_matches_next_pop() {
+        for kind in kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            assert_eq!(q.peek_key(), None);
+            for (t, v) in [(30u64, 0u64), (10, 1), (10, 2), (900_000, 3), (10, 4)] {
+                q.push(SimTime(t), v);
+            }
+            while let Some((at, seq)) = q.peek_key() {
+                let (pat, _) = q.pop().unwrap();
+                assert_eq!(pat, at);
+                // seq numbers were assigned in push order 0..5.
+                assert!(seq < 5);
+            }
+            assert!(q.is_empty());
         }
     }
 

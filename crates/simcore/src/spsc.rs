@@ -1,0 +1,140 @@
+//! Bounded single-producer single-consumer ring buffer.
+//!
+//! The sharded simulation kernel forwards cross-shard events through one
+//! such ring per (source, destination) shard pair. This module defines
+//! the *wire protocol* of that channel — a fixed power-of-two capacity,
+//! monotonically increasing head/tail counters masked into the buffer,
+//! producer-only writes to `tail`, consumer-only writes to `head` — in a
+//! plain safe single-threaded form. The coordinator drains every ring at
+//! deterministic points (end of each dispatch), so no atomics are needed
+//! today; a wall-clock-parallel kernel would lift exactly this layout
+//! onto `AtomicUsize` indices without changing the protocol.
+//!
+//! A full ring rejects the push (`Err(value)`) instead of overwriting:
+//! the event kernel must never drop a scheduled event, so callers handle
+//! `Err` by draining the ring in place (counted as `ring_full` back-
+//! pressure in the shard stats).
+
+/// Fixed-capacity SPSC ring. Capacity is rounded up to a power of two so
+/// index masking replaces modulo.
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    buf: Vec<Option<T>>,
+    mask: usize,
+    /// Total elements ever popped (consumer cursor).
+    head: usize,
+    /// Total elements ever pushed (producer cursor).
+    tail: usize,
+}
+
+impl<T> SpscRing<T> {
+    /// A ring holding at least `capacity` elements (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let mut buf = Vec::with_capacity(cap);
+        buf.resize_with(cap, || None);
+        SpscRing {
+            buf,
+            mask: cap - 1,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Producer side: append `value`, or hand it back when the ring is
+    /// full (the caller decides how to relieve the back-pressure; the
+    /// kernel drains in place — it never drops).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.is_full() {
+            return Err(value);
+        }
+        let idx = self.tail & self.mask;
+        debug_assert!(self.buf[idx].is_none());
+        self.buf[idx] = Some(value);
+        self.tail += 1;
+        Ok(())
+    }
+
+    /// Consumer side: remove the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let idx = self.head & self.mask;
+        let value = self.buf[idx].take();
+        debug_assert!(value.is_some());
+        self.head += 1;
+        value
+    }
+
+    /// Visit the resident elements oldest-first without consuming them
+    /// (used by pending-event accounting such as state fingerprints).
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (self.head..self.tail).map(move |i| {
+            self.buf[i & self.mask]
+                .as_ref()
+                .expect("cursor range holds occupied slots")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(SpscRing::<u32>::with_capacity(0).capacity(), 2);
+        assert_eq!(SpscRing::<u32>::with_capacity(3).capacity(), 4);
+        assert_eq!(SpscRing::<u32>::with_capacity(256).capacity(), 256);
+    }
+
+    #[test]
+    fn fifo_roundtrip_with_wraparound() {
+        let mut r = SpscRing::with_capacity(4);
+        for round in 0u32..10 {
+            for i in 0..3 {
+                r.push(round * 10 + i).unwrap();
+            }
+            assert_eq!(r.len(), 3);
+            assert_eq!(r.iter().copied().collect::<Vec<_>>(), {
+                vec![round * 10, round * 10 + 1, round * 10 + 2]
+            });
+            for i in 0..3 {
+                assert_eq!(r.pop(), Some(round * 10 + i));
+            }
+            assert!(r.is_empty());
+            assert_eq!(r.pop(), None);
+        }
+    }
+
+    #[test]
+    fn full_ring_rejects_without_losing_the_value() {
+        let mut r = SpscRing::with_capacity(2);
+        r.push("a").unwrap();
+        r.push("b").unwrap();
+        assert!(r.is_full());
+        assert_eq!(r.push("c"), Err("c"));
+        assert_eq!(r.pop(), Some("a"));
+        r.push("c").unwrap();
+        assert_eq!(r.pop(), Some("b"));
+        assert_eq!(r.pop(), Some("c"));
+    }
+}

@@ -197,6 +197,24 @@ impl TraceRecorder {
         }
     }
 
+    /// Move every event out of `staging` into this recorder, preserving
+    /// order and applying this recorder's retention policy event by event
+    /// — so a trace assembled through staging recorders is byte-identical
+    /// to one recorded directly, ring trimming included. The sharded
+    /// kernel records each dispatch into a per-shard staging recorder and
+    /// absorbs it here, merging per-shard streams back into the canonical
+    /// dispatch order. When this recorder is disabled the staged events
+    /// are discarded.
+    pub fn absorb(&mut self, staging: &mut TraceRecorder) {
+        if !self.enabled {
+            staging.events.clear();
+            return;
+        }
+        for e in staging.events.drain(..) {
+            self.push(e);
+        }
+    }
+
     /// All retained events, in recording order (which equals time order,
     /// since the kernel records as it dispatches). In ring mode this is
     /// the recent tail, not the full history.
@@ -399,6 +417,36 @@ mod tests {
         assert_eq!(events.last().unwrap().detail, "99");
         let details: Vec<u64> = events.iter().map(|e| e.detail.parse().unwrap()).collect();
         assert!(details.windows(2).all(|w| w[0] + 1 == w[1]));
+    }
+
+    #[test]
+    fn absorb_is_indistinguishable_from_direct_recording() {
+        // Route half the events through a staging recorder (as the
+        // sharded kernel does per dispatch) and compare against recording
+        // straight into an identical ring recorder: retained events and
+        // the dropped counter must match exactly.
+        let mut direct = TraceRecorder::ring(5);
+        let mut merged = TraceRecorder::ring(5);
+        let mut staging = TraceRecorder::enabled();
+        for i in 0..40u64 {
+            direct.record(SimTime(i), "tick", format_args!("{i}"));
+            if i % 2 == 0 {
+                merged.record(SimTime(i), "tick", format_args!("{i}"));
+            } else {
+                staging.record(SimTime(i), "tick", format_args!("{i}"));
+                merged.absorb(&mut staging);
+                assert!(staging.events().is_empty());
+            }
+        }
+        assert_eq!(merged.events(), direct.events());
+        assert_eq!(merged.dropped_events(), direct.dropped_events());
+
+        // A disabled recorder discards absorbed events.
+        let mut off = TraceRecorder::disabled();
+        staging.record(SimTime(1), "tick", "x");
+        off.absorb(&mut staging);
+        assert!(off.events().is_empty());
+        assert!(staging.events().is_empty());
     }
 
     #[test]

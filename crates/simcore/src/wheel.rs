@@ -122,6 +122,28 @@ impl<E> TimerWheel<E> {
         Some(self.slot_min[level * SLOTS + slot])
     }
 
+    /// `(time, seq)` of the event the next [`pop`](TimerWheel::pop) would
+    /// return, without mutating the wheel (no cascade, cursor untouched).
+    ///
+    /// The earliest event provably lives in the lowest occupied slot of
+    /// the lowest occupied level (any lower timestamp would have a lower
+    /// digit there), and `slot_min` names its timestamp. Identifying the
+    /// minimum *sequence* at that timestamp by the slot's first match is
+    /// only correct when the deque is sequence-sorted — guaranteed while
+    /// pushes arrive in ascending sequence order and nothing is requeued
+    /// (cascades preserve deque order). Shard lanes satisfy that; oracle-
+    /// driven queues do not and must not rely on this.
+    pub fn peek_key(&self) -> Option<(u64, u64)> {
+        let level = self.lowest_level()?;
+        let slot = self.occupancy[level].trailing_zeros() as usize;
+        let idx = level * SLOTS + slot;
+        let t = self.slot_min[idx];
+        self.slots[idx]
+            .iter()
+            .find(|&&(et, _, _)| et == t)
+            .map(|&(_, seq, _)| (t, seq))
+    }
+
     /// Visit every resident event in unspecified (slot) order.
     pub fn for_each(&self, mut f: impl FnMut(u64, u64, &E)) {
         for slot in &self.slots {
@@ -286,6 +308,40 @@ mod tests {
             }
         }
         assert_eq!(heap.stats(), wheel.stats());
+    }
+
+    /// `peek_key` must name exactly the `(time, seq)` the next pop
+    /// returns, across cascades and far-future slots, for monotone
+    /// sequence streams (the shard-lane usage pattern).
+    #[test]
+    fn peek_key_predicts_next_pop() {
+        let mut rng = SimRng::seeded(0x99);
+        let mut w = TimerWheel::new();
+        assert_eq!(w.peek_key(), None);
+        let mut seq = 0u64;
+        let mut last = 0u64;
+        for _ in 0..5_000 {
+            if w.is_empty() || rng.uniform_u64(0, 3) > 0 {
+                let horizon = 1u64 << rng.uniform_u64(0, 40);
+                // Deliberate collisions: half the pushes reuse `last`.
+                let t = if rng.uniform_u64(0, 2) == 0 {
+                    last
+                } else {
+                    last + rng.uniform_u64(0, horizon)
+                };
+                w.push(t, seq, seq);
+                seq += 1;
+            } else {
+                let key = w.peek_key().unwrap();
+                let (t, s, _) = w.pop().unwrap();
+                assert_eq!(key, (t, s));
+                last = t;
+            }
+        }
+        while let Some(key) = w.peek_key() {
+            let (t, s, _) = w.pop().unwrap();
+            assert_eq!(key, (t, s));
+        }
     }
 
     #[test]

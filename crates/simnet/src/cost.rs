@@ -113,6 +113,23 @@ impl Default for CostModel {
 }
 
 impl CostModel {
+    /// Conservative-synchronization lookahead: the minimum latency any
+    /// message between two processes can carry, i.e. the widest time
+    /// window a shard can safely dispatch through before a cross-shard
+    /// event could still arrive inside it. Derived from the smaller of
+    /// the LAN and local one-way latencies, floored at one microsecond —
+    /// with a zero-cost model every instant is its own window, which is
+    /// correct but degenerate. Note some kernel-internal completions
+    /// (e.g. an `rsh` against a dead host failing at the caller) carry
+    /// zero latency regardless; the sharded coordinator handles those by
+    /// forwarding ring traffic every dispatch rather than only at
+    /// barriers.
+    pub fn lookahead(&self) -> Duration {
+        self.lan_latency
+            .min(self.local_latency)
+            .max(Duration::from_micros(1))
+    }
+
     /// A zero-latency model, useful for logic-only unit tests where timing
     /// is irrelevant but determinism still matters.
     pub fn zero() -> Self {
@@ -158,5 +175,13 @@ mod tests {
         let c = CostModel::zero();
         assert_eq!(c.lan_latency, Duration::ZERO);
         assert_eq!(c.rsh_connect, Duration::ZERO);
+    }
+
+    #[test]
+    fn lookahead_is_min_latency_floored_at_one_microsecond() {
+        let c = CostModel::default();
+        assert_eq!(c.lookahead(), c.local_latency);
+        assert!(c.lookahead() <= c.lan_latency);
+        assert_eq!(CostModel::zero().lookahead(), Duration::from_micros(1));
     }
 }

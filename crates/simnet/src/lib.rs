@@ -34,6 +34,7 @@ pub mod machine;
 pub mod process;
 pub mod programs;
 pub mod protocol;
+pub mod shard;
 pub mod world;
 
 pub use cost::CostModel;
@@ -42,4 +43,5 @@ pub use factory::{FactoryChain, ProgramFactory, RshPrimeFactory, RshPrimeRequest
 pub use process::{Behavior, ProcEnv, ProcState, RshBinding};
 pub use programs::{BasePrograms, EchoProg, FalseProg, LoopProg, NullProg};
 pub use protocol::{protocol_specs, ECHO_SPEC, HARNESS_SPEC};
+pub use shard::{LaneStats, ShardStats, STALL_BUCKETS};
 pub use world::{EventInfo, EventKind, World, WorldBuilder, WorldOracle, HARNESS};

@@ -1,0 +1,342 @@
+//! The sharded simulation kernel: per-shard event lanes under a
+//! conservative time-window coordinator.
+//!
+//! Machines are partitioned across `N` shards by `machine_id % N`; every
+//! event is owned by the shard of the machine it runs on (harness events
+//! belong to shard 0). Each shard keeps its own [`EventQueue`] lane —
+//! timers, deliveries, and process starts for its machines — and
+//! cross-shard traffic (broker↔daemon and appl↔sub-appl wires, whose
+//! minimum latency is [`CostModel::lookahead`](crate::cost::CostModel))
+//! flows through one [`SpscRing`] per (source, destination) pair.
+//!
+//! A conservative synchronizer advances virtual time in *windows*: when
+//! the globally earliest pending event lies at or past the current
+//! window's end, the window closes at a barrier (per-shard idle counts
+//! are taken, the barrier stall is recorded) and a new window
+//! `[head, head + lookahead)` opens. Events inside a window would be
+//! safe to dispatch concurrently *per shard* as long as the §11
+//! independence relation holds between equal-time dispatches; see below
+//! for why this implementation keeps one coordinator thread.
+//!
+//! ## Determinism contract (and why dispatch stays serialized)
+//!
+//! The serial kernel is the oracle: a sharded run must produce
+//! **byte-identical** traces and equal [`QueueStats`]. Three global
+//! allocators make dispatch order observable — [`ProcId`]s come from a
+//! dense arena in spawn order, span ids and RNG draws
+//! (`Ctx::rng_u64` → the world's one `SimRng`) are handed out in
+//! dispatch order, and queue sequence numbers decide equal-time FIFO
+//! ties. On top of that, behaviors hold `Rc<RefCell<…>>` state and are
+//! not `Send`. So the coordinator dispatches events one at a time in
+//! global `(time, sequence)` order — exactly the serial order — while
+//! the sharded machinery (lanes, rings, windows, per-shard accounting)
+//! exercises the full conservative-window protocol and exposes where
+//! wall-clock parallelism would come from once behaviors become
+//! `Send`-able and id allocation becomes per-shard. DESIGN.md §14 walks
+//! through the protocol and this constraint in detail.
+//!
+//! Sequence numbers are drawn from one engine-global counter at push
+//! time (ring entry time for cross-shard events), so each lane receives
+//! a strictly increasing sequence stream and [`EventQueue::peek_key`]
+//! stays exact on both queue backends.
+//!
+//! Rings are drained at the end of every dispatch rather than only at
+//! barriers: a few kernel-internal completions are *zero-latency* (an
+//! `rsh` against a machine that died mid-operation completes at the
+//! caller "now"), so a cross-shard event can land inside the current
+//! window and must be visible before the next pop. A full ring never
+//! drops — it is drained into the destination lane in place, counted as
+//! `ring_full` back-pressure.
+
+use crate::world::Event;
+use rb_simcore::{Duration, EventQueue, QueueKind, QueueStats, SimTime, SpscRing};
+
+/// Log₂ buckets for the barrier-stall histogram (bucket 0 = zero stall,
+/// bucket `i` covers `[2^(i-1), 2^i)` microseconds, last bucket open).
+pub const STALL_BUCKETS: usize = 16;
+
+/// Per-shard work counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Events this shard dispatched.
+    pub dispatched: u64,
+    /// Closed windows in which this shard dispatched nothing (it would
+    /// have idled at the barrier in a wall-parallel run).
+    pub barrier_waits: u64,
+    /// Times a full outbound ring from this shard forced an inline drain.
+    pub ring_full: u64,
+}
+
+/// Snapshot of the sharded kernel's synchronizer state.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    pub shards: usize,
+    /// Windows opened so far.
+    pub windows: u64,
+    /// The conservative lookahead the windows are derived from.
+    pub lookahead: Duration,
+    pub per_shard: Vec<LaneStats>,
+    /// Histogram of virtual-time gaps between a window's end and the
+    /// next event (log₂ microsecond buckets; bucket 0 = dense, no gap).
+    pub stall_hist: [u64; STALL_BUCKETS],
+}
+
+pub(crate) struct ShardEngine {
+    shards: usize,
+    kind: QueueKind,
+    /// One event lane per shard (same backend kind everywhere).
+    lanes: Vec<EventQueue<Event>>,
+    /// `shards × shards` cross-shard rings, row-major by source shard.
+    /// Diagonal entries exist but stay empty (same-shard pushes go
+    /// straight to the lane).
+    rings: Vec<SpscRing<(SimTime, u64, Event)>>,
+    /// Engine-global sequence allocator shared by all lanes — the global
+    /// `(time, seq)` order equals the serial kernel's push order.
+    next_seq: u64,
+    /// Shard whose event is currently being dispatched; routes its
+    /// outbound pushes through rings until [`end_dispatch`].
+    ///
+    /// [`end_dispatch`]: ShardEngine::end_dispatch
+    current: Option<usize>,
+    window_end: SimTime,
+    lookahead: Duration,
+    windows: u64,
+    /// Dispatches per shard within the open window (barrier accounting).
+    window_dispatched: Vec<u64>,
+    per_shard: Vec<LaneStats>,
+    stall_hist: [u64; STALL_BUCKETS],
+    /// Collect per-barrier stalls for the metrics registry (enabled only
+    /// when the world samples metrics, so unbounded growth is impossible
+    /// on metric-less soak runs).
+    collect_stalls: bool,
+    pending_stalls: Vec<f64>,
+    // Global counters mirroring what a serial queue would report: pushes
+    // and pops happen in exactly the serial order, so these trajectories
+    // (including peak depth) are equal by construction.
+    scheduled: u64,
+    dispatched: u64,
+    depth: usize,
+    peak: usize,
+}
+
+impl ShardEngine {
+    pub(crate) fn new(
+        shards: usize,
+        kind: QueueKind,
+        lookahead: Duration,
+        collect_stalls: bool,
+    ) -> Self {
+        assert!(shards >= 2, "a sharded kernel needs at least two shards");
+        let mut lanes: Vec<EventQueue<Event>> =
+            (0..shards).map(|_| EventQueue::with_kind(kind)).collect();
+        for lane in &mut lanes {
+            lane.reserve(64);
+        }
+        ShardEngine {
+            shards,
+            kind,
+            lanes,
+            rings: (0..shards * shards)
+                .map(|_| SpscRing::with_capacity(64))
+                .collect(),
+            next_seq: 0,
+            current: None,
+            window_end: SimTime::ZERO,
+            lookahead,
+            windows: 0,
+            window_dispatched: vec![0; shards],
+            per_shard: vec![LaneStats::default(); shards],
+            stall_hist: [0; STALL_BUCKETS],
+            collect_stalls,
+            pending_stalls: Vec::new(),
+            scheduled: 0,
+            dispatched: 0,
+            depth: 0,
+            peak: 0,
+        }
+    }
+
+    pub(crate) fn shards(&self) -> usize {
+        self.shards
+    }
+
+    pub(crate) fn kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// Shard whose event is mid-dispatch (trace staging needs it).
+    pub(crate) fn current_shard(&self) -> Option<usize> {
+        self.current
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.depth == 0
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.depth
+    }
+
+    pub(crate) fn stats(&self) -> QueueStats {
+        QueueStats {
+            scheduled: self.scheduled,
+            dispatched: self.dispatched,
+            peak_depth: self.peak,
+            depth: self.depth,
+        }
+    }
+
+    pub(crate) fn shard_stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.shards,
+            windows: self.windows,
+            lookahead: self.lookahead,
+            per_shard: self.per_shard.clone(),
+            stall_hist: self.stall_hist,
+        }
+    }
+
+    /// Barrier stalls (seconds) recorded since the last take; empty
+    /// unless constructed with `collect_stalls`.
+    pub(crate) fn take_pending_stalls(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.pending_stalls)
+    }
+
+    /// Schedule `ev` at `at` on `shard`'s lane. Outside a dispatch the
+    /// event goes straight to the lane; during one, cross-shard events
+    /// travel through the source shard's outbound ring (drained at end
+    /// of dispatch) so the wire protocol is exercised on exactly the
+    /// traffic that would cross threads in a wall-parallel build.
+    pub(crate) fn push(&mut self, at: SimTime, shard: usize, ev: Event) {
+        debug_assert!(shard < self.shards);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.depth += 1;
+        if self.depth > self.peak {
+            self.peak = self.depth;
+        }
+        match self.current {
+            Some(src) if src != shard => {
+                let idx = src * self.shards + shard;
+                if let Err(rejected) = self.rings[idx].push((at, seq, ev)) {
+                    // Full ring: relieve the back-pressure by draining in
+                    // place (the kernel never drops an event), then retry.
+                    self.per_shard[src].ring_full += 1;
+                    Self::drain_ring(&mut self.rings[idx], &mut self.lanes[shard]);
+                    let Ok(()) = self.rings[idx].push(rejected) else {
+                        unreachable!("ring was just drained")
+                    };
+                }
+            }
+            _ => self.lanes[shard].push_seq(at, seq, ev),
+        }
+    }
+
+    fn drain_ring(ring: &mut SpscRing<(SimTime, u64, Event)>, lane: &mut EventQueue<Event>) {
+        while let Some((at, seq, ev)) = ring.pop() {
+            lane.push_seq(at, seq, ev);
+        }
+    }
+
+    /// Finish the in-flight dispatch: flush the dispatching shard's
+    /// outbound rings into their destination lanes and release the
+    /// routing state. Ring entries carry larger sequence numbers than
+    /// anything their destination lane received before this dispatch, so
+    /// the drain preserves each lane's monotone sequence stream.
+    pub(crate) fn end_dispatch(&mut self) {
+        let Some(src) = self.current.take() else {
+            return;
+        };
+        for dst in 0..self.shards {
+            if dst == src {
+                continue;
+            }
+            let idx = src * self.shards + dst;
+            if !self.rings[idx].is_empty() {
+                Self::drain_ring(&mut self.rings[idx], &mut self.lanes[dst]);
+            }
+        }
+    }
+
+    /// Time of the globally earliest pending event.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        debug_assert!(self.rings.iter().all(|r| r.is_empty()));
+        self.lanes
+            .iter()
+            .filter_map(|l| l.peek_key())
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    /// Pop the globally next event — minimum `(time, seq)` across lanes,
+    /// which is exactly the event the serial kernel would pop — advancing
+    /// the safe window (and its barrier accounting) when the head crosses
+    /// the window's end. The caller must [`end_dispatch`] after handling.
+    ///
+    /// [`end_dispatch`]: ShardEngine::end_dispatch
+    pub(crate) fn pop_next(&mut self) -> Option<(SimTime, Event)> {
+        debug_assert!(
+            self.rings.iter().all(|r| r.is_empty()),
+            "pop with undrained rings: end_dispatch was skipped"
+        );
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some((t, seq)) = lane.peek_key() {
+                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
+                    best = Some((t, seq, i));
+                }
+            }
+        }
+        let (t, _, shard) = best?;
+        if t >= self.window_end {
+            self.close_window(t);
+        }
+        let (at, ev) = self.lanes[shard].pop().expect("lane head was peeked");
+        debug_assert_eq!(at, t);
+        self.current = Some(shard);
+        self.per_shard[shard].dispatched += 1;
+        self.window_dispatched[shard] += 1;
+        self.dispatched += 1;
+        self.depth -= 1;
+        Some((at, ev))
+    }
+
+    /// Barrier: account the closing window, open `[head, head+lookahead)`.
+    fn close_window(&mut self, head: SimTime) {
+        if self.windows > 0 {
+            for s in 0..self.shards {
+                if self.window_dispatched[s] == 0 {
+                    self.per_shard[s].barrier_waits += 1;
+                }
+                self.window_dispatched[s] = 0;
+            }
+            let stall = head.saturating_since(self.window_end);
+            let us = stall.as_micros();
+            let bucket = if us == 0 {
+                0
+            } else {
+                ((64 - us.leading_zeros()) as usize).min(STALL_BUCKETS - 1)
+            };
+            self.stall_hist[bucket] += 1;
+            if self.collect_stalls {
+                self.pending_stalls.push(stall.as_secs_f64());
+            }
+        }
+        self.windows += 1;
+        self.window_end = head + self.lookahead;
+    }
+
+    /// Visit every pending event — lane residents plus any in-flight ring
+    /// entries — in unspecified order (fingerprinting, introspection).
+    pub(crate) fn for_each_pending(&self, mut f: impl FnMut(SimTime, u64, &Event)) {
+        for lane in &self.lanes {
+            lane.for_each_pending(&mut f);
+        }
+        for ring in &self.rings {
+            for (at, seq, ev) in ring.iter() {
+                f(*at, *seq, ev);
+            }
+        }
+    }
+}

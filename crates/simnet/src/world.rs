@@ -13,6 +13,7 @@ use crate::ctx::Ctx;
 use crate::factory::{ProgramFactory, RshPrimeFactory, RshPrimeRequest};
 use crate::machine::MachineState;
 use crate::process::{Behavior, ProcEnv, ProcState, RshBinding};
+use crate::shard::{ShardEngine, ShardStats};
 use rb_proto::{
     CommandSpec, ExitStatus, HostSpec, MachineAttrs, MachineId, Payload, ProcId, RshError,
     RshHandle, Signal, TimerToken,
@@ -240,6 +241,7 @@ pub struct WorldBuilder {
     trace_ring: Option<usize>,
     metrics_interval: Option<Duration>,
     scheduler: QueueKind,
+    shards: usize,
     default_remote_binding: RshBinding,
     factory: Option<Box<dyn ProgramFactory>>,
     rsh_prime: Option<Box<dyn RshPrimeFactory>>,
@@ -255,6 +257,7 @@ impl WorldBuilder {
             trace_ring: None,
             metrics_interval: None,
             scheduler: QueueKind::Heap,
+            shards: 1,
             default_remote_binding: RshBinding::Standard,
             factory: None,
             rsh_prime: None,
@@ -314,6 +317,17 @@ impl WorldBuilder {
         self
     }
 
+    /// Partition the machines across `n` event shards under the
+    /// conservative time-window synchronizer (see `crate::shard`).
+    /// `1` (the default) is the plain serial kernel; any other value is
+    /// clamped to the machine count at build time. Every shard count
+    /// replays bit-identically to the serial kernel — sharding changes
+    /// which lane an event waits in, never the dispatch order.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
     /// What `rsh` resolves to in the login environment of `rshd`-spawned
     /// processes: `Broker` models a cluster where `rsh'` replaced the
     /// system-wide `rsh`.
@@ -346,14 +360,27 @@ impl WorldBuilder {
             .iter()
             .map(|m| Arc::from(m.hostname.as_str()))
             .collect();
+        let shards = self.shards.clamp(1, self.machines.len());
         World {
             now: SimTime::ZERO,
-            queue: {
+            kernel: if shards > 1 {
+                Kernel::Sharded(ShardEngine::new(
+                    shards,
+                    self.scheduler,
+                    self.cost.lookahead(),
+                    self.metrics_interval.is_some(),
+                ))
+            } else {
                 let mut q = EventQueue::with_kind(self.scheduler);
                 // Typical clusters keep a few hundred events pending;
                 // skip the first growth reallocations.
                 q.reserve(256);
-                q
+                Kernel::Serial(q)
+            },
+            shard_traces: if shards > 1 && self.trace {
+                (0..shards).map(|_| TraceRecorder::enabled()).collect()
+            } else {
+                Vec::new()
             },
             machines: self.machines.into_iter().map(MachineState::new).collect(),
             hosts,
@@ -393,10 +420,75 @@ impl Default for WorldBuilder {
     }
 }
 
+/// The event-dispatch engine behind a [`World`]: one global queue (the
+/// serial kernel, also the oracle and model-checking backend) or the
+/// sharded conservative-window coordinator (see `crate::shard`). Both
+/// dispatch in identical global `(time, seq)` order.
+enum Kernel {
+    Serial(EventQueue<Event>),
+    Sharded(ShardEngine),
+}
+
+impl Kernel {
+    fn stats(&self) -> rb_simcore::QueueStats {
+        match self {
+            Kernel::Serial(q) => q.stats(),
+            Kernel::Sharded(e) => e.stats(),
+        }
+    }
+
+    fn kind(&self) -> QueueKind {
+        match self {
+            Kernel::Serial(q) => q.kind(),
+            Kernel::Sharded(e) => e.kind(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Kernel::Serial(q) => q.len(),
+            Kernel::Sharded(e) => e.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            Kernel::Serial(q) => q.is_empty(),
+            Kernel::Sharded(e) => e.is_empty(),
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Kernel::Serial(q) => q.peek_time(),
+            Kernel::Sharded(e) => e.peek_time(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            Kernel::Serial(q) => q.pop(),
+            Kernel::Sharded(e) => e.pop_next(),
+        }
+    }
+
+    fn for_each_pending(&self, f: impl FnMut(SimTime, u64, &Event)) {
+        match self {
+            Kernel::Serial(q) => q.for_each_pending(f),
+            Kernel::Sharded(e) => e.for_each_pending(f),
+        }
+    }
+}
+
 /// The simulated network of workstations.
 pub struct World {
     pub(crate) now: SimTime,
-    pub(crate) queue: EventQueue<Event>,
+    kernel: Kernel,
+    /// Per-shard trace staging buffers (empty when serial or untraced):
+    /// during a sharded dispatch the handling shard records into its own
+    /// stream, which is merged into the canonical recorder — in dispatch
+    /// order, hence byte-identical to serial — when the dispatch ends.
+    shard_traces: Vec<TraceRecorder>,
     pub(crate) machines: Vec<MachineState>,
     /// Host-name resolution table, sorted for binary search.
     hosts: Vec<(Box<str>, MachineId)>,
@@ -486,13 +578,32 @@ impl World {
     }
 
     /// Work counters of the kernel's event queue (throughput reporting).
+    /// Sharded kernels report the same trajectory as the serial kernel:
+    /// pushes and pops happen in the identical global order.
     pub fn kernel_stats(&self) -> rb_simcore::QueueStats {
-        self.queue.stats()
+        self.kernel.stats()
     }
 
     /// Which backend the kernel's event queue runs on.
     pub fn scheduler_kind(&self) -> QueueKind {
-        self.queue.kind()
+        self.kernel.kind()
+    }
+
+    /// How many event shards the kernel runs (1 = serial).
+    pub fn shard_count(&self) -> usize {
+        match &self.kernel {
+            Kernel::Serial(_) => 1,
+            Kernel::Sharded(e) => e.shards(),
+        }
+    }
+
+    /// Synchronizer statistics of the sharded kernel: windows, lookahead,
+    /// per-shard dispatch/barrier/ring counters. `None` when serial.
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        match &self.kernel {
+            Kernel::Serial(_) => None,
+            Kernel::Sharded(e) => Some(e.shard_stats()),
+        }
     }
 
     /// Render the trace with a `#` header carrying the queue counters.
@@ -564,7 +675,7 @@ impl World {
         }
         m.next_at = self.now + m.interval;
         m.registry.inc("metrics.samples", "");
-        let stats = self.queue.stats();
+        let stats = self.kernel.stats();
         let mut per_machine = vec![0u32; self.machines.len()];
         let mut alive = 0u32;
         for (_, e) in self.procs.iter() {
@@ -593,6 +704,24 @@ impl World {
             m.registry
                 .observe("machine.procs", &self.host_names[i], *n as f64);
         }
+        if let Kernel::Sharded(engine) = &mut self.kernel {
+            let ss = engine.shard_stats();
+            m.registry.gauge_set("shard.windows", "", ss.windows as f64);
+            for (i, lane) in ss.per_shard.iter().enumerate() {
+                // The engine counts cumulatively; feed the registry the
+                // delta so its counters agree at every sample point.
+                let label = i.to_string();
+                let d = lane.dispatched - m.registry.counter("shard.dispatched", &label);
+                m.registry.add("shard.dispatched", i, d);
+                let b = lane.barrier_waits - m.registry.counter("shard.barrier_waits", &label);
+                m.registry.add("shard.barrier_waits", i, b);
+                let r = lane.ring_full - m.registry.counter("shard.ring_full", &label);
+                m.registry.add("shard.ring_full", i, r);
+            }
+            for stall in engine.take_pending_stalls() {
+                m.registry.observe("shard.barrier_stall", "", stall);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -601,7 +730,15 @@ impl World {
 
     /// Install a schedule oracle; subsequent [`World::step`]s route every
     /// same-time tie through it instead of the FIFO default.
+    ///
+    /// Oracles reorder same-time batches and requeue the rest, which only
+    /// the serial kernel supports — model checking explores interleavings
+    /// the conservative synchronizer exists to avoid.
     pub fn set_schedule_oracle(&mut self, oracle: Box<dyn WorldOracle>) {
+        assert!(
+            matches!(self.kernel, Kernel::Serial(_)),
+            "schedule oracles drive the serial kernel only; build with WorldBuilder::shards(1)"
+        );
         self.oracle = Some(oracle);
     }
 
@@ -675,15 +812,15 @@ impl World {
 
     /// Footprints of every pending event, in unspecified order.
     pub fn pending_event_infos(&self) -> Vec<(SimTime, EventInfo)> {
-        let mut out = Vec::with_capacity(self.queue.len());
-        self.queue
+        let mut out = Vec::with_capacity(self.kernel.len());
+        self.kernel
             .for_each_pending(|at, _, ev| out.push((at, self.event_info(ev))));
         out
     }
 
     /// `true` when no events are pending — nothing can ever happen again.
     pub fn quiescent(&self) -> bool {
-        self.queue.is_empty()
+        self.kernel.is_empty()
     }
 
     /// Alive processes as `(id, behavior name, is system process)`.
@@ -748,7 +885,7 @@ impl World {
             info.hash(&mut eh);
             pending = pending.wrapping_add(eh.finish());
         };
-        self.queue
+        self.kernel
             .for_each_pending(|at, _, ev| add(at, &self.event_info(ev)));
         for (at, info) in extra {
             add(*at, info);
@@ -893,14 +1030,14 @@ impl World {
         env: ProcEnv,
     ) -> ProcId {
         let p = self.insert_proc(machine, behavior, env, None);
-        self.queue.push(self.now, Event::Start(p));
+        self.push_event_at(self.now, Event::Start(p));
         p
     }
 
     /// Schedule a harness action at an absolute time.
     pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.queue.push(at, Event::Harness(Box::new(f)));
+        self.push_event_at(at, Event::Harness(Box::new(f)));
     }
 
     /// Schedule a harness action after a delay.
@@ -910,7 +1047,7 @@ impl World {
 
     /// Inject a message from the harness pseudo-process.
     pub fn send_from_harness(&mut self, to: ProcId, msg: Payload) {
-        self.queue.push(
+        self.push_event_at(
             self.now + self.cost.local_latency,
             Event::Deliver {
                 to,
@@ -922,7 +1059,7 @@ impl World {
 
     /// Deliver a signal from the harness.
     pub fn kill_from_harness(&mut self, to: ProcId, sig: Signal) {
-        self.queue.push(
+        self.push_event_at(
             self.now + self.cost.local_latency,
             Event::SigDeliver { proc: to, sig },
         );
@@ -983,7 +1120,7 @@ impl World {
         let popped = if self.oracle.is_some() {
             self.pop_with_oracle()
         } else {
-            self.queue.pop()
+            self.kernel.pop()
         };
         let Some((at, ev)) = popped else {
             return false;
@@ -993,8 +1130,73 @@ impl World {
         if self.metrics.is_some() {
             self.sample_metrics_if_due();
         }
-        self.handle(ev);
+        self.dispatch_traced(ev);
         true
+    }
+
+    /// Dispatch every event of the next pending instant — the same-time
+    /// batch the serial kernel would pop one by one — as one run, popping
+    /// newly scheduled same-instant events too. One pop-order check and
+    /// one metrics probe cover the whole instant; dispatch order (and so
+    /// every observable) is identical to per-event stepping. Returns
+    /// `false` if the queue is empty.
+    pub fn step_instant(&mut self) -> bool {
+        if self.oracle.is_some() {
+            // Oracles reorder within an instant; defer to per-event steps.
+            return self.step();
+        }
+        let Some((at, ev)) = self.kernel.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now, "event queue went backwards");
+        self.now = at;
+        if self.metrics.is_some() {
+            self.sample_metrics_if_due();
+        }
+        self.dispatch_traced(ev);
+        while self.kernel.peek_time() == Some(at) {
+            let (_, ev) = self.kernel.pop().expect("head peeked at `at`");
+            self.dispatch_traced(ev);
+        }
+        true
+    }
+
+    /// Run `ev`'s handler, staging its trace records per shard when the
+    /// kernel is sharded (merged back in dispatch order — byte-identical
+    /// to direct recording), and complete the dispatch by forwarding any
+    /// cross-shard ring traffic it produced.
+    fn dispatch_traced(&mut self, ev: Event) {
+        let staged = if self.shard_traces.is_empty() {
+            None
+        } else {
+            match &self.kernel {
+                Kernel::Sharded(e) => e.current_shard(),
+                Kernel::Serial(_) => None,
+            }
+        };
+        if let Some(s) = staged {
+            std::mem::swap(&mut self.trace, &mut self.shard_traces[s]);
+            self.handle(ev);
+            std::mem::swap(&mut self.trace, &mut self.shard_traces[s]);
+            let (canon, staging) = (&mut self.trace, &mut self.shard_traces[s]);
+            canon.absorb(staging);
+        } else {
+            self.handle(ev);
+        }
+        if let Kernel::Sharded(e) = &mut self.kernel {
+            e.end_dispatch();
+        }
+    }
+
+    /// The serial kernel's queue; panics on a sharded kernel (callers
+    /// gate on the [`World::set_schedule_oracle`] assert).
+    fn serial_queue_mut(&mut self) -> &mut EventQueue<Event> {
+        match &mut self.kernel {
+            Kernel::Serial(q) => q,
+            Kernel::Sharded(_) => {
+                panic!("schedule oracles drive the serial kernel only; build with WorldBuilder::shards(1)")
+            }
+        }
     }
 
     /// Oracle-guided pop: drain the earliest equal-time batch, let the
@@ -1004,7 +1206,7 @@ impl World {
     /// Singleton batches never consult the oracle, so guidance only costs
     /// anything where a real scheduling choice exists.
     fn pop_with_oracle(&mut self) -> Option<(SimTime, Event)> {
-        let (at, mut batch) = self.queue.pop_front_batch()?;
+        let (at, mut batch) = self.serial_queue_mut().pop_front_batch()?;
         if batch.len() == 1 {
             let (_, ev) = batch.pop().expect("len checked");
             return Some((at, ev));
@@ -1017,20 +1219,23 @@ impl World {
         let mut oracle = self.oracle.take().expect("caller checked");
         let idx = oracle.choose(at, state, &infos).min(batch.len() - 1);
         self.oracle = Some(oracle);
-        let (_, chosen) = batch.remove(idx);
+        // O(1) extraction; the survivors then go back sorted by sequence
+        // number, the order `requeue` needs for backend bit-identity.
+        let (_, chosen) = batch.swap_remove(idx);
+        batch.sort_unstable_by_key(|&(seq, _)| seq);
         for (seq, ev) in batch {
-            self.queue.requeue(at, seq, ev);
+            self.serial_queue_mut().requeue(at, seq, ev);
         }
         Some((at, chosen))
     }
 
     /// Run until virtual time reaches `t` (events at exactly `t` included).
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.queue.peek_time() {
+        while let Some(next) = self.kernel.peek_time() {
             if next > t {
                 break;
             }
-            self.step();
+            self.step_instant();
         }
         if self.now < t {
             self.now = t;
@@ -1046,11 +1251,11 @@ impl World {
     /// Run until the queue drains (only terminates for worlds without
     /// self-rearming timers) or `limit` is reached.
     pub fn run_until_idle(&mut self, limit: SimTime) {
-        while let Some(next) = self.queue.peek_time() {
+        while let Some(next) = self.kernel.peek_time() {
             if next > limit {
                 break;
             }
-            self.step();
+            self.step_instant();
         }
     }
 
@@ -1060,10 +1265,12 @@ impl World {
         if pred(self) {
             return true;
         }
-        while let Some(next) = self.queue.peek_time() {
+        while let Some(next) = self.kernel.peek_time() {
             if next > limit {
                 break;
             }
+            // Per-event stepping: the predicate must observe every state
+            // the serial kernel exposes, including mid-instant ones.
             self.step();
             if pred(self) {
                 return true;
@@ -1239,7 +1446,7 @@ impl World {
         // Parent notification (local, like SIGCHLD).
         if let Some(parent) = parent {
             if self.alive(parent) {
-                self.queue.push(
+                self.push_event_at(
                     self.now + self.cost.local_latency,
                     Event::ChildExit {
                         parent,
@@ -1253,7 +1460,7 @@ impl World {
         if let Some(handle) = waited {
             if let Some(op) = self.rsh_ops.get(handle.0) {
                 let to = op.caller;
-                self.queue.push(
+                self.push_event_at(
                     self.now + self.cost.lan_latency,
                     Event::RshComplete {
                         handle,
@@ -1266,7 +1473,7 @@ impl World {
         // An rsh' shim's exit is its caller's rsh result (the op entry was
         // registered at rsh_begin).
         if let Some((caller, handle)) = prime_for {
-            self.queue.push(
+            self.push_event_at(
                 self.now + self.cost.local_latency,
                 Event::RshComplete {
                     handle,
@@ -1282,7 +1489,7 @@ impl World {
         let cpu = &mut self.machines[m.0 as usize].cpu;
         if let Some(at) = cpu.next_completion(now) {
             let gen = cpu.generation();
-            self.queue.push(at, Event::CpuRecheck { machine: m, gen });
+            self.push_event_at(at, Event::CpuRecheck { machine: m, gen });
         }
     }
 
@@ -1292,8 +1499,47 @@ impl World {
         t
     }
 
+    /// Schedule a kernel event — the single entry point for both kernels.
+    /// Serial pushes go straight to the global queue; sharded pushes are
+    /// routed to the owning machine's lane (cross-shard ones through the
+    /// dispatching shard's outbound ring).
     pub(crate) fn push_event_at(&mut self, at: SimTime, ev: Event) {
-        self.queue.push(at, ev);
+        if let Kernel::Serial(q) = &mut self.kernel {
+            q.push(at, ev);
+            return;
+        }
+        let shards = match &self.kernel {
+            Kernel::Sharded(e) => e.shards(),
+            Kernel::Serial(_) => unreachable!("handled above"),
+        };
+        let shard = self.shard_of(&ev, shards);
+        match &mut self.kernel {
+            Kernel::Sharded(e) => e.push(at, shard, ev),
+            Kernel::Serial(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// Which shard owns an event: the shard of the machine whose state its
+    /// handler runs on, `machine_id % shards`. Harness events (opaque
+    /// closures over the whole world) live on shard 0. Routing affects
+    /// which lane an event waits in — never dispatch order, which is
+    /// globally `(time, seq)` regardless — so an imprecise assignment
+    /// costs locality, not correctness.
+    fn shard_of(&self, ev: &Event, shards: usize) -> usize {
+        let on = |p: ProcId| self.procs.get(p).map(|e| e.machine);
+        let machine = match ev {
+            Event::Start(p) => on(*p),
+            Event::Deliver { to, .. } => on(*to),
+            Event::Timer { proc, .. } => on(*proc),
+            Event::SigDeliver { proc, .. } => on(*proc),
+            Event::CpuRecheck { machine, .. } => Some(*machine),
+            Event::RshAdvance { handle } => self.rsh_ops.get(handle.0).map(|o| o.target),
+            Event::RshComplete { to, .. } => on(*to),
+            Event::ChildExit { parent, .. } => on(*parent),
+            Event::ChildDetach { parent, .. } => on(*parent),
+            Event::Harness(_) => None,
+        };
+        machine.map_or(0, |m| m.0 as usize % shards)
     }
 
     // ------------------------------------------------------------------
@@ -1360,8 +1606,7 @@ impl World {
                 // The shim replaces the rsh client binary, whose fork/exec
                 // cost is already charged inside `rsh_connect` on the
                 // standard path; only the classification overhead is extra.
-                self.queue
-                    .push(self.now + self.cost.rsh_prime_overhead, Event::Start(shim));
+                self.push_event_at(self.now + self.cost.rsh_prime_overhead, Event::Start(shim));
                 handle
             }
             _ => {
@@ -1387,7 +1632,7 @@ impl World {
             world
                 .trace
                 .record(world.now, "rsh.fail", format_args!("{handle} {err}"));
-            world.queue.push(
+            world.push_event_at(
                 world.now + world.cost.rsh_fail,
                 Event::RshComplete {
                     handle,
@@ -1423,7 +1668,7 @@ impl World {
         op.cmd = cmd;
         op.child_env = Some(child_env);
         op.stage = RshStage::Connecting;
-        self.queue.push(
+        self.push_event_at(
             self.now + self.cost.rsh_connect,
             Event::RshAdvance { handle },
         );
@@ -1469,7 +1714,7 @@ impl World {
             let to = op.caller;
             self.rsh_ops.remove(handle.0);
             let host = self.hostname(target).to_string();
-            self.queue.push(
+            self.push_event_at(
                 self.now,
                 Event::RshComplete {
                     handle,
@@ -1485,8 +1730,7 @@ impl World {
             }
             RshStage::Connecting => {
                 self.rsh_ops.get_mut(handle.0).expect("present").stage = RshStage::Forking;
-                self.queue
-                    .push(self.now + self.cost.rshd_fork, Event::RshAdvance { handle });
+                self.push_event_at(self.now + self.cost.rshd_fork, Event::RshAdvance { handle });
             }
             RshStage::Forking => {
                 let (cmd, env, caller) = {
@@ -1499,7 +1743,7 @@ impl World {
                 };
                 let Some(factory) = self.factory.as_ref() else {
                     self.rsh_ops.remove(handle.0);
-                    self.queue.push(
+                    self.push_event_at(
                         self.now,
                         Event::RshComplete {
                             handle,
@@ -1511,7 +1755,7 @@ impl World {
                 };
                 let Some(behavior) = factory.build(&cmd) else {
                     self.rsh_ops.remove(handle.0);
-                    self.queue.push(
+                    self.push_event_at(
                         self.now,
                         Event::RshComplete {
                             handle,
@@ -1532,7 +1776,7 @@ impl World {
                     "rsh.spawned",
                     format_args!("{handle} -> {child} {}", cmd.name()),
                 );
-                self.queue.push(self.now, Event::Start(child));
+                self.push_event_at(self.now, Event::Start(child));
             }
             RshStage::Waiting(_) => {
                 // Completion is driven by the child's detach/exit.
@@ -1553,7 +1797,7 @@ impl World {
         if let Some(handle) = entry.waited_rsh.take() {
             if let Some(op) = self.rsh_ops.get(handle.0) {
                 let to = op.caller;
-                self.queue.push(
+                self.push_event_at(
                     self.now + self.cost.lan_latency,
                     Event::RshComplete {
                         handle,
@@ -1565,7 +1809,7 @@ impl World {
         }
         if let Some(parent) = parent {
             if self.alive(parent) {
-                self.queue.push(
+                self.push_event_at(
                     self.now + self.cost.local_latency,
                     Event::ChildDetach { parent, child: p },
                 );

@@ -37,6 +37,20 @@ pub fn broker_testbed_kind(
     trace: bool,
     scheduler: QueueKind,
 ) -> Cluster {
+    broker_testbed_sharded(publics, seed, policy, trace, scheduler, 1)
+}
+
+/// [`broker_testbed_kind`] with an explicit event-shard count (1 = serial
+/// kernel; every count replays bit-identically — the sharded-equivalence
+/// tests sweep this).
+pub fn broker_testbed_sharded(
+    publics: usize,
+    seed: u64,
+    policy: Box<dyn Policy>,
+    trace: bool,
+    scheduler: QueueKind,
+    shards: usize,
+) -> Cluster {
     let mut machines = vec![MachineAttrs::private_linux("n00", "user")];
     machines.extend((1..=publics).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
     let opts = ClusterOptions {
@@ -45,6 +59,7 @@ pub fn broker_testbed_kind(
         policy,
         trace,
         scheduler,
+        shards,
         ..Default::default()
     };
     let mut c = build_cluster(opts);

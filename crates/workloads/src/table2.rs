@@ -10,11 +10,12 @@
 use crate::drivers::{slot, ExecOutcome, TimedRsh};
 use crate::report::Row;
 use crate::scenarios::{
-    await_calypso_workers, broker_testbed, broker_testbed_obs, submit_endless_calypso, LOOP_MILLIS,
+    await_calypso_workers, broker_testbed, broker_testbed_obs, broker_testbed_sharded,
+    submit_endless_calypso, LOOP_MILLIS,
 };
 use rb_broker::{Cluster, DefaultPolicy, JobRequest, JobRun};
 use rb_proto::CommandSpec;
-use rb_simcore::{SimTime, Summary};
+use rb_simcore::{QueueKind, SimTime, Summary};
 use rb_simnet::ProcEnv;
 
 const LIMIT_OFF: u64 = 600_000_000;
@@ -128,6 +129,51 @@ pub fn prime_with_realloc_traced(
     let trace = c.world.render_trace_with_stats();
     let metrics = c.world.metrics_json().expect("metrics enabled");
     (outcome, trace, metrics)
+}
+
+/// [`prime_with_realloc`] on an explicit queue backend and shard count.
+/// With `trace` on, the second return value is the rendered trace — the
+/// sharded-equivalence tests compare it byte-for-byte across shard
+/// counts; `bench_report` runs this untraced for the `BENCH_parallel`
+/// throughput family.
+pub fn prime_with_realloc_sharded(
+    seed: u64,
+    cmd: CommandSpec,
+    scheduler: QueueKind,
+    shards: usize,
+    trace: bool,
+) -> (RunOutcome, String) {
+    let mut c = broker_testbed_sharded(
+        2,
+        seed,
+        Box::new(DefaultPolicy::default()),
+        trace,
+        scheduler,
+        shards,
+    );
+    submit_endless_calypso(&mut c, 2, 800);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 2, limit);
+    let t0 = c.world.now();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "user".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd,
+            },
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
+    let status = c.await_appl(appl, limit).expect("appl finished");
+    assert!(status.is_success(), "{status}");
+    let outcome = RunOutcome {
+        elapsed_secs: (c.world.now() - t0).as_secs_f64(),
+        queue: c.world.kernel_stats(),
+    };
+    (outcome, c.world.trace().render())
 }
 
 /// The loop command used by Table 2's compute-bound rows.

@@ -7,7 +7,7 @@
 //! mechanisms are efficient and that, in the presence of adaptive
 //! programs, a resource broker can push network utilization above 99 %.
 
-use crate::scenarios::{await_calypso_workers, broker_testbed_kind, submit_endless_calypso};
+use crate::scenarios::{await_calypso_workers, broker_testbed_sharded, submit_endless_calypso};
 use rb_broker::{submit_job, DefaultPolicy, JobRequest, JobRun};
 use rb_proto::CommandSpec;
 use rb_simcore::{Duration, SimRng, SimTime};
@@ -27,6 +27,8 @@ pub struct UtilizationConfig {
     /// Kernel event-queue backend (results are identical; throughput may
     /// differ).
     pub scheduler: rb_simcore::QueueKind,
+    /// Kernel event shards (1 = serial; results are identical).
+    pub shards: usize,
 }
 
 impl Default for UtilizationConfig {
@@ -39,6 +41,7 @@ impl Default for UtilizationConfig {
             hours: 5.0,
             seed: 11,
             scheduler: rb_simcore::QueueKind::default(),
+            shards: 1,
         }
     }
 }
@@ -73,12 +76,13 @@ pub fn run(cfg: &UtilizationConfig) -> UtilizationReport {
 }
 
 fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_simcore::Series) {
-    let mut c = broker_testbed_kind(
+    let mut c = broker_testbed_sharded(
         cfg.machines,
         cfg.seed,
         Box::new(DefaultPolicy::default()),
         false,
         cfg.scheduler,
+        cfg.shards,
     );
     // The adaptive job fills the cluster.
     submit_endless_calypso(&mut c, cfg.machines as u32, 2_000);

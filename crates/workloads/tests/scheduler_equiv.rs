@@ -1,17 +1,34 @@
 //! Scheduler-equivalence guarantees: the heap and timer-wheel event-queue
-//! backends replay the same seed bit-identically, and tracing is a pure
-//! observer (enabling it does not perturb the simulation).
+//! backends replay the same seed bit-identically, tracing is a pure
+//! observer (enabling it does not perturb the simulation), and the
+//! sharded kernel replays byte-identically to the serial one at every
+//! shard count, on both backends.
 
 use rb_broker::DefaultPolicy;
 use rb_simcore::{QueueKind, SimTime};
-use rb_workloads::scenarios::{await_calypso_workers, broker_testbed_kind, submit_endless_calypso};
+use rb_workloads::scenarios::{
+    await_calypso_workers, broker_testbed_sharded, submit_endless_calypso,
+};
 
 /// A busy broker scenario: adaptive job grabs the cluster, then runs on.
 /// Returns the rendered trace (empty when tracing is off), final virtual
 /// time, and the kernel's work counters.
-fn run_scenario(kind: QueueKind, trace: bool) -> (String, u64, rb_simcore::QueueStats) {
-    let mut c = broker_testbed_kind(4, 42, Box::new(DefaultPolicy::default()), trace, kind);
+fn run_scenario_sharded(
+    kind: QueueKind,
+    seed: u64,
+    trace: bool,
+    shards: usize,
+) -> (String, u64, rb_simcore::QueueStats) {
+    let mut c = broker_testbed_sharded(
+        4,
+        seed,
+        Box::new(DefaultPolicy::default()),
+        trace,
+        kind,
+        shards,
+    );
     assert_eq!(c.world.scheduler_kind(), kind);
+    assert_eq!(c.world.shard_count(), shards);
     submit_endless_calypso(&mut c, 4, 500);
     let limit = SimTime(c.world.now().as_micros() + 60_000_000);
     await_calypso_workers(&mut c, 4, limit);
@@ -21,6 +38,10 @@ fn run_scenario(kind: QueueKind, trace: bool) -> (String, u64, rb_simcore::Queue
         c.world.now().as_micros(),
         c.world.kernel_stats(),
     )
+}
+
+fn run_scenario(kind: QueueKind, trace: bool) -> (String, u64, rb_simcore::QueueStats) {
+    run_scenario_sharded(kind, 42, trace, 1)
 }
 
 #[test]
@@ -50,4 +71,107 @@ fn tracing_is_a_pure_observer() {
         assert_eq!(stats_on.scheduled, stats_off.scheduled);
         assert_eq!(stats_on.dispatched, stats_off.dispatched);
     }
+}
+
+/// The tentpole determinism contract: a sharded kernel replays the serial
+/// kernel byte-for-byte — same trace, same clock, same work counters — at
+/// every shard count, on both queue backends, across seeds.
+#[test]
+fn sharded_kernel_is_byte_identical_to_serial() {
+    for kind in [QueueKind::Heap, QueueKind::Wheel] {
+        for seed in [42u64, 9001] {
+            let (serial_trace, serial_now, serial_stats) =
+                run_scenario_sharded(kind, seed, true, 1);
+            assert!(serial_trace.lines().count() > 100);
+            for shards in [2usize, 4] {
+                let (trace, now, stats) = run_scenario_sharded(kind, seed, true, shards);
+                assert_eq!(
+                    serial_trace, trace,
+                    "{kind:?} seed {seed}: shards={shards} diverged from serial"
+                );
+                assert_eq!(serial_now, now, "{kind:?} seed {seed} shards={shards}");
+                assert_eq!(
+                    serial_stats.scheduled, stats.scheduled,
+                    "{kind:?} seed {seed} shards={shards}"
+                );
+                assert_eq!(
+                    serial_stats.dispatched, stats.dispatched,
+                    "{kind:?} seed {seed} shards={shards}"
+                );
+                assert_eq!(
+                    serial_stats.peak_depth, stats.peak_depth,
+                    "{kind:?} seed {seed} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+/// Sharding is also a pure observer of the reallocation scenario (the
+/// Table 2 shape `bench_report` measures): traces and elapsed times agree
+/// across shard counts.
+#[test]
+fn sharded_reallocation_is_byte_identical_to_serial() {
+    use rb_proto::CommandSpec;
+    use rb_workloads::table2::prime_with_realloc_sharded;
+    for kind in [QueueKind::Heap, QueueKind::Wheel] {
+        let (serial_out, serial_trace) =
+            prime_with_realloc_sharded(2024, CommandSpec::Null, kind, 1, true);
+        assert!(serial_trace.lines().count() > 100);
+        for shards in [2usize, 4] {
+            let (out, trace) =
+                prime_with_realloc_sharded(2024, CommandSpec::Null, kind, shards, true);
+            assert_eq!(serial_trace, trace, "{kind:?} shards={shards} diverged");
+            assert_eq!(serial_out.elapsed_secs, out.elapsed_secs);
+            assert_eq!(serial_out.queue.dispatched, out.queue.dispatched);
+            assert_eq!(serial_out.queue.scheduled, out.queue.scheduled);
+        }
+    }
+}
+
+/// The sharded kernel exposes synchronizer statistics: windows derived
+/// from the cost model's lookahead, per-shard dispatch counts summing to
+/// the global count, and every cross-shard forward accounted.
+#[test]
+fn sharded_kernel_reports_synchronizer_stats() {
+    let mut c = broker_testbed_sharded(
+        4,
+        7,
+        Box::new(DefaultPolicy::default()),
+        false,
+        QueueKind::Heap,
+        4,
+    );
+    assert!(c.world.shard_stats().is_some());
+    submit_endless_calypso(&mut c, 4, 500);
+    let limit = SimTime(c.world.now().as_micros() + 30_000_000);
+    c.world.run_until(limit);
+    let ss = c.world.shard_stats().expect("sharded kernel");
+    let stats = c.world.kernel_stats();
+    assert_eq!(ss.shards, 4);
+    assert!(ss.windows > 0, "windows never advanced");
+    assert_eq!(ss.lookahead, c.world.cost().lookahead());
+    let per_shard_total: u64 = ss.per_shard.iter().map(|l| l.dispatched).sum();
+    assert_eq!(per_shard_total, stats.dispatched);
+    assert!(
+        ss.per_shard.iter().filter(|l| l.dispatched > 0).count() > 1,
+        "work never spread beyond one shard"
+    );
+    let hist_total: u64 = ss.stall_hist.iter().sum();
+    assert_eq!(
+        hist_total + 1,
+        ss.windows,
+        "every closed window is histogrammed"
+    );
+    // The serial kernel reports no shard stats.
+    let serial = broker_testbed_sharded(
+        4,
+        7,
+        Box::new(DefaultPolicy::default()),
+        false,
+        QueueKind::Heap,
+        1,
+    );
+    assert!(serial.world.shard_stats().is_none());
+    assert_eq!(serial.world.shard_count(), 1);
 }
