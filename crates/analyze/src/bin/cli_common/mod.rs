@@ -1,0 +1,57 @@
+//! Shared plumbing for the analyze CLIs (`rblint`, `rbcheck`, `rbtrace`,
+//! `rbmodel`, `rbrace`): broken-pipe-safe stdout, the `--format
+//! text|json` convention, and the shared exit protocol (0 clean,
+//! 1 findings, 2 usage or I/O errors).
+//!
+//! Compiled into each binary via `mod cli_common;`; not every binary
+//! uses every helper, hence the module-level dead_code allowance.
+#![allow(dead_code)]
+
+use std::io::Write;
+use std::process::ExitCode;
+
+/// Output format selected by the `--format text|json` flag.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Format {
+    #[default]
+    Text,
+    Json,
+}
+
+impl Format {
+    /// Parse the value following a `--format` flag.
+    pub fn parse(value: Option<&str>) -> Result<Format, String> {
+        match value {
+            Some("text") => Ok(Format::Text),
+            Some("json") => Ok(Format::Json),
+            Some(f) => Err(format!("unknown format {f}")),
+            None => Err("--format needs a value (text|json)".into()),
+        }
+    }
+
+    pub fn is_json(self) -> bool {
+        self == Format::Json
+    }
+}
+
+/// Write `out` to stdout, swallowing broken-pipe (e.g. `tool ... | head`)
+/// instead of panicking like `println!` would.
+pub fn emit(out: &str) {
+    let _ = std::io::stdout().write_all(out.as_bytes());
+}
+
+/// Report a usage error (`tool: msg` plus the usage text, both on
+/// stderr) and produce the conventional exit status 2.
+pub fn usage_error(tool: &str, usage: &str, msg: &str) -> ExitCode {
+    eprintln!("{tool}: {msg}");
+    eprint!("{usage}");
+    ExitCode::from(2)
+}
+
+/// Read a file to a string, mapping I/O errors to the exit-2 convention.
+pub fn read_file(tool: &str, path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("{tool}: {path}: {e}");
+        ExitCode::from(2)
+    })
+}

@@ -13,9 +13,11 @@
 //! I/O errors — the convention shared by `rblint`, `rbmodel`, and
 //! `rbtrace`.
 
+mod cli_common;
+
+use cli_common::{emit, usage_error, Format};
 use rb_analyze::{run_check, CheckConfig};
 use rb_simcore::Json;
-use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: rbcheck [options]
@@ -26,18 +28,6 @@ const USAGE: &str = "usage: rbcheck [options]
   --no-cycles      skip the untimed wait-for cycle check
   --format <f>     text (default) | json
 ";
-
-/// Write `out` to stdout, swallowing broken-pipe (e.g. `rbcheck | head`)
-/// instead of panicking like `println!` would.
-fn emit(out: &str) {
-    let _ = std::io::stdout().write_all(out.as_bytes());
-}
-
-#[derive(PartialEq, Clone, Copy)]
-enum Format {
-    Text,
-    Json,
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,36 +40,19 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--root" => match it.next() {
                 Some(dir) => root = Some(dir.clone()),
-                None => {
-                    eprintln!("rbcheck: --root needs a value");
-                    return ExitCode::from(2);
-                }
+                None => return usage_error("rbcheck", USAGE, "--root needs a value"),
             },
             "--allow-missing" => allow_missing = true,
             "--no-cycles" => include_cycles = false,
-            "--format" => {
-                format = match it.next().map(|s| s.as_str()) {
-                    Some("text") => Format::Text,
-                    Some("json") => Format::Json,
-                    Some(f) => {
-                        eprintln!("rbcheck: unknown format {f}");
-                        return ExitCode::from(2);
-                    }
-                    None => {
-                        eprintln!("rbcheck: --format needs a value");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
+            "--format" => match Format::parse(it.next().map(|s| s.as_str())) {
+                Ok(f) => format = f,
+                Err(e) => return usage_error("rbcheck", USAGE, &e),
+            },
             "--help" | "-h" => {
                 emit(USAGE);
                 return ExitCode::SUCCESS;
             }
-            _ => {
-                eprintln!("rbcheck: unknown argument {a}");
-                eprint!("{USAGE}");
-                return ExitCode::from(2);
-            }
+            _ => return usage_error("rbcheck", USAGE, &format!("unknown argument {a}")),
         }
     }
 
@@ -102,7 +75,7 @@ fn main() -> ExitCode {
         }
     };
 
-    if format == Format::Json {
+    if format.is_json() {
         let doc = Json::obj()
             .set("schema", "rbcheck/v1")
             .set("root", root.display().to_string().as_str())

@@ -10,8 +10,10 @@
 //! reported clearly and exits 0. Exit status is 0 when everything passes,
 //! 1 on violations or graph problems, 2 on usage or I/O errors.
 
+mod cli_common;
+
+use cli_common::{emit, read_file, usage_error, Format};
 use rb_simcore::Json;
-use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: rblint [options] <trace-file>...
@@ -19,18 +21,6 @@ const USAGE: &str = "usage: rblint [options] <trace-file>...
   --rules          list the trace-invariant rule catalogue
   --format <f>     text (default) | json
 ";
-
-/// Write `out` to stdout, swallowing broken-pipe (e.g. `rblint ... | head`)
-/// instead of panicking like `println!` would.
-fn emit(out: &str) {
-    let _ = std::io::stdout().write_all(out.as_bytes());
-}
-
-#[derive(PartialEq, Clone, Copy)]
-enum Format {
-    Text,
-    Json,
-}
 
 fn violation_json(v: &rb_analyze::Violation) -> Json {
     Json::obj()
@@ -64,28 +54,16 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--graph" => want_graph = true,
             "--rules" => want_rules = true,
-            "--format" => {
-                format = match it.next().map(|s| s.as_str()) {
-                    Some("text") => Format::Text,
-                    Some("json") => Format::Json,
-                    Some(f) => {
-                        eprintln!("rblint: unknown format {f}");
-                        return ExitCode::from(2);
-                    }
-                    None => {
-                        eprintln!("rblint: --format needs a value");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
+            "--format" => match Format::parse(it.next().map(|s| s.as_str())) {
+                Ok(f) => format = f,
+                Err(e) => return usage_error("rblint", USAGE, &e),
+            },
             "--help" | "-h" => {
                 emit(USAGE);
                 return ExitCode::SUCCESS;
             }
             _ if a.starts_with('-') => {
-                eprintln!("rblint: unknown flag {a}");
-                eprint!("{USAGE}");
-                return ExitCode::from(2);
+                return usage_error("rblint", USAGE, &format!("unknown flag {a}"));
             }
             f => files.push(f),
         }
@@ -99,7 +77,7 @@ fn main() -> ExitCode {
     let mut doc = Json::obj().set("schema", "rblint/v1");
 
     if want_rules {
-        if format == Format::Json {
+        if format.is_json() {
             doc = doc.set(
                 "rules",
                 Json::Arr(
@@ -127,7 +105,7 @@ fn main() -> ExitCode {
         if !graph_ok {
             failed = true;
         }
-        if format == Format::Json {
+        if format.is_json() {
             let report = rb_analyze::analyze_specs(&rb_analyze::all_specs());
             doc = doc.set(
                 "graph",
@@ -149,12 +127,9 @@ fn main() -> ExitCode {
 
     let mut file_objs: Vec<Json> = Vec::new();
     for f in files {
-        let text = match std::fs::read_to_string(f) {
+        let text = match read_file("rblint", f) {
             Ok(t) => t,
-            Err(e) => {
-                eprintln!("rblint: {f}: {e}");
-                return ExitCode::from(2);
-            }
+            Err(code) => return code,
         };
         // `#` header lines (e.g. the kernel's queue counters written by
         // `World::render_trace_with_stats`) are metadata, not events.
@@ -170,7 +145,7 @@ fn main() -> ExitCode {
         // quantifies over events. Say so explicitly rather than printing a
         // confusing "0 events, clean".
         if events.is_empty() {
-            if format == Format::Text {
+            if !format.is_json() {
                 for line in &headers {
                     emit(&format!("{f}: {line}\n"));
                 }
@@ -194,7 +169,7 @@ fn main() -> ExitCode {
             continue;
         }
         let violations = rb_analyze::lint_events(&events);
-        if format == Format::Json {
+        if format.is_json() {
             file_objs.push(
                 Json::obj()
                     .set("file", f)
@@ -225,7 +200,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if format == Format::Json {
+    if format.is_json() {
         doc = doc.set("ok", !failed).set("files", Json::Arr(file_objs));
         emit(&doc.render());
     }

@@ -16,8 +16,10 @@ use rb_analyze::model::{
     self, explore, parse_schedule, replay, schedule_to_string, ExploreConfig, Mode, ModelReport,
 };
 use rb_simcore::Json;
-use std::io::Write;
 use std::process::ExitCode;
+
+mod cli_common;
+use cli_common::emit;
 
 const USAGE: &str = "usage: rbmodel --scenario <name> [options]
   --scenario <name>     scenario to explore (repeatable; see --list)
@@ -32,10 +34,6 @@ const USAGE: &str = "usage: rbmodel --scenario <name> [options]
   --replay <file>       replay one .sched file instead of exploring
   --list                list known scenarios
 ";
-
-fn emit(out: &str) {
-    let _ = std::io::stdout().write_all(out.as_bytes());
-}
 
 struct Args {
     scenarios: Vec<String>,
@@ -142,21 +140,14 @@ fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(Some(a)) => a,
         Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("rbmodel: {e}");
-            eprint!("{USAGE}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return cli_common::usage_error("rbmodel", USAGE, &e),
     };
 
     // Replay mode: run one explicit schedule, report its failures.
     if let Some(path) = &args.replay {
-        let text = match std::fs::read_to_string(path) {
+        let text = match cli_common::read_file("rbmodel", path) {
             Ok(t) => t,
-            Err(e) => {
-                eprintln!("rbmodel: {path}: {e}");
-                return ExitCode::from(2);
-            }
+            Err(code) => return code,
         };
         let choices = match parse_schedule(&text) {
             Ok(c) => c,

@@ -18,8 +18,10 @@
 //! `chrome://tracing` load directly. Exit status is 0 on success, 1 when
 //! `validate` finds problems, 2 on usage or I/O errors.
 
+mod cli_common;
+
+use cli_common::{emit, read_file, Format};
 use rb_simcore::{Json, SpanForest, TraceEvent};
-use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: rbtrace <command> [options] <file>
@@ -32,22 +34,12 @@ const USAGE: &str = "usage: rbtrace <command> [options] <file>
   validate  <chrome-json>            schema-check an exported document
 ";
 
-/// Write to stdout, swallowing broken-pipe (`rbtrace ... | head`).
-fn emit(out: &str) {
-    let _ = std::io::stdout().write_all(out.as_bytes());
-}
-
 fn usage_error(msg: &str) -> ExitCode {
-    eprintln!("rbtrace: {msg}");
-    eprint!("{USAGE}");
-    ExitCode::from(2)
+    cli_common::usage_error("rbtrace", USAGE, msg)
 }
 
 fn read_events(path: &str) -> Result<Vec<TraceEvent>, ExitCode> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        eprintln!("rbtrace: {path}: {e}");
-        ExitCode::from(2)
-    })?;
+    let text = read_file("rbtrace", path)?;
     rb_simcore::parse_rendered(&text).map_err(|e| {
         eprintln!("rbtrace: {path}: {e}");
         ExitCode::from(2)
@@ -55,10 +47,7 @@ fn read_events(path: &str) -> Result<Vec<TraceEvent>, ExitCode> {
 }
 
 fn read_json(path: &str) -> Result<Json, ExitCode> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        eprintln!("rbtrace: {path}: {e}");
-        ExitCode::from(2)
-    })?;
+    let text = read_file("rbtrace", path)?;
     rb_simcore::json::parse(&text).map_err(|e| {
         eprintln!("rbtrace: {path}: {e}");
         ExitCode::from(2)
@@ -89,15 +78,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "latency" => {
-            let mut json = false;
+            let mut format = Format::Text;
             let mut file = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--format" => match it.next().map(String::as_str) {
-                        Some("text") => json = false,
-                        Some("json") => json = true,
-                        _ => return usage_error("--format needs text|json"),
+                    "--format" => match Format::parse(it.next().map(String::as_str)) {
+                        Ok(f) => format = f,
+                        Err(e) => return usage_error(&e),
                     },
                     f if !f.starts_with('-') => file = Some(f),
                     f => return usage_error(&format!("unknown flag {f}")),
@@ -111,7 +99,7 @@ fn main() -> ExitCode {
                 Err(code) => return code,
             };
             let list = rb_analyze::breakdowns_from_events(&events);
-            if json {
+            if format.is_json() {
                 let doc = Json::obj()
                     .set("schema", "rbtrace-latency/v1")
                     .set("allocations", rb_analyze::obs::breakdowns_json(&list));

@@ -484,7 +484,7 @@ pub fn lint_file(rel: &str, facts: &SourceFacts) -> Vec<Finding> {
 
 /// Recursively collect `.rs` files under `dir`, sorted, skipping `bin/`
 /// directories (CLI mains may print and parse args however they like).
-fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+pub(crate) fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };

@@ -1,0 +1,659 @@
+//! Dynamic happens-before race checking over sharded-kernel traces.
+//!
+//! The sharded kernel (DESIGN.md §14) dispatches serially today, but its
+//! whole point is the wall-parallel build where each lane runs on its own
+//! thread and only synchronizes at window barriers. This module asks the
+//! question that build depends on: *within* a conservative window, is
+//! every pair of dispatches that touches the same state ordered by
+//! happens-before — or is the serial dispatch order hiding a race the
+//! parallel build would hit?
+//!
+//! Input is a trace recorded with [`WorldBuilder::hb_trace`] on: one
+//! `shard.ev` record per dispatch (global sequence number, lane, window
+//! ordinal, cause edge, kernel footprint) and one `shard.window` record
+//! per synchronizer window. From these the checker builds a vector clock
+//! per dispatch — one component per lane — with three kinds of edges:
+//!
+//! * **program order**: consecutive dispatches on the same lane (one
+//!   thread in the parallel build);
+//! * **cause**: an event happens-after the dispatch that scheduled it
+//!   (`cause=<seq>`; the kernel's send→receive edge);
+//! * **barrier**: every dispatch happens-after everything dispatched in
+//!   earlier windows (the conservative synchronizer's guarantee).
+//!
+//! Two same-window dispatches on different lanes with concurrent clocks
+//! are a **race** iff their footprints conflict. The default conflict
+//! relation is *same machine* (machine state — the process table, CPU
+//! shares, disks — is what a lane mutates) or *both harness* (scripted
+//! closures touch arbitrary state). An event's `p=` field is
+//! attribution, not footprint: an `RshAdvance` runs on the *target*
+//! machine's lane on behalf of a caller elsewhere, and the caller only
+//! observes the result through a scheduled completion event that carries
+//! its own cause edge — so same-proc-different-machine pairs are not
+//! conflicts by default. `strict` widens the relation to same-proc,
+//! `other`-overlap, and harness-vs-anything for auditing.
+//!
+//! Two more invariants ride along: no dispatch may lie at or past its
+//! window's end (**window overrun** — the conservative lookahead was
+//! violated), and every `cause=` edge must point at a dispatch present
+//! in the trace (**dangling cause**).
+//!
+//! A clean report licenses exactly this claim: for this trace, handing
+//! each lane to its own thread and running windows concurrently would
+//! have produced the same state, because every conflicting pair was
+//! HB-ordered. It says nothing about other seeds or workloads — which is
+//! why the CI race-check job sweeps the standing scenarios.
+//!
+//! [`WorldBuilder::hb_trace`]: rb_simnet::WorldBuilder::hb_trace
+
+use rb_simcore::{parse_rendered, FxHashMap, Json, TraceEvent};
+
+/// One `shard.ev` record: a dispatch as the happens-before checker
+/// sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HbEvent {
+    /// Virtual time of the dispatch, microseconds.
+    pub at_us: u64,
+    /// Global sequence number (unique; cause edges point at these).
+    pub seq: u64,
+    /// Lane (shard) the event was dispatched on.
+    pub lane: usize,
+    /// Window ordinal (1-based, nondecreasing in trace order).
+    pub window: u64,
+    /// Sequence number of the dispatch that scheduled this event.
+    pub cause: Option<u64>,
+    /// Kernel event kind (`Start`, `Deliver`, `Timer`, … `Harness`).
+    pub kind: String,
+    /// Primary process footprint (attribution, not state ownership).
+    pub proc: Option<u64>,
+    /// Secondary process footprint (sender, child, …).
+    pub other: Option<u64>,
+    /// Machine whose state the dispatch runs against.
+    pub machine: Option<u32>,
+}
+
+impl HbEvent {
+    fn brief(&self) -> String {
+        let opt = |prefix: &str, v: Option<u64>| match v {
+            Some(v) => format!("{prefix}{v}"),
+            None => "-".into(),
+        };
+        format!(
+            "seq={} lane={} k={} p={} m={}",
+            self.seq,
+            self.lane,
+            self.kind,
+            opt("p", self.proc),
+            opt("m", self.machine.map(u64::from)),
+        )
+    }
+}
+
+/// What the checker flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HbKind {
+    /// Same-window, cross-lane, conflicting footprints, concurrent clocks.
+    Race,
+    /// A dispatch at or past its window's end: the conservative lookahead
+    /// was violated and the barrier protocol is unsound for this trace.
+    WindowOverrun,
+    /// A `cause=` edge pointing at a sequence number the trace never
+    /// dispatched (truncated trace or a kernel accounting bug).
+    DanglingCause,
+}
+
+impl HbKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            HbKind::Race => "race",
+            HbKind::WindowOverrun => "window-overrun",
+            HbKind::DanglingCause => "dangling-cause",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct HbFinding {
+    pub kind: HbKind,
+    /// Virtual time (microseconds) the finding anchors to.
+    pub at_us: u64,
+    pub message: String,
+}
+
+impl HbFinding {
+    pub fn render(&self) -> String {
+        format!(
+            "{} T+{:.6}s {}",
+            self.kind.name(),
+            self.at_us as f64 / 1e6,
+            self.message
+        )
+    }
+}
+
+/// Checker knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HbConfig {
+    /// Widen the conflict relation: same-proc pairs, `other`-overlap, and
+    /// harness-vs-anything also conflict. Audit mode — the default
+    /// relation is the one the parallel build's state partition implies.
+    pub strict: bool,
+}
+
+/// Work counters for the report and the metrics registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HbStats {
+    pub events: u64,
+    pub windows: u64,
+    pub lanes: usize,
+    /// Program-order edges (same-lane successor pairs).
+    pub po_edges: u64,
+    /// Cause (scheduled-by) edges resolved.
+    pub cause_edges: u64,
+    /// Window-barrier transitions.
+    pub barrier_edges: u64,
+    /// Same-window cross-lane pairs tested for conflict.
+    pub pairs_checked: u64,
+}
+
+impl HbStats {
+    /// Total happens-before edges contributing to the clocks.
+    pub fn hb_edges(&self) -> u64 {
+        self.po_edges + self.cause_edges + self.barrier_edges
+    }
+}
+
+/// Result of a happens-before check.
+#[derive(Debug, Clone)]
+pub struct HbReport {
+    pub stats: HbStats,
+    pub findings: Vec<HbFinding>,
+    pub strict: bool,
+}
+
+impl HbReport {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    pub fn count(&self, kind: HbKind) -> usize {
+        self.findings.iter().filter(|f| f.kind == kind).count()
+    }
+
+    /// Compact summary object (also embedded in `bench_report`'s
+    /// provenance section).
+    pub fn summary_json(&self) -> Json {
+        Json::obj()
+            .set("events", self.stats.events as f64)
+            .set("windows", self.stats.windows as f64)
+            .set("lanes", self.stats.lanes as f64)
+            .set("hb_edges", self.stats.hb_edges() as f64)
+            .set("pairs_checked", self.stats.pairs_checked as f64)
+            .set("races", self.count(HbKind::Race) as f64)
+            .set("overruns", self.count(HbKind::WindowOverrun) as f64)
+            .set("dangling", self.count(HbKind::DanglingCause) as f64)
+            .set("strict", self.strict)
+            .set("ok", self.is_clean())
+    }
+}
+
+/// Parse the `shard.ev` / `shard.window` records out of trace events.
+/// Returns the dispatches (in trace = dispatch order) and each window's
+/// end time in microseconds.
+pub fn hb_events(events: &[TraceEvent]) -> Result<(Vec<HbEvent>, FxHashMap<u64, u64>), String> {
+    let mut out = Vec::new();
+    let mut window_ends = FxHashMap::default();
+    for e in events {
+        match e.topic.as_str() {
+            "shard.ev" => out.push(parse_ev(e)?),
+            "shard.window" => {
+                let (w, end) = parse_window(&e.detail)?;
+                window_ends.insert(w, end);
+            }
+            _ => {}
+        }
+    }
+    if out.is_empty() {
+        return Err(
+            "no happens-before records (shard.ev) in trace; record one with \
+             WorldBuilder::hb_trace(true) on a sharded world"
+                .into(),
+        );
+    }
+    Ok((out, window_ends))
+}
+
+fn field<'a>(detail: &'a str, key: &str) -> Result<&'a str, String> {
+    detail
+        .split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(key))
+        .ok_or_else(|| format!("shard record missing `{key}`: {detail:?}"))
+}
+
+fn num(s: &str, what: &str) -> Result<u64, String> {
+    s.parse()
+        .map_err(|_| format!("bad {what} in shard record: {s:?}"))
+}
+
+fn opt_id(s: &str, prefix: char) -> Result<Option<u64>, String> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let digits = s.strip_prefix(prefix).unwrap_or(s);
+    num(digits, "id").map(Some)
+}
+
+fn parse_ev(e: &TraceEvent) -> Result<HbEvent, String> {
+    let d = &e.detail;
+    let cause = match field(d, "cause=")? {
+        "-" => None,
+        s => Some(num(s, "cause")?),
+    };
+    Ok(HbEvent {
+        at_us: e.at.as_micros(),
+        seq: num(field(d, "seq=")?, "seq")?,
+        lane: num(field(d, "lane=")?, "lane")? as usize,
+        window: num(field(d, "w=")?, "window")?,
+        cause,
+        kind: field(d, "k=")?.to_string(),
+        proc: opt_id(field(d, "p=")?, 'p')?,
+        other: opt_id(field(d, "o=")?, 'p')?,
+        machine: opt_id(field(d, "m=")?, 'm')?.map(|m| m as u32),
+    })
+}
+
+fn parse_window(detail: &str) -> Result<(u64, u64), String> {
+    let w = detail
+        .split_ascii_whitespace()
+        .next()
+        .and_then(|t| t.strip_prefix('w'))
+        .ok_or_else(|| format!("shard.window missing ordinal: {detail:?}"))?;
+    let end = field(detail, "end=")?
+        .strip_suffix("us")
+        .ok_or_else(|| format!("shard.window end not in us: {detail:?}"))?;
+    Ok((num(w, "window")?, num(end, "end")?))
+}
+
+/// Do two same-window, cross-lane dispatches touch common state? See the
+/// module docs for why `p=` only counts under `strict`.
+fn conflicts(a: &HbEvent, b: &HbEvent, strict: bool) -> bool {
+    if let (Some(x), Some(y)) = (a.machine, b.machine) {
+        if x == y {
+            return true;
+        }
+    }
+    if a.kind == "Harness" && b.kind == "Harness" {
+        return true;
+    }
+    if strict {
+        if a.kind == "Harness" || b.kind == "Harness" {
+            return true;
+        }
+        if [a.proc, a.other]
+            .iter()
+            .flatten()
+            .any(|x| b.proc == Some(*x) || b.other == Some(*x))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+fn join(into: &mut [u64], other: &[u64]) {
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// Run the happens-before check over parsed dispatches.
+pub fn check_events(
+    events: &[HbEvent],
+    window_ends: &FxHashMap<u64, u64>,
+    cfg: &HbConfig,
+) -> HbReport {
+    let lanes = events.iter().map(|e| e.lane + 1).max().unwrap_or(0);
+    let mut stats = HbStats {
+        events: events.len() as u64,
+        lanes,
+        ..HbStats::default()
+    };
+    let mut findings = Vec::new();
+
+    // Clocks: one component per lane. `lane_vc[l]` is the clock of the
+    // lane's latest dispatch (the program-order predecessor), `vc_by_seq`
+    // resolves cause edges, `global_vc` joins everything dispatched so
+    // far and is snapshotted into `barrier_vc` at window transitions —
+    // the conservative barrier's guarantee.
+    let zero = vec![0u64; lanes];
+    let mut lane_vc: Vec<Vec<u64>> = vec![zero.clone(); lanes];
+    let mut lane_seen = vec![false; lanes];
+    let mut vc_by_seq: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+    let mut global_vc = zero.clone();
+    let mut barrier_vc = zero;
+    let mut cur_window = 0u64;
+    // Indices (into `events`) of the open window's dispatches.
+    let mut window_events: Vec<usize> = Vec::new();
+
+    let check_window = |window_events: &[usize],
+                        vc_by_seq: &FxHashMap<u64, Vec<u64>>,
+                        stats: &mut HbStats,
+                        findings: &mut Vec<HbFinding>| {
+        for (i, &ai) in window_events.iter().enumerate() {
+            for &bi in &window_events[i + 1..] {
+                let (a, b) = (&events[ai], &events[bi]);
+                if a.lane == b.lane {
+                    continue; // program order covers same-lane pairs
+                }
+                stats.pairs_checked += 1;
+                if !conflicts(a, b, cfg.strict) {
+                    continue;
+                }
+                // `b` was dispatched after `a`; a ≺ b iff b's clock has
+                // caught up with a's tick on a's lane.
+                let va = vc_by_seq.get(&a.seq).expect("clock recorded");
+                let vb = vc_by_seq.get(&b.seq).expect("clock recorded");
+                if vb[a.lane] < va[a.lane] {
+                    findings.push(HbFinding {
+                        kind: HbKind::Race,
+                        at_us: b.at_us,
+                        message: format!(
+                            "window {}: [{}] and [{}] conflict with concurrent clocks",
+                            a.window,
+                            a.brief(),
+                            b.brief()
+                        ),
+                    });
+                }
+            }
+        }
+    };
+
+    for (i, e) in events.iter().enumerate() {
+        if e.window != cur_window {
+            check_window(&window_events, &vc_by_seq, &mut stats, &mut findings);
+            window_events.clear();
+            barrier_vc.clone_from(&global_vc);
+            cur_window = e.window;
+            stats.windows += 1;
+            if stats.windows > 1 {
+                stats.barrier_edges += 1;
+            }
+        }
+        let mut vc = lane_vc[e.lane].clone();
+        if lane_seen[e.lane] {
+            stats.po_edges += 1;
+        }
+        join(&mut vc, &barrier_vc);
+        if let Some(c) = e.cause {
+            match vc_by_seq.get(&c) {
+                Some(cvc) => {
+                    join(&mut vc, cvc);
+                    stats.cause_edges += 1;
+                }
+                None => findings.push(HbFinding {
+                    kind: HbKind::DanglingCause,
+                    at_us: e.at_us,
+                    message: format!(
+                        "[{}] names cause seq={c}, which the trace never dispatched",
+                        e.brief()
+                    ),
+                }),
+            }
+        }
+        vc[e.lane] += 1;
+        if let Some(&end) = window_ends.get(&e.window) {
+            if e.at_us >= end {
+                findings.push(HbFinding {
+                    kind: HbKind::WindowOverrun,
+                    at_us: e.at_us,
+                    message: format!(
+                        "[{}] dispatched at {}us, at or past window {}'s end {}us",
+                        e.brief(),
+                        e.at_us,
+                        e.window,
+                        end
+                    ),
+                });
+            }
+        }
+        join(&mut global_vc, &vc);
+        lane_vc[e.lane] = vc.clone();
+        lane_seen[e.lane] = true;
+        vc_by_seq.insert(e.seq, vc);
+        window_events.push(i);
+    }
+    check_window(&window_events, &vc_by_seq, &mut stats, &mut findings);
+
+    findings.sort_by_key(|f| f.at_us);
+    HbReport {
+        stats,
+        findings,
+        strict: cfg.strict,
+    }
+}
+
+/// Check a rendered trace dump (`TraceRecorder::render` format, `#`
+/// header lines skipped). Errors when the text parses but carries no
+/// happens-before records.
+pub fn check_trace(rendered: &str, cfg: &HbConfig) -> Result<HbReport, String> {
+    let events = parse_rendered(rendered)?;
+    check_recorded(&events, cfg)
+}
+
+/// Check already-parsed trace events (the in-world post-run path).
+pub fn check_recorded(events: &[TraceEvent], cfg: &HbConfig) -> Result<HbReport, String> {
+    let (evs, window_ends) = hb_events(events)?;
+    Ok(check_events(&evs, &window_ends, cfg))
+}
+
+/// Install the happens-before check as a [`World`] post-run trace
+/// invariant (runs on [`World::run_trace_checks`]). The world must have
+/// been built with `hb_trace(true)` on a sharded kernel — otherwise the
+/// check fails with the missing-records error.
+///
+/// [`World`]: rb_simnet::World
+/// [`World::run_trace_checks`]: rb_simnet::World::run_trace_checks
+pub fn install_hb_check(world: &mut rb_simnet::World, strict: bool) {
+    world.add_trace_check("rbrace-hb", move |rec| {
+        let report = check_recorded(rec.events(), &HbConfig { strict })?;
+        if report.is_clean() {
+            Ok(())
+        } else {
+            Err(report
+                .findings
+                .iter()
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+                .join("; "))
+        }
+    });
+}
+
+/// Export the checker's counters through the metrics registry, next to
+/// the kernel's own `shard.*` gauges.
+pub fn export_hb_metrics(report: &HbReport, reg: &mut rb_simcore::MetricsRegistry) {
+    reg.gauge_set("hb.events", "all", report.stats.events as f64);
+    reg.gauge_set("hb.windows", "all", report.stats.windows as f64);
+    reg.gauge_set("hb.edges", "po", report.stats.po_edges as f64);
+    reg.gauge_set("hb.edges", "cause", report.stats.cause_edges as f64);
+    reg.gauge_set("hb.edges", "barrier", report.stats.barrier_edges as f64);
+    reg.gauge_set("hb.pairs", "checked", report.stats.pairs_checked as f64);
+    for kind in [HbKind::Race, HbKind::WindowOverrun, HbKind::DanglingCause] {
+        reg.gauge_set("hb.findings", kind.name(), report.count(kind) as f64);
+    }
+}
+
+/// Full machine-readable report.
+pub fn report_json(report: &HbReport, source: &str) -> Json {
+    Json::obj()
+        .set("schema", "rbrace-hb/v1")
+        .set("source", source)
+        .set("summary", report.summary_json())
+        .set(
+            "findings",
+            Json::Arr(
+                report
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj()
+                            .set("kind", f.kind.name())
+                            .set("at_us", f.at_us as f64)
+                            .set("message", f.message.as_str())
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Human-readable report.
+pub fn render_report(report: &HbReport) -> String {
+    let s = &report.stats;
+    let mut out = format!(
+        "happens-before: {} events, {} windows, {} lanes, {} edges \
+         ({} po + {} cause + {} barrier), {} cross-lane pairs checked{}\n",
+        s.events,
+        s.windows,
+        s.lanes,
+        s.hb_edges(),
+        s.po_edges,
+        s.cause_edges,
+        s.barrier_edges,
+        s.pairs_checked,
+        if report.strict { " [strict]" } else { "" },
+    );
+    if report.is_clean() {
+        out.push_str("clean: every conflicting same-window pair is HB-ordered\n");
+    } else {
+        for f in &report.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} finding(s): {} race, {} window-overrun, {} dangling-cause\n",
+            report.findings.len(),
+            report.count(HbKind::Race),
+            report.count(HbKind::WindowOverrun),
+            report.count(HbKind::DanglingCause),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(lines: &[&str]) -> Vec<TraceEvent> {
+        parse_rendered(&lines.join("\n")).unwrap()
+    }
+
+    #[test]
+    fn parses_shard_records() {
+        let evs = trace(&[
+            "   T+0.000000s  shard.window w1 end=80us la=80us",
+            "   T+0.000000s  shard.ev seq=0 lane=0 w=1 cause=- k=Start p=p1 o=- m=m0",
+            "   T+0.240000s  shard.ev seq=2 lane=1 w=2 cause=0 k=RshAdvance p=p1 o=- m=m1",
+        ]);
+        let (parsed, ends) = hb_events(&evs).unwrap();
+        assert_eq!(ends.get(&1), Some(&80));
+        assert_eq!(parsed[0].seq, 0);
+        assert_eq!(parsed[0].cause, None);
+        assert_eq!(parsed[1].cause, Some(0));
+        assert_eq!(parsed[1].machine, Some(1));
+        assert_eq!(parsed[1].at_us, 240_000);
+    }
+
+    #[test]
+    fn cause_edge_orders_cross_lane_conflict() {
+        // Same machine on two lanes (a broken partition), but the second
+        // dispatch was scheduled by the first: cause edge, no race.
+        let evs = trace(&[
+            "   T+0.000000s  shard.window w1 end=100us la=100us",
+            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
+            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=0 k=Deliver p=p2 o=p1 m=m0",
+        ]);
+        let (parsed, ends) = hb_events(&evs).unwrap();
+        let report = check_events(&parsed, &ends, &HbConfig::default());
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.stats.cause_edges, 1);
+    }
+
+    #[test]
+    fn concurrent_same_machine_pair_is_a_race() {
+        let evs = trace(&[
+            "   T+0.000000s  shard.window w1 end=100us la=100us",
+            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
+            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=- k=Deliver p=p2 o=p1 m=m0",
+        ]);
+        let (parsed, ends) = hb_events(&evs).unwrap();
+        let report = check_events(&parsed, &ends, &HbConfig::default());
+        assert_eq!(report.count(HbKind::Race), 1, "{:?}", report.findings);
+
+        // Different machines: no conflict, no race.
+        let evs = trace(&[
+            "   T+0.000000s  shard.window w1 end=100us la=100us",
+            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
+            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=- k=Deliver p=p2 o=p1 m=m1",
+        ]);
+        let (parsed, ends) = hb_events(&evs).unwrap();
+        let report = check_events(&parsed, &ends, &HbConfig::default());
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn barrier_orders_across_windows() {
+        // Same machine, different lanes, but separated by a window
+        // barrier: ordered.
+        let evs = trace(&[
+            "   T+0.000000s  shard.window w1 end=100us la=100us",
+            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
+            "   T+0.000100s  shard.window w2 end=200us la=100us",
+            "   T+0.000110s  shard.ev seq=1 lane=1 w=2 cause=- k=Deliver p=p2 o=- m=m0",
+        ]);
+        let (parsed, ends) = hb_events(&evs).unwrap();
+        let report = check_events(&parsed, &ends, &HbConfig::default());
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.stats.windows, 2);
+        assert_eq!(report.stats.barrier_edges, 1);
+    }
+
+    #[test]
+    fn strict_widens_to_same_proc() {
+        // Same proc on two machines/lanes: clean by default (attribution,
+        // not footprint), flagged under strict.
+        let evs = trace(&[
+            "   T+0.000000s  shard.window w1 end=100us la=100us",
+            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=RshAdvance p=p1 o=- m=m0",
+            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=- k=RshAdvance p=p1 o=- m=m1",
+        ]);
+        let (parsed, ends) = hb_events(&evs).unwrap();
+        assert!(check_events(&parsed, &ends, &HbConfig { strict: false }).is_clean());
+        let strict = check_events(&parsed, &ends, &HbConfig { strict: true });
+        assert_eq!(strict.count(HbKind::Race), 1);
+    }
+
+    #[test]
+    fn overrun_and_dangling_cause_are_flagged() {
+        let evs = trace(&[
+            "   T+0.000000s  shard.window w1 end=100us la=100us",
+            "   T+0.000150s  shard.ev seq=0 lane=0 w=1 cause=7 k=Timer p=p1 o=- m=m0",
+        ]);
+        let (parsed, ends) = hb_events(&evs).unwrap();
+        let report = check_events(&parsed, &ends, &HbConfig::default());
+        assert_eq!(report.count(HbKind::WindowOverrun), 1);
+        assert_eq!(report.count(HbKind::DanglingCause), 1);
+    }
+
+    #[test]
+    fn missing_records_is_an_error() {
+        let err = check_trace(
+            "   T+0.000000s  proc.start p1 x on n00\n",
+            &HbConfig::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("no happens-before records"), "{err}");
+    }
+}

@@ -27,9 +27,11 @@
 
 pub mod check;
 pub mod graph;
+pub mod hb;
 pub mod model;
 pub mod obs;
 pub mod rules;
+pub mod sendcheck;
 pub mod srcmodel;
 
 pub use check::{
@@ -42,6 +44,7 @@ pub use obs::{
     utilization, validate_chrome, AllocBreakdown, Utilization,
 };
 pub use rules::{all_rules, lint_events, render_violations, Rule, Violation};
+pub use sendcheck::{run_sendcheck, OwnershipClass, SendConfig, SendReport};
 pub use srcmodel::{scan_source, SourceFacts};
 
 use rb_simcore::TraceRecorder;

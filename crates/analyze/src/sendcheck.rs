@@ -1,0 +1,1183 @@
+//! Static Send-readiness classification for behavior state (DESIGN.md
+//! §15).
+//!
+//! The sharded kernel (DESIGN.md §14) keeps dispatch serialized because
+//! behaviors are `!Send` `Rc<RefCell<…>>` state machines and
+//! ProcId/SpanId/RNG/seq are allocated in global dispatch order. Before
+//! anyone attempts the machine-affine `Send` ownership refactor, this
+//! pass answers the question that refactor hinges on: *which state is
+//! actually safe to move to another thread, and what still pins it?*
+//!
+//! Every field of every `impl Behavior for …` struct in the
+//! broker/parsys/simnet crates is classified into an ownership class:
+//!
+//! - **machine-local** — owned data; moves with its machine's lane for
+//!   free once the struct is `Send`.
+//! - **shard-local** — interior mutability (`RefCell`/`Cell`, `!Sync`),
+//!   `Arc`-shared read-only data, or trait objects needing an explicit
+//!   `Send` bound: moveable as a whole, must not be aliased across
+//!   lanes.
+//! - **cross-shard-shared** — `Rc` anywhere in the type (unsynchronized
+//!   aliasing, `!Send`) or `Arc` over interior mutability (shared
+//!   mutable state): the refactor must replace or confine these.
+//! - **unclassified** — the parser could not resolve the type; asserted
+//!   empty on the shipped tree.
+//!
+//! Type aliases (`type StatusSink = Rc<RefCell<…>>`) and locally defined
+//! struct types are expanded transitively, so an `Rc` hidden two
+//! typedefs deep still classifies as cross-shard-shared. On top of the
+//! classification the pass reports aliasing hazards (the same
+//! `Rc`-bearing type reachable from more than one behavior),
+//! global-order allocation sites (the `Ctx` calls that draw from
+//! engine-global ID/RNG streams), nondeterminism lints (std
+//! `HashMap`/`HashSet`, wall-clock), and a migration-cost ranking of
+//! behaviors so the refactor can start where it is cheapest.
+
+use crate::check::{rs_files_under, CONFORMANCE_CRATES};
+use crate::srcmodel::{lex_shipped, scan_source, LintHit, Tok};
+use rb_simcore::Json;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// Ownership classes, ordered from easiest to hardest to migrate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OwnershipClass {
+    MachineLocal,
+    ShardLocal,
+    CrossShardShared,
+    Unclassified,
+}
+
+impl OwnershipClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            OwnershipClass::MachineLocal => "machine-local",
+            OwnershipClass::ShardLocal => "shard-local",
+            OwnershipClass::CrossShardShared => "cross-shard-shared",
+            OwnershipClass::Unclassified => "unclassified",
+        }
+    }
+}
+
+/// One classified behavior field.
+#[derive(Debug, Clone)]
+pub struct FieldClass {
+    pub behavior: String,
+    pub field: String,
+    pub ty: String,
+    pub file: String,
+    pub line: u32,
+    pub class: OwnershipClass,
+    pub reason: String,
+}
+
+/// Finding categories. Only some block (exit 1 in the CLI): global-order
+/// allocation sites are inherent to the current design and reported as
+/// inventory, not as defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendKind {
+    /// Unallowed cross-shard-shared field.
+    CrossShard,
+    /// The same `Rc`-bearing type is reachable from ≥ 2 behaviors.
+    AliasHazard,
+    /// A `Ctx` call that draws from an engine-global ordered stream.
+    GlobalAlloc,
+    /// Nondeterministic construct (std hashing, wall clock, threads).
+    Nondet,
+    /// Allowlist entry that no longer matches anything.
+    StaleAllow,
+    /// A field the parser could not classify.
+    Unclassified,
+}
+
+impl SendKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SendKind::CrossShard => "cross-shard-shared",
+            SendKind::AliasHazard => "aliasing-hazard",
+            SendKind::GlobalAlloc => "global-order-alloc",
+            SendKind::Nondet => "nondeterminism",
+            SendKind::StaleAllow => "stale-allow",
+            SendKind::Unclassified => "unclassified-field",
+        }
+    }
+
+    /// Does this finding fail the check?
+    pub fn blocking(self) -> bool {
+        !matches!(self, SendKind::GlobalAlloc)
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct SendFinding {
+    pub kind: SendKind,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl SendFinding {
+    pub fn render(&self) -> String {
+        format!(
+            "{} {}:{} {}",
+            self.kind.name(),
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Migration-cost summary for one behavior, for ranking.
+#[derive(Debug, Clone)]
+pub struct BehaviorCost {
+    pub behavior: String,
+    pub file: String,
+    pub cross_shard: usize,
+    pub shard_local: usize,
+    pub machine_local: usize,
+    pub global_allocs: usize,
+    pub nondet: usize,
+    pub cost: u64,
+}
+
+/// Allowlisted cross-shard-shared state: deliberate, documented sharing
+/// the refactor will confine rather than this check flagging it forever.
+pub struct SendAllow {
+    pub file: &'static str,
+    /// `Behavior.field` for field findings.
+    pub context: &'static str,
+    pub why: &'static str,
+}
+
+/// The shipped tree's deliberate cross-shard-shared state.
+pub const SENDCHECK_ALLOW: &[SendAllow] = &[SendAllow {
+    file: "crates/broker/src/tools.rs",
+    context: "RbStat.sink",
+    why: "rbstat's StatusSink is a caller-side mailbox read after the \
+          proc exits; it never crosses a machine boundary, so it rides \
+          on whichever lane spawned it (see the ownership note in \
+          tools.rs)",
+}];
+
+#[derive(Debug, Default)]
+pub struct SendReport {
+    /// Every behavior field, classified. Sorted by (behavior, field).
+    pub fields: Vec<FieldClass>,
+    /// All findings, blocking and informational.
+    pub findings: Vec<SendFinding>,
+    /// Behaviors ranked by descending migration cost.
+    pub ranking: Vec<BehaviorCost>,
+    pub files_scanned: usize,
+}
+
+impl SendReport {
+    pub fn class_count(&self, class: OwnershipClass) -> usize {
+        self.fields.iter().filter(|f| f.class == class).count()
+    }
+
+    pub fn blocking(&self) -> Vec<&SendFinding> {
+        self.findings.iter().filter(|f| f.kind.blocking()).collect()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.blocking().is_empty()
+    }
+
+    /// Summary object shared by the CLI, bench provenance, and metrics.
+    pub fn summary_json(&self) -> Json {
+        let count = |k: SendKind| self.findings.iter().filter(|f| f.kind == k).count() as f64;
+        Json::obj()
+            .set("behaviors", self.ranking.len() as f64)
+            .set("fields", self.fields.len() as f64)
+            .set(
+                "machine_local",
+                self.class_count(OwnershipClass::MachineLocal) as f64,
+            )
+            .set(
+                "shard_local",
+                self.class_count(OwnershipClass::ShardLocal) as f64,
+            )
+            .set(
+                "cross_shard_shared",
+                self.class_count(OwnershipClass::CrossShardShared) as f64,
+            )
+            .set(
+                "unclassified",
+                self.class_count(OwnershipClass::Unclassified) as f64,
+            )
+            .set("global_allocs", count(SendKind::GlobalAlloc))
+            .set("blocking_findings", self.blocking().len() as f64)
+            .set("ok", self.is_clean())
+    }
+}
+
+/// Export the classification summary through the metrics registry, so
+/// bench provenance and dashboards see the same numbers the CLI prints.
+pub fn export_send_metrics(report: &SendReport, reg: &mut rb_simcore::MetricsRegistry) {
+    for class in [
+        OwnershipClass::MachineLocal,
+        OwnershipClass::ShardLocal,
+        OwnershipClass::CrossShardShared,
+        OwnershipClass::Unclassified,
+    ] {
+        reg.gauge_set(
+            "sendcheck.fields",
+            class.name(),
+            report.class_count(class) as f64,
+        );
+    }
+    reg.gauge_set("sendcheck.behaviors", "all", report.ranking.len() as f64);
+    reg.gauge_set(
+        "sendcheck.findings",
+        "blocking",
+        report.blocking().len() as f64,
+    );
+}
+
+pub struct SendConfig {
+    pub root: PathBuf,
+}
+
+impl SendConfig {
+    pub fn new(root: PathBuf) -> Self {
+        SendConfig { root }
+    }
+}
+
+/// `Ctx` methods that consume engine-global ordered streams (DESIGN.md
+/// §14.4): RNG draws, span/timer/proc/rsh-op ID allocation. Each call
+/// site is an ordering dependency the per-lane-stream refactor must
+/// re-seed deterministically.
+const GLOBAL_ALLOC_METHODS: &[&str] = &[
+    "rng_u64",
+    "rng_f64",
+    "open_span",
+    "set_timer",
+    "spawn_local",
+    "spawn_local_with_env",
+    "rsh",
+    "rsh_standard",
+    "rsh_standard_spec",
+    "cpu_burst",
+];
+
+/// Idents that imply interior mutability behind a shared pointer.
+const INTERIOR_MUT: &[&str] = &["Mutex", "RwLock", "RefCell", "Cell"];
+
+#[derive(Debug, Clone)]
+struct FieldDef {
+    name: String,
+    line: u32,
+    /// Every identifier appearing in the type expression.
+    idents: Vec<String>,
+    rendered: String,
+}
+
+#[derive(Debug, Clone)]
+struct StructDef {
+    line: u32,
+    fields: Vec<FieldDef>,
+    /// True when the declaration parsed cleanly end to end.
+    parsed: bool,
+}
+
+#[derive(Debug, Default)]
+struct FileModel {
+    structs: BTreeMap<String, StructDef>,
+    /// alias name → identifiers in its right-hand side.
+    aliases: BTreeMap<String, Vec<String>>,
+    /// behavior type name → `impl Behavior for` line.
+    behaviors: BTreeMap<String, u32>,
+    /// (enclosing impl type or `-`, method, line).
+    allocs: Vec<(String, String, u32)>,
+}
+
+/// Parse one file's token stream into structs, aliases, Behavior impls,
+/// and global-allocation call sites.
+fn parse_file(src: &str) -> FileModel {
+    let toks = lex_shipped(src);
+    let mut m = FileModel::default();
+    let mut depth = 0usize;
+    // (body depth, self type) for every open `impl` block.
+    let mut impl_stack: Vec<(usize, String)> = Vec::new();
+
+    let ident = |i: usize| -> Option<&str> {
+        match toks.get(i) {
+            Some((Tok::Ident(s), _)) => Some(s.as_str()),
+            _ => None,
+        }
+    };
+    let punct = |i: usize, c: char| matches!(toks.get(i), Some((Tok::Punct(p), _)) if *p == c);
+
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].0 {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while impl_stack.last().is_some_and(|(d, _)| *d > depth) {
+                    impl_stack.pop();
+                }
+                i += 1;
+            }
+            Tok::Punct('.') => {
+                // `.method(` where method is a global-order allocator.
+                if let Some(name) = ident(i + 1) {
+                    if GLOBAL_ALLOC_METHODS.contains(&name) && punct(i + 2, '(') {
+                        let owner = impl_stack
+                            .last()
+                            .map_or_else(|| "-".to_string(), |(_, t)| t.clone());
+                        m.allocs.push((owner, name.to_string(), toks[i + 1].1));
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "struct" => {
+                i = parse_struct(&toks, i, &mut m);
+            }
+            Tok::Ident(kw) if kw == "type" => {
+                i = parse_alias(&toks, i, &mut m);
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                // Header: `impl [<…>] Path [for Path] [where …] {`.
+                let line = toks[i].1;
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut idents: Vec<String> = Vec::new();
+                let mut for_at: Option<usize> = None;
+                while j < toks.len() {
+                    match &toks[j].0 {
+                        Tok::Punct('{') if angle == 0 => break,
+                        Tok::Punct(';') if angle == 0 => break, // `impl Trait for X;` (never, but safe)
+                        // `-> T` in an argument-position `impl Trait`
+                        // (`fn new(x: impl Into<String>) -> Self`): the
+                        // `>` is an arrow, not an angle close.
+                        Tok::Punct('-')
+                            if matches!(toks.get(j + 1), Some((Tok::Punct('>'), _))) =>
+                        {
+                            j += 2;
+                            continue;
+                        }
+                        Tok::Punct('<') => angle += 1,
+                        Tok::Punct('>') => angle = (angle - 1).max(0),
+                        Tok::Ident(s) if angle == 0 => {
+                            if s == "for" {
+                                for_at = Some(idents.len());
+                            } else if s == "where" {
+                                // Bounds may mention arbitrary types.
+                                while j < toks.len() && !matches!(toks[j].0, Tok::Punct('{')) {
+                                    j += 1;
+                                }
+                                continue;
+                            } else {
+                                idents.push(s.clone());
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // Self type: last ident of the first path after `for`
+                // (or after the trait-less `impl`). Path segments arrive
+                // consecutively; generics were filtered by angle depth.
+                let start = for_at.unwrap_or(0);
+                let self_ty = idents.get(start).cloned().unwrap_or_default();
+                let is_behavior =
+                    for_at.is_some() && idents[..for_at.unwrap()].iter().any(|s| s == "Behavior");
+                if is_behavior && !self_ty.is_empty() {
+                    m.behaviors.entry(self_ty.clone()).or_insert(line);
+                }
+                if punct(j, '{') {
+                    depth += 1;
+                    if !self_ty.is_empty() {
+                        impl_stack.push((depth, self_ty));
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+    m
+}
+
+/// Collect a type expression starting at `toks[i]` until a `,` or
+/// closing delimiter at nesting depth 0. Returns (idents, rendered,
+/// next index).
+fn collect_type(toks: &[(Tok, u32)], mut i: usize) -> (Vec<String>, String, usize) {
+    let mut idents = Vec::new();
+    let mut rendered = String::new();
+    let mut angle = 0i32;
+    let mut group = 0i32; // ( [ {
+    while i < toks.len() {
+        match &toks[i].0 {
+            Tok::Punct(',') if angle <= 0 && group <= 0 => break,
+            Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') if group <= 0 => break,
+            Tok::Punct(';') if angle <= 0 && group <= 0 => break,
+            Tok::Punct('-') if matches!(toks.get(i + 1), Some((Tok::Punct('>'), _))) => {
+                // `->` in fn-pointer types: not an angle close.
+                rendered.push_str(" -> ");
+                i += 2;
+                continue;
+            }
+            Tok::Punct('<') => {
+                angle += 1;
+                rendered.push('<');
+            }
+            Tok::Punct('>') => {
+                angle -= 1;
+                rendered.push('>');
+            }
+            Tok::Punct(c @ ('(' | '[')) => {
+                group += 1;
+                rendered.push(*c);
+            }
+            Tok::Punct(c @ (')' | ']')) => {
+                group -= 1;
+                rendered.push(*c);
+            }
+            Tok::PathSep => rendered.push_str("::"),
+            Tok::FatArrow => rendered.push_str("=>"),
+            Tok::Ident(s) => {
+                if !rendered.is_empty()
+                    && rendered
+                        .chars()
+                        .last()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    rendered.push(' ');
+                }
+                rendered.push_str(s);
+                idents.push(s.clone());
+            }
+            Tok::Punct(c) => rendered.push(*c),
+        }
+        i += 1;
+    }
+    (idents, rendered, i)
+}
+
+/// Parse `struct Name …` starting at the `struct` keyword; returns the
+/// index to resume at.
+fn parse_struct(toks: &[(Tok, u32)], i: usize, m: &mut FileModel) -> usize {
+    let Some((Tok::Ident(name), line)) = toks.get(i + 1) else {
+        return i + 1;
+    };
+    let name = name.clone();
+    let line = *line;
+    let mut j = i + 2;
+    // Skip generics.
+    if matches!(toks.get(j), Some((Tok::Punct('<'), _))) {
+        let mut angle = 0i32;
+        while j < toks.len() {
+            match toks[j].0 {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                _ => {}
+            }
+            j += 1;
+            if angle == 0 {
+                break;
+            }
+        }
+    }
+    // Skip a `where` clause.
+    if matches!(toks.get(j), Some((Tok::Ident(s), _)) if s == "where") {
+        while j < toks.len()
+            && !matches!(toks[j].0, Tok::Punct('{'))
+            && !matches!(toks[j].0, Tok::Punct(';'))
+        {
+            j += 1;
+        }
+    }
+    let mut def = StructDef {
+        line,
+        fields: Vec::new(),
+        parsed: true,
+    };
+    match toks.get(j).map(|t| &t.0) {
+        Some(Tok::Punct(';')) => j += 1, // unit struct
+        Some(Tok::Punct('(')) => {
+            // Tuple struct: positional field names.
+            j += 1;
+            let mut idx = 0usize;
+            loop {
+                // Skip attributes and visibility.
+                j = skip_field_prefix(toks, j);
+                if matches!(toks.get(j), Some((Tok::Punct(')'), _))) {
+                    break;
+                }
+                if j >= toks.len() {
+                    def.parsed = false;
+                    break;
+                }
+                let fline = toks[j].1;
+                let (idents, rendered, nj) = collect_type(toks, j);
+                if idents.is_empty() && rendered.is_empty() {
+                    def.parsed = false;
+                    break;
+                }
+                def.fields.push(FieldDef {
+                    name: idx.to_string(),
+                    line: fline,
+                    idents,
+                    rendered,
+                });
+                idx += 1;
+                j = nj;
+                if matches!(toks.get(j), Some((Tok::Punct(','), _))) {
+                    j += 1;
+                }
+                if matches!(toks.get(j), Some((Tok::Punct(')'), _))) {
+                    break;
+                }
+            }
+        }
+        Some(Tok::Punct('{')) => {
+            j += 1;
+            loop {
+                j = skip_field_prefix(toks, j);
+                if j >= toks.len() || matches!(toks.get(j), Some((Tok::Punct('}'), _))) {
+                    break;
+                }
+                let Some((Tok::Ident(fname), fline)) = toks.get(j) else {
+                    def.parsed = false;
+                    break;
+                };
+                if !matches!(toks.get(j + 1), Some((Tok::Punct(':'), _))) {
+                    def.parsed = false;
+                    break;
+                }
+                let (fname, fline) = (fname.clone(), *fline);
+                let (idents, rendered, nj) = collect_type(toks, j + 2);
+                def.fields.push(FieldDef {
+                    name: fname,
+                    line: fline,
+                    idents,
+                    rendered,
+                });
+                j = nj;
+                if matches!(toks.get(j), Some((Tok::Punct(','), _))) {
+                    j += 1;
+                }
+            }
+        }
+        _ => def.parsed = false,
+    }
+    m.structs.insert(name, def);
+    j
+}
+
+/// Skip `#[…]` attributes and `pub`/`pub(crate)` visibility before a
+/// field.
+fn skip_field_prefix(toks: &[(Tok, u32)], mut j: usize) -> usize {
+    loop {
+        match toks.get(j).map(|t| &t.0) {
+            Some(Tok::Punct('#')) if matches!(toks.get(j + 1), Some((Tok::Punct('['), _))) => {
+                let mut depth = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    match toks[j].0 {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => depth -= 1,
+                        _ => {}
+                    }
+                    j += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            Some(Tok::Ident(s)) if s == "pub" => {
+                j += 1;
+                if matches!(toks.get(j), Some((Tok::Punct('('), _))) {
+                    let mut depth = 0i32;
+                    while j < toks.len() {
+                        match toks[j].0 {
+                            Tok::Punct('(') => depth += 1,
+                            Tok::Punct(')') => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+            }
+            _ => return j,
+        }
+    }
+}
+
+/// Parse `type Name = …;` starting at the `type` keyword.
+fn parse_alias(toks: &[(Tok, u32)], i: usize, m: &mut FileModel) -> usize {
+    let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.0) else {
+        return i + 1;
+    };
+    let name = name.clone();
+    let mut j = i + 2;
+    // Skip generics, find `=` (associated `type X;` declarations stop
+    // at `;` and record nothing).
+    while j < toks.len() {
+        match toks[j].0 {
+            Tok::Punct('=') => break,
+            Tok::Punct(';') | Tok::Punct('{') => return j,
+            _ => j += 1,
+        }
+    }
+    let (idents, _rendered, nj) = collect_type(toks, j + 1);
+    if !idents.is_empty() {
+        m.aliases.insert(name, idents);
+    }
+    nj
+}
+
+/// Transitively expand a type's identifier set through local aliases and
+/// struct definitions.
+fn expand_idents(
+    idents: &[String],
+    aliases: &BTreeMap<String, Vec<String>>,
+    structs: &BTreeMap<String, StructDef>,
+    out: &mut BTreeSet<String>,
+    visited: &mut BTreeSet<String>,
+) {
+    for id in idents {
+        out.insert(id.clone());
+        if !visited.insert(id.clone()) {
+            continue;
+        }
+        if let Some(rhs) = aliases.get(id) {
+            expand_idents(rhs, aliases, structs, out, visited);
+        }
+        if let Some(def) = structs.get(id) {
+            for f in &def.fields {
+                expand_idents(&f.idents, aliases, structs, out, visited);
+            }
+        }
+    }
+}
+
+fn classify(expanded: &BTreeSet<String>) -> (OwnershipClass, String) {
+    let has = |s: &str| expanded.contains(s);
+    let atomic = expanded.iter().any(|s| s.starts_with("Atomic"));
+    if has("Rc") || has("Weak") {
+        (
+            OwnershipClass::CrossShardShared,
+            "Rc: unsynchronized aliasing, !Send".into(),
+        )
+    } else if has("Arc") && (atomic || INTERIOR_MUT.iter().any(|t| has(t))) {
+        (
+            OwnershipClass::CrossShardShared,
+            "Arc over interior mutability: shared mutable state".into(),
+        )
+    } else if INTERIOR_MUT.iter().any(|t| has(t)) {
+        (
+            OwnershipClass::ShardLocal,
+            "interior mutability (!Sync): moveable whole, must not alias".into(),
+        )
+    } else if has("Arc") {
+        (
+            OwnershipClass::ShardLocal,
+            "Arc-shared: Send iff pointee is Sync".into(),
+        )
+    } else if has("dyn") {
+        (
+            OwnershipClass::ShardLocal,
+            "trait object: needs an explicit Send bound".into(),
+        )
+    } else if expanded.is_empty() {
+        (OwnershipClass::Unclassified, "empty type expression".into())
+    } else {
+        (
+            OwnershipClass::MachineLocal,
+            "owned data: moves with its machine".into(),
+        )
+    }
+}
+
+/// Run the Send-readiness pass over `crates/{broker,parsys,simnet}/src`
+/// under `cfg.root`.
+pub fn run_sendcheck(cfg: &SendConfig) -> Result<SendReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for c in CONFORMANCE_CRATES {
+        let dir = cfg.root.join("crates").join(c).join("src");
+        if dir.is_dir() {
+            rs_files_under(&dir, &mut files);
+        }
+    }
+    if files.is_empty() {
+        return Err(format!(
+            "no sources under {} (expected crates/{{{}}}/src)",
+            cfg.root.display(),
+            CONFORMANCE_CRATES.join(",")
+        ));
+    }
+
+    // Parse everything, merging alias/struct namespaces across files so
+    // cross-file type references resolve.
+    let mut aliases: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut structs: BTreeMap<String, StructDef> = BTreeMap::new();
+    // type name → defining file (repo-relative).
+    let mut struct_file: BTreeMap<String, String> = BTreeMap::new();
+    // behavior name → (file, line).
+    let mut behaviors: BTreeMap<String, (String, u32)> = BTreeMap::new();
+    // file → allocation sites; file → nondet lint hits.
+    let mut allocs: BTreeMap<String, Vec<(String, String, u32)>> = BTreeMap::new();
+    let mut nondet: BTreeMap<String, Vec<(LintHit, u32)>> = BTreeMap::new();
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(&cfg.root)
+            .unwrap_or(path)
+            .display()
+            .to_string()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let model = parse_file(&src);
+        for (name, rhs) in model.aliases {
+            aliases.insert(name, rhs);
+        }
+        for (name, def) in model.structs {
+            struct_file.insert(name.clone(), rel.clone());
+            structs.insert(name, def);
+        }
+        for (name, line) in model.behaviors {
+            behaviors.entry(name).or_insert((rel.clone(), line));
+        }
+        if !model.allocs.is_empty() {
+            allocs.insert(rel.clone(), model.allocs);
+        }
+        let hits: Vec<(LintHit, u32)> = scan_source(&src)
+            .lint_hits
+            .into_iter()
+            .filter(|(h, _)| {
+                matches!(
+                    h,
+                    LintHit::StdHash | LintHit::WallClock | LintHit::ThreadSpawn
+                )
+            })
+            .collect();
+        if !hits.is_empty() {
+            nondet.insert(rel.clone(), hits);
+        }
+    }
+
+    let mut report = SendReport {
+        files_scanned: files.len(),
+        ..SendReport::default()
+    };
+    let mut allow_used = vec![false; SENDCHECK_ALLOW.len()];
+    let mut scanned_allow_files: BTreeSet<&str> = BTreeSet::new();
+    for a in SENDCHECK_ALLOW {
+        if files.iter().any(|p| {
+            p.strip_prefix(&cfg.root)
+                .map(|r| r.display().to_string().replace('\\', "/") == a.file)
+                .unwrap_or(false)
+        }) {
+            scanned_allow_files.insert(a.file);
+        }
+    }
+
+    // Rc-bearing rendered type → behaviors reaching it (alias hazard).
+    let mut rc_reach: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+
+    for (behavior, (file, impl_line)) in &behaviors {
+        let Some(def) = structs.get(behavior) else {
+            report.findings.push(SendFinding {
+                kind: SendKind::Unclassified,
+                file: file.clone(),
+                line: *impl_line,
+                message: format!(
+                    "behavior {behavior}: struct definition not found in scanned sources"
+                ),
+            });
+            continue;
+        };
+        let sfile = struct_file.get(behavior).cloned().unwrap_or(file.clone());
+        if !def.parsed {
+            report.findings.push(SendFinding {
+                kind: SendKind::Unclassified,
+                file: sfile.clone(),
+                line: def.line,
+                message: format!("behavior {behavior}: struct declaration did not parse cleanly"),
+            });
+        }
+        for f in &def.fields {
+            let mut expanded = BTreeSet::new();
+            let mut visited = BTreeSet::new();
+            expand_idents(&f.idents, &aliases, &structs, &mut expanded, &mut visited);
+            let (class, reason) = classify(&expanded);
+            report.fields.push(FieldClass {
+                behavior: behavior.clone(),
+                field: f.name.clone(),
+                ty: f.rendered.clone(),
+                file: sfile.clone(),
+                line: f.line,
+                class,
+                reason: reason.clone(),
+            });
+            match class {
+                OwnershipClass::CrossShardShared => {
+                    rc_reach
+                        .entry(f.rendered.clone())
+                        .or_default()
+                        .insert(behavior.clone());
+                    let ctx = format!("{behavior}.{}", f.name);
+                    let allowed = SENDCHECK_ALLOW
+                        .iter()
+                        .enumerate()
+                        .find(|(_, a)| a.file == sfile && a.context == ctx);
+                    if let Some((idx, _)) = allowed {
+                        allow_used[idx] = true;
+                    } else {
+                        report.findings.push(SendFinding {
+                            kind: SendKind::CrossShard,
+                            file: sfile.clone(),
+                            line: f.line,
+                            message: format!("{ctx}: {} ({reason})", f.rendered),
+                        });
+                    }
+                }
+                OwnershipClass::Unclassified => {
+                    report.findings.push(SendFinding {
+                        kind: SendKind::Unclassified,
+                        file: sfile.clone(),
+                        line: f.line,
+                        message: format!("{behavior}.{}: unparseable type", f.name),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Aliasing hazards: the same Rc-bearing type reachable from ≥ 2
+    // behaviors means unsynchronized state could span machines.
+    for (ty, who) in &rc_reach {
+        if who.len() >= 2 {
+            let names: Vec<&str> = who.iter().map(String::as_str).collect();
+            let first = names[0].to_string();
+            let (file, line) = behaviors
+                .get(&first)
+                .cloned()
+                .unwrap_or_else(|| (String::new(), 0));
+            report.findings.push(SendFinding {
+                kind: SendKind::AliasHazard,
+                file,
+                line,
+                message: format!(
+                    "`{ty}` reachable from {} behaviors: {}",
+                    who.len(),
+                    names.join(", ")
+                ),
+            });
+        }
+    }
+
+    // Global-order allocation sites (informational inventory).
+    for (file, sites) in &allocs {
+        for (owner, method, line) in sites {
+            report.findings.push(SendFinding {
+                kind: SendKind::GlobalAlloc,
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "{}ctx.{method}() draws from an engine-global ordered stream",
+                    if owner == "-" {
+                        String::new()
+                    } else {
+                        format!("{owner}: ")
+                    }
+                ),
+            });
+        }
+    }
+
+    // Nondeterminism lints.
+    for (file, hits) in &nondet {
+        for (hit, line) in hits {
+            let what = match hit {
+                LintHit::StdHash => "std HashMap/HashSet: nondeterministic iteration order",
+                LintHit::WallClock => "wall-clock time in simulation code",
+                LintHit::ThreadSpawn => "ambient thread: escapes the deterministic scheduler",
+                LintHit::Println => continue,
+            };
+            report.findings.push(SendFinding {
+                kind: SendKind::Nondet,
+                file: file.clone(),
+                line: *line,
+                message: what.into(),
+            });
+        }
+    }
+
+    // Stale allowlist entries: the file was scanned but nothing matched.
+    for (idx, a) in SENDCHECK_ALLOW.iter().enumerate() {
+        if !allow_used[idx] && scanned_allow_files.contains(a.file) {
+            report.findings.push(SendFinding {
+                kind: SendKind::StaleAllow,
+                file: a.file.to_string(),
+                line: 0,
+                message: format!(
+                    "allow entry `{}` matched nothing — remove it ({})",
+                    a.context, a.why
+                ),
+            });
+        }
+    }
+
+    // Migration-cost ranking.
+    for (behavior, (file, _)) in &behaviors {
+        let mine = |class: OwnershipClass| {
+            report
+                .fields
+                .iter()
+                .filter(|f| &f.behavior == behavior && f.class == class)
+                .count()
+        };
+        let cross = mine(OwnershipClass::CrossShardShared);
+        let shard = mine(OwnershipClass::ShardLocal);
+        let machine = mine(OwnershipClass::MachineLocal);
+        let sfile = struct_file.get(behavior).unwrap_or(file);
+        let ga = allocs
+            .get(sfile)
+            .map(|v| v.iter().filter(|(o, _, _)| o == behavior).count())
+            .unwrap_or(0);
+        let nd = nondet.get(sfile).map(Vec::len).unwrap_or(0);
+        report.ranking.push(BehaviorCost {
+            behavior: behavior.clone(),
+            file: sfile.clone(),
+            cross_shard: cross,
+            shard_local: shard,
+            machine_local: machine,
+            global_allocs: ga,
+            nondet: nd,
+            cost: 10 * cross as u64 + 3 * shard as u64 + ga as u64 + 5 * nd as u64,
+        });
+    }
+    report
+        .ranking
+        .sort_by(|a, b| b.cost.cmp(&a.cost).then(a.behavior.cmp(&b.behavior)));
+    report.fields.sort_by(|a, b| {
+        a.behavior
+            .cmp(&b.behavior)
+            .then(a.line.cmp(&b.line))
+            .then(a.field.cmp(&b.field))
+    });
+    report.findings.sort_by(|a, b| {
+        a.kind
+            .name()
+            .cmp(b.kind.name())
+            .then(a.file.cmp(&b.file))
+            .then(a.line.cmp(&b.line))
+    });
+    Ok(report)
+}
+
+/// Machine-readable migration report (`rbrace static --format json`).
+pub fn report_json(report: &SendReport, root: &std::path::Path) -> Json {
+    Json::obj()
+        .set("schema", "rbrace-static/v1")
+        .set("root", root.display().to_string().as_str())
+        .set("summary", report.summary_json())
+        .set(
+            "fields",
+            Json::Arr(
+                report
+                    .fields
+                    .iter()
+                    .map(|f| {
+                        Json::obj()
+                            .set("behavior", f.behavior.as_str())
+                            .set("field", f.field.as_str())
+                            .set("type", f.ty.as_str())
+                            .set("file", f.file.as_str())
+                            .set("line", f.line as f64)
+                            .set("class", f.class.name())
+                            .set("reason", f.reason.as_str())
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "findings",
+            Json::Arr(
+                report
+                    .findings
+                    .iter()
+                    .map(|f| {
+                        Json::obj()
+                            .set("kind", f.kind.name())
+                            .set("blocking", f.kind.blocking())
+                            .set("file", f.file.as_str())
+                            .set("line", f.line as f64)
+                            .set("message", f.message.as_str())
+                    })
+                    .collect(),
+            ),
+        )
+        .set(
+            "ranking",
+            Json::Arr(
+                report
+                    .ranking
+                    .iter()
+                    .map(|b| {
+                        Json::obj()
+                            .set("behavior", b.behavior.as_str())
+                            .set("file", b.file.as_str())
+                            .set("cost", b.cost as f64)
+                            .set("cross_shard", b.cross_shard as f64)
+                            .set("shard_local", b.shard_local as f64)
+                            .set("machine_local", b.machine_local as f64)
+                            .set("global_allocs", b.global_allocs as f64)
+                            .set("nondet", b.nondet as f64)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// Human-readable migration report (`rbrace static`).
+pub fn render_report(report: &SendReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sendcheck: {} behaviors, {} fields ({} machine-local, {} shard-local, {} cross-shard-shared, {} unclassified) across {} files\n",
+        report.ranking.len(),
+        report.fields.len(),
+        report.class_count(OwnershipClass::MachineLocal),
+        report.class_count(OwnershipClass::ShardLocal),
+        report.class_count(OwnershipClass::CrossShardShared),
+        report.class_count(OwnershipClass::Unclassified),
+        report.files_scanned,
+    ));
+    out.push_str("migration ranking (descending cost = 10·cross + 3·shard + allocs + 5·nondet):\n");
+    for b in &report.ranking {
+        out.push_str(&format!(
+            "  {:>5}  {:<16} cross={} shard={} machine={} allocs={} nondet={}  {}\n",
+            b.cost,
+            b.behavior,
+            b.cross_shard,
+            b.shard_local,
+            b.machine_local,
+            b.global_allocs,
+            b.nondet,
+            b.file,
+        ));
+    }
+    let blocking = report.blocking();
+    if blocking.is_empty() {
+        out.push_str("no blocking findings\n");
+    } else {
+        out.push_str(&format!("{} blocking finding(s):\n", blocking.len()));
+        for f in blocking {
+            out.push_str(&format!("  {}\n", f.render()));
+        }
+    }
+    let info = report
+        .findings
+        .iter()
+        .filter(|f| !f.kind.blocking())
+        .count();
+    if info > 0 {
+        out.push_str(&format!(
+            "{info} global-order allocation site(s) (informational; see DESIGN.md §14.4)\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(src: &str) -> FileModel {
+        parse_file(src)
+    }
+
+    #[test]
+    fn structs_aliases_and_behaviors_parse() {
+        let src = r#"
+            pub type Sink = Rc<RefCell<Vec<u64>>>;
+            pub struct A { pub sink: Sink, count: u64 }
+            struct B(u32, Box<dyn Policy>);
+            impl Behavior for A { fn on_start(&mut self, ctx: &mut Ctx<'_>) { ctx.set_timer(d); } }
+            impl B { fn helper(&self) {} }
+        "#;
+        let m = model(src);
+        assert_eq!(m.aliases["Sink"], vec!["Rc", "RefCell", "Vec", "u64"]);
+        assert_eq!(m.structs["A"].fields.len(), 2);
+        assert_eq!(m.structs["B"].fields.len(), 2);
+        assert_eq!(
+            m.structs["B"].fields[1].idents,
+            vec!["Box", "dyn", "Policy"]
+        );
+        assert!(m.behaviors.contains_key("A"));
+        assert!(!m.behaviors.contains_key("B"));
+        assert_eq!(m.allocs, vec![("A".into(), "set_timer".into(), 5)]);
+    }
+
+    #[test]
+    fn classification_rules() {
+        let class = |idents: &[&str]| {
+            let set: BTreeSet<String> = idents.iter().map(|s| s.to_string()).collect();
+            classify(&set).0
+        };
+        assert_eq!(class(&["Rc", "RefCell"]), OwnershipClass::CrossShardShared);
+        assert_eq!(class(&["Arc", "Mutex"]), OwnershipClass::CrossShardShared);
+        assert_eq!(
+            class(&["Arc", "AtomicU64"]),
+            OwnershipClass::CrossShardShared
+        );
+        assert_eq!(class(&["RefCell", "Vec"]), OwnershipClass::ShardLocal);
+        assert_eq!(class(&["Arc", "str"]), OwnershipClass::ShardLocal);
+        assert_eq!(class(&["Box", "dyn", "Policy"]), OwnershipClass::ShardLocal);
+        assert_eq!(class(&["Vec", "String"]), OwnershipClass::MachineLocal);
+        assert_eq!(class(&[]), OwnershipClass::Unclassified);
+    }
+
+    #[test]
+    fn alias_expansion_is_transitive() {
+        let src = r#"
+            type Inner = Rc<Thing>;
+            type Outer = Option<Inner>;
+            struct S { x: Outer }
+            impl Behavior for S {}
+        "#;
+        let m = model(src);
+        let mut out = BTreeSet::new();
+        let mut visited = BTreeSet::new();
+        expand_idents(
+            &m.structs["S"].fields[0].idents,
+            &m.aliases,
+            &m.structs,
+            &mut out,
+            &mut visited,
+        );
+        assert!(out.contains("Rc"));
+        assert_eq!(classify(&out).0, OwnershipClass::CrossShardShared);
+    }
+
+    #[test]
+    fn cfg_test_structs_are_invisible() {
+        let src = r#"
+            struct Real { n: u64 }
+            impl Behavior for Real {}
+            #[cfg(test)]
+            mod tests {
+                struct Fake { r: Rc<u8> }
+                impl Behavior for Fake {}
+            }
+        "#;
+        let m = model(src);
+        assert!(m.structs.contains_key("Real"));
+        assert!(!m.structs.contains_key("Fake"));
+        assert!(!m.behaviors.contains_key("Fake"));
+    }
+}

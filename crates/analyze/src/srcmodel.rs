@@ -61,7 +61,10 @@ pub struct SourceFacts {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
+    /// An identifier or keyword. Raw identifiers keep their `r#` prefix
+    /// (`r#match` lexes as one `Ident("r#match")`) so keyword-driven
+    /// state machines never mistake them for the keyword.
     Ident(String),
     /// `::`
     PathSep,
@@ -74,7 +77,7 @@ enum Tok {
 /// Lex `src` into tokens with line numbers, skipping whitespace, line and
 /// (nested) block comments, string/char/byte literals, lifetimes, and
 /// numeric literals. Numbers are dropped entirely — no lint keys off them.
-fn lex(src: &str) -> Vec<(Tok, u32)> {
+pub(crate) fn lex(src: &str) -> Vec<(Tok, u32)> {
     let b = src.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0;
@@ -138,8 +141,10 @@ fn lex(src: &str) -> Vec<(Tok, u32)> {
                     i += 1;
                 }
                 i += 1;
-            } else if i + 2 < n && ident_start(b[i + 1]) && b[i + 2] != b'\'' {
-                // Lifetime: consume the identifier, no closing quote.
+            } else if i + 1 < n && ident_start(b[i + 1]) && (i + 2 >= n || b[i + 2] != b'\'') {
+                // Lifetime: consume the identifier, no closing quote. The
+                // `i + 2 >= n` arm keeps a lifetime at end-of-input (`&'a`)
+                // from being misread as an unterminated char literal.
                 i += 2;
                 while i < n && ident_cont(b[i]) {
                     i += 1;
@@ -155,6 +160,16 @@ fn lex(src: &str) -> Vec<(Tok, u32)> {
                 }
                 i += 1;
             }
+        } else if c == b'r' && i + 2 < n && b[i + 1] == b'#' && ident_start(b[i + 2]) {
+            // Raw identifier (`r#match`, `r#type`): one token, prefix kept,
+            // so the keyword state machines below never see a spurious
+            // `match`/`if` where the source only escaped an identifier.
+            let start = i;
+            i += 2;
+            while i < n && ident_cont(b[i]) {
+                i += 1;
+            }
+            toks.push((Tok::Ident(src[start..i].to_string()), line));
         } else if ident_start(c) {
             let start = i;
             while i < n && ident_cont(b[i]) {
@@ -180,6 +195,60 @@ fn lex(src: &str) -> Vec<(Tok, u32)> {
         }
     }
     toks
+}
+
+/// Lex `src`, dropping every `#[cfg(test)]` item (the attribute plus the
+/// following braced body or `;`-terminated item), so structural passes
+/// like sendcheck see only shipped code.
+pub(crate) fn lex_shipped(src: &str) -> Vec<(Tok, u32)> {
+    let toks = lex(src);
+    let mut out: Vec<(Tok, u32)> = Vec::with_capacity(toks.len());
+    let mut progress = 0u8;
+    let mut attr_start = 0usize;
+    let mut skip_to_body = false;
+    let mut skip_depth: Option<usize> = None;
+    for (tok, line) in toks {
+        if let Some(d) = skip_depth {
+            match tok {
+                Tok::Punct('{') => skip_depth = Some(d + 1),
+                Tok::Punct('}') => skip_depth = if d == 1 { None } else { Some(d - 1) },
+                _ => {}
+            }
+            continue;
+        }
+        if skip_to_body {
+            match tok {
+                Tok::Punct('{') => {
+                    skip_to_body = false;
+                    skip_depth = Some(1);
+                }
+                Tok::Punct(';') => skip_to_body = false,
+                _ => {}
+            }
+            continue;
+        }
+        progress = match (progress, &tok) {
+            (1, Tok::Punct('[')) => 2,
+            (2, Tok::Ident(s)) if s == "cfg" => 3,
+            (3, Tok::Punct('(')) => 4,
+            (4, Tok::Ident(s)) if s == "test" => 5,
+            (5, Tok::Punct(')')) => 6,
+            (6, Tok::Punct(']')) => 7,
+            (_, Tok::Punct('#')) => {
+                attr_start = out.len();
+                1
+            }
+            _ => 0,
+        };
+        if progress == 7 {
+            out.truncate(attr_start);
+            skip_to_body = true;
+            progress = 0;
+            continue;
+        }
+        out.push((tok, line));
+    }
+    out
 }
 
 /// Is `b[i..]` the start of a raw string (`r"`, `r#"`), byte string
@@ -746,6 +815,69 @@ mod tests {
         "##;
         let f = scan_source(src);
         assert!(f.constructs.is_empty(), "got {:?}", f.constructs);
+        assert!(f.dispatches.is_empty());
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_do_not_end_early() {
+        // A `"#` inside an `r##"…"##` literal is content, not a
+        // terminator; ending there would leak `BrokerMsg::AllocDenied`.
+        let src = r###"
+            fn f() {
+                let s = r##"quote "# and BrokerMsg::AllocDenied stay inside"##;
+                let p = Payload::Ctl(CtlMsg::Stop);
+            }
+        "###;
+        let f = scan_source(src);
+        assert_eq!(f.constructs.keys().collect::<Vec<_>>(), ["Ctl::Stop"]);
+        assert!(f.dispatches.is_empty());
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_are_skipped() {
+        let src = r#"
+            /* one /* two /* three */ two */ BrokerMsg::GrowOffer */
+            fn f() { let p = Payload::Ctl(CtlMsg::Stop); }
+        "#;
+        let f = scan_source(src);
+        assert_eq!(f.constructs.keys().collect::<Vec<_>>(), ["Ctl::Stop"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_tokens() {
+        // `r#match` must not leak a `match` keyword token: that would arm
+        // the match-body state machine and flip the construct below into
+        // pattern (dispatch) position.
+        assert_eq!(
+            lex("r#match"),
+            vec![(Tok::Ident("r#match".into()), 1)],
+            "raw identifier must be one token with its prefix kept"
+        );
+        let src = r#"
+            fn f() {
+                let r#match = { make(CtlMsg::Stop) };
+            }
+        "#;
+        let f = scan_source(src);
+        assert_eq!(f.constructs.keys().collect::<Vec<_>>(), ["Ctl::Stop"]);
+        assert!(f.dispatches.is_empty(), "got {:?}", f.dispatches);
+    }
+
+    #[test]
+    fn lifetime_tick_disambiguation_and_eof() {
+        // A lifetime at end-of-input must not be misread as an
+        // unterminated char literal.
+        assert_eq!(lex("&'a"), vec![(Tok::Punct('&'), 1)]);
+        // Char literal vs lifetime vs labeled loop, all in one source.
+        let src = r#"
+            fn f<'a>(s: &'a str) {
+                let c = '{';
+                'outer: loop { break 'outer; }
+                let p = Payload::Ctl(CtlMsg::Stop);
+            }
+        "#;
+        let f = scan_source(src);
+        assert_eq!(f.constructs.keys().collect::<Vec<_>>(), ["Ctl::Stop"]);
         assert!(f.dispatches.is_empty());
     }
 

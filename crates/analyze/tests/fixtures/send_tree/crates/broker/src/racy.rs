@@ -1,0 +1,49 @@
+//! Seeded Send-readiness violations for the `rbrace static` fixture
+//! test and the CI `race-check` job's inverted run. Every class the
+//! checker must catch appears here: an `Rc` aliased across two
+//! behaviors (via a type alias, so detection must expand typedefs), a
+//! global-order allocation site, and std-HashMap iteration.
+//!
+//! This file is never compiled — it only exists to be scanned.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Shared mutable ledger: the aliasing hazard under test.
+pub type SharedLedger = Rc<RefCell<Vec<u64>>>;
+
+pub struct AlphaDaemon {
+    ledger: SharedLedger,
+    name: String,
+}
+
+impl Behavior for AlphaDaemon {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Global-order allocation: RNG draw plus a spawn.
+        let jitter = ctx.rng_u64(0, 100);
+        self.ledger.borrow_mut().push(jitter);
+        ctx.spawn_local(Box::new(BetaDaemon {
+            ledger: self.ledger.clone(),
+            seen: HashMap::new(),
+        }));
+        let _ = &self.name;
+    }
+}
+
+pub struct BetaDaemon {
+    /// Same `Rc` type as AlphaDaemon: reachable from two machines'
+    /// behaviors if they ever land on different lanes.
+    ledger: SharedLedger,
+    /// std hashing: iteration order is nondeterministic.
+    seen: HashMap<u64, u64>,
+}
+
+impl Behavior for BetaDaemon {
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        for (k, v) in self.seen.iter() {
+            self.ledger.borrow_mut().push(k + v);
+        }
+        ctx.set_timer(Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,123 @@
+//! Acceptance tests for the `rbrace` static Send-readiness pass: the
+//! shipped tree classifies totally (zero unclassified fields) and
+//! cleanly (no blocking findings), while the seeded fixture tree
+//! triggers every violation class the checker exists to catch.
+
+use rb_analyze::sendcheck::{run_sendcheck, OwnershipClass, SendConfig, SendKind};
+use std::path::PathBuf;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("send_tree")
+}
+
+#[test]
+fn shipped_tree_classifies_every_behavior_field() {
+    let cfg = SendConfig::new(rb_analyze::check::workspace_root());
+    let report = run_sendcheck(&cfg).expect("sendcheck runs");
+
+    // Every Behavior impl in broker/parsys/simnet is modeled.
+    assert!(
+        report.ranking.len() >= 20,
+        "expected the full behavior roster, got {}: {:?}",
+        report.ranking.len(),
+        report
+            .ranking
+            .iter()
+            .map(|b| b.behavior.as_str())
+            .collect::<Vec<_>>()
+    );
+    for known in [
+        "Broker",
+        "Appl",
+        "RbDaemon",
+        "Pmake",
+        "CalypsoMaster",
+        "PvmSlave",
+    ] {
+        assert!(
+            report.ranking.iter().any(|b| b.behavior == known),
+            "behavior {known} missing from the model"
+        );
+    }
+
+    // The classification is total: no field escapes an ownership class.
+    assert!(!report.fields.is_empty());
+    let unclassified: Vec<_> = report
+        .fields
+        .iter()
+        .filter(|f| f.class == OwnershipClass::Unclassified)
+        .collect();
+    assert!(
+        unclassified.is_empty(),
+        "unclassified fields: {unclassified:?}"
+    );
+
+    // The one deliberate Rc (rbstat's StatusSink) is classified
+    // cross-shard-shared but allowlisted, so the tree is clean.
+    let sink = report
+        .fields
+        .iter()
+        .find(|f| f.behavior == "RbStat" && f.field == "sink")
+        .expect("RbStat.sink is modeled");
+    assert_eq!(sink.class, OwnershipClass::CrossShardShared);
+    assert!(
+        report.is_clean(),
+        "blocking findings on the shipped tree: {:?}",
+        report
+            .blocking()
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+    );
+
+    // Global-order allocation sites exist (DESIGN.md §14.4) and are
+    // informational, never blocking.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.kind == SendKind::GlobalAlloc));
+}
+
+#[test]
+fn seeded_fixture_triggers_every_violation_class() {
+    let report = run_sendcheck(&SendConfig::new(fixture_root())).expect("fixture scans");
+    assert!(!report.is_clean(), "fixture must not pass");
+
+    // Aliased Rc across two behaviors, found through the type alias.
+    let cross: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.kind == SendKind::CrossShard)
+        .collect();
+    assert_eq!(cross.len(), 2, "both ledger fields flagged: {cross:?}");
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.kind == SendKind::AliasHazard
+            && f.message.contains("AlphaDaemon")
+            && f.message.contains("BetaDaemon")));
+
+    // Global-counter allocation (rng draw, spawn, timer).
+    let allocs: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.kind == SendKind::GlobalAlloc)
+        .collect();
+    assert!(allocs.len() >= 3, "got {allocs:?}");
+
+    // std-HashMap iteration.
+    assert!(report.findings.iter().any(|f| f.kind == SendKind::Nondet));
+
+    // And the classes behave: ledger fields are cross-shard-shared, the
+    // HashMap field is machine-local (nondet is a lint, not a class).
+    assert_eq!(report.class_count(OwnershipClass::CrossShardShared), 2);
+}
+
+#[test]
+fn missing_root_is_an_error() {
+    let err = run_sendcheck(&SendConfig::new(PathBuf::from("/nonexistent"))).unwrap_err();
+    assert!(err.contains("no sources"), "got {err}");
+}

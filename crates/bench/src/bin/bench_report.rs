@@ -182,7 +182,28 @@ fn main() -> ExitCode {
     // the cluster *did* — grants, reclaims, queue depths, alloc latency.
     let (_outcome, _trace, metrics) =
         table2::prime_with_realloc_traced(BASE_SEED, table2::loop_cmd());
-    let kernel_doc = report_json("rb-bench/kernel/v1", reps, &reports).set("metrics", metrics);
+    // Parallel-safety provenance: the rbrace static Send-readiness
+    // summary of the shipped tree, plus a happens-before check over a
+    // 4-shard hb-traced realloc run — a baseline records not just how
+    // fast the kernel was but that the run it measured was race-free.
+    let rbrace_doc = {
+        let send = rb_analyze::sendcheck::run_sendcheck(&rb_analyze::sendcheck::SendConfig::new(
+            rb_analyze::check::workspace_root(),
+        ));
+        let (_, hb_cluster) =
+            table2::prime_with_realloc_hb(BASE_SEED, table2::loop_cmd(), QueueKind::Heap, 4);
+        let hb = rb_analyze::hb::check_recorded(
+            hb_cluster.world.trace().events(),
+            &rb_analyze::hb::HbConfig::default(),
+        );
+        let err = |e: String| Json::obj().set("error", e.as_str());
+        Json::obj()
+            .set("static", send.map_or_else(err, |r| r.summary_json()))
+            .set("hb", hb.map_or_else(err, |r| r.summary_json()))
+    };
+    let kernel_doc = report_json("rb-bench/kernel/v1", reps, &reports)
+        .set("metrics", metrics)
+        .set("rbrace", rbrace_doc);
     write_doc("BENCH_kernel.json", &kernel_doc);
 
     // ---- BENCH_table2.json -------------------------------------------

@@ -48,6 +48,10 @@ pub struct ClusterOptions {
     /// Event shards for the kernel (1 = serial; any count replays
     /// bit-identically — see [`rb_simnet::WorldBuilder::shards`]).
     pub shards: usize,
+    /// Record happens-before metadata (`shard.ev` / `shard.window`) into
+    /// the trace for the `rbrace hb` checker. Only effective on a
+    /// sharded, traced world — see [`rb_simnet::WorldBuilder::hb_trace`].
+    pub hb_trace: bool,
     /// Machines (defaults to `n` public Linux boxes when using
     /// [`build_standard_cluster`]).
     pub machines: Vec<MachineAttrs>,
@@ -63,6 +67,7 @@ impl Default for ClusterOptions {
             metrics_interval: None,
             scheduler: QueueKind::default(),
             shards: 1,
+            hb_trace: false,
             machines: Vec::new(),
             policy: Box::new(crate::policy::DefaultPolicy::default()),
         }
@@ -100,6 +105,7 @@ pub fn build_cluster(opts: ClusterOptions) -> Cluster {
         .trace(opts.trace)
         .scheduler(opts.scheduler)
         .shards(opts.shards)
+        .hb_trace(opts.hb_trace)
         .default_remote_binding(RshBinding::Broker)
         .factory(
             FactoryChain::new()

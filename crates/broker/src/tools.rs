@@ -9,6 +9,13 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Where `rbstat` deposits the broker's answer for the caller to read.
+///
+/// Ownership note (rbrace sendcheck classifies this cross-shard-shared,
+/// allowlisted): the sink is created by the harness, handed to exactly
+/// one `RbStat` proc, and read back only after that proc exits. It never
+/// crosses a machine boundary in-sim, so under the machine-affine `Send`
+/// refactor it rides whichever lane spawned it; replacing it with a
+/// returned value would change the paper-facing CLI shape for no gain.
 pub type StatusSink = Rc<RefCell<Option<Vec<String>>>>;
 
 /// Make an empty sink.

@@ -49,7 +49,25 @@
 //! `ring_full` back-pressure.
 
 use crate::world::Event;
-use rb_simcore::{Duration, EventQueue, QueueKind, QueueStats, SimTime, SpscRing};
+use rb_simcore::{Duration, EventQueue, FxHashMap, QueueKind, QueueStats, SimTime, SpscRing};
+
+/// Metadata about the most recent [`ShardEngine::pop_next`], recorded
+/// only when cause tracking is on — everything the happens-before trace
+/// records (`shard.ev` / `shard.window`) need about a dispatch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PopMeta {
+    /// The dispatched event's global sequence number.
+    pub seq: u64,
+    /// Lane (shard) it was dispatched on.
+    pub shard: usize,
+    /// Ordinal of the window it was dispatched in (1-based).
+    pub window: u64,
+    /// End of that window.
+    pub window_end: SimTime,
+    /// Sequence number of the dispatch that scheduled this event, if it
+    /// was scheduled from inside a dispatch (the HB cause edge).
+    pub cause: Option<u64>,
+}
 
 /// Log₂ buckets for the barrier-stall histogram (bucket 0 = zero stall,
 /// bucket `i` covers `[2^(i-1), 2^i)` microseconds, last bucket open).
@@ -110,6 +128,15 @@ pub(crate) struct ShardEngine {
     /// on metric-less soak runs).
     collect_stalls: bool,
     pending_stalls: Vec<f64>,
+    /// Record scheduled-by edges (seq → scheduling dispatch's seq) and
+    /// per-pop metadata for the happens-before trace. Off by default:
+    /// the map and metadata cost nothing unless a `World` was built with
+    /// `hb_trace(true)`.
+    track_causes: bool,
+    /// Pending events' cause edges; entries are removed at pop, so the
+    /// map is bounded by queue depth.
+    causes: FxHashMap<u64, u64>,
+    last_pop: Option<PopMeta>,
     // Global counters mirroring what a serial queue would report: pushes
     // and pops happen in exactly the serial order, so these trajectories
     // (including peak depth) are equal by construction.
@@ -125,6 +152,7 @@ impl ShardEngine {
         kind: QueueKind,
         lookahead: Duration,
         collect_stalls: bool,
+        track_causes: bool,
     ) -> Self {
         assert!(shards >= 2, "a sharded kernel needs at least two shards");
         let mut lanes: Vec<EventQueue<Event>> =
@@ -149,6 +177,9 @@ impl ShardEngine {
             stall_hist: [0; STALL_BUCKETS],
             collect_stalls,
             pending_stalls: Vec::new(),
+            track_causes,
+            causes: FxHashMap::default(),
+            last_pop: None,
             scheduled: 0,
             dispatched: 0,
             depth: 0,
@@ -167,6 +198,12 @@ impl ShardEngine {
     /// Shard whose event is mid-dispatch (trace staging needs it).
     pub(crate) fn current_shard(&self) -> Option<usize> {
         self.current
+    }
+
+    /// Metadata about the most recent pop — `None` unless constructed
+    /// with `track_causes`.
+    pub(crate) fn last_pop(&self) -> Option<PopMeta> {
+        self.last_pop
     }
 
     pub(crate) fn is_empty(&self) -> bool {
@@ -211,6 +248,13 @@ impl ShardEngine {
         debug_assert!(shard < self.shards);
         let seq = self.next_seq;
         self.next_seq += 1;
+        if self.track_causes && self.current.is_some() {
+            // Scheduled from inside a dispatch: that dispatch is the HB
+            // cause. `last_pop` is always Some while `current` is.
+            if let Some(meta) = self.last_pop {
+                self.causes.insert(seq, meta.seq);
+            }
+        }
         self.scheduled += 1;
         self.depth += 1;
         if self.depth > self.peak {
@@ -288,7 +332,7 @@ impl ShardEngine {
                 }
             }
         }
-        let (t, _, shard) = best?;
+        let (t, seq, shard) = best?;
         if t >= self.window_end {
             self.close_window(t);
         }
@@ -299,6 +343,16 @@ impl ShardEngine {
         self.window_dispatched[shard] += 1;
         self.dispatched += 1;
         self.depth -= 1;
+        if self.track_causes {
+            let cause = self.causes.remove(&seq);
+            self.last_pop = Some(PopMeta {
+                seq,
+                shard,
+                window: self.windows,
+                window_end: self.window_end,
+                cause,
+            });
+        }
         Some((at, ev))
     }
 

@@ -242,6 +242,7 @@ pub struct WorldBuilder {
     metrics_interval: Option<Duration>,
     scheduler: QueueKind,
     shards: usize,
+    hb_trace: bool,
     default_remote_binding: RshBinding,
     factory: Option<Box<dyn ProgramFactory>>,
     rsh_prime: Option<Box<dyn RshPrimeFactory>>,
@@ -258,6 +259,7 @@ impl WorldBuilder {
             metrics_interval: None,
             scheduler: QueueKind::Heap,
             shards: 1,
+            hb_trace: false,
             default_remote_binding: RshBinding::Standard,
             factory: None,
             rsh_prime: None,
@@ -328,6 +330,17 @@ impl WorldBuilder {
         self
     }
 
+    /// Record happens-before metadata — one `shard.ev` line per dispatch
+    /// plus a `shard.window` line per synchronizer window — into the
+    /// trace, for the `rbrace hb` race checker. Effective only on a
+    /// sharded, traced world; off by default, so the byte-identity
+    /// contract between serial and sharded traces is untouched unless a
+    /// run opts in.
+    pub fn hb_trace(mut self, on: bool) -> Self {
+        self.hb_trace = on;
+        self
+    }
+
     /// What `rsh` resolves to in the login environment of `rshd`-spawned
     /// processes: `Broker` models a cluster where `rsh'` replaced the
     /// system-wide `rsh`.
@@ -369,6 +382,7 @@ impl WorldBuilder {
                     self.scheduler,
                     self.cost.lookahead(),
                     self.metrics_interval.is_some(),
+                    self.hb_trace && self.trace,
                 ))
             } else {
                 let mut q = EventQueue::with_kind(self.scheduler);
@@ -410,6 +424,8 @@ impl WorldBuilder {
             rsh_prime: self.rsh_prime,
             trace_checks: Vec::new(),
             oracle: None,
+            hb_trace: self.hb_trace && self.trace && shards > 1,
+            hb_last_window: 0,
         }
     }
 }
@@ -522,6 +538,11 @@ pub struct World {
     trace_checks: Vec<(String, TraceCheck)>,
     /// Tie-break oracle for same-time event batches (model checking).
     oracle: Option<Box<dyn WorldOracle>>,
+    /// Emit `shard.ev` / `shard.window` happens-before records (sharded,
+    /// traced worlds that opted in via [`WorldBuilder::hb_trace`] only).
+    hb_trace: bool,
+    /// Last window ordinal a `shard.window` record was emitted for.
+    hb_last_window: u64,
 }
 
 /// A post-run invariant over the recorded trace.
@@ -1166,6 +1187,9 @@ impl World {
     /// to direct recording), and complete the dispatch by forwarding any
     /// cross-shard ring traffic it produced.
     fn dispatch_traced(&mut self, ev: Event) {
+        if self.hb_trace {
+            self.record_hb(&ev);
+        }
         let staged = if self.shard_traces.is_empty() {
             None
         } else {
@@ -1186,6 +1210,45 @@ impl World {
         if let Kernel::Sharded(e) = &mut self.kernel {
             e.end_dispatch();
         }
+    }
+
+    /// Emit the happens-before records for the dispatch that just popped
+    /// `ev`: a `shard.window` record whenever the synchronizer opened a
+    /// new window, then one `shard.ev` record with the dispatch's global
+    /// sequence number, lane, window ordinal, cause edge, and kernel
+    /// footprint. Records go straight to the canonical recorder — not the
+    /// staged per-shard stream — so they land in dispatch order, before
+    /// any records the handler itself produces.
+    fn record_hb(&mut self, ev: &Event) {
+        let meta = match &self.kernel {
+            Kernel::Sharded(e) => e.last_pop(),
+            Kernel::Serial(_) => None,
+        };
+        let Some(meta) = meta else { return };
+        if meta.window != self.hb_last_window {
+            self.hb_last_window = meta.window;
+            let detail = format!(
+                "w{} end={}us la={}us",
+                meta.window,
+                meta.window_end.as_micros(),
+                self.cost.lookahead().as_micros()
+            );
+            self.trace.record(self.now, "shard.window", detail);
+        }
+        let info = self.event_info(ev);
+        let dash = || "-".to_string();
+        let detail = format!(
+            "seq={} lane={} w={} cause={} k={:?} p={} o={} m={}",
+            meta.seq,
+            meta.shard,
+            meta.window,
+            meta.cause.map_or_else(dash, |c| c.to_string()),
+            info.kind,
+            info.proc.map_or_else(dash, |p| p.to_string()),
+            info.other.map_or_else(dash, |p| p.to_string()),
+            info.machine.map_or_else(dash, |m| m.to_string()),
+        );
+        self.trace.record(self.now, "shard.ev", detail);
     }
 
     /// The serial kernel's queue; panics on a sharded kernel (callers

@@ -69,6 +69,35 @@ pub fn broker_testbed_sharded(
     c
 }
 
+/// [`broker_testbed_sharded`] with happens-before trace records on
+/// (`shard.ev` / `shard.window`): what the `rbrace hb` race checker and
+/// the CI race-check job consume. Tracing is forced on — the HB records
+/// ride the trace.
+pub fn broker_testbed_hb(
+    publics: usize,
+    seed: u64,
+    policy: Box<dyn Policy>,
+    scheduler: QueueKind,
+    shards: usize,
+) -> Cluster {
+    let mut machines = vec![MachineAttrs::private_linux("n00", "user")];
+    machines.extend((1..=publics).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
+    let opts = ClusterOptions {
+        seed,
+        machines,
+        policy,
+        trace: true,
+        scheduler,
+        shards,
+        hb_trace: true,
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    c.world.set_owner_present(c.machines[0], true);
+    c.settle();
+    c
+}
+
 /// [`broker_testbed`] in observability trim: tracing on (spans ride the
 /// trace) and kernel/cluster gauges sampled every `metrics_interval`.
 /// This is what `rbtrace` and the obs-smoke CI job run against.

@@ -10,8 +10,8 @@
 use crate::drivers::{slot, ExecOutcome, TimedRsh};
 use crate::report::Row;
 use crate::scenarios::{
-    await_calypso_workers, broker_testbed, broker_testbed_obs, broker_testbed_sharded,
-    submit_endless_calypso, LOOP_MILLIS,
+    await_calypso_workers, broker_testbed, broker_testbed_hb, broker_testbed_obs,
+    broker_testbed_sharded, submit_endless_calypso, LOOP_MILLIS,
 };
 use rb_broker::{Cluster, DefaultPolicy, JobRequest, JobRun};
 use rb_proto::CommandSpec;
@@ -174,6 +174,48 @@ pub fn prime_with_realloc_sharded(
         queue: c.world.kernel_stats(),
     };
     (outcome, c.world.trace().render())
+}
+
+/// [`prime_with_realloc_sharded`] with happens-before records in the
+/// trace (`hb_trace` on): the realloc workload the `rbrace hb` checker
+/// proves race-free. Returns the cluster so callers can render the
+/// trace, export metrics, or install post-run checks.
+pub fn prime_with_realloc_hb(
+    seed: u64,
+    cmd: CommandSpec,
+    scheduler: QueueKind,
+    shards: usize,
+) -> (RunOutcome, Cluster) {
+    let mut c = broker_testbed_hb(
+        2,
+        seed,
+        Box::new(DefaultPolicy::default()),
+        scheduler,
+        shards,
+    );
+    submit_endless_calypso(&mut c, 2, 800);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 2, limit);
+    let t0 = c.world.now();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "user".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd,
+            },
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
+    let status = c.await_appl(appl, limit).expect("appl finished");
+    assert!(status.is_success(), "{status}");
+    let outcome = RunOutcome {
+        elapsed_secs: (c.world.now() - t0).as_secs_f64(),
+        queue: c.world.kernel_stats(),
+    };
+    (outcome, c)
 }
 
 /// The loop command used by Table 2's compute-bound rows.
