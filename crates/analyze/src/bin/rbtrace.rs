@@ -5,7 +5,9 @@
 //! rbtrace spans    <trace-file>            render the causal span forest
 //! rbtrace latency  [--format text|json] <trace-file>
 //!                                          per-allocation latency legs
-//! rbtrace timeline [--width N] <trace-file>
+//! rbtrace critpath [--format text|json] [--flows <out>] <trace-file>
+//!                                          strict critical-path report
+//! rbtrace timeline [--width N] [--metrics <json>] <trace-file>
 //!                                          per-machine live-proc strips
 //! rbtrace export   [--metrics <json>] [-o <out>] <trace-file>
 //!                                          Chrome trace-event JSON
@@ -28,7 +30,10 @@ const USAGE: &str = "usage: rbtrace <command> [options] <file>
   spans     <trace>                  render the causal span forest
   latency   [--format text|json] <trace>
                                      allocation latency breakdowns
-  timeline  [--width N] <trace>      per-machine live-proc timeline
+  critpath  [--format text|json] [--flows <out>] <trace>
+                                     critical-path legs, blame, chain
+  timeline  [--width N] [--metrics <json>] <trace>
+                                     per-machine live-proc timeline
   export    [--metrics <json>] [-o <out>] <trace>
                                      Chrome trace-event (Perfetto) JSON
   validate  <chrome-json>            schema-check an exported document
@@ -52,6 +57,64 @@ fn read_json(path: &str) -> Result<Json, ExitCode> {
         eprintln!("rbtrace: {path}: {e}");
         ExitCode::from(2)
     })
+}
+
+/// Summarize the sharded kernel's synchronizer health (`shard.*` metrics
+/// from a [`rb_simcore::MetricsRegistry`] export) for the timeline view:
+/// window count, per-lane dispatch/barrier/wall counters, and the
+/// barrier-stall distribution.
+fn render_shard_health(metrics: &Json) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let empty: Vec<Json> = Vec::new();
+    let entries = |section: &str| {
+        metrics
+            .get(section)
+            .and_then(Json::as_arr)
+            .unwrap_or(&empty)
+            .iter()
+            .filter_map(|e| {
+                let name = e.get("name").and_then(Json::as_str)?;
+                name.starts_with("shard.").then_some((name, e))
+            })
+            .collect::<Vec<_>>()
+    };
+    for (name, e) in entries("gauges") {
+        if let Some(v) = e.get("value").and_then(Json::as_f64) {
+            let label = e.get("label").and_then(Json::as_str).unwrap_or("");
+            let _ = writeln!(out, "{name}{sep}{label}: {v}", sep = sep(label));
+        }
+    }
+    for (name, e) in entries("counters") {
+        if let Some(v) = e.get("value").and_then(Json::as_f64) {
+            let label = e.get("label").and_then(Json::as_str).unwrap_or("");
+            let _ = writeln!(out, "{name}{sep}{label}: {v}", sep = sep(label));
+        }
+    }
+    for (name, e) in entries("histograms") {
+        let pick = |k: &str| e.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{name}: count {} p50 {} p90 {} p99 {} max {}",
+            pick("count"),
+            pick("p50"),
+            pick("p90"),
+            pick("p99"),
+            pick("max")
+        );
+    }
+    if out.is_empty() {
+        out.push_str("no shard.* metrics in export (serial kernel or metrics off)\n");
+    }
+    out
+}
+
+fn sep(label: &str) -> &'static str {
+    if label.is_empty() {
+        ""
+    } else {
+        "/"
+    }
 }
 
 fn main() -> ExitCode {
@@ -109,8 +172,50 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "critpath" => {
+            let mut format = Format::Text;
+            let mut flows_path = None;
+            let mut file = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--format" => match Format::parse(it.next().map(String::as_str)) {
+                        Ok(f) => format = f,
+                        Err(e) => return usage_error(&e),
+                    },
+                    "--flows" => match it.next() {
+                        Some(p) => flows_path = Some(p.as_str()),
+                        None => return usage_error("--flows needs an output file"),
+                    },
+                    f if !f.starts_with('-') => file = Some(f),
+                    f => return usage_error(&format!("unknown flag {f}")),
+                }
+            }
+            let Some(file) = file else {
+                return usage_error("critpath needs a trace file");
+            };
+            let events = match read_events(file) {
+                Ok(ev) => ev,
+                Err(code) => return code,
+            };
+            if let Some(p) = flows_path {
+                let doc = rb_analyze::chrome_trace_with_flows(&events, None);
+                if let Err(e) = std::fs::write(p, doc.render()) {
+                    eprintln!("rbtrace: {p}: {e}");
+                    return ExitCode::from(2);
+                }
+                emit(&format!("wrote flow-arrow export to {p}\n"));
+            }
+            if format.is_json() {
+                emit(&rb_analyze::critpath_json(&events).render());
+            } else {
+                emit(&rb_analyze::render_critpath(&events));
+            }
+            ExitCode::SUCCESS
+        }
         "timeline" => {
             let mut width = 72usize;
+            let mut metrics_path = None;
             let mut file = None;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
@@ -119,6 +224,10 @@ fn main() -> ExitCode {
                         Some(w) if w > 0 => width = w,
                         _ => return usage_error("--width needs a positive number"),
                     },
+                    "--metrics" => match it.next() {
+                        Some(p) => metrics_path = Some(p.as_str()),
+                        None => return usage_error("--metrics needs a file"),
+                    },
                     f if !f.starts_with('-') => file = Some(f),
                     f => return usage_error(&format!("unknown flag {f}")),
                 }
@@ -126,12 +235,35 @@ fn main() -> ExitCode {
             let Some(file) = file else {
                 return usage_error("timeline needs a trace file");
             };
-            let events = match read_events(file) {
-                Ok(ev) => ev,
+            let text = match read_file("rbtrace", file) {
+                Ok(t) => t,
                 Err(code) => return code,
+            };
+            let events = match rb_simcore::parse_rendered(&text) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    eprintln!("rbtrace: {file}: {e}");
+                    return ExitCode::from(2);
+                }
             };
             let u = rb_analyze::utilization(&events);
             emit(&rb_analyze::render_utilization(&u, width));
+            // Kernel health, when the dump carries its stats comment
+            // (header of render_with_stats, footer of streamed dumps).
+            if let Some(s) = rb_simcore::parse_stats_comment(&text) {
+                emit(&format!(
+                    "kernel: events={} dropped={} scheduled={} dispatched={} peak_depth={}\n",
+                    s.events, s.dropped, s.scheduled, s.dispatched, s.peak_depth
+                ));
+            }
+            // Shard/synchronizer health from a sampled metrics export.
+            if let Some(p) = metrics_path {
+                let doc = match read_json(p) {
+                    Ok(d) => d,
+                    Err(code) => return code,
+                };
+                emit(&render_shard_health(&doc));
+            }
             ExitCode::SUCCESS
         }
         "export" => {

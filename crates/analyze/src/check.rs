@@ -293,6 +293,20 @@ pub const LINT_ALLOW: &[LintAllow] = &[
         why: "the bench harness's console reporter; printed measurements are the \
               bench crate's product, and benches have no trace to write to",
     },
+    LintAllow {
+        file: "crates/simcore/src/sink.rs",
+        kind: CheckKind::PrintlnInLib,
+        why: "the streaming trace sink's one-shot write-failure warning cannot go \
+              to the trace — the sink *is* the trace, and it just failed",
+    },
+    LintAllow {
+        file: "crates/simcore/src/prof.rs",
+        kind: CheckKind::WallClockInSim,
+        why: "ProfTimer is the self-profiler's clock: it measures host dispatch \
+              cost, which is wall time by definition, and feeds only ProfEntry \
+              statistics, never SimTime (purity pinned by \
+              scheduler_equiv::profiling_is_a_pure_observer)",
+    },
 ];
 
 /// Configuration for one `rbcheck` run.

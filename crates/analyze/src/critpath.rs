@@ -1,0 +1,723 @@
+//! Critical-path latency attribution (DESIGN.md §16): where each
+//! allocation's end-to-end latency went, leg by leg, with blame.
+//!
+//! [`alloc_breakdowns`](crate::obs::alloc_breakdowns) reports the waits
+//! between adjacent stages as they survive truncation; this module is the
+//! stricter accounting layer on top of the same span vocabulary. It keeps
+//! only allocations whose whole request → decide → grant → spawn → exec
+//! chain survives in the trace and partitions `[start, exec)` into five
+//! *contiguous* legs, so the legs provably sum to the end-to-end span
+//! duration — the invariant the acceptance fixture pins. On top of the
+//! per-allocation anatomy it derives:
+//!
+//! - a **blame table**: seconds attributed per (component, leg), with the
+//!   reclaim wait inside the decide leg re-attributed to the daemon that
+//!   had to evict the victim (`broker.reclaim` events date the handoff);
+//! - the **longest dependent chain** from a root span down to quiescence
+//!   (the last trace timestamp) — the run's critical spine;
+//! - per-leg **percentiles** (p50/p90/p99/p99.9) for bench provenance;
+//! - Perfetto **flow arrows** (`ph:"s"`/`ph:"f"`) threading each
+//!   allocation's stages across the exported span tracks.
+//!
+//! Everything is a pure function over parsed [`TraceEvent`]s, so it works
+//! on live renders, dumped files, and streamed flight-recorder output
+//! alike. Entry point for humans: `rbtrace critpath`.
+
+use crate::obs::{chrome_trace, PID_SPANS};
+use rb_simcore::{Json, SimTime, SpanForest, SpanRecord, Summary, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The five contiguous legs of an allocation, in causal order, with the
+/// component each one waits on. `request` covers rsh′ interception before
+/// the broker opens the allocation (zero when the appl grew itself);
+/// `queue` is the broker's inbox wait before it starts deciding; `decide`
+/// is the paper's reallocation latency (policy choice plus any reclaim);
+/// `grant` is the daemon's grant-to-spawn handoff; `spawn` is process
+/// creation up to exec.
+pub const LEG_NAMES: [&str; 5] = ["request", "queue", "decide", "grant", "spawn"];
+
+/// Which component a leg's wait is blamed on.
+pub fn leg_component(leg: &str) -> &'static str {
+    match leg {
+        "request" => "rsh'",
+        "queue" | "decide" => "broker",
+        "decide.reclaim" | "grant" => "daemon",
+        "spawn" => "sub-appl",
+        _ => "?",
+    }
+}
+
+/// One leg of a critical path: a named, component-blamed wait.
+#[derive(Debug, Clone, Copy)]
+pub struct CritLeg {
+    pub name: &'static str,
+    pub component: &'static str,
+    pub secs: f64,
+}
+
+/// One stage anchor on the chain (for flow arrows): the stage's span id
+/// and the instant it opened.
+#[derive(Debug, Clone)]
+pub struct CritStage {
+    pub name: String,
+    pub span: u64,
+    pub open: SimTime,
+}
+
+/// The critical path of one completed allocation chain: five contiguous
+/// legs whose seconds sum exactly to `total_secs`.
+#[derive(Debug, Clone)]
+pub struct CritAlloc {
+    /// Span id of the `alloc` span.
+    pub alloc: u64,
+    pub job: Option<String>,
+    pub kind: Option<String>,
+    /// Close outcome of the alloc span (empty while still open).
+    pub outcome: String,
+    /// Always the five [`LEG_NAMES`] legs, in order; the request leg is
+    /// zero when the allocation had no rsh′ request parent.
+    pub legs: Vec<CritLeg>,
+    /// Start (request open, else alloc open) → exec open.
+    pub total_secs: f64,
+    /// Portion of the decide leg spent waiting for a reclaim to complete
+    /// (first `broker.reclaim` inside the decide window → grant), blamed
+    /// to the daemon rather than the broker in the blame table. Zero when
+    /// the decision needed no eviction.
+    pub reclaim_secs: f64,
+    /// Number of `alloc.decide` attempts (>1 = spawn-retry path).
+    pub decisions: usize,
+    /// Stage anchors in causal order (request? → alloc → decide → grant →
+    /// spawn → exec) — what the flow-arrow export threads together.
+    pub stages: Vec<CritStage>,
+}
+
+fn child_named<'f>(forest: &'f SpanForest, rec: &SpanRecord, name: &str) -> Option<&'f SpanRecord> {
+    rec.children
+        .iter()
+        .filter_map(|&c| forest.get(c))
+        .find(|c| c.name == name && c.open_at.is_some())
+}
+
+/// Extract the critical path of every *complete* allocation chain in the
+/// forest. `events` supplies the `broker.reclaim` instants used to split
+/// the decide leg; chains truncated anywhere (ring eviction, stream tail
+/// cuts) are skipped — this is the strict accounting layer, use
+/// [`crate::obs::alloc_breakdowns`] for best-effort partial legs.
+pub fn critical_paths(forest: &SpanForest, events: &[TraceEvent]) -> Vec<CritAlloc> {
+    let reclaims: Vec<SimTime> = events
+        .iter()
+        .filter(|e| e.topic.as_str() == "broker.reclaim")
+        .map(|e| e.at)
+        .collect();
+    let mut out = Vec::new();
+    for rec in forest.spans.values() {
+        if rec.name != "alloc" || rec.open_at.is_none() {
+            continue;
+        }
+        if let Some(c) = crit_one(forest, rec, &reclaims) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn crit_one(forest: &SpanForest, alloc: &SpanRecord, reclaims: &[SimTime]) -> Option<CritAlloc> {
+    let alloc_open = alloc.open_at?;
+    let request = forest
+        .get(alloc.parent)
+        .filter(|p| p.name == "rsh.request" && p.open_at.is_some());
+    let decides: Vec<&SpanRecord> = alloc
+        .children
+        .iter()
+        .filter_map(|&c| forest.get(c))
+        .filter(|c| c.name == "alloc.decide" && c.open_at.is_some())
+        .collect();
+    // Retries open one decide per attempt; the chain that completed is
+    // the one whose decide carries a grant child.
+    let decide = decides
+        .iter()
+        .rev()
+        .find(|d| child_named(forest, d, "alloc.grant").is_some())
+        .copied()?;
+    let grant = child_named(forest, decide, "alloc.grant")?;
+    let spawn = child_named(forest, grant, "alloc.spawn")
+        .or_else(|| child_named(forest, alloc, "alloc.spawn"))?;
+    let exec = child_named(forest, spawn, "alloc.exec")
+        .or_else(|| child_named(forest, alloc, "alloc.exec"))?;
+
+    let (decide_open, grant_open, spawn_open, exec_open) = (
+        decide.open_at?,
+        grant.open_at?,
+        spawn.open_at?,
+        exec.open_at?,
+    );
+    let start = request.and_then(|r| r.open_at).unwrap_or(alloc_open);
+    // The legs partition [start, exec): any inversion means the chain was
+    // stitched across unrelated spans — refuse rather than emit negative
+    // waits.
+    let points = [
+        start,
+        alloc_open,
+        decide_open,
+        grant_open,
+        spawn_open,
+        exec_open,
+    ];
+    if points.windows(2).any(|w| w[1] < w[0]) {
+        return None;
+    }
+    let legs: Vec<CritLeg> = LEG_NAMES
+        .iter()
+        .zip(points.windows(2))
+        .map(|(&name, w)| CritLeg {
+            name,
+            component: leg_component(name),
+            secs: (w[1] - w[0]).as_secs_f64(),
+        })
+        .collect();
+
+    // Reclaim sub-attribution: the decision was blocked from the first
+    // eviction it issued in its window until the grant went out.
+    let reclaim_secs = reclaims
+        .iter()
+        .find(|&&t| t >= decide_open && t <= grant_open)
+        .map(|&t| (grant_open - t).as_secs_f64())
+        .unwrap_or(0.0);
+
+    let mut stages = Vec::new();
+    let mut stage = |name: &str, rec: &SpanRecord| {
+        stages.push(CritStage {
+            name: name.to_string(),
+            span: rec.id,
+            open: rec.open_at.expect("stage checked"),
+        });
+    };
+    if let Some(r) = request {
+        stage("rsh.request", r);
+    }
+    stage("alloc", alloc);
+    stage("alloc.decide", decide);
+    stage("alloc.grant", grant);
+    stage("alloc.spawn", spawn);
+    stage("alloc.exec", exec);
+
+    Some(CritAlloc {
+        alloc: alloc.id,
+        job: forest.job_of(alloc.id).map(str::to_string),
+        kind: alloc.field("kind").map(str::to_string),
+        outcome: alloc.outcome.clone(),
+        legs,
+        total_secs: (exec_open - start).as_secs_f64(),
+        reclaim_secs,
+        decisions: decides.len(),
+        stages,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Blame table
+// ----------------------------------------------------------------------
+
+/// Aggregated wait attributed to one (component, leg) pair.
+#[derive(Debug, Clone)]
+pub struct BlameRow {
+    pub component: &'static str,
+    pub leg: &'static str,
+    pub secs: f64,
+    /// Allocations that contributed a non-zero wait.
+    pub count: usize,
+}
+
+/// Aggregate legs across allocations into a blame table, most expensive
+/// row first. The reclaim share of each decide leg moves to a separate
+/// `decide.reclaim` row blamed on the daemon.
+pub fn blame_table(list: &[CritAlloc]) -> Vec<BlameRow> {
+    let mut acc: BTreeMap<(&'static str, &'static str), (f64, usize)> = BTreeMap::new();
+    let mut add = |component: &'static str, leg: &'static str, secs: f64| {
+        if secs > 0.0 {
+            let e = acc.entry((component, leg)).or_insert((0.0, 0));
+            e.0 += secs;
+            e.1 += 1;
+        }
+    };
+    for c in list {
+        for l in &c.legs {
+            if l.name == "decide" {
+                add(l.component, "decide", l.secs - c.reclaim_secs);
+                add(
+                    leg_component("decide.reclaim"),
+                    "decide.reclaim",
+                    c.reclaim_secs,
+                );
+            } else {
+                add(l.component, l.name, l.secs);
+            }
+        }
+    }
+    let mut rows: Vec<BlameRow> = acc
+        .into_iter()
+        .map(|((component, leg), (secs, count))| BlameRow {
+            component,
+            leg,
+            secs,
+            count,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.secs.total_cmp(&a.secs));
+    rows
+}
+
+// ----------------------------------------------------------------------
+// Longest dependent chain to quiescence
+// ----------------------------------------------------------------------
+
+/// One step of the longest dependent chain: a span and its effective
+/// interval (still-open spans extend to quiescence).
+#[derive(Debug, Clone)]
+pub struct ChainStep {
+    pub id: u64,
+    pub name: String,
+    pub open: SimTime,
+    pub close: SimTime,
+}
+
+/// The longest dependent chain: starting from the root span that stays
+/// open latest (ties to the smaller id), repeatedly descend into the
+/// child that stays open latest. `quiescence` (normally the last trace
+/// timestamp) is the effective close of still-open spans. This is the
+/// run's critical spine — shortening any step on it shortens the run.
+pub fn longest_chain(forest: &SpanForest, quiescence: SimTime) -> Option<Vec<ChainStep>> {
+    let eff = |r: &SpanRecord| r.close_at.unwrap_or(quiescence);
+    let is_root = |r: &SpanRecord| r.parent == 0 || forest.get(r.parent).is_none();
+    let mut cur = forest
+        .spans
+        .values()
+        .filter(|r| is_root(r) && r.open_at.is_some())
+        .max_by(|a, b| eff(a).cmp(&eff(b)).then(b.id.cmp(&a.id)))?;
+    let mut chain = Vec::new();
+    loop {
+        chain.push(ChainStep {
+            id: cur.id,
+            name: cur.name.clone(),
+            open: cur.open_at.expect("filtered on open"),
+            close: eff(cur).max(cur.open_at.expect("filtered on open")),
+        });
+        let next = cur
+            .children
+            .iter()
+            .filter_map(|&c| forest.get(c))
+            .filter(|c| c.open_at.is_some())
+            .max_by(|a, b| eff(a).cmp(&eff(b)).then(b.id.cmp(&a.id)));
+        match next {
+            Some(n) => cur = n,
+            None => return Some(chain),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Percentiles, JSON, rendering
+// ----------------------------------------------------------------------
+
+/// Per-leg and total latency percentiles over the completed chains: the
+/// `profile.critpath` section of the bench provenance.
+pub fn leg_percentiles_json(list: &[CritAlloc]) -> Json {
+    let pct = |samples: Vec<f64>| {
+        let s = Summary::from_samples(samples);
+        if s.count() == 0 {
+            // No finished chains: count alone (NaN is not JSON).
+            return Json::obj().set("count", 0u64);
+        }
+        Json::obj()
+            .set("count", s.count())
+            .set("p50_s", s.median())
+            .set("p90_s", s.percentile(90.0))
+            .set("p99_s", s.percentile(99.0))
+            .set("p999_s", s.p999())
+            .set("max_s", s.max())
+    };
+    let mut doc = Json::obj();
+    for (i, &name) in LEG_NAMES.iter().enumerate() {
+        doc = doc.set(name, pct(list.iter().map(|c| c.legs[i].secs).collect()));
+    }
+    doc.set("total", pct(list.iter().map(|c| c.total_secs).collect()))
+}
+
+fn chain_json(chain: &[ChainStep]) -> Json {
+    Json::Arr(
+        chain
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .set("span", format!("s{}", s.id))
+                    .set("name", s.name.as_str())
+                    .set("open_us", s.open.0)
+                    .set("close_us", s.close.0)
+                    .set("secs", (s.close - s.open).as_secs_f64())
+            })
+            .collect(),
+    )
+}
+
+/// The whole critical-path report as one JSON document (the shape
+/// `rbtrace critpath --format json` emits and the prof-smoke CI job
+/// validates).
+pub fn critpath_json(events: &[TraceEvent]) -> Json {
+    let forest = SpanForest::from_events(events);
+    let list = critical_paths(&forest, events);
+    let quiescence = events.last().map(|e| e.at).unwrap_or(SimTime(0));
+    let chain = longest_chain(&forest, quiescence).unwrap_or_default();
+    let allocs: Vec<Json> = list
+        .iter()
+        .map(|c| {
+            Json::obj()
+                .set("alloc", format!("s{}", c.alloc))
+                .set(
+                    "job",
+                    c.job.as_deref().map(Json::from).unwrap_or(Json::Null),
+                )
+                .set(
+                    "kind",
+                    c.kind.as_deref().map(Json::from).unwrap_or(Json::Null),
+                )
+                .set("outcome", c.outcome.as_str())
+                .set("decisions", c.decisions)
+                .set(
+                    "legs",
+                    Json::Arr(
+                        c.legs
+                            .iter()
+                            .map(|l| {
+                                Json::obj()
+                                    .set("name", l.name)
+                                    .set("component", l.component)
+                                    .set("secs", l.secs)
+                            })
+                            .collect(),
+                    ),
+                )
+                .set("reclaim_secs", c.reclaim_secs)
+                .set("total_secs", c.total_secs)
+        })
+        .collect();
+    let blame: Vec<Json> = blame_table(&list)
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .set("component", r.component)
+                .set("leg", r.leg)
+                .set("secs", r.secs)
+                .set("count", r.count)
+        })
+        .collect();
+    Json::obj()
+        .set("schema", "rbtrace-critpath/v1")
+        .set("allocations", Json::Arr(allocs))
+        .set("blame", Json::Arr(blame))
+        .set("legs", leg_percentiles_json(&list))
+        .set("quiescence_us", quiescence.0)
+        .set("longest_chain", chain_json(&chain))
+}
+
+/// Render the critical-path report for humans: one line per allocation,
+/// the blame table, and the longest dependent chain.
+pub fn render_critpath(events: &[TraceEvent]) -> String {
+    let forest = SpanForest::from_events(events);
+    let list = critical_paths(&forest, events);
+    let mut out = String::new();
+    if list.is_empty() {
+        out.push_str("no complete allocation chains in trace\n");
+    }
+    for c in &list {
+        let _ = write!(
+            out,
+            "alloc s{} job={} kind={}",
+            c.alloc,
+            c.job.as_deref().unwrap_or("?"),
+            c.kind.as_deref().unwrap_or("?"),
+        );
+        if c.decisions > 1 {
+            let _ = write!(out, " decisions={}", c.decisions);
+        }
+        for l in &c.legs {
+            let _ = write!(out, "  {} {:.6}s", l.name, l.secs);
+        }
+        if c.reclaim_secs > 0.0 {
+            let _ = write!(out, "  (reclaim {:.6}s)", c.reclaim_secs);
+        }
+        let _ = write!(out, "  total {:.6}s", c.total_secs);
+        if !c.outcome.is_empty() {
+            let _ = write!(out, "  [{}]", c.outcome);
+        }
+        out.push('\n');
+    }
+    let blame = blame_table(&list);
+    if !blame.is_empty() {
+        out.push_str("blame:\n");
+        for r in &blame {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<16} {:>12.6}s  over {} alloc(s)",
+                r.component, r.leg, r.secs, r.count
+            );
+        }
+    }
+    let quiescence = events.last().map(|e| e.at).unwrap_or(SimTime(0));
+    if let Some(chain) = longest_chain(&forest, quiescence) {
+        out.push_str("longest dependent chain to quiescence:\n");
+        for s in &chain {
+            let _ = writeln!(
+                out,
+                "  s{:<6} {:<14} {} .. {}  ({:.6}s)",
+                s.id,
+                s.name,
+                s.open,
+                s.close,
+                (s.close - s.open).as_secs_f64()
+            );
+        }
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Perfetto flow arrows
+// ----------------------------------------------------------------------
+
+/// Flow-arrow events (`ph:"s"` start / `ph:"f"` finish) threading each
+/// allocation's stages across the exported span slices. Arrow `i` of
+/// alloc `a` gets flow id `a * 8 + i`, unique because a chain has at most
+/// six stages.
+pub fn flow_arrows(forest: &SpanForest, list: &[CritAlloc]) -> Vec<Json> {
+    let tree_root = |id: u64| forest.ancestors(id).last().map(|r| r.id).unwrap_or(id);
+    let mut out = Vec::new();
+    for c in list {
+        for (i, pair) in c.stages.windows(2).enumerate() {
+            let flow_id = c.alloc * 8 + i as u64;
+            for (ph, stage) in [("s", &pair[0]), ("f", &pair[1])] {
+                out.push(
+                    Json::obj()
+                        .set("name", "alloc critical path")
+                        .set("cat", "flow")
+                        .set("ph", ph)
+                        .set("id", flow_id)
+                        .set("ts", stage.open.0)
+                        .set("pid", PID_SPANS)
+                        .set("tid", tree_root(stage.span)),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// [`chrome_trace`] plus the critical-path flow arrows: what
+/// `rbtrace critpath --flows` writes for Perfetto.
+pub fn chrome_trace_with_flows(events: &[TraceEvent], metrics: Option<&Json>) -> Json {
+    let doc = chrome_trace(events, metrics);
+    let forest = SpanForest::from_events(events);
+    let flows = flow_arrows(&forest, &critical_paths(&forest, events));
+    let Json::Obj(mut fields) = doc else {
+        return doc; // chrome_trace always returns an object
+    };
+    if let Some((_, Json::Arr(te))) = fields.iter_mut().find(|(k, _)| k == "traceEvents") {
+        te.extend(flows);
+    }
+    Json::Obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::validate_chrome;
+    use rb_simcore::{parse_rendered, SpanId, SpanTracker, TraceRecorder};
+
+    /// The canonical allocation chain with a reclaim inside the decide
+    /// window (mirrors the obs fixture, plus `broker.reclaim`).
+    fn chain_events() -> Vec<TraceEvent> {
+        let mut rec = TraceRecorder::enabled();
+        let mut sp = SpanTracker::new();
+        let req = sp.open(
+            &mut rec,
+            SimTime(0),
+            SpanId::NONE,
+            "rsh.request",
+            "n00 loop",
+        );
+        let alloc = sp.open(
+            &mut rec,
+            SimTime(100),
+            req,
+            "alloc",
+            "g1 job=j1 kind=Default",
+        );
+        let decide = sp.open(
+            &mut rec,
+            SimTime(200),
+            alloc,
+            "alloc.decide",
+            "g1 job=j1 any",
+        );
+        rec.record(SimTime(100_000), "broker.reclaim", "n01 from j0");
+        let grant = sp.open(
+            &mut rec,
+            SimTime(900_000),
+            decide,
+            "alloc.grant",
+            "g1 job=j1 n01",
+        );
+        sp.close(
+            &mut rec,
+            SimTime(900_000),
+            decide,
+            "alloc.decide",
+            "granted",
+        );
+        let spawn = sp.open(&mut rec, SimTime(900_100), grant, "alloc.spawn", "g1 n01");
+        let exec = sp.open(
+            &mut rec,
+            SimTime(1_100_000),
+            spawn,
+            "alloc.exec",
+            "g1 job=j1 loop",
+        );
+        sp.close(&mut rec, SimTime(6_000_000), exec, "alloc.exec", "done");
+        sp.close(&mut rec, SimTime(6_000_100), spawn, "alloc.spawn", "ready");
+        sp.close(&mut rec, SimTime(6_000_200), grant, "alloc.grant", "freed");
+        sp.close(&mut rec, SimTime(6_000_300), alloc, "alloc", "done");
+        sp.close(&mut rec, SimTime(6_000_400), req, "rsh.request", "exit:0");
+        parse_rendered(&rec.render()).unwrap()
+    }
+
+    #[test]
+    fn legs_partition_the_span_and_sum_to_total() {
+        let events = chain_events();
+        let forest = SpanForest::from_events(&events);
+        let list = critical_paths(&forest, &events);
+        assert_eq!(list.len(), 1);
+        let c = &list[0];
+        assert_eq!(c.job.as_deref(), Some("j1"));
+        let names: Vec<&str> = c.legs.iter().map(|l| l.name).collect();
+        assert_eq!(names, LEG_NAMES);
+        let sum: f64 = c.legs.iter().map(|l| l.secs).sum();
+        assert!(
+            (sum - c.total_secs).abs() < 1e-9,
+            "legs sum {sum} != total {}",
+            c.total_secs
+        );
+        // exec opens 1.1 s after the request: the end-to-end latency.
+        assert!((c.total_secs - 1.1).abs() < 1e-9);
+        // The reclaim at 0.1 s blocked the decide until the 0.9 s grant.
+        assert!((c.reclaim_secs - 0.8).abs() < 1e-9);
+        let decide = c.legs.iter().find(|l| l.name == "decide").unwrap();
+        assert!(c.reclaim_secs <= decide.secs);
+    }
+
+    #[test]
+    fn blame_reattributes_reclaim_to_the_daemon() {
+        let events = chain_events();
+        let forest = SpanForest::from_events(&events);
+        let list = critical_paths(&forest, &events);
+        let blame = blame_table(&list);
+        // Rows come out most-expensive first; the reclaim wait dominates.
+        assert_eq!(blame[0].component, "daemon");
+        assert_eq!(blame[0].leg, "decide.reclaim");
+        assert!((blame[0].secs - 0.8).abs() < 1e-9);
+        let broker_decide = blame
+            .iter()
+            .find(|r| r.component == "broker" && r.leg == "decide")
+            .unwrap();
+        // decide leg 0.8998 s minus the 0.8 s reclaim share.
+        assert!((broker_decide.secs - 0.0998).abs() < 1e-9);
+        let total: f64 = blame.iter().map(|r| r.secs).sum();
+        assert!((total - list[0].total_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_chains_are_skipped_not_mangled() {
+        let events = chain_events();
+        let cut: Vec<TraceEvent> = events
+            .iter()
+            .filter(|e| e.at >= SimTime(900_000))
+            .cloned()
+            .collect();
+        let forest = SpanForest::from_events(&cut);
+        assert!(critical_paths(&forest, &cut).is_empty());
+        // Best-effort breakdowns and the JSON entry points still work.
+        let doc = critpath_json(&cut);
+        assert_eq!(
+            doc.path("legs.total.count").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn longest_chain_descends_to_quiescence() {
+        let events = chain_events();
+        let forest = SpanForest::from_events(&events);
+        let q = events.last().unwrap().at;
+        let chain = longest_chain(&forest, q).unwrap();
+        let names: Vec<&str> = chain.iter().map(|s| s.name.as_str()).collect();
+        // The request root stays open latest; under it every stage closes
+        // later than its siblings, so the chain is the full allocation.
+        assert_eq!(
+            names,
+            vec![
+                "rsh.request",
+                "alloc",
+                "alloc.decide",
+                "alloc.grant",
+                "alloc.spawn",
+                "alloc.exec"
+            ]
+        );
+        assert!(chain.windows(2).all(|w| w[0].open <= w[1].open));
+    }
+
+    #[test]
+    fn report_json_carries_percentiles_and_blame() {
+        let events = chain_events();
+        let doc = critpath_json(&events);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("rbtrace-critpath/v1")
+        );
+        assert_eq!(
+            doc.path("legs.decide.count").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let p999 = doc
+            .path("legs.total.p999_s")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!((p999 - 1.1).abs() < 1e-9);
+        assert!(!doc.get("blame").unwrap().as_arr().unwrap().is_empty());
+        let text = render_critpath(&events);
+        assert!(text.contains("blame:"), "{text}");
+        assert!(text.contains("longest dependent chain"), "{text}");
+    }
+
+    #[test]
+    fn flow_arrows_export_validates_and_pairs_up() {
+        let events = chain_events();
+        let doc = chrome_trace_with_flows(&events, None);
+        validate_chrome(&doc).expect("flow export validates");
+        let te = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let phase = |p: &str| {
+            te.iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(p))
+                .count()
+        };
+        // Six stages → five arrows, each one s + one f with matching ids.
+        assert_eq!(phase("s"), 5);
+        assert_eq!(phase("f"), 5);
+        let ids = |p: &str| -> Vec<f64> {
+            te.iter()
+                .filter(|e| e.get("ph").and_then(Json::as_str) == Some(p))
+                .map(|e| e.get("id").and_then(Json::as_f64).unwrap())
+                .collect()
+        };
+        assert_eq!(ids("s"), ids("f"));
+    }
+}

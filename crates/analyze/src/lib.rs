@@ -19,6 +19,13 @@
 //!   a schema validator. Entry points: [`breakdowns_from_events`],
 //!   [`chrome_trace`], plus the `rbtrace` binary.
 //!
+//! - **Critical-path analyzer** ([`critpath`], DESIGN.md §16) — strict
+//!   per-allocation latency-leg accounting (legs sum to the end-to-end
+//!   span), a component/leg blame table with reclaim re-attribution, the
+//!   longest dependent chain to quiescence, and Perfetto flow arrows.
+//!   Entry points: [`critical_paths`], [`critpath_json`], plus
+//!   `rbtrace critpath`.
+//!
 //! - **Interleaving explorer** ([`model`], DESIGN.md §11) — bounded
 //!   exhaustive exploration of same-instant tie-break schedules with
 //!   dynamic partial-order reduction, running the trace rules plus
@@ -26,6 +33,7 @@
 //!   terminal state. Entry points: [`explore`] and the `rbmodel` binary.
 
 pub mod check;
+pub mod critpath;
 pub mod graph;
 pub mod hb;
 pub mod model;
@@ -36,6 +44,10 @@ pub mod srcmodel;
 
 pub use check::{
     check_source_conformance, run_check, CheckConfig, CheckKind, Finding, SpecBinding,
+};
+pub use critpath::{
+    blame_table, chrome_trace_with_flows, critical_paths, critpath_json, longest_chain,
+    render_critpath, BlameRow, ChainStep, CritAlloc, CritLeg,
 };
 pub use graph::{all_specs, analyze_specs, check_protocol_graph, untimed_wait_cycles, GraphReport};
 pub use model::{explore, ExploreConfig, Mode, ModelReport, ModelScenario, ModelViolation};

@@ -297,8 +297,10 @@ pub fn render_utilization(u: &Utilization, buckets: usize) -> String {
 // ----------------------------------------------------------------------
 
 /// Synthetic pids grouping the exported tracks: span trees, raw trace
-/// instants, per-machine counters.
-const PID_SPANS: u64 = 1;
+/// instants, per-machine counters. The span pid is crate-visible so the
+/// critical-path flow arrows land on the same tracks as the slices they
+/// connect.
+pub(crate) const PID_SPANS: u64 = 1;
 const PID_EVENTS: u64 = 2;
 const PID_MACHINES: u64 = 3;
 
@@ -453,6 +455,21 @@ pub fn validate_chrome(doc: &Json) -> Result<usize, Vec<String>> {
         let num = |key: &str| e.get(key).and_then(Json::as_f64);
         match ph {
             "M" => {} // metadata: ts/pid optional
+            "s" | "f" => {
+                // Flow arrows bind to the slice at (pid, tid, ts) and
+                // pair up by id — all three must be present.
+                match num("ts") {
+                    Some(ts) if ts >= 0.0 => {}
+                    Some(_) => fail("negative \"ts\"".into()),
+                    None => fail(format!("ph {ph:?} without numeric \"ts\"")),
+                }
+                if num("pid").is_none() {
+                    fail(format!("ph {ph:?} without numeric \"pid\""));
+                }
+                if num("id").is_none() {
+                    fail(format!("flow ph {ph:?} without numeric \"id\""));
+                }
+            }
             "X" | "i" | "C" => {
                 match num("ts") {
                     Some(ts) if ts >= 0.0 => {}

@@ -1,0 +1,185 @@
+//! Critical-path acceptance (DESIGN.md §16): on a *real* reallocation
+//! run the strict leg accounting must balance — every allocation's five
+//! legs sum exactly to its end-to-end span duration, the decide leg of
+//! the reclaim-driven allocation carries the paper's ~1 s reallocation
+//! latency, and the whole pipeline (percentiles, blame, flow-arrow
+//! export) stays schema-valid. Plus the flight-recorder half: a span
+//! forest reconstructed from a streamed, *truncated* sink (the stream
+//! cut mid-span) degrades gracefully instead of fabricating chains.
+
+use rb_analyze::{blame_table, chrome_trace_with_flows, critical_paths, critpath_json};
+use rb_proto::CommandSpec;
+use rb_simcore::{Json, SimTime, SpanForest, SpanId, SpanTracker, TraceEvent, TraceRecorder};
+use rb_workloads::table2::prime_with_realloc_profiled;
+
+fn profiled_realloc() -> (Vec<TraceEvent>, Json, Json) {
+    let (outcome, trace, metrics, profile) = prime_with_realloc_profiled(2000, CommandSpec::Null);
+    assert!(
+        (0.7..=1.8).contains(&outcome.elapsed_secs),
+        "{}",
+        outcome.elapsed_secs
+    );
+    let events = rb_simcore::parse_rendered(&trace).expect("rendered trace parses");
+    (events, metrics, profile)
+}
+
+/// The acceptance invariant: legs are a contiguous partition of each
+/// allocation span, so they sum to the end-to-end duration — and the
+/// decide leg of the rsh′ allocation is the paper's reallocation latency.
+#[test]
+fn legs_sum_to_the_end_to_end_span_on_a_real_run() {
+    let (events, _, _) = profiled_realloc();
+    let forest = SpanForest::from_events(&events);
+    let list = critical_paths(&forest, &events);
+    // The rsh′ allocation plus Calypso's two worker allocations.
+    assert!(list.len() >= 3, "only {} complete chains", list.len());
+    for c in &list {
+        let sum: f64 = c.legs.iter().map(|l| l.secs).sum();
+        assert!(
+            (sum - c.total_secs).abs() < 1e-9,
+            "alloc s{}: legs sum {sum} != total {}",
+            c.alloc,
+            c.total_secs
+        );
+    }
+    // The Remote allocation forced a reclaim: its decide leg dominates
+    // and carries a non-zero daemon-blamed reclaim share.
+    let realloc = list
+        .iter()
+        .find(|c| c.kind.as_deref() == Some("Remote"))
+        .expect("the rsh' Remote allocation completed");
+    assert!((0.3..=1.8).contains(&realloc.total_secs), "{realloc:?}");
+    let decide = realloc.legs.iter().find(|l| l.name == "decide").unwrap();
+    assert!(
+        decide.secs > 0.4 * realloc.total_secs,
+        "decide {} of total {}",
+        decide.secs,
+        realloc.total_secs
+    );
+    assert!(
+        realloc.reclaim_secs > 0.0 && realloc.reclaim_secs <= decide.secs,
+        "reclaim share {} vs decide {}",
+        realloc.reclaim_secs,
+        decide.secs
+    );
+    // Blame conserves time: rows sum to the sum of all legs.
+    let blame = blame_table(&list);
+    let blamed: f64 = blame.iter().map(|r| r.secs).sum();
+    let total: f64 = list.iter().map(|c| c.total_secs).sum();
+    assert!((blamed - total).abs() < 1e-9, "blame {blamed} != {total}");
+    assert!(blame
+        .iter()
+        .any(|r| r.component == "daemon" && r.leg == "decide.reclaim"));
+}
+
+#[test]
+fn critpath_report_and_flow_export_validate_on_a_real_run() {
+    let (events, metrics, profile) = profiled_realloc();
+    let doc = critpath_json(&events);
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("rbtrace-critpath/v1")
+    );
+    let n = doc.path("legs.total.count").and_then(Json::as_f64).unwrap();
+    assert!(n >= 3.0);
+    assert!(doc
+        .path("legs.decide.p999_s")
+        .and_then(Json::as_f64)
+        .is_some());
+    let chain = doc.get("longest_chain").unwrap().as_arr().unwrap();
+    assert!(!chain.is_empty(), "no critical spine found");
+    // Flow arrows ride the normal chrome export and stay schema-valid.
+    let flows = chrome_trace_with_flows(&events, Some(&metrics));
+    rb_analyze::validate_chrome(&flows).expect("flow export validates");
+    let te = flows.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(te
+        .iter()
+        .any(|e| e.get("ph").and_then(Json::as_str) == Some("s")));
+    // The profiled run's provenance doc came along: behaviors table with
+    // the broker present, and a positive dispatch count.
+    assert!(profile
+        .get("behaviors")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .any(|b| b.get("name").and_then(Json::as_str) == Some("broker")));
+    assert!(
+        profile
+            .get("total_dispatches")
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+}
+
+/// Record the canonical allocation chain through a *streaming* sink and
+/// cut the stream mid-span (as a crashed or disk-full run would): the
+/// forest reconstructs what survived, never fabricates a complete chain,
+/// and the whole offline pipeline stays panic-free.
+#[test]
+fn span_forest_reconstructs_from_a_truncated_stream() {
+    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+    impl std::io::Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let bytes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let mut rec = TraceRecorder::streaming(Box::new(SharedBuf(bytes.clone())), 4);
+    let mut sp = SpanTracker::new();
+    let req = sp.open(&mut rec, SimTime(0), SpanId::NONE, "rsh.request", "n00 x");
+    let alloc = sp.open(
+        &mut rec,
+        SimTime(100),
+        req,
+        "alloc",
+        "g1 job=j1 kind=Default",
+    );
+    let decide = sp.open(&mut rec, SimTime(200), alloc, "alloc.decide", "g1 any");
+    let grant = sp.open(&mut rec, SimTime(900_000), decide, "alloc.grant", "g1 n01");
+    sp.close(
+        &mut rec,
+        SimTime(900_000),
+        decide,
+        "alloc.decide",
+        "granted",
+    );
+    let spawn = sp.open(&mut rec, SimTime(900_100), grant, "alloc.spawn", "g1 n01");
+    let exec = sp.open(&mut rec, SimTime(1_100_000), spawn, "alloc.exec", "g1 x");
+    sp.close(&mut rec, SimTime(6_000_000), exec, "alloc.exec", "done");
+    sp.close(&mut rec, SimTime(6_000_100), spawn, "alloc.spawn", "ready");
+    sp.close(&mut rec, SimTime(6_000_200), grant, "alloc.grant", "freed");
+    sp.close(&mut rec, SimTime(6_000_300), alloc, "alloc", "done");
+    sp.close(&mut rec, SimTime(6_000_400), req, "rsh.request", "exit:0");
+    rec.flush();
+    // Only a 4-event tail is resident; the stream carries everything.
+    assert!(rec.events().len() <= 8);
+    let streamed = String::from_utf8(std::cell::RefCell::borrow(&bytes).clone()).unwrap();
+    let full_events = rb_simcore::parse_rendered(&streamed).unwrap();
+    assert_eq!(SpanForest::from_events(&full_events).len(), 6);
+
+    // Cut the stream mid-span: drop everything from the grant open on,
+    // leaving request/alloc/decide open but nothing closed.
+    let cut_at = streamed.find("alloc.grant").expect("grant line streamed");
+    let head = &streamed[..cut_at];
+    let truncated = &head[..head.rfind('\n').map_or(0, |i| i + 1)];
+    let events = rb_simcore::parse_rendered(truncated).unwrap();
+    let forest = SpanForest::from_events(&events);
+    // The opens that streamed before the cut survive, still open.
+    assert_eq!(forest.len(), 3);
+    for rec in [1u64, 2, 3] {
+        let s = forest.get(rec).expect("open survived");
+        assert!(s.open_at.is_some() && s.close_at.is_none());
+    }
+    // Strict accounting refuses the incomplete chain; the best-effort
+    // breakdown yields the partial legs; nothing panics downstream.
+    assert!(critical_paths(&forest, &events).is_empty());
+    let partial = rb_analyze::breakdowns_from_events(&events);
+    assert_eq!(partial.len(), 1);
+    assert!(partial[0].total_secs.is_none());
+    assert!(rb_analyze::validate_chrome(&chrome_trace_with_flows(&events, None)).is_ok());
+}

@@ -6,8 +6,12 @@
 //!
 //! * `BENCH_kernel.json` — events/sec, wall ms, peak queue depth per
 //!   scenario (the simulator's own performance), plus a `metrics`
-//!   section: the sampled metrics registry from one traced reallocation
-//!   run (grants, reclaims, queue depths, allocation latency);
+//!   section (the sampled metrics registry from one profiled
+//!   reallocation run — grants, reclaims, queue depths, allocation
+//!   latency, `prof.*` dispatch accounting), a `profile` section (the
+//!   kernel self-profiler's per-behavior/per-payload wall-time tables
+//!   and the critical-path leg percentiles + blame, DESIGN.md §16), and
+//!   `host` provenance (CPU model, core count);
 //! * `BENCH_table2.json` — the paper-shaped Table 2 rows in simulated
 //!   seconds, alongside the harness wall-clock cost of producing them;
 //! * `BENCH_parallel.json` — the utilization scenario swept across kernel
@@ -176,12 +180,24 @@ fn main() -> ExitCode {
         println!("{}", render_scenario_line(&r));
         reports.push(r);
     }
-    // One reallocation run in observability trim: the sampled metrics
-    // registry (counters/gauges/latency histograms) rides along in the
-    // kernel report, so a baseline captures not just throughput but what
-    // the cluster *did* — grants, reclaims, queue depths, alloc latency.
-    let (_outcome, _trace, metrics) =
-        table2::prime_with_realloc_traced(BASE_SEED, table2::loop_cmd());
+    // One reallocation run in observability trim — now with the kernel
+    // self-profiler on: the sampled metrics registry (counters/gauges/
+    // latency histograms, including prof.*) rides along in the kernel
+    // report, so a baseline captures not just throughput but what the
+    // cluster *did* — grants, reclaims, queue depths, alloc latency —
+    // and where the host's dispatch time went while doing it.
+    let (_outcome, prof_trace, metrics, profile) =
+        table2::prime_with_realloc_profiled(BASE_SEED, table2::loop_cmd());
+    // Critical-path provenance over the same run: per-leg p50/p90/p99/
+    // p99.9 percentiles plus the component blame table (DESIGN.md §16).
+    let critpath = match rb_simcore::parse_rendered(&prof_trace) {
+        Ok(events) => rb_analyze::critpath_json(&events),
+        Err(e) => Json::obj().set("error", format!("trace parse failed: {e}")),
+    };
+    let profile_doc = Json::obj()
+        .set("enabled", true)
+        .set("kernel", profile)
+        .set("critpath", critpath);
     // Parallel-safety provenance: the rbrace static Send-readiness
     // summary of the shipped tree, plus a happens-before check over a
     // 4-shard hb-traced realloc run — a baseline records not just how
@@ -203,6 +219,7 @@ fn main() -> ExitCode {
     };
     let kernel_doc = report_json("rb-bench/kernel/v1", reps, &reports)
         .set("metrics", metrics)
+        .set("profile", profile_doc)
         .set("rbrace", rbrace_doc);
     write_doc("BENCH_kernel.json", &kernel_doc);
 

@@ -33,6 +33,30 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Host provenance: the machine the numbers were measured on. CPU model
+/// comes from `/proc/cpuinfo` (Linux; `"unknown"` elsewhere — no extra
+/// dependencies), core count from the scheduler. Wall-clock medians are
+/// meaningless without this next to them.
+pub fn host_json() -> Json {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Json::obj()
+        .set("cpu_model", cpu_model.as_str())
+        .set("cores", cores)
+        .set("os", std::env::consts::OS)
+        .set("arch", std::env::consts::ARCH)
+}
+
 fn queue_kind_str(kind: QueueKind) -> &'static str {
     match kind {
         QueueKind::Heap => "heap",
@@ -189,6 +213,7 @@ pub fn report_json(schema: &str, reps: usize, scenarios: &[ScenarioReport]) -> J
         .set("schema", schema)
         .set("generated_by", "rb-bench bench_report")
         .set("git_rev", git_rev())
+        .set("host", host_json())
         .set("samples", reps)
         .set("reps", reps)
         .set(
@@ -313,6 +338,10 @@ mod tests {
         let rev = doc.get("git_rev").and_then(Json::as_str).unwrap();
         assert!(!rev.is_empty());
         assert_eq!(doc.get("samples").and_then(Json::as_f64), Some(3.0));
+        // Host provenance rides every report: cpu model (may be
+        // "unknown" off-Linux) and a positive core count.
+        assert!(doc.path("host.cpu_model").and_then(Json::as_str).is_some());
+        assert!(doc.path("host.cores").and_then(Json::as_f64).unwrap() >= 1.0);
     }
 
     #[test]

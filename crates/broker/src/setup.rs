@@ -40,6 +40,14 @@ pub struct ClusterOptions {
     pub seed: u64,
     pub cost: CostModel,
     pub trace: bool,
+    /// Stream the trace to this writer instead of holding it in memory,
+    /// keeping only a tail of the given size resident — the flight
+    /// recorder for runs too large for a full in-memory trace (see
+    /// [`rb_simnet::WorldBuilder::trace_stream`]). Implies tracing on.
+    pub trace_stream: Option<(Box<dyn std::io::Write>, usize)>,
+    /// Self-profile the kernel (per-behavior / per-message-kind dispatch
+    /// wall time — see [`rb_simnet::WorldBuilder::profile`]).
+    pub profile: bool,
     /// Sample kernel/cluster gauges into the metrics registry at this
     /// interval (`None` disables metrics entirely — zero cost).
     pub metrics_interval: Option<rb_simcore::Duration>,
@@ -64,6 +72,8 @@ impl Default for ClusterOptions {
             seed: 1,
             cost: CostModel::default(),
             trace: true,
+            trace_stream: None,
+            profile: false,
             metrics_interval: None,
             scheduler: QueueKind::default(),
             shards: 1,
@@ -103,6 +113,7 @@ pub fn build_cluster(opts: ClusterOptions) -> Cluster {
         .seed(opts.seed)
         .cost(opts.cost)
         .trace(opts.trace)
+        .profile(opts.profile)
         .scheduler(opts.scheduler)
         .shards(opts.shards)
         .hb_trace(opts.hb_trace)
@@ -114,6 +125,9 @@ pub fn build_cluster(opts: ClusterOptions) -> Cluster {
                 .with(BrokerPrograms),
         )
         .rsh_prime(RshPrimeInstaller);
+    if let Some((out, tail_cap)) = opts.trace_stream {
+        b = b.trace_stream(out, tail_cap);
+    }
     if let Some(interval) = opts.metrics_interval {
         b = b.metrics(interval);
     }

@@ -558,6 +558,23 @@ pub enum Payload {
     Ctl(CtlMsg),
 }
 
+impl Payload {
+    /// Short static name of the protocol family this payload belongs to —
+    /// the kernel profiler's per-message-kind key (`&'static str`, so
+    /// recording allocates nothing).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::Broker(_) => "broker",
+            Payload::Appl(_) => "appl",
+            Payload::Pvm(_) => "pvm",
+            Payload::Lam(_) => "lam",
+            Payload::Calypso(_) => "calypso",
+            Payload::Plinda(_) => "plinda",
+            Payload::Ctl(_) => "ctl",
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,5 +611,6 @@ mod tests {
         let a = Payload::Ctl(CtlMsg::GrowHint { count: 2 });
         let b = a.clone();
         assert_eq!(a, b);
+        assert_eq!(a.kind_name(), "ctl");
     }
 }

@@ -13,9 +13,11 @@ pub mod arena;
 pub mod fxhash;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod queue;
 pub mod registry;
 pub mod rng;
+pub mod sink;
 pub mod span;
 pub mod spsc;
 pub mod time;
@@ -26,11 +28,15 @@ pub use arena::{Slab, SlabKey};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
 pub use metrics::{Histogram, Series, Summary};
+pub use prof::{ProfEntry, ProfTimer, Profiler};
 pub use queue::{EventQueue, QueueKind, QueueStats, ScheduleOracle};
 pub use registry::MetricsRegistry;
 pub use rng::SimRng;
+pub use sink::{FullSink, RingSink, StreamSink, TraceSink};
 pub use span::{SpanForest, SpanId, SpanRecord, SpanTracker};
 pub use spsc::SpscRing;
 pub use time::{Duration, SimTime};
-pub use trace::{parse_rendered, Topic, TraceEvent, TraceRecorder};
+pub use trace::{
+    parse_rendered, parse_stats_comment, Topic, TraceEvent, TraceFileStats, TraceRecorder,
+};
 pub use wheel::TimerWheel;

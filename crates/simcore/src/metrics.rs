@@ -72,6 +72,14 @@ impl Summary {
         }
     }
 
+    /// The 99.9th percentile — the tail statistic the latency-leg
+    /// reports quote alongside p50/p90/p99. With fewer than ~1000
+    /// samples this interpolates toward the maximum, which is the
+    /// honest answer for an under-sampled extreme tail.
+    pub fn p999(&self) -> f64 {
+        self.percentile(99.9)
+    }
+
     /// Population standard deviation.
     pub fn stddev(&self) -> f64 {
         if self.sorted.len() < 2 {
@@ -249,6 +257,23 @@ mod tests {
         assert_eq!(s.percentile(50.0), 50.0);
         assert_eq!(s.percentile(100.0), 100.0);
         assert!((s.percentile(25.0) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p999_interpolates_into_the_extreme_tail() {
+        // 0..=1000 → p99.9 by linear interpolation over ranks:
+        // rank = 0.999 * 1000 = 999.0 exactly → the 999th element.
+        let s = Summary::from_samples((0..=1000).map(f64::from).collect());
+        assert!((s.p999() - 999.0).abs() < 1e-9, "{}", s.p999());
+        // Between ranks it interpolates: 0..=100 → rank 99.9 → 99.9.
+        let s = Summary::from_samples((0..=100).map(f64::from).collect());
+        assert!((s.p999() - 99.9).abs() < 1e-9, "{}", s.p999());
+        // Ordering against its neighbors holds.
+        assert!(s.percentile(99.0) <= s.p999());
+        assert!(s.p999() <= s.max());
+        // Under-sampled tails collapse toward the max, never beyond.
+        let s = Summary::from_samples(vec![1.0, 2.0]);
+        assert!((s.p999() - 1.999).abs() < 1e-9);
     }
 
     #[test]

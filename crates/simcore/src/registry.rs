@@ -82,6 +82,27 @@ impl MetricsRegistry {
         self.counters.is_empty() && self.gauges.is_empty() && self.samples.is_empty()
     }
 
+    /// Fold another registry into this one — the cross-shard merge:
+    /// counters add, gauges take the other side's latest value, and
+    /// histogram sample sets concatenate (so merged quantiles are
+    /// computed over the union of observations, not averaged summaries —
+    /// averaging percentiles is the classic aggregation bug this method
+    /// exists to avoid).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for ((name, label), v) in &other.counters {
+            *self.counters.entry((name, label.clone())).or_insert(0) += v;
+        }
+        for ((name, label), v) in &other.gauges {
+            self.gauges.insert((name, label.clone()), *v);
+        }
+        for ((name, label), samples) in &other.samples {
+            self.samples
+                .entry((name, label.clone()))
+                .or_default()
+                .extend_from_slice(samples);
+        }
+    }
+
     /// Export everything as a JSON document:
     ///
     /// ```json
@@ -116,6 +137,7 @@ impl MetricsRegistry {
                     .set("p50", s.percentile(50.0))
                     .set("p90", s.percentile(90.0))
                     .set("p99", s.percentile(99.0))
+                    .set("p999", s.p999())
                     .set("max", s.max())
                     .set("mean", s.mean());
                 // Bucketize over the observed range so the export shows
@@ -211,6 +233,54 @@ mod tests {
         // Round-trips through the parser.
         let back = crate::json::parse(&doc.render()).unwrap();
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn merge_adds_counters_overwrites_gauges_and_pools_samples() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.add("shard.dispatched", "0", 10);
+        b.add("shard.dispatched", "0", 5);
+        b.add("shard.dispatched", "1", 7);
+        a.gauge_set("queue.depth", "", 3.0);
+        b.gauge_set("queue.depth", "", 9.0);
+        for v in [1.0, 2.0] {
+            a.observe("alloc.latency_s", "j1", v);
+        }
+        for v in [3.0, 4.0] {
+            b.observe("alloc.latency_s", "j1", v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counter("shard.dispatched", "0"), 15);
+        assert_eq!(a.counter("shard.dispatched", "1"), 7);
+        assert_eq!(a.gauge("queue.depth", ""), Some(9.0));
+        // Merged quantiles come from the pooled samples: the median of
+        // {1,2,3,4} is 2.5 — NOT the mean of per-shard medians computed
+        // on summaries (which would also be 2.5 here, so pin the count
+        // and an asymmetric percentile as well).
+        let s = a.summary("alloc.latency_s", "j1").unwrap();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.median(), 2.5);
+        assert_eq!(s.percentile(100.0), 4.0);
+        // Merging into an empty registry is a copy.
+        let mut fresh = MetricsRegistry::new();
+        fresh.merge(&a);
+        assert_eq!(fresh.counter("shard.dispatched", "0"), 15);
+        assert_eq!(fresh.summary("alloc.latency_s", "j1").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn histogram_export_includes_p999() {
+        let mut m = MetricsRegistry::new();
+        for v in 0..=1000 {
+            m.observe("prof.dispatch_us", "", f64::from(v));
+        }
+        let doc = m.to_json();
+        let hist = &doc.get("histograms").unwrap().as_arr().unwrap()[0];
+        let p999 = hist.get("p999").and_then(Json::as_f64).unwrap();
+        assert!((p999 - 999.0).abs() < 1e-9, "{p999}");
+        let p99 = hist.get("p99").and_then(Json::as_f64).unwrap();
+        assert!(p99 <= p999);
     }
 
     #[test]

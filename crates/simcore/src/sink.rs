@@ -1,0 +1,351 @@
+//! Pluggable trace storage ([`TraceSink`]): where a
+//! [`crate::TraceRecorder`]'s events actually go.
+//!
+//! Three implementations cover the memory/fidelity trade-off space:
+//!
+//! * [`FullSink`] — everything in memory (tests, short runs);
+//! * [`RingSink`] — a bounded recent tail (long soaks wanting a
+//!   post-mortem without unbounded growth);
+//! * [`StreamSink`] — every event rendered incrementally to an
+//!   `io::Write` byte stream, with a bounded in-memory tail riding along
+//!   so post-run checks and lints still have something to look at. The
+//!   streamed bytes are rendered with the exact same formatting as
+//!   [`crate::TraceRecorder::render`], so a streamed run's output is
+//!   byte-identical to an in-memory run's render — the property the
+//!   scheduler-equivalence suite pins down.
+//!
+//! Sinks see events one at a time, in dispatch order (the sharded
+//! kernel's per-shard staging recorders are merged through
+//! `TraceRecorder::absorb` before reaching the canonical sink), so a
+//! streaming sink needs no reordering buffer.
+
+use crate::trace::{render_event_into, TraceEvent};
+use std::fmt;
+use std::io::Write;
+
+/// Destination for recorded trace events. Implementations must preserve
+/// arrival order; `events()` exposes whatever is still resident in
+/// memory (everything for a full sink, the recent tail otherwise).
+pub trait TraceSink: fmt::Debug {
+    /// Store (and/or forward) one event.
+    fn accept(&mut self, e: TraceEvent);
+
+    /// The resident events, in arrival order.
+    fn events(&self) -> &[TraceEvent];
+
+    /// Drain the resident events (used by `TraceRecorder::absorb` on the
+    /// staging side).
+    fn take_events(&mut self) -> Vec<TraceEvent>;
+
+    /// Events irrecoverably lost: ring trimming for in-memory sinks,
+    /// failed writes for streaming sinks. A streamed event evicted from
+    /// the in-memory tail is *not* lost — it lives downstream.
+    fn dropped(&self) -> u64;
+
+    /// Total events ever accepted (resident or not).
+    fn recorded(&self) -> u64 {
+        self.events().len() as u64 + self.dropped()
+    }
+
+    /// Append a `#`-prefixed comment line to the downstream copy, if any.
+    /// In-memory sinks ignore comments — they are stream metadata (e.g.
+    /// the closing stats footer), not events.
+    fn comment(&mut self, _line: &str) {}
+
+    /// Flush any buffered output downstream.
+    fn flush(&mut self) {}
+}
+
+/// Unbounded in-memory storage: the classic full trace.
+#[derive(Debug, Default)]
+pub struct FullSink {
+    events: Vec<TraceEvent>,
+}
+
+impl FullSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-populated storage (rebuilding a recorder from parsed events).
+    pub fn with_events(events: Vec<TraceEvent>) -> Self {
+        FullSink { events }
+    }
+}
+
+impl TraceSink for FullSink {
+    fn accept(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Bounded in-memory storage keeping (at least) the `cap` most recent
+/// events: trimming happens once the buffer doubles the capacity, so
+/// appends stay amortized O(1) over contiguous storage. At most
+/// `2 × cap − 1` events are resident at any instant.
+#[derive(Debug)]
+pub struct RingSink {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            events: Vec::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Push with trim; returns how many events this push evicted.
+    fn push(&mut self, e: TraceEvent) -> u64 {
+        self.events.push(e);
+        if self.events.len() >= self.cap * 2 {
+            let trim = self.events.len() - self.cap;
+            self.events.drain(..trim);
+            trim as u64
+        } else {
+            0
+        }
+    }
+}
+
+impl TraceSink for RingSink {
+    fn accept(&mut self, e: TraceEvent) {
+        self.dropped += self.push(e);
+    }
+
+    fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Incremental rendering to a byte stream, with a bounded in-memory
+/// tail. Every accepted event is rendered exactly as
+/// [`crate::TraceRecorder::render`] renders it and written downstream
+/// immediately — so the stream of a run is byte-identical to the render
+/// of the same run recorded fully in memory — while the tail keeps the
+/// most recent `tail_cap` events resident for post-run queries.
+///
+/// The writer is used line-at-a-time: hand it a `BufWriter` (or an
+/// in-memory `Vec<u8>`) — a raw `File` would pay one syscall per event.
+/// Write failures are counted (and reported once on stderr) rather than
+/// panicking: a full disk should degrade observability, not the run.
+pub struct StreamSink {
+    out: Box<dyn Write>,
+    /// Scratch line buffer, reused across events.
+    buf: String,
+    tail: RingSink,
+    written: u64,
+    lost: u64,
+}
+
+impl StreamSink {
+    pub fn new(out: Box<dyn Write>, tail_cap: usize) -> Self {
+        StreamSink {
+            out,
+            buf: String::new(),
+            tail: RingSink::new(tail_cap),
+            written: 0,
+            lost: 0,
+        }
+    }
+
+    fn write_line(&mut self) {
+        match self.out.write_all(self.buf.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => {
+                if self.lost == 0 {
+                    eprintln!("trace stream write failed (suppressing further reports): {e}");
+                }
+                self.lost += 1;
+            }
+        }
+    }
+}
+
+// `Box<dyn Write>` has no `Debug`; summarize the counters instead.
+impl fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("written", &self.written)
+            .field("lost", &self.lost)
+            .field("tail", &self.tail)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceSink for StreamSink {
+    fn accept(&mut self, e: TraceEvent) {
+        self.buf.clear();
+        render_event_into(&mut self.buf, &e);
+        self.write_line();
+        // Tail eviction is not loss — the event is downstream.
+        self.tail.push(e);
+    }
+
+    fn events(&self) -> &[TraceEvent] {
+        self.tail.events()
+    }
+
+    fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.tail.take_events()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.lost
+    }
+
+    fn recorded(&self) -> u64 {
+        self.written + self.lost
+    }
+
+    fn comment(&mut self, line: &str) {
+        self.buf.clear();
+        if !line.starts_with('#') {
+            self.buf.push_str("# ");
+        }
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        match self.out.write_all(self.buf.as_bytes()) {
+            Ok(()) => {}
+            Err(e) => {
+                if self.lost == 0 {
+                    eprintln!("trace stream write failed (suppressing further reports): {e}");
+                }
+                self.lost += 1;
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Shared byte buffer so tests can inspect what a sink streamed
+    /// after the sink (which owns its writer) is dropped.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(pub Rc<RefCell<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.borrow_mut().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn ev(at: u64, topic: &'static str, detail: &str) -> TraceEvent {
+        TraceEvent {
+            at: SimTime(at),
+            topic: topic.into(),
+            detail: detail.to_string(),
+        }
+    }
+
+    #[test]
+    fn stream_bytes_match_full_render() {
+        let buf = SharedBuf::default();
+        let mut stream = StreamSink::new(Box::new(buf.clone()), 4);
+        let mut full = FullSink::new();
+        for i in 0..50u64 {
+            let e = ev(i * 1000, "tick", &format!("n{i}"));
+            stream.accept(e.clone());
+            full.accept(e);
+        }
+        let mut rendered = String::new();
+        for e in full.events() {
+            render_event_into(&mut rendered, e);
+        }
+        let streamed = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        assert_eq!(streamed, rendered);
+        // The tail holds only recent events, yet nothing was lost.
+        assert!(stream.events().len() < 10);
+        assert_eq!(stream.dropped(), 0);
+        assert_eq!(stream.recorded(), 50);
+        assert_eq!(stream.events().last().unwrap().detail, "n49");
+    }
+
+    #[test]
+    fn stream_comments_are_prefixed_and_not_events() {
+        let buf = SharedBuf::default();
+        let mut s = StreamSink::new(Box::new(buf.clone()), 4);
+        s.accept(ev(1, "a", "x"));
+        s.comment("rb-trace v1 events=1");
+        s.comment("# already prefixed");
+        s.flush();
+        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "# rb-trace v1 events=1");
+        assert_eq!(lines[2], "# already prefixed");
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(s.recorded(), 1);
+    }
+
+    #[test]
+    fn ring_sink_counts_drops_and_full_sink_never_drops() {
+        let mut ring = RingSink::new(3);
+        let mut full = FullSink::new();
+        for i in 0..20u64 {
+            ring.accept(ev(i, "t", ""));
+            full.accept(ev(i, "t", ""));
+        }
+        assert_eq!(full.dropped(), 0);
+        assert_eq!(full.recorded(), 20);
+        assert!(ring.dropped() > 0);
+        assert_eq!(ring.recorded(), 20);
+        assert_eq!(ring.events().len() as u64 + ring.dropped(), 20);
+    }
+
+    #[test]
+    fn failed_writes_count_as_dropped() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut s = StreamSink::new(Box::new(Broken), 4);
+        s.accept(ev(1, "a", "x"));
+        s.accept(ev(2, "a", "y"));
+        assert_eq!(s.dropped(), 2);
+        // The tail still has them — post-mortems survive a dead disk.
+        assert_eq!(s.events().len(), 2);
+    }
+}

@@ -9,11 +9,17 @@
 //! [`Topic`]s (a `&'static str` for the overwhelmingly common literal
 //! case, no interning table needed), and details are accepted as
 //! `impl Display` — callers pass `format_args!(…)` and the text is only
-//! materialized when the recorder is actually storing events. A bounded
-//! *ring* mode retains only the most recent events, so long runs can keep
-//! a post-mortem tail without unbounded memory growth.
+//! materialized when the recorder is actually storing events.
+//!
+//! Storage is a pluggable [`TraceSink`]: full in-memory (the default for
+//! enabled recorders), a bounded *ring* retaining only the most recent
+//! events, or a *streaming* sink rendering each event to a byte stream
+//! incrementally — bounded memory for runs too big to hold, with the
+//! streamed bytes identical to what [`TraceRecorder::render`] would have
+//! produced in memory (see `crate::sink`).
 
 use crate::queue::QueueStats;
+use crate::sink::{FullSink, RingSink, StreamSink, TraceSink};
 use crate::time::SimTime;
 use std::borrow::Borrow;
 use std::fmt;
@@ -116,39 +122,39 @@ pub struct TraceEvent {
     pub detail: String,
 }
 
-/// An append-only trace with query helpers.
+/// Render one event exactly as [`TraceRecorder::render`] does — the one
+/// formatting routine shared by in-memory rendering and the streaming
+/// sink, so streamed bytes and rendered strings can never drift apart.
+pub(crate) fn render_event_into(out: &mut String, e: &TraceEvent) {
+    use fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "{:>14}  {:<28} {}",
+        e.at.to_string(),
+        e.topic,
+        e.detail
+    );
+}
+
+/// An append-only trace with query helpers, storing into a [`TraceSink`]
+/// (`None` = disabled: every record is a single-branch no-op).
 #[derive(Debug, Default)]
 pub struct TraceRecorder {
-    events: Vec<TraceEvent>,
-    enabled: bool,
-    /// Ring capacity: retain at least this many recent events, trimming
-    /// once the buffer doubles it (amortized O(1), contiguous storage).
-    ring: Option<usize>,
-    /// Events discarded by ring trimming over the recorder's lifetime, so
-    /// truncation is observable instead of silent.
-    dropped: u64,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl TraceRecorder {
-    /// A recorder that stores events.
+    /// A recorder that stores every event in memory.
     pub fn enabled() -> Self {
         TraceRecorder {
-            events: Vec::new(),
-            enabled: true,
-            ring: None,
-            dropped: 0,
+            sink: Some(Box::new(FullSink::new())),
         }
     }
 
     /// A recorder that drops everything (for long utilization runs where
     /// only metrics matter).
     pub fn disabled() -> Self {
-        TraceRecorder {
-            events: Vec::new(),
-            enabled: false,
-            ring: None,
-            dropped: 0,
-        }
+        TraceRecorder { sink: None }
     }
 
     /// A bounded recorder keeping (at least) the `cap` most recent events:
@@ -157,28 +163,49 @@ impl TraceRecorder {
     /// resident at any instant.
     pub fn ring(cap: usize) -> Self {
         TraceRecorder {
-            events: Vec::new(),
-            enabled: true,
-            ring: Some(cap.max(1)),
-            dropped: 0,
+            sink: Some(Box::new(RingSink::new(cap))),
         }
     }
 
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
+    /// A recorder streaming every event to `out` as rendered text (the
+    /// exact bytes [`TraceRecorder::render`] would produce), keeping only
+    /// the most recent `tail_cap` events in memory. Hand it a buffered
+    /// writer — the sink writes line-at-a-time. This is how runs too
+    /// large to hold a trace in memory stay fully observable.
+    pub fn streaming(out: Box<dyn std::io::Write>, tail_cap: usize) -> Self {
+        TraceRecorder {
+            sink: Some(Box::new(StreamSink::new(out, tail_cap))),
+        }
     }
 
-    /// Total events discarded by ring trimming (0 outside ring mode).
+    /// A recorder over an explicit sink implementation.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        TraceRecorder { sink: Some(sink) }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Total events irrecoverably lost: ring trimming for in-memory
+    /// recorders, failed downstream writes for streaming ones. (An event
+    /// evicted from a streaming recorder's in-memory tail is *not* lost —
+    /// it lives in the stream.)
     pub fn dropped_events(&self) -> u64 {
-        self.dropped
+        self.sink.as_deref().map_or(0, TraceSink::dropped)
+    }
+
+    /// Total events ever recorded, resident in memory or not.
+    pub fn recorded_events(&self) -> u64 {
+        self.sink.as_deref().map_or(0, TraceSink::recorded)
     }
 
     /// Record an event (no-op when disabled). The detail is accepted as
     /// `impl Display` and only formatted when the recorder is enabled —
     /// pass `format_args!(…)` to keep the disabled path allocation-free.
     pub fn record(&mut self, at: SimTime, topic: impl Into<Topic>, detail: impl fmt::Display) {
-        if self.enabled {
-            self.push(TraceEvent {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.accept(TraceEvent {
                 at,
                 topic: topic.into(),
                 detail: detail.to_string(),
@@ -186,62 +213,87 @@ impl TraceRecorder {
         }
     }
 
-    fn push(&mut self, e: TraceEvent) {
-        self.events.push(e);
-        if let Some(cap) = self.ring {
-            if self.events.len() >= cap * 2 {
-                let trim = self.events.len() - cap;
-                self.events.drain(..trim);
-                self.dropped += trim as u64;
+    /// Move every event out of `staging` into this recorder, preserving
+    /// order and applying this recorder's retention policy event by event
+    /// — so a trace assembled through staging recorders is byte-identical
+    /// to one recorded directly, ring trimming and streaming included.
+    /// The sharded kernel records each dispatch into a per-shard staging
+    /// recorder and absorbs it here, merging per-shard streams back into
+    /// the canonical dispatch order. When this recorder is disabled the
+    /// staged events are discarded.
+    pub fn absorb(&mut self, staging: &mut TraceRecorder) {
+        let Some(staged) = staging.sink.as_deref_mut() else {
+            return;
+        };
+        let events = staged.take_events();
+        if let Some(sink) = self.sink.as_deref_mut() {
+            for e in events {
+                sink.accept(e);
             }
         }
     }
 
-    /// Move every event out of `staging` into this recorder, preserving
-    /// order and applying this recorder's retention policy event by event
-    /// — so a trace assembled through staging recorders is byte-identical
-    /// to one recorded directly, ring trimming included. The sharded
-    /// kernel records each dispatch into a per-shard staging recorder and
-    /// absorbs it here, merging per-shard streams back into the canonical
-    /// dispatch order. When this recorder is disabled the staged events
-    /// are discarded.
-    pub fn absorb(&mut self, staging: &mut TraceRecorder) {
-        if !self.enabled {
-            staging.events.clear();
-            return;
-        }
-        for e in staging.events.drain(..) {
-            self.push(e);
+    /// All retained events, in recording order (which equals time order,
+    /// since the kernel records as it dispatches). In ring or streaming
+    /// mode this is the recent tail, not the full history.
+    pub fn events(&self) -> &[TraceEvent] {
+        self.sink.as_deref().map_or(&[], TraceSink::events)
+    }
+
+    /// Append a `#` comment line to the downstream stream, if this
+    /// recorder streams (no-op otherwise — comments are stream metadata,
+    /// not events).
+    pub fn comment(&mut self, line: &str) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.comment(line);
         }
     }
 
-    /// All retained events, in recording order (which equals time order,
-    /// since the kernel records as it dispatches). In ring mode this is
-    /// the recent tail, not the full history.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Flush any buffered downstream output.
+    pub fn flush(&mut self) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.flush();
+        }
+    }
+
+    /// Close out a streaming trace: append the same stats line
+    /// [`TraceRecorder::render_with_stats`] puts at the top — as a
+    /// trailing `#` footer, since a stream cannot be prepended to — and
+    /// flush. [`parse_rendered`] skips comment lines wherever they
+    /// appear, so a finished stream parses exactly like a rendered dump.
+    pub fn finish_stream(&mut self, stats: &QueueStats) {
+        let line = format!(
+            "# rb-trace v1 events={} dropped={} scheduled={} dispatched={} peak_depth={}",
+            self.recorded_events(),
+            self.dropped_events(),
+            stats.scheduled,
+            stats.dispatched,
+            stats.peak_depth,
+        );
+        self.comment(&line);
+        self.flush();
     }
 
     /// Events whose topic starts with `prefix`.
     pub fn with_topic<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events
+        self.events()
             .iter()
             .filter(move |e| e.topic.starts_with(prefix))
     }
 
     /// First event with the exact topic.
     pub fn first(&self, topic: &str) -> Option<&TraceEvent> {
-        self.events.iter().find(|e| e.topic == topic)
+        self.events().iter().find(|e| e.topic == topic)
     }
 
     /// Last event with the exact topic.
     pub fn last(&self, topic: &str) -> Option<&TraceEvent> {
-        self.events.iter().rev().find(|e| e.topic == topic)
+        self.events().iter().rev().find(|e| e.topic == topic)
     }
 
     /// Count of events with the exact topic.
     pub fn count(&self, topic: &str) -> usize {
-        self.events.iter().filter(|e| e.topic == topic).count()
+        self.events().iter().filter(|e| e.topic == topic).count()
     }
 
     /// Assert (returning `Result` for test ergonomics) that events with the
@@ -249,7 +301,7 @@ impl TraceRecorder {
     /// may interleave freely.
     pub fn check_order(&self, topics: &[&str]) -> Result<(), String> {
         let mut idx = 0;
-        for e in &self.events {
+        for e in self.events() {
             if idx < topics.len() && e.topic == topics[idx] {
                 idx += 1;
             }
@@ -260,23 +312,16 @@ impl TraceRecorder {
             Err(format!(
                 "expected topic '{}' (position {idx}) was not found in order; trace has {} events",
                 topics[idx],
-                self.events.len()
+                self.events().len()
             ))
         }
     }
 
     /// Render the trace as text lines (for example binaries and debugging).
     pub fn render(&self) -> String {
-        use fmt::Write as _;
         let mut out = String::new();
-        for e in &self.events {
-            let _ = writeln!(
-                out,
-                "{:>14}  {:<28} {}",
-                e.at.to_string(),
-                e.topic,
-                e.detail
-            );
+        for e in self.events() {
+            render_event_into(&mut out, e);
         }
         out
     }
@@ -287,8 +332,8 @@ impl TraceRecorder {
     pub fn render_with_stats(&self, stats: &QueueStats) -> String {
         format!(
             "# rb-trace v1 events={} dropped={} scheduled={} dispatched={} peak_depth={}\n{}",
-            self.events.len(),
-            self.dropped,
+            self.events().len(),
+            self.dropped_events(),
             stats.scheduled,
             stats.dispatched,
             stats.peak_depth,
@@ -301,10 +346,7 @@ impl TraceRecorder {
     /// offline trace tooling such as `rblint`).
     pub fn from_events(events: Vec<TraceEvent>) -> Self {
         TraceRecorder {
-            events,
-            enabled: true,
-            ring: None,
-            dropped: 0,
+            sink: Some(Box::new(FullSink::with_events(events))),
         }
     }
 }
@@ -350,6 +392,50 @@ pub fn parse_rendered(text: &str) -> Result<Vec<TraceEvent>, String> {
             Err(e) => Some(Err(format!("line {}: {e}", n + 1))),
         })
         .collect()
+}
+
+/// Parse the `# rb-trace v1 …` stats line out of a rendered dump
+/// (header or streamed footer): `(events, dropped, scheduled,
+/// dispatched, peak_depth)` in emission order. `None` when no stats
+/// comment is present.
+pub fn parse_stats_comment(text: &str) -> Option<TraceFileStats> {
+    for line in text.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix('#') else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(fields) = rest.strip_prefix("rb-trace v1") else {
+            continue;
+        };
+        let mut stats = TraceFileStats::default();
+        for tok in fields.split_whitespace() {
+            let Some((k, v)) = tok.split_once('=') else {
+                continue;
+            };
+            let Ok(v) = v.parse::<u64>() else { continue };
+            match k {
+                "events" => stats.events = v,
+                "dropped" => stats.dropped = v,
+                "scheduled" => stats.scheduled = v,
+                "dispatched" => stats.dispatched = v,
+                "peak_depth" => stats.peak_depth = v,
+                _ => {}
+            }
+        }
+        return Some(stats);
+    }
+    None
+}
+
+/// The engine-health counters a `# rb-trace v1` stats comment carries.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraceFileStats {
+    pub events: u64,
+    pub dropped: u64,
+    pub scheduled: u64,
+    pub dispatched: u64,
+    pub peak_depth: u64,
 }
 
 #[cfg(test)]
@@ -417,6 +503,7 @@ mod tests {
         assert_eq!(events.last().unwrap().detail, "99");
         let details: Vec<u64> = events.iter().map(|e| e.detail.parse().unwrap()).collect();
         assert!(details.windows(2).all(|w| w[0] + 1 == w[1]));
+        assert_eq!(t.recorded_events(), 100);
     }
 
     #[test]
@@ -447,6 +534,58 @@ mod tests {
         off.absorb(&mut staging);
         assert!(off.events().is_empty());
         assert!(staging.events().is_empty());
+    }
+
+    #[test]
+    fn streaming_recorder_emits_render_bytes() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let mut streamed = TraceRecorder::streaming(Box::new(buf.clone()), 8);
+        let mut full = TraceRecorder::enabled();
+        let mut staging = TraceRecorder::enabled();
+        for i in 0..64u64 {
+            full.record(SimTime(i * 10), "tick", format_args!("{i}"));
+            // Half through staging + absorb, as the sharded kernel would.
+            if i % 2 == 0 {
+                streamed.record(SimTime(i * 10), "tick", format_args!("{i}"));
+            } else {
+                staging.record(SimTime(i * 10), "tick", format_args!("{i}"));
+                streamed.absorb(&mut staging);
+            }
+        }
+        let bytes = String::from_utf8(RefCell::borrow(&buf.0).clone()).unwrap();
+        assert_eq!(bytes, full.render());
+        assert_eq!(streamed.recorded_events(), 64);
+        assert_eq!(streamed.dropped_events(), 0);
+        // Footer: stats travel as a trailing comment the parser skips.
+        let stats = QueueStats {
+            scheduled: 64,
+            dispatched: 64,
+            peak_depth: 9,
+            depth: 0,
+        };
+        streamed.finish_stream(&stats);
+        let text = String::from_utf8(RefCell::borrow(&buf.0).clone()).unwrap();
+        assert!(text.ends_with("peak_depth=9\n"), "{text:?}");
+        let parsed = parse_rendered(&text).unwrap();
+        assert_eq!(parsed, parse_rendered(&full.render()).unwrap());
+        let fs = parse_stats_comment(&text).unwrap();
+        assert_eq!(fs.events, 64);
+        assert_eq!(fs.peak_depth, 9);
     }
 
     #[test]
@@ -500,6 +639,12 @@ mod tests {
         assert!(text.contains("peak_depth=3"));
         let parsed = parse_rendered(&text).unwrap();
         assert_eq!(parsed, t.events());
+        let fs = parse_stats_comment(&text).unwrap();
+        assert_eq!(fs.events, 4);
+        assert_eq!(fs.scheduled, 7);
+        assert_eq!(fs.dispatched, 5);
+        assert_eq!(fs.peak_depth, 3);
+        assert!(parse_stats_comment("plain text\n").is_none());
     }
 
     #[test]

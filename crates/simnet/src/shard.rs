@@ -83,6 +83,10 @@ pub struct LaneStats {
     pub barrier_waits: u64,
     /// Times a full outbound ring from this shard forced an inline drain.
     pub ring_full: u64,
+    /// Host wall-clock nanoseconds spent dispatching this lane's events
+    /// (filled only when the world profiles; see `WorldBuilder::profile`).
+    /// Lane imbalance here is the ceiling on wall-parallel speed-up.
+    pub wall_ns: u64,
 }
 
 /// Snapshot of the sharded kernel's synchronizer state.
@@ -204,6 +208,12 @@ impl ShardEngine {
     /// with `track_causes`.
     pub(crate) fn last_pop(&self) -> Option<PopMeta> {
         self.last_pop
+    }
+
+    /// Credit `ns` of host dispatch time to `shard`'s lane (self-profiling
+    /// worlds only; pure accounting, invisible to the simulation).
+    pub(crate) fn note_lane_wall(&mut self, shard: usize, ns: u64) {
+        self.per_shard[shard].wall_ns += ns;
     }
 
     pub(crate) fn is_empty(&self) -> bool {

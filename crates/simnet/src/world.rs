@@ -20,8 +20,8 @@ use rb_proto::{
 };
 use rb_simcore::FxHashMap;
 use rb_simcore::{
-    Duration, EventQueue, Json, MetricsRegistry, QueueKind, SimRng, SimTime, Slab, SpanId,
-    SpanTracker, TraceRecorder,
+    Duration, EventQueue, Json, MetricsRegistry, ProfTimer, Profiler, QueueKind, SimRng, SimTime,
+    Slab, SpanId, SpanTracker, TraceRecorder,
 };
 use std::sync::Arc;
 
@@ -239,6 +239,8 @@ pub struct WorldBuilder {
     cost: CostModel,
     trace: bool,
     trace_ring: Option<usize>,
+    trace_stream: Option<(Box<dyn std::io::Write>, usize)>,
+    profile: bool,
     metrics_interval: Option<Duration>,
     scheduler: QueueKind,
     shards: usize,
@@ -256,6 +258,8 @@ impl WorldBuilder {
             cost: CostModel::default(),
             trace: true,
             trace_ring: None,
+            trace_stream: None,
+            profile: false,
             metrics_interval: None,
             scheduler: QueueKind::Heap,
             shards: 1,
@@ -300,6 +304,28 @@ impl WorldBuilder {
     pub fn trace_ring(mut self, cap: usize) -> Self {
         self.trace = true;
         self.trace_ring = Some(cap);
+        self
+    }
+
+    /// Stream every trace event to `out` as rendered text the moment it
+    /// is recorded — the flight-recorder mode for runs whose full trace
+    /// would not fit in memory. Only the most recent `tail_cap` events
+    /// stay resident (for post-run queries and trace checks); the stream
+    /// carries the complete, byte-identical [`TraceRecorder::render`]
+    /// output. Hand it a buffered writer — the sink writes one line per
+    /// event. Implies tracing on; overrides [`WorldBuilder::trace_ring`].
+    pub fn trace_stream(mut self, out: Box<dyn std::io::Write>, tail_cap: usize) -> Self {
+        self.trace = true;
+        self.trace_stream = Some((out, tail_cap));
+        self
+    }
+
+    /// Self-profile the kernel: per-behavior and per-message-kind
+    /// dispatch wall time plus per-lane load on sharded kernels. Host-side
+    /// accounting only — a profiled run replays byte-identical to an
+    /// unprofiled one. Costs one `Instant::now()` pair per dispatch.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
         self
     }
 
@@ -407,11 +433,13 @@ impl WorldBuilder {
             services: FxHashMap::default(),
             disks: FxHashMap::default(),
             rng: SimRng::seeded(self.seed),
-            trace: match (self.trace, self.trace_ring) {
-                (true, Some(cap)) => TraceRecorder::ring(cap),
-                (true, None) => TraceRecorder::enabled(),
-                (false, _) => TraceRecorder::disabled(),
+            trace: match (self.trace, self.trace_stream, self.trace_ring) {
+                (true, Some((out, cap)), _) => TraceRecorder::streaming(out, cap),
+                (true, None, Some(cap)) => TraceRecorder::ring(cap),
+                (true, None, None) => TraceRecorder::enabled(),
+                (false, _, _) => TraceRecorder::disabled(),
             },
+            prof: self.profile.then(|| Box::new(Profiler::new())),
             spans: SpanTracker::new(),
             metrics: self.metrics_interval.map(|interval| MetricsState {
                 registry: MetricsRegistry::new(),
@@ -524,6 +552,9 @@ pub struct World {
     pub(crate) disks: FxHashMap<(MachineId, String, String), Vec<u8>>,
     pub(crate) rng: SimRng,
     pub(crate) trace: TraceRecorder,
+    /// Kernel self-profile (host wall time per behavior / payload kind /
+    /// lane); `None` keeps the dispatch hot path free of `Instant` calls.
+    prof: Option<Box<Profiler>>,
     /// Span-id allocator for the causal span layer (ids are handed out in
     /// dispatch order, so they replay deterministically).
     pub(crate) spans: SpanTracker,
@@ -553,6 +584,28 @@ struct MetricsState {
     registry: MetricsRegistry,
     interval: Duration,
     next_at: SimTime,
+}
+
+/// Feed the profiler's cumulative totals into the registry as `prof.*`
+/// counters (delta-published, so repeated calls never double-count) plus
+/// one `prof.dispatch_us` sample per call: the mean dispatch cost over
+/// the window since the previous publication, giving the registry a
+/// histogram of dispatch-cost trajectory over the run.
+fn publish_prof_deltas(prof: &Profiler, reg: &mut MetricsRegistry) {
+    let n = prof.total_dispatches();
+    let ns = prof.total_wall_ns();
+    let prev_n = reg.counter("prof.dispatches", "");
+    let prev_ns = reg.counter("prof.wall_ns", "");
+    if n > prev_n {
+        reg.observe(
+            "prof.dispatch_us",
+            "",
+            (ns - prev_ns) as f64 / (n - prev_n) as f64 / 1e3,
+        );
+    }
+    reg.add("prof.dispatches", "", n - prev_n);
+    reg.add("prof.wall_ns", "", ns - prev_ns);
+    prof.publish_deltas(reg);
 }
 
 impl World {
@@ -679,9 +732,39 @@ impl World {
                     .set("peak_depth", stats.peak_depth)
                     .set("depth", stats.depth)
                     .set("trace_events", self.trace.events().len())
-                    .set("trace_dropped", self.trace.dropped_events()),
+                    .set("trace_dropped", self.trace.dropped_events())
+                    .set("profiled", self.prof.is_some()),
             ),
         )
+    }
+
+    /// The kernel self-profile, when enabled via [`WorldBuilder::profile`].
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.prof.as_deref()
+    }
+
+    /// Export the self-profile as JSON — the `profile` provenance section
+    /// of bench reports. `None` when profiling was not enabled.
+    pub fn profile_json(&self) -> Option<Json> {
+        self.prof.as_deref().map(|p| p.to_json())
+    }
+
+    /// Publish profiling counters accumulated since the last metrics
+    /// sample into the registry — call before [`World::metrics_json`] so
+    /// the final export is current. No-op unless both profiling and
+    /// metrics are enabled.
+    pub fn flush_profile_metrics(&mut self) {
+        if let (Some(prof), Some(m)) = (self.prof.as_deref(), self.metrics.as_mut()) {
+            publish_prof_deltas(prof, &mut m.registry);
+        }
+    }
+
+    /// Close out a streaming trace: append the stats footer (the same
+    /// counters [`World::render_trace_with_stats`] puts in the header)
+    /// and flush the downstream writer. No-op for in-memory recorders.
+    pub fn finish_trace_stream(&mut self) {
+        let stats = self.kernel.stats();
+        self.trace.finish_stream(&stats);
     }
 
     /// Sample gauges once the virtual-time cursor is due. A quiet world
@@ -738,10 +821,15 @@ impl World {
                 m.registry.add("shard.barrier_waits", i, b);
                 let r = lane.ring_full - m.registry.counter("shard.ring_full", &label);
                 m.registry.add("shard.ring_full", i, r);
+                let w = lane.wall_ns - m.registry.counter("shard.wall_ns", &label);
+                m.registry.add("shard.wall_ns", i, w);
             }
             for stall in engine.take_pending_stalls() {
                 m.registry.observe("shard.barrier_stall", "", stall);
             }
+        }
+        if let Some(prof) = self.prof.as_deref() {
+            publish_prof_deltas(prof, &mut m.registry);
         }
     }
 
@@ -1190,6 +1278,17 @@ impl World {
         if self.hb_trace {
             self.record_hb(&ev);
         }
+        // Lane accounting wants the owning shard regardless of whether
+        // tracing (and hence staging) is on.
+        let lane = if self.prof.is_some() {
+            match &self.kernel {
+                Kernel::Sharded(e) => e.current_shard(),
+                Kernel::Serial(_) => None,
+            }
+        } else {
+            None
+        };
+        let lane_t0 = lane.map(|_| ProfTimer::start());
         let staged = if self.shard_traces.is_empty() {
             None
         } else {
@@ -1206,6 +1305,15 @@ impl World {
             canon.absorb(staging);
         } else {
             self.handle(ev);
+        }
+        if let (Some(s), Some(t0)) = (lane, lane_t0) {
+            let ns = t0.elapsed_ns();
+            if let Some(prof) = self.prof.as_deref_mut() {
+                prof.record_lane(s, ns);
+            }
+            if let Kernel::Sharded(e) = &mut self.kernel {
+                e.note_lane_wall(s, ns);
+            }
         }
         if let Kernel::Sharded(e) = &mut self.kernel {
             e.end_dispatch();
@@ -1382,7 +1490,15 @@ impl World {
             Event::Start(p) => self.dispatch(p, |b, ctx| b.on_start(ctx)),
             Event::Deliver { to, from, msg } => {
                 if self.alive(to) {
+                    let kind = self.prof.as_ref().map(|_| msg.kind_name());
+                    let t0 = kind.map(|_| ProfTimer::start());
                     self.dispatch(to, move |b, ctx| b.on_message(ctx, from, msg));
+                    if let (Some(kind), Some(t0)) = (kind, t0) {
+                        let ns = t0.elapsed_ns();
+                        if let Some(prof) = self.prof.as_deref_mut() {
+                            prof.record_payload(kind, ns);
+                        }
+                    }
                 } else {
                     self.trace
                         .record(self.now, "msg.drop", format_args!("to dead {to}"));
@@ -1459,9 +1575,14 @@ impl World {
         let Some(mut behavior) = entry.behavior.take() else {
             return; // re-entrant dispatch cannot happen, but be safe
         };
+        let name = entry.name;
+        let t0 = self.prof.as_ref().map(|_| ProfTimer::start());
         let mut ctx = Ctx::new(self, p);
         f(behavior.as_mut(), &mut ctx);
         let exit = ctx.take_exit();
+        if let (Some(t0), Some(prof)) = (t0, self.prof.as_deref_mut()) {
+            prof.record_behavior(name, t0.elapsed_ns());
+        }
         if let Some(entry) = self.procs.get_mut(p) {
             if matches!(entry.state, ProcState::Running) {
                 entry.behavior = Some(behavior);

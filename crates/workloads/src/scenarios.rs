@@ -123,6 +123,65 @@ pub fn broker_testbed_obs(
     c
 }
 
+/// [`broker_testbed_sharded`] with the trace *streamed* to `out` (only a
+/// `tail_cap`-event tail stays resident) — the flight-recorder trim for
+/// runs whose full trace would not fit in memory. The stream carries
+/// byte-identical [`rb_simcore::TraceRecorder::render`] output, which
+/// the scheduler-equivalence suite pins against in-memory recording.
+pub fn broker_testbed_streamed(
+    publics: usize,
+    seed: u64,
+    policy: Box<dyn Policy>,
+    scheduler: QueueKind,
+    shards: usize,
+    out: Box<dyn std::io::Write>,
+    tail_cap: usize,
+) -> Cluster {
+    let mut machines = vec![MachineAttrs::private_linux("n00", "user")];
+    machines.extend((1..=publics).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
+    let opts = ClusterOptions {
+        seed,
+        machines,
+        policy,
+        trace: true,
+        trace_stream: Some((out, tail_cap)),
+        scheduler,
+        shards,
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    c.world.set_owner_present(c.machines[0], true);
+    c.settle();
+    c
+}
+
+/// [`broker_testbed_obs`] with the kernel self-profiler on: spans traced,
+/// gauges sampled, and per-behavior / per-message-kind dispatch wall time
+/// accumulated (`prof.*` metrics + `World::profile_json`). What the
+/// prof-smoke CI job and the bench profile provenance run against.
+pub fn broker_testbed_profiled(
+    publics: usize,
+    seed: u64,
+    policy: Box<dyn Policy>,
+    metrics_interval: rb_simcore::Duration,
+) -> Cluster {
+    let mut machines = vec![MachineAttrs::private_linux("n00", "user")];
+    machines.extend((1..=publics).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
+    let opts = ClusterOptions {
+        seed,
+        machines,
+        policy,
+        trace: true,
+        profile: true,
+        metrics_interval: Some(metrics_interval),
+        ..Default::default()
+    };
+    let mut c = build_cluster(opts);
+    c.world.set_owner_present(c.machines[0], true);
+    c.settle();
+    c
+}
+
 /// Submit an adaptive Calypso job from `n00` that tries to hold `workers`
 /// machines forever (`cpu_millis` per task). Returns the appl's id.
 pub fn submit_endless_calypso(c: &mut Cluster, workers: u32, cpu_millis: u64) -> ProcId {

@@ -11,7 +11,7 @@ use crate::drivers::{slot, ExecOutcome, TimedRsh};
 use crate::report::Row;
 use crate::scenarios::{
     await_calypso_workers, broker_testbed, broker_testbed_hb, broker_testbed_obs,
-    broker_testbed_sharded, submit_endless_calypso, LOOP_MILLIS,
+    broker_testbed_profiled, broker_testbed_sharded, submit_endless_calypso, LOOP_MILLIS,
 };
 use rb_broker::{Cluster, DefaultPolicy, JobRequest, JobRun};
 use rb_proto::CommandSpec;
@@ -129,6 +129,52 @@ pub fn prime_with_realloc_traced(
     let trace = c.world.render_trace_with_stats();
     let metrics = c.world.metrics_json().expect("metrics enabled");
     (outcome, trace, metrics)
+}
+
+/// [`prime_with_realloc_traced`] with the kernel self-profiler on:
+/// returns the outcome, the rendered trace, the metrics JSON (carrying
+/// `prof.*` counters), and the `profile` provenance document. The
+/// prof-smoke CI job and `bench_report`'s profile section run this.
+pub fn prime_with_realloc_profiled(
+    seed: u64,
+    cmd: CommandSpec,
+) -> (RunOutcome, String, rb_simcore::Json, rb_simcore::Json) {
+    let mut c = broker_testbed_profiled(
+        2,
+        seed,
+        Box::new(DefaultPolicy::default()),
+        rb_simcore::Duration::from_millis(500),
+    );
+    submit_endless_calypso(&mut c, 2, 800);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 2, limit);
+    let t0 = c.world.now();
+    let appl = c.submit(
+        c.machines[0],
+        JobRequest {
+            rsl: "(adaptive=0)".into(),
+            user: "user".into(),
+            run: JobRun::Remote {
+                host: "anylinux".into(),
+                cmd,
+            },
+        },
+    );
+    let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
+    let status = c.await_appl(appl, limit).expect("appl finished");
+    assert!(status.is_success(), "{status}");
+    let elapsed_secs = (c.world.now() - t0).as_secs_f64();
+    let settle = SimTime(c.world.now().as_micros() + 5_000_000);
+    c.world.run_until(settle);
+    let outcome = RunOutcome {
+        elapsed_secs,
+        queue: c.world.kernel_stats(),
+    };
+    let trace = c.world.render_trace_with_stats();
+    c.world.flush_profile_metrics();
+    let metrics = c.world.metrics_json().expect("metrics enabled");
+    let profile = c.world.profile_json().expect("profiling enabled");
+    (outcome, trace, metrics, profile)
 }
 
 /// [`prime_with_realloc`] on an explicit queue backend and shard count.

@@ -7,8 +7,32 @@
 use rb_broker::DefaultPolicy;
 use rb_simcore::{QueueKind, SimTime};
 use rb_workloads::scenarios::{
-    await_calypso_workers, broker_testbed_sharded, submit_endless_calypso,
+    await_calypso_workers, broker_testbed_sharded, broker_testbed_streamed, submit_endless_calypso,
 };
+use std::cell::RefCell;
+use std::io::Write;
+use std::rc::Rc;
+
+/// Shared byte buffer usable as a `Box<dyn Write>` trace stream while the
+/// test keeps a handle to inspect what was written.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn take_string(&self) -> String {
+        String::from_utf8(std::mem::take(&mut *self.0.borrow_mut())).unwrap()
+    }
+}
 
 /// A busy broker scenario: adaptive job grabs the cluster, then runs on.
 /// Returns the rendered trace (empty when tracing is off), final virtual
@@ -127,6 +151,84 @@ fn sharded_reallocation_is_byte_identical_to_serial() {
             assert_eq!(serial_out.queue.scheduled, out.queue.scheduled);
         }
     }
+}
+
+/// The streaming sink is byte-faithful: running the scenario with the
+/// trace streamed to a writer (only a small tail resident in memory)
+/// produces exactly the bytes the in-memory recorder renders — serial
+/// and sharded, so per-shard staging + absorb composes with streaming.
+#[test]
+fn streamed_trace_is_byte_identical_to_in_memory_render() {
+    let (full_trace, full_now, full_stats) = run_scenario_sharded(QueueKind::Heap, 42, true, 1);
+    for shards in [1usize, 2] {
+        let buf = SharedBuf::default();
+        let mut c = broker_testbed_streamed(
+            4,
+            42,
+            Box::new(DefaultPolicy::default()),
+            QueueKind::Heap,
+            shards,
+            Box::new(buf.clone()),
+            64,
+        );
+        submit_endless_calypso(&mut c, 4, 500);
+        let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+        await_calypso_workers(&mut c, 4, limit);
+        c.world.run_until(limit);
+        assert_eq!(c.world.now().as_micros(), full_now, "shards={shards}");
+        assert_eq!(c.world.kernel_stats().dispatched, full_stats.dispatched);
+        // Bounded memory: only the tail is resident, nothing was lost.
+        let recorder = c.world.trace();
+        assert!(recorder.events().len() < 128, "{}", recorder.events().len());
+        assert_eq!(recorder.dropped_events(), 0);
+        assert_eq!(
+            recorder.recorded_events() as usize,
+            full_trace.lines().count(),
+            "shards={shards}"
+        );
+        // The footer is a comment the parser skips; bytes before it are
+        // the exact in-memory render.
+        c.world.finish_trace_stream();
+        let streamed = buf.take_string();
+        let (body, footer) = streamed.rsplit_once("# rb-trace v1").expect("stats footer");
+        assert_eq!(body, full_trace, "shards={shards}: streamed bytes diverged");
+        assert!(footer.contains("dropped=0"));
+    }
+}
+
+/// The self-profiler is a pure observer: a profiled run replays the
+/// unprofiled trace byte-for-byte while accumulating dispatch counts
+/// that agree with the kernel's own counters.
+#[test]
+fn profiling_is_a_pure_observer() {
+    let (plain_trace, plain_now, plain_stats) = run_scenario_sharded(QueueKind::Heap, 42, true, 1);
+    let mut c = rb_workloads::scenarios::broker_testbed_profiled(
+        4,
+        42,
+        Box::new(DefaultPolicy::default()),
+        rb_simcore::Duration::from_millis(500),
+    );
+    submit_endless_calypso(&mut c, 4, 500);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 4, limit);
+    c.world.run_until(limit);
+    assert_eq!(c.world.now().as_micros(), plain_now);
+    assert_eq!(c.world.trace().render(), plain_trace);
+    let prof = c.world.profiler().expect("profiling enabled");
+    // Behavior dispatches track (but don't equal) kernel events: some
+    // events dispatch no behavior (cancelled timers, drops), some
+    // dispatch several (CPU rechecks).
+    assert!(prof.total_dispatches() > plain_stats.dispatched / 2);
+    assert!(prof.behaviors().any(|(name, _)| name == "broker"));
+    assert!(prof.payloads().any(|(kind, _)| kind == "calypso"));
+    let dispatches = prof.total_dispatches();
+    let wall_ns = prof.total_wall_ns();
+    assert!(wall_ns > 0);
+    // The registry carries the prof.* counters after a flush.
+    c.world.flush_profile_metrics();
+    let reg = c.world.metrics().expect("metrics enabled");
+    assert_eq!(reg.counter("prof.dispatches", ""), dispatches);
+    assert_eq!(reg.counter("prof.wall_ns", ""), wall_ns);
 }
 
 /// The sharded kernel exposes synchronizer statistics: windows derived
