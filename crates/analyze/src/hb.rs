@@ -1,15 +1,15 @@
 //! Dynamic happens-before race checking over sharded-kernel traces.
 //!
-//! The sharded kernel (DESIGN.md §14) dispatches serially today, but its
-//! whole point is the wall-parallel build where each lane runs on its own
-//! thread and only synchronizes at window barriers. This module asks the
-//! question that build depends on: *within* a conservative window, is
-//! every pair of dispatches that touches the same state ordered by
-//! happens-before — or is the serial dispatch order hiding a race the
-//! parallel build would hit?
+//! The sharded kernel dispatches lanes on worker threads (DESIGN.md §17),
+//! synchronizing only at conservative window barriers. This module checks
+//! the property that mode depends on: *within* a window, is every pair of
+//! dispatches that touches the same state ordered by happens-before — or
+//! is the canonical merged order hiding a race two concurrent lanes could
+//! hit?
 //!
 //! Input is a trace recorded with [`WorldBuilder::hb_trace`] on: one
-//! `shard.ev` record per dispatch (global sequence number, lane, window
+//! `shard.ev` record per dispatch (dispatch identity `did=origin/idx`
+//! from the lane's key stream, the popped event's key, lane, window
 //! ordinal, cause edge, kernel footprint) and one `shard.window` record
 //! per synchronizer window. From these the checker builds a vector clock
 //! per dispatch — one component per lane — with three kinds of edges:
@@ -17,7 +17,8 @@
 //! * **program order**: consecutive dispatches on the same lane (one
 //!   thread in the parallel build);
 //! * **cause**: an event happens-after the dispatch that scheduled it
-//!   (`cause=<seq>`; the kernel's send→receive edge);
+//!   (`cause=<origin/idx>`, the origin half of the event's [`DispatchKey`];
+//!   the kernel's send→receive edge);
 //! * **barrier**: every dispatch happens-after everything dispatched in
 //!   earlier windows (the conservative synchronizer's guarantee).
 //!
@@ -45,8 +46,15 @@
 //! why the CI race-check job sweeps the standing scenarios.
 //!
 //! [`WorldBuilder::hb_trace`]: rb_simnet::WorldBuilder::hb_trace
+//! [`DispatchKey`]: rb_simcore::DispatchKey
 
 use rb_simcore::{parse_rendered, FxHashMap, Json, TraceEvent};
+
+/// A dispatch identity: the `(origin, dispatch_idx)` pair of a lane's
+/// [`KeyStream`](rb_simcore::KeyStream). Origin 0 is the harness; origin
+/// `m + 1` is machine `m`. Unique per dispatch regardless of lane count,
+/// which is what lets cause edges name their scheduling dispatch.
+pub type Did = (u64, u64);
 
 /// One `shard.ev` record: a dispatch as the happens-before checker
 /// sees it.
@@ -54,14 +62,15 @@ use rb_simcore::{parse_rendered, FxHashMap, Json, TraceEvent};
 pub struct HbEvent {
     /// Virtual time of the dispatch, microseconds.
     pub at_us: u64,
-    /// Global sequence number (unique; cause edges point at these).
-    pub seq: u64,
+    /// Dispatch identity (unique; cause edges point at these).
+    pub did: Did,
     /// Lane (shard) the event was dispatched on.
     pub lane: usize,
     /// Window ordinal (1-based, nondecreasing in trace order).
     pub window: u64,
-    /// Sequence number of the dispatch that scheduled this event.
-    pub cause: Option<u64>,
+    /// Identity of the dispatch that scheduled this event (`None` for
+    /// harness-scheduled events — origin 0 is coordinator-ordered).
+    pub cause: Option<Did>,
     /// Kernel event kind (`Start`, `Deliver`, `Timer`, … `Harness`).
     pub kind: String,
     /// Primary process footprint (attribution, not state ownership).
@@ -75,12 +84,17 @@ pub struct HbEvent {
 impl HbEvent {
     fn brief(&self) -> String {
         let opt = |prefix: &str, v: Option<u64>| match v {
+            Some(v) if prefix == "p" && v >> MACHINE_TAG_SHIFT != 0 => {
+                // Undo the machine-tag packing for display (see `opt_id`).
+                format!("p{}.{}", (v >> MACHINE_TAG_SHIFT) - 1, v & TAG_LOCAL_MASK)
+            }
             Some(v) => format!("{prefix}{v}"),
             None => "-".into(),
         };
         format!(
-            "seq={} lane={} k={} p={} m={}",
-            self.seq,
+            "did={}/{} lane={} k={} p={} m={}",
+            self.did.0,
+            self.did.1,
             self.lane,
             self.kind,
             opt("p", self.proc),
@@ -97,9 +111,13 @@ pub enum HbKind {
     /// A dispatch at or past its window's end: the conservative lookahead
     /// was violated and the barrier protocol is unsound for this trace.
     WindowOverrun,
-    /// A `cause=` edge pointing at a sequence number the trace never
+    /// A `cause=` edge pointing at a dispatch identity the trace never
     /// dispatched (truncated trace or a kernel accounting bug).
     DanglingCause,
+    /// The same dispatch identity issued twice: two key streams collided
+    /// (e.g. two machines sharing one origin), so cause edges no longer
+    /// name a unique dispatch and the merge order is ambiguous.
+    DuplicateDispatch,
 }
 
 impl HbKind {
@@ -108,6 +126,7 @@ impl HbKind {
             HbKind::Race => "race",
             HbKind::WindowOverrun => "window-overrun",
             HbKind::DanglingCause => "dangling-cause",
+            HbKind::DuplicateDispatch => "duplicate-dispatch",
         }
     }
 }
@@ -193,6 +212,7 @@ impl HbReport {
             .set("races", self.count(HbKind::Race) as f64)
             .set("overruns", self.count(HbKind::WindowOverrun) as f64)
             .set("dangling", self.count(HbKind::DanglingCause) as f64)
+            .set("duplicates", self.count(HbKind::DuplicateDispatch) as f64)
             .set("strict", self.strict)
             .set("ok", self.is_clean())
     }
@@ -236,23 +256,46 @@ fn num(s: &str, what: &str) -> Result<u64, String> {
         .map_err(|_| format!("bad {what} in shard record: {s:?}"))
 }
 
+/// Machine-tag packing of process ids, mirroring `rb_proto`: a tagged id
+/// renders as `p{machine}.{local}` and parses back to
+/// `(machine + 1) << MACHINE_TAG_SHIFT | local` — injective alongside
+/// untagged ids (`p0` is the harness), which is all the conflict relation
+/// needs.
+const MACHINE_TAG_SHIFT: u32 = 40;
+const TAG_LOCAL_MASK: u64 = (1 << MACHINE_TAG_SHIFT) - 1;
+
 fn opt_id(s: &str, prefix: char) -> Result<Option<u64>, String> {
     if s == "-" {
         return Ok(None);
     }
     let digits = s.strip_prefix(prefix).unwrap_or(s);
-    num(digits, "id").map(Some)
+    match digits.split_once('.') {
+        Some((m, local)) => {
+            let m = num(m, "id machine tag")?;
+            let local = num(local, "id local part")?;
+            Ok(Some(((m + 1) << MACHINE_TAG_SHIFT) | local))
+        }
+        None => num(digits, "id").map(Some),
+    }
+}
+
+/// Parse a `did=origin/idx` or `cause=origin/idx` pair.
+fn did(s: &str, what: &str) -> Result<Did, String> {
+    let (o, i) = s
+        .split_once('/')
+        .ok_or_else(|| format!("bad {what} in shard record (want origin/idx): {s:?}"))?;
+    Ok((num(o, what)?, num(i, what)?))
 }
 
 fn parse_ev(e: &TraceEvent) -> Result<HbEvent, String> {
     let d = &e.detail;
     let cause = match field(d, "cause=")? {
         "-" => None,
-        s => Some(num(s, "cause")?),
+        s => Some(did(s, "cause")?),
     };
     Ok(HbEvent {
         at_us: e.at.as_micros(),
-        seq: num(field(d, "seq=")?, "seq")?,
+        did: did(field(d, "did=")?, "did")?,
         lane: num(field(d, "lane=")?, "lane")? as usize,
         window: num(field(d, "w=")?, "window")?,
         cause,
@@ -322,14 +365,14 @@ pub fn check_events(
     let mut findings = Vec::new();
 
     // Clocks: one component per lane. `lane_vc[l]` is the clock of the
-    // lane's latest dispatch (the program-order predecessor), `vc_by_seq`
-    // resolves cause edges, `global_vc` joins everything dispatched so
+    // lane's latest dispatch (the program-order predecessor), `vc_by_did`
+    // resolves cause edges by dispatch identity, `global_vc` joins everything dispatched so
     // far and is snapshotted into `barrier_vc` at window transitions —
     // the conservative barrier's guarantee.
     let zero = vec![0u64; lanes];
     let mut lane_vc: Vec<Vec<u64>> = vec![zero.clone(); lanes];
     let mut lane_seen = vec![false; lanes];
-    let mut vc_by_seq: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+    let mut vc_by_did: FxHashMap<Did, Vec<u64>> = FxHashMap::default();
     let mut global_vc = zero.clone();
     let mut barrier_vc = zero;
     let mut cur_window = 0u64;
@@ -337,7 +380,7 @@ pub fn check_events(
     let mut window_events: Vec<usize> = Vec::new();
 
     let check_window = |window_events: &[usize],
-                        vc_by_seq: &FxHashMap<u64, Vec<u64>>,
+                        vc_by_did: &FxHashMap<Did, Vec<u64>>,
                         stats: &mut HbStats,
                         findings: &mut Vec<HbFinding>| {
         for (i, &ai) in window_events.iter().enumerate() {
@@ -352,8 +395,8 @@ pub fn check_events(
                 }
                 // `b` was dispatched after `a`; a ≺ b iff b's clock has
                 // caught up with a's tick on a's lane.
-                let va = vc_by_seq.get(&a.seq).expect("clock recorded");
-                let vb = vc_by_seq.get(&b.seq).expect("clock recorded");
+                let va = vc_by_did.get(&a.did).expect("clock recorded");
+                let vb = vc_by_did.get(&b.did).expect("clock recorded");
                 if vb[a.lane] < va[a.lane] {
                     findings.push(HbFinding {
                         kind: HbKind::Race,
@@ -372,7 +415,7 @@ pub fn check_events(
 
     for (i, e) in events.iter().enumerate() {
         if e.window != cur_window {
-            check_window(&window_events, &vc_by_seq, &mut stats, &mut findings);
+            check_window(&window_events, &vc_by_did, &mut stats, &mut findings);
             window_events.clear();
             barrier_vc.clone_from(&global_vc);
             cur_window = e.window;
@@ -387,7 +430,7 @@ pub fn check_events(
         }
         join(&mut vc, &barrier_vc);
         if let Some(c) = e.cause {
-            match vc_by_seq.get(&c) {
+            match vc_by_did.get(&c) {
                 Some(cvc) => {
                     join(&mut vc, cvc);
                     stats.cause_edges += 1;
@@ -396,8 +439,10 @@ pub fn check_events(
                     kind: HbKind::DanglingCause,
                     at_us: e.at_us,
                     message: format!(
-                        "[{}] names cause seq={c}, which the trace never dispatched",
-                        e.brief()
+                        "[{}] names cause {}/{}, which the trace never dispatched",
+                        e.brief(),
+                        c.0,
+                        c.1
                     ),
                 }),
             }
@@ -421,10 +466,21 @@ pub fn check_events(
         join(&mut global_vc, &vc);
         lane_vc[e.lane] = vc.clone();
         lane_seen[e.lane] = true;
-        vc_by_seq.insert(e.seq, vc);
+        if vc_by_did.insert(e.did, vc).is_some() {
+            findings.push(HbFinding {
+                kind: HbKind::DuplicateDispatch,
+                at_us: e.at_us,
+                message: format!(
+                    "[{}] reuses dispatch identity {}/{} — key streams collided",
+                    e.brief(),
+                    e.did.0,
+                    e.did.1
+                ),
+            });
+        }
         window_events.push(i);
     }
-    check_window(&window_events, &vc_by_seq, &mut stats, &mut findings);
+    check_window(&window_events, &vc_by_did, &mut stats, &mut findings);
 
     findings.sort_by_key(|f| f.at_us);
     HbReport {
@@ -480,7 +536,12 @@ pub fn export_hb_metrics(report: &HbReport, reg: &mut rb_simcore::MetricsRegistr
     reg.gauge_set("hb.edges", "cause", report.stats.cause_edges as f64);
     reg.gauge_set("hb.edges", "barrier", report.stats.barrier_edges as f64);
     reg.gauge_set("hb.pairs", "checked", report.stats.pairs_checked as f64);
-    for kind in [HbKind::Race, HbKind::WindowOverrun, HbKind::DanglingCause] {
+    for kind in [
+        HbKind::Race,
+        HbKind::WindowOverrun,
+        HbKind::DanglingCause,
+        HbKind::DuplicateDispatch,
+    ] {
         reg.gauge_set("hb.findings", kind.name(), report.count(kind) as f64);
     }
 }
@@ -532,11 +593,13 @@ pub fn render_report(report: &HbReport) -> String {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{} finding(s): {} race, {} window-overrun, {} dangling-cause\n",
+            "{} finding(s): {} race, {} window-overrun, {} dangling-cause, \
+             {} duplicate-dispatch\n",
             report.findings.len(),
             report.count(HbKind::Race),
             report.count(HbKind::WindowOverrun),
             report.count(HbKind::DanglingCause),
+            report.count(HbKind::DuplicateDispatch),
         ));
     }
     out
@@ -554,14 +617,15 @@ mod tests {
     fn parses_shard_records() {
         let evs = trace(&[
             "   T+0.000000s  shard.window w1 end=80us la=80us",
-            "   T+0.000000s  shard.ev seq=0 lane=0 w=1 cause=- k=Start p=p1 o=- m=m0",
-            "   T+0.240000s  shard.ev seq=2 lane=1 w=2 cause=0 k=RshAdvance p=p1 o=- m=m1",
+            "   T+0.000000s  shard.ev ev=0/0.0 did=1/0 lane=0 w=1 cause=- k=Start p=p0.1 o=- m=m0",
+            "   T+0.240000s  shard.ev ev=1/0.0 did=2/0 lane=1 w=2 cause=1/0 k=RshAdvance p=p0.1 o=- m=m1",
         ]);
         let (parsed, ends) = hb_events(&evs).unwrap();
         assert_eq!(ends.get(&1), Some(&80));
-        assert_eq!(parsed[0].seq, 0);
+        assert_eq!(parsed[0].did, (1, 0));
         assert_eq!(parsed[0].cause, None);
-        assert_eq!(parsed[1].cause, Some(0));
+        assert_eq!(parsed[0].proc, Some((1 << MACHINE_TAG_SHIFT) | 1));
+        assert_eq!(parsed[1].cause, Some((1, 0)));
         assert_eq!(parsed[1].machine, Some(1));
         assert_eq!(parsed[1].at_us, 240_000);
     }
@@ -572,8 +636,8 @@ mod tests {
         // dispatch was scheduled by the first: cause edge, no race.
         let evs = trace(&[
             "   T+0.000000s  shard.window w1 end=100us la=100us",
-            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
-            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=0 k=Deliver p=p2 o=p1 m=m0",
+            "   T+0.000010s  shard.ev ev=0/0.0 did=1/0 lane=0 w=1 cause=- k=Timer p=p0.1 o=- m=m0",
+            "   T+0.000020s  shard.ev ev=1/0.0 did=1/1 lane=1 w=1 cause=1/0 k=Deliver p=p0.2 o=p0.1 m=m0",
         ]);
         let (parsed, ends) = hb_events(&evs).unwrap();
         let report = check_events(&parsed, &ends, &HbConfig::default());
@@ -585,8 +649,8 @@ mod tests {
     fn concurrent_same_machine_pair_is_a_race() {
         let evs = trace(&[
             "   T+0.000000s  shard.window w1 end=100us la=100us",
-            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
-            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=- k=Deliver p=p2 o=p1 m=m0",
+            "   T+0.000010s  shard.ev ev=0/0.0 did=1/0 lane=0 w=1 cause=- k=Timer p=p0.1 o=- m=m0",
+            "   T+0.000020s  shard.ev ev=0/0.1 did=1/1 lane=1 w=1 cause=- k=Deliver p=p0.2 o=p0.1 m=m0",
         ]);
         let (parsed, ends) = hb_events(&evs).unwrap();
         let report = check_events(&parsed, &ends, &HbConfig::default());
@@ -595,8 +659,8 @@ mod tests {
         // Different machines: no conflict, no race.
         let evs = trace(&[
             "   T+0.000000s  shard.window w1 end=100us la=100us",
-            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
-            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=- k=Deliver p=p2 o=p1 m=m1",
+            "   T+0.000010s  shard.ev ev=0/0.0 did=1/0 lane=0 w=1 cause=- k=Timer p=p0.1 o=- m=m0",
+            "   T+0.000020s  shard.ev ev=0/0.1 did=2/0 lane=1 w=1 cause=- k=Deliver p=p1.1 o=p0.1 m=m1",
         ]);
         let (parsed, ends) = hb_events(&evs).unwrap();
         let report = check_events(&parsed, &ends, &HbConfig::default());
@@ -609,9 +673,9 @@ mod tests {
         // barrier: ordered.
         let evs = trace(&[
             "   T+0.000000s  shard.window w1 end=100us la=100us",
-            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=Timer p=p1 o=- m=m0",
+            "   T+0.000010s  shard.ev ev=0/0.0 did=1/0 lane=0 w=1 cause=- k=Timer p=p0.1 o=- m=m0",
             "   T+0.000100s  shard.window w2 end=200us la=100us",
-            "   T+0.000110s  shard.ev seq=1 lane=1 w=2 cause=- k=Deliver p=p2 o=- m=m0",
+            "   T+0.000110s  shard.ev ev=0/0.1 did=1/1 lane=1 w=2 cause=- k=Deliver p=p0.2 o=- m=m0",
         ]);
         let (parsed, ends) = hb_events(&evs).unwrap();
         let report = check_events(&parsed, &ends, &HbConfig::default());
@@ -626,8 +690,8 @@ mod tests {
         // not footprint), flagged under strict.
         let evs = trace(&[
             "   T+0.000000s  shard.window w1 end=100us la=100us",
-            "   T+0.000010s  shard.ev seq=0 lane=0 w=1 cause=- k=RshAdvance p=p1 o=- m=m0",
-            "   T+0.000020s  shard.ev seq=1 lane=1 w=1 cause=- k=RshAdvance p=p1 o=- m=m1",
+            "   T+0.000010s  shard.ev ev=0/0.0 did=1/0 lane=0 w=1 cause=- k=RshAdvance p=p0.1 o=- m=m0",
+            "   T+0.000020s  shard.ev ev=0/0.1 did=2/0 lane=1 w=1 cause=- k=RshAdvance p=p0.1 o=- m=m1",
         ]);
         let (parsed, ends) = hb_events(&evs).unwrap();
         assert!(check_events(&parsed, &ends, &HbConfig { strict: false }).is_clean());
@@ -639,7 +703,7 @@ mod tests {
     fn overrun_and_dangling_cause_are_flagged() {
         let evs = trace(&[
             "   T+0.000000s  shard.window w1 end=100us la=100us",
-            "   T+0.000150s  shard.ev seq=0 lane=0 w=1 cause=7 k=Timer p=p1 o=- m=m0",
+            "   T+0.000150s  shard.ev ev=9/9.0 did=1/0 lane=0 w=1 cause=9/9 k=Timer p=p0.1 o=- m=m0",
         ]);
         let (parsed, ends) = hb_events(&evs).unwrap();
         let report = check_events(&parsed, &ends, &HbConfig::default());

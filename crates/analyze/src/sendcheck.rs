@@ -1,12 +1,14 @@
 //! Static Send-readiness classification for behavior state (DESIGN.md
 //! §15).
 //!
-//! The sharded kernel (DESIGN.md §14) keeps dispatch serialized because
-//! behaviors are `!Send` `Rc<RefCell<…>>` state machines and
-//! ProcId/SpanId/RNG/seq are allocated in global dispatch order. Before
-//! anyone attempts the machine-affine `Send` ownership refactor, this
-//! pass answers the question that refactor hinges on: *which state is
-//! actually safe to move to another thread, and what still pins it?*
+//! The kernel's lanes dispatch behaviors on worker threads (DESIGN.md
+//! §17): behaviors are lane-owned `Send` values and ids come from
+//! machine-affine streams. This pass is the standing proof that the
+//! ownership split stays clean: *which state is actually safe to move
+//! to another thread, and what would pin it?* Originally it was the
+//! survey that made the refactor plannable; now any regression —
+//! an `Rc` sneaking back in, an `Arc<Mutex>` shared off-allowlist —
+//! fails CI before it can race.
 //!
 //! Every field of every `impl Behavior for …` struct in the
 //! broker/parsys/simnet crates is classified into an ownership class:
@@ -150,14 +152,18 @@ pub struct SendAllow {
     pub why: &'static str,
 }
 
-/// The shipped tree's deliberate cross-shard-shared state.
+/// The shipped tree's deliberate cross-shard-shared state. Since the
+/// lane rework (DESIGN.md §17) behaviors are `Send` and lanes run on
+/// worker threads, so every entry here must be genuinely thread-safe
+/// (`Arc<Mutex<..>>` / atomics), not merely tolerated.
 pub const SENDCHECK_ALLOW: &[SendAllow] = &[SendAllow {
     file: "crates/broker/src/tools.rs",
     context: "RbStat.sink",
-    why: "rbstat's StatusSink is a caller-side mailbox read after the \
-          proc exits; it never crosses a machine boundary, so it rides \
-          on whichever lane spawned it (see the ownership note in \
-          tools.rs)",
+    why: "rbstat's StatusSink is an Arc<Mutex<..>> mailbox the harness \
+          deposits into from the proc's lane and reads back only after \
+          the proc exits — the mutex makes the cross-thread handoff \
+          sound, and the read-after-exit protocol means no lane ever \
+          contends on it mid-window (see the ownership note in tools.rs)",
 }];
 
 #[derive(Debug, Default)]

@@ -118,17 +118,17 @@ fn critpath_report_and_flow_export_validate_on_a_real_run() {
 /// and the whole offline pipeline stays panic-free.
 #[test]
 fn span_forest_reconstructs_from_a_truncated_stream() {
-    struct SharedBuf(std::rc::Rc<std::cell::RefCell<Vec<u8>>>);
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
     impl std::io::Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
             Ok(())
         }
     }
-    let bytes = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let bytes = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut rec = TraceRecorder::streaming(Box::new(SharedBuf(bytes.clone())), 4);
     let mut sp = SpanTracker::new();
     let req = sp.open(&mut rec, SimTime(0), SpanId::NONE, "rsh.request", "n00 x");
@@ -158,7 +158,7 @@ fn span_forest_reconstructs_from_a_truncated_stream() {
     rec.flush();
     // Only a 4-event tail is resident; the stream carries everything.
     assert!(rec.events().len() <= 8);
-    let streamed = String::from_utf8(std::cell::RefCell::borrow(&bytes).clone()).unwrap();
+    let streamed = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
     let full_events = rb_simcore::parse_rendered(&streamed).unwrap();
     assert_eq!(SpanForest::from_events(&full_events).len(), 6);
 

@@ -134,6 +134,49 @@ fn seeded_fixtures_flag_and_pass() {
 }
 
 #[test]
+fn sabotaged_key_streams_are_caught() {
+    // Inverted fixture: seed the per-lane ID-collision bug the key-stream
+    // scheme exists to prevent (two machines sharing one dispatch-key
+    // origin, via the test-only `sabotage_shared_lane_keys` knob) and
+    // prove the checker catches the reused dispatch identities. The same
+    // world without the sabotage is clean.
+    use rb_simnet::{LoopProg, ProcEnv, WorldBuilder};
+    for sabotage in [false, true] {
+        let mut b = WorldBuilder::new()
+            .seed(5)
+            .shards(2)
+            .trace(true)
+            .hb_trace(true)
+            .sabotage_shared_lane_keys(sabotage);
+        let machines = b.standard_lab(4);
+        let mut w = b.build();
+        for &m in &machines {
+            w.spawn_user(m, Box::new(LoopProg::new(50)), ProcEnv::user_standard("u"));
+        }
+        w.run_until_idle(SimTime(60_000_000));
+        let report =
+            hb::check_recorded(w.trace().events(), &HbConfig::default()).expect("hb records");
+        if sabotage {
+            assert!(
+                report.count(HbKind::DuplicateDispatch) > 0,
+                "collision not caught: {:?}",
+                report.summary_json().render()
+            );
+        } else {
+            assert!(
+                report.is_clean(),
+                "{:?}",
+                report
+                    .findings
+                    .iter()
+                    .map(|f| f.render())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
 fn world_post_run_check_passes_clean_and_fails_missing_records() {
     // Installed on an hb-traced sharded world: passes.
     let mut c = broker_testbed_hb(

@@ -81,6 +81,51 @@ fn shipped_tree_classifies_every_behavior_field() {
         .any(|f| f.kind == SendKind::GlobalAlloc));
 }
 
+/// Regression guard for the lane rework (DESIGN.md §17): behaviors run on
+/// worker threads now, so every cross-shard-shared field must be on the
+/// allowlist (deliberate, documented, thread-safe), every allow entry
+/// must still match something, and nothing else in the tree shares state
+/// across lanes.
+#[test]
+fn cross_shard_shared_state_is_exactly_the_allowlist() {
+    use rb_analyze::sendcheck::SENDCHECK_ALLOW;
+    let cfg = SendConfig::new(rb_analyze::check::workspace_root());
+    let report = run_sendcheck(&cfg).expect("sendcheck runs");
+
+    let cross: Vec<_> = report
+        .fields
+        .iter()
+        .filter(|f| f.class == OwnershipClass::CrossShardShared)
+        .collect();
+    for f in &cross {
+        let ctx = format!("{}.{}", f.behavior, f.field);
+        assert!(
+            SENDCHECK_ALLOW
+                .iter()
+                .any(|a| a.context == ctx && a.file == f.file),
+            "unallowlisted cross-shard-shared field {ctx} in {}:{} ({})",
+            f.file,
+            f.line,
+            f.ty
+        );
+    }
+    // The allowlist is exact, not merely sufficient: every entry matched
+    // a live field (no StaleAllow), and no CrossShard finding escaped it.
+    assert_eq!(cross.len(), SENDCHECK_ALLOW.len(), "{cross:?}");
+    for kind in [SendKind::CrossShard, SendKind::StaleAllow] {
+        assert!(
+            !report.findings.iter().any(|f| f.kind == kind),
+            "{kind:?} findings: {:?}",
+            report
+                .findings
+                .iter()
+                .filter(|f| f.kind == kind)
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
 #[test]
 fn seeded_fixture_triggers_every_violation_class() {
     let report = run_sendcheck(&SendConfig::new(fixture_root())).expect("fixture scans");

@@ -14,18 +14,24 @@
 //!   `host` provenance (CPU model, core count);
 //! * `BENCH_table2.json` — the paper-shaped Table 2 rows in simulated
 //!   seconds, alongside the harness wall-clock cost of producing them;
-//! * `BENCH_parallel.json` — the utilization scenario swept across kernel
-//!   shard counts, with each report row carrying its `shards` provenance
-//!   and a speedup-vs-serial summary. Dispatch stays serialized for
-//!   bit-identical replay (see DESIGN.md §14), so speedups hover near 1x;
-//!   the sweep exists to keep the synchronizer's overhead honest and
-//!   visible, not to claim wall-clock parallelism.
+//! * `BENCH_parallel.json` — the timer-storm scenario swept across kernel
+//!   shard × worker-thread configurations, with each report row carrying
+//!   its `shards` and `threads` provenance and a speedup-vs-serial
+//!   summary. Lanes dispatch on worker threads now (DESIGN.md §17) and
+//!   every configuration replays the serial run byte-identically, so the
+//!   sweep measures real wall-clock parallelism: coordinator rows
+//!   (`threads=1`) keep the synchronizer's overhead visible, threaded
+//!   rows show what the same windows cost when the lanes run
+//!   concurrently. Read the speedups next to `host.cores` — a
+//!   single-core host bounds wall parallelism at 1x by construction.
 //!
 //! ```text
 //! bench_report [reps] [--shards=1,2,4,8]
 //!   RB_BENCH_SAMPLES=<n>    override rep count (CI smoke uses 2)
 //!   RB_BENCH_SHARDS=<list>  shard counts for BENCH_parallel.json
 //!                           (comma-separated; same as --shards=)
+//!   RB_BENCH_THREADS=<n>    worker-thread cap for the threaded rows
+//!                           (default 4)
 //!   RB_BENCH_OUT=<dir>      output directory (default: current dir)
 //!   RB_BENCH_BASELINE=<f>   compare against a previous BENCH_kernel.json;
 //!                           exit 1 if any scenario's median events/sec
@@ -37,6 +43,7 @@ use rb_bench::report::{
     check_against_baseline, render_scenario_line, report_json, run_scenario, RepOutcome, Scenario,
 };
 use rb_simcore::{EventQueue, QueueKind, SimTime};
+use rb_workloads::storm::{self, StormConfig};
 use rb_workloads::table2;
 use rb_workloads::utilization::{run as run_utilization, UtilizationConfig};
 use std::process::ExitCode;
@@ -103,26 +110,29 @@ fn utilization_scenario(kind: QueueKind, hours: f64) -> Scenario {
     .with_queue_kind(kind)
 }
 
-/// The utilization scenario on an explicit kernel shard count — the
-/// `BENCH_parallel.json` family. Eight public machines keep all eight
-/// shards populated; the heap backend pins the comparison to one queue
-/// implementation so the only variable is the synchronizer.
-fn parallel_scenario(shards: usize) -> Scenario {
-    Scenario::new(format!("parallel.utilization.s{shards}"), move |seed| {
-        let report = run_utilization(&UtilizationConfig {
-            hours: 1.0,
+/// The timer-storm scenario on an explicit shard × worker-thread
+/// configuration — the `BENCH_parallel.json` family (DESIGN.md §17). The
+/// storm is machine-local-dominant (64 machines, 50µs timers + 20µs CPU
+/// bursts, occasional ring pings), so a conservative window holds dense
+/// per-lane work and worker threads have something real to spread across
+/// cores. Every configuration replays the serial run byte-identically;
+/// only the wall clock varies.
+fn parallel_scenario(shards: usize, threads: usize) -> Scenario {
+    Scenario::new(format!("parallel.storm.s{shards}t{threads}"), move |seed| {
+        let report = storm::run(&StormConfig {
             seed,
-            scheduler: QueueKind::Heap,
             shards,
-            ..Default::default()
+            threads,
+            ..StormConfig::default()
         });
         RepOutcome {
             queue: report.queue,
-            sim_seconds: report.simulated_hours * 3600.0,
+            sim_seconds: report.sim_seconds,
         }
     })
     .with_queue_kind(QueueKind::Heap)
     .with_shards(shards)
+    .with_threads(threads)
 }
 
 /// Shard counts for the parallel sweep: `--shards=1,2` / `RB_BENCH_SHARDS`
@@ -146,6 +156,31 @@ fn shard_counts() -> Vec<usize> {
     counts.sort_unstable();
     counts.dedup();
     counts
+}
+
+/// Worker-thread cap for the threaded rows (`RB_BENCH_THREADS`, default 4).
+fn thread_cap() -> usize {
+    std::env::var("RB_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
+/// The sweep rows: for every shard count, a coordinator row (`threads=1`,
+/// the synchronizer's overhead) and — where it differs — a threaded row
+/// (`threads = min(shards, cap)`, the measured parallel dispatch).
+fn parallel_configs() -> Vec<(usize, usize)> {
+    let cap = thread_cap();
+    let mut rows = Vec::new();
+    for n in shard_counts() {
+        rows.push((n, 1));
+        let t = n.min(cap);
+        if t > 1 {
+            rows.push((n, t));
+        }
+    }
+    rows
 }
 
 fn out_path(file: &str) -> std::path::PathBuf {
@@ -257,14 +292,15 @@ fn main() -> ExitCode {
     write_doc("BENCH_table2.json", &table2_doc);
 
     // ---- BENCH_parallel.json -----------------------------------------
-    // The shard sweep. Every count replays the serial run bit-identically
-    // (scheduler_equiv proves it), so the interesting number here is the
-    // synchronizer's *cost*: speedup_vs_serial near 1.0 means windows,
-    // rings, and barrier accounting are close to free.
-    let parallel_reports: Vec<_> = shard_counts()
+    // The shard × thread sweep over the timer storm. Every configuration
+    // replays the serial run byte-identically (scheduler_equiv and the
+    // storm's own tests prove it), so the rows isolate cost and gain:
+    // coordinator rows (threads=1) price the synchronizer, threaded rows
+    // measure lanes dispatching on worker threads (DESIGN.md §17).
+    let parallel_reports: Vec<_> = parallel_configs()
         .into_iter()
-        .map(|n| {
-            let r = run_scenario(&parallel_scenario(n), BASE_SEED, reps);
+        .map(|(n, t)| {
+            let r = run_scenario(&parallel_scenario(n, t), BASE_SEED, reps);
             println!("{}", render_scenario_line(&r));
             r
         })
@@ -273,22 +309,27 @@ fn main() -> ExitCode {
         .iter()
         .find(|r| r.shards == 1)
         .map(|r| r.events_per_sec.median())
-        .expect("shard_counts always includes 1");
+        .expect("parallel_configs always includes the serial row");
     let speedups: Vec<Json> = parallel_reports
         .iter()
         .map(|r| {
             Json::obj()
                 .set("shards", r.shards)
+                .set("threads", r.threads)
                 .set("events_per_sec_median", r.events_per_sec.median())
                 .set("speedup_vs_serial", r.events_per_sec.median() / serial_eps)
         })
         .collect();
-    let parallel_doc = report_json("rb-bench/parallel/v1", reps, &parallel_reports)
+    let parallel_doc = report_json("rb-bench/parallel/v2", reps, &parallel_reports)
         .set("speedups", Json::Arr(speedups))
         .set(
             "note",
-            "dispatch is serialized for bit-identical replay; \
-             speedup_vs_serial measures synchronizer overhead, not wall parallelism",
+            "lanes dispatch on worker threads (DESIGN.md \u{a7}17); every row \
+             replays the serial run byte-identically, so speedup_vs_serial is \
+             measured wall parallelism. Interpret it next to host.cores: a \
+             single-core host bounds wall speedup at ~1x, and any residual \
+             gain there comes from the threaded path's cheaper per-window \
+             coordination, not concurrency.",
         );
     write_doc("BENCH_parallel.json", &parallel_doc);
 

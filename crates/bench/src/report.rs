@@ -84,6 +84,13 @@ pub struct Scenario {
     /// Kernel event shards the scenario runs with (1 = serial kernel) —
     /// provenance for the `BENCH_parallel` family, recorded in the JSON.
     pub shards: usize,
+    /// Worker threads the scenario's kernel dispatches with (1 = the
+    /// coordinator dispatches inline). Recorded in the JSON; setting it
+    /// via [`Scenario::with_threads`] also makes the harness run reps
+    /// one at a time so the workers own the host's cores.
+    pub threads: usize,
+    /// Run reps sequentially instead of fanning them across host threads.
+    pub exclusive: bool,
     pub run: Box<dyn Fn(u64) -> RepOutcome + Sync>,
 }
 
@@ -93,6 +100,8 @@ impl Scenario {
             name: name.into(),
             queue_kind: QueueKind::Heap,
             shards: 1,
+            threads: 1,
+            exclusive: false,
             run: Box::new(run),
         }
     }
@@ -108,6 +117,18 @@ impl Scenario {
         self.shards = shards;
         self
     }
+
+    /// Tag the scenario with the worker-thread count its kernel dispatches
+    /// with, and switch the harness to sequential (exclusive) reps: a
+    /// threaded rep must not share the host's cores with its siblings, or
+    /// the wall clocks measure contention instead of the kernel. Tag the
+    /// serial row of a speedup sweep with `with_threads(1)` too, so every
+    /// row is measured the same way.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.exclusive = true;
+        self
+    }
 }
 
 /// Reduced measurements of one scenario across reps.
@@ -116,6 +137,7 @@ pub struct ScenarioReport {
     pub name: String,
     pub queue_kind: QueueKind,
     pub shards: usize,
+    pub threads: usize,
     pub reps: usize,
     pub wall_ms: Summary,
     pub events_per_sec: Summary,
@@ -131,10 +153,14 @@ pub struct ScenarioReport {
 /// fan-out cannot perturb simulation results — only wall clocks differ.
 pub fn run_scenario(scenario: &Scenario, base_seed: u64, reps: usize) -> ScenarioReport {
     let reps = reps.max(1);
-    let lanes = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(reps);
+    let lanes = if scenario.exclusive {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(reps)
+    };
     let mut outcomes: Vec<Option<(f64, RepOutcome)>> = Vec::new();
     outcomes.resize_with(reps, || None);
 
@@ -171,6 +197,7 @@ pub fn run_scenario(scenario: &Scenario, base_seed: u64, reps: usize) -> Scenari
         name: scenario.name.clone(),
         queue_kind: scenario.queue_kind,
         shards: scenario.shards,
+        threads: scenario.threads,
         reps,
         wall_ms,
         events_per_sec,
@@ -198,6 +225,7 @@ pub fn scenario_json(r: &ScenarioReport) -> Json {
         .set("name", r.name.as_str())
         .set("queue_kind", queue_kind_str(r.queue_kind))
         .set("shards", r.shards)
+        .set("threads", r.threads)
         .set("samples", r.reps)
         .set("reps", r.reps)
         .set("wall_ms", summary_json(&r.wall_ms))

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 /// Factory producing a fresh job-root behavior (what a `start_script`
 /// runs each time it is invoked).
-pub type RootScript = Box<dyn FnMut() -> Box<dyn Behavior>>;
+pub type RootScript = Box<dyn FnMut() -> Box<dyn Behavior> + Send>;
 
 /// What the submitted job runs.
 pub enum JobRun {

@@ -44,7 +44,7 @@ pub struct ClusterOptions {
     /// keeping only a tail of the given size resident — the flight
     /// recorder for runs too large for a full in-memory trace (see
     /// [`rb_simnet::WorldBuilder::trace_stream`]). Implies tracing on.
-    pub trace_stream: Option<(Box<dyn std::io::Write>, usize)>,
+    pub trace_stream: Option<(Box<dyn std::io::Write + Send>, usize)>,
     /// Self-profile the kernel (per-behavior / per-message-kind dispatch
     /// wall time — see [`rb_simnet::WorldBuilder::profile`]).
     pub profile: bool,
@@ -56,6 +56,10 @@ pub struct ClusterOptions {
     /// Event shards for the kernel (1 = serial; any count replays
     /// bit-identically — see [`rb_simnet::WorldBuilder::shards`]).
     pub shards: usize,
+    /// Worker threads dispatching the shards in parallel (1 = the
+    /// coordinator dispatches every lane inline; byte-identical either
+    /// way — see [`rb_simnet::WorldBuilder::threads`]).
+    pub threads: usize,
     /// Record happens-before metadata (`shard.ev` / `shard.window`) into
     /// the trace for the `rbrace hb` checker. Only effective on a
     /// sharded, traced world — see [`rb_simnet::WorldBuilder::hb_trace`].
@@ -77,6 +81,7 @@ impl Default for ClusterOptions {
             metrics_interval: None,
             scheduler: QueueKind::default(),
             shards: 1,
+            threads: 1,
             hb_trace: false,
             machines: Vec::new(),
             policy: Box::new(crate::policy::DefaultPolicy::default()),
@@ -116,6 +121,7 @@ pub fn build_cluster(opts: ClusterOptions) -> Cluster {
         .profile(opts.profile)
         .scheduler(opts.scheduler)
         .shards(opts.shards)
+        .threads(opts.threads)
         .hb_trace(opts.hb_trace)
         .default_remote_binding(RshBinding::Broker)
         .factory(

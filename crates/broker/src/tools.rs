@@ -5,22 +5,19 @@
 use rb_proto::{BrokerMsg, ExitStatus, Payload, ProcId, TimerToken};
 use rb_simcore::Duration;
 use rb_simnet::{Behavior, Ctx};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Where `rbstat` deposits the broker's answer for the caller to read.
 ///
-/// Ownership note (rbrace sendcheck classifies this cross-shard-shared,
-/// allowlisted): the sink is created by the harness, handed to exactly
-/// one `RbStat` proc, and read back only after that proc exits. It never
-/// crosses a machine boundary in-sim, so under the machine-affine `Send`
-/// refactor it rides whichever lane spawned it; replacing it with a
-/// returned value would change the paper-facing CLI shape for no gain.
-pub type StatusSink = Rc<RefCell<Option<Vec<String>>>>;
+/// The sink is created by the harness, handed to exactly one `RbStat`
+/// proc, and read back only after that proc exits; `Arc<Mutex<..>>` (not
+/// `Rc<RefCell<..>>`) because behaviors are `Send` — the proc rides its
+/// machine's lane, which may run on a worker thread.
+pub type StatusSink = Arc<Mutex<Option<Vec<String>>>>;
 
 /// Make an empty sink.
 pub fn status_sink() -> StatusSink {
-    Rc::new(RefCell::new(None))
+    Arc::new(Mutex::new(None))
 }
 
 /// `rbstat` — query the broker for cluster and job status, print (deposit)
@@ -57,7 +54,7 @@ impl Behavior for RbStat {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
         if let Payload::Broker(BrokerMsg::ClusterStatus { lines }) = msg {
-            *self.sink.borrow_mut() = Some(lines);
+            *self.sink.lock().unwrap() = Some(lines);
             if let Some(t) = self.timeout.take() {
                 ctx.cancel_timer(t);
             }
@@ -83,6 +80,6 @@ pub fn query_status(cluster: &mut crate::setup::Cluster) -> Vec<String> {
     );
     let limit = rb_simcore::SimTime(cluster.world.now().as_micros() + 20_000_000);
     cluster.world.run_until_pred(limit, |w| !w.alive(p));
-    let lines = sink.borrow().clone();
+    let lines = sink.lock().unwrap().clone();
     lines.unwrap_or_default()
 }

@@ -490,12 +490,12 @@ fn two_calypso_jobs_share_the_cluster_evenly() {
 #[test]
 fn broker_query_reports_cluster_state() {
     use rb_proto::{BrokerMsg, ProcId};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     struct Query {
         broker: ProcId,
-        lines: Rc<RefCell<Vec<String>>>,
+        lines: Arc<Mutex<Vec<String>>>,
     }
     impl rb_simnet::Behavior for Query {
         fn name(&self) -> &'static str {
@@ -510,13 +510,13 @@ fn broker_query_reports_cluster_state() {
         }
         fn on_message(&mut self, ctx: &mut rb_simnet::Ctx<'_>, _from: ProcId, msg: Payload) {
             if let Payload::Broker(BrokerMsg::ClusterStatus { lines }) = msg {
-                *self.lines.borrow_mut() = lines;
+                *self.lines.lock().unwrap() = lines;
                 ctx.exit(ExitStatus::Success);
             }
         }
     }
     let mut c = cluster(3);
-    let lines = Rc::new(RefCell::new(Vec::new()));
+    let lines = Arc::new(Mutex::new(Vec::new()));
     c.world.spawn_user(
         c.machines[0],
         Box::new(Query {
@@ -526,7 +526,7 @@ fn broker_query_reports_cluster_state() {
         rb_simnet::ProcEnv::system("alice"),
     );
     c.world.run_until(c.world.now() + Duration::from_secs(1));
-    let lines = lines.borrow();
+    let lines = lines.lock().unwrap();
     assert_eq!(lines.iter().filter(|l| l.starts_with('n')).count(), 3);
 }
 
@@ -608,7 +608,7 @@ fn symbolic_rsh_without_appl_falls_back_to_standard_and_fails() {
     // symbolic host behaves exactly like plain rsh (unknown host).
     use rb_simnet::{Behavior, Ctx, ProcEnv};
     struct LoneGrower {
-        outcome: std::rc::Rc<std::cell::RefCell<Option<bool>>>,
+        outcome: std::sync::Arc<std::sync::Mutex<Option<bool>>>,
     }
     impl Behavior for LoneGrower {
         fn name(&self) -> &'static str {
@@ -623,12 +623,12 @@ fn symbolic_rsh_without_appl_falls_back_to_standard_and_fails() {
             _handle: rb_proto::RshHandle,
             result: Result<ExitStatus, rb_proto::RshError>,
         ) {
-            *self.outcome.borrow_mut() = Some(matches!(result, Ok(ExitStatus::Success)));
+            *self.outcome.lock().unwrap() = Some(matches!(result, Ok(ExitStatus::Success)));
             ctx.exit(ExitStatus::Success);
         }
     }
     let mut c = cluster(2);
-    let outcome = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let outcome = std::sync::Arc::new(std::sync::Mutex::new(None));
     c.world.spawn_user(
         c.machines[0],
         Box::new(LoneGrower {
@@ -637,6 +637,10 @@ fn symbolic_rsh_without_appl_falls_back_to_standard_and_fails() {
         ProcEnv::user_broker("loner"),
     );
     c.world.run_until(SimTime(5_000_000));
-    assert_eq!(*outcome.borrow(), Some(false), "symbolic name must fail");
+    assert_eq!(
+        *outcome.lock().unwrap(),
+        Some(false),
+        "symbolic name must fail"
+    );
     assert!(c.world.trace().count("rsh.fallback") >= 1);
 }

@@ -9,8 +9,8 @@ use rb_parsys::{
 use rb_proto::{CtlMsg, LamMsg, Payload, ProcId, PvmMsg, Tuple, TupleField};
 use rb_simcore::{Duration, SimTime};
 use rb_simnet::{BasePrograms, Behavior, Ctx, FactoryChain, ProcEnv, World, WorldBuilder};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 fn lab(n: usize) -> (World, Vec<rb_proto::MachineId>) {
     let mut b = WorldBuilder::new()
@@ -61,7 +61,7 @@ fn pvm_tasks_round_robin_across_slaves() {
 fn pvm_conf_reports_the_host_table() {
     struct ConfAsker {
         master: ProcId,
-        hosts: Rc<RefCell<Option<Vec<String>>>>,
+        hosts: Arc<Mutex<Option<Vec<String>>>>,
     }
     impl Behavior for ConfAsker {
         fn name(&self) -> &'static str {
@@ -73,7 +73,7 @@ fn pvm_conf_reports_the_host_table() {
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
             if let Payload::Pvm(PvmMsg::ConfReply { hosts }) = msg {
-                *self.hosts.borrow_mut() = Some(hosts);
+                *self.hosts.lock().unwrap() = Some(hosts);
                 ctx.exit(rb_proto::ExitStatus::Success);
             }
         }
@@ -88,7 +88,7 @@ fn pvm_conf_reports_the_host_table() {
         env(),
     );
     world.run_until(SimTime(5_000_000));
-    let hosts = Rc::new(RefCell::new(None));
+    let hosts = Arc::new(Mutex::new(None));
     world.spawn_user(
         ms[0],
         Box::new(ConfAsker {
@@ -98,7 +98,7 @@ fn pvm_conf_reports_the_host_table() {
         env(),
     );
     world.run_until(SimTime(6_000_000));
-    let mut got = hosts.borrow().clone().unwrap();
+    let mut got = hosts.lock().unwrap().clone().unwrap();
     got.sort();
     assert_eq!(got, vec!["n01".to_string(), "n02".to_string()]);
 }

@@ -7,8 +7,19 @@
 
 use std::fmt;
 
-macro_rules! id_type {
-    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+/// Bit position of the machine tag inside machine-affine 64-bit ids
+/// ([`ProcId`], [`RshHandle`], [`TimerToken`], span ids). The low 40 bits
+/// carry a per-machine counter; the high bits carry `machine_id + 1`
+/// (0 = untagged / harness-allocated), so ids allocated independently by
+/// different machines can never collide — the property the lane-parallel
+/// kernel's determinism contract rests on.
+pub const MACHINE_TAG_SHIFT: u32 = 40;
+
+const MACHINE_TAG_MASK: u64 = (1 << MACHINE_TAG_SHIFT) - 1;
+
+/// Shared plumbing of every id newtype (struct, `raw()`, `From`).
+macro_rules! id_core {
+    ($(#[$meta:meta])* $name:ident, $inner:ty) => {
         $(#[$meta])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
         pub struct $name(pub $inner);
@@ -21,16 +32,53 @@ macro_rules! id_type {
             }
         }
 
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:expr) => {
+        id_core!($(#[$meta])* $name, $inner);
+
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 write!(f, "{}{}", $prefix, self.0)
             }
         }
+    };
+}
 
-        impl From<$inner> for $name {
+/// Machine-tag accessors for 64-bit ids allocated from per-machine
+/// counter streams.
+macro_rules! machine_tagged {
+    ($name:ident) => {
+        impl $name {
+            /// Id `local` from machine `m`'s allocation stream.
             #[inline]
-            fn from(v: $inner) -> Self {
-                Self(v)
+            pub const fn tagged(m: MachineId, local: u64) -> $name {
+                $name((((m.0 as u64) + 1) << MACHINE_TAG_SHIFT) | local)
+            }
+
+            /// The machine whose stream allocated this id; `None` for
+            /// untagged (harness / legacy raw) ids.
+            #[inline]
+            pub fn machine_tag(self) -> Option<MachineId> {
+                match self.0 >> MACHINE_TAG_SHIFT {
+                    0 => None,
+                    t => Some(MachineId((t - 1) as u32)),
+                }
+            }
+
+            /// Position within the allocating machine's stream (the raw
+            /// value for untagged ids).
+            #[inline]
+            pub const fn local(self) -> u64 {
+                self.0 & MACHINE_TAG_MASK
             }
         }
     };
@@ -42,30 +90,62 @@ id_type!(
     u32,
     "m"
 );
-id_type!(
-    /// A simulated process. Unique across the whole simulation, never reused.
+id_core!(
+    /// A simulated process. Unique across the whole simulation, never
+    /// reused. Ids are machine-tagged (see [`MACHINE_TAG_SHIFT`]): the
+    /// kernel allocates them per machine, so lanes running in parallel
+    /// never contend on an id counter.
     ProcId,
-    u64,
-    "p"
+    u64
 );
+machine_tagged!(ProcId);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.machine_tag() {
+            Some(m) => write!(f, "p{}.{}", m.0, self.local()),
+            None => write!(f, "p{}", self.0),
+        }
+    }
+}
 id_type!(
     /// A user job submitted to the broker (one `appl` process per job).
     JobId,
     u32,
     "j"
 );
-id_type!(
-    /// One outstanding `rsh`/`rsh'` invocation by a process.
+id_core!(
+    /// One outstanding `rsh`/`rsh'` invocation by a process. Handles are
+    /// machine-tagged (allocated by the caller's machine) and never
+    /// reused.
     RshHandle,
-    u64,
-    "rsh#"
+    u64
 );
-id_type!(
+machine_tagged!(RshHandle);
+
+impl fmt::Display for RshHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.machine_tag() {
+            Some(m) => write!(f, "rsh#{}.{}", m.0, self.local()),
+            None => write!(f, "rsh#{}", self.0),
+        }
+    }
+}
+
+id_core!(
     /// A timer registered by a process (echoed back on expiry).
+    /// Machine-tagged so per-machine allocation never collides across
+    /// lanes; displayed raw (tokens don't appear in traces).
     TimerToken,
-    u64,
-    "t"
+    u64
 );
+machine_tagged!(TimerToken);
+
+impl fmt::Display for TimerToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
 id_type!(
     /// A PVM virtual machine instance.
     VmId,
@@ -98,6 +178,32 @@ mod tests {
         assert_eq!(JobId(1).to_string(), "j1");
         assert_eq!(RshHandle(7).to_string(), "rsh#7");
         assert_eq!(GrowId(9).to_string(), "g9");
+    }
+
+    #[test]
+    fn machine_tagged_ids_roundtrip() {
+        let p = ProcId::tagged(MachineId(3), 12);
+        assert_eq!(p.machine_tag(), Some(MachineId(3)));
+        assert_eq!(p.local(), 12);
+        assert_eq!(p.to_string(), "p3.12");
+        // Untagged ids (harness pseudo-process, legacy raws) render plain.
+        assert_eq!(ProcId(0).machine_tag(), None);
+        assert_eq!(ProcId(12).local(), 12);
+
+        let h = RshHandle::tagged(MachineId(0), 1);
+        assert_eq!(h.to_string(), "rsh#0.1");
+        assert_eq!(h.machine_tag(), Some(MachineId(0)));
+
+        let t = TimerToken::tagged(MachineId(2), 9);
+        assert_eq!(t.machine_tag(), Some(MachineId(2)));
+        // Timer tokens always display raw.
+        assert_eq!(TimerToken(9).to_string(), "t9");
+
+        // Distinct machines can never collide, whatever their counters.
+        assert_ne!(
+            ProcId::tagged(MachineId(0), 5),
+            ProcId::tagged(MachineId(1), 5)
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod protocol;
 pub mod status;
 
 pub use command::{CommandSpec, ConsoleCmd};
-pub use ids::{GrowId, JobId, MachineId, ProcId, RshHandle, SessionId, TimerToken, VmId};
+pub use ids::{
+    GrowId, JobId, MachineId, ProcId, RshHandle, SessionId, TimerToken, VmId, MACHINE_TAG_SHIFT,
+};
 pub use machine::{Arch, HostSpec, MachineAttrs, Os, Ownership, SymbolicHost};
 pub use message::{
     ApplMsg, BrokerMsg, CalypsoMsg, CtlMsg, DaemonReport, LamMsg, PatternField, Payload, PlindaMsg,

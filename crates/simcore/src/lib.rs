@@ -12,6 +12,7 @@
 pub mod arena;
 pub mod fxhash;
 pub mod json;
+pub mod key;
 pub mod metrics;
 pub mod prof;
 pub mod queue;
@@ -27,6 +28,7 @@ pub mod wheel;
 pub use arena::{Slab, SlabKey};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use json::Json;
+pub use key::{merge_dispatch_logs, DispatchKey, KeyStream};
 pub use metrics::{Histogram, Series, Summary};
 pub use prof::{ProfEntry, ProfTimer, Profiler};
 pub use queue::{EventQueue, QueueKind, QueueStats, ScheduleOracle};

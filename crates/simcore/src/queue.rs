@@ -250,17 +250,14 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `event` at `at` under an externally allocated sequence
-    /// number. The sharded kernel draws sequence numbers from one global
-    /// counter shared by every shard's lane, so each lane sees a strictly
-    /// increasing (but gapping) sequence stream; `seq` must be at least
-    /// this queue's watermark, which it then advances past.
+    /// key. The parallel kernel assigns machine-affine dispatch keys
+    /// ([`crate::DispatchKey`]) at push time; they are unique and strictly
+    /// increasing *per origin machine* but arbitrary per queue, so no
+    /// watermark is enforced — ties in `at` break by the key's `u64`
+    /// order, whatever interleaving the keys arrived in (both backends
+    /// guarantee exact `(time, key)` pop order for arbitrary streams).
     pub fn push_seq(&mut self, at: SimTime, seq: u64, event: E) {
-        debug_assert!(
-            seq >= self.seq,
-            "push_seq going backwards: {seq} < watermark {}",
-            self.seq
-        );
-        self.seq = seq + 1;
+        self.seq = self.seq.max(seq + 1);
         self.scheduled += 1;
         self.place(at, seq, event);
         self.depth += 1;
@@ -402,17 +399,15 @@ impl<E> EventQueue<E> {
     }
 
     /// `(time, sequence)` key of the earliest pending event — what the
-    /// sharded kernel's coordinator compares across lanes to find the
-    /// globally next dispatch without popping.
+    /// lane coordinator compares across lane queues to find the globally
+    /// next dispatch without popping.
     ///
-    /// The heap backends read their root exactly. The wheel backends
-    /// report the head of the lowest occupied slot, which holds the
-    /// minimum sequence at the minimum time **only while pushes arrive in
-    /// ascending sequence order and nothing is ever requeued** — true for
-    /// shard lanes (one shared monotone counter, no oracle), not for
-    /// queues driven through [`pop_with_oracle`].
-    ///
-    /// [`pop_with_oracle`]: EventQueue::pop_with_oracle
+    /// Exact on every backend for arbitrary key streams: the heap
+    /// backends read their root, and the wheel backends keep each slot
+    /// sorted by `(time, seq)` on insertion, so the head of the lowest
+    /// occupied slot is the true minimum even for the parallel kernel's
+    /// machine-affine keys, which are not globally monotone within a
+    /// lane.
     pub fn peek_key(&self) -> Option<(SimTime, u64)> {
         match &self.backend {
             Backend::Heap(heap) => heap.peek().map(|e| (e.at, e.seq)),

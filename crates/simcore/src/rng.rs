@@ -36,6 +36,20 @@ impl SimRng {
         SimRng { state, seed }
     }
 
+    /// A deterministic per-stream fork: stream `n` of `seed` is an
+    /// independent generator that every execution mode derives
+    /// identically. The parallel kernel hands each machine its own fork
+    /// (stream = machine id + 1; stream 0 is the harness), so the values
+    /// a behavior draws depend only on the world seed and its own
+    /// machine's history — never on global dispatch interleaving.
+    pub fn forked(seed: u64, stream: u64) -> Self {
+        // Mix the stream id through SplitMix64 before combining so
+        // adjacent streams land far apart in seed space.
+        let mut s = stream.wrapping_add(0xa076_1d64_78bd_642f);
+        let mixed = splitmix64(&mut s);
+        SimRng::seeded(seed ^ mixed)
+    }
+
     /// The seed this generator was created with (for run reports).
     pub fn seed(&self) -> u64 {
         self.seed

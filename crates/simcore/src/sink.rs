@@ -26,7 +26,10 @@ use std::io::Write;
 /// Destination for recorded trace events. Implementations must preserve
 /// arrival order; `events()` exposes whatever is still resident in
 /// memory (everything for a full sink, the recent tail otherwise).
-pub trait TraceSink: fmt::Debug {
+/// Sinks are `Send` so recorders can ride lane state across the threaded
+/// kernel's worker handoff (the sink itself is only ever driven by one
+/// thread at a time).
+pub trait TraceSink: fmt::Debug + Send {
     /// Store (and/or forward) one event.
     fn accept(&mut self, e: TraceEvent);
 
@@ -154,7 +157,7 @@ impl TraceSink for RingSink {
 /// Write failures are counted (and reported once on stderr) rather than
 /// panicking: a full disk should degrade observability, not the run.
 pub struct StreamSink {
-    out: Box<dyn Write>,
+    out: Box<dyn Write + Send>,
     /// Scratch line buffer, reused across events.
     buf: String,
     tail: RingSink,
@@ -163,7 +166,7 @@ pub struct StreamSink {
 }
 
 impl StreamSink {
-    pub fn new(out: Box<dyn Write>, tail_cap: usize) -> Self {
+    pub fn new(out: Box<dyn Write + Send>, tail_cap: usize) -> Self {
         StreamSink {
             out,
             buf: String::new(),
@@ -186,7 +189,7 @@ impl StreamSink {
     }
 }
 
-// `Box<dyn Write>` has no `Debug`; summarize the counters instead.
+// `Box<dyn Write + Send>` has no `Debug`; summarize the counters instead.
 impl fmt::Debug for StreamSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("StreamSink")
@@ -249,17 +252,17 @@ impl TraceSink for StreamSink {
 mod tests {
     use super::*;
     use crate::time::SimTime;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     /// Shared byte buffer so tests can inspect what a sink streamed
     /// after the sink (which owns its writer) is dropped.
     #[derive(Clone, Default)]
-    pub(crate) struct SharedBuf(pub Rc<RefCell<Vec<u8>>>);
+    pub(crate) struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
 
     impl Write for SharedBuf {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.borrow_mut().extend_from_slice(buf);
+            self.0.lock().unwrap().extend_from_slice(buf);
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -289,7 +292,7 @@ mod tests {
         for e in full.events() {
             render_event_into(&mut rendered, e);
         }
-        let streamed = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let streamed = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert_eq!(streamed, rendered);
         // The tail holds only recent events, yet nothing was lost.
         assert!(stream.events().len() < 10);
@@ -306,7 +309,7 @@ mod tests {
         s.comment("rb-trace v1 events=1");
         s.comment("# already prefixed");
         s.flush();
-        let text = String::from_utf8(buf.0.borrow().clone()).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[1], "# rb-trace v1 events=1");

@@ -63,6 +63,13 @@ impl SpanTracker {
         SpanTracker { next: 1 }
     }
 
+    /// A tracker whose first id is `next` (clamped to ≥ 1). The lane
+    /// kernel seeds one tracker per machine from disjoint tagged ranges,
+    /// so ids allocated by machines running in parallel never collide.
+    pub fn starting_at(next: u64) -> Self {
+        SpanTracker { next: next.max(1) }
+    }
+
     /// Open a span. Returns [`SpanId::NONE`] (and records nothing) when
     /// the recorder is disabled; the `detail` is only formatted when the
     /// event is actually stored.

@@ -172,7 +172,7 @@ impl TraceRecorder {
     /// the most recent `tail_cap` events in memory. Hand it a buffered
     /// writer — the sink writes line-at-a-time. This is how runs too
     /// large to hold a trace in memory stay fully observable.
-    pub fn streaming(out: Box<dyn std::io::Write>, tail_cap: usize) -> Self {
+    pub fn streaming(out: Box<dyn std::io::Write + Send>, tail_cap: usize) -> Self {
         TraceRecorder {
             sink: Some(Box::new(StreamSink::new(out, tail_cap))),
         }
@@ -226,6 +226,29 @@ impl TraceRecorder {
             return;
         };
         let events = staged.take_events();
+        if let Some(sink) = self.sink.as_deref_mut() {
+            for e in events {
+                sink.accept(e);
+            }
+        }
+    }
+
+    /// Move every staged event out as a batch, preserving order (empty
+    /// when disabled). The threaded kernel calls this after each lane
+    /// dispatch to tag the dispatch's events with its `(time, key)`, then
+    /// replays the batches into the canonical recorder in merged key
+    /// order via [`TraceRecorder::absorb_events`] at the window barrier.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        self.sink
+            .as_deref_mut()
+            .map_or_else(Vec::new, TraceSink::take_events)
+    }
+
+    /// Append a batch of already-recorded events in order, applying this
+    /// recorder's retention policy event by event — the batched
+    /// counterpart of [`TraceRecorder::absorb`], byte-identical to having
+    /// recorded the events directly. Discards the batch when disabled.
+    pub fn absorb_events(&mut self, events: Vec<TraceEvent>) {
         if let Some(sink) = self.sink.as_deref_mut() {
             for e in events {
                 sink.accept(e);
@@ -538,14 +561,14 @@ mod tests {
 
     #[test]
     fn streaming_recorder_emits_render_bytes() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
+        use std::sync::Mutex;
 
         #[derive(Clone, Default)]
-        struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
         impl std::io::Write for SharedBuf {
             fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-                self.0.borrow_mut().extend_from_slice(buf);
+                self.0.lock().unwrap().extend_from_slice(buf);
                 Ok(buf.len())
             }
             fn flush(&mut self) -> std::io::Result<()> {
@@ -567,7 +590,7 @@ mod tests {
                 streamed.absorb(&mut staging);
             }
         }
-        let bytes = String::from_utf8(RefCell::borrow(&buf.0).clone()).unwrap();
+        let bytes = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert_eq!(bytes, full.render());
         assert_eq!(streamed.recorded_events(), 64);
         assert_eq!(streamed.dropped_events(), 0);
@@ -579,7 +602,7 @@ mod tests {
             depth: 0,
         };
         streamed.finish_stream(&stats);
-        let text = String::from_utf8(RefCell::borrow(&buf.0).clone()).unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         assert!(text.ends_with("peak_depth=9\n"), "{text:?}");
         let parsed = parse_rendered(&text).unwrap();
         assert_eq!(parsed, parse_rendered(&full.render()).unwrap());

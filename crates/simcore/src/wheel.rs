@@ -9,16 +9,21 @@
 //! future timestamp lands in exactly one slot.
 //!
 //! Determinism contract (identical to the heap): events pop in
-//! non-decreasing time order, and events with equal timestamps pop in push
-//! (sequence) order. Equal timestamps always share one slot — their bits
-//! are identical, so every level/digit computation agrees — and slots are
-//! FIFO deques, which makes the tie-break exact, not approximate. The
-//! cursor only moves to timestamps of popped events or slot lower bounds,
-//! never past a pending event, so the level invariant
-//! `stored level == level_of(cursor, t)` holds for every resident event.
+//! non-decreasing time order, and events with equal timestamps pop in
+//! ascending sequence-key order **regardless of push order** — slots are
+//! deques kept sorted by `(time, seq)` on insertion, so the parallel
+//! kernel's machine-affine dispatch keys (which are not globally monotone
+//! within a lane) tie-break exactly like the heap. Equal timestamps always
+//! share one slot — their bits are identical, so every level/digit
+//! computation agrees. The cursor only moves to timestamps of popped
+//! events or slot lower bounds, never past a pending event, so the level
+//! invariant `stored level == level_of(cursor, t)` holds for every
+//! resident event.
 //!
-//! Costs: push is `O(1)`; pop amortizes cascades to `O(levels)` per event;
-//! `peek_time` is `O(levels)` thanks to per-slot minima maintained on push.
+//! Costs: push is `O(slot)` worst case but `O(1)` for the common
+//! append-at-back shape (ascending keys within a slot); pop amortizes
+//! cascades to `O(levels)` per event; `peek_time` is `O(levels)` thanks
+//! to per-slot minima maintained on push.
 
 use std::collections::VecDeque;
 
@@ -106,7 +111,16 @@ impl<E> TimerWheel<E> {
         } else if t < self.slot_min[idx] {
             self.slot_min[idx] = t;
         }
-        self.slots[idx].push_back((t, seq, event));
+        // Keep the slot sorted by (time, seq). Pushes are usually
+        // ascending within a slot, so the binary search lands at the back
+        // and this degenerates to an O(1) append.
+        let deque = &mut self.slots[idx];
+        let pos = deque.partition_point(|&(et, es, _)| (et, es) < (t, seq));
+        if pos == deque.len() {
+            deque.push_back((t, seq, event));
+        } else {
+            deque.insert(pos, (t, seq, event));
+        }
     }
 
     /// Lowest level with any pending event.
@@ -127,21 +141,14 @@ impl<E> TimerWheel<E> {
     ///
     /// The earliest event provably lives in the lowest occupied slot of
     /// the lowest occupied level (any lower timestamp would have a lower
-    /// digit there), and `slot_min` names its timestamp. Identifying the
-    /// minimum *sequence* at that timestamp by the slot's first match is
-    /// only correct when the deque is sequence-sorted — guaranteed while
-    /// pushes arrive in ascending sequence order and nothing is requeued
-    /// (cascades preserve deque order). Shard lanes satisfy that; oracle-
-    /// driven queues do not and must not rely on this.
+    /// digit there), and since slots are kept sorted by `(time, seq)` on
+    /// insertion its front entry *is* the global minimum — exact for
+    /// arbitrary (non-monotone) sequence streams, including requeues.
     pub fn peek_key(&self) -> Option<(u64, u64)> {
         let level = self.lowest_level()?;
         let slot = self.occupancy[level].trailing_zeros() as usize;
         let idx = level * SLOTS + slot;
-        let t = self.slot_min[idx];
-        self.slots[idx]
-            .iter()
-            .find(|&&(et, _, _)| et == t)
-            .map(|&(_, seq, _)| (t, seq))
+        self.slots[idx].front().map(|&(t, seq, _)| (t, seq))
     }
 
     /// Visit every resident event in unspecified (slot) order.
@@ -164,8 +171,8 @@ impl<E> TimerWheel<E> {
             let idx = level * SLOTS + slot;
             if level == 0 {
                 // A level-0 slot holds exactly one timestamp (all higher
-                // bits match the cursor), so front-of-deque is the global
-                // (time, seq) minimum.
+                // bits match the cursor) and the deque is (time, seq)-
+                // sorted, so front-of-deque is the global minimum.
                 let (t, seq, event) = self.slots[idx].pop_front().expect("occupied slot");
                 if self.slots[idx].is_empty() {
                     self.occupancy[0] &= !(1u64 << slot);
@@ -342,6 +349,69 @@ mod tests {
             let (t, s, _) = w.pop().unwrap();
             assert_eq!(key, (t, s));
         }
+    }
+
+    /// Non-monotone sequence streams — the lane kernel's machine-affine
+    /// keys — must still pop in exact `(time, seq)` order and agree with
+    /// the heap, with `peek_key` staying exact throughout.
+    #[test]
+    fn out_of_order_seqs_tie_break_like_the_heap() {
+        let mut w = TimerWheel::new();
+        // Equal timestamps pushed with descending / shuffled seqs.
+        for &(t, s) in &[
+            (50u64, 9u64),
+            (50, 2),
+            (10, 7),
+            (50, 4),
+            (10, 1),
+            (200, 3),
+            (10, 8),
+            (200, 0),
+        ] {
+            w.push(t, s, (t, s));
+        }
+        let mut expect: Vec<(u64, u64)> = vec![
+            (50, 9),
+            (50, 2),
+            (10, 7),
+            (50, 4),
+            (10, 1),
+            (200, 3),
+            (10, 8),
+            (200, 0),
+        ];
+        expect.sort();
+        for &(t, s) in &expect {
+            assert_eq!(w.peek_key(), Some((t, s)));
+            assert_eq!(w.pop(), Some((t, s, (t, s))));
+        }
+        assert!(w.is_empty());
+
+        // Randomized head-to-head vs a sorted reference, arbitrary seqs.
+        let mut rng = SimRng::seeded(0xABCD);
+        let mut w = TimerWheel::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        let mut last_pop = 0u64;
+        for _ in 0..4_000 {
+            if w.is_empty() || rng.uniform_u64(0, 3) > 0 {
+                let shift = rng.uniform_u64(0, 24);
+                let t = last_pop + rng.uniform_u64(0, 1 << shift);
+                let s = rng.uniform_u64(0, u64::MAX - 1);
+                w.push(t, s, ());
+                let pos = reference.partition_point(|&k| k < (t, s));
+                reference.insert(pos, (t, s));
+            } else {
+                let key = w.peek_key().unwrap();
+                let (t, s, ()) = w.pop().unwrap();
+                assert_eq!(key, (t, s));
+                assert_eq!(reference.remove(0), (t, s));
+                last_pop = t;
+            }
+        }
+        while let Some((t, s, ())) = w.pop() {
+            assert_eq!(reference.remove(0), (t, s));
+        }
+        assert!(reference.is_empty());
     }
 
     #[test]

@@ -114,20 +114,17 @@ impl Default for CostModel {
 
 impl CostModel {
     /// Conservative-synchronization lookahead: the minimum latency any
-    /// message between two processes can carry, i.e. the widest time
-    /// window a shard can safely dispatch through before a cross-shard
-    /// event could still arrive inside it. Derived from the smaller of
-    /// the LAN and local one-way latencies, floored at one microsecond —
-    /// with a zero-cost model every instant is its own window, which is
-    /// correct but degenerate. Note some kernel-internal completions
-    /// (e.g. an `rsh` against a dead host failing at the caller) carry
-    /// zero latency regardless; the sharded coordinator handles those by
-    /// forwarding ring traffic every dispatch rather than only at
-    /// barriers.
+    /// *cross-machine* interaction can carry, i.e. the widest time window
+    /// a lane can safely dispatch through before an event from another
+    /// lane could still arrive inside it. Same-machine traffic (local
+    /// latency, even zero-latency kernel completions) never crosses a
+    /// lane, so only `lan_latency` bounds the window. Floored at one
+    /// microsecond — with a zero-cost model every instant would be its
+    /// own window, which is correct but degenerate; the kernel falls back
+    /// to coordinator-serial dispatch when `lan_latency` is below this
+    /// floor (see `DESIGN.md` §17).
     pub fn lookahead(&self) -> Duration {
-        self.lan_latency
-            .min(self.local_latency)
-            .max(Duration::from_micros(1))
+        self.lan_latency.max(Duration::from_micros(1))
     }
 
     /// A zero-latency model, useful for logic-only unit tests where timing
@@ -178,10 +175,10 @@ mod tests {
     }
 
     #[test]
-    fn lookahead_is_min_latency_floored_at_one_microsecond() {
+    fn lookahead_is_lan_latency_floored_at_one_microsecond() {
         let c = CostModel::default();
-        assert_eq!(c.lookahead(), c.local_latency);
-        assert!(c.lookahead() <= c.lan_latency);
+        assert_eq!(c.lookahead(), c.lan_latency);
+        assert!(c.lookahead() >= c.local_latency);
         assert_eq!(CostModel::zero().lookahead(), Duration::from_micros(1));
     }
 }

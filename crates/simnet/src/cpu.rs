@@ -36,6 +36,7 @@ pub struct CpuScheduler {
 }
 
 impl CpuScheduler {
+    /// A scheduler for a machine of relative `speed` (1.0 = reference).
     pub fn new(speed: f64) -> Self {
         assert!(speed > 0.0, "machine speed must be positive");
         CpuScheduler {
@@ -53,6 +54,7 @@ impl CpuScheduler {
         self.bursts.len()
     }
 
+    /// Membership generation; bumps invalidate scheduled completion checks.
     pub fn generation(&self) -> u64 {
         self.gen
     }

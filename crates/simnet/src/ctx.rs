@@ -3,9 +3,17 @@
 //! All interactions of a simulated process with its environment go through
 //! here: sending messages (with realistic latencies), timers, spawning,
 //! `rsh`, CPU consumption, service registration, signals, and exit.
+//!
+//! A `Ctx` borrows the dispatching [`Lane`] plus the read-only
+//! [`SharedCore`] — never the whole world — which is what lets dispatch
+//! run on worker threads: everything a behavior can reach is either owned
+//! by its machine's lane or immutable (`DESIGN.md` §17). Cross-machine
+//! effects (a message to a process another lane owns, a remote `rsh` hop)
+//! leave as events through the lane's outbox and arrive after at least one
+//! LAN latency, outside the current window.
 
+use crate::lane::{Event, Lane, SharedCore};
 use crate::process::{Behavior, ProcEnv, RshBinding};
-use crate::world::{Event, World};
 use rb_proto::{
     CommandSpec, ExitStatus, HostSpec, JobId, MachineAttrs, MachineId, Payload, ProcId, RshHandle,
     Signal, TimerToken,
@@ -14,15 +22,17 @@ use rb_simcore::{Duration, SimTime};
 
 /// Execution context passed to every [`Behavior`] callback.
 pub struct Ctx<'w> {
-    world: &'w mut World,
+    lane: &'w mut Lane,
+    shared: &'w SharedCore,
     me: ProcId,
     exit: Option<ExitStatus>,
 }
 
 impl<'w> Ctx<'w> {
-    pub(crate) fn new(world: &'w mut World, me: ProcId) -> Self {
+    pub(crate) fn new(lane: &'w mut Lane, shared: &'w SharedCore, me: ProcId) -> Self {
         Ctx {
-            world,
+            lane,
+            shared,
             me,
             exit: None,
         }
@@ -41,76 +51,76 @@ impl<'w> Ctx<'w> {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.world.now()
+        self.lane.now
     }
 
     /// The machine this process runs on.
     pub fn machine(&self) -> MachineId {
-        self.world.procs[self.me].machine
+        self.me
+            .machine_tag()
+            .expect("behaviors run as machine processes")
     }
 
     /// Host name of this process's machine (interned — cloning the
     /// returned handle does not allocate).
     pub fn hostname(&self) -> std::sync::Arc<str> {
-        self.world.hostname_shared(self.machine())
+        self.shared.host_names[self.machine().0 as usize].clone()
     }
 
     /// Attributes of an arbitrary machine (static data a process could
     /// learn from `uname`/config files). Borrowed — clone only to store.
     pub fn attrs_of(&self, m: MachineId) -> &MachineAttrs {
-        self.world.machine_attrs(m)
+        &self.shared.attrs[m.0 as usize]
     }
 
     /// Host name of an arbitrary machine (interned — cloning the returned
     /// handle does not allocate).
     pub fn hostname_of(&self, m: MachineId) -> std::sync::Arc<str> {
-        self.world.hostname_shared(m)
+        self.shared.host_names[m.0 as usize].clone()
     }
 
     /// Resolve a host name.
     pub fn lookup_host(&self, host: &str) -> Option<MachineId> {
-        self.world.machine_by_host(host)
+        self.shared.machine_by_host(host)
     }
 
     /// All machine ids in the network (what a site administrator's host
     /// list would contain — the broker reads this at startup).
     pub fn all_machines(&self) -> Vec<MachineId> {
-        (0..self.world.machine_count() as u32)
-            .map(MachineId)
-            .collect()
+        (0..self.shared.attrs.len() as u32).map(MachineId).collect()
     }
 
     /// Instantiate a program from the world's installed factory (what a
     /// sub-`appl` does when told which command to execute). `None` means
     /// "command not found".
     pub fn build_program(&self, cmd: &rb_proto::CommandSpec) -> Option<Box<dyn Behavior>> {
-        self.world.build_program(cmd)
+        self.shared.factory.as_ref()?.build(cmd)
     }
 
     /// The world's timing constants (what a process would "know" from
     /// system configuration, e.g. how long a graceful retreat may take).
     pub fn cost(&self) -> &crate::cost::CostModel {
-        self.world.cost()
+        &self.shared.cost
     }
 
     /// This process's environment (clone it to inherit into a child).
     pub fn env(&self) -> &ProcEnv {
-        &self.world.procs[self.me].env
+        &self.lane.proc(self.me).expect("self exists").env
     }
 
     /// This process's user name (interned).
     pub fn user(&self) -> std::sync::Arc<str> {
-        self.world.procs[self.me].env.user.clone()
+        self.env().user.clone()
     }
 
     /// The job this process runs under, if broker-managed.
     pub fn job(&self) -> Option<JobId> {
-        self.world.procs[self.me].env.job
+        self.env().job
     }
 
     /// The managing `appl`, if any.
     pub fn appl(&self) -> Option<ProcId> {
-        self.world.procs[self.me].env.appl
+        self.env().appl
     }
 
     /// Status snapshot of this process's machine, as a local daemon would
@@ -119,7 +129,8 @@ impl<'w> Ctx<'w> {
     /// "since last poll" sensor.
     pub fn poll_machine_status(&mut self) -> MachineStatus {
         let m = self.machine();
-        let state = &mut self.world.machines[m.0 as usize];
+        let local = self.lane.local_of(m);
+        let state = &mut self.lane.machines[local];
         let status = MachineStatus {
             machine: m,
             load: state.cpu.load() as u32,
@@ -134,14 +145,19 @@ impl<'w> Ctx<'w> {
 
     // ---------------- randomness & tracing ----------------
 
-    /// Deterministic uniform integer in `[lo, hi)`.
+    /// Deterministic uniform integer in `[lo, hi)`, drawn from this
+    /// machine's RNG stream (so draws replay identically in every
+    /// execution mode — the stream is a pure function of the machine's
+    /// dispatch history).
     pub fn rng_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.world.rng.uniform_u64(lo, hi)
+        let local = self.lane.local_of(self.machine());
+        self.lane.mkern[local].rng.uniform_u64(lo, hi)
     }
 
-    /// Deterministic uniform float in `[lo, hi)`.
+    /// Deterministic uniform float in `[lo, hi)` from the machine stream.
     pub fn rng_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.world.rng.uniform_f64(lo, hi)
+        let local = self.lane.local_of(self.machine());
+        self.lane.mkern[local].rng.uniform_f64(lo, hi)
     }
 
     /// Record a trace event under this process's identity. `detail` is
@@ -149,22 +165,31 @@ impl<'w> Ctx<'w> {
     /// any `Display` value) rather than a pre-built `String` so disabled
     /// runs pay nothing.
     pub fn trace(&mut self, topic: impl Into<rb_simcore::Topic>, detail: impl std::fmt::Display) {
-        let at = self.world.now();
-        self.world.trace.record(at, topic, detail);
+        let at = self.lane.now;
+        self.lane.trace.record(at, topic, detail);
     }
 
     // ---------------- causal spans & metrics ----------------
 
     /// Open a causal span under `parent` (pass [`SpanId::NONE`] for a
     /// root). Costs nothing and returns `SpanId::NONE` when tracing is
-    /// off, so instrumented behaviors stay pay-for-what-you-use.
+    /// off, so instrumented behaviors stay pay-for-what-you-use. Span ids
+    /// come from this machine's tagged allocator, so concurrent lanes
+    /// never mint colliding ids.
+    ///
+    /// [`SpanId::NONE`]: rb_simcore::SpanId::NONE
     pub fn open_span(
         &mut self,
         parent: rb_simcore::SpanId,
         name: &'static str,
         detail: impl std::fmt::Display,
     ) -> rb_simcore::SpanId {
-        self.world.open_span(parent, name, detail)
+        let local = self.lane.local_of(self.machine());
+        let now = self.lane.now;
+        let lane = &mut *self.lane;
+        lane.mkern[local]
+            .spans
+            .open(&mut lane.trace, now, parent, name, detail)
     }
 
     /// Close a span with a free-form outcome (no-op on `SpanId::NONE`).
@@ -174,13 +199,20 @@ impl<'w> Ctx<'w> {
         name: &'static str,
         outcome: impl std::fmt::Display,
     ) {
-        self.world.close_span(id, name, outcome);
+        let local = self.lane.local_of(self.machine());
+        let now = self.lane.now;
+        let lane = &mut *self.lane;
+        lane.mkern[local]
+            .spans
+            .close(&mut lane.trace, now, id, name, outcome);
     }
 
     /// Bump a counter in the world's metrics registry. The label is only
-    /// formatted when metrics are enabled.
+    /// formatted when metrics are enabled. Counts stage in the lane and
+    /// merge at barriers; counter sums are exact, so totals are
+    /// mode-independent.
     pub fn metric_inc(&mut self, name: &'static str, label: impl std::fmt::Display) {
-        if let Some(m) = self.world.metrics_mut() {
+        if let Some(m) = self.lane.metrics.as_mut() {
             m.inc(name, label);
         }
     }
@@ -193,7 +225,7 @@ impl<'w> Ctx<'w> {
         label: impl std::fmt::Display,
         value: f64,
     ) {
-        if let Some(m) = self.world.metrics_mut() {
+        if let Some(m) = self.lane.metrics.as_mut() {
             m.observe(name, label, value);
         }
     }
@@ -209,12 +241,17 @@ impl<'w> Ctx<'w> {
 
     /// Send with additional processing delay before the wire latency.
     pub fn send_after(&mut self, to: ProcId, msg: Payload, extra: Duration) {
-        let latency = match self.world.procs.get(to) {
-            Some(entry) if entry.machine == self.machine() => self.world.cost().local_latency,
-            _ => self.world.cost().lan_latency,
+        // The target's machine is in its id tag — no cross-lane process
+        // table lookup needed (the harness pseudo-process is untagged and
+        // charges a LAN hop, like any off-machine target).
+        let latency = if to.machine_tag() == Some(self.machine()) {
+            self.shared.cost.local_latency
+        } else {
+            self.shared.cost.lan_latency
         };
-        let at = self.world.now() + extra + latency;
-        self.world.push_event_at(
+        let at = self.lane.now + extra + latency;
+        self.lane.push_event_at(
+            self.shared,
             at,
             Event::Deliver {
                 to,
@@ -228,9 +265,10 @@ impl<'w> Ctx<'w> {
 
     /// Arm a one-shot timer; the token is echoed to `on_timer`.
     pub fn set_timer(&mut self, d: Duration) -> TimerToken {
-        let token = self.world.fresh_timer();
-        let at = self.world.now() + d;
-        self.world.push_event_at(
+        let token = self.lane.fresh_timer(self.machine());
+        let at = self.lane.now + d;
+        self.lane.push_event_at(
+            self.shared,
             at,
             Event::Timer {
                 proc: self.me,
@@ -242,8 +280,10 @@ impl<'w> Ctx<'w> {
 
     /// Cancel a pending timer (no-op if already fired).
     pub fn cancel_timer(&mut self, token: TimerToken) {
-        if !self.world.cancelled_timers.contains(&token) {
-            self.world.cancelled_timers.push(token);
+        let local = self.lane.local_of(self.machine());
+        let cancelled = &mut self.lane.mkern[local].cancelled_timers;
+        if !cancelled.contains(&token) {
+            cancelled.push(token);
         }
     }
 
@@ -261,23 +301,24 @@ impl<'w> Ctx<'w> {
     pub fn spawn_local_with_env(&mut self, behavior: Box<dyn Behavior>, env: ProcEnv) -> ProcId {
         let machine = self.machine();
         let p = self
-            .world
-            .insert_proc(machine, behavior, env, Some(self.me));
-        let at = self.world.now() + self.world.cost().local_fork;
-        self.world.push_event_at(at, Event::Start(p));
+            .lane
+            .insert_proc(self.shared, machine, behavior, env, Some(self.me));
+        let at = self.lane.now + self.shared.cost.local_fork;
+        self.lane.push_event_at(self.shared, at, Event::Start(p));
         p
     }
 
     /// Deliver a signal to another process. `SIGKILL` is enforced by the
     /// kernel and cannot be caught.
     pub fn kill(&mut self, target: ProcId, sig: Signal) {
-        let latency = match self.world.procs.get(target) {
-            Some(entry) if entry.machine == self.machine() => self.world.cost().local_latency,
-            _ => self.world.cost().lan_latency,
+        let latency = if target.machine_tag() == Some(self.machine()) {
+            self.shared.cost.local_latency
+        } else {
+            self.shared.cost.lan_latency
         };
-        let at = self.world.now() + latency;
-        self.world
-            .push_event_at(at, Event::SigDeliver { proc: target, sig });
+        let at = self.lane.now + latency;
+        self.lane
+            .push_event_at(self.shared, at, Event::SigDeliver { proc: target, sig });
     }
 
     /// Terminate this process with `status` once the current callback
@@ -289,7 +330,7 @@ impl<'w> Ctx<'w> {
     /// Daemonize: any `rsh` waiting on this process completes successfully
     /// now, and the local parent is notified (`on_child_detach`).
     pub fn detach(&mut self) {
-        self.world.detach_proc(self.me);
+        self.lane.detach_proc(self.shared, self.me);
     }
 
     // ---------------- rsh ----------------
@@ -298,22 +339,24 @@ impl<'w> Ctx<'w> {
     /// environment's [`RshBinding`]). Completion arrives via
     /// `on_rsh_result`.
     pub fn rsh(&mut self, host: &str, cmd: CommandSpec) -> RshHandle {
-        let binding = self.world.procs[self.me].env.rsh;
-        self.world.rsh_begin(self.me, host, cmd, binding)
+        let binding = self.env().rsh;
+        self.lane
+            .rsh_begin(self.shared, self.me, host, cmd, binding)
     }
 
     /// Invoke the *standard* rsh explicitly, bypassing any shim (used by
     /// the `appl` layer, which redirects jobs by design).
     pub fn rsh_standard(&mut self, host: &str, cmd: CommandSpec) -> RshHandle {
-        self.world
-            .rsh_begin(self.me, host, cmd, RshBinding::Standard)
+        self.lane
+            .rsh_begin(self.shared, self.me, host, cmd, RshBinding::Standard)
     }
 
     /// Used by the `rsh'` behavior itself: run the standard rsh state
     /// machine under a pre-classified host spec.
     pub fn rsh_standard_spec(&mut self, host: HostSpec, cmd: CommandSpec) -> RshHandle {
-        let handle = self.world.rsh_begin_raw(self.me);
-        self.world.standard_rsh(self.me, handle, host, cmd);
+        let handle = self.lane.rsh_begin_raw(self.me);
+        self.lane
+            .standard_rsh(self.shared, self.me, handle, host, cmd);
         handle
     }
 
@@ -322,14 +365,14 @@ impl<'w> Ctx<'w> {
     /// Begin a CPU burst of `cpu` CPU-time under processor sharing;
     /// completion arrives via `on_cpu_done` with the returned token.
     pub fn cpu_burst(&mut self, cpu: Duration) -> u64 {
-        let token = self.world.next_cpu_token;
-        self.world.next_cpu_token += 1;
         let m = self.machine();
-        let now = self.world.now();
-        self.world.machines[m.0 as usize]
-            .cpu
-            .add(now, self.me, token, cpu);
-        self.world.reschedule_cpu(m);
+        let local = self.lane.local_of(m);
+        let kern = &mut self.lane.mkern[local];
+        let token = kern.next_cpu_token;
+        kern.next_cpu_token += 1;
+        let now = self.lane.now;
+        self.lane.machines[local].cpu.add(now, self.me, token, cpu);
+        self.lane.reschedule_cpu(self.shared, m);
         token
     }
 
@@ -339,10 +382,10 @@ impl<'w> Ctx<'w> {
     /// on this machine (the analogue of a `/tmp/pvmd.<uid>` socket file).
     pub fn register_service(&mut self, name: &str) {
         let m = self.machine();
-        let entry = self.world.procs.get_mut(self.me).expect("self exists");
+        let entry = self.lane.proc_mut(self.me).expect("self exists");
         entry.has_services = true;
         let user = entry.env.user.to_string();
-        self.world
+        self.lane
             .services
             .insert((m, user, name.to_string()), self.me);
     }
@@ -350,8 +393,8 @@ impl<'w> Ctx<'w> {
     /// Look up a service registered by this process's user on this machine.
     pub fn lookup_service(&self, name: &str) -> Option<ProcId> {
         let m = self.machine();
-        let user = &self.world.procs[self.me].env.user;
-        self.world
+        let user = &self.env().user.clone();
+        self.lane
             .services
             .get(&(m, user.to_string(), name.to_string()))
             .copied()
@@ -363,15 +406,15 @@ impl<'w> Ctx<'w> {
     /// disk survives process death and machine crashes.
     pub fn disk_write(&mut self, file: &str, bytes: Vec<u8>) {
         let m = self.machine();
-        let user = self.world.procs[self.me].env.user.to_string();
-        self.world.disks.insert((m, user, file.to_string()), bytes);
+        let user = self.env().user.to_string();
+        self.lane.disks.insert((m, user, file.to_string()), bytes);
     }
 
     /// Read a file from this user's home directory on this machine.
     pub fn disk_read(&self, file: &str) -> Option<Vec<u8>> {
         let m = self.machine();
-        let user = &self.world.procs[self.me].env.user;
-        self.world
+        let user = &self.env().user;
+        self.lane
             .disks
             .get(&(m, user.to_string(), file.to_string()))
             .cloned()
@@ -380,13 +423,14 @@ impl<'w> Ctx<'w> {
     /// Remove a file from this user's home directory on this machine.
     pub fn disk_remove(&mut self, file: &str) {
         let m = self.machine();
-        let user = self.world.procs[self.me].env.user.to_string();
-        self.world.disks.remove(&(m, user, file.to_string()));
+        let user = self.env().user.to_string();
+        self.lane.disks.remove(&(m, user, file.to_string()));
     }
 }
 
 /// Snapshot of local machine state as observed by a daemon poll.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
 pub struct MachineStatus {
     pub machine: MachineId,
     /// Runnable CPU bursts.

@@ -11,8 +11,10 @@ use crate::process::{Behavior, ProcEnv};
 use rb_proto::{CommandSpec, HostSpec, ProcId, RshHandle};
 
 /// Builds behaviors for commands. Return `None` for commands this factory
-/// does not provide ("command not found").
-pub trait ProgramFactory {
+/// does not provide ("command not found"). Factories are shared read-only
+/// across all lanes of a threaded world, hence `Send + Sync`.
+pub trait ProgramFactory: Send + Sync {
+    /// Instantiate the behavior for `cmd`, or `None` if not provided.
     fn build(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>>;
 }
 
@@ -24,15 +26,18 @@ pub struct FactoryChain {
 }
 
 impl FactoryChain {
+    /// An empty chain.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Append a factory (builder style).
     pub fn with(mut self, f: impl ProgramFactory + 'static) -> Self {
         self.factories.push(Box::new(f));
         self
     }
 
+    /// Append a factory.
     pub fn push(&mut self, f: impl ProgramFactory + 'static) {
         self.factories.push(Box::new(f));
     }
@@ -60,8 +65,10 @@ pub struct RshPrimeRequest {
 }
 
 /// Instantiates the `rsh'` behavior. Provided by `rb-broker`; absent in
-/// broker-less baseline clusters.
-pub trait RshPrimeFactory {
+/// broker-less baseline clusters. Shared read-only across lanes like
+/// [`ProgramFactory`].
+pub trait RshPrimeFactory: Send + Sync {
+    /// Instantiate the shim behavior for one intercepted invocation.
     fn build(&self, req: RshPrimeRequest) -> Box<dyn Behavior>;
 }
 

@@ -25,11 +25,20 @@
 //! broker: those are programs *installed into* a world via
 //! [`ProgramFactory`] chains, the same way binaries are installed on real
 //! machines.
+//!
+//! Since the lane rework (`DESIGN.md` §17) the kernel dispatches on worker
+//! threads when built with [`WorldBuilder::shards`]`(n)` +
+//! [`WorldBuilder::threads`]`(n)` — byte-identical to the serial kernel by
+//! construction (machine-affine ids and dispatch keys, deterministic log
+//! merge at window barriers).
+
+#![warn(missing_docs)]
 
 pub mod cost;
 pub mod cpu;
 pub mod ctx;
 pub mod factory;
+pub(crate) mod lane;
 pub mod machine;
 pub mod process;
 pub mod programs;

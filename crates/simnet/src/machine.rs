@@ -8,6 +8,7 @@ use rb_simcore::{Duration, SimTime};
 /// Dynamic state of one workstation.
 #[derive(Debug)]
 pub struct MachineState {
+    /// Static attributes (hostname, speed, ownership).
     pub attrs: MachineAttrs,
     /// Machine is powered and reachable.
     pub up: bool,
@@ -32,6 +33,7 @@ pub struct MachineState {
 }
 
 impl MachineState {
+    /// A fresh, up, idle machine.
     pub fn new(attrs: MachineAttrs) -> Self {
         let speed = attrs.speed;
         MachineState {
@@ -68,6 +70,7 @@ impl MachineState {
         }
     }
 
+    /// Alive application (non-system) processes on this machine.
     pub fn app_proc_count(&self) -> u32 {
         self.app_procs
     }

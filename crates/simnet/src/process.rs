@@ -74,8 +74,10 @@ impl ProcEnv {
 /// the world (send messages, set timers, spawn, rsh, consume CPU, exit).
 /// Methods have empty defaults so behaviors implement only what they react
 /// to. `SIGKILL` is enforced by the kernel and never delivered here.
+/// Behaviors are `Send`: each one is owned by exactly one machine's lane,
+/// and lanes migrate between worker threads at window barriers.
 #[allow(unused_variables)]
-pub trait Behavior {
+pub trait Behavior: Send {
     /// Short stable name used in traces and test queries (e.g. `"pvmd"`).
     fn name(&self) -> &'static str;
 
@@ -122,7 +124,9 @@ pub trait Behavior {
 /// Liveness of a process-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcState {
+    /// Alive and dispatchable.
     Running,
+    /// Exited with the recorded status; the entry stays for post-mortem queries.
     Exited(ExitStatus),
 }
 

@@ -30,6 +30,7 @@ pub struct LoopProg {
 }
 
 impl LoopProg {
+    /// A program that burns `cpu_millis` of CPU time, then exits.
     pub fn new(cpu_millis: u64) -> Self {
         LoopProg {
             cpu_millis,

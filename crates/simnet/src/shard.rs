@@ -1,379 +1,113 @@
-//! The sharded simulation kernel: per-shard event lanes under a
-//! conservative time-window coordinator.
+//! The conservative time-window synchronizer for lane-parallel dispatch.
 //!
-//! Machines are partitioned across `N` shards by `machine_id % N`; every
-//! event is owned by the shard of the machine it runs on (harness events
-//! belong to shard 0). Each shard keeps its own [`EventQueue`] lane —
-//! timers, deliveries, and process starts for its machines — and
-//! cross-shard traffic (broker↔daemon and appl↔sub-appl wires, whose
-//! minimum latency is [`CostModel::lookahead`](crate::cost::CostModel))
-//! flows through one [`SpscRing`] per (source, destination) pair.
+//! The kernel partitions machines across *lanes* (see `crate::lane`) and
+//! advances them under conservative synchronization: a window `[head,
+//! head + lookahead)` is safe to dispatch in parallel because every
+//! cross-machine interaction carries at least
+//! [`CostModel::lookahead`](crate::cost::CostModel::lookahead) of
+//! latency — no lane can schedule an event inside another lane's current
+//! window. At the barrier the coordinator merges the lanes' dispatch logs
+//! back into the canonical `(time, key)` order, which is what makes a
+//! threaded run byte-identical to the serial kernel (`DESIGN.md` §17).
 //!
-//! A conservative synchronizer advances virtual time in *windows*: when
-//! the globally earliest pending event lies at or past the current
-//! window's end, the window closes at a barrier (per-shard idle counts
-//! are taken, the barrier stall is recorded) and a new window
-//! `[head, head + lookahead)` opens. Events inside a window would be
-//! safe to dispatch concurrently *per shard* as long as the §11
-//! independence relation holds between equal-time dispatches; see below
-//! for why this implementation keeps one coordinator thread.
-//!
-//! ## Determinism contract (and why dispatch stays serialized)
-//!
-//! The serial kernel is the oracle: a sharded run must produce
-//! **byte-identical** traces and equal [`QueueStats`]. Three global
-//! allocators make dispatch order observable — [`ProcId`]s come from a
-//! dense arena in spawn order, span ids and RNG draws
-//! (`Ctx::rng_u64` → the world's one `SimRng`) are handed out in
-//! dispatch order, and queue sequence numbers decide equal-time FIFO
-//! ties. On top of that, behaviors hold `Rc<RefCell<…>>` state and are
-//! not `Send`. So the coordinator dispatches events one at a time in
-//! global `(time, sequence)` order — exactly the serial order — while
-//! the sharded machinery (lanes, rings, windows, per-shard accounting)
-//! exercises the full conservative-window protocol and exposes where
-//! wall-clock parallelism would come from once behaviors become
-//! `Send`-able and id allocation becomes per-shard. DESIGN.md §14 walks
-//! through the protocol and this constraint in detail.
-//!
-//! Sequence numbers are drawn from one engine-global counter at push
-//! time (ring entry time for cross-shard events), so each lane receives
-//! a strictly increasing sequence stream and [`EventQueue::peek_key`]
-//! stays exact on both queue backends.
-//!
-//! Rings are drained at the end of every dispatch rather than only at
-//! barriers: a few kernel-internal completions are *zero-latency* (an
-//! `rsh` against a machine that died mid-operation completes at the
-//! caller "now"), so a cross-shard event can land inside the current
-//! window and must be visible before the next pop. A full ring never
-//! drops — it is drained into the destination lane in place, counted as
-//! `ring_full` back-pressure.
+//! This module holds the bookkeeping shared by both execution modes — the
+//! window cursor and the per-lane dispatch/barrier counters published as
+//! [`ShardStats`] — not the dispatch machinery itself, which lives in
+//! `crate::lane` (lane-owned state) and `crate::world` (the coordinator).
 
-use crate::world::Event;
-use rb_simcore::{Duration, EventQueue, FxHashMap, QueueKind, QueueStats, SimTime, SpscRing};
+use rb_simcore::{Duration, SimTime};
 
-/// Metadata about the most recent [`ShardEngine::pop_next`], recorded
-/// only when cause tracking is on — everything the happens-before trace
-/// records (`shard.ev` / `shard.window`) need about a dispatch.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct PopMeta {
-    /// The dispatched event's global sequence number.
-    pub seq: u64,
-    /// Lane (shard) it was dispatched on.
-    pub shard: usize,
-    /// Ordinal of the window it was dispatched in (1-based).
-    pub window: u64,
-    /// End of that window.
-    pub window_end: SimTime,
-    /// Sequence number of the dispatch that scheduled this event, if it
-    /// was scheduled from inside a dispatch (the HB cause edge).
-    pub cause: Option<u64>,
-}
-
-/// Log₂ buckets for the barrier-stall histogram (bucket 0 = zero stall,
-/// bucket `i` covers `[2^(i-1), 2^i)` microseconds, last bucket open).
+/// Number of power-of-two buckets in [`ShardStats::stall_hist`].
 pub const STALL_BUCKETS: usize = 16;
 
-/// Per-shard work counters.
+/// Per-lane counters of the sharded kernel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LaneStats {
-    /// Events this shard dispatched.
+    /// Events this lane dispatched.
     pub dispatched: u64,
-    /// Closed windows in which this shard dispatched nothing (it would
-    /// have idled at the barrier in a wall-parallel run).
+    /// Windows this lane spent idle (no event of its own to dispatch) —
+    /// time it waited at the barrier for the other lanes.
     pub barrier_waits: u64,
-    /// Times a full outbound ring from this shard forced an inline drain.
-    pub ring_full: u64,
-    /// Host wall-clock nanoseconds spent dispatching this lane's events
-    /// (filled only when the world profiles; see `WorldBuilder::profile`).
-    /// Lane imbalance here is the ceiling on wall-parallel speed-up.
+    /// Host wall time this lane spent dispatching, in nanoseconds.
+    /// Zero unless the world was built with profiling enabled.
     pub wall_ns: u64,
 }
 
-/// Snapshot of the sharded kernel's synchronizer state.
-#[derive(Debug, Clone)]
+/// Synchronizer statistics of a sharded kernel, for load/overhead reports.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardStats {
+    /// Number of lanes.
     pub shards: usize,
-    /// Windows opened so far.
+    /// Synchronizer windows opened so far.
     pub windows: u64,
-    /// The conservative lookahead the windows are derived from.
+    /// The conservative lookahead bounding each window.
     pub lookahead: Duration,
+    /// Per-lane counters, indexed by lane.
     pub per_shard: Vec<LaneStats>,
-    /// Histogram of virtual-time gaps between a window's end and the
-    /// next event (log₂ microsecond buckets; bucket 0 = dense, no gap).
+    /// Histogram of inter-window virtual-time stalls (gap between one
+    /// window's end and the next head): bucket 0 is a zero gap, bucket
+    /// `b` covers gaps of `[2^(b-1), 2^b)` microseconds, the last bucket
+    /// is open-ended.
     pub stall_hist: [u64; STALL_BUCKETS],
 }
 
-pub(crate) struct ShardEngine {
+/// Window cursor + per-lane accounting. Both execution modes drive it
+/// identically — one `open_window` per window, one `note_dispatch` per
+/// dispatched event, in the canonical merged order — so its counters are
+/// mode-independent except for the window structure itself (the threaded
+/// coordinator clamps windows at harness events, metrics samples, and the
+/// run limit; the serial coordinator does not).
+pub(crate) struct Synchronizer {
     shards: usize,
-    kind: QueueKind,
-    /// One event lane per shard (same backend kind everywhere).
-    lanes: Vec<EventQueue<Event>>,
-    /// `shards × shards` cross-shard rings, row-major by source shard.
-    /// Diagonal entries exist but stay empty (same-shard pushes go
-    /// straight to the lane).
-    rings: Vec<SpscRing<(SimTime, u64, Event)>>,
-    /// Engine-global sequence allocator shared by all lanes — the global
-    /// `(time, seq)` order equals the serial kernel's push order.
-    next_seq: u64,
-    /// Shard whose event is currently being dispatched; routes its
-    /// outbound pushes through rings until [`end_dispatch`].
-    ///
-    /// [`end_dispatch`]: ShardEngine::end_dispatch
-    current: Option<usize>,
-    window_end: SimTime,
-    lookahead: Duration,
     windows: u64,
-    /// Dispatches per shard within the open window (barrier accounting).
-    window_dispatched: Vec<u64>,
-    per_shard: Vec<LaneStats>,
+    window_end: SimTime,
+    /// Per-lane dispatched-event counters.
+    pub(crate) dispatched: Vec<u64>,
+    /// Per-lane count of windows the lane sat out.
+    pub(crate) barrier_waits: Vec<u64>,
+    /// Which lanes dispatched anything in the current window.
+    window_had: Vec<bool>,
     stall_hist: [u64; STALL_BUCKETS],
-    /// Collect per-barrier stalls for the metrics registry (enabled only
-    /// when the world samples metrics, so unbounded growth is impossible
-    /// on metric-less soak runs).
+    /// Collect raw stall samples for the metrics registry (enabled iff
+    /// the world has metrics).
     collect_stalls: bool,
     pending_stalls: Vec<f64>,
-    /// Record scheduled-by edges (seq → scheduling dispatch's seq) and
-    /// per-pop metadata for the happens-before trace. Off by default:
-    /// the map and metadata cost nothing unless a `World` was built with
-    /// `hb_trace(true)`.
-    track_causes: bool,
-    /// Pending events' cause edges; entries are removed at pop, so the
-    /// map is bounded by queue depth.
-    causes: FxHashMap<u64, u64>,
-    last_pop: Option<PopMeta>,
-    // Global counters mirroring what a serial queue would report: pushes
-    // and pops happen in exactly the serial order, so these trajectories
-    // (including peak depth) are equal by construction.
-    scheduled: u64,
-    dispatched: u64,
-    depth: usize,
-    peak: usize,
 }
 
-impl ShardEngine {
-    pub(crate) fn new(
-        shards: usize,
-        kind: QueueKind,
-        lookahead: Duration,
-        collect_stalls: bool,
-        track_causes: bool,
-    ) -> Self {
-        assert!(shards >= 2, "a sharded kernel needs at least two shards");
-        let mut lanes: Vec<EventQueue<Event>> =
-            (0..shards).map(|_| EventQueue::with_kind(kind)).collect();
-        for lane in &mut lanes {
-            lane.reserve(64);
-        }
-        ShardEngine {
+impl Synchronizer {
+    pub(crate) fn new(shards: usize, collect_stalls: bool) -> Self {
+        Synchronizer {
             shards,
-            kind,
-            lanes,
-            rings: (0..shards * shards)
-                .map(|_| SpscRing::with_capacity(64))
-                .collect(),
-            next_seq: 0,
-            current: None,
-            window_end: SimTime::ZERO,
-            lookahead,
             windows: 0,
-            window_dispatched: vec![0; shards],
-            per_shard: vec![LaneStats::default(); shards],
+            window_end: SimTime::ZERO,
+            dispatched: vec![0; shards],
+            barrier_waits: vec![0; shards],
+            window_had: vec![false; shards],
             stall_hist: [0; STALL_BUCKETS],
             collect_stalls,
             pending_stalls: Vec::new(),
-            track_causes,
-            causes: FxHashMap::default(),
-            last_pop: None,
-            scheduled: 0,
-            dispatched: 0,
-            depth: 0,
-            peak: 0,
         }
     }
 
-    pub(crate) fn shards(&self) -> usize {
-        self.shards
+    #[inline]
+    pub(crate) fn window_end(&self) -> SimTime {
+        self.window_end
     }
 
-    pub(crate) fn kind(&self) -> QueueKind {
-        self.kind
+    #[inline]
+    pub(crate) fn windows(&self) -> u64 {
+        self.windows
     }
 
-    /// Shard whose event is mid-dispatch (trace staging needs it).
-    pub(crate) fn current_shard(&self) -> Option<usize> {
-        self.current
-    }
-
-    /// Metadata about the most recent pop — `None` unless constructed
-    /// with `track_causes`.
-    pub(crate) fn last_pop(&self) -> Option<PopMeta> {
-        self.last_pop
-    }
-
-    /// Credit `ns` of host dispatch time to `shard`'s lane (self-profiling
-    /// worlds only; pure accounting, invisible to the simulation).
-    pub(crate) fn note_lane_wall(&mut self, shard: usize, ns: u64) {
-        self.per_shard[shard].wall_ns += ns;
-    }
-
-    pub(crate) fn is_empty(&self) -> bool {
-        self.depth == 0
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.depth
-    }
-
-    pub(crate) fn stats(&self) -> QueueStats {
-        QueueStats {
-            scheduled: self.scheduled,
-            dispatched: self.dispatched,
-            peak_depth: self.peak,
-            depth: self.depth,
-        }
-    }
-
-    pub(crate) fn shard_stats(&self) -> ShardStats {
-        ShardStats {
-            shards: self.shards,
-            windows: self.windows,
-            lookahead: self.lookahead,
-            per_shard: self.per_shard.clone(),
-            stall_hist: self.stall_hist,
-        }
-    }
-
-    /// Barrier stalls (seconds) recorded since the last take; empty
-    /// unless constructed with `collect_stalls`.
-    pub(crate) fn take_pending_stalls(&mut self) -> Vec<f64> {
-        std::mem::take(&mut self.pending_stalls)
-    }
-
-    /// Schedule `ev` at `at` on `shard`'s lane. Outside a dispatch the
-    /// event goes straight to the lane; during one, cross-shard events
-    /// travel through the source shard's outbound ring (drained at end
-    /// of dispatch) so the wire protocol is exercised on exactly the
-    /// traffic that would cross threads in a wall-parallel build.
-    pub(crate) fn push(&mut self, at: SimTime, shard: usize, ev: Event) {
-        debug_assert!(shard < self.shards);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        if self.track_causes && self.current.is_some() {
-            // Scheduled from inside a dispatch: that dispatch is the HB
-            // cause. `last_pop` is always Some while `current` is.
-            if let Some(meta) = self.last_pop {
-                self.causes.insert(seq, meta.seq);
-            }
-        }
-        self.scheduled += 1;
-        self.depth += 1;
-        if self.depth > self.peak {
-            self.peak = self.depth;
-        }
-        match self.current {
-            Some(src) if src != shard => {
-                let idx = src * self.shards + shard;
-                if let Err(rejected) = self.rings[idx].push((at, seq, ev)) {
-                    // Full ring: relieve the back-pressure by draining in
-                    // place (the kernel never drops an event), then retry.
-                    self.per_shard[src].ring_full += 1;
-                    Self::drain_ring(&mut self.rings[idx], &mut self.lanes[shard]);
-                    let Ok(()) = self.rings[idx].push(rejected) else {
-                        unreachable!("ring was just drained")
-                    };
-                }
-            }
-            _ => self.lanes[shard].push_seq(at, seq, ev),
-        }
-    }
-
-    fn drain_ring(ring: &mut SpscRing<(SimTime, u64, Event)>, lane: &mut EventQueue<Event>) {
-        while let Some((at, seq, ev)) = ring.pop() {
-            lane.push_seq(at, seq, ev);
-        }
-    }
-
-    /// Finish the in-flight dispatch: flush the dispatching shard's
-    /// outbound rings into their destination lanes and release the
-    /// routing state. Ring entries carry larger sequence numbers than
-    /// anything their destination lane received before this dispatch, so
-    /// the drain preserves each lane's monotone sequence stream.
-    pub(crate) fn end_dispatch(&mut self) {
-        let Some(src) = self.current.take() else {
-            return;
-        };
-        for dst in 0..self.shards {
-            if dst == src {
-                continue;
-            }
-            let idx = src * self.shards + dst;
-            if !self.rings[idx].is_empty() {
-                Self::drain_ring(&mut self.rings[idx], &mut self.lanes[dst]);
-            }
-        }
-    }
-
-    /// Time of the globally earliest pending event.
-    pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        debug_assert!(self.rings.iter().all(|r| r.is_empty()));
-        self.lanes
-            .iter()
-            .filter_map(|l| l.peek_key())
-            .min()
-            .map(|(t, _)| t)
-    }
-
-    /// Pop the globally next event — minimum `(time, seq)` across lanes,
-    /// which is exactly the event the serial kernel would pop — advancing
-    /// the safe window (and its barrier accounting) when the head crosses
-    /// the window's end. The caller must [`end_dispatch`] after handling.
-    ///
-    /// [`end_dispatch`]: ShardEngine::end_dispatch
-    pub(crate) fn pop_next(&mut self) -> Option<(SimTime, Event)> {
-        debug_assert!(
-            self.rings.iter().all(|r| r.is_empty()),
-            "pop with undrained rings: end_dispatch was skipped"
-        );
-        let mut best: Option<(SimTime, u64, usize)> = None;
-        for (i, lane) in self.lanes.iter().enumerate() {
-            if let Some((t, seq)) = lane.peek_key() {
-                if best.is_none_or(|(bt, bs, _)| (t, seq) < (bt, bs)) {
-                    best = Some((t, seq, i));
-                }
-            }
-        }
-        let (t, seq, shard) = best?;
-        if t >= self.window_end {
-            self.close_window(t);
-        }
-        let (at, ev) = self.lanes[shard].pop().expect("lane head was peeked");
-        debug_assert_eq!(at, t);
-        self.current = Some(shard);
-        self.per_shard[shard].dispatched += 1;
-        self.window_dispatched[shard] += 1;
-        self.dispatched += 1;
-        self.depth -= 1;
-        if self.track_causes {
-            let cause = self.causes.remove(&seq);
-            self.last_pop = Some(PopMeta {
-                seq,
-                shard,
-                window: self.windows,
-                window_end: self.window_end,
-                cause,
-            });
-        }
-        Some((at, ev))
-    }
-
-    /// Barrier: account the closing window, open `[head, head+lookahead)`.
-    fn close_window(&mut self, head: SimTime) {
+    /// Close the previous window (charging idle lanes a barrier wait and
+    /// bucketing the virtual-time gap) and open `[head, end)`.
+    pub(crate) fn open_window(&mut self, head: SimTime, end: SimTime) {
         if self.windows > 0 {
-            for s in 0..self.shards {
-                if self.window_dispatched[s] == 0 {
-                    self.per_shard[s].barrier_waits += 1;
+            for (lane, had) in self.window_had.iter_mut().enumerate() {
+                if !*had {
+                    self.barrier_waits[lane] += 1;
                 }
-                self.window_dispatched[s] = 0;
+                *had = false;
             }
             let stall = head.saturating_since(self.window_end);
             let us = stall.as_micros();
@@ -388,19 +122,77 @@ impl ShardEngine {
             }
         }
         self.windows += 1;
-        self.window_end = head + self.lookahead;
+        self.window_end = end;
     }
 
-    /// Visit every pending event — lane residents plus any in-flight ring
-    /// entries — in unspecified order (fingerprinting, introspection).
-    pub(crate) fn for_each_pending(&self, mut f: impl FnMut(SimTime, u64, &Event)) {
-        for lane in &self.lanes {
-            lane.for_each_pending(&mut f);
+    /// Account one dispatched event to `lane` (in merged dispatch order).
+    #[inline]
+    pub(crate) fn note_dispatch(&mut self, lane: usize) {
+        self.dispatched[lane] += 1;
+        self.window_had[lane] = true;
+    }
+
+    /// Drain stall samples accumulated since the previous call (for the
+    /// `shard.barrier_stall` metrics distribution).
+    pub(crate) fn take_pending_stalls(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.pending_stalls)
+    }
+
+    pub(crate) fn stats(&self, lookahead: Duration, wall_ns: impl Fn(usize) -> u64) -> ShardStats {
+        ShardStats {
+            shards: self.shards,
+            windows: self.windows,
+            lookahead,
+            per_shard: (0..self.shards)
+                .map(|i| LaneStats {
+                    dispatched: self.dispatched[i],
+                    barrier_waits: self.barrier_waits[i],
+                    wall_ns: wall_ns(i),
+                })
+                .collect(),
+            stall_hist: self.stall_hist,
         }
-        for ring in &self.rings {
-            for (at, seq, ev) in ring.iter() {
-                f(*at, *seq, ev);
-            }
-        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_and_barrier_accounting() {
+        let mut s = Synchronizer::new(2, false);
+        s.open_window(SimTime::ZERO, SimTime(800_000));
+        s.note_dispatch(0);
+        s.note_dispatch(0);
+        // Lane 1 idle through window 1 → charged at the next open.
+        s.open_window(SimTime(800_000), SimTime(1_600_000));
+        s.note_dispatch(1);
+        s.open_window(SimTime(2_000_000), SimTime(2_800_000));
+        let st = s.stats(Duration::from_micros(800), |_| 0);
+        assert_eq!(st.windows, 3);
+        assert_eq!(st.per_shard[0].dispatched, 2);
+        assert_eq!(st.per_shard[1].dispatched, 1);
+        assert_eq!(st.per_shard[1].barrier_waits, 1);
+        // Lane 0 idle in window 2.
+        assert_eq!(st.per_shard[0].barrier_waits, 1);
+        // One window transition had zero gap, one had a 400us gap.
+        assert_eq!(st.stall_hist[0], 1);
+        let nonzero: u64 = st.stall_hist[1..].iter().sum();
+        assert_eq!(nonzero, 1);
+        // Every closed window contributed exactly one stall bucket.
+        let total: u64 = st.stall_hist.iter().sum();
+        assert_eq!(total + 1, st.windows);
+    }
+
+    #[test]
+    fn stall_samples_collected_only_when_enabled() {
+        let mut s = Synchronizer::new(1, true);
+        s.open_window(SimTime::ZERO, SimTime(1_000));
+        s.open_window(SimTime(5_000), SimTime(6_000));
+        let stalls = s.take_pending_stalls();
+        assert_eq!(stalls.len(), 1);
+        assert!(stalls[0] > 0.0);
+        assert!(s.take_pending_stalls().is_empty());
     }
 }

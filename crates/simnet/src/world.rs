@@ -1,235 +1,51 @@
-//! The simulation world: machines, the process table, the event loop, and
-//! the `rsh`/`rshd` machinery.
+//! The simulation world: the lane coordinator, harness API, and the
+//! byte-identity machinery between serial and threaded execution.
 //!
-//! Hot-path layout: the process table is a dense arena indexed by
-//! [`ProcId`] (ids are sequential from 1 and never reused, so lookups are
-//! a bounds check, not a hash), in-flight `rsh` operations live in a
-//! generation-checked [`Slab`] keyed by [`RshHandle`], and host-name
-//! resolution is a binary search over a sorted table. Kernel trace records
-//! use `format_args!` so a disabled recorder costs nothing per event.
+//! [`World`] owns a set of [`Lane`]s (machine-affine `Send` execution
+//! units, see `crate::lane`) plus everything only the coordinator touches:
+//! the harness event queue and key stream, the canonical trace recorder,
+//! the metrics registry, the queue-stats mirror, and the conservative
+//! synchronizer. Two execution modes drive the same lanes:
+//!
+//! * **coordinator-serial** — `step`/`step_instant` pop the globally
+//!   minimal `(time, key)` event across all lane queues and dispatch it
+//!   inline; this is the mode oracles and model checking run in;
+//! * **threaded** — `run_until`/`run_for`/`run_until_idle` on a world
+//!   built with [`WorldBuilder::threads`]`(n > 1)` farm whole lanes out
+//!   to a worker pool per conservative window and merge the per-lane
+//!   dispatch logs back into the canonical order at each barrier.
+//!
+//! Both modes produce byte-identical traces and [`QueueStats`] — the
+//! determinism contract `DESIGN.md` §17 spells out and the
+//! `scheduler_equiv` suite enforces.
 
 use crate::cost::CostModel;
-use crate::ctx::Ctx;
-use crate::factory::{ProgramFactory, RshPrimeFactory, RshPrimeRequest};
+use crate::lane::{debug_hash, DispatchRecord, Event, Lane, MachineKernel, SharedCore};
 use crate::machine::MachineState;
 use crate::process::{Behavior, ProcEnv, ProcState, RshBinding};
-use crate::shard::{ShardEngine, ShardStats};
-use rb_proto::{
-    CommandSpec, ExitStatus, HostSpec, MachineAttrs, MachineId, Payload, ProcId, RshError,
-    RshHandle, Signal, TimerToken,
-};
-use rb_simcore::FxHashMap;
+use crate::shard::{ShardStats, Synchronizer};
+use rb_proto::{CommandSpec, ExitStatus, MachineAttrs, MachineId, Payload, ProcId, Signal};
 use rb_simcore::{
-    Duration, EventQueue, Json, MetricsRegistry, ProfTimer, Profiler, QueueKind, SimRng, SimTime,
-    Slab, SpanId, SpanTracker, TraceRecorder,
+    merge_dispatch_logs, DispatchKey, Duration, EventQueue, Json, KeyStream, MetricsRegistry,
+    Profiler, QueueKind, QueueStats, SimTime, SpanId, SpanTracker, TraceRecorder,
 };
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 
-/// Pseudo-sender for messages injected by the test/scenario harness.
-pub const HARNESS: ProcId = ProcId(0);
-
-/// A deferred harness action (scenario scripting).
-type HarnessFn = Box<dyn FnOnce(&mut World)>;
-
-pub(crate) enum Event {
-    Start(ProcId),
-    Deliver {
-        to: ProcId,
-        from: ProcId,
-        msg: Payload,
-    },
-    Timer {
-        proc: ProcId,
-        token: TimerToken,
-    },
-    SigDeliver {
-        proc: ProcId,
-        sig: Signal,
-    },
-    CpuRecheck {
-        machine: MachineId,
-        gen: u64,
-    },
-    RshAdvance {
-        handle: RshHandle,
-    },
-    RshComplete {
-        handle: RshHandle,
-        to: ProcId,
-        result: Result<ExitStatus, RshError>,
-    },
-    ChildExit {
-        parent: ProcId,
-        child: ProcId,
-        status: ExitStatus,
-    },
-    ChildDetach {
-        parent: ProcId,
-        child: ProcId,
-    },
-    Harness(HarnessFn),
-}
-
-/// The kind of a pending kernel event, as exposed to schedule oracles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum EventKind {
-    Start,
-    Deliver,
-    Timer,
-    Signal,
-    CpuRecheck,
-    RshAdvance,
-    RshComplete,
-    ChildExit,
-    ChildDetach,
-    /// Scripted harness action; opaque, touches arbitrary state.
-    Harness,
-}
-
-/// What a pending event touches — the kernel-visible footprint a model
-/// checker needs for independence reasoning, without exposing the private
-/// [`Event`] payloads themselves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventInfo {
-    pub kind: EventKind,
-    /// Primary target process (the one whose behavior runs).
-    pub proc: Option<ProcId>,
-    /// Secondary process involved (sender, exiting child, rsh caller).
-    pub other: Option<ProcId>,
-    /// Machine whose state the event reads or writes.
-    pub machine: Option<MachineId>,
-    /// Hash of the message payload (0 when the event carries none);
-    /// distinguishes same-shaped deliveries in fingerprints.
-    pub payload_hash: u64,
-}
-
-impl EventInfo {
-    /// Dynamic independence: two events commute if they run disjoint
-    /// processes *and* touch disjoint machine state. Harness events are
-    /// opaque closures over the whole world, so they commute with nothing.
-    /// This is deliberately conservative — dependent-but-actually-commuting
-    /// pairs only cost extra exploration, never missed interleavings.
-    pub fn independent(&self, other: &EventInfo) -> bool {
-        if self.kind == EventKind::Harness || other.kind == EventKind::Harness {
-            return false;
-        }
-        let procs_disjoint = [self.proc, self.other]
-            .iter()
-            .flatten()
-            .all(|p| Some(*p) != other.proc && Some(*p) != other.other);
-        let machines_disjoint = match (self.machine, other.machine) {
-            (Some(a), Some(b)) => a != b,
-            _ => true,
-        };
-        procs_disjoint && machines_disjoint
-    }
-}
+pub use crate::lane::{EventInfo, EventKind, HARNESS};
 
 /// Pluggable tie-break policy over the kernel's equal-time event batches.
 ///
 /// Installed via [`World::set_schedule_oracle`]; consulted only when two or
 /// more events share the earliest pending instant. `enabled` lists the
-/// batch in FIFO order, `state` is the world's [fingerprint] including the
+/// batch in key order, `state` is the world's [fingerprint] including the
 /// batch itself, and the returned index picks the event to dispatch
-/// (clamped; `0` reproduces the plain FIFO run exactly).
+/// (clamped; `0` reproduces the plain run exactly).
 ///
 /// [fingerprint]: World::fingerprint
 pub trait WorldOracle {
+    /// Pick which of the equal-time `enabled` events dispatches next.
     fn choose(&mut self, at: SimTime, state: u64, enabled: &[EventInfo]) -> usize;
-}
-
-/// `fmt::Write` adapter feeding a hasher, so `Debug` renderings can be
-/// hashed without allocating (message payloads don't implement `Hash`).
-struct HashWriter<'a>(&'a mut rb_simcore::FxHasher);
-
-impl std::fmt::Write for HashWriter<'_> {
-    fn write_str(&mut self, s: &str) -> std::fmt::Result {
-        use std::hash::Hasher;
-        self.0.write(s.as_bytes());
-        Ok(())
-    }
-}
-
-fn debug_hash(value: &impl std::fmt::Debug) -> u64 {
-    use std::fmt::Write as _;
-    use std::hash::Hasher;
-    let mut h = rb_simcore::FxHasher::default();
-    write!(HashWriter(&mut h), "{value:?}").expect("hashing never fails");
-    h.finish()
-}
-
-pub(crate) struct ProcEntry {
-    pub behavior: Option<Box<dyn Behavior>>,
-    pub name: &'static str,
-    pub machine: MachineId,
-    pub parent: Option<ProcId>,
-    pub env: ProcEnv,
-    pub state: ProcState,
-    /// `rsh` operation waiting on this process (completion on detach/exit).
-    pub waited_rsh: Option<RshHandle>,
-    /// Set when this process is an `rsh'` shim: (caller, caller's handle).
-    pub rsh_prime_for: Option<(ProcId, RshHandle)>,
-    pub detached: bool,
-    /// Whether this process ever registered a service (lets `terminate`
-    /// skip the registry sweep for the common serviceless process).
-    pub has_services: bool,
-}
-
-/// Dense process table indexed by [`ProcId`].
-///
-/// Ids are sequential from 1 (0 is the harness pseudo-process) and are
-/// never reused; exited entries stay resident so `exit_status` and
-/// post-mortem queries keep working. Lookup is a bounds check.
-#[derive(Default)]
-pub(crate) struct ProcTable {
-    entries: Vec<ProcEntry>,
-}
-
-impl ProcTable {
-    pub(crate) fn get(&self, p: ProcId) -> Option<&ProcEntry> {
-        self.entries.get((p.0 as usize).checked_sub(1)?)
-    }
-
-    pub(crate) fn get_mut(&mut self, p: ProcId) -> Option<&mut ProcEntry> {
-        self.entries.get_mut((p.0 as usize).checked_sub(1)?)
-    }
-
-    fn push(&mut self, entry: ProcEntry) -> ProcId {
-        self.entries.push(entry);
-        ProcId(self.entries.len() as u64)
-    }
-
-    pub(crate) fn iter(&self) -> impl Iterator<Item = (ProcId, &ProcEntry)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (ProcId(i as u64 + 1), e))
-    }
-}
-
-impl std::ops::Index<ProcId> for ProcTable {
-    type Output = ProcEntry;
-    fn index(&self, p: ProcId) -> &ProcEntry {
-        self.get(p).expect("no such process")
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RshStage {
-    /// Handle allocated, operation not yet routed (transient).
-    Pending,
-    Connecting,
-    Forking,
-    Waiting(ProcId),
-}
-
-struct RshOp {
-    caller: ProcId,
-    target: MachineId,
-    cmd: CommandSpec,
-    /// Filled by `standard_rsh` before the op reaches `Forking`.
-    child_env: Option<ProcEnv>,
-    stage: RshStage,
 }
 
 /// Builder for [`World`].
@@ -239,18 +55,21 @@ pub struct WorldBuilder {
     cost: CostModel,
     trace: bool,
     trace_ring: Option<usize>,
-    trace_stream: Option<(Box<dyn std::io::Write>, usize)>,
+    trace_stream: Option<(Box<dyn std::io::Write + Send>, usize)>,
     profile: bool,
     metrics_interval: Option<Duration>,
     scheduler: QueueKind,
     shards: usize,
+    threads: usize,
     hb_trace: bool,
     default_remote_binding: RshBinding,
-    factory: Option<Box<dyn ProgramFactory>>,
-    rsh_prime: Option<Box<dyn RshPrimeFactory>>,
+    factory: Option<Box<dyn crate::factory::ProgramFactory>>,
+    rsh_prime: Option<Box<dyn crate::factory::RshPrimeFactory>>,
+    sabotage_lane_keys: bool,
 }
 
 impl WorldBuilder {
+    /// A builder with one-lane, single-threaded, traced defaults.
     pub fn new() -> Self {
         WorldBuilder {
             machines: Vec::new(),
@@ -263,10 +82,12 @@ impl WorldBuilder {
             metrics_interval: None,
             scheduler: QueueKind::Heap,
             shards: 1,
+            threads: 1,
             hb_trace: false,
             default_remote_binding: RshBinding::Standard,
             factory: None,
             rsh_prime: None,
+            sabotage_lane_keys: false,
         }
     }
 
@@ -284,16 +105,19 @@ impl WorldBuilder {
             .collect()
     }
 
+    /// World seed; every machine's RNG stream is forked from it.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    /// Replace the default calibrated [`CostModel`].
     pub fn cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
     }
 
+    /// Record a structured kernel trace (on by default).
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
         self
@@ -314,7 +138,7 @@ impl WorldBuilder {
     /// carries the complete, byte-identical [`TraceRecorder::render`]
     /// output. Hand it a buffered writer — the sink writes one line per
     /// event. Implies tracing on; overrides [`WorldBuilder::trace_ring`].
-    pub fn trace_stream(mut self, out: Box<dyn std::io::Write>, tail_cap: usize) -> Self {
+    pub fn trace_stream(mut self, out: Box<dyn std::io::Write + Send>, tail_cap: usize) -> Self {
         self.trace = true;
         self.trace_stream = Some((out, tail_cap));
         self
@@ -337,7 +161,7 @@ impl WorldBuilder {
         self
     }
 
-    /// Which data structure backs the kernel's event queue. Both kinds
+    /// Which data structure backs the kernel's event queues. Both kinds
     /// replay bit-identically; `Wheel` trades the heap's `O(log n)` for
     /// `O(1)` scheduling on deep queues.
     pub fn scheduler(mut self, kind: QueueKind) -> Self {
@@ -345,14 +169,26 @@ impl WorldBuilder {
         self
     }
 
-    /// Partition the machines across `n` event shards under the
-    /// conservative time-window synchronizer (see `crate::shard`).
-    /// `1` (the default) is the plain serial kernel; any other value is
-    /// clamped to the machine count at build time. Every shard count
-    /// replays bit-identically to the serial kernel — sharding changes
-    /// which lane an event waits in, never the dispatch order.
+    /// Partition the machines across `n` lanes under the conservative
+    /// time-window synchronizer (see `crate::shard`). `1` (the default)
+    /// is the plain serial kernel; any other value is clamped to the
+    /// machine count at build time. Every shard count replays
+    /// byte-identically to the serial kernel — sharding changes which
+    /// lane an event waits in, never the `(time, key)` dispatch order.
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// Dispatch windows on up to `n` worker threads (default 1: the
+    /// coordinator dispatches every lane inline). Takes effect only on a
+    /// sharded world (`shards > 1`) whose cost model has enough
+    /// cross-machine latency for conservative windows (`lan_latency` at
+    /// least 1µs); otherwise runs fall back to the coordinator, which is
+    /// always byte-identical anyway. Thread count never affects results —
+    /// only wall-clock time.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
         self
     }
 
@@ -375,18 +211,34 @@ impl WorldBuilder {
         self
     }
 
-    pub fn factory(mut self, f: impl ProgramFactory + 'static) -> Self {
+    /// Install the program factory (the cluster's binaries).
+    pub fn factory(mut self, f: impl crate::factory::ProgramFactory + 'static) -> Self {
         self.factory = Some(Box::new(f));
         self
     }
 
-    pub fn rsh_prime(mut self, f: impl RshPrimeFactory + 'static) -> Self {
+    /// Install the `rsh'` shim factory (the broker's interposition).
+    pub fn rsh_prime(mut self, f: impl crate::factory::RshPrimeFactory + 'static) -> Self {
         self.rsh_prime = Some(Box::new(f));
         self
     }
 
+    /// Test-only fault injection: seed every machine's dispatch-key
+    /// stream with `machine_id % shards` instead of `machine_id`, so
+    /// machines sharing a lane mint colliding keys. A world built this
+    /// way violates the per-origin key-uniqueness invariant the
+    /// determinism contract rests on — the `scheduler_equiv` suite uses
+    /// it to prove serial-vs-sharded divergence is actually caught.
+    #[doc(hidden)]
+    pub fn sabotage_shared_lane_keys(mut self, on: bool) -> Self {
+        self.sabotage_lane_keys = on;
+        self
+    }
+
+    /// Construct the world.
     pub fn build(self) -> World {
         assert!(!self.machines.is_empty(), "a world needs machines");
+        let shards = self.shards.clamp(1, self.machines.len());
         let mut hosts: Vec<(Box<str>, MachineId)> = self
             .machines
             .iter()
@@ -399,57 +251,90 @@ impl WorldBuilder {
             .iter()
             .map(|m| Arc::from(m.hostname.as_str()))
             .collect();
-        let shards = self.shards.clamp(1, self.machines.len());
-        World {
-            now: SimTime::ZERO,
-            kernel: if shards > 1 {
-                Kernel::Sharded(ShardEngine::new(
-                    shards,
-                    self.scheduler,
-                    self.cost.lookahead(),
-                    self.metrics_interval.is_some(),
-                    self.hb_trace && self.trace,
-                ))
-            } else {
-                let mut q = EventQueue::with_kind(self.scheduler);
-                // Typical clusters keep a few hundred events pending;
-                // skip the first growth reallocations.
-                q.reserve(256);
-                Kernel::Serial(q)
-            },
-            shard_traces: if shards > 1 && self.trace {
-                (0..shards).map(|_| TraceRecorder::enabled()).collect()
-            } else {
-                Vec::new()
-            },
-            machines: self.machines.into_iter().map(MachineState::new).collect(),
+        let shared = Arc::new(SharedCore {
+            cost: self.cost,
+            shards,
             hosts,
             host_names,
-            procs: ProcTable::default(),
-            next_timer: 1,
-            next_cpu_token: 1,
-            cancelled_timers: Vec::new(),
-            rsh_ops: Slab::new(),
-            services: FxHashMap::default(),
-            disks: FxHashMap::default(),
-            rng: SimRng::seeded(self.seed),
+            attrs: self.machines.clone(),
+            up: self
+                .machines
+                .iter()
+                .map(|_| AtomicBool::new(true))
+                .collect(),
+            default_remote_binding: self.default_remote_binding,
+            factory: self.factory,
+            rsh_prime: self.rsh_prime,
+        });
+        let lanes: Vec<Lane> = (0..shards)
+            .map(|idx| {
+                let mut machines = Vec::new();
+                let mut mkern = Vec::new();
+                for (i, attrs) in self.machines.iter().enumerate() {
+                    if i % shards != idx {
+                        continue;
+                    }
+                    let id = MachineId(i as u32);
+                    machines.push(MachineState::new(attrs.clone()));
+                    let mut kern = MachineKernel::new(id, self.seed);
+                    if self.sabotage_lane_keys {
+                        kern.keys = KeyStream::for_machine((i % shards) as u64);
+                    }
+                    mkern.push(kern);
+                }
+                let mut queue = EventQueue::with_kind(self.scheduler);
+                // Typical clusters keep a few hundred events pending;
+                // skip the first growth reallocations.
+                queue.reserve(256);
+                Lane {
+                    idx,
+                    shards,
+                    now: SimTime::ZERO,
+                    queue,
+                    machines,
+                    mkern,
+                    rsh_ops: Default::default(),
+                    services: Default::default(),
+                    disks: Default::default(),
+                    trace: if self.trace {
+                        TraceRecorder::enabled()
+                    } else {
+                        TraceRecorder::disabled()
+                    },
+                    metrics: self.metrics_interval.map(|_| MetricsRegistry::new()),
+                    prof: self.profile.then(|| Box::new(Profiler::new())),
+                    outbox: Vec::new(),
+                    log: Vec::new(),
+                    cur: 0,
+                    pushed: 0,
+                    wall_ns: 0,
+                    hb: self.hb_trace && self.trace && shards > 1,
+                }
+            })
+            .collect();
+        World {
+            now: SimTime::ZERO,
+            shared,
+            lanes,
+            harness_q: EventQueue::with_kind(self.scheduler),
+            harness_keys: KeyStream::harness(),
+            harness_spans: SpanTracker::new(),
+            stats: QueueStats::default(),
+            syn: (shards > 1).then(|| Synchronizer::new(shards, self.metrics_interval.is_some())),
+            threads: self.threads.max(1),
+            pool: None,
             trace: match (self.trace, self.trace_stream, self.trace_ring) {
                 (true, Some((out, cap)), _) => TraceRecorder::streaming(out, cap),
                 (true, None, Some(cap)) => TraceRecorder::ring(cap),
                 (true, None, None) => TraceRecorder::enabled(),
                 (false, _, _) => TraceRecorder::disabled(),
             },
-            prof: self.profile.then(|| Box::new(Profiler::new())),
-            spans: SpanTracker::new(),
+            prof_enabled: self.profile,
             metrics: self.metrics_interval.map(|interval| MetricsState {
                 registry: MetricsRegistry::new(),
                 interval,
                 next_at: SimTime::ZERO,
             }),
-            cost: self.cost,
-            default_remote_binding: self.default_remote_binding,
-            factory: self.factory,
-            rsh_prime: self.rsh_prime,
             trace_checks: Vec::new(),
             oracle: None,
             hb_trace: self.hb_trace && self.trace && shards > 1,
@@ -464,62 +349,66 @@ impl Default for WorldBuilder {
     }
 }
 
-/// The event-dispatch engine behind a [`World`]: one global queue (the
-/// serial kernel, also the oracle and model-checking backend) or the
-/// sharded conservative-window coordinator (see `crate::shard`). Both
-/// dispatch in identical global `(time, seq)` order.
-enum Kernel {
-    Serial(EventQueue<Event>),
-    Sharded(ShardEngine),
+/// A post-run invariant over the recorded trace.
+pub type TraceCheck = Box<dyn Fn(&TraceRecorder) -> Result<(), String>>;
+
+/// Metrics registry plus the virtual-time gauge-sampling cursor.
+struct MetricsState {
+    registry: MetricsRegistry,
+    interval: Duration,
+    next_at: SimTime,
 }
 
-impl Kernel {
-    fn stats(&self) -> rb_simcore::QueueStats {
-        match self {
-            Kernel::Serial(q) => q.stats(),
-            Kernel::Sharded(e) => e.stats(),
-        }
-    }
+/// One unit of work shipped to a lane worker: the lane itself (by value —
+/// explicit ownership handoff), its index, and the window to run.
+struct Job {
+    lane: Lane,
+    idx: usize,
+    end: SimTime,
+    shared: Arc<SharedCore>,
+}
 
-    fn kind(&self) -> QueueKind {
-        match self {
-            Kernel::Serial(q) => q.kind(),
-            Kernel::Sharded(e) => e.kind(),
-        }
-    }
+/// The lane worker pool: one channel per worker (lane→worker assignment
+/// is static, `lane % workers`, so a lane's cache state tends to stay on
+/// one core), one shared result channel back to the coordinator.
+struct Pool {
+    txs: Vec<mpsc::Sender<Job>>,
+    rx: mpsc::Receiver<(usize, Lane)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
 
-    fn len(&self) -> usize {
-        match self {
-            Kernel::Serial(q) => q.len(),
-            Kernel::Sharded(e) => e.len(),
+impl Pool {
+    fn new(workers: usize) -> Pool {
+        let (res_tx, rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, job_rx) = mpsc::channel::<Job>();
+            let res = res_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rb-lane-{w}"))
+                    .spawn(move || {
+                        while let Ok(mut job) = job_rx.recv() {
+                            job.lane.run_window(&job.shared, job.end);
+                            if res.send((job.idx, job.lane)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn lane worker"),
+            );
+            txs.push(tx);
         }
+        Pool { txs, rx, handles }
     }
+}
 
-    fn is_empty(&self) -> bool {
-        match self {
-            Kernel::Serial(q) => q.is_empty(),
-            Kernel::Sharded(e) => e.is_empty(),
-        }
-    }
-
-    fn peek_time(&self) -> Option<SimTime> {
-        match self {
-            Kernel::Serial(q) => q.peek_time(),
-            Kernel::Sharded(e) => e.peek_time(),
-        }
-    }
-
-    fn pop(&mut self) -> Option<(SimTime, Event)> {
-        match self {
-            Kernel::Serial(q) => q.pop(),
-            Kernel::Sharded(e) => e.pop_next(),
-        }
-    }
-
-    fn for_each_pending(&self, f: impl FnMut(SimTime, u64, &Event)) {
-        match self {
-            Kernel::Serial(q) => q.for_each_pending(f),
-            Kernel::Sharded(e) => e.for_each_pending(f),
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.txs.clear(); // hang up; workers exit their recv loops
+        for h in self.handles.drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -527,44 +416,31 @@ impl Kernel {
 /// The simulated network of workstations.
 pub struct World {
     pub(crate) now: SimTime,
-    kernel: Kernel,
-    /// Per-shard trace staging buffers (empty when serial or untraced):
-    /// during a sharded dispatch the handling shard records into its own
-    /// stream, which is merged into the canonical recorder — in dispatch
-    /// order, hence byte-identical to serial — when the dispatch ends.
-    shard_traces: Vec<TraceRecorder>,
-    pub(crate) machines: Vec<MachineState>,
-    /// Host-name resolution table, sorted for binary search.
-    hosts: Vec<(Box<str>, MachineId)>,
-    /// Interned host names, indexed by machine id (shared with `Ctx`).
-    host_names: Vec<Arc<str>>,
-    pub(crate) procs: ProcTable,
-    next_timer: u64,
-    pub(crate) next_cpu_token: u64,
-    /// Pending timer cancellations (usually empty, rarely more than a
-    /// handful — a scan beats hashing here).
-    pub(crate) cancelled_timers: Vec<TimerToken>,
-    rsh_ops: Slab<RshOp>,
-    /// (machine, user, service-name) -> provider process.
-    pub(crate) services: FxHashMap<(MachineId, String, String), ProcId>,
-    /// Stable storage: (machine, user, file) -> bytes. Survives process
-    /// death and machine crashes (it's a disk).
-    pub(crate) disks: FxHashMap<(MachineId, String, String), Vec<u8>>,
-    pub(crate) rng: SimRng,
+    pub(crate) shared: Arc<SharedCore>,
+    pub(crate) lanes: Vec<Lane>,
+    /// Scripted harness actions on a multi-lane world (they close over
+    /// `&mut World`, so only the coordinator may run them — keeping them
+    /// out of lane queues lets whole windows thread without checking).
+    /// On a single-lane world harness events stay in the lane queue so
+    /// oracle batches see them.
+    harness_q: EventQueue<Event>,
+    /// Origin-0 key stream for events pushed from harness context.
+    harness_keys: KeyStream,
+    /// Span ids for harness-opened spans (machine spans come from the
+    /// owning machine's tagged allocator).
+    harness_spans: SpanTracker,
+    /// Mirror of the global queue counters, maintained in canonical
+    /// dispatch order — identical across serial, coordinator-sharded and
+    /// threaded execution, which per-queue counters would not be.
+    stats: QueueStats,
+    /// Window cursor + per-lane accounting; `Some` iff `shards > 1`.
+    syn: Option<Synchronizer>,
+    /// Worker-thread budget for windowed dispatch (1 = coordinator only).
+    threads: usize,
+    pool: Option<Pool>,
     pub(crate) trace: TraceRecorder,
-    /// Kernel self-profile (host wall time per behavior / payload kind /
-    /// lane); `None` keeps the dispatch hot path free of `Instant` calls.
-    prof: Option<Box<Profiler>>,
-    /// Span-id allocator for the causal span layer (ids are handed out in
-    /// dispatch order, so they replay deterministically).
-    pub(crate) spans: SpanTracker,
-    /// Metrics registry plus its virtual-time sampling cursor; `None`
-    /// keeps the per-event overhead to a single branch.
+    prof_enabled: bool,
     metrics: Option<MetricsState>,
-    pub(crate) cost: CostModel,
-    default_remote_binding: RshBinding,
-    factory: Option<Box<dyn ProgramFactory>>,
-    rsh_prime: Option<Box<dyn RshPrimeFactory>>,
     /// Opt-in post-run trace invariants (installed e.g. by `rb-analyze`).
     trace_checks: Vec<(String, TraceCheck)>,
     /// Tie-break oracle for same-time event batches (model checking).
@@ -574,16 +450,6 @@ pub struct World {
     hb_trace: bool,
     /// Last window ordinal a `shard.window` record was emitted for.
     hb_last_window: u64,
-}
-
-/// A post-run invariant over the recorded trace.
-pub type TraceCheck = Box<dyn Fn(&TraceRecorder) -> Result<(), String>>;
-
-/// Metrics registry plus the virtual-time gauge-sampling cursor.
-struct MetricsState {
-    registry: MetricsRegistry,
-    interval: Duration,
-    next_at: SimTime,
 }
 
 /// Feed the profiler's cumulative totals into the registry as `prof.*`
@@ -613,10 +479,12 @@ impl World {
     // Introspection (harness / tests)
     // ------------------------------------------------------------------
 
+    /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
+    /// The canonical trace recorder.
     pub fn trace(&self) -> &TraceRecorder {
         &self.trace
     }
@@ -647,63 +515,66 @@ impl World {
         }
     }
 
+    /// The world's timing constants.
     pub fn cost(&self) -> &CostModel {
-        &self.cost
+        &self.shared.cost
     }
 
-    /// Work counters of the kernel's event queue (throughput reporting).
-    /// Sharded kernels report the same trajectory as the serial kernel:
-    /// pushes and pops happen in the identical global order.
-    pub fn kernel_stats(&self) -> rb_simcore::QueueStats {
-        self.kernel.stats()
+    /// Work counters of the kernel's event queues, maintained in the
+    /// canonical dispatch order: every execution mode reports the same
+    /// trajectory.
+    pub fn kernel_stats(&self) -> QueueStats {
+        self.stats
     }
 
-    /// Which backend the kernel's event queue runs on.
+    /// Which backend the kernel's event queues run on.
     pub fn scheduler_kind(&self) -> QueueKind {
-        self.kernel.kind()
+        self.lanes[0].queue.kind()
     }
 
-    /// How many event shards the kernel runs (1 = serial).
+    /// How many event lanes the kernel runs (1 = serial).
     pub fn shard_count(&self) -> usize {
-        match &self.kernel {
-            Kernel::Serial(_) => 1,
-            Kernel::Sharded(e) => e.shards(),
-        }
+        self.lanes.len()
+    }
+
+    /// Worker-thread budget for windowed dispatch (1 = coordinator only).
+    pub fn thread_count(&self) -> usize {
+        self.threads
     }
 
     /// Synchronizer statistics of the sharded kernel: windows, lookahead,
-    /// per-shard dispatch/barrier/ring counters. `None` when serial.
+    /// per-lane dispatch/barrier/wall counters. `None` when serial.
     pub fn shard_stats(&self) -> Option<ShardStats> {
-        match &self.kernel {
-            Kernel::Serial(_) => None,
-            Kernel::Sharded(e) => Some(e.shard_stats()),
-        }
+        let syn = self.syn.as_ref()?;
+        Some(syn.stats(self.shared.cost.lookahead(), |i| self.lanes[i].wall_ns))
     }
 
     /// Render the trace with a `#` header carrying the queue counters.
     pub fn render_trace_with_stats(&self) -> String {
-        self.trace.render_with_stats(&self.kernel_stats())
+        self.trace.render_with_stats(&self.stats)
     }
 
     // ------------------------------------------------------------------
     // Observability: causal spans + metrics registry
     // ------------------------------------------------------------------
 
-    /// Open a causal span at the current virtual time. Returns
-    /// [`SpanId::NONE`] without formatting anything when tracing is off.
+    /// Open a causal span at the current virtual time from harness
+    /// context. Returns [`SpanId::NONE`] without formatting anything when
+    /// tracing is off. (Behaviors open spans through `Ctx::open_span`,
+    /// which draws ids from their machine's allocator instead.)
     pub fn open_span(
         &mut self,
         parent: SpanId,
         name: &'static str,
         detail: impl std::fmt::Display,
     ) -> SpanId {
-        self.spans
+        self.harness_spans
             .open(&mut self.trace, self.now, parent, name, detail)
     }
 
     /// Close a span with a free-form outcome (no-op on [`SpanId::NONE`]).
     pub fn close_span(&mut self, id: SpanId, name: &'static str, outcome: impl std::fmt::Display) {
-        self.spans
+        self.harness_spans
             .close(&mut self.trace, self.now, id, name, outcome);
     }
 
@@ -712,6 +583,7 @@ impl World {
         self.metrics.as_ref().map(|m| &m.registry)
     }
 
+    /// Mutable access to the metrics registry (harness-side counters).
     pub fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
         self.metrics.as_mut().map(|m| &mut m.registry)
     }
@@ -722,7 +594,7 @@ impl World {
     /// not enabled.
     pub fn metrics_json(&self) -> Option<Json> {
         let m = self.metrics.as_ref()?;
-        let stats = self.kernel_stats();
+        let stats = self.stats;
         Some(
             m.registry.to_json().set(
                 "kernel",
@@ -733,20 +605,32 @@ impl World {
                     .set("depth", stats.depth)
                     .set("trace_events", self.trace.events().len())
                     .set("trace_dropped", self.trace.dropped_events())
-                    .set("profiled", self.prof.is_some()),
+                    .set("profiled", self.prof_enabled),
             ),
         )
     }
 
-    /// The kernel self-profile, when enabled via [`WorldBuilder::profile`].
-    pub fn profiler(&self) -> Option<&Profiler> {
-        self.prof.as_deref()
+    /// The kernel self-profile, when enabled via [`WorldBuilder::profile`]:
+    /// a merged snapshot of every lane's cumulative profile. Built on
+    /// demand — lanes profile independently so threaded windows need no
+    /// shared profiler.
+    pub fn profiler(&self) -> Option<Profiler> {
+        if !self.prof_enabled {
+            return None;
+        }
+        let mut merged = Profiler::new();
+        for lane in &self.lanes {
+            if let Some(p) = lane.prof.as_deref() {
+                merged.merge(p);
+            }
+        }
+        Some(merged)
     }
 
     /// Export the self-profile as JSON — the `profile` provenance section
     /// of bench reports. `None` when profiling was not enabled.
     pub fn profile_json(&self) -> Option<Json> {
-        self.prof.as_deref().map(|p| p.to_json())
+        self.profiler().map(|p| p.to_json())
     }
 
     /// Publish profiling counters accumulated since the last metrics
@@ -754,8 +638,10 @@ impl World {
     /// the final export is current. No-op unless both profiling and
     /// metrics are enabled.
     pub fn flush_profile_metrics(&mut self) {
-        if let (Some(prof), Some(m)) = (self.prof.as_deref(), self.metrics.as_mut()) {
-            publish_prof_deltas(prof, &mut m.registry);
+        if let Some(prof) = self.profiler() {
+            if let Some(m) = self.metrics.as_mut() {
+                publish_prof_deltas(&prof, &mut m.registry);
+            }
         }
     }
 
@@ -763,31 +649,49 @@ impl World {
     /// counters [`World::render_trace_with_stats`] puts in the header)
     /// and flush the downstream writer. No-op for in-memory recorders.
     pub fn finish_trace_stream(&mut self) {
-        let stats = self.kernel.stats();
+        let stats = self.stats;
         self.trace.finish_stream(&stats);
     }
 
-    /// Sample gauges once the virtual-time cursor is due. A quiet world
-    /// samples at most once per dispatched event, so a long virtual gap
-    /// yields one sample, not a backlog of catch-up samples.
-    fn sample_metrics_if_due(&mut self) {
-        let Some(m) = self.metrics.as_mut() else {
-            return;
+    /// Sample gauges once the virtual-time cursor is due, at `at`. When
+    /// `head_pending` the head event of the upcoming window has not been
+    /// popped yet (threaded window-open sampling); adjust the queue
+    /// counters so the snapshot matches what coordinator-serial execution
+    /// — which samples right after popping that event — would report.
+    fn sample_metrics_at(&mut self, at: SimTime, head_pending: bool) {
+        let due = match self.metrics.as_ref() {
+            Some(m) => at >= m.next_at,
+            None => return,
         };
-        if self.now < m.next_at {
+        if !due {
             return;
         }
-        m.next_at = self.now + m.interval;
-        m.registry.inc("metrics.samples", "");
-        let stats = self.kernel.stats();
-        let mut per_machine = vec![0u32; self.machines.len()];
+        let mut stats = self.stats;
+        if head_pending {
+            stats.dispatched += 1;
+            stats.depth -= 1;
+        }
+        let mut per_machine = vec![0u32; self.shared.attrs.len()];
         let mut alive = 0u32;
-        for (_, e) in self.procs.iter() {
-            if matches!(e.state, ProcState::Running) {
-                alive += 1;
-                per_machine[e.machine.0 as usize] += 1;
+        for lane in &self.lanes {
+            for (_, e) in lane.iter_procs() {
+                if matches!(e.state, ProcState::Running) {
+                    alive += 1;
+                    per_machine[e.machine.0 as usize] += 1;
+                }
             }
         }
+        let trace_dropped = self.trace.dropped_events();
+        let prof = self.profiler();
+        let stalls = self
+            .syn
+            .as_mut()
+            .map(|s| s.take_pending_stalls())
+            .unwrap_or_default();
+        let shard_snapshot = self.shard_stats();
+        let m = self.metrics.as_mut().expect("checked above");
+        m.next_at = at + m.interval;
+        m.registry.inc("metrics.samples", "");
         // Latest value as a gauge, plus the same reading folded into a
         // sample set so the export shows the distribution over the run.
         m.registry.gauge_set("queue.depth", "", stats.depth as f64);
@@ -799,37 +703,34 @@ impl World {
         m.registry
             .gauge_set("queue.peak_depth", "", stats.peak_depth as f64);
         m.registry
-            .gauge_set("trace.dropped", "", self.trace.dropped_events() as f64);
+            .gauge_set("trace.dropped", "", trace_dropped as f64);
         m.registry.gauge_set("procs.alive", "", alive as f64);
         m.registry.observe("procs.alive", "", alive as f64);
         for (i, n) in per_machine.iter().enumerate() {
             m.registry
-                .gauge_set("machine.procs", &self.host_names[i], *n as f64);
+                .gauge_set("machine.procs", &self.shared.host_names[i], *n as f64);
             m.registry
-                .observe("machine.procs", &self.host_names[i], *n as f64);
+                .observe("machine.procs", &self.shared.host_names[i], *n as f64);
         }
-        if let Kernel::Sharded(engine) = &mut self.kernel {
-            let ss = engine.shard_stats();
+        if let Some(ss) = shard_snapshot {
             m.registry.gauge_set("shard.windows", "", ss.windows as f64);
             for (i, lane) in ss.per_shard.iter().enumerate() {
-                // The engine counts cumulatively; feed the registry the
-                // delta so its counters agree at every sample point.
+                // The synchronizer counts cumulatively; feed the registry
+                // the delta so its counters agree at every sample point.
                 let label = i.to_string();
                 let d = lane.dispatched - m.registry.counter("shard.dispatched", &label);
                 m.registry.add("shard.dispatched", i, d);
                 let b = lane.barrier_waits - m.registry.counter("shard.barrier_waits", &label);
                 m.registry.add("shard.barrier_waits", i, b);
-                let r = lane.ring_full - m.registry.counter("shard.ring_full", &label);
-                m.registry.add("shard.ring_full", i, r);
                 let w = lane.wall_ns - m.registry.counter("shard.wall_ns", &label);
                 m.registry.add("shard.wall_ns", i, w);
             }
-            for stall in engine.take_pending_stalls() {
+            for stall in stalls {
                 m.registry.observe("shard.barrier_stall", "", stall);
             }
         }
-        if let Some(prof) = self.prof.as_deref() {
-            publish_prof_deltas(prof, &mut m.registry);
+        if let Some(prof) = prof {
+            publish_prof_deltas(&prof, &mut m.registry);
         }
     }
 
@@ -838,112 +739,60 @@ impl World {
     // ------------------------------------------------------------------
 
     /// Install a schedule oracle; subsequent [`World::step`]s route every
-    /// same-time tie through it instead of the FIFO default.
+    /// same-time tie through it instead of the key-order default.
     ///
     /// Oracles reorder same-time batches and requeue the rest, which only
-    /// the serial kernel supports — model checking explores interleavings
-    /// the conservative synchronizer exists to avoid.
+    /// the single-lane kernel supports — model checking explores
+    /// interleavings the conservative synchronizer exists to avoid.
     pub fn set_schedule_oracle(&mut self, oracle: Box<dyn WorldOracle>) {
         assert!(
-            matches!(self.kernel, Kernel::Serial(_)),
+            self.lanes.len() == 1,
             "schedule oracles drive the serial kernel only; build with WorldBuilder::shards(1)"
         );
         self.oracle = Some(oracle);
     }
 
-    /// Remove the installed oracle, restoring plain FIFO tie-breaks.
+    /// Remove the installed oracle, restoring plain key-order tie-breaks.
     pub fn clear_schedule_oracle(&mut self) {
         self.oracle = None;
     }
 
-    /// The kernel-visible footprint of a pending event (see [`EventInfo`]).
-    fn event_info(&self, ev: &Event) -> EventInfo {
-        let on = |p: ProcId| self.procs.get(p).map(|e| e.machine);
-        let (kind, proc, other, machine, payload_hash) = match ev {
-            Event::Start(p) => (EventKind::Start, Some(*p), None, on(*p), 0),
-            Event::Deliver { to, from, msg } => (
-                EventKind::Deliver,
-                Some(*to),
-                Some(*from),
-                on(*to),
-                debug_hash(msg),
-            ),
-            Event::Timer { proc, token } => {
-                (EventKind::Timer, Some(*proc), None, on(*proc), token.0)
-            }
-            Event::SigDeliver { proc, sig } => (
-                EventKind::Signal,
-                Some(*proc),
-                None,
-                on(*proc),
-                *sig as u64 + 1,
-            ),
-            Event::CpuRecheck { machine, gen } => {
-                (EventKind::CpuRecheck, None, None, Some(*machine), *gen)
-            }
-            Event::RshAdvance { handle } => {
-                let op = self.rsh_ops.get(handle.0);
-                (
-                    EventKind::RshAdvance,
-                    op.map(|o| o.caller),
-                    None,
-                    op.map(|o| o.target),
-                    handle.0,
-                )
-            }
-            Event::RshComplete { handle, to, .. } => {
-                (EventKind::RshComplete, Some(*to), None, on(*to), handle.0)
-            }
-            Event::ChildExit { parent, child, .. } => (
-                EventKind::ChildExit,
-                Some(*parent),
-                Some(*child),
-                on(*parent),
-                0,
-            ),
-            Event::ChildDetach { parent, child } => (
-                EventKind::ChildDetach,
-                Some(*parent),
-                Some(*child),
-                on(*parent),
-                0,
-            ),
-            Event::Harness(_) => (EventKind::Harness, None, None, None, 0),
-        };
-        EventInfo {
-            kind,
-            proc,
-            other,
-            machine,
-            payload_hash,
-        }
-    }
-
     /// Footprints of every pending event, in unspecified order.
     pub fn pending_event_infos(&self) -> Vec<(SimTime, EventInfo)> {
-        let mut out = Vec::with_capacity(self.kernel.len());
-        self.kernel
-            .for_each_pending(|at, _, ev| out.push((at, self.event_info(ev))));
+        let mut out = Vec::new();
+        for lane in &self.lanes {
+            lane.queue
+                .for_each_pending(|at, _, ev| out.push((at, lane.event_info(ev))));
+        }
+        self.harness_q
+            .for_each_pending(|at, _, ev| out.push((at, self.lanes[0].event_info(ev))));
         out
     }
 
     /// `true` when no events are pending — nothing can ever happen again.
     pub fn quiescent(&self) -> bool {
-        self.kernel.is_empty()
+        self.harness_q.is_empty() && self.lanes.iter().all(|l| l.queue.is_empty())
     }
 
-    /// Alive processes as `(id, behavior name, is system process)`.
+    /// Alive processes as `(id, behavior name, is system process)`, in
+    /// machine-major id order.
     pub fn alive_procs(&self) -> Vec<(ProcId, &'static str, bool)> {
-        self.procs
-            .iter()
-            .filter(|(_, e)| matches!(e.state, ProcState::Running))
-            .map(|(p, e)| (p, e.name, e.env.system))
-            .collect()
+        let mut out = Vec::new();
+        for m in 0..self.shared.attrs.len() {
+            let lane = &self.lanes[m % self.lanes.len()];
+            for (p, e) in lane.procs_on(MachineId(m as u32)) {
+                if matches!(e.state, ProcState::Running) {
+                    out.push((p, e.name, e.env.system));
+                }
+            }
+        }
+        out
     }
 
     /// Order-independent hash of the kernel-visible simulation state:
-    /// virtual time, process table, machine state, the pending-event
-    /// multiset, services, disks, in-flight rsh ops, and the RNG state.
+    /// virtual time, process tables, machine state, per-machine id/RNG
+    /// streams, the pending-event multiset, services, disks, and
+    /// in-flight rsh ops.
     ///
     /// Behavior internals are *not* included (they are opaque boxed state
     /// machines), so two states with equal fingerprints could in principle
@@ -960,24 +809,29 @@ impl World {
         use std::hash::{Hash, Hasher};
         let mut h = rb_simcore::FxHasher::default();
         self.now.0.hash(&mut h);
-        self.next_timer.hash(&mut h);
-        self.next_cpu_token.hash(&mut h);
-        self.rng.seed().hash(&mut h);
-        self.rng.state_words().hash(&mut h);
-        for (p, e) in self.procs.iter() {
-            p.hash(&mut h);
-            e.name.hash(&mut h);
-            e.machine.hash(&mut h);
-            e.parent.hash(&mut h);
-            debug_hash(&e.state).hash(&mut h);
-            e.detached.hash(&mut h);
-            e.has_services.hash(&mut h);
-            e.env.job.hash(&mut h);
-            e.env.appl.hash(&mut h);
-            e.env.system.hash(&mut h);
-        }
-        for (i, m) in self.machines.iter().enumerate() {
-            i.hash(&mut h);
+        // Machines (and their kernels and procs) in global id order.
+        for mid in 0..self.shared.attrs.len() {
+            let lane = &self.lanes[mid % self.lanes.len()];
+            let kern = &lane.mkern[mid / self.lanes.len()];
+            kern.next_timer.hash(&mut h);
+            kern.next_cpu_token.hash(&mut h);
+            kern.next_rsh.hash(&mut h);
+            kern.rng.seed().hash(&mut h);
+            kern.rng.state_words().hash(&mut h);
+            for (p, e) in lane.procs_on(MachineId(mid as u32)) {
+                p.hash(&mut h);
+                e.name.hash(&mut h);
+                e.machine.hash(&mut h);
+                e.parent.hash(&mut h);
+                debug_hash(&e.state).hash(&mut h);
+                e.detached.hash(&mut h);
+                e.has_services.hash(&mut h);
+                e.env.job.hash(&mut h);
+                e.env.appl.hash(&mut h);
+                e.env.system.hash(&mut h);
+            }
+            let m = &lane.machines[mid / self.lanes.len()];
+            mid.hash(&mut h);
             m.up.hash(&mut h);
             m.owner_present.hash(&mut h);
             m.users.hash(&mut h);
@@ -986,7 +840,7 @@ impl World {
             m.cpu.generation().hash(&mut h);
         }
         // Pending events form a multiset with no stable order across
-        // backends; combine per-event hashes commutatively.
+        // backends or lanes; combine per-event hashes commutatively.
         let mut pending: u64 = 0;
         let mut add = |at: SimTime, info: &EventInfo| {
             let mut eh = rb_simcore::FxHasher::default();
@@ -994,134 +848,167 @@ impl World {
             info.hash(&mut eh);
             pending = pending.wrapping_add(eh.finish());
         };
-        self.kernel
-            .for_each_pending(|at, _, ev| add(at, &self.event_info(ev)));
+        for lane in &self.lanes {
+            lane.queue
+                .for_each_pending(|at, _, ev| add(at, &lane.event_info(ev)));
+        }
+        self.harness_q
+            .for_each_pending(|at, _, ev| add(at, &self.lanes[0].event_info(ev)));
         for (at, info) in extra {
             add(*at, info);
         }
         pending.hash(&mut h);
         let mut side: u64 = 0;
-        for (k, v) in &self.services {
-            let mut eh = rb_simcore::FxHasher::default();
-            k.hash(&mut eh);
-            v.hash(&mut eh);
-            side = side.wrapping_add(eh.finish());
-        }
-        for (k, v) in &self.disks {
-            let mut eh = rb_simcore::FxHasher::default();
-            k.hash(&mut eh);
-            v.hash(&mut eh);
-            side = side.wrapping_add(eh.finish());
-        }
-        for &t in &self.cancelled_timers {
-            let mut eh = rb_simcore::FxHasher::default();
-            t.0.hash(&mut eh);
-            side = side.wrapping_add(eh.finish());
-        }
-        for (key, op) in self.rsh_ops.iter() {
-            let mut eh = rb_simcore::FxHasher::default();
-            key.hash(&mut eh);
-            op.caller.hash(&mut eh);
-            op.target.hash(&mut eh);
-            debug_hash(&op.stage).hash(&mut eh);
-            debug_hash(&op.cmd).hash(&mut eh);
-            side = side.wrapping_add(eh.finish());
+        for lane in &self.lanes {
+            for (k, v) in &lane.services {
+                let mut eh = rb_simcore::FxHasher::default();
+                k.hash(&mut eh);
+                v.hash(&mut eh);
+                side = side.wrapping_add(eh.finish());
+            }
+            for (k, v) in &lane.disks {
+                let mut eh = rb_simcore::FxHasher::default();
+                k.hash(&mut eh);
+                v.hash(&mut eh);
+                side = side.wrapping_add(eh.finish());
+            }
+            for kern in &lane.mkern {
+                for &t in &kern.cancelled_timers {
+                    let mut eh = rb_simcore::FxHasher::default();
+                    t.0.hash(&mut eh);
+                    side = side.wrapping_add(eh.finish());
+                }
+            }
+            for (key, op) in lane.rsh_ops.iter() {
+                let mut eh = rb_simcore::FxHasher::default();
+                key.hash(&mut eh);
+                op.caller.hash(&mut eh);
+                op.target.hash(&mut eh);
+                debug_hash(&op.stage).hash(&mut eh);
+                debug_hash(&op.cmd).hash(&mut eh);
+                side = side.wrapping_add(eh.finish());
+            }
         }
         side.hash(&mut h);
         h.finish()
     }
 
+    /// Number of machines in the network.
     pub fn machine_count(&self) -> usize {
-        self.machines.len()
+        self.shared.attrs.len()
     }
 
     /// Instantiate a program from the installed factory.
     pub fn build_program(&self, cmd: &CommandSpec) -> Option<Box<dyn Behavior>> {
-        self.factory.as_ref()?.build(cmd)
+        self.shared.factory.as_ref()?.build(cmd)
     }
 
+    /// Resolve a host name.
     pub fn machine_by_host(&self, host: &str) -> Option<MachineId> {
-        self.hosts
-            .binary_search_by(|(h, _)| h.as_ref().cmp(host))
-            .ok()
-            .map(|i| self.hosts[i].1)
+        self.shared.machine_by_host(host)
     }
 
+    /// Static attributes of a machine.
     pub fn machine_attrs(&self, m: MachineId) -> &MachineAttrs {
-        &self.machines[m.0 as usize].attrs
+        &self.shared.attrs[m.0 as usize]
     }
 
+    /// Host name of a machine.
     pub fn hostname(&self, m: MachineId) -> &str {
-        &self.machines[m.0 as usize].attrs.hostname
+        &self.shared.attrs[m.0 as usize].hostname
     }
 
     /// Interned host name (cheap to clone and store).
     pub fn hostname_shared(&self, m: MachineId) -> Arc<str> {
-        self.host_names[m.0 as usize].clone()
+        self.shared.host_names[m.0 as usize].clone()
     }
 
+    /// The lane that owns machine `m` (shared, then mutable flavor).
+    fn lane_of(&self, m: MachineId) -> &Lane {
+        &self.lanes[self.shared.lane_of(m)]
+    }
+
+    fn proc_entry(&self, p: ProcId) -> Option<&crate::lane::ProcEntry> {
+        let m = p.machine_tag()?;
+        self.lane_of(m).proc(p)
+    }
+
+    /// Whether a process is alive.
     pub fn alive(&self, p: ProcId) -> bool {
-        self.procs
-            .get(p)
+        self.proc_entry(p)
             .map(|e| matches!(e.state, ProcState::Running))
             .unwrap_or(false)
     }
 
+    /// A process's exit status, once exited.
     pub fn exit_status(&self, p: ProcId) -> Option<ExitStatus> {
-        match self.procs.get(p)?.state {
+        match self.proc_entry(p)?.state {
             ProcState::Exited(s) => Some(s),
             ProcState::Running => None,
         }
     }
 
+    /// A process's behavior name.
     pub fn proc_name(&self, p: ProcId) -> Option<&'static str> {
-        self.procs.get(p).map(|e| e.name)
+        self.proc_entry(p).map(|e| e.name)
     }
 
+    /// The machine a process runs (or ran) on.
     pub fn proc_machine(&self, p: ProcId) -> Option<MachineId> {
-        self.procs.get(p).map(|e| e.machine)
+        self.proc_entry(p).map(|e| e.machine)
     }
 
-    /// Ids of all *alive* processes with the given behavior name, in id
-    /// order (the table is id-ordered by construction).
+    /// Ids of all *alive* processes with the given behavior name, in
+    /// machine-major id order.
     pub fn procs_named(&self, name: &str) -> Vec<ProcId> {
-        self.procs
-            .iter()
-            .filter(|(_, e)| e.name == name && matches!(e.state, ProcState::Running))
-            .map(|(p, _)| p)
-            .collect()
+        let mut out = Vec::new();
+        for m in 0..self.shared.attrs.len() {
+            let lane = &self.lanes[m % self.lanes.len()];
+            for (p, e) in lane.procs_on(MachineId(m as u32)) {
+                if e.name == name && matches!(e.state, ProcState::Running) {
+                    out.push(p);
+                }
+            }
+        }
+        out
     }
 
     /// Alive application (non-system) processes on a machine.
     pub fn app_procs_on(&self, m: MachineId) -> u32 {
-        self.machines[m.0 as usize].app_proc_count()
+        self.lane_of(m).machines[self.lane_of(m).local_of(m)].app_proc_count()
     }
 
     /// Total CPU-busy time of a machine.
     pub fn busy_time(&self, m: MachineId) -> Duration {
-        self.machines[m.0 as usize].cpu.busy_time(self.now)
+        let lane = self.lane_of(m);
+        lane.machines[lane.local_of(m)].cpu.busy_time(self.now)
     }
 
     /// Total time a machine hosted at least one application process.
     pub fn allocated_time(&self, m: MachineId) -> Duration {
-        self.machines[m.0 as usize].allocated_time(self.now)
+        let lane = self.lane_of(m);
+        lane.machines[lane.local_of(m)].allocated_time(self.now)
     }
 
+    /// Whether a machine is up.
     pub fn machine_up(&self, m: MachineId) -> bool {
-        self.machines[m.0 as usize].up
+        let lane = self.lane_of(m);
+        lane.machines[lane.local_of(m)].up
     }
 
     /// Look up a named service on a machine for a user (e.g. the pvmd a
     /// console on that machine would find via `/tmp/pvmd.<uid>`).
     pub fn service_on(&self, m: MachineId, user: &str, name: &str) -> Option<ProcId> {
-        self.services
+        self.lane_of(m)
+            .services
             .get(&(m, user.to_string(), name.to_string()))
             .copied()
     }
 
     /// Read a file from a machine's stable storage (harness-side).
     pub fn disk_on(&self, m: MachineId, user: &str, file: &str) -> Option<&[u8]> {
-        self.disks
+        self.lane_of(m)
+            .disks
             .get(&(m, user.to_string(), file.to_string()))
             .map(|v| v.as_slice())
     }
@@ -1129,6 +1016,39 @@ impl World {
     // ------------------------------------------------------------------
     // Harness-side mutation
     // ------------------------------------------------------------------
+
+    /// Run a lane operation from harness context: position the lane at
+    /// the current time with machine `m` as the dispatching context (its
+    /// key stream continues without opening a new dispatch — harness
+    /// actions happen identically in every execution mode, so the stream
+    /// stays deterministic), then fold the lane's staged trace, pushes,
+    /// and outbox back into the world.
+    fn lane_op<R>(&mut self, m: MachineId, f: impl FnOnce(&mut Lane, &SharedCore) -> R) -> R {
+        let li = self.shared.lane_of(m);
+        let shared = self.shared.clone();
+        let lane = &mut self.lanes[li];
+        lane.now = self.now;
+        lane.cur = lane.local_of(m);
+        lane.pushed = 0;
+        let r = f(lane, &shared);
+        let pushed = lane.pushed;
+        self.note_pushes(pushed);
+        self.trace.absorb(&mut self.lanes[li].trace);
+        self.drain_outbox(li);
+        r
+    }
+
+    /// Push an event from harness context under an origin-0 key.
+    fn push_harness_event(&mut self, at: SimTime, ev: Event) {
+        let key = self.harness_keys.next_key().0;
+        self.note_pushes(1);
+        if matches!(ev, Event::Harness(_)) && self.lanes.len() > 1 {
+            self.harness_q.push_seq(at, key, ev);
+        } else {
+            let li = self.shared.lane_of(ev.machine().unwrap_or(MachineId(0)));
+            self.lanes[li].queue.push_seq(at, key, ev);
+        }
+    }
 
     /// Spawn a process directly (the harness's analogue of a user typing a
     /// command at a machine's console).
@@ -1138,26 +1058,28 @@ impl World {
         behavior: Box<dyn Behavior>,
         env: ProcEnv,
     ) -> ProcId {
-        let p = self.insert_proc(machine, behavior, env, None);
-        self.push_event_at(self.now, Event::Start(p));
+        let p = self.lane_op(machine, |lane, shared| {
+            lane.insert_proc(shared, machine, behavior, env, None)
+        });
+        self.push_harness_event(self.now, Event::Start(p));
         p
     }
 
     /// Schedule a harness action at an absolute time.
-    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + 'static) {
+    pub fn schedule(&mut self, at: SimTime, f: impl FnOnce(&mut World) + Send + 'static) {
         assert!(at >= self.now, "cannot schedule in the past");
-        self.push_event_at(at, Event::Harness(Box::new(f)));
+        self.push_harness_event(at, Event::Harness(Box::new(f)));
     }
 
     /// Schedule a harness action after a delay.
-    pub fn schedule_in(&mut self, d: Duration, f: impl FnOnce(&mut World) + 'static) {
+    pub fn schedule_in(&mut self, d: Duration, f: impl FnOnce(&mut World) + Send + 'static) {
         self.schedule(self.now + d, f);
     }
 
     /// Inject a message from the harness pseudo-process.
     pub fn send_from_harness(&mut self, to: ProcId, msg: Payload) {
-        self.push_event_at(
-            self.now + self.cost.local_latency,
+        self.push_harness_event(
+            self.now + self.shared.cost.local_latency,
             Event::Deliver {
                 to,
                 from: HARNESS,
@@ -1168,8 +1090,8 @@ impl World {
 
     /// Deliver a signal from the harness.
     pub fn kill_from_harness(&mut self, to: ProcId, sig: Signal) {
-        self.push_event_at(
-            self.now + self.cost.local_latency,
+        self.push_harness_event(
+            self.now + self.shared.cost.local_latency,
             Event::SigDeliver { proc: to, sig },
         );
     }
@@ -1177,180 +1099,266 @@ impl World {
     /// Set owner presence on a (private) machine; daemons observe it at
     /// their next poll.
     pub fn set_owner_present(&mut self, m: MachineId, present: bool) {
-        self.machines[m.0 as usize].owner_present = present;
-        self.machines[m.0 as usize].console_active |= present;
+        let li = self.shared.lane_of(m);
+        let local = self.lanes[li].local_of(m);
+        self.lanes[li].machines[local].owner_present = present;
+        self.lanes[li].machines[local].console_active |= present;
         self.trace.record(
             self.now,
             "machine.owner",
-            format_args!("{} present={present}", self.host_names[m.0 as usize]),
+            format_args!("{} present={present}", self.shared.host_names[m.0 as usize]),
         );
     }
 
     /// Set the interactive-login count on a machine.
     pub fn set_users(&mut self, m: MachineId, users: u32) {
-        self.machines[m.0 as usize].users = users;
+        let li = self.shared.lane_of(m);
+        let local = self.lanes[li].local_of(m);
+        self.lanes[li].machines[local].users = users;
     }
 
     /// Record keyboard/mouse activity (one-shot; cleared by daemon polls).
     pub fn touch_console(&mut self, m: MachineId) {
-        self.machines[m.0 as usize].console_active = true;
+        let li = self.shared.lane_of(m);
+        let local = self.lanes[li].local_of(m);
+        self.lanes[li].machines[local].console_active = true;
     }
 
     /// Crash or restore a machine. Crashing SIGKILLs every process on it.
     pub fn set_machine_up(&mut self, m: MachineId, up: bool) {
-        if self.machines[m.0 as usize].up == up {
+        let li = self.shared.lane_of(m);
+        let local = self.lanes[li].local_of(m);
+        if self.lanes[li].machines[local].up == up {
             return;
         }
-        self.machines[m.0 as usize].set_up(self.now, up);
+        let now = self.now;
+        self.lanes[li].machines[local].set_up(now, up);
+        // Keep the cross-lane liveness mirror coherent: machine power
+        // changes only ever happen here, between dispatches.
+        self.shared.up[m.0 as usize].store(up, Ordering::Relaxed);
         self.trace.record(
-            self.now,
+            now,
             "machine.power",
-            format_args!("{} up={up}", self.host_names[m.0 as usize]),
+            format_args!("{} up={up}", self.shared.host_names[m.0 as usize]),
         );
         if !up {
-            let victims: Vec<ProcId> = self
-                .procs
-                .iter()
-                .filter(|(_, e)| e.machine == m && matches!(e.state, ProcState::Running))
+            let victims: Vec<ProcId> = self.lanes[li]
+                .procs_on(m)
+                .filter(|(_, e)| matches!(e.state, ProcState::Running))
                 .map(|(p, _)| p)
                 .collect();
-            for v in victims {
-                self.terminate(v, ExitStatus::Killed(Signal::Kill));
+            self.lane_op(m, |lane, shared| {
+                for v in victims {
+                    lane.terminate(shared, v, ExitStatus::Killed(Signal::Kill));
+                }
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queue-stats mirror + cross-lane plumbing
+    // ------------------------------------------------------------------
+
+    fn note_pop(&mut self) {
+        self.stats.dispatched += 1;
+        self.stats.depth -= 1;
+    }
+
+    fn note_pushes(&mut self, n: u32) {
+        self.stats.scheduled += n as u64;
+        self.stats.depth += n as usize;
+        if self.stats.depth > self.stats.peak_depth {
+            self.stats.peak_depth = self.stats.depth;
+        }
+    }
+
+    /// Forward lane `li`'s cross-lane pushes to their destination queues.
+    fn drain_outbox(&mut self, li: usize) {
+        if self.lanes[li].outbox.is_empty() {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.lanes[li].outbox);
+        for (dest, at, key, ev) in out.drain(..) {
+            self.lanes[dest].queue.push_seq(at, key, ev);
+        }
+        self.lanes[li].outbox = out; // keep the capacity
+    }
+
+    /// Fold lane `li`'s staged metrics into the world registry. Counter
+    /// merges are exact; float sums merge in barrier order, which is why
+    /// the determinism contract covers traces and `QueueStats` but not
+    /// float-valued metric digits across execution modes (§17).
+    fn merge_lane_metrics(&mut self, li: usize) {
+        let Some(m) = self.metrics.as_mut() else {
+            return;
+        };
+        if let Some(staged) = self.lanes[li].metrics.as_mut() {
+            if !staged.is_empty() {
+                m.registry.merge(staged);
+                *staged = MetricsRegistry::new();
             }
         }
     }
 
     // ------------------------------------------------------------------
-    // Run loop
+    // Run loop: coordinator
     // ------------------------------------------------------------------
 
-    /// Dispatch one event. Returns `false` if the queue is empty.
+    /// Earliest pending `(source, time, key)` across all lane queues and
+    /// the harness queue (`usize::MAX` = harness).
+    fn peek_min(&self) -> Option<(usize, SimTime, u64)> {
+        let mut best: Option<(usize, SimTime, u64)> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some((t, k)) = lane.queue.peek_key() {
+                if best.map(|(_, bt, bk)| (t, k) < (bt, bk)).unwrap_or(true) {
+                    best = Some((i, t, k));
+                }
+            }
+        }
+        if let Some((t, k)) = self.harness_q.peek_key() {
+            if best.map(|(_, bt, bk)| (t, k) < (bt, bk)).unwrap_or(true) {
+                best = Some((usize::MAX, t, k));
+            }
+        }
+        best
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.peek_min().map(|(_, t, _)| t)
+    }
+
+    fn pop_min(&mut self) -> Option<(SimTime, u64, Event)> {
+        let (src, t, k) = self.peek_min()?;
+        let q = if src == usize::MAX {
+            &mut self.harness_q
+        } else {
+            &mut self.lanes[src].queue
+        };
+        let (at, ev) = q.pop().expect("peeked head");
+        debug_assert_eq!(at, t);
+        Some((at, k, ev))
+    }
+
+    /// Dispatch one event. Returns `false` if the queues are empty.
     pub fn step(&mut self) -> bool {
         let popped = if self.oracle.is_some() {
             self.pop_with_oracle()
         } else {
-            self.kernel.pop()
+            self.pop_min()
         };
-        let Some((at, ev)) = popped else {
+        let Some((at, key, ev)) = popped else {
             return false;
         };
         debug_assert!(at >= self.now, "event queue went backwards");
+        self.note_pop();
         self.now = at;
-        if self.metrics.is_some() {
-            self.sample_metrics_if_due();
-        }
-        self.dispatch_traced(ev);
+        self.sample_metrics_at(at, false);
+        self.dispatch_coordinator(at, key, ev);
         true
     }
 
     /// Dispatch every event of the next pending instant — the same-time
-    /// batch the serial kernel would pop one by one — as one run, popping
-    /// newly scheduled same-instant events too. One pop-order check and
-    /// one metrics probe cover the whole instant; dispatch order (and so
+    /// batch the kernel would pop one by one — as one run, popping newly
+    /// scheduled same-instant events too. One pop-order check and one
+    /// metrics probe cover the whole instant; dispatch order (and so
     /// every observable) is identical to per-event stepping. Returns
-    /// `false` if the queue is empty.
+    /// `false` if the queues are empty.
     pub fn step_instant(&mut self) -> bool {
         if self.oracle.is_some() {
             // Oracles reorder within an instant; defer to per-event steps.
             return self.step();
         }
-        let Some((at, ev)) = self.kernel.pop() else {
+        if !self.step() {
             return false;
-        };
-        debug_assert!(at >= self.now, "event queue went backwards");
-        self.now = at;
-        if self.metrics.is_some() {
-            self.sample_metrics_if_due();
         }
-        self.dispatch_traced(ev);
-        while self.kernel.peek_time() == Some(at) {
-            let (_, ev) = self.kernel.pop().expect("head peeked at `at`");
-            self.dispatch_traced(ev);
+        let at = self.now;
+        while self.peek_time() == Some(at) {
+            let (_, key, ev) = self.pop_min().expect("head peeked at `at`");
+            self.note_pop();
+            self.dispatch_coordinator(at, key, ev);
         }
         true
     }
 
-    /// Run `ev`'s handler, staging its trace records per shard when the
-    /// kernel is sharded (merged back in dispatch order — byte-identical
-    /// to direct recording), and complete the dispatch by forwarding any
-    /// cross-shard ring traffic it produced.
-    fn dispatch_traced(&mut self, ev: Event) {
-        if self.hb_trace {
-            self.record_hb(&ev);
-        }
-        // Lane accounting wants the owning shard regardless of whether
-        // tracing (and hence staging) is on.
-        let lane = if self.prof.is_some() {
-            match &self.kernel {
-                Kernel::Sharded(e) => e.current_shard(),
-                Kernel::Serial(_) => None,
-            }
+    /// Dispatch one popped event inline: synchronizer bookkeeping, the
+    /// handler itself (on its owning lane, or `self` for harness
+    /// closures), then the barrier work a one-event window needs — stats,
+    /// happens-before records, trace absorption, outbox, metrics.
+    fn dispatch_coordinator(&mut self, at: SimTime, key: u64, ev: Event) {
+        let is_harness = matches!(ev, Event::Harness(_));
+        let li = if is_harness {
+            0
         } else {
-            None
+            self.shared.lane_of(ev.machine().unwrap_or(MachineId(0)))
         };
-        let lane_t0 = lane.map(|_| ProfTimer::start());
-        let staged = if self.shard_traces.is_empty() {
-            None
-        } else {
-            match &self.kernel {
-                Kernel::Sharded(e) => e.current_shard(),
-                Kernel::Serial(_) => None,
+        if let Some(syn) = self.syn.as_mut() {
+            if at >= syn.window_end() {
+                let end = at + self.shared.cost.lookahead();
+                syn.open_window(at, end);
             }
-        };
-        if let Some(s) = staged {
-            std::mem::swap(&mut self.trace, &mut self.shard_traces[s]);
-            self.handle(ev);
-            std::mem::swap(&mut self.trace, &mut self.shard_traces[s]);
-            let (canon, staging) = (&mut self.trace, &mut self.shard_traces[s]);
-            canon.absorb(staging);
-        } else {
-            self.handle(ev);
+            syn.note_dispatch(li);
         }
-        if let (Some(s), Some(t0)) = (lane, lane_t0) {
-            let ns = t0.elapsed_ns();
-            if let Some(prof) = self.prof.as_deref_mut() {
-                prof.record_lane(s, ns);
+        let hb_info = self.hb_trace.then(|| self.lanes[li].event_info(&ev));
+        match ev {
+            Event::Harness(f) => {
+                self.harness_keys.begin_dispatch();
+                let did = (self.harness_keys.origin(), self.harness_keys.dispatch_idx());
+                if let Some(info) = hb_info {
+                    self.emit_hb(key, 0, did, &info);
+                }
+                f(self);
             }
-            if let Kernel::Sharded(e) = &mut self.kernel {
-                e.note_lane_wall(s, ns);
+            ev => {
+                let shared = self.shared.clone();
+                let lane = &mut self.lanes[li];
+                let did = lane.dispatch_one(&shared, at, ev);
+                let pushed = lane.pushed;
+                self.note_pushes(pushed);
+                if let Some(info) = hb_info {
+                    self.emit_hb(key, li, did, &info);
+                }
+                self.trace.absorb(&mut self.lanes[li].trace);
+                self.drain_outbox(li);
+                self.merge_lane_metrics(li);
             }
-        }
-        if let Kernel::Sharded(e) = &mut self.kernel {
-            e.end_dispatch();
         }
     }
 
-    /// Emit the happens-before records for the dispatch that just popped
-    /// `ev`: a `shard.window` record whenever the synchronizer opened a
-    /// new window, then one `shard.ev` record with the dispatch's global
-    /// sequence number, lane, window ordinal, cause edge, and kernel
-    /// footprint. Records go straight to the canonical recorder — not the
-    /// staged per-shard stream — so they land in dispatch order, before
-    /// any records the handler itself produces.
-    fn record_hb(&mut self, ev: &Event) {
-        let meta = match &self.kernel {
-            Kernel::Sharded(e) => e.last_pop(),
-            Kernel::Serial(_) => None,
-        };
-        let Some(meta) = meta else { return };
-        if meta.window != self.hb_last_window {
-            self.hb_last_window = meta.window;
+    /// Emit the happens-before records for one dispatch: a `shard.window`
+    /// record whenever the synchronizer opened a new window, then one
+    /// `shard.ev` record carrying the popped event's key, the dispatch
+    /// identity it ran as, its lane, window ordinal, cause edge (the
+    /// origin/dispatch that pushed it), and kernel footprint. Records go
+    /// to the canonical recorder ahead of the handler's own staged
+    /// records, so they land in dispatch order.
+    fn emit_hb(&mut self, key: u64, lane: usize, did: (u64, u64), info: &EventInfo) {
+        let Some(syn) = self.syn.as_ref() else { return };
+        if syn.windows() != self.hb_last_window {
+            self.hb_last_window = syn.windows();
             let detail = format!(
                 "w{} end={}us la={}us",
-                meta.window,
-                meta.window_end.as_micros(),
-                self.cost.lookahead().as_micros()
+                syn.windows(),
+                syn.window_end().as_micros(),
+                self.shared.cost.lookahead().as_micros()
             );
             self.trace.record(self.now, "shard.window", detail);
         }
-        let info = self.event_info(ev);
+        let k = DispatchKey(key);
+        let cause = if k.origin() == 0 {
+            "-".to_string()
+        } else {
+            format!("{}/{}", k.origin(), k.dispatch_idx())
+        };
         let dash = || "-".to_string();
+        let w = self.syn.as_ref().expect("checked above").windows();
         let detail = format!(
-            "seq={} lane={} w={} cause={} k={:?} p={} o={} m={}",
-            meta.seq,
-            meta.shard,
-            meta.window,
-            meta.cause.map_or_else(dash, |c| c.to_string()),
+            "ev={} did={}/{} lane={} w={} cause={} k={:?} p={} o={} m={}",
+            k,
+            did.0,
+            did.1,
+            lane,
+            w,
+            cause,
             info.kind,
             info.proc.map_or_else(dash, |p| p.to_string()),
             info.other.map_or_else(dash, |p| p.to_string()),
@@ -1359,30 +1367,23 @@ impl World {
         self.trace.record(self.now, "shard.ev", detail);
     }
 
-    /// The serial kernel's queue; panics on a sharded kernel (callers
-    /// gate on the [`World::set_schedule_oracle`] assert).
-    fn serial_queue_mut(&mut self) -> &mut EventQueue<Event> {
-        match &mut self.kernel {
-            Kernel::Serial(q) => q,
-            Kernel::Sharded(_) => {
-                panic!("schedule oracles drive the serial kernel only; build with WorldBuilder::shards(1)")
-            }
-        }
-    }
-
     /// Oracle-guided pop: drain the earliest equal-time batch, let the
     /// installed [`WorldOracle`] pick one entry, and put the rest back with
-    /// their original sequence numbers (in ascending order, which keeps
-    /// both queue backends bit-identical — see [`EventQueue::requeue`]).
-    /// Singleton batches never consult the oracle, so guidance only costs
-    /// anything where a real scheduling choice exists.
-    fn pop_with_oracle(&mut self) -> Option<(SimTime, Event)> {
-        let (at, mut batch) = self.serial_queue_mut().pop_front_batch()?;
+    /// their original keys (in ascending order, which keeps both queue
+    /// backends bit-identical — see [`EventQueue::requeue`]). Singleton
+    /// batches never consult the oracle, so guidance only costs anything
+    /// where a real scheduling choice exists.
+    fn pop_with_oracle(&mut self) -> Option<(SimTime, u64, Event)> {
+        debug_assert_eq!(self.lanes.len(), 1, "oracles require a single lane");
+        let (at, mut batch) = self.lanes[0].queue.pop_front_batch()?;
         if batch.len() == 1 {
-            let (_, ev) = batch.pop().expect("len checked");
-            return Some((at, ev));
+            let (key, ev) = batch.pop().expect("len checked");
+            return Some((at, key, ev));
         }
-        let infos: Vec<EventInfo> = batch.iter().map(|(_, ev)| self.event_info(ev)).collect();
+        let infos: Vec<EventInfo> = batch
+            .iter()
+            .map(|(_, ev)| self.lanes[0].event_info(ev))
+            .collect();
         let extra: Vec<(SimTime, EventInfo)> = infos.iter().map(|&i| (at, i)).collect();
         let state = self.fingerprint_with(&extra);
         // Take the oracle out so it can borrow the world-free batch data
@@ -1390,23 +1391,27 @@ impl World {
         let mut oracle = self.oracle.take().expect("caller checked");
         let idx = oracle.choose(at, state, &infos).min(batch.len() - 1);
         self.oracle = Some(oracle);
-        // O(1) extraction; the survivors then go back sorted by sequence
-        // number, the order `requeue` needs for backend bit-identity.
-        let (_, chosen) = batch.swap_remove(idx);
-        batch.sort_unstable_by_key(|&(seq, _)| seq);
-        for (seq, ev) in batch {
-            self.serial_queue_mut().requeue(at, seq, ev);
+        // O(1) extraction; the survivors then go back sorted by key, the
+        // order `requeue` needs for backend bit-identity.
+        let (key, chosen) = batch.swap_remove(idx);
+        batch.sort_unstable_by_key(|&(k, _)| k);
+        for (k, ev) in batch {
+            self.lanes[0].queue.requeue(at, k, ev);
         }
-        Some((at, chosen))
+        Some((at, key, chosen))
     }
 
     /// Run until virtual time reaches `t` (events at exactly `t` included).
     pub fn run_until(&mut self, t: SimTime) {
-        while let Some(next) = self.kernel.peek_time() {
-            if next > t {
-                break;
+        if self.threaded_ok() {
+            self.run_threaded(t);
+        } else {
+            while let Some(next) = self.peek_time() {
+                if next > t {
+                    break;
+                }
+                self.step_instant();
             }
-            self.step_instant();
         }
         if self.now < t {
             self.now = t;
@@ -1422,7 +1427,11 @@ impl World {
     /// Run until the queue drains (only terminates for worlds without
     /// self-rearming timers) or `limit` is reached.
     pub fn run_until_idle(&mut self, limit: SimTime) {
-        while let Some(next) = self.kernel.peek_time() {
+        if self.threaded_ok() {
+            self.run_threaded(limit);
+            return;
+        }
+        while let Some(next) = self.peek_time() {
             if next > limit {
                 break;
             }
@@ -1431,17 +1440,17 @@ impl World {
     }
 
     /// Run until `pred(world)` holds, checking after every event, up to
-    /// `limit`. Returns `true` if the predicate was satisfied.
+    /// `limit`. Returns `true` if the predicate was satisfied. Always
+    /// coordinator-dispatched: the predicate must observe every state the
+    /// kernel exposes, including mid-window ones.
     pub fn run_until_pred(&mut self, limit: SimTime, pred: impl Fn(&World) -> bool) -> bool {
         if pred(self) {
             return true;
         }
-        while let Some(next) = self.kernel.peek_time() {
+        while let Some(next) = self.peek_time() {
             if next > limit {
                 break;
             }
-            // Per-event stepping: the predicate must observe every state
-            // the serial kernel exposes, including mid-instant ones.
             self.step();
             if pred(self) {
                 return true;
@@ -1451,555 +1460,162 @@ impl World {
     }
 
     // ------------------------------------------------------------------
-    // Internal machinery
+    // Run loop: threaded windows
     // ------------------------------------------------------------------
 
-    pub(crate) fn insert_proc(
-        &mut self,
-        machine: MachineId,
-        behavior: Box<dyn Behavior>,
-        env: ProcEnv,
-        parent: Option<ProcId>,
-    ) -> ProcId {
-        let name = behavior.name();
-        if !env.system {
-            self.machines[machine.0 as usize].app_proc_started(self.now);
-        }
-        let p = self.procs.push(ProcEntry {
-            behavior: Some(behavior),
-            name,
-            machine,
-            parent,
-            env,
-            state: ProcState::Running,
-            waited_rsh: None,
-            rsh_prime_for: None,
-            detached: false,
-            has_services: false,
-        });
-        self.trace.record(
-            self.now,
-            "proc.start",
-            format_args!("{p} {name} on {}", self.host_names[machine.0 as usize]),
-        );
-        p
+    /// Whether windowed multi-thread dispatch is engaged: needs a thread
+    /// budget, multiple lanes, no oracle, and a cost model whose
+    /// cross-machine latencies actually clear the conservative window
+    /// floor (`rsh_connect` bounds the first cross-lane `RshAdvance` hop;
+    /// every other cross-lane push carries at least `lan_latency`).
+    fn threaded_ok(&self) -> bool {
+        self.threads > 1
+            && self.lanes.len() > 1
+            && self.oracle.is_none()
+            && self.shared.cost.lan_latency >= Duration::from_micros(1)
+            && self.shared.cost.rsh_connect >= self.shared.cost.lookahead()
     }
 
-    fn handle(&mut self, ev: Event) {
-        match ev {
-            Event::Start(p) => self.dispatch(p, |b, ctx| b.on_start(ctx)),
-            Event::Deliver { to, from, msg } => {
-                if self.alive(to) {
-                    let kind = self.prof.as_ref().map(|_| msg.kind_name());
-                    let t0 = kind.map(|_| ProfTimer::start());
-                    self.dispatch(to, move |b, ctx| b.on_message(ctx, from, msg));
-                    if let (Some(kind), Some(t0)) = (kind, t0) {
-                        let ns = t0.elapsed_ns();
-                        if let Some(prof) = self.prof.as_deref_mut() {
-                            prof.record_payload(kind, ns);
-                        }
-                    }
-                } else {
-                    self.trace
-                        .record(self.now, "msg.drop", format_args!("to dead {to}"));
-                }
-            }
-            Event::Timer { proc, token } => {
-                if let Some(i) = self.cancelled_timers.iter().position(|&t| t == token) {
-                    self.cancelled_timers.swap_remove(i);
-                    return;
-                }
-                self.dispatch(proc, move |b, ctx| b.on_timer(ctx, token));
-            }
-            Event::SigDeliver { proc, sig } => {
-                if !self.alive(proc) {
-                    return;
-                }
-                let name = self.procs[proc].name;
-                self.trace.record(
-                    self.now,
-                    "sig.deliver",
-                    format_args!("{proc} {name} {sig:?}"),
-                );
-                if sig == Signal::Kill {
-                    self.terminate(proc, ExitStatus::Killed(Signal::Kill));
-                } else {
-                    self.dispatch(proc, move |b, ctx| b.on_signal(ctx, sig));
-                }
-            }
-            Event::CpuRecheck { machine, gen } => {
-                if self.machines[machine.0 as usize].cpu.generation() != gen {
-                    return; // stale
-                }
-                let (done, _) = self.machines[machine.0 as usize]
-                    .cpu
-                    .take_finished(self.now);
-                for (p, token) in done {
-                    self.dispatch(p, move |b, ctx| b.on_cpu_done(ctx, token));
-                }
-                self.reschedule_cpu(machine);
-            }
-            Event::RshAdvance { handle } => self.rsh_advance(handle),
-            Event::RshComplete { handle, to, result } => {
-                self.rsh_ops.remove(handle.0);
-                self.trace.record(
-                    self.now,
-                    "rsh.complete",
-                    format_args!("{handle} -> {result:?}"),
-                );
-                if self.alive(to) {
-                    self.dispatch(to, move |b, ctx| b.on_rsh_result(ctx, handle, result));
-                }
-            }
-            Event::ChildExit {
-                parent,
-                child,
-                status,
-            } => {
-                self.dispatch(parent, move |b, ctx| b.on_child_exit(ctx, child, status));
-            }
-            Event::ChildDetach { parent, child } => {
-                self.dispatch(parent, move |b, ctx| b.on_child_detach(ctx, child));
-            }
-            Event::Harness(f) => f(self),
+    fn ensure_pool(&mut self) {
+        if self.pool.is_none() {
+            let workers = self.threads.min(self.lanes.len()).max(1);
+            self.pool = Some(Pool::new(workers));
         }
     }
 
-    fn dispatch(&mut self, p: ProcId, f: impl FnOnce(&mut dyn Behavior, &mut Ctx<'_>)) {
-        let Some(entry) = self.procs.get_mut(p) else {
-            return;
-        };
-        if !matches!(entry.state, ProcState::Running) {
-            return;
-        }
-        let Some(mut behavior) = entry.behavior.take() else {
-            return; // re-entrant dispatch cannot happen, but be safe
-        };
-        let name = entry.name;
-        let t0 = self.prof.as_ref().map(|_| ProfTimer::start());
-        let mut ctx = Ctx::new(self, p);
-        f(behavior.as_mut(), &mut ctx);
-        let exit = ctx.take_exit();
-        if let (Some(t0), Some(prof)) = (t0, self.prof.as_deref_mut()) {
-            prof.record_behavior(name, t0.elapsed_ns());
-        }
-        if let Some(entry) = self.procs.get_mut(p) {
-            if matches!(entry.state, ProcState::Running) {
-                entry.behavior = Some(behavior);
+    /// The windowed multi-thread loop: per window, farm every lane with
+    /// pending work out to the pool, then replay the merged dispatch logs
+    /// in canonical `(time, key)` order against the world-side observers.
+    /// Harness events dispatch solo between windows (they close over
+    /// `&mut World`). Windows are clamped at the run limit, the next
+    /// harness event, and the next metrics sample point.
+    fn run_threaded(&mut self, limit: SimTime) {
+        self.ensure_pool();
+        while let Some((src, head, _)) = self.peek_min() {
+            if head > limit {
+                break;
             }
-        }
-        if let Some(status) = exit {
-            self.terminate(p, status);
-        }
-    }
-
-    pub(crate) fn terminate(&mut self, p: ProcId, status: ExitStatus) {
-        let Some(entry) = self.procs.get_mut(p) else {
-            return;
-        };
-        if !matches!(entry.state, ProcState::Running) {
-            return;
-        }
-        entry.state = ProcState::Exited(status);
-        entry.behavior = None;
-        let machine = entry.machine;
-        let parent = entry.parent;
-        let waited = entry.waited_rsh.take();
-        let prime_for = entry.rsh_prime_for.take();
-        let system = entry.env.system;
-        let had_services = entry.has_services;
-        let name = entry.name;
-
-        if !system {
-            self.machines[machine.0 as usize].app_proc_ended(self.now);
-        }
-        // Free the CPU and wake the machine's scheduler.
-        let (_cancelled, _) = self.machines[machine.0 as usize]
-            .cpu
-            .remove_proc(self.now, p);
-        self.reschedule_cpu(machine);
-        // Drop services this process provided (skipped for the common
-        // serviceless process).
-        if had_services {
-            self.services.retain(|_, &mut provider| provider != p);
-        }
-
-        self.trace
-            .record(self.now, "proc.exit", format_args!("{p} {name} {status}"));
-
-        // Parent notification (local, like SIGCHLD).
-        if let Some(parent) = parent {
-            if self.alive(parent) {
-                self.push_event_at(
-                    self.now + self.cost.local_latency,
-                    Event::ChildExit {
-                        parent,
-                        child: p,
-                        status,
-                    },
-                );
-            }
-        }
-        // A standard rsh waiting on this process completes with its status.
-        if let Some(handle) = waited {
-            if let Some(op) = self.rsh_ops.get(handle.0) {
-                let to = op.caller;
-                self.push_event_at(
-                    self.now + self.cost.lan_latency,
-                    Event::RshComplete {
-                        handle,
-                        to,
-                        result: Ok(status),
-                    },
-                );
-            }
-        }
-        // An rsh' shim's exit is its caller's rsh result (the op entry was
-        // registered at rsh_begin).
-        if let Some((caller, handle)) = prime_for {
-            self.push_event_at(
-                self.now + self.cost.local_latency,
-                Event::RshComplete {
-                    handle,
-                    to: caller,
-                    result: Ok(status),
-                },
-            );
-        }
-    }
-
-    pub(crate) fn reschedule_cpu(&mut self, m: MachineId) {
-        let now = self.now;
-        let cpu = &mut self.machines[m.0 as usize].cpu;
-        if let Some(at) = cpu.next_completion(now) {
-            let gen = cpu.generation();
-            self.push_event_at(at, Event::CpuRecheck { machine: m, gen });
-        }
-    }
-
-    pub(crate) fn fresh_timer(&mut self) -> TimerToken {
-        let t = TimerToken(self.next_timer);
-        self.next_timer += 1;
-        t
-    }
-
-    /// Schedule a kernel event — the single entry point for both kernels.
-    /// Serial pushes go straight to the global queue; sharded pushes are
-    /// routed to the owning machine's lane (cross-shard ones through the
-    /// dispatching shard's outbound ring).
-    pub(crate) fn push_event_at(&mut self, at: SimTime, ev: Event) {
-        if let Kernel::Serial(q) = &mut self.kernel {
-            q.push(at, ev);
-            return;
-        }
-        let shards = match &self.kernel {
-            Kernel::Sharded(e) => e.shards(),
-            Kernel::Serial(_) => unreachable!("handled above"),
-        };
-        let shard = self.shard_of(&ev, shards);
-        match &mut self.kernel {
-            Kernel::Sharded(e) => e.push(at, shard, ev),
-            Kernel::Serial(_) => unreachable!("handled above"),
-        }
-    }
-
-    /// Which shard owns an event: the shard of the machine whose state its
-    /// handler runs on, `machine_id % shards`. Harness events (opaque
-    /// closures over the whole world) live on shard 0. Routing affects
-    /// which lane an event waits in — never dispatch order, which is
-    /// globally `(time, seq)` regardless — so an imprecise assignment
-    /// costs locality, not correctness.
-    fn shard_of(&self, ev: &Event, shards: usize) -> usize {
-        let on = |p: ProcId| self.procs.get(p).map(|e| e.machine);
-        let machine = match ev {
-            Event::Start(p) => on(*p),
-            Event::Deliver { to, .. } => on(*to),
-            Event::Timer { proc, .. } => on(*proc),
-            Event::SigDeliver { proc, .. } => on(*proc),
-            Event::CpuRecheck { machine, .. } => Some(*machine),
-            Event::RshAdvance { handle } => self.rsh_ops.get(handle.0).map(|o| o.target),
-            Event::RshComplete { to, .. } => on(*to),
-            Event::ChildExit { parent, .. } => on(*parent),
-            Event::ChildDetach { parent, .. } => on(*parent),
-            Event::Harness(_) => None,
-        };
-        machine.map_or(0, |m| m.0 as usize % shards)
-    }
-
-    // ------------------------------------------------------------------
-    // rsh machinery
-    // ------------------------------------------------------------------
-
-    /// Allocate a fresh rsh handle by inserting a pending op into the slab
-    /// (used directly by the `rsh'` behavior when it drives the standard
-    /// path itself). Every live handle corresponds to a slab entry; stale
-    /// handles miss on the generation check.
-    pub(crate) fn rsh_begin_raw(&mut self, caller: ProcId) -> RshHandle {
-        RshHandle(self.rsh_ops.insert(RshOp {
-            caller,
-            target: MachineId(0),
-            cmd: CommandSpec::Null,
-            child_env: None,
-            stage: RshStage::Pending,
-        }))
-    }
-
-    /// Begin an rsh operation for `caller`. `binding` selects the real rsh
-    /// or the broker's shim.
-    pub(crate) fn rsh_begin(
-        &mut self,
-        caller: ProcId,
-        host: &str,
-        cmd: CommandSpec,
-        binding: RshBinding,
-    ) -> RshHandle {
-        let handle = self.rsh_begin_raw(caller);
-        let spec = HostSpec::classify(host);
-        self.trace.record(
-            self.now,
-            "rsh.invoke",
-            format_args!("{caller} {binding:?} {spec} {}", cmd.name()),
-        );
-
-        match binding {
-            RshBinding::Broker if self.rsh_prime.is_some() => {
-                // Spawn the rsh' shim locally as a child of the caller.
-                let entry = self.procs.get(caller).expect("caller exists");
-                let machine = entry.machine;
-                let caller_env = entry.env.clone();
-                let req = RshPrimeRequest {
-                    caller,
-                    handle,
-                    host: spec,
-                    cmd: cmd.clone(),
-                    caller_env: caller_env.clone(),
+            if src == usize::MAX {
+                // Harness events run solo on the coordinator. Origin-0
+                // keys sort first at equal times, so no lane event is due
+                // before it.
+                let (at, key, ev) = {
+                    let (t, k) = self.harness_q.peek_key().expect("peeked");
+                    debug_assert_eq!(t, head);
+                    let (at, ev) = self.harness_q.pop().expect("peeked");
+                    (at, k, ev)
                 };
-                let behavior = self.rsh_prime.as_ref().expect("checked above").build(req);
-                let mut env = caller_env;
-                env.system = true; // infrastructure shim
-                let shim = self.insert_proc(machine, behavior, env, Some(caller));
-                self.procs
-                    .get_mut(shim)
-                    .expect("just inserted")
-                    .rsh_prime_for = Some((caller, handle));
-                // Route the op so RshComplete can reach the caller.
-                let op = self.rsh_ops.get_mut(handle.0).expect("fresh handle");
-                op.target = machine;
-                op.cmd = cmd;
-                op.stage = RshStage::Waiting(shim);
-                // The shim replaces the rsh client binary, whose fork/exec
-                // cost is already charged inside `rsh_connect` on the
-                // standard path; only the classification overhead is extra.
-                self.push_event_at(self.now + self.cost.rsh_prime_overhead, Event::Start(shim));
-                handle
+                debug_assert!(at >= self.now);
+                self.note_pop();
+                self.now = at;
+                self.sample_metrics_at(at, false);
+                self.dispatch_coordinator(at, key, ev);
+                continue;
             }
-            _ => {
-                // Standard rsh (also the fallback when no shim is installed).
-                self.standard_rsh(caller, handle, spec, cmd);
-                handle
+            // Sample metrics at the window head if due — the clamp below
+            // guarantees serial execution would have sampled at exactly
+            // this event too.
+            self.sample_metrics_at(head, true);
+            // Window end: lookahead-bounded, clamped at the limit, the
+            // next harness event, and the next metrics sample point.
+            let mut end = head + self.shared.cost.lookahead();
+            end = end.min(SimTime(limit.0.saturating_add(1)));
+            if let Some((ht, _)) = self.harness_q.peek_key() {
+                end = end.min(ht);
             }
-        }
-    }
-
-    /// The standard rsh path: resolve, connect, remote fork, wait. The
-    /// handle's pending slab entry is either routed into `Connecting` or
-    /// removed on the failure paths.
-    pub(crate) fn standard_rsh(
-        &mut self,
-        caller: ProcId,
-        handle: RshHandle,
-        host: HostSpec,
-        cmd: CommandSpec,
-    ) {
-        let fail = |world: &mut World, err: RshError| {
-            world.rsh_ops.remove(handle.0);
-            world
-                .trace
-                .record(world.now, "rsh.fail", format_args!("{handle} {err}"));
-            world.push_event_at(
-                world.now + world.cost.rsh_fail,
-                Event::RshComplete {
-                    handle,
-                    to: caller,
-                    result: Err(err),
-                },
-            );
-        };
-        let hostname = match &host {
-            // Plain rsh has no notion of symbolic hosts: name lookup fails.
-            HostSpec::Symbolic(s) => {
-                fail(self, RshError::UnknownHost(s.to_string()));
-                return;
+            if let Some(m) = self.metrics.as_ref() {
+                end = end.min(m.next_at);
             }
-            HostSpec::Real(h) => h.clone(),
-        };
-        let Some(target) = self.machine_by_host(&hostname) else {
-            fail(self, RshError::UnknownHost(hostname));
-            return;
-        };
-        if !self.machines[target.0 as usize].up {
-            fail(self, RshError::HostDown(hostname));
-            return;
-        }
-        let caller_user = self
-            .procs
-            .get(caller)
-            .map(|e| e.env.user.clone())
-            .unwrap_or_else(|| Arc::from("unknown"));
-        let child_env = self.rshd_child_env(&cmd, caller_user);
-        let op = self.rsh_ops.get_mut(handle.0).expect("fresh handle");
-        op.target = target;
-        op.cmd = cmd;
-        op.child_env = Some(child_env);
-        op.stage = RshStage::Connecting;
-        self.push_event_at(
-            self.now + self.cost.rsh_connect,
-            Event::RshAdvance { handle },
-        );
-    }
-
-    /// Environment an `rshd`-spawned process gets: the user's login
-    /// environment on the remote machine. Real `rsh` does not propagate
-    /// environment variables, so `job`/`appl` are unset — except for the
-    /// sub-`appl`, whose command line carries its managing `appl` and job
-    /// (and which is part of the broker installation, hence `system`).
-    fn rshd_child_env(&self, cmd: &CommandSpec, user: Arc<str>) -> ProcEnv {
-        match cmd {
-            CommandSpec::SubAppl { appl, job, .. } => ProcEnv {
-                job: Some(*job),
-                appl: Some(*appl),
-                rsh: RshBinding::Standard,
-                user,
-                system: true,
-            },
-            CommandSpec::RbDaemon { .. } => ProcEnv {
-                job: None,
-                appl: None,
-                rsh: RshBinding::Standard,
-                user,
-                system: true,
-            },
-            _ => ProcEnv {
-                job: None,
-                appl: None,
-                rsh: self.default_remote_binding,
-                user,
-                system: false,
-            },
-        }
-    }
-
-    fn rsh_advance(&mut self, handle: RshHandle) {
-        let Some(op) = self.rsh_ops.get(handle.0) else {
-            return;
-        };
-        let target = op.target;
-        if !self.machines[target.0 as usize].up {
-            let to = op.caller;
-            self.rsh_ops.remove(handle.0);
-            let host = self.hostname(target).to_string();
-            self.push_event_at(
-                self.now,
-                Event::RshComplete {
-                    handle,
-                    to,
-                    result: Err(RshError::HostDown(host)),
-                },
-            );
-            return;
-        }
-        match op.stage {
-            RshStage::Pending => {
-                debug_assert!(false, "RshAdvance on an unrouted op");
+            debug_assert!(end > head, "degenerate window");
+            self.syn
+                .as_mut()
+                .expect("threaded implies sharded")
+                .open_window(head, end);
+            // Ship active lanes to the pool (inline when only one has
+            // work — no channel round-trip for lopsided windows).
+            let active: Vec<usize> = (0..self.lanes.len())
+                .filter(|&i| self.lanes[i].queue.peek_time().is_some_and(|t| t < end))
+                .collect();
+            let shared = self.shared.clone();
+            if active.len() == 1 {
+                let li = active[0];
+                self.lanes[li].run_window(&shared, end);
+            } else {
+                let pool = self.pool.as_ref().expect("ensured above");
+                let workers = pool.txs.len();
+                for &li in &active {
+                    let lane = std::mem::replace(&mut self.lanes[li], Lane::placeholder());
+                    pool.txs[li % workers]
+                        .send(Job {
+                            lane,
+                            idx: li,
+                            end,
+                            shared: shared.clone(),
+                        })
+                        .expect("lane worker alive");
+                }
+                for _ in 0..active.len() {
+                    let (idx, lane) = pool.rx.recv().expect("lane worker alive");
+                    self.lanes[idx] = lane;
+                }
             }
-            RshStage::Connecting => {
-                self.rsh_ops.get_mut(handle.0).expect("present").stage = RshStage::Forking;
-                self.push_event_at(self.now + self.cost.rshd_fork, Event::RshAdvance { handle });
+            // Replay the merged logs against the world-side observers in
+            // canonical order — this is where byte-identity is restored.
+            let mut logs: Vec<(usize, Vec<DispatchRecord>)> = active
+                .iter()
+                .map(|&li| (li, std::mem::take(&mut self.lanes[li].log)))
+                .collect();
+            let order = {
+                let slices: Vec<&[DispatchRecord]> =
+                    logs.iter().map(|(_, l)| l.as_slice()).collect();
+                merge_dispatch_logs(&slices, |r| (r.at, DispatchKey(r.key)))
+            };
+            for (si, pos) in order {
+                let li = logs[si].0;
+                let rec = &mut logs[si].1[pos];
+                debug_assert!(rec.at >= self.now, "merged log went backwards");
+                self.note_pop();
+                self.now = rec.at;
+                self.syn.as_mut().expect("sharded").note_dispatch(li);
+                if let Some(hb) = rec.hb.take() {
+                    let info = EventInfo {
+                        kind: hb.kind,
+                        proc: hb.proc,
+                        other: hb.other,
+                        machine: hb.machine,
+                        payload_hash: 0,
+                    };
+                    self.emit_hb(rec.key, li, hb.did, &info);
+                }
+                self.trace.absorb_events(std::mem::take(&mut rec.traces));
+                self.note_pushes(rec.pushes);
             }
-            RshStage::Forking => {
-                let (cmd, env, caller) = {
-                    let op = self.rsh_ops.get(handle.0).expect("present");
-                    (
-                        op.cmd.clone(),
-                        op.child_env.clone().expect("routed via standard_rsh"),
-                        op.caller,
-                    )
-                };
-                let Some(factory) = self.factory.as_ref() else {
-                    self.rsh_ops.remove(handle.0);
-                    self.push_event_at(
-                        self.now,
-                        Event::RshComplete {
-                            handle,
-                            to: caller,
-                            result: Err(RshError::SpawnFailed("no program factory".into())),
-                        },
-                    );
-                    return;
-                };
-                let Some(behavior) = factory.build(&cmd) else {
-                    self.rsh_ops.remove(handle.0);
-                    self.push_event_at(
-                        self.now,
-                        Event::RshComplete {
-                            handle,
-                            to: caller,
-                            result: Err(RshError::SpawnFailed(format!(
-                                "command not found: {}",
-                                cmd.name()
-                            ))),
-                        },
-                    );
-                    return;
-                };
-                let child = self.insert_proc(target, behavior, env, None);
-                self.procs.get_mut(child).expect("just inserted").waited_rsh = Some(handle);
-                self.rsh_ops.get_mut(handle.0).expect("present").stage = RshStage::Waiting(child);
-                self.trace.record(
-                    self.now,
-                    "rsh.spawned",
-                    format_args!("{handle} -> {child} {}", cmd.name()),
-                );
-                self.push_event_at(self.now, Event::Start(child));
-            }
-            RshStage::Waiting(_) => {
-                // Completion is driven by the child's detach/exit.
+            // Cross-lane traffic becomes visible at the barrier — always
+            // at least `lookahead` past the window, so never late.
+            for &li in &active {
+                self.drain_outbox(li);
+                self.merge_lane_metrics(li);
             }
         }
     }
+}
 
-    /// Mark a process as daemonized; any rsh waiting on it completes now.
-    pub(crate) fn detach_proc(&mut self, p: ProcId) {
-        let Some(entry) = self.procs.get_mut(p) else {
-            return;
-        };
-        if entry.detached {
-            return;
-        }
-        entry.detached = true;
-        let parent = entry.parent;
-        if let Some(handle) = entry.waited_rsh.take() {
-            if let Some(op) = self.rsh_ops.get(handle.0) {
-                let to = op.caller;
-                self.push_event_at(
-                    self.now + self.cost.lan_latency,
-                    Event::RshComplete {
-                        handle,
-                        to,
-                        result: Ok(ExitStatus::Success),
-                    },
-                );
-            }
-        }
-        if let Some(parent) = parent {
-            if self.alive(parent) {
-                self.push_event_at(
-                    self.now + self.cost.local_latency,
-                    Event::ChildDetach { parent, child: p },
-                );
-            }
-        }
-        self.trace
-            .record(self.now, "proc.detach", format_args!("{p}"));
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    /// The compile-time proof behind the threading model: whole lanes
+    /// (with their behaviors, queues, and staging state) migrate between
+    /// worker threads, and the shared remainder is reachable from any
+    /// thread. A non-`Send` field sneaking into either breaks this test
+    /// at compile time, not at 2 a.m. in a soak run.
+    #[test]
+    fn lanes_and_shared_core_cross_threads() {
+        assert_send::<Lane>();
+        assert_send::<SharedCore>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<SharedCore>();
     }
 }

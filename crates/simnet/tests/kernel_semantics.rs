@@ -5,8 +5,8 @@
 use rb_proto::{CommandSpec, ExitStatus, Payload, ProcId, Signal, TimerToken};
 use rb_simcore::{Duration, SimTime};
 use rb_simnet::{BasePrograms, Behavior, Ctx, ProcEnv, RshBinding, World, WorldBuilder};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 fn lab(n: usize) -> (World, Vec<rb_proto::MachineId>) {
     let mut b = WorldBuilder::new().seed(3).factory(BasePrograms);
@@ -19,7 +19,7 @@ fn lab(n: usize) -> (World, Vec<rb_proto::MachineId>) {
 // ---------------------------------------------------------------------
 
 struct TimerTester {
-    fired: Rc<RefCell<Vec<u64>>>,
+    fired: Arc<Mutex<Vec<u64>>>,
     cancel_second: bool,
     tokens: Vec<TimerToken>,
 }
@@ -38,14 +38,14 @@ impl Behavior for TimerTester {
     }
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: TimerToken) {
         let idx = self.tokens.iter().position(|&t| t == token).unwrap() as u64;
-        self.fired.borrow_mut().push(idx);
+        self.fired.lock().unwrap().push(idx);
     }
 }
 
 #[test]
 fn timers_fire_in_order_and_cancellation_sticks() {
     let (mut world, ms) = lab(1);
-    let fired = Rc::new(RefCell::new(Vec::new()));
+    let fired = Arc::new(Mutex::new(Vec::new()));
     world.spawn_user(
         ms[0],
         Box::new(TimerTester {
@@ -56,13 +56,13 @@ fn timers_fire_in_order_and_cancellation_sticks() {
         ProcEnv::user_standard("u"),
     );
     world.run_until(SimTime(1_000_000));
-    assert_eq!(*fired.borrow(), vec![0, 2]);
+    assert_eq!(*fired.lock().unwrap(), vec![0, 2]);
 }
 
 #[test]
 fn timers_of_dead_processes_do_not_fire() {
     let (mut world, ms) = lab(1);
-    let fired = Rc::new(RefCell::new(Vec::new()));
+    let fired = Arc::new(Mutex::new(Vec::new()));
     let p = world.spawn_user(
         ms[0],
         Box::new(TimerTester {
@@ -75,7 +75,11 @@ fn timers_of_dead_processes_do_not_fire() {
     world.run_until(SimTime(150_000));
     world.kill_from_harness(p, Signal::Kill);
     world.run_until(SimTime(1_000_000));
-    assert_eq!(*fired.borrow(), vec![0], "only the pre-death timer fired");
+    assert_eq!(
+        *fired.lock().unwrap(),
+        vec![0],
+        "only the pre-death timer fired"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -83,11 +87,11 @@ fn timers_of_dead_processes_do_not_fire() {
 // ---------------------------------------------------------------------
 
 struct Parent {
-    child_env: Rc<RefCell<Option<ProcEnv>>>,
+    child_env: Arc<Mutex<Option<ProcEnv>>>,
 }
 
 struct Child {
-    env_out: Rc<RefCell<Option<ProcEnv>>>,
+    env_out: Arc<Mutex<Option<ProcEnv>>>,
 }
 
 impl Behavior for Child {
@@ -95,7 +99,7 @@ impl Behavior for Child {
         "env-child"
     }
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        *self.env_out.borrow_mut() = Some(ctx.env().clone());
+        *self.env_out.lock().unwrap() = Some(ctx.env().clone());
         ctx.exit(ExitStatus::Success);
     }
 }
@@ -118,7 +122,7 @@ impl Behavior for Parent {
 #[test]
 fn children_inherit_the_parent_environment() {
     let (mut world, ms) = lab(1);
-    let child_env = Rc::new(RefCell::new(None));
+    let child_env = Arc::new(Mutex::new(None));
     let mut env = ProcEnv::user_broker("carol");
     env.job = Some(rb_proto::JobId(7));
     env.appl = Some(ProcId(42));
@@ -131,7 +135,7 @@ fn children_inherit_the_parent_environment() {
     );
     world.run_until(SimTime(1_000_000));
     assert!(!world.alive(parent), "parent exited after child");
-    let got = child_env.borrow().clone().expect("child ran");
+    let got = child_env.lock().unwrap().clone().expect("child ran");
     assert_eq!(&*got.user, "carol");
     assert_eq!(got.job, Some(rb_proto::JobId(7)));
     assert_eq!(got.appl, Some(ProcId(42)));
@@ -195,7 +199,7 @@ impl Behavior for DoubleDetacher {
 }
 
 struct DetachParent {
-    detaches: Rc<RefCell<u32>>,
+    detaches: Arc<Mutex<u32>>,
 }
 
 impl Behavior for DetachParent {
@@ -206,14 +210,14 @@ impl Behavior for DetachParent {
         ctx.spawn_local(Box::new(DoubleDetacher));
     }
     fn on_child_detach(&mut self, _ctx: &mut Ctx<'_>, _child: ProcId) {
-        *self.detaches.borrow_mut() += 1;
+        *self.detaches.lock().unwrap() += 1;
     }
 }
 
 #[test]
 fn detach_is_idempotent_and_notifies_parent_once() {
     let (mut world, ms) = lab(1);
-    let detaches = Rc::new(RefCell::new(0));
+    let detaches = Arc::new(Mutex::new(0));
     world.spawn_user(
         ms[0],
         Box::new(DetachParent {
@@ -222,7 +226,7 @@ fn detach_is_idempotent_and_notifies_parent_once() {
         ProcEnv::user_standard("u"),
     );
     world.run_until(SimTime(1_000_000));
-    assert_eq!(*detaches.borrow(), 1);
+    assert_eq!(*detaches.lock().unwrap(), 1);
 }
 
 // ---------------------------------------------------------------------

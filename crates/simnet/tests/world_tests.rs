@@ -33,7 +33,7 @@ impl Behavior for RshDriver {
     }
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        *self.started.borrow_mut() = Some(ctx.now());
+        *self.started.lock().unwrap() = Some(ctx.now());
         ctx.rsh(&self.host, self.cmd.clone());
     }
 
@@ -43,12 +43,12 @@ impl Behavior for RshDriver {
         handle: RshHandle,
         result: Result<ExitStatus, RshError>,
     ) {
-        *self.result.borrow_mut() = Some((handle, result));
+        *self.result.lock().unwrap() = Some((handle, result));
         ctx.exit(ExitStatus::Success);
     }
 }
 
-type Shared<T> = std::rc::Rc<std::cell::RefCell<Option<T>>>;
+type Shared<T> = std::sync::Arc<std::sync::Mutex<Option<T>>>;
 
 fn drive_rsh(
     world: &mut World,
@@ -73,7 +73,7 @@ fn plain_rsh_null_costs_about_300ms() {
     let (mut world, ms) = lab(2);
     let (result, _) = drive_rsh(&mut world, ms[0], "n01", CommandSpec::Null);
     world.run_until_idle(FAR);
-    let (_, res) = result.borrow().clone().expect("rsh completed");
+    let (_, res) = result.lock().unwrap().clone().expect("rsh completed");
     assert_eq!(res, Ok(ExitStatus::Success));
     // Elapsed = connect + fork + null exec + completion latency.
     let elapsed = world.now().as_secs_f64();
@@ -93,7 +93,7 @@ fn plain_rsh_loop_costs_startup_plus_cpu() {
         CommandSpec::Loop { cpu_millis: 5_300 },
     );
     world.run_until_idle(FAR);
-    assert!(result.borrow().clone().unwrap().1.is_ok());
+    assert!(result.lock().unwrap().clone().unwrap().1.is_ok());
     let elapsed = world.now().as_secs_f64();
     assert!((5.5..=5.8).contains(&elapsed), "rsh loop elapsed {elapsed}");
 }
@@ -103,7 +103,7 @@ fn rsh_to_unknown_host_fails() {
     let (mut world, ms) = lab(1);
     let (result, _) = drive_rsh(&mut world, ms[0], "n99", CommandSpec::Null);
     world.run_until_idle(FAR);
-    let (_, res) = result.borrow().clone().unwrap();
+    let (_, res) = result.lock().unwrap().clone().unwrap();
     assert_eq!(res, Err(RshError::UnknownHost("n99".into())));
 }
 
@@ -113,7 +113,7 @@ fn plain_rsh_does_not_understand_symbolic_hosts() {
     let (mut world, ms) = lab(2);
     let (result, _) = drive_rsh(&mut world, ms[0], "anylinux", CommandSpec::Null);
     world.run_until_idle(FAR);
-    let (_, res) = result.borrow().clone().unwrap();
+    let (_, res) = result.lock().unwrap().clone().unwrap();
     assert!(matches!(res, Err(RshError::UnknownHost(_))), "{res:?}");
 }
 
@@ -123,7 +123,7 @@ fn rsh_to_down_machine_fails() {
     world.set_machine_up(ms[1], false);
     let (result, _) = drive_rsh(&mut world, ms[0], "n01", CommandSpec::Null);
     world.run_until_idle(FAR);
-    let (_, res) = result.borrow().clone().unwrap();
+    let (_, res) = result.lock().unwrap().clone().unwrap();
     assert_eq!(res, Err(RshError::HostDown("n01".into())));
 }
 
@@ -251,7 +251,7 @@ fn echo_answers_probes() {
 
     struct Prober {
         echo: ProcId,
-        got: std::rc::Rc<std::cell::RefCell<Option<u64>>>,
+        got: std::sync::Arc<std::sync::Mutex<Option<u64>>>,
     }
     impl Behavior for Prober {
         fn name(&self) -> &'static str {
@@ -269,12 +269,12 @@ fn echo_answers_probes() {
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Payload) {
             if let Payload::Ctl(CtlMsg::ProbeReply { token }) = msg {
-                *self.got.borrow_mut() = Some(token);
+                *self.got.lock().unwrap() = Some(token);
                 ctx.exit(ExitStatus::Success);
             }
         }
     }
-    let got = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let got = std::sync::Arc::new(std::sync::Mutex::new(None));
     world.spawn_user(
         ms[0],
         Box::new(Prober {
@@ -284,7 +284,7 @@ fn echo_answers_probes() {
         ProcEnv::user_standard("u"),
     );
     world.run_until(SimTime(1_000_000));
-    assert_eq!(*got.borrow(), Some(99));
+    assert_eq!(*got.lock().unwrap(), Some(99));
 }
 
 #[test]
@@ -346,6 +346,6 @@ fn zero_cost_model_runs_logic_instantly() {
     let mut world = b.build();
     let (result, _) = drive_rsh(&mut world, ms[0], "n01", CommandSpec::Null);
     world.run_until_idle(FAR);
-    assert!(result.borrow().clone().unwrap().1.is_ok());
+    assert!(result.lock().unwrap().clone().unwrap().1.is_ok());
     assert_eq!(world.now(), SimTime::ZERO);
 }

@@ -1,0 +1,35 @@
+//! Quick wall-clock probe of the timer-storm scenario across shard ×
+//! worker-thread configurations — a fast local answer to "is threaded
+//! dispatch paying on this machine?" without running the full
+//! `bench_report` sweep. Every configuration simulates the identical
+//! run (byte-identical traces); only the wall clock differs.
+//!
+//! ```text
+//! cargo run --release -p rb-workloads --example storm_probe
+//! ```
+
+use rb_workloads::storm::{run, StormConfig};
+use std::time::Instant;
+
+fn main() {
+    let configs = [(1usize, 1usize), (2, 1), (4, 1), (2, 2), (4, 4)];
+    let mut serial_eps = None;
+    for (shards, threads) in configs {
+        let cfg = StormConfig {
+            shards,
+            threads,
+            ..StormConfig::default()
+        };
+        let _ = run(&cfg); // warm-up: fault in code paths and allocators
+        let t0 = Instant::now();
+        let r = run(&cfg);
+        let wall = t0.elapsed().as_secs_f64();
+        let eps = r.queue.dispatched as f64 / wall;
+        let base = *serial_eps.get_or_insert(eps);
+        println!(
+            "s{shards} t{threads}: {wall:>6.3}s wall  {:>10.0} events/sec  {:>5.2}x vs serial",
+            eps,
+            eps / base
+        );
+    }
+}

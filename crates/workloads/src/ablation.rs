@@ -53,7 +53,7 @@ fn utilization_with(policy: Box<dyn Policy>, hours: f64, seed: u64) -> Utilizati
     let broker = c.broker;
     let modules = c.modules.clone();
     let home = c.machines[0];
-    let appls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let appls = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut t = t_start + Duration::from_secs(100);
     let mut submitted = 0;
     while t < end {
@@ -75,7 +75,7 @@ fn utilization_with(policy: Box<dyn Policy>, hours: f64, seed: u64) -> Utilizati
                     },
                 },
             );
-            appls.borrow_mut().push(appl);
+            appls.lock().unwrap().push(appl);
         });
         submitted += 1;
         t = t + Duration::from_secs(100);
@@ -89,7 +89,7 @@ fn utilization_with(policy: Box<dyn Policy>, hours: f64, seed: u64) -> Utilizati
     let denom = measured.as_secs_f64() * machines as f64;
     let mut completed = 0;
     let mut failed = 0;
-    for &appl in appls.borrow().iter() {
+    for &appl in appls.lock().unwrap().iter() {
         match c.world.exit_status(appl) {
             Some(s) if s.is_success() => completed += 1,
             Some(_) => failed += 1,
@@ -133,7 +133,7 @@ pub fn layer_ablation(seed: u64) -> LayerAblation {
             ProcEnv::user_standard("u"),
         );
         world.run_until_pred(SimTime(600_000_000), |w| !w.alive(p));
-        let elapsed = out.borrow().clone().unwrap().elapsed_secs();
+        let elapsed = out.lock().unwrap().clone().unwrap().elapsed_secs();
         elapsed
     };
     // Level 1: rsh' installed system-wide, but this user does not use the
@@ -148,7 +148,7 @@ pub fn layer_ablation(seed: u64) -> LayerAblation {
         );
         c.world
             .run_until_pred(SimTime(600_000_000), |w| !w.alive(p));
-        let elapsed = out.borrow().clone().unwrap().elapsed_secs();
+        let elapsed = out.lock().unwrap().clone().unwrap().elapsed_secs();
         elapsed
     };
     // Level 2: the full default path through appl + broker + sub-appl.

@@ -4,11 +4,10 @@
 use rb_proto::{CommandSpec, ExitStatus, ProcId, RshError, RshHandle};
 use rb_simcore::SimTime;
 use rb_simnet::{Behavior, Ctx};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Shared slot the driver writes its observation into.
-pub type Slot<T> = Rc<RefCell<Option<T>>>;
+pub type Slot<T> = Arc<Mutex<Option<T>>>;
 
 /// Outcome of one timed remote execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +63,7 @@ impl Behavior for TimedRsh {
         result: Result<ExitStatus, RshError>,
     ) {
         if self.handle == Some(handle) {
-            *self.outcome.borrow_mut() = Some(ExecOutcome {
+            *self.outcome.lock().unwrap() = Some(ExecOutcome {
                 started: self.started,
                 finished: ctx.now(),
                 result,
@@ -94,7 +93,7 @@ impl CountWatcher {
 
 /// Makes a fresh shared observation slot.
 pub fn slot<T>() -> Slot<T> {
-    Rc::new(RefCell::new(None))
+    Arc::new(Mutex::new(None))
 }
 
 /// A tiny behavior that just forwards one message to a target after start

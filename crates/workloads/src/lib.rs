@@ -24,6 +24,7 @@ pub mod hetero;
 pub mod model;
 pub mod report;
 pub mod scenarios;
+pub mod storm;
 pub mod table1;
 pub mod table2;
 pub mod table3;

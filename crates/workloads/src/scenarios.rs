@@ -51,6 +51,23 @@ pub fn broker_testbed_sharded(
     scheduler: QueueKind,
     shards: usize,
 ) -> Cluster {
+    broker_testbed_threaded(publics, seed, policy, trace, scheduler, shards, 1)
+}
+
+/// [`broker_testbed_sharded`] with worker threads dispatching the lanes
+/// in true parallel (threads = 1 keeps the coordinator inline; every
+/// combination replays bit-identically — the threaded-equivalence tests
+/// sweep this).
+#[allow(clippy::too_many_arguments)]
+pub fn broker_testbed_threaded(
+    publics: usize,
+    seed: u64,
+    policy: Box<dyn Policy>,
+    trace: bool,
+    scheduler: QueueKind,
+    shards: usize,
+    threads: usize,
+) -> Cluster {
     let mut machines = vec![MachineAttrs::private_linux("n00", "user")];
     machines.extend((1..=publics).map(|i| MachineAttrs::public_linux(format!("n{i:02}"))));
     let opts = ClusterOptions {
@@ -60,6 +77,7 @@ pub fn broker_testbed_sharded(
         trace,
         scheduler,
         shards,
+        threads,
         ..Default::default()
     };
     let mut c = build_cluster(opts);
@@ -134,7 +152,7 @@ pub fn broker_testbed_streamed(
     policy: Box<dyn Policy>,
     scheduler: QueueKind,
     shards: usize,
-    out: Box<dyn std::io::Write>,
+    out: Box<dyn std::io::Write + Send>,
     tail_cap: usize,
 ) -> Cluster {
     let mut machines = vec![MachineAttrs::private_linux("n00", "user")];

@@ -1,0 +1,241 @@
+//! The timer-storm workload: the machine-local-dominant regime where
+//! lane parallelism pays.
+//!
+//! The broker scenarios are communication-heavy — most of their events
+//! cross machines, so a conservative window holds only a handful of
+//! dispatches and the synchronizer barrier dominates. This workload is
+//! the opposite corner, and the paper's adaptive programs spend most of
+//! their life there: many machines, each busy with its *own* fine-grained
+//! work (timers and CPU bursts every few tens of microseconds), touching
+//! the network only occasionally. Within one 800µs lookahead window each
+//! machine dispatches dozens of events that no other lane can observe,
+//! which is exactly the work the threaded kernel (DESIGN.md §17) spreads
+//! across cores. `bench_report` sweeps this scenario for the measured
+//! (not modeled) multi-core rows of `BENCH_parallel.json`.
+//!
+//! Every configuration replays bit-identically across shard and thread
+//! counts — the storm rides the same determinism contract as everything
+//! else, and a unit test here pins it.
+
+use rb_proto::{CtlMsg, Payload, ProcId, TimerToken};
+use rb_simcore::{Duration, QueueStats, SimTime};
+use rb_simnet::{Behavior, Ctx, ProcEnv, World, WorldBuilder, HARNESS};
+
+/// One storm process: re-arms a short timer forever, burns a small CPU
+/// burst on each tick, and every `ping_every`-th tick probes its ring
+/// neighbor across the network (answered with a `ProbeReply`), so the
+/// cross-lane outbox path stays exercised without dominating the mix.
+struct StormProc {
+    period: Duration,
+    burst: Duration,
+    ping_every: u64,
+    ticks: u64,
+    peer: Option<ProcId>,
+}
+
+impl StormProc {
+    fn new(period: Duration, burst: Duration, ping_every: u64) -> Self {
+        StormProc {
+            period,
+            burst,
+            ping_every,
+            ticks: 0,
+            peer: None,
+        }
+    }
+}
+
+impl Behavior for StormProc {
+    fn name(&self) -> &'static str {
+        "storm"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Deterministic per-proc phase so the machines don't tick in
+        // lockstep (a single giant equal-time batch every period).
+        let phase = ctx.rng_u64(0, self.period.as_micros().max(1));
+        ctx.set_timer(self.period + Duration::from_micros(phase));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Payload) {
+        // The harness introduces the ring neighbor via a Probe whose
+        // reply_to is the peer; a Probe from anyone else is a real ping
+        // to answer.
+        if let Payload::Ctl(CtlMsg::Probe { reply_to, token }) = msg {
+            if from == HARNESS {
+                self.peer = Some(reply_to);
+            } else {
+                ctx.send(reply_to, Payload::Ctl(CtlMsg::ProbeReply { token }));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        self.ticks += 1;
+        if self.burst > Duration::ZERO {
+            ctx.cpu_burst(self.burst);
+        }
+        if let Some(peer) = self.peer {
+            if self.ping_every > 0 && self.ticks.is_multiple_of(self.ping_every) {
+                ctx.send(
+                    peer,
+                    Payload::Ctl(CtlMsg::Probe {
+                        reply_to: ctx.me(),
+                        token: self.ticks,
+                    }),
+                );
+            }
+        }
+        ctx.set_timer(self.period);
+    }
+}
+
+/// Storm workload knobs. Defaults match the `BENCH_parallel.json` rows:
+/// 64 machines ticking every 50µs with 20µs CPU bursts for half a
+/// simulated second, pinging a ring neighbor every 16th tick.
+#[derive(Debug, Clone, Copy)]
+pub struct StormConfig {
+    pub seed: u64,
+    /// Machines, each carrying one storm process.
+    pub machines: usize,
+    /// Timer period per process.
+    pub period: Duration,
+    /// CPU burst per tick (zero disables bursts).
+    pub burst: Duration,
+    /// Ping the ring neighbor every N ticks (0 disables pings).
+    pub ping_every: u64,
+    /// Simulated run length after setup.
+    pub run_for: Duration,
+    /// Kernel lanes (1 = serial).
+    pub shards: usize,
+    /// Worker threads dispatching the lanes.
+    pub threads: usize,
+    /// Record the trace (equivalence tests only — the bench runs untraced).
+    pub trace: bool,
+    /// Enable the kernel self-profiler so [`StormReport::shard_stats`]
+    /// carries per-lane dispatch wall time (costs a clock read per event;
+    /// the bench rows keep it off).
+    pub profile: bool,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            seed: 1,
+            machines: 64,
+            period: Duration::from_micros(50),
+            burst: Duration::from_micros(20),
+            ping_every: 16,
+            run_for: Duration::from_millis(500),
+            shards: 1,
+            threads: 1,
+            trace: false,
+            profile: false,
+        }
+    }
+}
+
+/// Outcome of one storm run: the kernel's work counters plus the
+/// simulated span, for events/sec reporting.
+#[derive(Debug, Clone)]
+pub struct StormReport {
+    pub queue: QueueStats,
+    pub sim_seconds: f64,
+    /// Rendered trace (empty unless `trace` was on).
+    pub trace: String,
+    /// Synchronizer accounting (windows, per-lane dispatch counts and —
+    /// with `profile` on — per-lane dispatch wall time). `None` on
+    /// single-lane runs.
+    pub shard_stats: Option<rb_simnet::ShardStats>,
+}
+
+/// Build the storm world, introduce the ring, and run it for
+/// `cfg.run_for` of virtual time.
+pub fn run(cfg: &StormConfig) -> StormReport {
+    let mut b = WorldBuilder::new()
+        .seed(cfg.seed)
+        .trace(cfg.trace)
+        .shards(cfg.shards)
+        .threads(cfg.threads)
+        .profile(cfg.profile);
+    let machines = b.standard_lab(cfg.machines);
+    let mut w: World = b.build();
+    let procs: Vec<ProcId> = machines
+        .iter()
+        .map(|&m| {
+            w.spawn_user(
+                m,
+                Box::new(StormProc::new(cfg.period, cfg.burst, cfg.ping_every)),
+                ProcEnv::user_standard("storm"),
+            )
+        })
+        .collect();
+    // Introduce each proc to its ring neighbor.
+    if cfg.ping_every > 0 && procs.len() > 1 {
+        for (i, &p) in procs.iter().enumerate() {
+            let peer = procs[(i + 1) % procs.len()];
+            w.send_from_harness(
+                p,
+                Payload::Ctl(CtlMsg::Probe {
+                    reply_to: peer,
+                    token: 0,
+                }),
+            );
+        }
+    }
+    let start = w.now();
+    w.run_until(SimTime(start.as_micros() + cfg.run_for.as_micros()));
+    StormReport {
+        queue: w.kernel_stats(),
+        sim_seconds: (w.now() - start).as_secs_f64(),
+        trace: w.trace().render(),
+        shard_stats: w.shard_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The storm rides the §17 determinism contract: threaded sharded
+    /// runs replay the serial kernel byte-for-byte.
+    #[test]
+    fn storm_is_byte_identical_across_modes() {
+        let base = StormConfig {
+            seed: 9,
+            machines: 8,
+            run_for: Duration::from_millis(20),
+            trace: true,
+            ..StormConfig::default()
+        };
+        let serial = run(&base);
+        assert!(serial.queue.dispatched > 1000, "{:?}", serial.queue);
+        for (shards, threads) in [(2, 1), (4, 4)] {
+            let r = run(&StormConfig {
+                shards,
+                threads,
+                ..base
+            });
+            assert_eq!(
+                serial.trace, r.trace,
+                "storm diverged at shards={shards} threads={threads}"
+            );
+            assert_eq!(serial.queue.dispatched, r.queue.dispatched);
+        }
+    }
+
+    /// The mix is what the bench claims: overwhelmingly machine-local
+    /// (timers + CPU) with a trickle of cross-machine pings.
+    #[test]
+    fn storm_generates_dense_local_work() {
+        let r = run(&StormConfig {
+            seed: 3,
+            machines: 16,
+            run_for: Duration::from_millis(50),
+            ..StormConfig::default()
+        });
+        // ~20 ticks/ms/machine × 16 machines × 50ms, timer + cpu each.
+        assert!(r.queue.dispatched > 20_000, "{:?}", r.queue);
+        assert!(r.sim_seconds > 0.049);
+    }
+}

@@ -23,7 +23,7 @@ fn plain_rsh_once(seed: u64, cmd: CommandSpec) -> f64 {
     let driver = TimedRsh::new("n01", cmd, out.clone());
     let p = world.spawn_user(n00, Box::new(driver), ProcEnv::user_standard("user"));
     world.run_until_pred(LIMIT, |w| !w.alive(p));
-    let outcome = out.borrow().clone().expect("rsh completed");
+    let outcome = out.lock().unwrap().clone().expect("rsh completed");
     assert!(outcome.result.is_ok(), "plain rsh failed: {outcome:?}");
     outcome.elapsed_secs()
 }

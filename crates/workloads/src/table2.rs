@@ -11,7 +11,7 @@ use crate::drivers::{slot, ExecOutcome, TimedRsh};
 use crate::report::Row;
 use crate::scenarios::{
     await_calypso_workers, broker_testbed, broker_testbed_hb, broker_testbed_obs,
-    broker_testbed_profiled, broker_testbed_sharded, submit_endless_calypso, LOOP_MILLIS,
+    broker_testbed_profiled, broker_testbed_threaded, submit_endless_calypso, LOOP_MILLIS,
 };
 use rb_broker::{Cluster, DefaultPolicy, JobRequest, JobRun};
 use rb_proto::CommandSpec;
@@ -63,7 +63,7 @@ pub fn plain_onto_occupied(seed: u64, cmd: CommandSpec) -> RunOutcome {
     );
     let limit = SimTime(c.world.now().as_micros() + LIMIT_OFF);
     c.world.run_until_pred(limit, |w| !w.alive(p));
-    let outcome = out.borrow().clone().expect("rsh completed");
+    let outcome = out.lock().unwrap().clone().expect("rsh completed");
     assert!(outcome.result.is_ok(), "{outcome:?}");
     RunOutcome {
         elapsed_secs: outcome.elapsed_secs(),
@@ -189,13 +189,29 @@ pub fn prime_with_realloc_sharded(
     shards: usize,
     trace: bool,
 ) -> (RunOutcome, String) {
-    let mut c = broker_testbed_sharded(
+    prime_with_realloc_threaded(seed, cmd, scheduler, shards, 1, trace)
+}
+
+/// [`prime_with_realloc_sharded`] with worker threads dispatching the
+/// lanes in parallel. The threaded-equivalence suite pins this
+/// byte-identical to the serial run; `bench_report` uses it for the
+/// threaded `BENCH_parallel` throughput rows.
+pub fn prime_with_realloc_threaded(
+    seed: u64,
+    cmd: CommandSpec,
+    scheduler: QueueKind,
+    shards: usize,
+    threads: usize,
+    trace: bool,
+) -> (RunOutcome, String) {
+    let mut c = broker_testbed_threaded(
         2,
         seed,
         Box::new(DefaultPolicy::default()),
         trace,
         scheduler,
         shards,
+        threads,
     );
     submit_endless_calypso(&mut c, 2, 800);
     let limit = SimTime(c.world.now().as_micros() + 60_000_000);

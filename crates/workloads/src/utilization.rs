@@ -105,7 +105,7 @@ fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_
     let broker = c.broker;
     let modules = c.modules.clone();
     let home = c.machines[0];
-    let appls = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let appls = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
     let mut t = t_start + Duration::from_secs(cfg.arrival_period_secs);
     let mut submitted = 0usize;
     while t < end {
@@ -128,18 +128,18 @@ fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_
                     },
                 },
             );
-            appls.borrow_mut().push(appl);
+            appls.lock().unwrap().push(appl);
         });
         submitted += 1;
         t = t + Duration::from_secs(cfg.arrival_period_secs);
     }
 
     // Optional per-minute allocation sampling.
-    let samples = std::rc::Rc::new(std::cell::RefCell::new(Vec::<f64>::new()));
+    let samples = std::sync::Arc::new(std::sync::Mutex::new(Vec::<f64>::new()));
     if timeline {
         let machines: Vec<_> = c.machines[1..].to_vec();
         let minutes = (cfg.hours * 60.0) as u64;
-        let prev = std::rc::Rc::new(std::cell::RefCell::new(None::<f64>));
+        let prev = std::sync::Arc::new(std::sync::Mutex::new(None::<f64>));
         for minute in 1..=minutes {
             let at = t_start + Duration::from_secs(minute * 60);
             let machines = machines.clone();
@@ -150,11 +150,12 @@ fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_
                     .iter()
                     .map(|&m| w.allocated_time(m).as_secs_f64())
                     .sum();
-                let mut prev = prev.borrow_mut();
+                let mut prev = prev.lock().unwrap();
                 let delta = total - prev.unwrap_or(total - 60.0 * machines.len() as f64);
                 *prev = Some(total);
                 samples
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .push(delta / (60.0 * machines.len() as f64));
             });
         }
@@ -177,7 +178,7 @@ fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_
 
     let mut completed = 0;
     let mut failed = 0;
-    for &appl in appls.borrow().iter() {
+    for &appl in appls.lock().unwrap().iter() {
         match c.world.exit_status(appl) {
             Some(s) if s.is_success() => completed += 1,
             Some(_) => failed += 1,
@@ -186,7 +187,7 @@ fn run_inner(cfg: &UtilizationConfig, timeline: bool) -> (UtilizationReport, rb_
     }
 
     let mut series = rb_simcore::Series::new("allocated fraction per minute");
-    for (i, &v) in samples.borrow().iter().enumerate() {
+    for (i, &v) in samples.lock().unwrap().iter().enumerate() {
         series.push((i + 1) as f64, v);
     }
 

@@ -7,20 +7,21 @@
 use rb_broker::DefaultPolicy;
 use rb_simcore::{QueueKind, SimTime};
 use rb_workloads::scenarios::{
-    await_calypso_workers, broker_testbed_sharded, broker_testbed_streamed, submit_endless_calypso,
+    await_calypso_workers, broker_testbed_sharded, broker_testbed_streamed,
+    broker_testbed_threaded, submit_endless_calypso,
 };
-use std::cell::RefCell;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Shared byte buffer usable as a `Box<dyn Write>` trace stream while the
 /// test keeps a handle to inspect what was written.
 #[derive(Clone, Default)]
-struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -30,7 +31,7 @@ impl Write for SharedBuf {
 
 impl SharedBuf {
     fn take_string(&self) -> String {
-        String::from_utf8(std::mem::take(&mut *self.0.borrow_mut())).unwrap()
+        String::from_utf8(std::mem::take(&mut *self.0.lock().unwrap())).unwrap()
     }
 }
 
@@ -66,6 +67,34 @@ fn run_scenario_sharded(
 
 fn run_scenario(kind: QueueKind, trace: bool) -> (String, u64, rb_simcore::QueueStats) {
     run_scenario_sharded(kind, 42, trace, 1)
+}
+
+/// The busy scenario with the lanes dispatched by a worker-thread pool.
+fn run_scenario_threaded(
+    kind: QueueKind,
+    seed: u64,
+    shards: usize,
+    threads: usize,
+) -> (String, u64, rb_simcore::QueueStats) {
+    let mut c = broker_testbed_threaded(
+        4,
+        seed,
+        Box::new(DefaultPolicy::default()),
+        true,
+        kind,
+        shards,
+        threads,
+    );
+    assert_eq!(c.world.thread_count(), threads);
+    submit_endless_calypso(&mut c, 4, 500);
+    let limit = SimTime(c.world.now().as_micros() + 60_000_000);
+    await_calypso_workers(&mut c, 4, limit);
+    c.world.run_until(limit);
+    (
+        c.world.trace().render(),
+        c.world.now().as_micros(),
+        c.world.kernel_stats(),
+    )
 }
 
 #[test]
@@ -229,6 +258,82 @@ fn profiling_is_a_pure_observer() {
     let reg = c.world.metrics().expect("metrics enabled");
     assert_eq!(reg.counter("prof.dispatches", ""), dispatches);
     assert_eq!(reg.counter("prof.wall_ns", ""), wall_ns);
+}
+
+/// The true-parallel determinism contract (DESIGN.md §17): dispatching
+/// the lanes on worker threads replays the serial kernel byte-for-byte —
+/// same trace, same clock, same work counters — at 2 and 4 shards, on
+/// both queue backends. Thread interleaving must not leak into any
+/// contract output.
+#[test]
+fn threaded_kernel_is_byte_identical_to_serial() {
+    for kind in [QueueKind::Heap, QueueKind::Wheel] {
+        let (serial_trace, serial_now, serial_stats) = run_scenario_sharded(kind, 42, true, 1);
+        assert!(serial_trace.lines().count() > 100);
+        for shards in [2usize, 4] {
+            let (trace, now, stats) = run_scenario_threaded(kind, 42, shards, 4);
+            assert_eq!(
+                serial_trace, trace,
+                "{kind:?}: threaded shards={shards} diverged from serial"
+            );
+            assert_eq!(serial_now, now, "{kind:?} shards={shards}");
+            assert_eq!(
+                serial_stats.scheduled, stats.scheduled,
+                "{kind:?} shards={shards}"
+            );
+            assert_eq!(
+                serial_stats.dispatched, stats.dispatched,
+                "{kind:?} shards={shards}"
+            );
+            assert_eq!(
+                serial_stats.peak_depth, stats.peak_depth,
+                "{kind:?} shards={shards}"
+            );
+        }
+    }
+}
+
+/// Threaded dispatch is a pure observer of the reallocation scenario too:
+/// the Table 2 shape replays byte-identically with a 4-thread pool.
+#[test]
+fn threaded_reallocation_is_byte_identical_to_serial() {
+    use rb_proto::CommandSpec;
+    use rb_workloads::table2::{prime_with_realloc_sharded, prime_with_realloc_threaded};
+    let (serial_out, serial_trace) =
+        prime_with_realloc_sharded(2024, CommandSpec::Null, QueueKind::Heap, 1, true);
+    assert!(serial_trace.lines().count() > 100);
+    for shards in [2usize, 4] {
+        let (out, trace) =
+            prime_with_realloc_threaded(2024, CommandSpec::Null, QueueKind::Heap, shards, 4, true);
+        assert_eq!(serial_trace, trace, "threaded shards={shards} diverged");
+        assert_eq!(serial_out.elapsed_secs, out.elapsed_secs);
+        assert_eq!(serial_out.queue.dispatched, out.queue.dispatched);
+        assert_eq!(serial_out.queue.scheduled, out.queue.scheduled);
+    }
+}
+
+/// Byte-identity is not a property of one blessed seed: a splitmix-drawn
+/// seed sweep replays threaded = serial every time. Any scheduling
+/// nondeterminism that survived the merge would show up here as a flaky
+/// divergence.
+#[test]
+fn threaded_equivalence_holds_across_random_seeds() {
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    for round in 0..6 {
+        // splitmix64 step — a deterministic "random" seed schedule.
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let seed = z ^ (z >> 31);
+        let (serial_trace, serial_now, _) = run_scenario_sharded(QueueKind::Heap, seed, true, 1);
+        let (trace, now, _) = run_scenario_threaded(QueueKind::Heap, seed, 4, 4);
+        assert_eq!(
+            serial_trace, trace,
+            "round {round} (seed {seed}): threaded run diverged from serial"
+        );
+        assert_eq!(serial_now, now, "round {round} (seed {seed})");
+    }
 }
 
 /// The sharded kernel exposes synchronizer statistics: windows derived

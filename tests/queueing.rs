@@ -8,8 +8,8 @@ use resourcebroker::broker::{
 };
 use resourcebroker::proto::{BrokerMsg, CommandSpec, ExitStatus, MachineAttrs, Payload, ProcId};
 use resourcebroker::simcore::{Duration, SimTime};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 const FAR: SimTime = SimTime(3_600_000_000);
 
@@ -74,7 +74,7 @@ fn batch_jobs_queue_and_run_in_fifo_order() {
 fn queued_jobs_appear_in_cluster_status() {
     struct Query {
         broker: ProcId,
-        lines: Rc<RefCell<Vec<String>>>,
+        lines: Arc<Mutex<Vec<String>>>,
     }
     impl resourcebroker::simnet::Behavior for Query {
         fn name(&self) -> &'static str {
@@ -94,7 +94,7 @@ fn queued_jobs_appear_in_cluster_status() {
             msg: Payload,
         ) {
             if let Payload::Broker(BrokerMsg::ClusterStatus { lines }) = msg {
-                *self.lines.borrow_mut() = lines;
+                *self.lines.lock().unwrap() = lines;
                 ctx.exit(ExitStatus::Success);
             }
         }
@@ -106,7 +106,7 @@ fn queued_jobs_appear_in_cluster_status() {
     c.submit(c.machines[0], loop_job(1_000));
     c.world.run_until(c.world.now() + Duration::from_secs(2));
 
-    let lines = Rc::new(RefCell::new(Vec::new()));
+    let lines = Arc::new(Mutex::new(Vec::new()));
     c.world.spawn_user(
         c.machines[0],
         Box::new(Query {
@@ -116,7 +116,7 @@ fn queued_jobs_appear_in_cluster_status() {
         resourcebroker::simnet::ProcEnv::system("user"),
     );
     c.world.run_until(c.world.now() + Duration::from_secs(1));
-    let lines = lines.borrow();
+    let lines = lines.lock().unwrap();
     assert!(
         lines.iter().any(|l| l.starts_with("queued:")),
         "no queued line in {lines:?}"
